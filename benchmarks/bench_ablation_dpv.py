@@ -1,0 +1,103 @@
+"""A6 — Extension: differential pulse voltammetry vs cyclic voltammetry.
+
+The paper's voltage generator "sweeps repeatedly within the voltage range
+of interest" — linear sweeps.  DPV is the natural upgrade the platform's
+generator could implement (the paper's own closing remark asks for more
+sensitivity on the CYP drugs).  The bench quantifies what the upgrade
+buys on the Fig. 4 CYP2B4 electrode:
+
+- the capacitive background a 20 mV/s CV sweep carries versus the
+  residual baseline of the DPV differential (charging rejection),
+- the peak positions both methods report for the two drugs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.catalog import paper_panel_cell
+from repro.io.tables import render_table
+from repro.measurement.peaks import find_peaks
+from repro.measurement.pulse_voltammetry import DifferentialPulseVoltammetry
+from repro.measurement.trace import Voltammogram
+from repro.measurement.voltammetry import CyclicVoltammetry
+from repro.electronics.waveform import TriangleWaveform
+from repro.units import v_to_mv
+
+
+def run_experiment() -> dict:
+    cell = paper_panel_cell()
+    we = cell.working_electrode("WE4")
+
+    # CV: the charging rectangle rides under the peaks.
+    waveform = TriangleWaveform(e_start=0.0, e_vertex=-0.65,
+                                scan_rate=0.020)
+    cv = CyclicVoltammetry(waveform, sample_rate=10.0)
+    t, p, s, i = cv.simulate_true_current(cell, "WE4")
+    voltammogram = Voltammogram(times=t, potentials=p, current=i,
+                                sweep_sign=s, scan_rate=0.020)
+    cv_peaks = find_peaks(voltammogram, cathodic=True, min_height=1e-9)
+    cv_charging = abs(we.electrode.charging_current(0.020))
+    # Baseline of the cathodic leg far from any peak (around -0.1 V).
+    cv_baseline = abs(voltammogram.current_at(-0.10))
+
+    # DPV on the same electrode and window.
+    dpv = DifferentialPulseVoltammetry(e_start=0.0, e_end=-0.65)
+    result = dpv.simulate_true(cell, "WE4")
+    dpv_peaks = result.find_peaks(min_height=1e-9)
+    off_peak = np.abs(result.base_potentials - (-0.225)) > 0.15
+    off_peak &= np.abs(result.base_potentials - (-0.375)) > 0.15
+    off_peak[:5] = False  # skip the initial equilibration transient
+    dpv_baseline = float(np.max(np.abs(result.differential[off_peak])))
+
+    return {
+        "cv_peaks": cv_peaks, "cv_charging": cv_charging,
+        "cv_baseline": cv_baseline,
+        "dpv_peaks": dpv_peaks, "dpv_baseline": dpv_baseline,
+        # Signed: the result records direction * amplitude (-50 mV here).
+        "dpv_amplitude": result.pulse_amplitude,
+    }
+
+
+def test_ablation_dpv_vs_cv(benchmark, report):
+    out = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        ["baseline (no-peak region)",
+         f"{out['cv_baseline'] * 1e9:.2f} nA",
+         f"{out['dpv_baseline'] * 1e9:.4f} nA"],
+        ["double-layer charging",
+         f"{out['cv_charging'] * 1e9:.2f} nA (rides under peaks)",
+         "rejected by differencing"],
+        ["benzphetamine peak",
+         next((f"{v_to_mv(p.potential):+.0f} mV" for p in out["cv_peaks"]
+               if abs(p.potential + 0.27) < 0.05),
+              "LOST under the aminopyrine tail"),
+         next((f"{v_to_mv(p.potential + out['dpv_amplitude'] / 2):+.0f} mV"
+               for p in out["dpv_peaks"]
+               if abs(p.potential + 0.225) < 0.05), "-")],
+        ["aminopyrine peak",
+         next((f"{v_to_mv(p.potential):+.0f} mV" for p in out["cv_peaks"]
+               if abs(p.potential + 0.42) < 0.05), "-"),
+         next((f"{v_to_mv(p.potential + out['dpv_amplitude'] / 2):+.0f} mV"
+               for p in out["dpv_peaks"]
+               if abs(p.potential + 0.375) < 0.05), "-")],
+    ]
+    report(render_table(
+        ["Property", "CV @ 20 mV/s", "DPV (50 mV pulse)"],
+        rows, title="A6 | DPV extension on the Fig. 4 CYP2B4 electrode"))
+    report("DPV centres are reported as base potential + amplitude/2; "
+           "both methods agree with Table II within tens of mV.")
+
+    # Charging rejection: DPV baseline well below CV's charging floor.
+    assert out["dpv_baseline"] < out["cv_baseline"] / 5.0
+    # At the panel's loadings (aminopyrine 4 mM vs benzphetamine 0.7 mM)
+    # raw CV loses the benzphetamine shoulder under the big wave's
+    # diffusion tail; DPV's baseline-returning peaks keep both.
+    assert len(out["cv_peaks"]) == 1
+    assert len(out["dpv_peaks"]) == 2
+    # DPV centres land on the formal potentials.
+    centers = sorted(p.potential + out["dpv_amplitude"] / 2.0
+                     for p in out["dpv_peaks"])
+    assert centers[0] == pytest.approx(-0.400, abs=0.02)
+    assert centers[1] == pytest.approx(-0.250, abs=0.02)

@@ -1,0 +1,75 @@
+"""A3 — Ablation: electrode scaling (paper Sec. III).
+
+"Scaling down the electrodes can bring some advantages: the background
+current is smaller, due to different double-layer capacitance phenomena;
+time response of the biosensor is decreased in the case of
+microelectrodes, enabling much shorter measurements."
+
+The bench builds the same glucose sensor at four areas and measures the
+capacitive background at the 20 mV/s sweep, the diffusive settling time,
+and the signal current — quantifying both claims and the price paid
+(signal shrinks with area too).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.chem.solution import Chamber
+from repro.data.catalog import build_oxidase
+from repro.io.tables import render_table
+from repro.sensors.electrode import Electrode, ElectrodeRole, WorkingElectrode
+from repro.sensors.functionalization import CARBON_NANOTUBES, with_oxidase
+from repro.sensors.materials import get_material
+
+AREAS_MM2 = (7.0, 1.0, 0.23, 0.05)
+
+
+def build_we(area_mm2: float) -> WorkingElectrode:
+    return WorkingElectrode(
+        electrode=Electrode(name=f"WE_{area_mm2}",
+                            role=ElectrodeRole.WORKING,
+                            material=get_material("gold"),
+                            area=area_mm2 * 1e-6),
+        functionalization=with_oxidase(build_oxidase("glucose"),
+                                       nanostructure=CARBON_NANOTUBES))
+
+
+def run_experiment() -> list[dict]:
+    chamber = Chamber(name="a3")
+    chamber.set_bulk("glucose", 2.0)
+    rows = []
+    for area in AREAS_MM2:
+        we = build_we(area)
+        background = we.electrode.charging_current(0.020)
+        t90 = we.response_time("glucose")
+        signal = we.steady_state_current(0.470, chamber)
+        rows.append({"area": area, "background": background,
+                     "t90": t90, "signal": signal,
+                     "snr_like": signal / max(background, 1e-15)})
+    return rows
+
+
+def test_ablation_electrode_scaling(benchmark, report):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report(render_table(
+        ["Area mm^2", "Charging bg nA", "t90 s", "Signal nA",
+         "Signal/bg"],
+        [[f"{r['area']:g}", f"{r['background'] * 1e9:.2f}",
+          f"{r['t90']:.1f}", f"{r['signal'] * 1e9:.1f}",
+          f"{r['snr_like']:.0f}"] for r in rows],
+        title="A3 | electrode scaling: background, response time, signal "
+              "(glucose, 2 mM, 20 mV/s sweep)"))
+
+    by_area = {r["area"]: r for r in rows}
+    # Background charging current scales linearly with area (claim 1).
+    ratio = by_area[7.0]["background"] / by_area[0.23]["background"]
+    assert ratio == pytest.approx(7.0 / 0.23, rel=1e-6)
+    # Smaller electrodes settle faster (claim 2), monotonically.
+    t90s = [by_area[a]["t90"] for a in AREAS_MM2]
+    assert all(a > b for a, b in zip(t90s, t90s[1:]))
+    # The 0.05 mm^2 microelectrode is at least 3x faster than the strip.
+    assert by_area[0.05]["t90"] < by_area[7.0]["t90"] / 3.0

@@ -1,0 +1,95 @@
+"""A1 — Ablation: noise strategies (raw vs chopping vs CDS, Sec. II-C).
+
+The paper prescribes chopping and correlated double sampling against
+flicker noise, and warns that the CDS blank electrode fails for molecules
+that oxidise directly on bare metal (dopamine, etoposide).  The bench
+measures both claims:
+
+1. the blank noise (and hence LOD) of a platform glucose channel under
+   each strategy, through the integrated chain with realistic 1/f noise;
+2. the fraction of signal CDS subtraction preserves for glucose
+   (enzyme-mediated, blank blind) versus dopamine (direct oxidiser, blank
+   sees it too).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chem.solution import Chamber
+from repro.data.catalog import integrated_chain, paper_panel_cell
+from repro.electronics.noise import CdsStrategy, ChoppingStrategy, NoStrategy
+from repro.io.tables import render_table
+from repro.units import si_to_um_conc
+
+STRATEGIES = {
+    "raw": NoStrategy(),
+    "chopping": ChoppingStrategy(),
+    "cds": CdsStrategy(),
+}
+
+
+def measure_blank_sigma(strategy_name: str) -> float:
+    """Blank-channel noise of the platform glucose WE, amperes RMS."""
+    cell = paper_panel_cell({t: 0.0 for t in ("glucose",)})
+    chain = integrated_chain("cyp_micro", n_channels=5,
+                             noise_strategy=STRATEGIES[strategy_name],
+                             seed=55)
+    we = cell.working_electrodes[0]
+    rng = np.random.default_rng(55)
+    stds = []
+    for _ in range(4):
+        true = cell.measured_current("WE1", 0.470)
+        __, std = chain.measure_constant(true, duration=20.0,
+                                         sample_rate=10.0, we=we, rng=rng)
+        stds.append(std)
+    return float(np.mean(stds))
+
+
+def cds_signal_retention(species: str, concentration: float) -> float:
+    """Signal fraction surviving blank subtraction for one analyte."""
+    cell = paper_panel_cell({species: concentration})
+    e_applied = 0.55
+    signal = cell.measured_current("WE1", e_applied)
+    blank = cell.blank_current(e_applied)
+    leak = cell.working_electrodes[0].electrode.leakage_current()
+    raw = signal - leak
+    after_cds = signal - blank
+    return float(after_cds / raw) if raw else 0.0
+
+
+def run_experiment() -> dict:
+    sigmas = {name: measure_blank_sigma(name) for name in STRATEGIES}
+    # Glucose channel sensitivity on the platform for the LOD conversion.
+    cell = paper_panel_cell({"glucose": 1.0})
+    slope = (cell.measured_current("WE1", 0.470)
+             - cell.blank_current(0.470)) / 1.0
+    lods = {name: 3.0 * sigma / slope for name, sigma in sigmas.items()}
+    retention = {
+        "glucose": cds_signal_retention("glucose", 2.0),
+        "dopamine": cds_signal_retention("dopamine", 0.5),
+    }
+    return {"sigmas": sigmas, "lods": lods, "retention": retention}
+
+
+def test_ablation_noise_strategies(benchmark, report):
+    out = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [[name, f"{out['sigmas'][name] * 1e9:.2f}",
+             f"{si_to_um_conc(out['lods'][name]):.0f}"]
+            for name in ("raw", "chopping", "cds")]
+    report(render_table(
+        ["Strategy", "Blank sigma nA", "Glucose LOD uM"],
+        rows, title="A1 | noise strategies on the integrated platform "
+                    "(1/f corner 10 Hz)"))
+    report(f"CDS signal retention: glucose "
+           f"{out['retention']['glucose']:.2f}, dopamine "
+           f"{out['retention']['dopamine']:.2f} "
+           f"(paper: blank WE 'not helpful' for direct oxidisers)")
+
+    # Chopping and CDS beat the raw flicker-limited readout.
+    assert out["sigmas"]["chopping"] < 0.6 * out["sigmas"]["raw"]
+    assert out["sigmas"]["cds"] < out["sigmas"]["raw"]
+    # CDS keeps the enzyme-mediated signal but eats the direct oxidiser.
+    assert out["retention"]["glucose"] > 0.9
+    assert out["retention"]["dopamine"] < 0.2

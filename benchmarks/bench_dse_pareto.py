@@ -1,0 +1,56 @@
+"""D1 — Design-space exploration for the Sec. III panel.
+
+The paper's core proposition: restrict the design space to parametrized
+components, then search it systematically for "the most cost-effective
+solution (e.g., small, low energy consumption, low-cost)".  The bench runs
+the full exploration for the six-target panel, prints the Pareto front,
+and checks the structural findings the paper argues for:
+
+- the shared-chamber, multiplexed Fig. 4 arrangement dominates on cost;
+- per-WE readout buys assay time at a power/area premium;
+- every infeasible corner is explained by a named rule violation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.explorer import explore
+from repro.core.report import design_point_report, exploration_report
+from repro.core.targets import paper_panel_spec
+
+
+def run_experiment():
+    return explore(paper_panel_spec(), require_feasible=True)
+
+
+def test_dse_pareto(benchmark, report):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report(exploration_report(result))
+    cheapest = result.best_by("cost")
+    fastest = result.best_by("time")
+    report("")
+    report("cheapest feasible platform:")
+    report(design_point_report(cheapest))
+    report("")
+    report("fastest feasible platform:")
+    report(design_point_report(fastest))
+
+    # A meaningful exploration: hundreds of candidates, a real front.
+    assert result.n_candidates >= 200
+    assert result.n_feasible >= 50
+    assert len(result.front) >= 5
+
+    # The paper's Fig. 4 architecture family (shared chamber, multiplexed
+    # readout) is the cost champion.
+    assert cheapest.design.structure == "shared_chamber"
+    assert cheapest.design.readout == "mux_shared"
+    # Buying speed means paying power: the fastest point runs parallel
+    # chains and burns more than the cheapest.
+    assert fastest.design.readout == "per_we"
+    assert fastest.cost.power_w > cheapest.cost.power_w
+    # Every infeasible candidate carries an explanation.
+    for point in result.points:
+        if not point.feasible:
+            assert point.violations

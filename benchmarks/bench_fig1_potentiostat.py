@@ -1,0 +1,89 @@
+"""F1 — Fig. 1: potentiostat + transimpedance amplifier behaviour.
+
+Fig. 1 is a block diagram, so the reproducible content is the *function*
+of the two blocks: the potentiostat must hold the cell potential at the
+setpoint (finite-gain error far below the chemistry's sensitivity to
+potential), and the TIA must convert cell current to voltage linearly up
+to its rails.  The bench sweeps both and reports regulation error,
+transfer linearity and compliance limits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.catalog import integrated_chain
+from repro.electronics.potentiostat import Potentiostat
+from repro.electronics.tia import TransimpedanceAmplifier
+from repro.io.tables import render_table
+
+
+def run_experiment() -> dict:
+    potentiostat = Potentiostat()
+    setpoints = np.linspace(-0.8, 0.8, 17)
+    errors = potentiostat.regulation_error(setpoints)
+
+    tia = TransimpedanceAmplifier.for_range(10.0e-6)
+    currents = np.linspace(-9.0e-6, 9.0e-6, 37)
+    volts = tia.output_voltage(currents)
+    slope, intercept = np.polyfit(currents, volts, deg=1)
+    residual = volts - (slope * currents + intercept)
+    nonlinearity = float(np.max(np.abs(residual)) / (2.0 * tia.rail))
+
+    compliance_points = [
+        (0.3, potentiostat.max_cell_current(0.3)),
+        (0.65, potentiostat.max_cell_current(0.65)),
+        (1.0, potentiostat.max_cell_current(1.0)),
+    ]
+    return {
+        "setpoints": setpoints,
+        "errors": errors,
+        "tia_gain": float(slope),
+        "tia_nonlinearity": nonlinearity,
+        "compliance": compliance_points,
+        "settle_time": potentiostat.settle_time(0.01),
+    }
+
+
+def test_fig1_potentiostat_and_tia(benchmark, report):
+    out = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    worst = float(np.max(np.abs(out["errors"])))
+    rows = [
+        ["worst regulation error", f"{worst * 1e3:.3f} mV"],
+        ["TIA gain", f"{out['tia_gain'] / 1e3:.1f} kV/A"],
+        ["TIA non-linearity (of FS)", f"{out['tia_nonlinearity']:.2e}"],
+        ["settling time (1 %)", f"{out['settle_time'] * 1e6:.0f} us"],
+    ]
+    for setpoint, i_max in out["compliance"]:
+        rows.append([f"max cell current @ {setpoint:.2f} V",
+                     f"{i_max * 1e3:.2f} mA"])
+    report(render_table(["Property", "Value"], rows,
+                        title="F1 | Fig. 1: potentiostat + TIA behaviour"))
+
+    # Regulation error must be far below the chemistry's potential scale
+    # (the 25.7 mV Nernst slope): < 1 mV.
+    assert worst < 1.0e-3
+    # The TIA transfer must be linear to well below one 10 nA LSB of FS.
+    assert out["tia_nonlinearity"] < 1.0e-3
+    # Compliance shrinks with setpoint (IR headroom).
+    i_values = [i for _, i in out["compliance"]]
+    assert i_values[0] > i_values[1] > i_values[2]
+
+
+def test_fig1_closed_loop_step(benchmark, report):
+    """The control loop settles orders of magnitude faster than the
+    chemistry (Sec. II-C: the readout never limits response times)."""
+
+    def run() -> dict:
+        potentiostat = Potentiostat()
+        t = np.linspace(0.0, 5.0 * potentiostat.settling_time_constant, 200)
+        y = potentiostat.step_response(t, e_step=0.65)
+        settle = potentiostat.settle_time(0.01)
+        return {"settle": settle, "final": float(y[-1])}
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(f"F1 | step settling to 1 %: {out['settle'] * 1e6:.0f} us "
+           f"(chemistry settles in ~30 s — 5 orders of magnitude slower)")
+    assert out["settle"] < 1.0e-3  # micro-seconds to milli-seconds
+    assert out["final"] == pytest.approx(0.65, rel=0.01)

@@ -1,0 +1,94 @@
+"""F2 — Fig. 2: the complete acquisition chain, block by block.
+
+Fig. 2 draws generator -> potentiostat -> cell -> mux -> TIA -> ADC.  The
+bench pushes a known staircase of cell currents through the full chain and
+verifies signal integrity at each stage: the reconstructed current must
+track the truth within the class resolution, mux settling must be confined
+to the switch instants, and saturation must be flagged — not silently
+clipped — when the input exceeds the class range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.catalog import integrated_chain
+from repro.io.tables import render_table
+
+
+def run_experiment() -> dict:
+    chain = integrated_chain("oxidase", n_channels=5)
+    fs = chain.adc.sample_rate
+    levels = np.array([0.5e-6, 2.0e-6, 5.0e-6, 8.0e-6])
+    samples_per_level = int(5.0 * fs)
+    currents = np.repeat(levels, samples_per_level)
+    times = np.arange(currents.size) / fs
+    rng = np.random.default_rng(2011)
+    reading = chain.digitize(times, currents, rng=rng)
+
+    stage_rows = []
+    for k, level in enumerate(levels):
+        segment = slice(k * samples_per_level + samples_per_level // 2,
+                        (k + 1) * samples_per_level)
+        estimate = float(np.mean(reading.current_estimate[segment]))
+        stage_rows.append((level, estimate, estimate - level))
+
+    # Saturation: exceed the +/-10 uA class.
+    big = np.full(64, 25.0e-6)
+    t_big = np.arange(64) / fs
+    saturated = chain.digitize(t_big, big, rng=rng)
+    return {
+        "chain": chain.describe(),
+        "stages": stage_rows,
+        "resolution": chain.adc.current_resolution(
+            chain.tia.feedback_resistance),
+        "saturation_flagged": bool(saturated.any_saturated),
+        "noise_rms": chain.noise_rms(),
+    }
+
+
+def test_fig2_chain_signal_integrity(benchmark, report):
+    out = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [[f"{true * 1e6:.2f}", f"{est * 1e6:.4f}",
+             f"{err * 1e9:+.2f}"]
+            for true, est, err in out["stages"]]
+    report(out["chain"])
+    report(render_table(
+        ["True uA", "Reconstructed uA", "Error nA"], rows,
+        title="F2 | Fig. 2: staircase through the full chain "
+              "(oxidase class, 10 nA LSB)"))
+    report(f"ADC current resolution : {out['resolution'] * 1e9:.1f} nA/LSB")
+    report(f"chain noise RMS        : {out['noise_rms'] * 1e9:.2f} nA")
+    report(f"over-range saturation  : "
+           f"{'flagged' if out['saturation_flagged'] else 'MISSED'}")
+
+    for true, est, err in out["stages"]:
+        # Reconstruction within 3 LSB through noise + quantisation.
+        assert abs(err) <= 3.0 * out["resolution"], true
+    assert out["saturation_flagged"]
+
+
+def test_fig2_mux_settling_confined(benchmark, report):
+    """Mux switching artifacts must not leak into the settled window."""
+
+    def run() -> dict:
+        chain = integrated_chain("oxidase", n_channels=5)
+        fs = chain.adc.sample_rate
+        schedule = chain.mux.round_robin(["WE1", "WE2"], dwell=2.0)
+        times = np.arange(int(4.0 * fs)) / fs
+        currents = np.full(times.size, 4.0e-6)
+        reading = chain.digitize(times, currents,
+                                 schedule=schedule,
+                                 rng=np.random.default_rng(3))
+        early = np.abs(reading.current_estimate[1:4] - 4.0e-6)
+        settled = np.abs(
+            reading.current_estimate[int(1.0 * fs):int(1.9 * fs)] - 4.0e-6)
+        return {"early": float(np.max(early)),
+                "settled": float(np.mean(settled))}
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(f"F2 | mux: error right after switch {out['early'] * 1e6:.2f} uA, "
+           f"in settled window {out['settled'] * 1e9:.1f} nA")
+    assert out["early"] > 10.0 * out["settled"]
+    assert out["settled"] < 50.0e-9

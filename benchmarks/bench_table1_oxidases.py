@@ -1,0 +1,69 @@
+"""T1 — Table I: oxidases and their applied potentials.
+
+For each oxidase the bench sweeps the applied potential, measures the
+steady-state chronoamperometric current on the cited reference electrode,
+and locates the smallest potential delivering 95 % of the plateau signal.
+That measured operating point is compared against the paper's applied-
+potential column (+550/+650/+600/+700 mV vs Ag/AgCl).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.catalog import table1_cell
+from repro.data.oxidases import TABLE_I
+from repro.io.tables import render_table
+from repro.units import v_to_mv
+
+#: Potential sweep grid, volts vs Ag/AgCl.
+SWEEP = np.arange(0.20, 0.92, 0.005)
+
+#: Acceptable recovery error, volts.
+TOLERANCE = 0.050
+
+
+def measured_applied_potential(target: str) -> float:
+    """Sweep E, return the 95 %-of-plateau operating potential."""
+    cell = table1_cell(target)
+    cell.chamber.set_bulk(target, 1.0)
+    we_name = cell.working_electrodes[0].name
+    leakage = cell.working_electrodes[0].electrode.leakage_current()
+    currents = np.array([
+        cell.measured_current(we_name, float(e)) - leakage for e in SWEEP])
+    plateau = currents[-1]
+    above = np.flatnonzero(currents >= 0.95 * plateau)
+    return float(SWEEP[above[0]])
+
+
+def run_experiment() -> list[dict]:
+    rows = []
+    for record in TABLE_I:
+        measured = measured_applied_potential(record.target)
+        rows.append({
+            "oxidase": record.display_name,
+            "target": record.target,
+            "paper_mv": v_to_mv(record.applied_potential),
+            "measured_mv": v_to_mv(measured),
+            "error_mv": v_to_mv(measured - record.applied_potential),
+        })
+    return rows
+
+
+def test_table1_applied_potentials(benchmark, report):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table = render_table(
+        ["Oxidase", "Target", "Paper mV", "Measured mV", "Error mV"],
+        [[r["oxidase"], r["target"], f"{r['paper_mv']:+.0f}",
+          f"{r['measured_mv']:+.0f}", f"{r['error_mv']:+.0f}"]
+         for r in rows],
+        title="T1 | Table I: applied potentials (95% of plateau)")
+    report(table)
+
+    for row in rows:
+        assert abs(row["error_mv"]) <= v_to_mv(TOLERANCE), row["target"]
+    # Ordering preserved: glucose < glutamate < lactate <= cholesterol.
+    measured = {r["target"]: r["measured_mv"] for r in rows}
+    assert (measured["glucose"] < measured["glutamate"]
+            < measured["lactate"] <= measured["cholesterol"])

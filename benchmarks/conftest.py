@@ -1,0 +1,49 @@
+"""Benchmark harness plumbing.
+
+Every bench regenerates one table or figure of the paper and produces a
+paper-versus-measured report.  Reports are:
+
+- written to ``benchmarks/results/<bench>.txt`` for machine consumption,
+- replayed in the terminal summary (pytest captures stdout during tests,
+  so ``pytest_terminal_summary`` is the reliable channel).
+
+Use the ``report`` fixture::
+
+    def test_table1(benchmark, report):
+        ...
+        report(render_table(...))
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+_RESULTS_DIR = Path(__file__).parent / "results"
+_REPORTS: dict[str, list[str]] = {}
+
+
+@pytest.fixture
+def report(request):
+    """Collect report text for this bench; emitted at session end."""
+    name = request.node.name
+
+    def _append(text: str) -> None:
+        _REPORTS.setdefault(name, []).append(str(text))
+
+    return _append
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    terminalreporter.write_sep("=", "paper-vs-measured reports")
+    for name, chunks in _REPORTS.items():
+        text = "\n".join(chunks)
+        (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        terminalreporter.write_line("")
+        terminalreporter.write_sep("-", name)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,136 @@
+"""Therapeutic drug monitoring with cytochrome P450 voltammetry.
+
+The paper's exogenous-compound story (Sec. I-A): patients metabolise
+drugs at wildly different rates (20-50 % response variation), so
+measuring blood drug levels lets a doctor personalise the dose.  This
+example monitors a chemotherapy-adjacent two-drug regimen on a single
+CYP2B4 electrode across three simulated patients, identifying each drug
+by its reduction-peak position and quantifying it by peak height —
+including the semi-derivative trick that separates overlapping waves.
+
+Run:  python examples/drug_monitoring_cv.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chem import Chamber
+from repro.data import bench_chain, build_cytochrome
+from repro.electronics import TriangleWaveform
+from repro.io.tables import render_table
+from repro.measurement import CyclicVoltammetry, assign_peaks, find_peaks
+from repro.sensors import (
+    Electrode,
+    ElectrodeRole,
+    ElectrochemicalCell,
+    WorkingElectrode,
+    with_cytochrome,
+)
+from repro.sensors.materials import get_material
+from repro.units import v_to_mv
+
+#: Simulated patients: (benzphetamine mM, aminopyrine mM).
+PATIENTS = {
+    "patient A (slow metaboliser)": (1.0, 5.0),
+    "patient B (nominal)": (0.7, 3.0),
+    "patient C (fast metaboliser)": (0.4, 1.5),
+}
+
+#: Scans averaged per measurement — benzphetamine's Table III sensitivity
+#: is low (0.28 uA/(mM cm^2)), so single sweeps sit near the noise.
+N_SCANS = 4
+
+
+def make_cell() -> ElectrochemicalCell:
+    probe = build_cytochrome("CYP2B4")
+    we = WorkingElectrode(
+        electrode=Electrode(name="WE", role=ElectrodeRole.WORKING,
+                            material=get_material("rhodium_graphite"),
+                            area=7.0e-6),
+        functionalization=with_cytochrome(probe))
+    return ElectrochemicalCell(
+        chamber=Chamber(name="blood_sample"),
+        working_electrodes=[we],
+        reference=Electrode(name="RE", role=ElectrodeRole.REFERENCE,
+                            material=get_material("silver"), area=7.0e-6),
+        counter=Electrode(name="CE", role=ElectrodeRole.COUNTER,
+                          material=get_material("gold"), area=14.0e-6))
+
+
+def main() -> None:
+    probe = build_cytochrome("CYP2B4")
+    candidates = {ch.substrate: ch.reduction_potential
+                  for ch in probe.channels}
+    print("CYP2B4 senses:",
+          ", ".join(f"{t} @ {v_to_mv(e):+.0f} mV"
+                    for t, e in candidates.items()))
+
+    waveform = TriangleWaveform(e_start=0.0, e_vertex=-0.65,
+                                scan_rate=0.020)
+    protocol = CyclicVoltammetry(waveform, sample_rate=10.0)
+    chain = bench_chain(seed=21)
+    rng = np.random.default_rng(21)
+
+    # Measurement = N averaged sweeps; semi-derivative peak heights.
+    # Averaging beats the noise down by sqrt(N); semi-differentiation
+    # turns each diffusion wave into a symmetric peak that returns to
+    # baseline, so overlapping waves superpose cleanly — raw prominences
+    # would shrink under a big neighbour.
+    import numpy as _np
+    from repro.measurement.trace import Voltammogram
+
+    def measure(cell) -> Voltammogram:
+        arrays = []
+        base = None
+        for _ in range(N_SCANS):
+            base = protocol.run(cell, "WE", chain, rng=rng).voltammogram
+            arrays.append(base.current)
+        return Voltammogram(times=base.times, potentials=base.potentials,
+                            current=_np.mean(arrays, axis=0),
+                            sweep_sign=base.sweep_sign,
+                            scan_rate=base.scan_rate)
+
+    def drug_heights(voltammogram) -> dict[str, float]:
+        peaks = find_peaks(voltammogram, cathodic=True, min_height=3e-9,
+                           method="semiderivative", smooth_samples=9)
+        match = assign_peaks(peaks, candidates, tolerance=0.035)
+        return {t: p.height for t, p in match.matches.items()}
+
+    calibration = {}
+    for drug in candidates:
+        heights = []
+        for c in (0.5, 1.0):
+            cell = make_cell()
+            cell.chamber.set_bulk(drug, c)
+            heights.append(drug_heights(measure(cell)).get(drug, 0.0))
+        calibration[drug] = (heights[1] - heights[0]) / 0.5
+
+    rows = []
+    for label, (benz, amino) in PATIENTS.items():
+        cell = make_cell()
+        cell.chamber.set_bulk("benzphetamine", benz)
+        cell.chamber.set_bulk("aminopyrine", amino)
+        heights = drug_heights(measure(cell))
+        estimates = {drug: heights.get(drug, 0.0) / calibration[drug]
+                     for drug in candidates}
+        rows.append([
+            label,
+            f"{estimates['benzphetamine']:.2f} ({benz:g})",
+            f"{estimates['aminopyrine']:.2f} ({amino:g})",
+            N_SCANS,
+        ])
+    print()
+    print(render_table(
+        ["sample", "benzphetamine mM (true)", "aminopyrine mM (true)",
+         "scans averaged"],
+        rows, title="two-drug monitoring on one CYP2B4 electrode "
+                    "(20 mV/s CV, semi-derivative quantification)"))
+    print("\nnote: benzphetamine runs near its 200 uM detection limit "
+          "(Table III), so its estimate carries ~0.2 mM of uncertainty.")
+    print("dose guidance: higher residual drug level => slower "
+          "metabolism => consider reducing the next dose.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,134 @@
+"""Long-term monitoring: drift, stabilising membranes, recalibration.
+
+The paper motivates implantable biosensors for "long-term monitoring of
+different compounds" (refs. [3]-[6]) and names polymer coatings as the
+way "to provide long-term stability" (Sec. III).  This example runs a
+simulated week of continuous glucose monitoring in three configurations:
+
+1. a bare sensor with realistic baseline drift,
+2. the same sensor behind a stabilising membrane (drift suppressed, some
+   sensitivity traded away),
+3. the bare sensor with a daily one-point recalibration.
+
+It reports the worst-case concentration error of each strategy — the
+practical question an implant designer asks.
+
+Run:  python examples/implantable_monitor.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chem import Chamber
+from repro.data import build_oxidase, integrated_chain
+from repro.electronics import ChoppingStrategy
+from repro.io.tables import render_table
+from repro.sensors import (
+    EPOXY_STABILIZING,
+    Electrode,
+    ElectrodeRole,
+    ElectrochemicalCell,
+    WorkingElectrode,
+    with_oxidase,
+)
+from repro.sensors.functionalization import CARBON_NANOTUBES
+from repro.sensors.materials import get_material
+
+E_APPLIED = 0.470
+DAYS = 7.0
+#: A diurnal glucose profile the implant must track, mM at hour-of-day.
+#: Kept inside the sensor's 0.5-4 mM linear range (Table III); clinical
+#: deployments would dilute interstitial fluid or extend the range with
+#: a thicker membrane.
+PROFILE_HOURS = np.array([0, 4, 7, 9, 12, 14, 19, 21, 24], dtype=float)
+PROFILE_MM = np.array([2.2, 2.0, 2.1, 3.2, 2.5, 3.4, 2.8, 3.5, 2.2])
+#: Sensor sensitivity loss per day from fouling (fractional).
+FOULING_PER_DAY = 0.04
+
+
+def make_cell(membrane) -> ElectrochemicalCell:
+    we = WorkingElectrode(
+        electrode=Electrode(name="WE", role=ElectrodeRole.WORKING,
+                            material=get_material("gold"), area=1.0e-6),
+        functionalization=with_oxidase(build_oxidase("glucose"),
+                                       nanostructure=CARBON_NANOTUBES,
+                                       membrane=membrane))
+    return ElectrochemicalCell(
+        chamber=Chamber(name="interstitial"),
+        working_electrodes=[we],
+        reference=Electrode(name="RE", role=ElectrodeRole.REFERENCE,
+                            material=get_material("silver"), area=1.0e-6),
+        counter=Electrode(name="CE", role=ElectrodeRole.COUNTER,
+                          material=get_material("gold"), area=2.0e-6))
+
+
+def glucose_at(hours: float) -> float:
+    return float(np.interp(hours % 24.0, PROFILE_HOURS, PROFILE_MM))
+
+
+def simulate_week(membrane, recalibrate_daily: bool,
+                  seed: int) -> np.ndarray:
+    """Hourly concentration estimates over a week; returns |error| in mM."""
+    cell = make_cell(membrane)
+    we = cell.working_electrodes[0]
+    # The 1 mm^2 electrode at millimolar glucose produces ~1 uA —
+    # the oxidase (+/-10 uA @ 10 nA) class is the right fit here.
+    chain = integrated_chain("oxidase", n_channels=1,
+                             noise_strategy=ChoppingStrategy(), seed=seed)
+    rng = np.random.default_rng(seed)
+    suppression = 1.0 - we.functionalization.drift_suppression
+
+    # Day-0 two-point calibration.
+    def raw_signal(c: float, fouling: float) -> float:
+        cell.chamber.set_bulk("glucose", c)
+        true = cell.measured_current("WE", E_APPLIED) * fouling
+        mean, _ = chain.measure_constant(true, duration=10.0, we=we,
+                                         rng=rng)
+        return mean
+
+    s_low, s_high = raw_signal(1.0, 1.0), raw_signal(3.5, 1.0)
+    slope = (s_high - s_low) / 2.5
+    intercept = s_low - slope * 1.0
+
+    errors = []
+    for hour in np.arange(0.0, DAYS * 24.0, 1.0):
+        day_fraction = hour / 24.0
+        fouling = 1.0 - FOULING_PER_DAY * suppression * day_fraction
+        truth = glucose_at(hour)
+        signal = raw_signal(truth, fouling)
+        if recalibrate_daily and hour % 24.0 == 8.0:
+            # One fingerstick a day: re-anchor the slope at the current
+            # truth (the classic CGM calibration procedure).
+            slope = (signal - intercept) / truth
+        estimate = (signal - intercept) / slope
+        errors.append(abs(estimate - truth))
+    return np.asarray(errors)
+
+
+def main() -> None:
+    scenarios = {
+        "bare, no recalibration": (None, False),
+        "stabilising membrane": (EPOXY_STABILIZING, False),
+        "bare + daily recalibration": (None, True),
+    }
+    rows = []
+    for label, (membrane, recal) in scenarios.items():
+        errors = simulate_week(membrane, recal, seed=61)
+        rows.append([
+            label,
+            f"{np.mean(errors):.2f}",
+            f"{np.max(errors):.2f}",
+            f"{np.mean(errors[-24:]):.2f}",
+        ])
+    print(render_table(
+        ["strategy", "mean |err| mM", "worst |err| mM", "day-7 mean mM"],
+        rows, title=f"one week of continuous glucose monitoring "
+                    f"({FOULING_PER_DAY:.0%}/day fouling)"))
+    print("\nthe membrane trades a little signal for most of the drift;")
+    print("daily recalibration fixes gain drift at the cost of a daily "
+          "reference measurement — implants combine both (refs. [3][6]).")
+
+
+if __name__ == "__main__":
+    main()

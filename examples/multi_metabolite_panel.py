@@ -1,0 +1,70 @@
+"""The Fig. 4 experience: one chip, one sample, six answers.
+
+Builds the paper's five-electrode silicon biointerface (glucose, lactate,
+glutamate, CYP2B4 for benzphetamine + aminopyrine, CYP11A1 for
+cholesterol), wets it with a mid-range sample, and runs the multiplexed
+assay through the integrated acquisition chain — chronoamperometry on the
+oxidase electrodes, cyclic voltammetry with peak assignment on the
+cytochrome electrodes.
+
+Run:  python examples/multi_metabolite_panel.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import (
+    PAPER_PANEL_MID_CONCENTRATIONS,
+    integrated_chain,
+    paper_biointerface,
+    paper_panel_cell,
+)
+from repro.io.tables import render_table
+from repro.measurement import PanelProtocol
+from repro.units import v_to_mv
+
+
+def main() -> None:
+    chip = paper_biointerface()
+    print(chip.layout_summary())
+
+    sample = dict(PAPER_PANEL_MID_CONCENTRATIONS)
+    print("\nsample loading (mM):",
+          ", ".join(f"{k}={v:g}" for k, v in sample.items()))
+
+    cell = paper_panel_cell(sample)
+    chain = integrated_chain("cyp_micro", n_channels=5, seed=11)
+    print(f"\nchain: {chain.describe()}")
+
+    protocol = PanelProtocol()
+    result = protocol.run(cell, chain, rng=np.random.default_rng(11))
+
+    rows = []
+    for target, loading in sample.items():
+        readout = result.readouts.get(target)
+        if readout is None:
+            rows.append([target, f"{loading:g}", "-", "NOT RECOVERED", "-"])
+            continue
+        peak = (f"{v_to_mv(readout.peak.potential):+.0f} mV"
+                if readout.peak else "steady current")
+        rows.append([target, f"{loading:g}", readout.we_name,
+                     f"{readout.signal * 1e9:.1f} nA", peak])
+    print()
+    print(render_table(
+        ["target", "loaded mM", "electrode", "signal", "identified by"],
+        rows, title="multiplexed panel readout"))
+    print(f"\nassay time: {result.assay_time:.0f} s "
+          f"(sequential scan over 5 electrodes)")
+
+    benz = result.readouts["benzphetamine"]
+    amino = result.readouts["aminopyrine"]
+    print(f"\nthe CYP2B4 electrode ({benz.we_name}) resolved two drugs on "
+          f"one surface:")
+    print(f"  benzphetamine peak at {v_to_mv(benz.peak.potential):+.0f} mV, "
+          f"aminopyrine at {v_to_mv(amino.peak.potential):+.0f} mV "
+          f"(paper: -250 / -400 mV)")
+
+
+if __name__ == "__main__":
+    main()

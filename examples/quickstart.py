@@ -1,0 +1,81 @@
+"""Quickstart: build a glucose biosensor and measure a sample.
+
+This walks the shortest path through the library:
+
+1. get the calibrated glucose-oxidase sensor from the catalog (the
+   screen-printed CNT electrode behind Table III's 27.7 uA/(mM cm^2)),
+2. hold it at the Table I potential (+550 mV vs Ag/AgCl) with a
+   laboratory-grade acquisition chain,
+3. inject glucose and watch the Fig. 3 transient,
+4. calibrate and read an unknown sample back in millimolar.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import run_calibration, steady_state_response_time
+from repro.chem import InjectionSchedule
+from repro.data import bench_chain, reference_cell
+from repro.io.tables import render_table
+from repro.measurement import Chronoamperometry
+from repro.units import sensitivity_to_paper, si_to_um_conc
+
+E_APPLIED = 0.550  # Table I: glucose oxidase, +550 mV vs Ag/AgCl
+
+
+def main() -> None:
+    # --- 1. sensor and electronics -------------------------------------
+    cell = reference_cell("glucose")
+    chain = bench_chain(seed=7)
+    we = cell.working_electrodes[0]
+    print(f"sensor : {we.functionalization.probe.display_name} on "
+          f"{we.material.display_name}, {we.area * 1e6:.2f} mm^2")
+    print(f"chain  : {chain.describe()}")
+
+    # --- 2. one injection, one transient (the Fig. 3 experiment) -------
+    protocol = Chronoamperometry(
+        e_setpoint=E_APPLIED, duration=90.0, sample_rate=5.0,
+        injections=InjectionSchedule.single(10.0, "glucose", 2.0))
+    result = protocol.run(cell, we.name, chain,
+                          rng=np.random.default_rng(7))
+    trace = result.trace.smoothed(21)
+    t90 = steady_state_response_time(trace, 10.0)
+    print(f"\ninjected 2 mM glucose at t=10 s:")
+    print(f"  steady current : {trace.tail_mean() * 1e6:.2f} uA")
+    print(f"  response time  : {t90:.0f} s to 90 % "
+          f"(the paper's Fig. 3 shows ~30 s)")
+
+    # --- 3. calibration ladder ------------------------------------------
+    def signal_at(c: float) -> tuple[float, float]:
+        cell.chamber.set_bulk("glucose", c)
+        true = cell.measured_current(we.name, E_APPLIED)
+        return chain.measure_constant(true, duration=5.0, we=we)
+
+    curve = run_calibration(signal_at, list(np.linspace(0.5, 5.0, 8)))
+    sensitivity = curve.sensitivity(c_low=0.5, c_high=4.0) / we.area
+    low, high = curve.linear_range(nl_fraction=0.06)
+    print("\ncalibration (paper Table III values in parentheses):")
+    rows = [
+        ["sensitivity",
+         f"{sensitivity_to_paper(sensitivity):.1f} uA/(mM cm^2)", "(27.7)"],
+        ["limit of detection",
+         f"{si_to_um_conc(curve.limit_of_detection()):.0f} uM", "(575)"],
+        ["linear range", f"{low:.2g} - {high:.2g} mM", "(0.5 - 4)"],
+    ]
+    print(render_table(["metric", "measured", "paper"], rows))
+
+    # --- 4. read an unknown sample ---------------------------------------
+    unknown = 2.7  # mM, pretend we do not know this
+    cell.chamber.set_bulk("glucose", unknown)
+    mean, _ = chain.measure_constant(
+        cell.measured_current(we.name, E_APPLIED), duration=5.0, we=we)
+    estimate = curve.concentration_from_signal(mean, c_low=low, c_high=high)
+    print(f"\nunknown sample: estimated {estimate:.2f} mM "
+          f"(true {unknown:.2f} mM)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The pyproject.toml deliberately omits a [build-system] table so that
+``pip install -e .`` works in fully offline environments (PEP 517 build
+isolation would try to download setuptools from PyPI).  All metadata lives
+in pyproject.toml; this file only hands control to setuptools.
+"""
+from setuptools import setup
+
+setup()

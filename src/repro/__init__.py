@@ -1,0 +1,66 @@
+"""repro — An Integrated Platform for Advanced Diagnostics (DATE 2011).
+
+A full-system reproduction of De Micheli et al.'s biosensing-platform
+paper: electrochemistry (oxidase and cytochrome-P450 probes, diffusion,
+chronoamperometry, cyclic voltammetry), physical sensors (electrodes,
+functionalization, multi-electrode chips, arrays), the electronic
+acquisition chain (potentiostat, TIA, mux, ADC, noise strategies), the
+Sec. II-B metrics (LOD, sensitivity, linearity, response time,
+throughput), and the paper's central proposition — platform-based
+design-space exploration for multi-target biosensors.
+
+Quickstart::
+
+    import repro
+
+    cell = repro.data.paper_panel_cell()
+    chain = repro.data.integrated_chain("cyp", n_channels=5)
+    result = repro.measurement.PanelProtocol().run(cell, chain)
+    print(result.readouts["glucose"].signal)
+
+Subpackages
+-----------
+``repro.chem``
+    Species, enzyme kinetics, redox laws, diffusion solver.
+``repro.sensors``
+    Materials, electrodes, cells, the Fig. 4 biointerface, arrays.
+``repro.electronics``
+    Waveforms, potentiostat, TIA, ADC, mux, noise, the full chain.
+``repro.measurement``
+    Chronoamperometry, cyclic voltammetry, peak analysis, panels.
+``repro.analysis``
+    The Sec. II-B metric definitions and calibration machinery.
+``repro.core``
+    Targets, component library, design rules, DSE, Pareto, platforms.
+``repro.data``
+    Tables I/II/III as data plus calibrated factories.
+``repro.io``
+    ASCII tables and CSV/JSON export.
+"""
+
+from repro import analysis, chem, core, data, electronics, io, measurement, sensors
+from repro.errors import (
+    AnalysisError,
+    CalibrationError,
+    ChemistryError,
+    DesignError,
+    ElectronicsError,
+    InfeasibleDesignError,
+    ProtocolError,
+    ReproError,
+    SensorError,
+    SimulationError,
+    SpecError,
+    UnitsError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "chem", "sensors", "electronics", "measurement", "analysis",
+    "core", "data", "io",
+    "ReproError", "UnitsError", "ChemistryError", "SimulationError",
+    "SensorError", "ElectronicsError", "ProtocolError", "AnalysisError",
+    "CalibrationError", "DesignError", "InfeasibleDesignError", "SpecError",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Metric extraction: the Sec. II-B properties, calibrations, blanks."""
+
+from repro.analysis.baseline import blank_statistics, trace_baseline
+from repro.analysis.drift import GainDriftModel, OnePointRecalibration
+from repro.analysis.calibration import (
+    CalibrationCurve,
+    CalibrationPoint,
+    run_calibration,
+)
+from repro.analysis.selectivity import (
+    CrossResponseMatrix,
+    cross_response_matrix,
+)
+from repro.analysis.metrics import (
+    average_sensitivity,
+    lod_concentration,
+    lod_signal,
+    max_nonlinearity,
+    sample_throughput,
+    selectivity_ratio,
+    steady_state_response_time,
+    transient_response_time,
+)
+
+__all__ = [
+    "lod_signal", "lod_concentration", "average_sensitivity",
+    "max_nonlinearity", "steady_state_response_time",
+    "transient_response_time", "sample_throughput", "selectivity_ratio",
+    "CalibrationPoint", "CalibrationCurve", "run_calibration",
+    "trace_baseline", "blank_statistics",
+    "GainDriftModel", "OnePointRecalibration",
+    "CrossResponseMatrix", "cross_response_matrix",
+]

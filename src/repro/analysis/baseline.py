@@ -1,0 +1,66 @@
+"""Blank and baseline estimation.
+
+The LOD definition of the paper (eq. 5) stands on the *blank*: the mean
+``Vb`` and standard deviation ``sigma_b`` of the signal with no analyte.
+This module measures blanks through the acquisition chain and estimates
+pre-event baselines on recorded traces.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.electronics.chain import AcquisitionChain
+from repro.errors import AnalysisError
+from repro.measurement.trace import Trace
+from repro.sensors.cell import ElectrochemicalCell
+from repro.units import ensure_positive
+
+__all__ = ["trace_baseline", "blank_statistics"]
+
+
+def trace_baseline(trace: Trace, t_event: float) -> tuple[float, float]:
+    """(mean, std) of the trace before ``t_event``.
+
+    Raises when fewer than 4 pre-event samples exist — a baseline from
+    less data is not meaningful for LOD work.
+    """
+    mask = trace.times < t_event
+    if int(np.count_nonzero(mask)) < 4:
+        raise AnalysisError(
+            f"fewer than 4 samples before t={t_event}; record a longer "
+            f"pre-injection window")
+    values = trace.current[mask]
+    return float(np.mean(values)), float(np.std(values))
+
+
+def blank_statistics(cell: ElectrochemicalCell, we_name: str,
+                     chain: AcquisitionChain, e_applied: float,
+                     duration: float = 10.0, repeats: int = 5,
+                     rng: np.random.Generator | None = None,
+                     ) -> tuple[float, float]:
+    """Measure (Vb, sigma_b) of one WE with the chamber as-is.
+
+    Runs ``repeats`` fixed-potential acquisitions of ``duration`` seconds
+    each through the chain and pools within-run noise with between-run
+    scatter.  Call with an analyte-free chamber for a true blank; calling
+    with analyte present measures the working baseline instead.
+    """
+    ensure_positive(duration, "duration")
+    if repeats < 2:
+        raise AnalysisError("need at least 2 blank repeats")
+    generator = rng if rng is not None else np.random.default_rng(1980)
+    we = cell.working_electrode(we_name)
+    true_current = cell.measured_current(we_name, e_applied)
+    means = []
+    stds = []
+    for _ in range(repeats):
+        mean, std = chain.measure_constant(
+            true_current, duration=duration, we=we, rng=generator)
+        means.append(mean)
+        stds.append(std)
+    within = float(np.mean(stds))
+    between = float(np.std(means))
+    return float(np.mean(means)), math.hypot(within, between)

@@ -1,0 +1,127 @@
+"""Long-term drift models and recalibration strategies.
+
+The paper motivates implantable, long-term monitoring (refs. [3]-[6]) and
+names polymer membranes as the stability measure (Sec. III).  This module
+provides the two tools a long-term deployment needs:
+
+- :class:`GainDriftModel` — sensitivity loss over time (biofouling,
+  enzyme deactivation), optionally suppressed by a membrane,
+- :class:`OnePointRecalibration` — the classic CGM procedure: a
+  reference measurement re-anchors the calibration slope; the class
+  tracks the corrected calibration and converts signals to
+  concentrations between recalibrations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.units import ensure_non_negative, ensure_positive
+
+__all__ = ["GainDriftModel", "OnePointRecalibration"]
+
+
+@dataclass(frozen=True)
+class GainDriftModel:
+    """Exponential sensitivity decay: gain(t) = exp(-rate * suppressed_t).
+
+    ``rate`` is the fractional loss per second for small losses
+    (biofouling, enzyme deactivation); ``suppression`` in [0, 1) is the
+    fraction of the drift a stabilising membrane removes
+    (:attr:`~repro.sensors.functionalization.Membrane.drift_suppression`).
+    Exponential rather than linear so the gain never goes negative on
+    long horizons.
+    """
+
+    rate: float
+    suppression: float = 0.0
+
+    def __post_init__(self) -> None:
+        ensure_non_negative(self.rate, "rate")
+        if not 0.0 <= self.suppression < 1.0:
+            raise AnalysisError("suppression must be in [0, 1)")
+
+    @classmethod
+    def per_day(cls, fraction_per_day: float,
+                suppression: float = 0.0) -> "GainDriftModel":
+        """Build from a per-day fractional loss (the natural lab unit)."""
+        ensure_non_negative(fraction_per_day, "fraction_per_day")
+        if fraction_per_day >= 1.0:
+            raise AnalysisError("fraction_per_day must be < 1")
+        rate = -math.log(1.0 - fraction_per_day) / 86400.0
+        return cls(rate=rate, suppression=suppression)
+
+    def gain(self, t: float) -> float:
+        """Remaining sensitivity fraction after ``t`` seconds."""
+        ensure_non_negative(t, "t")
+        return math.exp(-self.rate * (1.0 - self.suppression) * t)
+
+    def time_to_gain(self, gain: float) -> float:
+        """Seconds until the sensitivity falls to ``gain`` (0 < gain < 1).
+
+        Infinite when the (suppressed) drift rate is zero.
+        """
+        if not 0.0 < gain < 1.0:
+            raise AnalysisError("gain must be in (0, 1)")
+        effective = self.rate * (1.0 - self.suppression)
+        if effective == 0.0:
+            return float("inf")
+        return -math.log(gain) / effective
+
+
+class OnePointRecalibration:
+    """Slope re-anchoring against a reference measurement.
+
+    Parameters
+    ----------
+    slope, intercept:
+        The day-0 calibration (signal = slope * concentration +
+        intercept); slope must be nonzero.
+
+    The intercept (blank level) is assumed stable — drift attacks the
+    *gain* in this model; CDS/chopping handle baseline drift upstream.
+    """
+
+    def __init__(self, slope: float, intercept: float = 0.0) -> None:
+        if slope == 0.0 or not math.isfinite(slope):
+            raise AnalysisError("calibration slope must be finite nonzero")
+        self._slope = float(slope)
+        self._intercept = float(intercept)
+        self._initial_slope = float(slope)
+        self.recalibration_count = 0
+
+    @property
+    def slope(self) -> float:
+        """The currently active slope."""
+        return self._slope
+
+    @property
+    def gain_estimate(self) -> float:
+        """Apparent remaining sensitivity vs day 0 (slope ratio)."""
+        return self._slope / self._initial_slope
+
+    def concentration(self, signal: float) -> float:
+        """Invert the active calibration."""
+        return (float(signal) - self._intercept) / self._slope
+
+    def recalibrate(self, signal: float, true_concentration: float) -> float:
+        """Re-anchor the slope with one reference point; returns it.
+
+        ``true_concentration`` comes from the reference method (a
+        fingerstick in CGM practice) and must be positive.
+        """
+        ensure_positive(true_concentration, "true_concentration")
+        new_slope = (float(signal) - self._intercept) / true_concentration
+        if new_slope == 0.0 or not math.isfinite(new_slope):
+            raise AnalysisError(
+                "recalibration produced a degenerate slope; the signal "
+                "equals the intercept — check the reference sample")
+        if new_slope * self._initial_slope < 0.0:
+            raise AnalysisError(
+                "recalibration flipped the calibration sign; the sensor "
+                "is no longer functional")
+        self._slope = new_slope
+        self.recalibration_count += 1
+        return new_slope

@@ -1,0 +1,187 @@
+"""The acquisition-chain quality metrics of paper Sec. II-B.
+
+Every definition follows the paper (and its cited recommendations):
+
+- **Limit of detection** (eq. 5, ACS committee [24]):
+  ``LOD = Vb + 3*sigma_b`` in signal units; the smallest *concentration*
+  distinguishable from blank is ``3*sigma_b / S`` for sensitivity S.
+- **Sensitivity** (eq. 6): ``Savg = dV/dC`` over the measured range.
+- **Linearity** (eq. 7):
+  ``NLmax = max |V_C - V_C0 - Savg*(C - C0)|``.
+- **Response times**: steady-state response time = time to 90 % of the
+  steady response; transient response time = time where dV/dt peaks.
+- **Sample throughput**: measurements per unit time, from transient plus
+  recovery time.
+- **Selectivity**: discrimination ratio between target and interferent
+  responses.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.measurement.trace import Trace
+from repro.units import ensure_non_negative, ensure_positive
+
+__all__ = [
+    "lod_signal",
+    "lod_concentration",
+    "average_sensitivity",
+    "max_nonlinearity",
+    "steady_state_response_time",
+    "transient_response_time",
+    "sample_throughput",
+    "selectivity_ratio",
+]
+
+
+def lod_signal(blank_mean: float, blank_std: float,
+               confidence: float = 3.0) -> float:
+    """Paper eq. (5): LOD = Vb + 3*sigma_b, in signal units.
+
+    The default ``confidence=3`` is the ACS recommendation the paper
+    quotes ("a definite risk of less than 7 % for false positive").
+    """
+    ensure_non_negative(blank_std, "blank_std")
+    ensure_positive(confidence, "confidence")
+    return blank_mean + confidence * blank_std
+
+
+def lod_concentration(blank_std: float, sensitivity: float,
+                      confidence: float = 3.0) -> float:
+    """Smallest detectable concentration, ``3*sigma_b / |S|``.
+
+    ``sensitivity`` is the calibration slope in signal units per
+    concentration unit; its sign is irrelevant (CYP reduction currents
+    are negative).
+    """
+    ensure_non_negative(blank_std, "blank_std")
+    ensure_positive(confidence, "confidence")
+    if sensitivity == 0.0 or not math.isfinite(sensitivity):
+        raise AnalysisError(
+            f"sensitivity must be nonzero and finite, got {sensitivity!r}")
+    return confidence * blank_std / abs(sensitivity)
+
+
+def average_sensitivity(concentrations: np.ndarray,
+                        signals: np.ndarray) -> float:
+    """Paper eq. (6): Savg = delta(V) / delta(C) over the measured range.
+
+    Uses the endpoint definition of the paper (range edges), which equals
+    the least-squares slope for perfectly linear data and is the paper's
+    stated estimator otherwise.
+    """
+    c, v = _as_curve(concentrations, signals)
+    span = c[-1] - c[0]
+    if span <= 0.0:
+        raise AnalysisError("concentration range must have positive span")
+    return float((v[-1] - v[0]) / span)
+
+
+def max_nonlinearity(concentrations: np.ndarray, signals: np.ndarray,
+                     reference_index: int = 0) -> float:
+    """Paper eq. (7): NLmax = max |V_C - V_C0 - Savg*(C - C0)|.
+
+    ``reference_index`` selects C0 (the paper's reference concentration;
+    the lowest measured point by default).  Returned in signal units;
+    divide by the signal span for a fractional figure.
+    """
+    c, v = _as_curve(concentrations, signals)
+    if not 0 <= reference_index < c.size:
+        raise AnalysisError(f"reference_index {reference_index} out of range")
+    savg = average_sensitivity(c, v)
+    c0, v0 = c[reference_index], v[reference_index]
+    deviations = np.abs(v - v0 - savg * (c - c0))
+    return float(np.max(deviations))
+
+
+def steady_state_response_time(trace: Trace, t_event: float,
+                               settle_fraction: float = 0.9,
+                               baseline: float | None = None) -> float:
+    """Time after ``t_event`` to reach ``settle_fraction`` of the step.
+
+    The paper: "the time necessary to reach 90 % of the steady-state
+    response".  The steady level is the tail mean; the pre-event level is
+    ``baseline`` or the mean before the event.  Uses the *last* crossing
+    into the settled band so noise spikes do not fake early settling.
+    """
+    if not 0.0 < settle_fraction < 1.0:
+        raise AnalysisError("settle_fraction must be in (0, 1)")
+    times, values = trace.times, trace.current
+    after = times >= t_event
+    if int(np.count_nonzero(after)) < 4:
+        raise AnalysisError("too few samples after the event")
+    if baseline is None:
+        before = times < t_event
+        if not np.any(before):
+            baseline = float(values[0])
+        else:
+            baseline = float(np.mean(values[before]))
+    steady = trace.tail_mean()
+    step = steady - baseline
+    if abs(step) <= 0.0:
+        raise AnalysisError("no response step after the event")
+    threshold = baseline + settle_fraction * step
+    t_after = times[after]
+    v_after = values[after]
+    if step > 0:
+        outside = v_after < threshold
+    else:
+        outside = v_after > threshold
+    if not np.any(outside):
+        return float(t_after[0] - t_event)
+    last_outside = int(np.flatnonzero(outside)[-1])
+    if last_outside + 1 >= t_after.size:
+        raise AnalysisError("response never settles inside the record")
+    return float(t_after[last_outside + 1] - t_event)
+
+
+def transient_response_time(trace: Trace, t_event: float) -> float:
+    """Time after ``t_event`` where |dV/dt| is largest (paper Sec. II-B)."""
+    times, values = trace.times, trace.current
+    after = times >= t_event
+    if int(np.count_nonzero(after)) < 4:
+        raise AnalysisError("too few samples after the event")
+    t_after = times[after]
+    slope = np.gradient(values[after], t_after)
+    k = int(np.argmax(np.abs(slope)))
+    return float(t_after[k] - t_event)
+
+
+def sample_throughput(transient_time: float, recovery_time: float) -> float:
+    """Individual samples per hour (paper Sec. II-B).
+
+    One sample occupies the transient response plus the recovery back to
+    baseline.
+    """
+    ensure_positive(transient_time, "transient_time")
+    ensure_non_negative(recovery_time, "recovery_time")
+    return 3600.0 / (transient_time + recovery_time)
+
+
+def selectivity_ratio(target_signal: float, interferent_signal: float) -> float:
+    """Target-to-interferent response ratio at equal concentrations.
+
+    Infinite when the interferent produces no signal at all (ideal
+    enzyme specificity).
+    """
+    if target_signal == 0.0:
+        raise AnalysisError("target signal is zero; sensor does not respond")
+    if interferent_signal == 0.0:
+        return float("inf")
+    return abs(target_signal) / abs(interferent_signal)
+
+
+def _as_curve(concentrations, signals) -> tuple[np.ndarray, np.ndarray]:
+    c = np.asarray(concentrations, dtype=float)
+    v = np.asarray(signals, dtype=float)
+    if c.ndim != 1 or c.size < 2:
+        raise AnalysisError("need at least two calibration points")
+    if v.shape != c.shape:
+        raise AnalysisError("concentrations/signals shape mismatch")
+    if np.any(np.diff(c) <= 0.0):
+        raise AnalysisError("concentrations must be strictly increasing")
+    return c, v

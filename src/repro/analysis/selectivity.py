@@ -1,0 +1,159 @@
+"""Selectivity analysis: how well each electrode ignores everything else.
+
+Sec. II-B: "*Selectivity*.  It measures the ability to discriminate
+between different substances.  Such behavior is principally a function of
+the recognition element, i.e. the enzymes."
+
+The core artifact is the **cross-response matrix**: every working
+electrode's signal when the chamber holds exactly one candidate species.
+A selective panel is near-diagonal; off-diagonal mass comes from three
+physical routes the models capture —
+
+- **direct oxidisers** (dopamine, etoposide) respond on *every*
+  electrode, including blanks (the CDS caveat),
+- **H2O2 cross-talk** couples co-chambered oxidase electrodes,
+- **shared CYP isoforms** respond to all of their substrates (resolved
+  only by CV peak position, not by chronoamperometry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import selectivity_ratio
+from repro.errors import AnalysisError
+from repro.io.tables import render_table
+from repro.sensors.cell import ElectrochemicalCell
+from repro.units import ensure_positive
+
+__all__ = ["CrossResponseMatrix", "cross_response_matrix"]
+
+
+@dataclass(frozen=True)
+class CrossResponseMatrix:
+    """WE-by-species steady-state responses at a fixed potential.
+
+    ``responses[we][species]`` is the baseline-corrected current (A) of
+    electrode ``we`` with only ``species`` present at its probe
+    concentration.  ``concentrations`` records the loading used per
+    species.
+    """
+
+    e_applied: float
+    we_names: tuple[str, ...]
+    species: tuple[str, ...]
+    responses: dict[str, dict[str, float]]
+    concentrations: dict[str, float]
+    primary_targets: dict[str, tuple[str, ...]]
+
+    def response(self, we_name: str, species: str) -> float:
+        try:
+            return self.responses[we_name][species]
+        except KeyError:
+            raise AnalysisError(
+                f"no response recorded for ({we_name!r}, {species!r})"
+            ) from None
+
+    def selectivity(self, we_name: str, interferent: str) -> float:
+        """Primary-target-to-interferent ratio for one electrode.
+
+        The primary signal is the largest response among the electrode's
+        own targets.  Infinite when the interferent gives no signal.
+        """
+        own = self.primary_targets.get(we_name, ())
+        if not own:
+            raise AnalysisError(
+                f"electrode {we_name!r} has no primary target "
+                f"(blank electrodes have no selectivity)")
+        primary = max(abs(self.response(we_name, t)) for t in own)
+        if primary == 0.0:
+            raise AnalysisError(
+                f"electrode {we_name!r} does not respond to its own "
+                f"target(s) — selectivity undefined")
+        return selectivity_ratio(primary, self.response(we_name, interferent))
+
+    def worst_interferent(self, we_name: str) -> tuple[str, float]:
+        """The species with the lowest selectivity ratio for ``we_name``.
+
+        Species that are the electrode's own targets are excluded.
+        """
+        own = set(self.primary_targets.get(we_name, ()))
+        worst_name, worst_ratio = "", float("inf")
+        for name in self.species:
+            if name in own:
+                continue
+            ratio = self.selectivity(we_name, name)
+            if ratio < worst_ratio:
+                worst_name, worst_ratio = name, ratio
+        if not worst_name:
+            raise AnalysisError(f"no interferents evaluated for {we_name!r}")
+        return worst_name, worst_ratio
+
+    def render(self, scale: float = 1.0e9, unit: str = "nA") -> str:
+        """ASCII matrix, one row per electrode."""
+        headers = ["WE \\ species"] + [s[:12] for s in self.species]
+        rows = []
+        for we in self.we_names:
+            row = [we]
+            for s in self.species:
+                value = self.responses[we][s] * scale
+                marker = "*" if s in self.primary_targets.get(we, ()) else ""
+                row.append(f"{value:.2f}{marker}")
+            rows.append(row)
+        table = render_table(headers, rows,
+                             title=f"cross-response matrix ({unit}; "
+                                   f"* = electrode's own target)")
+        return table
+
+
+def cross_response_matrix(cell: ElectrochemicalCell, e_applied: float,
+                          species: tuple[str, ...] | None = None,
+                          concentration: float = 1.0,
+                          ) -> CrossResponseMatrix:
+    """Measure the steady-state cross-response matrix of a cell.
+
+    Each species is loaded alone at ``concentration`` (mol/m^3) into a
+    copy of the chamber; every WE's baseline-corrected current is
+    recorded.  ``species`` defaults to the union of all electrode
+    targets.
+
+    Uses the steady-state fast path (no transients, no chain noise): the
+    matrix characterises the *chemistry*, which is where the paper
+    locates selectivity.
+    """
+    ensure_positive(concentration, "concentration")
+    if species is None:
+        species = cell.targets()
+    if not species:
+        raise AnalysisError("no species to evaluate")
+    we_names = cell.we_names()
+
+    primary: dict[str, tuple[str, ...]] = {}
+    for we in cell.working_electrodes:
+        primary[we.name] = we.targets()
+
+    # Baselines: empty chamber.
+    empty = cell.chamber.copy()
+    for name in list(empty.species_present()):
+        empty.set_bulk(name, 0.0)
+    baselines = {}
+    original = cell.chamber
+    try:
+        cell.chamber = empty
+        for we_name in we_names:
+            baselines[we_name] = cell.measured_current(we_name, e_applied)
+        responses: dict[str, dict[str, float]] = {w: {} for w in we_names}
+        for s in species:
+            loaded = empty.copy()
+            loaded.set_bulk(s, concentration)
+            cell.chamber = loaded
+            for we_name in we_names:
+                value = cell.measured_current(we_name, e_applied)
+                responses[we_name][s] = value - baselines[we_name]
+    finally:
+        cell.chamber = original
+    return CrossResponseMatrix(
+        e_applied=e_applied, we_names=we_names, species=tuple(species),
+        responses=responses,
+        concentrations={s: concentration for s in species},
+        primary_targets=primary)

@@ -1,0 +1,102 @@
+"""Electrochemistry substrate: species, kinetics, redox laws, diffusion.
+
+This subpackage is the physics the rest of the library stands on.  It is
+deliberately independent of sensors and electronics — everything here is
+solution-side chemistry and numerics.
+"""
+
+from repro.chem.analytic import (
+    cottrell_current,
+    diffusion_limited_current,
+    mass_transfer_coefficient,
+    microdisk_response_time,
+    microdisk_steady_state_current,
+    planar_response_time,
+    randles_sevcik_peak_current,
+    reversible_half_peak_width,
+    reversible_peak_potential,
+)
+from repro.chem.constants import (
+    DOUBLE_LAYER_CAPACITANCE,
+    ELECTRONS_PER_CYP_TURNOVER,
+    ELECTRONS_PER_H2O2,
+    FARADAY,
+    F_OVER_RT,
+    GAS_CONSTANT,
+    NERNST_LAYER_QUIESCENT,
+    STANDARD_TEMPERATURE,
+    f_over_rt,
+    thermal_voltage,
+)
+from repro.chem.diffusion import (
+    CrankNicolsonDiffusion,
+    Grid1D,
+    default_domain_length,
+    thomas_solve,
+)
+from repro.chem.enzymes import (
+    CypSubstrateChannel,
+    CytochromeP450,
+    Enzyme,
+    Oxidase,
+    ProstheticGroup,
+)
+from repro.chem.kinetics import (
+    MichaelisMentenFilm,
+    competitive_inhibition,
+    linear_range_upper_bound,
+    michaelis_menten,
+    michaelis_menten_inverse,
+    steady_state_surface_concentration,
+    steady_state_turnover_flux,
+)
+from repro.chem.redox import (
+    ButlerVolmerKinetics,
+    OxidationEfficiency,
+    RedoxCouple,
+    butler_volmer_current_density,
+    nernst_potential,
+    nernst_ratio,
+)
+from repro.chem.solution import Chamber, Injection, InjectionSchedule
+from repro.chem.species import (
+    ENDOGENOUS_METABOLITES,
+    EXOGENOUS_DRUGS,
+    Species,
+    get_species,
+    has_species,
+    register_species,
+    species_names,
+)
+
+__all__ = [
+    # constants
+    "FARADAY", "GAS_CONSTANT", "STANDARD_TEMPERATURE", "F_OVER_RT",
+    "NERNST_LAYER_QUIESCENT", "DOUBLE_LAYER_CAPACITANCE",
+    "ELECTRONS_PER_H2O2", "ELECTRONS_PER_CYP_TURNOVER",
+    "f_over_rt", "thermal_voltage",
+    # species
+    "Species", "get_species", "has_species", "register_species",
+    "species_names", "ENDOGENOUS_METABOLITES", "EXOGENOUS_DRUGS",
+    # kinetics
+    "MichaelisMentenFilm", "michaelis_menten", "michaelis_menten_inverse",
+    "competitive_inhibition", "steady_state_surface_concentration",
+    "steady_state_turnover_flux", "linear_range_upper_bound",
+    # redox
+    "RedoxCouple", "OxidationEfficiency", "ButlerVolmerKinetics",
+    "nernst_potential", "nernst_ratio", "butler_volmer_current_density",
+    # enzymes
+    "ProstheticGroup", "Enzyme", "Oxidase", "CytochromeP450",
+    "CypSubstrateChannel",
+    # diffusion
+    "Grid1D", "CrankNicolsonDiffusion", "thomas_solve",
+    "default_domain_length",
+    # analytic
+    "cottrell_current", "randles_sevcik_peak_current",
+    "reversible_peak_potential", "reversible_half_peak_width",
+    "microdisk_steady_state_current", "microdisk_response_time",
+    "planar_response_time", "mass_transfer_coefficient",
+    "diffusion_limited_current",
+    # solution
+    "Chamber", "Injection", "InjectionSchedule",
+]

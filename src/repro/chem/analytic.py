@@ -1,0 +1,180 @@
+"""Closed-form electrochemical reference solutions.
+
+These textbook results serve two purposes: they are the fast analytic path
+for design-space exploration (where thousands of candidate platforms are
+scored), and they validate the numerical solvers (property tests compare
+the Crank-Nicolson output against them).
+
+- **Cottrell equation** — current after a potential step to a
+  diffusion-limited regime.
+- **Randles-Sevcik equation** — peak current of a reversible voltammetric
+  wave (the CYP quantification law: peak height proportional to
+  concentration and sqrt(scan rate)).
+- **Reversible peak position/width** — what makes CV an "electrochemical
+  signature" (paper Sec. I-B): peak potential tracks the formal potential.
+- **Microelectrode steady state** — why scaling electrodes down shortens
+  measurements (paper Sec. III).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.chem import constants as C
+from repro.errors import ChemistryError
+from repro.units import ensure_non_negative, ensure_positive
+
+__all__ = [
+    "cottrell_current",
+    "cottrell_charge",
+    "randles_sevcik_peak_current",
+    "reversible_peak_potential",
+    "reversible_half_peak_width",
+    "microdisk_steady_state_current",
+    "microdisk_response_time",
+    "planar_response_time",
+    "mass_transfer_coefficient",
+    "diffusion_limited_current",
+]
+
+
+def cottrell_current(n: int, area: float, c_bulk: float, diffusivity: float,
+                     t: float) -> float:
+    """Cottrell current i(t) = n F A C sqrt(D / (pi t)), amperes.
+
+    Valid for a planar electrode after a step to a potential where the
+    surface concentration is driven to zero.
+    """
+    _check_nac(n, area, c_bulk)
+    ensure_positive(diffusivity, "diffusivity")
+    ensure_positive(t, "t")
+    return n * C.FARADAY * area * c_bulk * math.sqrt(diffusivity / (math.pi * t))
+
+
+def cottrell_charge(n: int, area: float, c_bulk: float, diffusivity: float,
+                    t: float) -> float:
+    """Charge passed up to time t under Cottrell decay, coulombs.
+
+    Q(t) = 2 n F A C sqrt(D t / pi) — the integral of the Cottrell current.
+    """
+    _check_nac(n, area, c_bulk)
+    ensure_positive(diffusivity, "diffusivity")
+    ensure_non_negative(t, "t")
+    return 2.0 * n * C.FARADAY * area * c_bulk * math.sqrt(diffusivity * t / math.pi)
+
+
+def randles_sevcik_peak_current(n: int, area: float, c_bulk: float,
+                                diffusivity: float, scan_rate: float,
+                                temperature_k: float = C.STANDARD_TEMPERATURE,
+                                ) -> float:
+    """Reversible voltammetric peak current, amperes.
+
+    ip = 0.4463 n F A C sqrt(n F v D / (R T)).  The linearity of ip in C is
+    what lets CYP sensors quantify drugs from peak height (Sec. I-B).
+    """
+    _check_nac(n, area, c_bulk)
+    ensure_positive(diffusivity, "diffusivity")
+    ensure_positive(scan_rate, "scan_rate")
+    f = C.f_over_rt(temperature_k)
+    return (C.RANDLES_SEVCIK_COEFFICIENT * n * C.FARADAY * area * c_bulk
+            * math.sqrt(n * f * scan_rate * diffusivity))
+
+
+def reversible_peak_potential(e_formal: float, n: int, cathodic: bool = True,
+                              temperature_k: float = C.STANDARD_TEMPERATURE,
+                              ) -> float:
+    """Peak potential of a reversible wave, volts.
+
+    The cathodic (reduction) peak sits ``1.109 RT/nF`` (about 28.5/n mV)
+    **below** the formal potential; the anodic peak the same amount above.
+    The peak positions in Table II are read off this way.
+    """
+    if n < 1:
+        raise ChemistryError(f"n must be >= 1, got {n}")
+    offset = C.REVERSIBLE_PEAK_OFFSET / (n * C.f_over_rt(temperature_k))
+    return e_formal - offset if cathodic else e_formal + offset
+
+
+def reversible_half_peak_width(n: int,
+                               temperature_k: float = C.STANDARD_TEMPERATURE,
+                               ) -> float:
+    """Potential distance from peak to half-peak, |Ep - Ep/2| = 2.20 RT/nF.
+
+    About 56.5/n mV at 25 C; twice this is a practical full width.  The
+    design rule for putting two targets on one CYP electrode (paper
+    Sec. III: benzphetamine + aminopyrine on CYP2B4) requires their formal
+    potentials to differ by more than roughly the sum of their half-widths.
+    """
+    if n < 1:
+        raise ChemistryError(f"n must be >= 1, got {n}")
+    return 2.20 / (n * C.f_over_rt(temperature_k))
+
+
+def microdisk_steady_state_current(n: int, radius: float, c_bulk: float,
+                                   diffusivity: float) -> float:
+    """Steady-state current of an inlaid microdisk, i = 4 n F D C r."""
+    if n < 1:
+        raise ChemistryError(f"n must be >= 1, got {n}")
+    ensure_positive(radius, "radius")
+    ensure_non_negative(c_bulk, "c_bulk")
+    ensure_positive(diffusivity, "diffusivity")
+    return 4.0 * n * C.FARADAY * diffusivity * c_bulk * radius
+
+
+def microdisk_response_time(radius: float, diffusivity: float) -> float:
+    """Time for a microdisk to approach its steady state, ~ r^2 / D.
+
+    The r^2 scaling is the quantitative form of the paper's claim that
+    microelectrodes enable "much shorter measurements" (Sec. III).
+    """
+    ensure_positive(radius, "radius")
+    ensure_positive(diffusivity, "diffusivity")
+    return radius * radius / diffusivity
+
+
+def planar_response_time(nernst_layer: float, diffusivity: float,
+                         settle_fraction: float = 0.9) -> float:
+    """Time for a planar electrode to reach ``settle_fraction`` of steady state.
+
+    For diffusion across a Nernst layer of thickness delta the slowest
+    relaxation mode has time constant ``tau = 4 delta^2 / (pi^2 D)``; the
+    90 % settling time is about ``tau * ln(10 * 8/pi^2)`` (first-mode
+    approximation, validated against the numeric solver in tests).
+    """
+    ensure_positive(nernst_layer, "nernst_layer")
+    ensure_positive(diffusivity, "diffusivity")
+    if not 0.0 < settle_fraction < 1.0:
+        raise ChemistryError(
+            f"settle_fraction must be in (0, 1), got {settle_fraction!r}")
+    tau = 4.0 * nernst_layer * nernst_layer / (math.pi * math.pi * diffusivity)
+    # Residual of the first Fourier mode: (8/pi^2) exp(-t/tau).
+    amplitude = 8.0 / (math.pi * math.pi)
+    return tau * math.log(amplitude / (1.0 - settle_fraction))
+
+
+def mass_transfer_coefficient(diffusivity: float, nernst_layer: float) -> float:
+    """Steady-state mass-transfer coefficient m = D / delta, m/s."""
+    ensure_positive(diffusivity, "diffusivity")
+    ensure_positive(nernst_layer, "nernst_layer")
+    return diffusivity / nernst_layer
+
+
+def diffusion_limited_current(n: int, area: float, c_bulk: float,
+                              diffusivity: float, nernst_layer: float) -> float:
+    """Transport-limited steady current, i = n F A (D/delta) C, amperes.
+
+    This is the ceiling of any amperometric sensor's sensitivity: the
+    enzyme film cannot consume substrate faster than diffusion delivers it.
+    Table III's cholesterol/CYP11A1 sensitivity (112 uA/(mM cm^2)) sits
+    essentially at this ceiling; the others below it.
+    """
+    _check_nac(n, area, c_bulk)
+    m = mass_transfer_coefficient(diffusivity, nernst_layer)
+    return n * C.FARADAY * area * m * c_bulk
+
+
+def _check_nac(n: int, area: float, c_bulk: float) -> None:
+    if n < 1:
+        raise ChemistryError(f"n must be >= 1, got {n}")
+    ensure_positive(area, "area")
+    ensure_non_negative(c_bulk, "c_bulk")

@@ -1,0 +1,131 @@
+"""Physical constants and default parameters for electrochemical models.
+
+All constants are in SI units.  ``F_OVER_RT`` is the frequently used
+``f = F / (R*T)`` factor of the Nernst and Butler-Volmer equations at the
+default cell temperature (298.15 K); models that accept a temperature
+recompute it.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "FARADAY",
+    "GAS_CONSTANT",
+    "BOLTZMANN",
+    "STANDARD_TEMPERATURE",
+    "F_OVER_RT",
+    "f_over_rt",
+    "thermal_voltage",
+    "DIFFUSIVITY_GLUCOSE",
+    "DIFFUSIVITY_LACTATE",
+    "DIFFUSIVITY_GLUTAMATE",
+    "DIFFUSIVITY_CHOLESTEROL",
+    "DIFFUSIVITY_H2O2",
+    "DIFFUSIVITY_O2",
+    "DIFFUSIVITY_DRUG_SMALL",
+    "DIFFUSIVITY_DEFAULT",
+    "NERNST_LAYER_QUIESCENT",
+    "DOUBLE_LAYER_CAPACITANCE",
+    "ELECTRONS_PER_H2O2",
+    "ELECTRONS_PER_CYP_TURNOVER",
+    "REVERSIBLE_PEAK_OFFSET",
+    "RANDLES_SEVCIK_COEFFICIENT",
+]
+
+#: Faraday constant, C/mol.
+FARADAY = 96485.33212
+
+#: Molar gas constant, J/(mol*K).
+GAS_CONSTANT = 8.31446261815324
+
+#: Boltzmann constant, J/K (used by thermal-noise models).
+BOLTZMANN = 1.380649e-23
+
+#: Default electrochemical cell temperature, K (25 C).
+STANDARD_TEMPERATURE = 298.15
+
+#: f = F/(R*T) at the standard temperature, 1/V.
+F_OVER_RT = FARADAY / (GAS_CONSTANT * STANDARD_TEMPERATURE)
+
+
+def f_over_rt(temperature_k: float = STANDARD_TEMPERATURE) -> float:
+    """Return f = F/(R*T) in 1/V at the given temperature in kelvin."""
+    if temperature_k <= 0.0 or not math.isfinite(temperature_k):
+        raise ValueError(f"temperature must be positive kelvin, got {temperature_k!r}")
+    return FARADAY / (GAS_CONSTANT * temperature_k)
+
+
+def thermal_voltage(temperature_k: float = STANDARD_TEMPERATURE) -> float:
+    """Return RT/F in volts (about 25.7 mV at 25 C)."""
+    return 1.0 / f_over_rt(temperature_k)
+
+
+# ---------------------------------------------------------------------------
+# Aqueous diffusion coefficients at 25 C, m^2/s.  Literature magnitudes for
+# small molecules in water; used as species defaults (each Species may
+# override).
+# ---------------------------------------------------------------------------
+
+#: Glucose in water, m^2/s.
+DIFFUSIVITY_GLUCOSE = 6.7e-10
+
+#: Lactate in water, m^2/s.
+DIFFUSIVITY_LACTATE = 1.0e-9
+
+#: Glutamate in water, m^2/s.
+DIFFUSIVITY_GLUTAMATE = 7.6e-10
+
+#: Cholesterol (carried in micelles), m^2/s; much slower than free solutes.
+DIFFUSIVITY_CHOLESTEROL = 2.5e-10
+
+#: Hydrogen peroxide in water, m^2/s.  The paper notes the H2O2 diffusion
+#: coefficient is "really low" in the sensing membranes, which is what keeps
+#: inter-electrode cross-talk negligible; the cross-talk model accounts for
+#: the membrane separately.
+DIFFUSIVITY_H2O2 = 1.4e-9
+
+#: Molecular oxygen in water, m^2/s.
+DIFFUSIVITY_O2 = 2.1e-9
+
+#: Generic small drug molecule in water, m^2/s.
+DIFFUSIVITY_DRUG_SMALL = 5.0e-10
+
+#: Fallback when a species has no tabulated diffusivity, m^2/s.
+DIFFUSIVITY_DEFAULT = 6.0e-10
+
+# ---------------------------------------------------------------------------
+# Cell and electrode defaults.
+# ---------------------------------------------------------------------------
+
+#: Effective Nernst diffusion-layer thickness of a quiescent (unstirred)
+#: batch cell, m.  Chosen so a macro (screen-printed) glucose electrode
+#: settles in about 30 s, reproducing paper Fig. 3: the slowest diffusion
+#: mode across delta has tau = 4*delta^2/(pi^2*D); with
+#: D(glucose) = 6.7e-10 m^2/s and delta = 150 um, t90 = tau*ln(8.1) ~ 29 s.
+#: Microelectrodes see a thinner effective layer (min with pi*r/4) and are
+#: faster — the paper's Sec. III scaling argument.
+NERNST_LAYER_QUIESCENT = 1.5e-4
+
+#: Specific double-layer capacitance of a flat metal/solution interface,
+#: F/m^2 (20 uF/cm^2, textbook magnitude).  Background charging current
+#: i = Cdl*A*dE/dt scales with electrode area, which is the paper's
+#: motivation for scaling electrodes down (Sec. III).
+DOUBLE_LAYER_CAPACITANCE = 0.20
+
+#: Electrons collected per H2O2 molecule oxidised at the working electrode.
+#: Paper reaction (3): 2 H2O2 -> 2 H2O + O2 + 4 e-, i.e. 2 e- per H2O2.
+ELECTRONS_PER_H2O2 = 2
+
+#: Electrons per CYP catalytic turnover.  Paper reaction (4):
+#: substrate + O2 + 2 H+ + 2 e- -> product + H2O.
+ELECTRONS_PER_CYP_TURNOVER = 2
+
+#: Peak-to-half-wave offset of a reversible voltammetric wave,
+#: |Ep - E1/2| = 1.109 * RT/(nF) (about 28.5/n mV at 25 C).
+REVERSIBLE_PEAK_OFFSET = 1.109
+
+#: Dimensionless Randles-Sevcik peak-current coefficient for a reversible
+#: wave: ip = 0.4463 * n*F*A*C * sqrt(n*F*v*D/(R*T)).
+RANDLES_SEVCIK_COEFFICIENT = 0.4463

@@ -1,0 +1,233 @@
+"""Enzyme probe models: oxidases and cytochromes P450.
+
+The paper's two probe families (Sec. I-B) map to two classes:
+
+- :class:`Oxidase` — FAD/FMN-mediated catalysis producing H2O2
+  (reactions (1)-(2)), detected by **chronoamperometry**: the H2O2 is
+  oxidised at the working electrode (reaction (3), 2 e- per H2O2) at a
+  fixed applied potential.  Each oxidase wraps a Michaelis-Menten film and
+  the sigmoidal H2O2-collection wave whose saturation point is Table I's
+  "applied potential".
+- :class:`CytochromeP450` — heme-mediated direct electron transfer
+  (reaction (4)), detected by **cyclic voltammetry**: each substrate the
+  isoform metabolises shows a reduction peak at its own potential
+  (Table II), so one electrode can sense several drugs.
+
+Both classes are pure chemistry: electrode area, materials and electronics
+live in :mod:`repro.sensors` and :mod:`repro.electronics`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.chem import constants as C
+from repro.chem.kinetics import MichaelisMentenFilm
+from repro.chem.redox import ButlerVolmerKinetics, OxidationEfficiency, RedoxCouple
+from repro.chem.species import Species, get_species
+from repro.errors import ChemistryError
+from repro.units import ensure_positive
+
+__all__ = [
+    "ProstheticGroup",
+    "Enzyme",
+    "Oxidase",
+    "CypSubstrateChannel",
+    "CytochromeP450",
+]
+
+
+class ProstheticGroup(enum.Enum):
+    """The redox-active group wired to the electrode (paper Sec. I-B)."""
+
+    #: Flavin adenine dinucleotide — glucose, glutamate, cholesterol oxidase.
+    FAD = "FAD"
+    #: Flavin mononucleotide — lactate oxidase.
+    FMN = "FMN"
+    #: Heme — all cytochromes P450.
+    HEME = "heme"
+
+
+@dataclass(frozen=True)
+class Enzyme:
+    """Base class: a named protein probe with a prosthetic group."""
+
+    name: str
+    display_name: str
+    prosthetic_group: ProstheticGroup
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ChemistryError("enzyme name must be non-empty")
+
+
+@dataclass(frozen=True)
+class Oxidase(Enzyme):
+    """An oxidase probe for one endogenous metabolite.
+
+    Parameters
+    ----------
+    substrate:
+        Registry name of the target metabolite.
+    film:
+        Michaelis-Menten kinetics of the immobilised film
+        (vmax in mol/(m^2 s), km in mol/m^3).
+    h2o2_wave:
+        Sigmoidal collection-efficiency wave of the produced H2O2; its
+        95 %-saturation potential reproduces Table I's applied potential.
+    electrons_per_substrate:
+        Electrons collected per substrate turnover.  One H2O2 per
+        substrate (reaction (1)-(2)) and 2 e- per H2O2 (reaction (3))
+        gives the default of 2.
+    """
+
+    substrate: str = ""
+    film: MichaelisMentenFilm = field(
+        default_factory=lambda: MichaelisMentenFilm(vmax=1.0e-6, km=10.0))
+    h2o2_wave: OxidationEfficiency = field(
+        default_factory=lambda: OxidationEfficiency(e_half=0.45))
+    electrons_per_substrate: int = C.ELECTRONS_PER_H2O2
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.prosthetic_group is ProstheticGroup.HEME:
+            raise ChemistryError(
+                f"oxidase {self.name!r} cannot have a heme prosthetic group")
+        if not self.substrate:
+            raise ChemistryError(f"oxidase {self.name!r} needs a substrate")
+        get_species(self.substrate)  # validate eagerly
+        if self.electrons_per_substrate < 1:
+            raise ChemistryError("electrons_per_substrate must be >= 1")
+
+    @property
+    def substrate_species(self) -> Species:
+        """The target metabolite as a :class:`Species`."""
+        return get_species(self.substrate)
+
+    def turnover_flux(self, c_surface: float) -> float:
+        """Substrate (= H2O2 production) flux at the film, mol/(m^2 s)."""
+        return self.film.rate(c_surface)
+
+    def collection_efficiency(self, e_applied: float) -> float:
+        """Fraction of produced H2O2 oxidised at potential ``e_applied``."""
+        return self.h2o2_wave.at(e_applied)
+
+    def faradaic_yield(self, e_applied: float) -> float:
+        """Electrons collected per substrate turnover at ``e_applied``.
+
+        ``electrons_per_substrate * eta(E)`` — multiply by F and the
+        turnover flux for the current density.
+        """
+        return self.electrons_per_substrate * self.collection_efficiency(e_applied)
+
+    def recommended_potential(self, saturation: float = 0.95) -> float:
+        """Smallest applied potential with ``saturation`` of full signal.
+
+        This is the model-side definition of Table I's applied-potential
+        column; the T1 bench *measures* the same point from simulated
+        chronoamperometry sweeps.
+        """
+        return self.h2o2_wave.potential_for_efficiency(saturation)
+
+    def with_film(self, film: MichaelisMentenFilm) -> "Oxidase":
+        """Return a copy with different film kinetics (nanostructuring)."""
+        return Oxidase(
+            name=self.name, display_name=self.display_name,
+            prosthetic_group=self.prosthetic_group, substrate=self.substrate,
+            film=film, h2o2_wave=self.h2o2_wave,
+            electrons_per_substrate=self.electrons_per_substrate,
+        )
+
+
+@dataclass(frozen=True)
+class CypSubstrateChannel:
+    """One drug a CYP isoform can sense: kinetics + signature potential.
+
+    ``kinetics`` wraps the redox couple whose formal potential is the
+    Table II reduction potential; ``efficiency`` scales the electroactive
+    fraction of the drug actually coupled to the electrode (rhodium-
+    graphite electrodes in [16] have low efficiency, hence benzphetamine's
+    0.28 uA/(mM cm^2) sensitivity).  Values slightly above 1 model
+    porous-film preconcentration: nanostructured (CNT) films trap analyte
+    in a thin-layer regime and can exceed the flat-electrode
+    Randles-Sevcik ceiling, as the cholesterol sensor of ref. [15] does.
+    """
+
+    substrate: str
+    kinetics: ButlerVolmerKinetics
+    efficiency: float = 1.0
+    km: float = 5.0  # mol/m^3; saturation of the catalytic response
+
+    def __post_init__(self) -> None:
+        get_species(self.substrate)
+        if not 0.0 < self.efficiency <= 2.0:
+            raise ChemistryError(
+                f"channel {self.substrate!r}: efficiency must be in (0, 2] "
+                f"(above 1 only for porous-film preconcentration)")
+        ensure_positive(self.km, "km")
+
+    @property
+    def reduction_potential(self) -> float:
+        """Formal (signature) potential, V vs Ag/AgCl (Table II)."""
+        return self.kinetics.couple.e_formal
+
+
+@dataclass(frozen=True)
+class CytochromeP450(Enzyme):
+    """A CYP isoform probe able to sense one or more drugs.
+
+    The ``channels`` tuple lists every substrate the isoform senses with
+    its own reduction potential; CYP2B4 carries both benzphetamine
+    (-250 mV) and aminopyrine (-400 mV), which is how one electrode
+    resolves two drugs by peak position (paper Sec. III).
+    """
+
+    channels: tuple[CypSubstrateChannel, ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.prosthetic_group is not ProstheticGroup.HEME:
+            raise ChemistryError(
+                f"cytochrome {self.name!r} must have a heme prosthetic group")
+        if not self.channels:
+            raise ChemistryError(
+                f"cytochrome {self.name!r} needs at least one substrate channel")
+        names = [ch.substrate for ch in self.channels]
+        if len(set(names)) != len(names):
+            raise ChemistryError(
+                f"cytochrome {self.name!r} lists a substrate twice")
+
+    @property
+    def substrates(self) -> tuple[str, ...]:
+        """Registry names of every drug this isoform senses."""
+        return tuple(ch.substrate for ch in self.channels)
+
+    def channel_for(self, substrate: str) -> CypSubstrateChannel:
+        """The sensing channel for ``substrate``.
+
+        Raises :class:`~repro.errors.ChemistryError` when the isoform does
+        not metabolise that drug.
+        """
+        for ch in self.channels:
+            if ch.substrate == substrate:
+                return ch
+        raise ChemistryError(
+            f"cytochrome {self.name!r} does not sense {substrate!r} "
+            f"(senses: {', '.join(self.substrates)})")
+
+    def peak_separation(self) -> float:
+        """Smallest potential gap between any two channels, volts.
+
+        Infinite for single-substrate isoforms.  Feeds the design rule
+        that decides whether several drugs can share the electrode.
+        """
+        potentials = sorted(ch.reduction_potential for ch in self.channels)
+        if len(potentials) < 2:
+            return float("inf")
+        gaps = [b - a for a, b in zip(potentials, potentials[1:])]
+        return min(gaps)
+
+    def couples(self) -> tuple[RedoxCouple, ...]:
+        """All redox couples, one per channel."""
+        return tuple(ch.kinetics.couple for ch in self.channels)

@@ -1,0 +1,179 @@
+"""Enzyme kinetics primitives.
+
+The oxidase and cytochrome films of the paper are modelled with
+Michaelis-Menten surface kinetics: an enzyme film of areal turnover capacity
+``vmax`` (mol of substrate per m^2 of electrode per second) converts
+substrate arriving at surface concentration ``c_surface`` at rate
+
+    v(c) = vmax * c / (km + c)
+
+This module provides the rate law, its inverse problems (which concentration
+gives a target rate), competitive inhibition, and the coupled
+transport-kinetics steady state used as the fast path for calibration
+sweeps: a Nernst diffusion layer of thickness ``delta`` delivers substrate
+at ``J = (D/delta) * (c_bulk - c_surface)`` and the film consumes it at
+``v(c_surface)``; equating the two yields a quadratic in ``c_surface``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ChemistryError
+from repro.units import ensure_non_negative, ensure_positive
+
+__all__ = [
+    "michaelis_menten",
+    "michaelis_menten_inverse",
+    "competitive_inhibition",
+    "MichaelisMentenFilm",
+    "steady_state_surface_concentration",
+    "steady_state_turnover_flux",
+    "linear_range_upper_bound",
+]
+
+
+def michaelis_menten(c, vmax: float, km: float):
+    """Michaelis-Menten rate v = vmax*c/(km+c).
+
+    ``c`` may be a scalar or a numpy array (mol/m^3); negative inputs are
+    clipped to zero (a concentration cannot be negative; solvers may
+    undershoot by rounding).  ``vmax`` is in mol/(m^2 s) for surface films
+    or mol/(m^3 s) for volumetric kinetics; ``km`` in mol/m^3.
+    """
+    ensure_non_negative(vmax, "vmax")
+    ensure_positive(km, "km")
+    c_arr = np.clip(np.asarray(c, dtype=float), 0.0, None)
+    rate = vmax * c_arr / (km + c_arr)
+    if np.isscalar(c) or getattr(c, "ndim", 1) == 0:
+        return float(rate)
+    return rate
+
+
+def michaelis_menten_inverse(rate: float, vmax: float, km: float) -> float:
+    """Concentration at which the film runs at ``rate`` (mol/m^3).
+
+    Raises :class:`~repro.errors.ChemistryError` when ``rate >= vmax``
+    (the hyperbola never reaches vmax).
+    """
+    ensure_non_negative(rate, "rate")
+    ensure_positive(vmax, "vmax")
+    ensure_positive(km, "km")
+    if rate >= vmax:
+        raise ChemistryError(
+            f"rate {rate!r} is unreachable: Michaelis-Menten saturates at vmax={vmax!r}"
+        )
+    return km * rate / (vmax - rate)
+
+
+def competitive_inhibition(c, vmax: float, km: float,
+                           inhibitor: float, ki: float):
+    """Michaelis-Menten with a competitive inhibitor.
+
+    v = vmax*c / (km*(1 + I/ki) + c).  Used to model interfering
+    substrates sharing an enzyme (selectivity analysis).
+    """
+    ensure_non_negative(inhibitor, "inhibitor")
+    ensure_positive(ki, "ki")
+    km_apparent = km * (1.0 + inhibitor / ki)
+    return michaelis_menten(c, vmax, km_apparent)
+
+
+@dataclass(frozen=True)
+class MichaelisMentenFilm:
+    """An immobilised enzyme film characterised by (vmax, km).
+
+    ``vmax`` is the areal maximum turnover, mol/(m^2 s); ``km`` the
+    Michaelis constant, mol/m^3.  The film is the kinetic core of both
+    oxidase and CYP electrode models.
+    """
+
+    vmax: float
+    km: float
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.vmax, "vmax")
+        ensure_positive(self.km, "km")
+
+    def rate(self, c_surface):
+        """Turnover rate at surface concentration ``c_surface``, mol/(m^2 s)."""
+        return michaelis_menten(c_surface, self.vmax, self.km)
+
+    def scaled(self, factor: float) -> "MichaelisMentenFilm":
+        """Return a film with ``vmax`` multiplied by ``factor``.
+
+        Nanostructuring the electrode (CNTs, Sec. III) increases the
+        effective enzyme loading and electroactive area, which this models
+        as a vmax gain.
+        """
+        ensure_positive(factor, "factor")
+        return MichaelisMentenFilm(vmax=self.vmax * factor, km=self.km)
+
+
+def steady_state_surface_concentration(
+    c_bulk: float, film: MichaelisMentenFilm, mass_transfer: float,
+) -> float:
+    """Surface concentration where film turnover balances diffusive supply.
+
+    Solves ``m*(cb - cs) = vmax*cs/(km + cs)`` for ``cs`` where
+    ``m = D/delta`` is the mass-transfer coefficient (m/s).  The physical
+    root of the quadratic
+
+        m*cs^2 + (m*km + vmax - m*cb)*cs - m*km*cb = 0
+
+    is returned (the positive root; the product of roots is negative so
+    exactly one root is positive for cb > 0).
+    """
+    cb = ensure_non_negative(c_bulk, "c_bulk")
+    m = ensure_positive(mass_transfer, "mass_transfer")
+    if cb == 0.0:
+        return 0.0
+    b = m * film.km + film.vmax - m * cb
+    # a = m, c = -m*km*cb; pick the cancellation-free form per sign of b.
+    disc = b * b + 4.0 * m * m * film.km * cb
+    sqrt_disc = math.sqrt(disc)
+    if b > 0.0:
+        # (-b + sqrt) cancels; multiply by the conjugate instead.
+        root = 2.0 * m * film.km * cb / (b + sqrt_disc)
+    else:
+        root = (-b + sqrt_disc) / (2.0 * m)
+    # Rounding can leave a tiny negative number for cb -> 0, and denormal
+    # inputs can round a hair above cb; the physical root lies in [0, cb].
+    return min(max(root, 0.0), cb)
+
+
+def steady_state_turnover_flux(
+    c_bulk: float, film: MichaelisMentenFilm, mass_transfer: float,
+) -> float:
+    """Steady-state substrate turnover flux, mol/(m^2 s).
+
+    This is the flux of product (H2O2 for oxidases) generated per unit
+    electrode area once supply and consumption balance; the electrode
+    current follows as ``i = n * F * A * eta * flux``.
+    """
+    cs = steady_state_surface_concentration(c_bulk, film, mass_transfer)
+    return film.rate(cs)
+
+
+def linear_range_upper_bound(
+    film: MichaelisMentenFilm, mass_transfer: float,
+    non_linearity: float = 0.05,
+) -> float:
+    """Estimate the bulk concentration where the calibration bends.
+
+    The response is linear while the film is far from saturation; the
+    deviation of v(c) from its initial slope reaches the fraction
+    ``non_linearity`` roughly at ``c_surface = 2*nl*km_eff / (1-2*nl)``
+    with ``km_eff`` the transport-corrected Michaelis constant
+    ``km*(1 + vmax/(m*km))``.  This closed form seeds the numeric
+    linear-range search in :mod:`repro.analysis.calibration`.
+    """
+    ensure_positive(non_linearity, "non_linearity")
+    if non_linearity >= 0.5:
+        raise ChemistryError("non_linearity must be < 0.5 for a finite bound")
+    m = ensure_positive(mass_transfer, "mass_transfer")
+    km_eff = film.km * (1.0 + film.vmax / (m * film.km))
+    return 2.0 * non_linearity * km_eff / (1.0 - 2.0 * non_linearity)

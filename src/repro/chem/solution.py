@@ -1,0 +1,165 @@
+"""Bulk solutions, measurement chambers, and injection schedules.
+
+The paper's measurements happen in a batch cell: a chamber holds a buffered
+sample, analyte aliquots are injected over time (Fig. 3 shows the response
+to one glucose injection), and the electrodes see the resulting bulk
+concentrations.  Chambers are well stirred at injection time, so an
+injection updates the bulk concentration instantaneously and the diffusion
+layer at each electrode then re-equilibrates — that re-equilibration *is*
+the measured transient.
+
+Multiple chambers isolate reactions from one another (paper Sec. II:
+"when the electrochemical reactions must be kept separated, each sensor in
+an array must have its own chamber").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chem.species import get_species
+from repro.errors import ChemistryError, ProtocolError
+from repro.units import ensure_non_negative, ensure_positive
+
+__all__ = [
+    "Injection",
+    "InjectionSchedule",
+    "Chamber",
+]
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One analyte addition: at ``time`` the bulk of ``species`` rises.
+
+    ``concentration_step`` is the *increase* of bulk concentration in
+    mol/m^3 (== mM) after mixing, not the aliquot's own concentration;
+    the library works at the level the sensor sees.
+    """
+
+    time: float
+    species: str
+    concentration_step: float
+
+    def __post_init__(self) -> None:
+        ensure_non_negative(self.time, "time")
+        get_species(self.species)
+        ensure_positive(self.concentration_step, "concentration_step")
+
+
+@dataclass(frozen=True)
+class InjectionSchedule:
+    """A time-ordered sequence of injections."""
+
+    injections: tuple[Injection, ...] = ()
+
+    def __post_init__(self) -> None:
+        times = [inj.time for inj in self.injections]
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise ProtocolError("injections must be ordered by time")
+
+    @classmethod
+    def single(cls, time: float, species: str,
+               concentration_step: float) -> "InjectionSchedule":
+        """One injection — the Fig. 3 protocol."""
+        return cls((Injection(time, species, concentration_step),))
+
+    @classmethod
+    def staircase(cls, species: str, step: float, n_steps: int,
+                  interval: float, start: float = 0.0) -> "InjectionSchedule":
+        """Equal additions at regular intervals — a calibration staircase."""
+        ensure_positive(interval, "interval")
+        if n_steps < 1:
+            raise ProtocolError("staircase needs at least one step")
+        injections = tuple(
+            Injection(start + k * interval, species, step)
+            for k in range(n_steps)
+        )
+        return cls(injections)
+
+    @property
+    def duration_hint(self) -> float:
+        """Time of the last injection (protocols add settling time)."""
+        if not self.injections:
+            return 0.0
+        return self.injections[-1].time
+
+    def species_names(self) -> tuple[str, ...]:
+        """Distinct species injected, in first-appearance order."""
+        seen: list[str] = []
+        for inj in self.injections:
+            if inj.species not in seen:
+                seen.append(inj.species)
+        return tuple(seen)
+
+    def events_between(self, t_start: float, t_end: float,
+                       ) -> tuple[Injection, ...]:
+        """Injections with t_start < time <= t_end (simulation stepping)."""
+        return tuple(inj for inj in self.injections
+                     if t_start < inj.time <= t_end)
+
+    def final_concentration(self, species: str) -> float:
+        """Total bulk concentration of ``species`` after all injections."""
+        return sum(inj.concentration_step for inj in self.injections
+                   if inj.species == species)
+
+
+class Chamber:
+    """A well-stirred measurement chamber holding bulk concentrations.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in platform layouts and reports.
+    volume:
+        Chamber volume in m^3.  Only used for consumption bookkeeping —
+        batch measurements deplete so little analyte that bulk values stay
+        constant between injections, but the accounting is exposed for
+        long-term monitoring scenarios.
+    """
+
+    def __init__(self, name: str = "chamber", volume: float = 1.0e-7) -> None:
+        if not name:
+            raise ChemistryError("chamber name must be non-empty")
+        self.name = name
+        self.volume = ensure_positive(volume, "volume")
+        self._bulk: dict[str, float] = {}
+
+    def __repr__(self) -> str:
+        inside = ", ".join(f"{k}={v:.3g}" for k, v in sorted(self._bulk.items()))
+        return f"Chamber({self.name!r}, {{{inside}}})"
+
+    def set_bulk(self, species: str, concentration: float) -> None:
+        """Set the bulk concentration of ``species``, mol/m^3."""
+        get_species(species)
+        self._bulk[species] = ensure_non_negative(concentration, "concentration")
+
+    def bulk(self, species: str) -> float:
+        """Bulk concentration of ``species``, mol/m^3 (0 when absent)."""
+        get_species(species)
+        return self._bulk.get(species, 0.0)
+
+    def species_present(self) -> tuple[str, ...]:
+        """Names of species with non-zero bulk concentration, sorted."""
+        return tuple(sorted(k for k, v in self._bulk.items() if v > 0.0))
+
+    def inject(self, injection: Injection) -> None:
+        """Apply one injection (instantaneous stirred mixing)."""
+        current = self._bulk.get(injection.species, 0.0)
+        self._bulk[injection.species] = current + injection.concentration_step
+
+    def consume(self, species: str, moles: float) -> None:
+        """Remove ``moles`` of ``species`` from the chamber (electrolysis).
+
+        Clamps at zero; batch cells are never driven negative.
+        """
+        ensure_non_negative(moles, "moles")
+        current = self._bulk.get(species, 0.0)
+        delta = moles / self.volume
+        self._bulk[species] = max(current - delta, 0.0)
+
+    def copy(self) -> "Chamber":
+        """Independent copy (protocols never mutate a caller's chamber)."""
+        out = Chamber(self.name, self.volume)
+        out._bulk = dict(self._bulk)
+        return out

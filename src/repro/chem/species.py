@@ -1,0 +1,278 @@
+"""Chemical species and the global species registry.
+
+Every molecule that appears in the paper is modelled as a :class:`Species`
+carrying the properties the simulator needs: an aqueous diffusion
+coefficient, the number of electrons it exchanges when electroactive, and —
+for the correlated-double-sampling caveat of Sec. II-C — whether it oxidises
+**directly** on a bare electrode (dopamine and etoposide do, which defeats a
+blank working electrode as a CDS reference).
+
+The registry is a plain module-level dictionary; :func:`get_species` raises
+:class:`~repro.errors.UnknownSpeciesError` with the list of known names so
+typos fail usefully.  User code may register additional species with
+:func:`register_species`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.chem import constants as C
+from repro.errors import ChemistryError, UnknownSpeciesError
+from repro.units import ensure_positive
+
+__all__ = [
+    "Species",
+    "register_species",
+    "get_species",
+    "has_species",
+    "species_names",
+    "ENDOGENOUS_METABOLITES",
+    "EXOGENOUS_DRUGS",
+]
+
+
+@dataclass(frozen=True)
+class Species:
+    """An electroactive or inert solute.
+
+    Parameters
+    ----------
+    name:
+        Registry key, lowercase snake-case (e.g. ``"glucose"``).
+    display_name:
+        Human-readable name used in tables and reports.
+    diffusivity:
+        Aqueous diffusion coefficient, m^2/s.
+    kind:
+        Free-form category: ``"metabolite"``, ``"drug"``,
+        ``"neurotransmitter"``, ``"reactive"`` (H2O2, O2), ...
+    charge:
+        Ionic charge at physiological pH (used only for reporting).
+    n_electrons:
+        Electrons exchanged per molecule in its electrode reaction, when
+        electroactive.
+    direct_oxidation_potential:
+        If the molecule oxidises on a **bare** (enzyme-free) electrode, the
+        potential (V vs Ag/AgCl) above which it does; ``None`` for molecules
+        that need an enzyme probe.  The paper names dopamine and etoposide
+        as direct oxidisers, which invalidates the blank-WE CDS scheme.
+    molar_mass:
+        g/mol, for reporting.
+    description:
+        One-line description (mirrors the paper's table prose).
+    """
+
+    name: str
+    display_name: str
+    diffusivity: float
+    kind: str = "metabolite"
+    charge: int = 0
+    n_electrons: int = 1
+    direct_oxidation_potential: float | None = None
+    molar_mass: float | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ChemistryError("species name must be non-empty")
+        ensure_positive(self.diffusivity, f"diffusivity of {self.name}")
+        if self.n_electrons < 1:
+            raise ChemistryError(
+                f"species {self.name!r}: n_electrons must be >= 1, "
+                f"got {self.n_electrons}"
+            )
+
+    @property
+    def is_direct_oxidizer(self) -> bool:
+        """True when the molecule oxidises on a bare electrode (CDS caveat)."""
+        return self.direct_oxidation_potential is not None
+
+    def with_diffusivity(self, diffusivity: float) -> "Species":
+        """Return a copy with a different diffusion coefficient.
+
+        Useful to model transport through membranes or gels where the
+        effective diffusivity is lower than in free solution.
+        """
+        return replace(self, diffusivity=ensure_positive(diffusivity, "diffusivity"))
+
+
+_REGISTRY: dict[str, Species] = {}
+
+
+def register_species(species: Species, overwrite: bool = False) -> Species:
+    """Add a species to the registry and return it.
+
+    Raises :class:`~repro.errors.ChemistryError` when the name is already
+    taken and ``overwrite`` is false.
+    """
+    if species.name in _REGISTRY and not overwrite:
+        raise ChemistryError(
+            f"species {species.name!r} is already registered; "
+            f"pass overwrite=True to replace it"
+        )
+    _REGISTRY[species.name] = species
+    return species
+
+
+def get_species(name: str) -> Species:
+    """Look up a species by registry name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownSpeciesError(name, tuple(_REGISTRY)) from None
+
+
+def has_species(name: str) -> bool:
+    """Return True when ``name`` is registered."""
+    return name in _REGISTRY
+
+
+def species_names() -> tuple[str, ...]:
+    """Return all registered species names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+# ---------------------------------------------------------------------------
+# Built-in species: every molecule named in the paper.
+# ---------------------------------------------------------------------------
+
+# Endogenous metabolites (Sec. I-A, Table I).
+register_species(Species(
+    name="glucose",
+    display_name="Glucose",
+    diffusivity=C.DIFFUSIVITY_GLUCOSE,
+    kind="metabolite",
+    molar_mass=180.16,
+    description="Metabolic compound as energy source; diabetes marker",
+))
+register_species(Species(
+    name="lactate",
+    display_name="Lactate",
+    diffusivity=C.DIFFUSIVITY_LACTATE,
+    kind="metabolite",
+    charge=-1,
+    molar_mass=90.08,
+    description="Metabolic compound as marker of cell suffering",
+))
+register_species(Species(
+    name="glutamate",
+    display_name="Glutamate",
+    diffusivity=C.DIFFUSIVITY_GLUTAMATE,
+    kind="neurotransmitter",
+    charge=-1,
+    molar_mass=147.13,
+    description="Excitatory neurotransmitter",
+))
+register_species(Species(
+    name="cholesterol",
+    display_name="Cholesterol",
+    diffusivity=C.DIFFUSIVITY_CHOLESTEROL,
+    kind="metabolite",
+    molar_mass=386.65,
+    description="Establishes proper membrane permeability and fluidity",
+))
+
+# Reaction intermediates (Sec. I-B).
+register_species(Species(
+    name="h2o2",
+    display_name="Hydrogen peroxide",
+    diffusivity=C.DIFFUSIVITY_H2O2,
+    kind="reactive",
+    n_electrons=C.ELECTRONS_PER_H2O2,
+    molar_mass=34.01,
+    description="Common oxidase product, oxidised at the WE (reaction 3)",
+))
+register_species(Species(
+    name="o2",
+    display_name="Oxygen",
+    diffusivity=C.DIFFUSIVITY_O2,
+    kind="reactive",
+    n_electrons=4,
+    molar_mass=32.00,
+    description="Electron acceptor of the oxidase catalytic cycle",
+))
+
+# Exogenous drug compounds (Table II).
+_DRUGS = [
+    ("clozapine", "Clozapine", 326.8,
+     "Antipsychotic used in the treatment of schizophrenia"),
+    ("erythromycin", "Erythromycin", 733.9,
+     "Broad-spectrum antibiotic"),
+    ("indinavir", "Indinavir", 613.8,
+     "Used in the treatment of HIV infection and AIDS"),
+    ("benzphetamine", "Benzphetamine", 239.4,
+     "Used in the treatment of obesity"),
+    ("aminopyrine", "Aminopyrine", 231.3,
+     "Analgesic, anti-inflammatory, and antipyretic drug"),
+    ("bupropion", "Bupropion", 239.7,
+     "Antidepressant"),
+    ("lidocaine", "Lidocaine", 234.3,
+     "Anesthetic and antiarrhythmic"),
+    ("torsemide", "Torsemide", 348.4,
+     "Diuretic"),
+    ("diclofenac", "Diclofenac", 296.1,
+     "Anti-inflammatory (spelled 'diclofecan' in the paper table)"),
+    ("p_nitrophenol", "p-Nitrophenol", 139.1,
+     "Intermediate in the synthesis of paracetamol"),
+]
+for _name, _display, _mass, _desc in _DRUGS:
+    register_species(Species(
+        name=_name,
+        display_name=_display,
+        diffusivity=C.DIFFUSIVITY_DRUG_SMALL,
+        kind="drug",
+        n_electrons=1,
+        molar_mass=_mass,
+        description=_desc,
+    ))
+
+# Chemotherapy compounds named in Sec. I-A (not in the evaluation tables,
+# but users of the library may target them).
+for _name, _display, _mass in [
+    ("ftorafur", "Ftorafur", 200.2),
+    ("cyclophosphamide", "Cyclophosphamide", 261.1),
+    ("ifosfamide", "Ifosfamide", 261.1),
+]:
+    register_species(Species(
+        name=_name,
+        display_name=_display,
+        diffusivity=C.DIFFUSIVITY_DRUG_SMALL,
+        kind="drug",
+        molar_mass=_mass,
+        description="Chemotherapy compound (Sec. I-A)",
+    ))
+
+# Direct oxidisers: the paper warns (Sec. II-C) that dopamine and etoposide
+# oxidise at a bare WE without any enzyme, so an enzyme-free reference WE
+# (CDS blank) still responds to them.
+register_species(Species(
+    name="dopamine",
+    display_name="Dopamine",
+    diffusivity=6.0e-10,
+    kind="neurotransmitter",
+    n_electrons=2,
+    direct_oxidation_potential=0.20,
+    molar_mass=153.2,
+    description="Oxidises directly on a bare electrode (CDS caveat)",
+))
+register_species(Species(
+    name="etoposide",
+    display_name="Etoposide",
+    diffusivity=4.0e-10,
+    kind="drug",
+    n_electrons=2,
+    direct_oxidation_potential=0.25,
+    molar_mass=588.6,
+    description="Chemotherapy drug; oxidises directly on a bare electrode",
+))
+
+#: Names of the endogenous metabolites the paper singles out (Sec. I-A).
+ENDOGENOUS_METABOLITES = ("glucose", "lactate", "glutamate", "cholesterol")
+
+#: Names of the drug compounds listed in Table II.
+EXOGENOUS_DRUGS = (
+    "clozapine", "erythromycin", "indinavir", "benzphetamine",
+    "aminopyrine", "bupropion", "lidocaine", "torsemide",
+    "diclofenac", "p_nitrophenol",
+)

@@ -1,0 +1,188 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+``repro-diagnostics <command>`` (or ``python -m repro ...``) exposes the
+headline flows:
+
+- ``tables`` — print Tables I, II and III from the data layer,
+- ``panel`` — run the Fig. 4 multi-target panel end to end,
+- ``explore`` — design-space exploration for the Sec. III panel (or a
+  JSON panel spec),
+- ``calibrate <target>`` — measured calibration of one reference sensor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.io.tables import render_table
+from repro.units import si_to_um_conc, v_to_mv
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-diagnostics",
+        description=("Reproduction of 'An Integrated Platform for Advanced "
+                     "Diagnostics' (DATE 2011)"))
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print the paper's Tables I, II and III")
+
+    panel = sub.add_parser("panel", help="run the Fig. 4 multi-target panel")
+    panel.add_argument("--seed", type=int, default=2011)
+
+    explore_cmd = sub.add_parser(
+        "explore", help="design-space exploration for a panel spec")
+    explore_cmd.add_argument("--spec", type=str, default=None,
+                             help="JSON panel spec (default: Sec. III panel)")
+
+    calibrate = sub.add_parser(
+        "calibrate", help="measured calibration of one reference sensor")
+    calibrate.add_argument("target", type=str)
+    calibrate.add_argument("--points", type=int, default=8)
+
+    selectivity = sub.add_parser(
+        "selectivity", help="cross-response matrix of the Fig. 4 panel")
+    selectivity.add_argument("--potential", type=float, default=550.0,
+                             help="operating potential, mV vs Ag/AgCl")
+    return parser
+
+
+def _cmd_tables() -> int:
+    from repro.data import TABLE_I, TABLE_II, TABLE_III
+    rows1 = [[r.display_name, r.target, f"{v_to_mv(r.applied_potential):+.0f}",
+              r.reference] for r in TABLE_I]
+    print(render_table(
+        ["Oxidase", "Target", "Applied mV (vs Ag/AgCl)", "Ref"],
+        rows1, title="Table I - oxidases"))
+    rows2 = [[r.isoform, r.target, f"{v_to_mv(r.reduction_potential):+.0f}",
+              r.reference] for r in TABLE_II]
+    print(render_table(
+        ["CYP", "Target drug", "Reduction mV (vs Ag/AgCl)", "Ref"],
+        rows2, title="Table II - cytochromes"))
+    rows3 = [[r.target, r.probe, f"{r.sensitivity:g}",
+              (f"{si_to_um_conc(r.lod):.0f}" if r.lod is not None else "-"),
+              f"{r.linear_range[0]:g} - {r.linear_range[1]:g}"]
+             for r in TABLE_III]
+    print(render_table(
+        ["Target", "Probe", "S uA/(mM cm^2)", "LOD uM", "Linear mM"],
+        rows3, title="Table III - performance"))
+    return 0
+
+
+def _cmd_panel(seed: int) -> int:
+    from repro.data import (
+        PAPER_PANEL_MID_CONCENTRATIONS,
+        integrated_chain,
+        paper_panel_cell,
+    )
+    from repro.measurement import PanelProtocol
+
+    cell = paper_panel_cell()
+    chain = integrated_chain("cyp_micro", n_channels=5, seed=seed)
+    print(chain.describe())
+    result = PanelProtocol().run(cell, chain,
+                                 rng=np.random.default_rng(seed))
+    rows = []
+    for target in PAPER_PANEL_MID_CONCENTRATIONS:
+        if target in result.readouts:
+            readout = result.readouts[target]
+            rows.append([target, readout.we_name, readout.method,
+                         f"{readout.signal * 1e9:.1f}"])
+        else:
+            rows.append([target, "-", "NOT RECOVERED", "-"])
+    print(render_table(["Target", "WE", "Method", "Signal nA"], rows,
+                       title="Fig. 4 panel readouts"))
+    print(f"assay time: {result.assay_time:.0f} s")
+    return 0
+
+
+def _cmd_explore(spec_path: str | None) -> int:
+    from repro.core import explore, exploration_report, paper_panel_spec
+    from repro.core.spec import load_panel
+
+    panel = load_panel(spec_path) if spec_path else paper_panel_spec()
+    result = explore(panel)
+    print(exploration_report(result))
+    return 0 if result.n_feasible else 1
+
+
+def _cmd_calibrate(target: str, n_points: int) -> int:
+    from repro.analysis import run_calibration
+    from repro.data import bench_chain, performance_record, reference_cell
+    from repro.data.catalog import table1_working_electrode
+
+    record = performance_record(target)
+    if record.method != "chronoamperometry":
+        print(f"{target} is CV-detected; use the T3 bench for peak-height "
+              f"calibration")
+        return 1
+    cell = reference_cell(target)
+    chain = bench_chain()
+    we_name = cell.working_electrodes[0].name
+    e_applied = table1_working_electrode(
+        target).effective_h2o2_wave().potential_for_efficiency(0.95)
+
+    def signal_at(c: float) -> tuple[float, float]:
+        cell.chamber.set_bulk(target, c)
+        true = cell.measured_current(we_name, e_applied)
+        return chain.measure_constant(true, duration=5.0,
+                                      we=cell.working_electrodes[0])
+
+    lo, hi = record.linear_range
+    ladder = list(np.linspace(lo, hi * 1.5, n_points))
+    curve = run_calibration(signal_at, ladder)
+    rows = [[f"{p.concentration:.3g}", f"{p.signal * 1e6:.4g}"]
+            for p in curve.points]
+    print(render_table(["C mM", "I uA"], rows,
+                       title=f"calibration of {target}"))
+    lo_p, hi_p = record.linear_range
+    sens = curve.sensitivity(c_low=lo_p, c_high=hi_p) / (
+        cell.working_electrodes[0].area)
+    from repro.units import sensitivity_to_paper
+    print(f"sensitivity : {sensitivity_to_paper(sens):.2f} uA/(mM cm^2) "
+          f"(paper {record.sensitivity:g})")
+    print(f"LOD         : {si_to_um_conc(curve.limit_of_detection()):.0f} uM "
+          + (f"(paper {si_to_um_conc(record.lod):.0f})"
+             if record.lod is not None else ""))
+    low, high = curve.linear_range()
+    print(f"linear range: {low:.2g} - {high:.2g} mM "
+          f"(paper {record.linear_range[0]:g} - {record.linear_range[1]:g})")
+    return 0
+
+
+def _cmd_selectivity(potential_mv: float) -> int:
+    from repro.analysis.selectivity import cross_response_matrix
+    from repro.data import PAPER_PANEL_TARGETS, paper_panel_cell
+    from repro.units import mv_to_v
+
+    cell = paper_panel_cell({t: 0.0 for t in PAPER_PANEL_TARGETS})
+    matrix = cross_response_matrix(cell, mv_to_v(potential_mv),
+                                   species=PAPER_PANEL_TARGETS,
+                                   concentration=1.0)
+    print(f"operating potential: {potential_mv:+.0f} mV vs Ag/AgCl")
+    print(matrix.render())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "tables":
+        return _cmd_tables()
+    if args.command == "panel":
+        return _cmd_panel(args.seed)
+    if args.command == "explore":
+        return _cmd_explore(args.spec)
+    if args.command == "calibrate":
+        return _cmd_calibrate(args.target, args.points)
+    if args.command == "selectivity":
+        return _cmd_selectivity(args.potential)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

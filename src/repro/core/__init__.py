@@ -1,0 +1,53 @@
+"""The paper's contribution: platform-based design-space exploration."""
+
+from repro.core.architecture import (
+    PlatformDesign,
+    WeAssignment,
+    design_from_choices,
+)
+from repro.core.costs import PlatformCost, cost_of
+from repro.core.estimates import DesignEstimates, TargetEstimate, estimate_design
+from repro.core.explorer import DesignPoint, ExplorationResult, explore
+from repro.core.library import (
+    AREA_OPTIONS_M2,
+    NANO_OPTIONS,
+    NOISE_OPTIONS,
+    READOUT_OPTIONS,
+    SCAN_RATE_OPTIONS,
+    STRUCTURE_OPTIONS,
+    ProbeOption,
+    probe_options,
+)
+from repro.core.pareto import dominates, pareto_front, pareto_indices
+from repro.core.platform import BiosensingPlatform, PlatformRunResult
+from repro.core.report import design_point_report, exploration_report
+from repro.core.rules import check_design
+from repro.core.spec import (
+    design_from_dict,
+    design_to_dict,
+    load_design,
+    load_panel,
+    panel_from_dict,
+    panel_to_dict,
+    save_design,
+    save_panel,
+)
+from repro.core.targets import PanelSpec, TargetSpec, paper_panel_spec
+
+__all__ = [
+    "TargetSpec", "PanelSpec", "paper_panel_spec",
+    "ProbeOption", "probe_options",
+    "AREA_OPTIONS_M2", "NANO_OPTIONS", "STRUCTURE_OPTIONS",
+    "READOUT_OPTIONS", "NOISE_OPTIONS", "SCAN_RATE_OPTIONS",
+    "WeAssignment", "PlatformDesign", "design_from_choices",
+    "TargetEstimate", "DesignEstimates", "estimate_design",
+    "PlatformCost", "cost_of",
+    "check_design",
+    "dominates", "pareto_front", "pareto_indices",
+    "DesignPoint", "ExplorationResult", "explore",
+    "BiosensingPlatform", "PlatformRunResult",
+    "exploration_report", "design_point_report",
+    "panel_to_dict", "panel_from_dict", "design_to_dict",
+    "design_from_dict", "save_panel", "load_panel", "save_design",
+    "load_design",
+]

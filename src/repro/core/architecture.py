@@ -1,0 +1,209 @@
+"""Platform design representation: what the explorer enumerates.
+
+A :class:`PlatformDesign` pins every free choice of the paper's design
+space (Sec. II-A: probe, sensor structure, readout circuitry — plus the
+electronics options of Sec. II-C).  It is a pure value object: cheap to
+create, hash and compare, so the explorer can enumerate hundreds of them;
+:mod:`repro.core.platform` turns the chosen one into runnable hardware
+models.
+
+Working-electrode grouping follows the paper's multi-target argument:
+targets sensed by the *same CYP isoform* share one electrode (their peaks
+separate by position); every oxidase target gets its own electrode; a
+blank electrode is appended when the CDS noise strategy is selected.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.core.library import ProbeOption
+from repro.core.targets import PanelSpec
+from repro.errors import DesignError
+from repro.units import ensure_positive
+
+__all__ = ["WeAssignment", "PlatformDesign", "design_from_choices"]
+
+
+@dataclass(frozen=True)
+class WeAssignment:
+    """One working electrode: its probe option and the targets it serves.
+
+    ``option`` is ``None`` for a blank (CDS reference) electrode.
+    """
+
+    we_name: str
+    option: ProbeOption | None
+    targets: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.option is None and self.targets:
+            raise DesignError(
+                f"blank electrode {self.we_name!r} cannot serve targets")
+        if self.option is not None and not self.targets:
+            raise DesignError(
+                f"electrode {self.we_name!r} has a probe but no targets")
+
+    @property
+    def is_blank(self) -> bool:
+        return self.option is None
+
+    @property
+    def family(self) -> str:
+        return self.option.family if self.option else "blank"
+
+    @property
+    def method(self) -> str:
+        """Detection mode: CA for oxidases/blanks, CV for cytochromes."""
+        if self.option is not None and self.option.family == "cytochrome":
+            return "cyclic_voltammetry"
+        return "chronoamperometry"
+
+
+@dataclass(frozen=True)
+class PlatformDesign:
+    """A fully pinned platform candidate.
+
+    Parameters
+    ----------
+    name:
+        Candidate identifier (the explorer numbers them).
+    assignments:
+        Working electrodes in layout order (blank last, when present).
+    structure:
+        ``"shared_chamber"`` (the Fig. 4 n+2 arrangement) or
+        ``"chambered_array"`` (one chamber per sensor).
+    readout:
+        ``"mux_shared"`` (one chain, sequential WEs — Fig. 4) or
+        ``"per_we"`` (a chain per electrode, parallel).
+    noise:
+        ``"raw"``, ``"chopping"`` or ``"cds"`` (Sec. II-C).
+    nanostructure:
+        Chip-wide nanostructuring: ``None`` or ``"carbon_nanotubes"``.
+    we_area:
+        Working-electrode area, m^2.
+    scan_rate:
+        CV scan rate for cytochrome electrodes, V/s.
+    """
+
+    name: str
+    assignments: tuple[WeAssignment, ...]
+    structure: str
+    readout: str
+    noise: str
+    nanostructure: str | None
+    we_area: float
+    scan_rate: float
+
+    def __post_init__(self) -> None:
+        if not self.assignments:
+            raise DesignError("a design needs at least one working electrode")
+        names = [a.we_name for a in self.assignments]
+        if len(set(names)) != len(names):
+            raise DesignError(f"duplicate WE names in design: {names}")
+        if self.structure not in ("shared_chamber", "chambered_array"):
+            raise DesignError(f"unknown structure {self.structure!r}")
+        if self.readout not in ("mux_shared", "per_we"):
+            raise DesignError(f"unknown readout {self.readout!r}")
+        if self.noise not in ("raw", "chopping", "cds"):
+            raise DesignError(f"unknown noise strategy {self.noise!r}")
+        ensure_positive(self.we_area, "we_area")
+        ensure_positive(self.scan_rate, "scan_rate")
+
+    # -- structure queries -------------------------------------------------------
+
+    @property
+    def n_working(self) -> int:
+        return len(self.assignments)
+
+    @property
+    def n_chambers(self) -> int:
+        """Shared structure: 1; array: one per (non-blank) electrode."""
+        if self.structure == "shared_chamber":
+            return 1
+        return self.n_working
+
+    @property
+    def electrode_count(self) -> int:
+        """Total pads: each chamber needs its own RE and CE.
+
+        The shared chamber realises the paper's n+2 structure; the array
+        pays 3 pads per sensor.
+        """
+        return self.n_working + 2 * self.n_chambers
+
+    @property
+    def n_chains(self) -> int:
+        """Readout chains: one (muxed) or one per WE."""
+        return 1 if self.readout == "mux_shared" else self.n_working
+
+    @property
+    def we_pitch(self) -> float:
+        """Centre-to-centre WE spacing scaled with pad size, m."""
+        return 2.2 * math.sqrt(self.we_area)
+
+    def targets(self) -> tuple[str, ...]:
+        out: list[str] = []
+        for a in self.assignments:
+            out.extend(a.targets)
+        return tuple(out)
+
+    def assignment_for(self, target: str) -> WeAssignment:
+        for a in self.assignments:
+            if target in a.targets:
+                return a
+        raise DesignError(f"no electrode serves target {target!r}")
+
+    def cytochrome_assignments(self) -> tuple[WeAssignment, ...]:
+        return tuple(a for a in self.assignments
+                     if a.family == "cytochrome")
+
+    def has_blank(self) -> bool:
+        return any(a.is_blank for a in self.assignments)
+
+    def with_name(self, name: str) -> "PlatformDesign":
+        return replace(self, name=name)
+
+
+def design_from_choices(panel: PanelSpec,
+                        probe_choices: dict[str, ProbeOption],
+                        structure: str, readout: str, noise: str,
+                        nanostructure: str | None, we_area: float,
+                        scan_rate: float,
+                        name: str = "candidate") -> PlatformDesign:
+    """Assemble a design from per-axis choices.
+
+    Groups targets sharing a CYP isoform onto one electrode, orders
+    electrodes oxidases-first (matching the paper's Fig. 4 layout), and
+    appends a blank electrode when CDS is selected.
+    """
+    missing = [t.species for t in panel.targets if t.species not in probe_choices]
+    if missing:
+        raise DesignError(f"no probe chosen for: {', '.join(missing)}")
+    groups: dict[tuple[str, str], list[str]] = {}
+    for target in panel.species_names():
+        option = probe_choices[target]
+        if option.target != target:
+            raise DesignError(
+                f"probe option for {target!r} actually senses "
+                f"{option.target!r}")
+        if option.family == "cytochrome":
+            key = ("cytochrome", option.probe_name)
+        else:
+            key = ("oxidase", f"{option.probe_name}:{target}")
+        groups.setdefault(key, []).append(target)
+    ordered = sorted(groups.items(),
+                     key=lambda kv: (kv[0][0] != "oxidase", kv[0][1]))
+    assignments: list[WeAssignment] = []
+    for index, ((family, _), targets) in enumerate(ordered, start=1):
+        option = probe_choices[targets[0]]
+        assignments.append(WeAssignment(
+            we_name=f"WE{index}", option=option, targets=tuple(targets)))
+    if noise == "cds":
+        assignments.append(WeAssignment(
+            we_name=f"WE{len(assignments) + 1}", option=None, targets=()))
+    return PlatformDesign(
+        name=name, assignments=tuple(assignments), structure=structure,
+        readout=readout, noise=noise, nanostructure=nanostructure,
+        we_area=we_area, scan_rate=scan_rate)

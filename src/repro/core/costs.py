@@ -1,0 +1,114 @@
+"""Cost models: silicon area, power, fabrication cost, assay time.
+
+The paper's goal is "the most cost-effective solution (e.g., small, low
+energy consumption, low-cost)" (Sec. I).  The model is deliberately
+simple and *monotone* — every added electrode, chamber, chain or
+nanostructure costs something — because the explorer only needs ordering,
+not absolute euros:
+
+- **die area**: electrode row + per-chamber RE/CE strips + pads +
+  electronics blocks,
+- **power**: electronics chains (shared mux amortises the chain; per-WE
+  readout multiplies it),
+- **fabrication cost**: material cost per electrode area,
+  functionalization cost, a per-chamber microfluidics premium, and a
+  per-chain assembly premium.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.architecture import PlatformDesign
+from repro.core.estimates import DesignEstimates
+from repro.data.catalog import integrated_chain
+from repro.electronics.noise import CdsStrategy, ChoppingStrategy, NoStrategy
+from repro.sensors.functionalization import CARBON_NANOTUBES
+from repro.sensors.materials import get_material
+from repro.units import m2_to_mm2
+
+__all__ = ["PlatformCost", "cost_of"]
+
+#: Fabrication premium per isolated chamber (microfluidic walls, ports).
+_CHAMBER_COST = 4.0
+
+#: Assembly premium per readout chain.
+_CHAIN_COST = 2.0
+
+#: Pad + routing cost per electrode.
+_ELECTRODE_OVERHEAD_COST = 0.3
+
+#: Die area per pad (bond pad + routing), mm^2.
+_PAD_AREA_MM2 = 0.18
+
+#: Die area per isolated chamber (walls, seal ring), mm^2.
+_CHAMBER_AREA_MM2 = 1.5
+
+
+@dataclass(frozen=True)
+class PlatformCost:
+    """The cost vector the Pareto front is drawn over."""
+
+    die_area_mm2: float
+    power_w: float
+    fabrication_cost: float
+    assay_time_s: float
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        """(area, power, cost, time) — all minimised."""
+        return (self.die_area_mm2, self.power_w,
+                self.fabrication_cost, self.assay_time_s)
+
+
+def _strategy_for(design: PlatformDesign):
+    if design.noise == "chopping":
+        return ChoppingStrategy()
+    if design.noise == "cds":
+        return CdsStrategy()
+    return NoStrategy()
+
+
+def cost_of(design: PlatformDesign,
+            estimates: DesignEstimates) -> PlatformCost:
+    """Evaluate the cost vector of a candidate."""
+    gold = get_material("gold")
+    silver = get_material("silver")
+    nano = (CARBON_NANOTUBES if design.nanostructure == "carbon_nanotubes"
+            else None)
+    area_mm2_per_we = m2_to_mm2(design.we_area)
+
+    # --- die area --------------------------------------------------------
+    electrode_area = design.n_working * area_mm2_per_we
+    # Each chamber carries its own RE (1x WE area) and CE (2x WE area).
+    electrode_area += design.n_chambers * 3.0 * area_mm2_per_we
+    pads = design.electrode_count * _PAD_AREA_MM2
+    chambers = design.n_chambers * _CHAMBER_AREA_MM2
+    strategy = _strategy_for(design)
+    needs_cyp_chain = any(a.family == "cytochrome"
+                          for a in design.assignments)
+    chain = integrated_chain("cyp" if needs_cyp_chain else "oxidase",
+                             n_channels=design.n_working,
+                             noise_strategy=strategy)
+    electronics_area = design.n_chains * chain.total_area_mm2()
+    die_area = 1.3 * (electrode_area + pads + chambers) + electronics_area
+
+    # --- power ------------------------------------------------------------
+    power = design.n_chains * chain.total_power()
+
+    # --- fabrication cost ---------------------------------------------------
+    cost = 0.0
+    cost += design.n_working * area_mm2_per_we * gold.cost_per_mm2
+    cost += design.n_chambers * area_mm2_per_we * silver.cost_per_mm2
+    cost += design.n_chambers * 2.0 * area_mm2_per_we * gold.cost_per_mm2
+    if nano is not None:
+        cost += design.n_working * area_mm2_per_we * nano.cost_per_mm2
+    cost += design.n_chambers * _CHAMBER_COST
+    cost += design.n_chains * _CHAIN_COST
+    cost += design.electrode_count * _ELECTRODE_OVERHEAD_COST
+
+    return PlatformCost(
+        die_area_mm2=die_area,
+        power_w=power,
+        fabrication_cost=cost,
+        assay_time_s=estimates.assay_time,
+    )

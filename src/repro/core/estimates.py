@@ -1,0 +1,222 @@
+"""Analytic performance estimates for design candidates.
+
+The explorer scores hundreds of candidates, so estimation must be closed
+form: no transient simulation, only the steady-state/Randles-Sevcik
+relations the chemistry layer validates elsewhere.  The final chosen
+design is then *measured* end-to-end by :mod:`repro.core.platform`, which
+is the honesty check on these estimates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.chem import constants as C
+from repro.chem.analytic import planar_response_time, randles_sevcik_peak_current
+from repro.chem.enzymes import CytochromeP450, Oxidase
+from repro.chem.kinetics import steady_state_turnover_flux
+from repro.chem.species import get_species
+from repro.core.architecture import PlatformDesign, WeAssignment
+from repro.core.targets import PanelSpec, TargetSpec
+from repro.data.catalog import integrated_chain, select_readout_class
+from repro.electronics.noise import CdsStrategy, ChoppingStrategy, NoStrategy
+from repro.errors import DesignError
+from repro.sensors.functionalization import CARBON_NANOTUBES
+
+__all__ = ["TargetEstimate", "DesignEstimates", "estimate_design"]
+
+#: Settling dwell for a chronoamperometric slot: wait this many response
+#: times before reading the steady current.
+_CA_DWELL_RESPONSE_TIMES = 2.0
+
+#: Extra per-switch settling of the shared mux, seconds.
+_MUX_SWITCH_OVERHEAD = 1.0
+
+
+@dataclass(frozen=True)
+class TargetEstimate:
+    """Analytic per-target figures for one candidate design."""
+
+    target: str
+    we_name: str
+    method: str
+    sensitivity_si: float     # A*m/mol (signed magnitude)
+    i_max: float              # A at the top of the clinical range
+    noise_rms: float          # A, chain + sensor, strategy applied
+    lod: float                # mol/m^3
+    response_time: float      # s (CA settling or one CV sweep)
+
+
+@dataclass(frozen=True)
+class DesignEstimates:
+    """Whole-design figures assembled from the per-target ones."""
+
+    per_target: dict[str, TargetEstimate]
+    assay_time: float         # s for one full panel scan
+    worst_lod_margin: float   # min over targets of required_lod / lod
+    peak_current: float       # A, largest expected channel current
+
+    def estimate(self, target: str) -> TargetEstimate:
+        if target not in self.per_target:
+            raise DesignError(f"no estimate for target {target!r}")
+        return self.per_target[target]
+
+
+def _nano_for(design: PlatformDesign):
+    return CARBON_NANOTUBES if design.nanostructure == "carbon_nanotubes" else None
+
+
+def _strategy_for(design: PlatformDesign):
+    if design.noise == "chopping":
+        return ChoppingStrategy()
+    if design.noise == "cds":
+        return CdsStrategy()
+    return NoStrategy()
+
+
+def _effective_delta(design: PlatformDesign) -> float:
+    radius = math.sqrt(design.we_area / math.pi)
+    delta_disk = math.pi * radius / 4.0
+    return 1.0 / (1.0 / C.NERNST_LAYER_QUIESCENT + 1.0 / delta_disk)
+
+
+def _oxidase_estimate(design: PlatformDesign, assignment: WeAssignment,
+                      spec: TargetSpec, noise_rms: float) -> TargetEstimate:
+    probe = assignment.option.build()
+    assert isinstance(probe, Oxidase)
+    nano = _nano_for(design)
+    gain = nano.signal_gain if nano else 1.0
+    film = probe.film.scaled(gain)
+    species = get_species(spec.species)
+    delta = _effective_delta(design)
+    m = species.diffusivity / delta
+    eta = 0.95  # the operating point of the Table I applied potential
+    n = probe.electrons_per_substrate
+    flux_max = steady_state_turnover_flux(spec.c_max, film, m)
+    flux_min = steady_state_turnover_flux(spec.c_min, film, m)
+    i_max = n * C.FARADAY * design.we_area * eta * flux_max
+    slope = (n * C.FARADAY * design.we_area * eta
+             * (flux_max - flux_min) / (spec.c_max - spec.c_min))
+    sensitivity = slope / 1.0  # A per (mol/m^3)
+    lod = (3.0 * noise_rms / sensitivity if sensitivity > 0 and noise_rms > 0
+           else float("inf"))
+    t90 = planar_response_time(delta, species.diffusivity)
+    return TargetEstimate(
+        target=spec.species, we_name=assignment.we_name,
+        method="chronoamperometry",
+        sensitivity_si=sensitivity / design.we_area,
+        i_max=i_max, noise_rms=noise_rms, lod=lod,
+        response_time=_CA_DWELL_RESPONSE_TIMES * t90)
+
+
+def _cyp_estimate(design: PlatformDesign, assignment: WeAssignment,
+                  spec: TargetSpec, noise_rms: float) -> TargetEstimate:
+    probe = assignment.option.build()
+    assert isinstance(probe, CytochromeP450)
+    channel = probe.channel_for(spec.species)
+    species = get_species(spec.species)
+    n = channel.kinetics.couple.n_electrons
+    nano = _nano_for(design)
+    gain = nano.signal_gain if nano else 1.0
+    # Peak height per effective concentration (reversible R-S form).
+    def height(c_bulk: float) -> float:
+        saturation = channel.km / (channel.km + c_bulk)
+        c_eff = c_bulk * channel.efficiency * saturation * gain
+        if c_eff <= 0.0:
+            return 0.0
+        return randles_sevcik_peak_current(
+            n, design.we_area, c_eff, species.diffusivity, design.scan_rate)
+    h_max = height(spec.c_max)
+    slope = (h_max - height(spec.c_min)) / (spec.c_max - spec.c_min)
+    lod = (3.0 * noise_rms / slope if slope > 0 and noise_rms > 0
+           else float("inf"))
+    potentials = [ch.reduction_potential for ch in probe.channels]
+    window = (max(potentials) - min(potentials)) + 0.5
+    sweep_time = 2.0 * window / design.scan_rate
+    return TargetEstimate(
+        target=spec.species, we_name=assignment.we_name,
+        method="cyclic_voltammetry",
+        sensitivity_si=slope / design.we_area,
+        i_max=h_max + 2.0e-7,  # peak plus charging background headroom
+        noise_rms=noise_rms, lod=lod, response_time=sweep_time)
+
+
+def estimate_design(design: PlatformDesign,
+                    panel: PanelSpec) -> DesignEstimates:
+    """Closed-form performance figures for one candidate.
+
+    Readout classes are auto-selected per chain (the finest class whose
+    full scale covers the chain's largest expected current) and the LOD
+    uses the chain's *effective* noise — analog floor plus ADC
+    quantization, which is what actually limits the micro platform.
+    """
+    strategy = _strategy_for(design)
+
+    # Pass 1: chemistry-only figures (noise filled in below).
+    provisional: dict[str, TargetEstimate] = {}
+    for assignment in design.assignments:
+        if assignment.is_blank:
+            continue
+        for target in assignment.targets:
+            spec = panel.target(target)
+            if assignment.family == "oxidase":
+                provisional[target] = _oxidase_estimate(
+                    design, assignment, spec, 0.0)
+            else:
+                provisional[target] = _cyp_estimate(
+                    design, assignment, spec, 0.0)
+
+    # Pass 2: pick readout classes per chain and recompute LODs.
+    def chain_peak(we_names: set[str]) -> float:
+        return max((est.i_max for est in provisional.values()
+                    if est.we_name in we_names), default=1.0e-9)
+
+    per_target: dict[str, TargetEstimate] = {}
+    if design.readout == "mux_shared":
+        all_wes = {a.we_name for a in design.assignments}
+        shared_class = select_readout_class(chain_peak(all_wes))
+        chains = {a.we_name: integrated_chain(
+            shared_class, n_channels=design.n_working,
+            noise_strategy=strategy) for a in design.assignments}
+    else:
+        chains = {}
+        for assignment in design.assignments:
+            cls = select_readout_class(chain_peak({assignment.we_name}))
+            chains[assignment.we_name] = integrated_chain(
+                cls, n_channels=1, noise_strategy=strategy)
+    for target, est in provisional.items():
+        chain = chains[est.we_name]
+        noise = chain.effective_input_noise()
+        slope = est.sensitivity_si * design.we_area
+        lod = 3.0 * noise / slope if slope > 0 else float("inf")
+        per_target[target] = TargetEstimate(
+            target=est.target, we_name=est.we_name, method=est.method,
+            sensitivity_si=est.sensitivity_si, i_max=est.i_max,
+            noise_rms=noise, lod=lod, response_time=est.response_time)
+
+    # Assay time: mux-shared chains scan WEs sequentially; per-WE chains
+    # run in parallel and the panel takes as long as its slowest slot.
+    slot_times: list[float] = []
+    for assignment in design.assignments:
+        if assignment.is_blank:
+            slot = 10.0  # a short blank acquisition
+        else:
+            slot = max(per_target[t].response_time
+                       for t in assignment.targets)
+        slot_times.append(slot + _MUX_SWITCH_OVERHEAD)
+    if design.readout == "mux_shared":
+        assay_time = sum(slot_times)
+    else:
+        assay_time = max(slot_times)
+
+    margins = []
+    for target, est in per_target.items():
+        required = panel.target(target).required_lod
+        if required is not None and est.lod > 0:
+            margins.append(required / est.lod)
+    worst_margin = min(margins) if margins else float("inf")
+    peak_current = max(est.i_max for est in per_target.values())
+    return DesignEstimates(per_target=per_target, assay_time=assay_time,
+                           worst_lod_margin=worst_margin,
+                           peak_current=peak_current)

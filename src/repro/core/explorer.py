@@ -1,0 +1,157 @@
+"""Design-space exploration: enumerate, rule-check, score, Pareto-filter.
+
+This is the paper's central proposition made executable: "the
+proliferation of electronic monitoring techniques would benefit from a
+systematic design space exploration, in the search of the most
+cost-effective solution (e.g., small, low energy consumption, low-cost)
+to a given problem" (Sec. I).
+
+The space is the cross product of the library axes (probe choice per
+target where alternatives exist, sensor structure, readout sharing,
+noise strategy, chip-wide nanostructure, electrode area, scan rate).
+Every candidate is scored analytically; infeasible ones are kept with
+their violation list so reports can explain the empty corners.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core.architecture import PlatformDesign, design_from_choices
+from repro.core.costs import PlatformCost, cost_of
+from repro.core.estimates import DesignEstimates, estimate_design
+from repro.core.library import (
+    AREA_OPTIONS_M2,
+    NANO_OPTIONS,
+    NOISE_OPTIONS,
+    READOUT_OPTIONS,
+    SCAN_RATE_OPTIONS,
+    STRUCTURE_OPTIONS,
+    ProbeOption,
+    probe_options,
+)
+from repro.core.pareto import pareto_front
+from repro.core.rules import check_design
+from repro.core.targets import PanelSpec
+from repro.errors import InfeasibleDesignError
+
+__all__ = ["DesignPoint", "ExplorationResult", "explore"]
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated candidate: design + scores + feasibility verdict."""
+
+    design: PlatformDesign
+    estimates: DesignEstimates
+    cost: PlatformCost
+    violations: tuple[str, ...]
+
+    @property
+    def feasible(self) -> bool:
+        return not self.violations
+
+    def objectives(self) -> tuple[float, float, float, float, float]:
+        """Minimised vector: area, power, cost, assay time, worst LOD.
+
+        The LOD term is the worst estimated LOD over targets (smaller is
+        better), so the front exposes the quality/cost trade-off and not
+        just cost corners.
+        """
+        worst_lod = max((e.lod for e in self.estimates.per_target.values()),
+                        default=float("inf"))
+        return self.cost.as_tuple() + (worst_lod,)
+
+
+@dataclass(frozen=True)
+class ExplorationResult:
+    """Everything the exploration produced."""
+
+    panel_name: str
+    points: tuple[DesignPoint, ...]
+    front: tuple[DesignPoint, ...]
+
+    @property
+    def n_candidates(self) -> int:
+        return len(self.points)
+
+    @property
+    def n_feasible(self) -> int:
+        return sum(1 for p in self.points if p.feasible)
+
+    def best_by(self, objective: str) -> DesignPoint:
+        """The front point minimising one named objective."""
+        index = {"area": 0, "power": 1, "cost": 2, "time": 3, "lod": 4}
+        if objective not in index:
+            raise InfeasibleDesignError(
+                f"unknown objective {objective!r} "
+                f"(use area/power/cost/time/lod)")
+        if not self.front:
+            raise InfeasibleDesignError(
+                "no feasible design in the explored space")
+        k = index[objective]
+        return min(self.front, key=lambda p: p.objectives()[k])
+
+    def violation_summary(self) -> dict[str, int]:
+        """How often each violation (first line) occurred — the 'why' map."""
+        counts: dict[str, int] = {}
+        for point in self.points:
+            for violation in point.violations:
+                head = violation.split(";")[0].split(":")[0]
+                counts[head] = counts.get(head, 0) + 1
+        return counts
+
+
+def _probe_assignments(panel: PanelSpec,
+                       ) -> list[dict[str, ProbeOption]]:
+    """Cross product of probe alternatives per target."""
+    per_target = []
+    for target in panel.species_names():
+        per_target.append([(target, opt) for opt in probe_options(target)])
+    assignments = []
+    for combo in itertools.product(*per_target):
+        assignments.append({target: opt for target, opt in combo})
+    return assignments
+
+
+def explore(panel: PanelSpec,
+            areas: tuple[float, ...] = AREA_OPTIONS_M2,
+            scan_rates: tuple[float, ...] = SCAN_RATE_OPTIONS,
+            require_feasible: bool = False) -> ExplorationResult:
+    """Enumerate and evaluate the full design space for ``panel``.
+
+    Returns every candidate (feasible or not) plus the Pareto front over
+    the feasible ones.  With ``require_feasible`` an
+    :class:`~repro.errors.InfeasibleDesignError` is raised when nothing
+    passes the rules — including the most common violations, so the
+    caller knows what to relax.
+    """
+    points: list[DesignPoint] = []
+    counter = itertools.count(1)
+    for probes in _probe_assignments(panel):
+        for structure, readout, noise, nano, area, rate in itertools.product(
+                STRUCTURE_OPTIONS, READOUT_OPTIONS, NOISE_OPTIONS,
+                NANO_OPTIONS, areas, scan_rates):
+            design = design_from_choices(
+                panel, probes, structure=structure, readout=readout,
+                noise=noise, nanostructure=nano, we_area=area,
+                scan_rate=rate, name=f"candidate_{next(counter):04d}")
+            estimates = estimate_design(design, panel)
+            cost = cost_of(design, estimates)
+            violations = check_design(design, panel, estimates, cost)
+            points.append(DesignPoint(design=design, estimates=estimates,
+                                      cost=cost, violations=violations))
+    feasible = [p for p in points if p.feasible]
+    front = pareto_front(feasible, key=lambda p: p.objectives())
+    result = ExplorationResult(panel_name=panel.name, points=tuple(points),
+                               front=tuple(front))
+    if require_feasible and not feasible:
+        summary = ", ".join(
+            f"{k} (x{v})" for k, v in sorted(
+                result.violation_summary().items(),
+                key=lambda kv: -kv[1])[:5])
+        raise InfeasibleDesignError(
+            f"no feasible platform for panel {panel.name!r}",
+            (summary,) if summary else ())
+    return result

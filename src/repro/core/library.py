@@ -1,0 +1,102 @@
+"""The parametrized component library — the *platform* of the paper.
+
+"In this paper we propose the use of a platform, i.e., a restriction of
+the design space to the use of a small number of parametrized components,
+to cope with the design of integrated multiple-target biosensors."
+(Sec. I.)
+
+The library enumerates, for every axis the paper discusses jointly
+(Sec. II-A: probe, sensor structure, readout):
+
+- **probe options** per target (oxidase and/or CYP isoform, from the
+  calibrated catalog),
+- **electrode options** (area ladder around the paper's 0.23 mm^2,
+  nanostructure on/off),
+- **structure options** (shared chamber vs chamber-per-sensor array),
+- **readout options** (mux-shared chain vs per-WE chains; TIA/ADC class
+  per probe family; noise strategy raw/chopping/CDS),
+- **waveform options** (CV scan rates at and below the 20 mV/s limit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chem.enzymes import CytochromeP450, Oxidase
+from repro.data.catalog import build_cytochrome, build_oxidase
+from repro.data.cytochromes import TABLE_II
+from repro.data.oxidases import TABLE_I
+from repro.errors import DesignError
+from repro.sensors.electrode import PAPER_ELECTRODE_AREA
+
+__all__ = [
+    "ProbeOption",
+    "probe_options",
+    "AREA_OPTIONS_M2",
+    "NANO_OPTIONS",
+    "STRUCTURE_OPTIONS",
+    "READOUT_OPTIONS",
+    "NOISE_OPTIONS",
+    "SCAN_RATE_OPTIONS",
+]
+
+
+@dataclass(frozen=True)
+class ProbeOption:
+    """One way to sense a target: a probe family plus its catalog name."""
+
+    target: str
+    family: str        # "oxidase" | "cytochrome"
+    probe_name: str    # enzyme name or isoform
+
+    def build(self) -> Oxidase | CytochromeP450:
+        """Materialise the calibrated probe."""
+        if self.family == "oxidase":
+            return build_oxidase(self.target)
+        return build_cytochrome(self.probe_name)
+
+
+def probe_options(target: str) -> tuple[ProbeOption, ...]:
+    """Every probe in the paper's tables that senses ``target``.
+
+    Cholesterol has two (cholesterol oxidase from Table I, CYP11A1 from
+    Table II) — the design-space exploration chooses.
+    """
+    options: list[ProbeOption] = []
+    for record in TABLE_I:
+        if record.target == target:
+            options.append(ProbeOption(target=target, family="oxidase",
+                                       probe_name=record.enzyme))
+    for record in TABLE_II:
+        if record.target == target:
+            options.append(ProbeOption(target=target, family="cytochrome",
+                                       probe_name=record.isoform))
+    if not options:
+        raise DesignError(
+            f"no probe in Table I/II senses {target!r}; the platform "
+            f"cannot measure it")
+    return tuple(options)
+
+
+#: Electrode-area ladder, m^2: half / paper / double the Fig. 4 pad.
+AREA_OPTIONS_M2: tuple[float, ...] = (
+    0.5 * PAPER_ELECTRODE_AREA,
+    PAPER_ELECTRODE_AREA,
+    2.0 * PAPER_ELECTRODE_AREA,
+)
+
+#: Nanostructuring choices applied chip-wide ("carbon_nanotubes" or None).
+NANO_OPTIONS: tuple[str | None, ...] = (None, "carbon_nanotubes")
+
+#: Sensor structures (Sec. II): one shared chamber (n+2 electrodes) or a
+#: chamber-per-sensor array.
+STRUCTURE_OPTIONS: tuple[str, ...] = ("shared_chamber", "chambered_array")
+
+#: Readout sharing (Sec. II-A): one multiplexed chain or one chain per WE.
+READOUT_OPTIONS: tuple[str, ...] = ("mux_shared", "per_we")
+
+#: Noise strategies (Sec. II-C).
+NOISE_OPTIONS: tuple[str, ...] = ("raw", "chopping", "cds")
+
+#: CV scan rates, V/s; the paper's accuracy limit is 20 mV/s.
+SCAN_RATE_OPTIONS: tuple[float, ...] = (0.010, 0.020)

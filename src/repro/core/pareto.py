@@ -1,0 +1,56 @@
+"""Pareto-front extraction over minimisation objectives.
+
+The explorer scores each feasible platform with a cost vector (die area,
+power, fabrication cost, assay time) and optional quality objectives; the
+front contains every candidate not dominated by another.  Generic over
+tuples so property tests can exercise it with random data.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import TypeVar
+
+from repro.errors import DesignError
+
+__all__ = ["dominates", "pareto_front", "pareto_indices"]
+
+T = TypeVar("T")
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when ``a`` is at least as good everywhere and better somewhere.
+
+    All objectives are minimised.  Vectors must have equal length.
+    """
+    if len(a) != len(b):
+        raise DesignError(
+            f"objective vectors differ in length: {len(a)} vs {len(b)}")
+    at_least_as_good = all(x <= y for x, y in zip(a, b))
+    strictly_better = any(x < y for x, y in zip(a, b))
+    return at_least_as_good and strictly_better
+
+
+def pareto_indices(vectors: Sequence[Sequence[float]]) -> tuple[int, ...]:
+    """Indices of the non-dominated vectors (stable order).
+
+    Duplicate vectors are all kept (none dominates its copy).  O(n^2),
+    fine for the few hundred candidates of this design space.
+    """
+    keep: list[int] = []
+    for i, v in enumerate(vectors):
+        dominated = False
+        for j, w in enumerate(vectors):
+            if i != j and dominates(w, v):
+                dominated = True
+                break
+        if not dominated:
+            keep.append(i)
+    return tuple(keep)
+
+
+def pareto_front(items: Sequence[T],
+                 key: Callable[[T], Sequence[float]]) -> list[T]:
+    """The non-dominated subset of ``items`` under ``key`` objectives."""
+    vectors = [tuple(key(item)) for item in items]
+    return [items[i] for i in pareto_indices(vectors)]

@@ -1,0 +1,83 @@
+"""Design reports: readable summaries of explorations and platforms."""
+
+from __future__ import annotations
+
+from repro.core.explorer import DesignPoint, ExplorationResult
+from repro.io.tables import render_table
+from repro.units import si_to_um_conc
+
+__all__ = ["exploration_report", "design_point_report"]
+
+
+def exploration_report(result: ExplorationResult,
+                       max_front_rows: int = 12) -> str:
+    """Summarise an exploration: counts, violations, and the front."""
+    lines = [
+        f"Design-space exploration for panel {result.panel_name!r}",
+        f"  candidates evaluated : {result.n_candidates}",
+        f"  feasible             : {result.n_feasible}",
+        f"  Pareto-optimal       : {len(result.front)}",
+    ]
+    summary = result.violation_summary()
+    if summary:
+        lines.append("  most common violations:")
+        for head, count in sorted(summary.items(), key=lambda kv: -kv[1])[:5]:
+            lines.append(f"    {count:4d} x {head}")
+    if result.front:
+        rows = []
+        for point in sorted(result.front,
+                            key=lambda p: p.cost.fabrication_cost)[:max_front_rows]:
+            d = point.design
+            worst_lod = max(e.lod for e in point.estimates.per_target.values())
+            rows.append([
+                d.name, d.structure, d.readout, d.noise,
+                d.nanostructure or "none",
+                f"{d.we_area * 1e6:.2f}",
+                f"{point.cost.die_area_mm2:.1f}",
+                f"{point.cost.power_w * 1e6:.0f}",
+                f"{point.cost.fabrication_cost:.1f}",
+                f"{point.cost.assay_time_s:.0f}",
+                f"{si_to_um_conc(worst_lod):.0f}",
+            ])
+        lines.append(render_table(
+            ["design", "structure", "readout", "noise", "nano",
+             "WE mm^2", "die mm^2", "uW", "cost", "assay s", "worst LOD uM"],
+            rows, title="Pareto front (sorted by fabrication cost):"))
+    return "\n".join(lines)
+
+
+def design_point_report(point: DesignPoint) -> str:
+    """Full per-target report for one evaluated candidate."""
+    d = point.design
+    lines = [
+        f"Design {d.name!r}: structure={d.structure}, readout={d.readout}, "
+        f"noise={d.noise}, nano={d.nanostructure or 'none'}, "
+        f"WE={d.we_area * 1e6:.2f} mm^2, scan={d.scan_rate * 1e3:.0f} mV/s",
+        f"  electrodes: {d.n_working} WE + {2 * d.n_chambers} RE/CE "
+        f"({d.electrode_count} pads), chambers: {d.n_chambers}, "
+        f"chains: {d.n_chains}",
+        f"  cost: die {point.cost.die_area_mm2:.1f} mm^2, "
+        f"power {point.cost.power_w * 1e6:.0f} uW, "
+        f"fabrication {point.cost.fabrication_cost:.1f}, "
+        f"assay {point.cost.assay_time_s:.0f} s",
+    ]
+    rows = []
+    for target, est in sorted(point.estimates.per_target.items()):
+        rows.append([
+            target, est.we_name, est.method,
+            f"{est.i_max * 1e6:.3f}",
+            f"{est.noise_rms * 1e9:.2f}",
+            f"{si_to_um_conc(est.lod):.1f}",
+            f"{est.response_time:.0f}",
+        ])
+    lines.append(render_table(
+        ["target", "WE", "method", "i_max uA", "noise nA",
+         "LOD uM", "t_resp s"],
+        rows, title="  per-target estimates:"))
+    if point.violations:
+        lines.append("  VIOLATIONS:")
+        for violation in point.violations:
+            lines.append(f"    - {violation}")
+    else:
+        lines.append("  feasible: yes")
+    return "\n".join(lines)

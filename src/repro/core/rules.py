@@ -1,0 +1,221 @@
+"""Feasibility rules: what makes a platform candidate *valid*.
+
+Each rule encodes one constraint the paper states or implies:
+
+- **probe coverage** — every target needs a probe (Sec. II-A: "the
+  choice of the probe ... is typically dictated by the target").
+- **peak separation** — several targets share a CYP electrode only when
+  their reduction potentials separate by more than the resolvable peak
+  width (Sec. III: benzphetamine/aminopyrine work; Table II's
+  torsemide/diclofenac at -19/-41 mV do not).
+- **scan rate** — CV must stay at or below ~20 mV/s (Sec. II-C), or peak
+  positions shift and targets become indistinguishable.
+- **CDS validity** — CDS needs a blank electrode and fails for direct
+  oxidisers (dopamine, etoposide) which light up the blank too.
+- **cross-talk** — co-chambered oxidase electrodes must keep H2O2
+  spill-over below a selectivity budget, else the design must move to
+  separate chambers (Sec. II-A).
+- **readout range/resolution** — expected currents must fit the chain's
+  full scale, and the LOD-implied resolution must beat the chain noise
+  floor (Sec. II-C's +/-10 uA @ 10 nA and +/-100 uA @ 100 nA classes).
+- **budgets** — area/power/cost/assay-time limits of the panel spec.
+
+Rules return human-readable violation strings; an empty tuple means
+feasible.  The explorer records violations instead of discarding
+candidates, so reports can explain *why* a corner of the space is empty.
+"""
+
+from __future__ import annotations
+
+from repro.chem.analytic import reversible_half_peak_width
+from repro.chem.species import get_species
+from repro.core.architecture import PlatformDesign
+from repro.core.costs import PlatformCost
+from repro.core.estimates import DesignEstimates
+from repro.core.targets import PanelSpec
+from repro.data.catalog import build_cytochrome
+from repro.electronics.waveform import MAX_ACCURATE_SCAN_RATE
+from repro.sensors.cell import CrosstalkModel
+
+__all__ = [
+    "check_design",
+    "rule_probe_coverage",
+    "rule_peak_separation",
+    "rule_scan_rate",
+    "rule_cds_validity",
+    "rule_crosstalk",
+    "rule_readout_fit",
+    "rule_budgets",
+    "PEAK_RESOLUTION_FACTOR",
+    "CROSSTALK_BUDGET",
+]
+
+#: Two CV peaks resolve when their formal potentials differ by at least
+#: this many half-peak widths (2.20 RT/nF each).
+PEAK_RESOLUTION_FACTOR = 3.0
+
+#: Largest tolerable relative error from H2O2 cross-talk in one chamber.
+CROSSTALK_BUDGET = 0.02
+
+
+def rule_probe_coverage(design: PlatformDesign, panel: PanelSpec,
+                        estimates: DesignEstimates,
+                        cost: PlatformCost) -> tuple[str, ...]:
+    """Every panel target must be served by some electrode."""
+    served = set(design.targets())
+    missing = [t.species for t in panel.targets if t.species not in served]
+    if missing:
+        return (f"targets without an electrode: {', '.join(missing)}",)
+    return ()
+
+
+def rule_peak_separation(design: PlatformDesign, panel: PanelSpec,
+                         estimates: DesignEstimates,
+                         cost: PlatformCost) -> tuple[str, ...]:
+    """Multi-target CYP electrodes need resolvable peak positions."""
+    violations = []
+    for assignment in design.cytochrome_assignments():
+        if len(assignment.targets) < 2:
+            continue
+        probe = build_cytochrome(assignment.option.probe_name)
+        requested = [probe.channel_for(t) for t in assignment.targets]
+        potentials = sorted(ch.reduction_potential for ch in requested)
+        n_min = min(ch.kinetics.couple.n_electrons for ch in requested)
+        needed = PEAK_RESOLUTION_FACTOR * reversible_half_peak_width(n_min)
+        for a, b in zip(potentials, potentials[1:]):
+            gap = b - a
+            if gap < needed:
+                violations.append(
+                    f"{assignment.we_name} ({assignment.option.probe_name}): "
+                    f"peaks {a * 1e3:+.0f} and {b * 1e3:+.0f} mV are "
+                    f"{gap * 1e3:.0f} mV apart, need "
+                    f">= {needed * 1e3:.0f} mV to resolve")
+    return tuple(violations)
+
+
+def rule_scan_rate(design: PlatformDesign, panel: PanelSpec,
+                   estimates: DesignEstimates,
+                   cost: PlatformCost) -> tuple[str, ...]:
+    """The CV scan rate must respect the cell's ~20 mV/s accuracy limit."""
+    if not design.cytochrome_assignments():
+        return ()
+    if design.scan_rate > MAX_ACCURATE_SCAN_RATE * (1.0 + 1e-9):
+        return (f"scan rate {design.scan_rate * 1e3:.0f} mV/s exceeds the "
+                f"{MAX_ACCURATE_SCAN_RATE * 1e3:.0f} mV/s accuracy limit "
+                f"(peak positions shift; targets blur)",)
+    return ()
+
+
+def rule_cds_validity(design: PlatformDesign, panel: PanelSpec,
+                      estimates: DesignEstimates,
+                      cost: PlatformCost) -> tuple[str, ...]:
+    """CDS needs a blank WE and no direct-oxidiser targets."""
+    if design.noise != "cds":
+        return ()
+    violations = []
+    if not design.has_blank():
+        violations.append("CDS selected but no blank working electrode")
+    offenders = [t.species for t in panel.targets
+                 if get_species(t.species).is_direct_oxidizer]
+    if offenders:
+        violations.append(
+            f"CDS blank is not valid: {', '.join(offenders)} oxidise "
+            f"directly on a bare electrode (paper Sec. II-C)")
+    return tuple(violations)
+
+
+def rule_crosstalk(design: PlatformDesign, panel: PanelSpec,
+                   estimates: DesignEstimates,
+                   cost: PlatformCost) -> tuple[str, ...]:
+    """Shared-chamber H2O2 spill-over must stay within budget."""
+    if design.structure != "shared_chamber":
+        return ()
+    oxidase_wes = [a for a in design.assignments if a.family == "oxidase"]
+    if len(oxidase_wes) < 2:
+        return ()
+    model = CrosstalkModel()
+    kappa = model.coupling(design.we_pitch)
+    # Worst case: the neighbour's signal is i_max while ours sits at its
+    # LOD-scale minimum; the spill-over fraction of the *neighbour's*
+    # signal must stay below the budget relative to our smallest signal.
+    violations = []
+    for victim in oxidase_wes:
+        own = estimates.estimate(victim.targets[0])
+        own_min = 3.0 * own.noise_rms / CROSSTALK_BUDGET
+        for other in oxidase_wes:
+            if other.we_name == victim.we_name:
+                continue
+            neighbour = estimates.estimate(other.targets[0])
+            spill = kappa * neighbour.i_max
+            if spill > max(own_min, CROSSTALK_BUDGET * own.i_max):
+                violations.append(
+                    f"H2O2 cross-talk {other.we_name} -> {victim.we_name} "
+                    f"({spill * 1e9:.1f} nA) exceeds the "
+                    f"{CROSSTALK_BUDGET:.0%} budget; use separate chambers")
+    return tuple(violations)
+
+
+def rule_readout_fit(design: PlatformDesign, panel: PanelSpec,
+                     estimates: DesignEstimates,
+                     cost: PlatformCost) -> tuple[str, ...]:
+    """Currents must fit the readout class; LOD must beat the noise."""
+    violations = []
+    widest = 100.0e-6  # the paper's +/-100 uA CYP class
+    for target, est in estimates.per_target.items():
+        if est.i_max > widest:
+            violations.append(
+                f"{target}: expected current {est.i_max * 1e6:.1f} uA "
+                f"exceeds the widest (+/-100 uA) readout class")
+        required = panel.target(target).required_lod
+        if required is not None and est.lod > required:
+            violations.append(
+                f"{target}: estimated LOD {est.lod * 1e3:.0f} uM misses "
+                f"the required {required * 1e3:.0f} uM")
+    return tuple(violations)
+
+
+def rule_budgets(design: PlatformDesign, panel: PanelSpec,
+                 estimates: DesignEstimates,
+                 cost: PlatformCost) -> tuple[str, ...]:
+    """Panel-level area/power/cost/time budgets."""
+    violations = []
+    if (panel.max_die_area_mm2 is not None
+            and cost.die_area_mm2 > panel.max_die_area_mm2):
+        violations.append(
+            f"die area {cost.die_area_mm2:.1f} mm^2 exceeds budget "
+            f"{panel.max_die_area_mm2:.1f} mm^2")
+    if panel.max_power is not None and cost.power_w > panel.max_power:
+        violations.append(
+            f"power {cost.power_w * 1e6:.0f} uW exceeds budget "
+            f"{panel.max_power * 1e6:.0f} uW")
+    if (panel.max_assay_time is not None
+            and cost.assay_time_s > panel.max_assay_time):
+        violations.append(
+            f"assay time {cost.assay_time_s:.0f} s exceeds budget "
+            f"{panel.max_assay_time:.0f} s")
+    if panel.max_cost is not None and cost.fabrication_cost > panel.max_cost:
+        violations.append(
+            f"fabrication cost {cost.fabrication_cost:.1f} exceeds budget "
+            f"{panel.max_cost:.1f}")
+    return tuple(violations)
+
+
+_ALL_RULES = (
+    rule_probe_coverage,
+    rule_peak_separation,
+    rule_scan_rate,
+    rule_cds_validity,
+    rule_crosstalk,
+    rule_readout_fit,
+    rule_budgets,
+)
+
+
+def check_design(design: PlatformDesign, panel: PanelSpec,
+                 estimates: DesignEstimates,
+                 cost: PlatformCost) -> tuple[str, ...]:
+    """Run every rule; return all violations (empty = feasible)."""
+    violations: list[str] = []
+    for rule in _ALL_RULES:
+        violations.extend(rule(design, panel, estimates, cost))
+    return tuple(violations)

@@ -1,0 +1,159 @@
+"""JSON serialisation of panel specs and platform designs.
+
+Deployments describe their measurement problem and chosen platform as
+JSON; this module round-trips both.  Schemas are flat and versioned so
+files survive library evolution.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.architecture import PlatformDesign, WeAssignment
+from repro.core.library import ProbeOption
+from repro.core.targets import PanelSpec, TargetSpec
+from repro.errors import SpecError
+
+__all__ = [
+    "panel_to_dict", "panel_from_dict",
+    "design_to_dict", "design_from_dict",
+    "save_panel", "load_panel", "save_design", "load_design",
+]
+
+_SCHEMA_VERSION = 1
+
+
+def panel_to_dict(panel: PanelSpec) -> dict:
+    """Serialise a panel spec to a JSON-ready dict."""
+    return {
+        "schema": _SCHEMA_VERSION,
+        "kind": "panel",
+        "name": panel.name,
+        "targets": [
+            {
+                "species": t.species,
+                "c_min": t.c_min,
+                "c_max": t.c_max,
+                "required_lod": t.required_lod,
+                "max_response_time": t.max_response_time,
+            }
+            for t in panel.targets
+        ],
+        "max_die_area_mm2": panel.max_die_area_mm2,
+        "max_power": panel.max_power,
+        "max_assay_time": panel.max_assay_time,
+        "max_cost": panel.max_cost,
+    }
+
+
+def panel_from_dict(payload: dict) -> PanelSpec:
+    """Rebuild a panel spec, validating shape and version."""
+    _check(payload, "panel")
+    try:
+        targets = tuple(
+            TargetSpec(
+                species=t["species"], c_min=t["c_min"], c_max=t["c_max"],
+                required_lod=t.get("required_lod"),
+                max_response_time=t.get("max_response_time"),
+            )
+            for t in payload["targets"]
+        )
+        return PanelSpec(
+            name=payload["name"], targets=targets,
+            max_die_area_mm2=payload.get("max_die_area_mm2"),
+            max_power=payload.get("max_power"),
+            max_assay_time=payload.get("max_assay_time"),
+            max_cost=payload.get("max_cost"),
+        )
+    except (KeyError, TypeError) as exc:
+        raise SpecError(f"malformed panel spec: {exc!r}") from exc
+
+
+def design_to_dict(design: PlatformDesign) -> dict:
+    """Serialise a platform design to a JSON-ready dict."""
+    return {
+        "schema": _SCHEMA_VERSION,
+        "kind": "design",
+        "name": design.name,
+        "assignments": [
+            {
+                "we_name": a.we_name,
+                "family": a.family,
+                "probe_name": (a.option.probe_name if a.option else None),
+                "targets": list(a.targets),
+            }
+            for a in design.assignments
+        ],
+        "structure": design.structure,
+        "readout": design.readout,
+        "noise": design.noise,
+        "nanostructure": design.nanostructure,
+        "we_area": design.we_area,
+        "scan_rate": design.scan_rate,
+    }
+
+
+def design_from_dict(payload: dict) -> PlatformDesign:
+    """Rebuild a platform design, validating shape and version."""
+    _check(payload, "design")
+    try:
+        assignments = []
+        for a in payload["assignments"]:
+            if a["probe_name"] is None:
+                option = None
+            else:
+                option = ProbeOption(
+                    target=a["targets"][0], family=a["family"],
+                    probe_name=a["probe_name"])
+            assignments.append(WeAssignment(
+                we_name=a["we_name"], option=option,
+                targets=tuple(a["targets"])))
+        return PlatformDesign(
+            name=payload["name"], assignments=tuple(assignments),
+            structure=payload["structure"], readout=payload["readout"],
+            noise=payload["noise"],
+            nanostructure=payload.get("nanostructure"),
+            we_area=payload["we_area"], scan_rate=payload["scan_rate"])
+    except (KeyError, TypeError, IndexError) as exc:
+        raise SpecError(f"malformed design spec: {exc!r}") from exc
+
+
+def save_panel(panel: PanelSpec, path: str | Path) -> Path:
+    out = Path(path)
+    out.write_text(json.dumps(panel_to_dict(panel), indent=2) + "\n")
+    return out
+
+
+def load_panel(path: str | Path) -> PanelSpec:
+    return panel_from_dict(_read(path))
+
+
+def save_design(design: PlatformDesign, path: str | Path) -> Path:
+    out = Path(path)
+    out.write_text(json.dumps(design_to_dict(design), indent=2) + "\n")
+    return out
+
+
+def load_design(path: str | Path) -> PlatformDesign:
+    return design_from_dict(_read(path))
+
+
+def _read(path: str | Path) -> dict:
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SpecError(f"cannot read spec {path!s}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise SpecError(f"spec {path!s} is not a JSON object")
+    return payload
+
+
+def _check(payload: dict, kind: str) -> None:
+    if payload.get("kind") != kind:
+        raise SpecError(
+            f"expected a {kind!r} spec, got {payload.get('kind')!r}")
+    if payload.get("schema") != _SCHEMA_VERSION:
+        raise SpecError(
+            f"unsupported schema version {payload.get('schema')!r} "
+            f"(this library reads version {_SCHEMA_VERSION})")

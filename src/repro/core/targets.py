@@ -1,0 +1,122 @@
+"""Target and panel specifications — the *requirements* side of the DSE.
+
+The paper's design problem (Sec. I): given a set of target molecules,
+find "the most cost-effective solution (e.g., small, low energy
+consumption, low-cost)".  A :class:`TargetSpec` states what must be
+measured and how well; a :class:`PanelSpec` bundles targets with
+platform-level budgets.  The explorer consumes these and nothing else —
+requirements never leak into the component models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chem.species import get_species
+from repro.errors import DesignError
+from repro.units import ensure_positive
+
+__all__ = ["TargetSpec", "PanelSpec", "paper_panel_spec"]
+
+
+@dataclass(frozen=True)
+class TargetSpec:
+    """One molecule the platform must quantify.
+
+    Parameters
+    ----------
+    species:
+        Registry name of the molecule.
+    c_min, c_max:
+        Concentration range of clinical interest, mol/m^3 (== mM); the
+        platform must resolve values across this window.
+    required_lod:
+        Largest acceptable limit of detection, mol/m^3; ``None`` accepts
+        whatever the chemistry gives.
+    max_response_time:
+        Largest acceptable steady-state response time, seconds.
+    """
+
+    species: str
+    c_min: float
+    c_max: float
+    required_lod: float | None = None
+    max_response_time: float | None = None
+
+    def __post_init__(self) -> None:
+        get_species(self.species)
+        ensure_positive(self.c_min, "c_min")
+        ensure_positive(self.c_max, "c_max")
+        if self.c_max <= self.c_min:
+            raise DesignError(
+                f"target {self.species!r}: c_max must exceed c_min")
+        if self.required_lod is not None:
+            ensure_positive(self.required_lod, "required_lod")
+        if self.max_response_time is not None:
+            ensure_positive(self.max_response_time, "max_response_time")
+
+    @property
+    def mid_concentration(self) -> float:
+        """Geometric mid-point of the range (panel demo loading)."""
+        return (self.c_min * self.c_max) ** 0.5
+
+
+@dataclass(frozen=True)
+class PanelSpec:
+    """A multi-target measurement problem with platform budgets.
+
+    Budgets are optional; ``None`` disables the corresponding rule.
+    ``max_assay_time`` bounds one full multiplexed scan (which is what
+    bounds the paper's *sample throughput*).
+    """
+
+    name: str
+    targets: tuple[TargetSpec, ...]
+    max_die_area_mm2: float | None = None
+    max_power: float | None = None
+    max_assay_time: float | None = None
+    max_cost: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.targets:
+            raise DesignError("a panel needs at least one target")
+        names = [t.species for t in self.targets]
+        if len(set(names)) != len(names):
+            raise DesignError(f"duplicate targets in panel: {names}")
+        for label, value in (("max_die_area_mm2", self.max_die_area_mm2),
+                             ("max_power", self.max_power),
+                             ("max_assay_time", self.max_assay_time),
+                             ("max_cost", self.max_cost)):
+            if value is not None:
+                ensure_positive(value, label)
+
+    def target(self, species: str) -> TargetSpec:
+        for t in self.targets:
+            if t.species == species:
+                return t
+        known = ", ".join(t.species for t in self.targets)
+        raise DesignError(f"no target {species!r} in panel (have: {known})")
+
+    def species_names(self) -> tuple[str, ...]:
+        return tuple(t.species for t in self.targets)
+
+
+def paper_panel_spec() -> PanelSpec:
+    """The Sec. III panel as a specification.
+
+    Ranges are the Table III linear ranges; LOD requirements are relaxed
+    to 1.5x the Table III LODs (a platform *reproducing* the cited
+    sensors should meet them with margin).
+    """
+    return PanelSpec(
+        name="paper_sec3_panel",
+        targets=(
+            TargetSpec("glucose", 0.5, 4.0, required_lod=0.9),
+            TargetSpec("lactate", 0.5, 2.5, required_lod=0.6),
+            TargetSpec("glutamate", 0.5, 2.0, required_lod=2.4),
+            TargetSpec("benzphetamine", 0.2, 1.2, required_lod=0.3),
+            TargetSpec("aminopyrine", 0.8, 8.0, required_lod=0.6),
+            TargetSpec("cholesterol", 0.01, 0.08),
+        ),
+        max_assay_time=600.0,
+    )

@@ -1,0 +1,43 @@
+"""The paper's tables as data, and factories for calibrated objects."""
+
+from repro.data.catalog import (
+    PAPER_PANEL_MID_CONCENTRATIONS,
+    PAPER_PANEL_TARGETS,
+    bench_chain,
+    build_cytochrome,
+    build_oxidase,
+    integrated_chain,
+    paper_biointerface,
+    paper_panel_cell,
+    reference_cell,
+    reference_working_electrode,
+    table1_cell,
+    table1_working_electrode,
+)
+from repro.data.cytochromes import (
+    TABLE_II,
+    CypRecord,
+    cyp_isoforms,
+    cyp_record,
+    cyp_records_for,
+)
+from repro.data.oxidases import TABLE_I, OxidaseRecord, oxidase_record
+from repro.data.performance import (
+    TABLE_III,
+    TABLE_III_TARGETS,
+    PerformanceRecord,
+    performance_record,
+)
+
+__all__ = [
+    "TABLE_I", "OxidaseRecord", "oxidase_record",
+    "TABLE_II", "CypRecord", "cyp_records_for", "cyp_isoforms", "cyp_record",
+    "TABLE_III", "TABLE_III_TARGETS", "PerformanceRecord",
+    "performance_record",
+    "build_oxidase", "build_cytochrome",
+    "reference_working_electrode", "reference_cell",
+    "table1_working_electrode", "table1_cell",
+    "bench_chain", "integrated_chain",
+    "paper_biointerface", "paper_panel_cell",
+    "PAPER_PANEL_TARGETS", "PAPER_PANEL_MID_CONCENTRATIONS",
+]

@@ -1,0 +1,432 @@
+"""Factory for calibrated probes, reference sensors, chips and chains.
+
+This module turns the paper's tables into ready-to-run objects:
+
+- :func:`build_oxidase` / :func:`build_cytochrome` — probes whose film
+  parameters are inverted from Tables I and III
+  (:mod:`repro.data.fitting`),
+- :func:`reference_working_electrode` / :func:`reference_cell` — the
+  cited works' electrodes (screen-printed + CNT, rhodium-graphite), used
+  by the T1/T2/T3 benches,
+- :func:`paper_biointerface` / :func:`paper_panel_cell` — the Fig. 4
+  five-electrode silicon chip with the Sec. III panel functionalization,
+- :func:`bench_chain` / :func:`integrated_chain` — a laboratory-grade
+  acquisition chain (for reproducing the cited numbers) and the
+  integrated platform chain with the paper's Sec. II-C readout specs
+  (+/-10 uA @ 10 nA for oxidases, +/-100 uA @ 100 nA for CYPs).
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+from repro.chem.enzymes import (
+    CypSubstrateChannel,
+    CytochromeP450,
+    Oxidase,
+    ProstheticGroup,
+)
+from repro.chem.redox import ButlerVolmerKinetics, OxidationEfficiency, RedoxCouple
+from repro.chem.solution import Chamber
+from repro.chem.species import get_species
+from repro.data import fitting
+from repro.data.cytochromes import cyp_records_for
+from repro.data.oxidases import oxidase_record
+from repro.data.performance import performance_record
+from repro.electronics.adc import ADC
+from repro.electronics.chain import AcquisitionChain
+from repro.electronics.mux import Multiplexer
+from repro.electronics.noise import NoiseStrategy
+from repro.electronics.potentiostat import Potentiostat
+from repro.electronics.tia import TransimpedanceAmplifier
+from repro.errors import DesignError
+from repro.sensors.biointerface import BioInterface
+from repro.sensors.cell import ElectrochemicalCell
+from repro.sensors.electrode import (
+    PAPER_ELECTRODE_AREA,
+    Electrode,
+    ElectrodeRole,
+    WorkingElectrode,
+)
+from repro.sensors.functionalization import (
+    CARBON_NANOTUBES,
+    Nanostructure,
+    with_cytochrome,
+    with_oxidase,
+)
+from repro.sensors.materials import get_material
+
+__all__ = [
+    "build_oxidase",
+    "build_cytochrome",
+    "reference_working_electrode",
+    "reference_cell",
+    "table1_working_electrode",
+    "table1_cell",
+    "bench_chain",
+    "integrated_chain",
+    "READOUT_CLASSES",
+    "select_readout_class",
+    "paper_biointerface",
+    "paper_panel_cell",
+    "PAPER_PANEL_TARGETS",
+    "PAPER_PANEL_MID_CONCENTRATIONS",
+    "SATURATION_FRACTION",
+    "H2O2_WAVE_SLOPE",
+    "CYP_BASE_K0",
+]
+
+#: The Table I applied potential is read as the 95 %-saturation point of
+#: the H2O2 collection wave.
+SATURATION_FRACTION = 0.95
+
+#: Slope of the H2O2 oxidation wave, volts (one-electron Nernstian).
+H2O2_WAVE_SLOPE = 0.0257
+
+#: Intrinsic standard rate constant of immobilised CYP films, m/s
+#: (quasi-reversible at 20 mV/s; materials scale it).
+CYP_BASE_K0 = 1.2e-4
+
+#: Default channel parameters for Table II drugs without a Table III row.
+_DEFAULT_CYP_EFFICIENCY = 0.10
+_DEFAULT_CYP_KM = 10.0
+
+#: Defaults for the Table I cholesterol-oxidase probe, which has no
+#: Table III row (the panel senses cholesterol via CYP11A1 instead):
+#: a representative sensitivity below the transport ceiling, and the
+#: clinically useful range the paper's Sec. III panel needs.
+_CHOLESTEROL_OXIDASE_SENSITIVITY = 15.0
+_CHOLESTEROL_OXIDASE_UPPER = 0.2
+
+#: Targets of the Fig. 4 / Sec. III multi-panel, in electrode order.
+PAPER_PANEL_TARGETS = (
+    "glucose", "lactate", "glutamate",
+    "benzphetamine", "aminopyrine", "cholesterol",
+)
+
+#: Mid-linear-range concentrations for panel demonstrations, mol/m^3.
+PAPER_PANEL_MID_CONCENTRATIONS = {
+    "glucose": 2.0,
+    "lactate": 1.5,
+    "glutamate": 1.2,
+    "benzphetamine": 0.7,
+    "aminopyrine": 4.0,
+    "cholesterol": 0.045,
+}
+
+
+def _effective_nernst_layer(area: float) -> float:
+    """delta_eff of a disk electrode of the given area (planar || disk)."""
+    from repro.chem.constants import NERNST_LAYER_QUIESCENT
+    radius = math.sqrt(area / math.pi)
+    delta_disk = math.pi * radius / 4.0
+    return 1.0 / (1.0 / NERNST_LAYER_QUIESCENT + 1.0 / delta_disk)
+
+
+def _reference_wave_shift(record_material: str,
+                          nanostructure: Nanostructure | None) -> float:
+    material = get_material(record_material)
+    shift = material.h2o2_wave_shift
+    if nanostructure is not None:
+        shift += nanostructure.h2o2_wave_shift
+    return shift
+
+
+def _nanostructure_for(name: str | None) -> Nanostructure | None:
+    if name is None:
+        return None
+    if name == "carbon_nanotubes":
+        return CARBON_NANOTUBES
+    raise DesignError(f"unknown reference nanostructure {name!r}")
+
+
+@lru_cache(maxsize=None)
+def build_oxidase(target: str) -> Oxidase:
+    """The calibrated oxidase probe for a Table I target.
+
+    The film reproduces the Table III sensitivity and linear range on the
+    reference electrode; the H2O2 wave is placed so that the measured
+    95 %-saturation potential on that electrode equals the Table I
+    applied potential.
+    """
+    record = oxidase_record(target)
+    nano = _nanostructure_for(record.reference_nanostructure)
+    species = get_species(target)
+    delta = _effective_nernst_layer(record.reference_area)
+    mass_transfer = species.diffusivity / delta
+    try:
+        perf = performance_record(target)
+        has_perf = perf.method == "chronoamperometry"
+    except KeyError:
+        has_perf = False
+    if has_perf:
+        sensitivity = perf.sensitivity
+        lower, upper = perf.linear_range
+    else:
+        sensitivity = _CHOLESTEROL_OXIDASE_SENSITIVITY
+        lower, upper = _CHOLESTEROL_OXIDASE_UPPER / 8.0, _CHOLESTEROL_OXIDASE_UPPER
+    effective_film = fitting.oxidase_film_from_paper(
+        sensitivity, upper, mass_transfer, eta=SATURATION_FRACTION,
+        linear_lower=lower)
+    gain = nano.signal_gain if nano else 1.0
+    base_film = effective_film.scaled(1.0 / gain)
+    # Place the base wave so the *effective* wave on the reference
+    # electrode saturates (95 %) exactly at the Table I potential.
+    logit = H2O2_WAVE_SLOPE * math.log(
+        SATURATION_FRACTION / (1.0 - SATURATION_FRACTION))
+    e_half = (record.applied_potential - logit
+              - _reference_wave_shift(record.reference_material, nano))
+    group = (ProstheticGroup.FMN if record.prosthetic_group == "FMN"
+             else ProstheticGroup.FAD)
+    return Oxidase(
+        name=record.enzyme, display_name=record.display_name,
+        prosthetic_group=group, substrate=target,
+        film=base_film,
+        h2o2_wave=OxidationEfficiency(e_half=e_half, slope=H2O2_WAVE_SLOPE),
+    )
+
+
+@lru_cache(maxsize=None)
+def build_cytochrome(isoform: str) -> CytochromeP450:
+    """The calibrated CYP probe for a Table II isoform.
+
+    Channels carry the tabulated reduction potentials (2-electron
+    couples, reaction (4)); efficiencies and saturation constants are
+    inverted from the Table III sensitivities and linear ranges where
+    available.
+    """
+    channels = []
+    for record in cyp_records_for(isoform):
+        species = get_species(record.target)
+        try:
+            perf = performance_record(record.target)
+            usable = perf.method == "cyclic_voltammetry"
+        except KeyError:
+            usable = False
+        if usable:
+            efficiency, km = fitting.cyp_channel_params_from_paper(
+                perf.sensitivity, perf.linear_range[1],
+                species.diffusivity, n_electrons=record.n_electrons,
+                height_factor=perf.cv_height_factor)
+            # The fitted efficiency is the *effective* value on the
+            # reference electrode; peel off its nanostructure gain so the
+            # probe is geometry-independent (mirrors the oxidase films).
+            ref_nano = _nanostructure_for(perf.reference_nanostructure)
+            if ref_nano is not None:
+                efficiency /= ref_nano.signal_gain
+        else:
+            efficiency, km = _DEFAULT_CYP_EFFICIENCY, _DEFAULT_CYP_KM
+        couple = RedoxCouple(
+            name=f"{isoform}:{record.target}",
+            e_formal=record.reduction_potential,
+            n_electrons=record.n_electrons)
+        channels.append(CypSubstrateChannel(
+            substrate=record.target,
+            kinetics=ButlerVolmerKinetics(couple, k0=CYP_BASE_K0),
+            efficiency=efficiency, km=km))
+    return CytochromeP450(
+        name=isoform.lower(), display_name=isoform,
+        prosthetic_group=ProstheticGroup.HEME,
+        channels=tuple(channels))
+
+
+def _probe_for_target(target: str):
+    """The panel probe for a target: oxidase for the first three
+    metabolites, cytochrome for the drug compounds and cholesterol."""
+    if target in ("glucose", "lactate", "glutamate"):
+        return build_oxidase(target)
+    perf = performance_record(target)
+    return build_cytochrome(perf.probe)
+
+
+@lru_cache(maxsize=None)
+def table1_working_electrode(target: str) -> WorkingElectrode:
+    """The Table I reference electrode carrying the *oxidase* probe.
+
+    Differs from :func:`reference_working_electrode` for cholesterol,
+    whose Table III row is CYP-based while Table I lists cholesterol
+    oxidase; the T1 bench sweeps these electrodes.
+    """
+    record = oxidase_record(target)
+    nano = _nanostructure_for(record.reference_nanostructure)
+    functionalization = with_oxidase(build_oxidase(target), nanostructure=nano)
+    electrode = Electrode(
+        name=f"WE_{target}_t1", role=ElectrodeRole.WORKING,
+        material=get_material(record.reference_material),
+        area=record.reference_area)
+    return WorkingElectrode(electrode=electrode,
+                            functionalization=functionalization)
+
+
+def table1_cell(target: str,
+                chamber: Chamber | None = None) -> ElectrochemicalCell:
+    """A single-sensor cell around the Table I oxidase electrode."""
+    we = table1_working_electrode(target)
+    if chamber is None:
+        chamber = Chamber(name=f"t1_{target}")
+    reference = Electrode(name="RE", role=ElectrodeRole.REFERENCE,
+                          material=get_material("silver"), area=we.area)
+    counter = Electrode(name="CE", role=ElectrodeRole.COUNTER,
+                        material=get_material("gold"), area=2.0 * we.area)
+    return ElectrochemicalCell(chamber=chamber, working_electrodes=[we],
+                               reference=reference, counter=counter)
+
+
+@lru_cache(maxsize=None)
+def reference_working_electrode(target: str) -> WorkingElectrode:
+    """The cited work's electrode for a Table III target.
+
+    Geometry, material and nanostructure follow the performance record;
+    the electrode's noise density is derived so the blank-based LOD
+    lands at the Table III value (when one is given).
+    """
+    perf = performance_record(target)
+    nano = _nanostructure_for(perf.reference_nanostructure)
+    probe = _probe_for_target(target)
+    if isinstance(probe, Oxidase):
+        functionalization = with_oxidase(probe, nanostructure=nano)
+    else:
+        functionalization = with_cytochrome(probe, nanostructure=nano)
+    if perf.lod is not None:
+        density = fitting.blank_noise_density_for_lod(
+            perf.lod, perf.sensitivity, perf.reference_area)
+    else:
+        density = 2.0e-9
+    electrode = Electrode(
+        name=f"WE_{target}", role=ElectrodeRole.WORKING,
+        material=get_material(perf.reference_material),
+        area=perf.reference_area)
+    return WorkingElectrode(electrode=electrode,
+                            functionalization=functionalization,
+                            sensor_noise_density=density)
+
+
+def reference_cell(target: str,
+                   chamber: Chamber | None = None) -> ElectrochemicalCell:
+    """A single-sensor cell around the reference electrode of a target."""
+    we = reference_working_electrode(target)
+    if chamber is None:
+        chamber = Chamber(name=f"cell_{target}")
+    reference = Electrode(name="RE", role=ElectrodeRole.REFERENCE,
+                          material=get_material("silver"), area=we.area)
+    counter = Electrode(name="CE", role=ElectrodeRole.COUNTER,
+                        material=get_material("gold"), area=2.0 * we.area)
+    return ElectrochemicalCell(chamber=chamber, working_electrodes=[we],
+                               reference=reference, counter=counter)
+
+
+def bench_chain(seed: int = 2011) -> AcquisitionChain:
+    """A laboratory-grade chain: the instruments behind the cited numbers.
+
+    High-gain potentiostat, low-noise chopper-stabilised electrometer
+    front-end (negligible flicker), 16-bit conversion, no drift — so the
+    measured Table III metrics reflect the *sensors*, not the readout.
+    """
+    potentiostat = Potentiostat(open_loop_gain=1.0e6, input_offset=2.0e-5,
+                                compliance=10.0, bandwidth=1.0e5,
+                                solution_resistance=100.0,
+                                power=1.0, area_mm2=1.0e4)
+    tia = TransimpedanceAmplifier(
+        feedback_resistance=1.0e6, rail=10.0,
+        input_offset_current=0.0, bandwidth=1.0e4,
+        flicker_corner=0.05, amplifier_noise_density=1.0e-13,
+        power=1.0, area_mm2=1.0e4)
+    adc = ADC(n_bits=16, v_min=-10.0, v_max=10.0, sample_rate=10.0,
+              power=1.0, area_mm2=1.0e4)
+    return AcquisitionChain(potentiostat=potentiostat, tia=tia, adc=adc,
+                            baseline_drift_rate=0.0, seed=seed)
+
+
+#: Readout classes: full-scale current (A) and resolution (A).  The first
+#: two are the paper's Sec. II-C specifications for macro sensors; the
+#: third extends the same 2000-code dynamic range to the microfabricated
+#: 0.23 mm^2 electrodes, whose currents are ~30x smaller (documented as a
+#: reproduction substitution in DESIGN.md).
+READOUT_CLASSES: dict[str, tuple[float, float]] = {
+    "cyp_micro": (1.0e-6, 1.0e-9),
+    "oxidase": (10.0e-6, 10.0e-9),
+    "cyp": (100.0e-6, 100.0e-9),
+}
+
+
+def select_readout_class(peak_current: float) -> str:
+    """The finest readout class whose full scale covers ``peak_current``.
+
+    Raises :class:`~repro.errors.DesignError` when even the widest class
+    saturates — the platform then needs a smaller electrode or a diluted
+    sample.
+    """
+    for name in ("cyp_micro", "oxidase", "cyp"):
+        full_scale, _ = READOUT_CLASSES[name]
+        if abs(peak_current) <= 0.9 * full_scale:
+            return name
+    raise DesignError(
+        f"current {peak_current:.3g} A exceeds every readout class "
+        f"(max +/-100 uA)")
+
+
+def integrated_chain(readout: str = "oxidase", n_channels: int = 5,
+                     noise_strategy: NoiseStrategy | None = None,
+                     seed: int = 2011) -> AcquisitionChain:
+    """The integrated platform chain with the paper's Sec. II-C specs.
+
+    ``readout`` names a :data:`READOUT_CLASSES` entry: ``"oxidase"``
+    (+/-10 uA @ 10 nA), ``"cyp"`` (+/-100 uA @ 100 nA) or ``"cyp_micro"``
+    (+/-1 uA @ 1 nA, the scaled class for 0.23 mm^2 electrodes).
+    """
+    if readout not in READOUT_CLASSES:
+        known = ", ".join(READOUT_CLASSES)
+        raise DesignError(f"readout must be one of {known}, got {readout!r}")
+    full_scale, resolution = READOUT_CLASSES[readout]
+    tia = TransimpedanceAmplifier.for_range(full_scale)
+    adc = ADC.for_readout(full_scale, resolution, sample_rate=100.0)
+    mux = Multiplexer(n_channels=n_channels)
+    return AcquisitionChain(potentiostat=Potentiostat(), tia=tia, adc=adc,
+                            mux=mux, noise_strategy=noise_strategy,
+                            seed=seed)
+
+
+def paper_biointerface(we_area: float = PAPER_ELECTRODE_AREA) -> BioInterface:
+    """The Fig. 4 chip: five gold WEs (0.23 mm^2), gold CE, silver RE.
+
+    Functionalization per Sec. III: glucose, lactate and glutamate
+    oxidases (CNT-nanostructured), CYP2B4 for benzphetamine + aminopyrine
+    on one electrode, CYP11A1 (CNT) for cholesterol.
+    """
+    gold = get_material("gold")
+    wes = []
+    layout = [
+        ("WE1", with_oxidase(build_oxidase("glucose"),
+                             nanostructure=CARBON_NANOTUBES)),
+        ("WE2", with_oxidase(build_oxidase("lactate"),
+                             nanostructure=CARBON_NANOTUBES)),
+        ("WE3", with_oxidase(build_oxidase("glutamate"),
+                             nanostructure=CARBON_NANOTUBES)),
+        ("WE4", with_cytochrome(build_cytochrome("CYP2B4"),
+                                nanostructure=CARBON_NANOTUBES)),
+        ("WE5", with_cytochrome(build_cytochrome("CYP11A1"),
+                                nanostructure=CARBON_NANOTUBES)),
+    ]
+    for name, functionalization in layout:
+        wes.append(WorkingElectrode(
+            electrode=Electrode(name=name, role=ElectrodeRole.WORKING,
+                                material=gold, area=we_area),
+            functionalization=functionalization))
+    return BioInterface.gold_chip("paper_fig4", wes, we_area=we_area)
+
+
+def paper_panel_cell(concentrations: dict[str, float] | None = None,
+                     we_area: float = PAPER_ELECTRODE_AREA,
+                     ) -> ElectrochemicalCell:
+    """The Fig. 4 chip wetted by a sample.
+
+    ``concentrations`` maps target names to bulk values, mol/m^3;
+    defaults to mid-linear-range loadings of all six panel targets.
+    """
+    chamber = Chamber(name="panel")
+    loading = (concentrations if concentrations is not None
+               else PAPER_PANEL_MID_CONCENTRATIONS)
+    for name, value in loading.items():
+        chamber.set_bulk(name, value)
+    return paper_biointerface(we_area).as_cell(chamber)

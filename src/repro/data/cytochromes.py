@@ -1,0 +1,99 @@
+"""Table II of the paper: cytochromes P450 and their target drugs.
+
+Each :class:`CypRecord` is one (isoform, drug) row with the tabulated
+reduction potential vs Ag/AgCl.  The catalog groups rows by isoform into
+:class:`~repro.chem.enzymes.CytochromeP450` probes — CYP3A4, CYP2B4,
+CYP2B6 and CYP2C9 each sense two drugs, which is the paper's
+multi-target-per-electrode argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import mv_to_v
+
+__all__ = ["CypRecord", "TABLE_II", "cyp_records_for", "cyp_isoforms",
+           "cyp_record"]
+
+
+@dataclass(frozen=True)
+class CypRecord:
+    """One row of Table II.
+
+    ``reduction_potential`` in volts vs Ag/AgCl; ``n_electrons`` follows
+    the paper's reaction (4) (2-electron reduction of the CYP catalytic
+    cycle).
+    """
+
+    isoform: str
+    target: str
+    description: str
+    reduction_potential: float
+    reference: str
+    n_electrons: int = 2
+
+
+TABLE_II: tuple[CypRecord, ...] = (
+    CypRecord("CYP1A2", "clozapine",
+              "Antipsychotic used in the treatment of schizophrenia",
+              mv_to_v(-265.0), "[12]"),
+    CypRecord("CYP3A4", "erythromycin",
+              "Broad-spectrum antibiotic",
+              mv_to_v(-625.0), "[13]"),
+    CypRecord("CYP3A4", "indinavir",
+              "Used in the treatment of HIV infection and AIDS",
+              mv_to_v(-750.0), "[14]"),
+    CypRecord("CYP11A1", "cholesterol",
+              "Metabolite able to establish proper cell membrane "
+              "permeability and fluidity",
+              mv_to_v(-400.0), "[15]"),
+    CypRecord("CYP2B4", "benzphetamine",
+              "Used in the treatment of obesity",
+              mv_to_v(-250.0), "[16]"),
+    CypRecord("CYP2B4", "aminopyrine",
+              "Analgesic, anti-inflammatory, and antipyretic drug",
+              mv_to_v(-400.0), "[17]"),
+    CypRecord("CYP2B6", "bupropion",
+              "Antidepressant",
+              mv_to_v(-450.0), "[18]"),
+    CypRecord("CYP2B6", "lidocaine",
+              "Anesthetic and antiarrhythmic",
+              mv_to_v(-450.0), "[19]"),
+    CypRecord("CYP2C9", "torsemide",
+              "Diuretic",
+              mv_to_v(-19.0), "[20]"),
+    CypRecord("CYP2C9", "diclofenac",
+              "Anti-inflammatory (written 'diclofecan' in the paper)",
+              mv_to_v(-41.0), "[20]"),
+    CypRecord("CYP2E1", "p_nitrophenol",
+              "Intermediate in the synthesis of paracetamol",
+              mv_to_v(-300.0), "[21]"),
+)
+
+
+def cyp_isoforms() -> tuple[str, ...]:
+    """All isoforms of Table II, in first-appearance order."""
+    seen: list[str] = []
+    for record in TABLE_II:
+        if record.isoform not in seen:
+            seen.append(record.isoform)
+    return tuple(seen)
+
+
+def cyp_records_for(isoform: str) -> tuple[CypRecord, ...]:
+    """All rows of one isoform (one per sensed drug)."""
+    records = tuple(r for r in TABLE_II if r.isoform == isoform)
+    if not records:
+        known = ", ".join(cyp_isoforms())
+        raise KeyError(f"no CYP records for {isoform!r} (known: {known})")
+    return records
+
+
+def cyp_record(target: str) -> CypRecord:
+    """The Table II row sensing a given drug."""
+    for record in TABLE_II:
+        if record.target == target:
+            return record
+    known = ", ".join(r.target for r in TABLE_II)
+    raise KeyError(f"no CYP record for {target!r} (known: {known})")

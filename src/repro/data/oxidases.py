@@ -1,0 +1,91 @@
+"""Table I of the paper: oxidases used to develop biosensors.
+
+Each :class:`OxidaseRecord` carries the paper row (target, description,
+applied potential vs Ag/AgCl) plus the reference-electrode context of the
+cited work, which the catalog uses to place the H2O2 oxidation wave so
+that the *measured* 95 %-saturation potential on that electrode equals the
+paper's applied potential.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import mv_to_v
+
+__all__ = ["OxidaseRecord", "TABLE_I", "oxidase_record"]
+
+
+@dataclass(frozen=True)
+class OxidaseRecord:
+    """One row of Table I plus reference-sensor context.
+
+    ``applied_potential`` is the Table I value (volts vs Ag/AgCl).
+    ``reference_material`` / ``reference_nanostructure`` name the cited
+    electrode (see Sec. III: glucose/lactate/glutamate values were
+    obtained on carbon-nanotube electrodes).  ``reference_area`` is a
+    representative geometric area for the cited screen-printed sensors,
+    m^2.
+    """
+
+    enzyme: str
+    display_name: str
+    target: str
+    description: str
+    applied_potential: float
+    reference: str
+    prosthetic_group: str = "FAD"
+    reference_material: str = "screen_printed_carbon"
+    reference_nanostructure: str = "carbon_nanotubes"
+    reference_area: float = 7.0e-6
+
+
+TABLE_I: tuple[OxidaseRecord, ...] = (
+    OxidaseRecord(
+        enzyme="glucose_oxidase",
+        display_name="Glucose oxidase",
+        target="glucose",
+        description="Metabolic compound as energy source",
+        applied_potential=mv_to_v(550.0),
+        reference="[8]",
+        prosthetic_group="FAD",
+    ),
+    OxidaseRecord(
+        enzyme="lactate_oxidase",
+        display_name="Lactate oxidase",
+        target="lactate",
+        description="Metabolic compound as marker of cell suffering",
+        applied_potential=mv_to_v(650.0),
+        reference="[9]",
+        # Lactate oxidase carries FMN (paper Sec. I-B).
+        prosthetic_group="FMN",
+    ),
+    OxidaseRecord(
+        enzyme="glutamate_oxidase",
+        display_name="L-Glutamate oxidase",
+        target="glutamate",
+        description="Excitatory neurotransmitter",
+        applied_potential=mv_to_v(600.0),
+        reference="[10]",
+        prosthetic_group="FAD",
+    ),
+    OxidaseRecord(
+        enzyme="cholesterol_oxidase",
+        display_name="Cholesterol oxidase",
+        target="cholesterol",
+        description=("Metabolic compound that establishes proper membrane "
+                     "permeability and fluidity"),
+        applied_potential=mv_to_v(700.0),
+        reference="[11]",
+        prosthetic_group="FAD",
+    ),
+)
+
+
+def oxidase_record(target: str) -> OxidaseRecord:
+    """The Table I row for a target metabolite."""
+    for record in TABLE_I:
+        if record.target == target:
+            return record
+    known = ", ".join(r.target for r in TABLE_I)
+    raise KeyError(f"no oxidase record for {target!r} (known: {known})")

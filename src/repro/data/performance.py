@@ -1,0 +1,110 @@
+"""Table III of the paper: performance of the six metabolite biosensors.
+
+Each :class:`PerformanceRecord` holds the reported sensitivity, limit of
+detection and linear range, together with the reference-electrode context
+of the cited measurement (material, nanostructure, representative area)
+and the detection method.  The catalog inverts these numbers into model
+parameters (see :mod:`repro.data.fitting`) so the T3 bench can *measure*
+them back through the simulated acquisition chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import um_conc_to_si
+
+__all__ = ["PerformanceRecord", "TABLE_III", "performance_record",
+           "TABLE_III_TARGETS"]
+
+
+@dataclass(frozen=True)
+class PerformanceRecord:
+    """One row of Table III plus reference-sensor context.
+
+    ``sensitivity`` in the paper's unit, uA/(mM*cm^2); ``lod`` in
+    mol/m^3 (None for cholesterol — the paper leaves that cell empty);
+    ``linear_range`` in mol/m^3 (== mM).  ``cv_height_factor`` is the
+    one-time numeric correction between the reversible Randles-Sevcik
+    height and the simulator's measured peak prominence for
+    quasi-reversible CYP films (see data.fitting).
+    """
+
+    target: str
+    probe: str
+    method: str  # "chronoamperometry" | "cyclic_voltammetry"
+    sensitivity: float
+    lod: float | None
+    linear_range: tuple[float, float]
+    reference: str
+    reference_material: str
+    reference_nanostructure: str | None
+    reference_area: float = 7.0e-6
+    cv_height_factor: float = 1.0
+
+
+TABLE_III: tuple[PerformanceRecord, ...] = (
+    PerformanceRecord(
+        target="glucose", probe="glucose_oxidase",
+        method="chronoamperometry",
+        sensitivity=27.7, lod=um_conc_to_si(575.0),
+        linear_range=(0.5, 4.0), reference="Sec. III",
+        reference_material="screen_printed_carbon",
+        reference_nanostructure="carbon_nanotubes",
+    ),
+    PerformanceRecord(
+        target="lactate", probe="lactate_oxidase",
+        method="chronoamperometry",
+        sensitivity=40.1, lod=um_conc_to_si(366.0),
+        linear_range=(0.5, 2.5), reference="Sec. III",
+        reference_material="screen_printed_carbon",
+        reference_nanostructure="carbon_nanotubes",
+    ),
+    PerformanceRecord(
+        target="glutamate", probe="glutamate_oxidase",
+        method="chronoamperometry",
+        sensitivity=25.5, lod=um_conc_to_si(1574.0),
+        linear_range=(0.5, 2.0), reference="Sec. III",
+        reference_material="screen_printed_carbon",
+        reference_nanostructure="carbon_nanotubes",
+    ),
+    PerformanceRecord(
+        target="benzphetamine", probe="CYP2B4",
+        method="cyclic_voltammetry",
+        sensitivity=0.28, lod=um_conc_to_si(200.0),
+        linear_range=(0.2, 1.2), reference="[16]",
+        reference_material="rhodium_graphite",
+        reference_nanostructure=None,
+        cv_height_factor=0.672,
+    ),
+    PerformanceRecord(
+        target="aminopyrine", probe="CYP2B4",
+        method="cyclic_voltammetry",
+        sensitivity=2.8, lod=um_conc_to_si(400.0),
+        linear_range=(0.8, 8.0), reference="[16]",
+        reference_material="rhodium_graphite",
+        reference_nanostructure=None,
+        cv_height_factor=0.617,
+    ),
+    PerformanceRecord(
+        target="cholesterol", probe="CYP11A1",
+        method="cyclic_voltammetry",
+        sensitivity=112.0, lod=None,
+        linear_range=(0.01, 0.08), reference="[15]",
+        reference_material="screen_printed_carbon",
+        reference_nanostructure="carbon_nanotubes",
+        cv_height_factor=0.649,
+    ),
+)
+
+#: Targets of Table III, in paper order.
+TABLE_III_TARGETS = tuple(record.target for record in TABLE_III)
+
+
+def performance_record(target: str) -> PerformanceRecord:
+    """The Table III row for a target."""
+    for record in TABLE_III:
+        if record.target == target:
+            return record
+    known = ", ".join(TABLE_III_TARGETS)
+    raise KeyError(f"no performance record for {target!r} (known: {known})")

@@ -1,0 +1,40 @@
+"""Electronic readout substrate: the building blocks of paper Fig. 2."""
+
+from repro.electronics.adc import ADC, bits_for_resolution
+from repro.electronics.chain import AcquisitionChain, ChannelReading
+from repro.electronics.freq_readout import CurrentToFrequencyConverter
+from repro.electronics.mux import Multiplexer, MuxSchedule, MuxSlot
+from repro.electronics.noise import (
+    CdsStrategy,
+    ChoppingStrategy,
+    NoiseModel,
+    NoiseStrategy,
+    NoStrategy,
+    flicker_noise_series,
+)
+from repro.electronics.potentiostat import Potentiostat
+from repro.electronics.tia import (
+    CYP_READOUT,
+    OXIDASE_READOUT,
+    TransimpedanceAmplifier,
+)
+from repro.electronics.waveform import (
+    MAX_ACCURATE_SCAN_RATE,
+    ConstantWaveform,
+    StepWaveform,
+    TriangleWaveform,
+    Waveform,
+)
+
+__all__ = [
+    "Waveform", "ConstantWaveform", "StepWaveform", "TriangleWaveform",
+    "MAX_ACCURATE_SCAN_RATE",
+    "Potentiostat",
+    "TransimpedanceAmplifier", "OXIDASE_READOUT", "CYP_READOUT",
+    "NoiseModel", "NoiseStrategy", "NoStrategy", "ChoppingStrategy",
+    "CdsStrategy", "flicker_noise_series",
+    "ADC", "bits_for_resolution",
+    "Multiplexer", "MuxSchedule", "MuxSlot",
+    "CurrentToFrequencyConverter",
+    "AcquisitionChain", "ChannelReading",
+]

@@ -1,0 +1,113 @@
+"""Analog-to-digital converter model (paper Fig. 2, Sec. II-C).
+
+The readout "translates [current] into a voltage that can be digitized
+through an ADC".  The model is a uniform mid-tread quantizer with
+saturation flags, plus the sizing helper that turns the paper's two
+readout specs into bit counts:
+
+- oxidases:   +/-10 uA range at 10 nA resolution -> 2000 steps -> 11 bits,
+- cytochromes: +/-100 uA at 100 nA             -> 2000 steps -> 11 bits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ElectronicsError
+from repro.units import ensure_positive
+
+__all__ = ["ADC", "bits_for_resolution"]
+
+
+def bits_for_resolution(full_range: float, resolution: float) -> int:
+    """Bits needed so one LSB is at most ``resolution`` over ``full_range``.
+
+    ``full_range`` is the total span (max - min).  The paper's oxidase
+    spec (20 uA span / 10 nA) needs ceil(log2(2000)) = 11 bits.
+    """
+    ensure_positive(full_range, "full_range")
+    ensure_positive(resolution, "resolution")
+    if resolution >= full_range:
+        raise ElectronicsError("resolution must be finer than the range")
+    return max(1, math.ceil(math.log2(full_range / resolution)))
+
+
+@dataclass(frozen=True)
+class ADC:
+    """Uniform quantizer with ``n_bits`` over [v_min, v_max].
+
+    Codes are integers in [0, 2^n - 1]; the transfer is mid-tread
+    (code 0 maps back to v_min).  ``sample_rate`` is the conversion rate
+    used by throughput calculations; ``power``/``area_mm2`` feed the cost
+    model.
+    """
+
+    n_bits: int = 11
+    v_min: float = -1.2
+    v_max: float = 1.2
+    sample_rate: float = 100.0
+    power: float = 200.0e-6
+    area_mm2: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.n_bits <= 32:
+            raise ElectronicsError(f"n_bits must be in [1, 32], got {self.n_bits}")
+        if self.v_max <= self.v_min:
+            raise ElectronicsError("v_max must exceed v_min")
+        ensure_positive(self.sample_rate, "sample_rate")
+        ensure_positive(self.power, "power")
+        ensure_positive(self.area_mm2, "area_mm2")
+
+    @property
+    def n_codes(self) -> int:
+        return 1 << self.n_bits
+
+    @property
+    def lsb(self) -> float:
+        """One code step in volts."""
+        return (self.v_max - self.v_min) / (self.n_codes - 1)
+
+    def quantize(self, voltage):
+        """Convert voltage(s) to integer code(s), clipping at the ends."""
+        v = np.asarray(voltage, dtype=float)
+        code = np.rint((v - self.v_min) / self.lsb)
+        code = np.clip(code, 0, self.n_codes - 1).astype(np.int64)
+        return int(code) if v.ndim == 0 else code
+
+    def to_voltage(self, code):
+        """Map code(s) back to the reconstruction voltage."""
+        c = np.asarray(code, dtype=float)
+        v = self.v_min + c * self.lsb
+        return float(v) if c.ndim == 0 else v
+
+    def saturates(self, voltage):
+        """Whether the voltage lies outside the conversion range."""
+        v = np.asarray(voltage, dtype=float)
+        out = (v < self.v_min) | (v > self.v_max)
+        return bool(out) if v.ndim == 0 else out
+
+    def quantization_noise_rms(self) -> float:
+        """RMS quantization error, volts (LSB / sqrt(12))."""
+        return self.lsb / math.sqrt(12.0)
+
+    def current_resolution(self, feedback_resistance: float) -> float:
+        """Current per LSB behind a TIA of the given Rf, amperes."""
+        ensure_positive(feedback_resistance, "feedback_resistance")
+        return self.lsb / feedback_resistance
+
+    @classmethod
+    def for_readout(cls, full_scale_current: float,
+                    current_resolution: float,
+                    rail: float = 1.2, **kwargs) -> "ADC":
+        """Size an ADC for a bipolar current readout spec.
+
+        ``full_scale_current`` is the one-sided range (e.g. 10 uA for the
+        oxidase class); ``current_resolution`` the required LSB in
+        amperes.  The conversion range matches a TIA railed at ``rail``.
+        """
+        bits = bits_for_resolution(2.0 * full_scale_current,
+                                   current_resolution)
+        return cls(n_bits=bits, v_min=-rail, v_max=rail, **kwargs)

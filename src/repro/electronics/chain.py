@@ -1,0 +1,252 @@
+"""The full acquisition chain of the platform (paper Fig. 2).
+
+Voltage generator -> potentiostat -> electrochemical cell -> multiplexer ->
+transimpedance amplifier -> ADC.  The chemistry layers produce a cell
+current; this module carries it through the electronics: mux settling and
+charge injection, input-referred noise (with the selected reduction
+strategy), TIA transfer and rails, ADC quantisation — and back out as the
+calibrated current estimate a host would compute from the codes.
+
+The chain is deliberately *stateless* across calls: every ``digitize``
+receives explicit times and currents and a seeded RNG, so simulations are
+reproducible sample-for-sample.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.electronics.adc import ADC
+from repro.electronics.mux import Multiplexer, MuxSchedule
+from repro.electronics.noise import NoiseModel, NoiseStrategy, NoStrategy
+from repro.electronics.potentiostat import Potentiostat
+from repro.electronics.tia import TransimpedanceAmplifier
+from repro.errors import ElectronicsError
+from repro.sensors.electrode import WorkingElectrode
+from repro.units import ensure_non_negative, ensure_positive
+
+__all__ = ["ChannelReading", "AcquisitionChain"]
+
+
+@dataclass(frozen=True)
+class ChannelReading:
+    """The digitised record of one channel.
+
+    All arrays share one length.  ``current_estimate`` is what a host
+    reconstructs from the codes through the known TIA/ADC transfer — the
+    quantity every metric in :mod:`repro.analysis` is computed from.
+    """
+
+    times: np.ndarray
+    true_current: np.ndarray
+    input_current: np.ndarray
+    output_voltage: np.ndarray
+    codes: np.ndarray
+    current_estimate: np.ndarray
+    saturated: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.times.size
+        for name in ("true_current", "input_current", "output_voltage",
+                     "codes", "current_estimate", "saturated"):
+            if getattr(self, name).size != n:
+                raise ElectronicsError(
+                    f"ChannelReading field {name} length mismatch")
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.times.size)
+
+    @property
+    def any_saturated(self) -> bool:
+        return bool(np.any(self.saturated))
+
+    def tail(self, fraction: float = 0.2) -> np.ndarray:
+        """The last ``fraction`` of the current estimates (steady window)."""
+        if not 0.0 < fraction <= 1.0:
+            raise ElectronicsError("fraction must be in (0, 1]")
+        n = max(int(self.n_samples * fraction), 1)
+        return self.current_estimate[-n:]
+
+
+class AcquisitionChain:
+    """Potentiostat + mux + TIA + noise strategy + ADC, as one signal path.
+
+    Parameters
+    ----------
+    potentiostat, tia, adc:
+        The analog blocks; see their classes for the modelled effects.
+    mux:
+        Optional multiplexer (required by multi-WE protocols that share
+        this chain across electrodes).
+    noise_strategy:
+        A :class:`~repro.electronics.noise.NoiseStrategy`; default raw.
+    baseline_drift_rate:
+        Slow sensor drift, A/s, before any membrane suppression
+        (fouling/temperature; cancelled by chopping/CDS).
+    seed:
+        Seed for the chain's default RNG; ``digitize`` also accepts an
+        explicit generator.
+    """
+
+    def __init__(self, potentiostat: Potentiostat | None = None,
+                 tia: TransimpedanceAmplifier | None = None,
+                 adc: ADC | None = None,
+                 mux: Multiplexer | None = None,
+                 noise_strategy: NoiseStrategy | None = None,
+                 baseline_drift_rate: float = 2.0e-10,
+                 seed: int = 2011) -> None:
+        self.potentiostat = potentiostat if potentiostat else Potentiostat()
+        self.tia = tia if tia else TransimpedanceAmplifier()
+        self.adc = adc if adc else ADC()
+        self.mux = mux
+        self.noise_strategy = noise_strategy if noise_strategy else NoStrategy()
+        self.baseline_drift_rate = ensure_non_negative(
+            baseline_drift_rate, "baseline_drift_rate")
+        self._rng = np.random.default_rng(seed)
+
+    # -- noise budget -------------------------------------------------------------
+
+    def noise_model_for(self, we: WorkingElectrode | None = None) -> NoiseModel:
+        """The channel's input-referred budget, strategy applied.
+
+        White floor: TIA thermal plus the electrode's own electrochemical
+        noise; flicker corner from the TIA; drift scaled down by the
+        membrane's suppression when a WE is given.
+        """
+        white = self.tia.thermal_noise_density()
+        drift = self.baseline_drift_rate
+        if we is not None:
+            white = math.hypot(white, we.sensor_noise_density
+                               * we.electrode.equivalent_radius / 1.0e-3)
+            drift *= (1.0 - we.functionalization.drift_suppression)
+        raw = NoiseModel(white_density=white,
+                         flicker_corner=self.tia.flicker_corner,
+                         drift_rate=drift)
+        return self.noise_strategy.effective_noise(raw)
+
+    def noise_rms(self, we: WorkingElectrode | None = None,
+                  bandwidth: float | None = None) -> float:
+        """RMS input-referred noise over the measurement band, amperes."""
+        model = self.noise_model_for(we)
+        f_high = bandwidth if bandwidth else min(
+            self.tia.bandwidth, self.adc.sample_rate / 2.0)
+        f_low = 0.01  # a 100 s observation window
+        return model.rms_in_band(f_low, f_high)
+
+    def quantization_noise_rms(self) -> float:
+        """Input-referred ADC quantization noise, amperes (LSB/sqrt(12))."""
+        return self.adc.quantization_noise_rms() / self.tia.feedback_resistance
+
+    def effective_input_noise(self, we: WorkingElectrode | None = None,
+                              bandwidth: float | None = None) -> float:
+        """Analog noise and quantization combined in quadrature, amperes.
+
+        This is the floor the LOD estimates must use: a 100 nA-resolution
+        readout cannot resolve a 20 nA peak no matter how quiet the
+        amplifier is (the reason the micro platform needs the finer
+        cyp_micro class).
+        """
+        return math.hypot(self.noise_rms(we, bandwidth),
+                          self.quantization_noise_rms())
+
+    # -- digitisation ----------------------------------------------------------------
+
+    def digitize(self, times: np.ndarray, currents: np.ndarray,
+                 we: WorkingElectrode | None = None,
+                 schedule: MuxSchedule | None = None,
+                 rng: np.random.Generator | None = None) -> ChannelReading:
+        """Carry a cell-current waveform through mux, noise, TIA and ADC.
+
+        ``times`` must be uniformly spaced (the noise synthesis needs a
+        sample rate).  When a ``schedule`` is given the mux settling
+        factor and charge-injection spike are applied according to the
+        time each sample sits after its channel switch.
+        """
+        times = np.asarray(times, dtype=float)
+        currents = np.asarray(currents, dtype=float)
+        if times.ndim != 1 or times.size < 2:
+            raise ElectronicsError("digitize needs at least two samples")
+        if currents.shape != times.shape:
+            raise ElectronicsError("times and currents must have equal shape")
+        steps = np.diff(times)
+        if not np.allclose(steps, steps[0], rtol=1e-6, atol=1e-12):
+            raise ElectronicsError("digitize needs uniform sampling")
+        sample_rate = 1.0 / float(steps[0])
+        generator = rng if rng is not None else self._rng
+
+        effective = currents.copy()
+        if schedule is not None:
+            if self.mux is None:
+                raise ElectronicsError(
+                    "a mux schedule was given but the chain has no mux")
+            factors = np.empty_like(effective)
+            spikes = np.empty_like(effective)
+            for k, t in enumerate(times):
+                since = schedule.time_since_switch(float(t))
+                factors[k] = self.mux.settling_factor(since)
+                spikes[k] = self.mux.injection_current(since)
+            effective = effective * factors + spikes
+
+        noise = self.noise_model_for(we).sample(
+            generator, times.size, sample_rate)
+        input_current = effective + noise
+        volts = self.tia.output_voltage(input_current)
+        codes = self.adc.quantize(volts)
+        estimates = self.tia.input_current(self.adc.to_voltage(codes))
+        saturated = (np.asarray(self.tia.saturates(input_current))
+                     | np.asarray(self.adc.saturates(volts)))
+        return ChannelReading(
+            times=times, true_current=currents,
+            input_current=input_current, output_voltage=volts,
+            codes=codes, current_estimate=estimates, saturated=saturated)
+
+    def measure_constant(self, current: float, duration: float = 10.0,
+                         sample_rate: float | None = None,
+                         we: WorkingElectrode | None = None,
+                         rng: np.random.Generator | None = None,
+                         ) -> tuple[float, float]:
+        """Digitise a constant current and return (mean, std) estimates.
+
+        This is the fast path for calibration sweeps and LOD blanks:
+        thousands of concentration points reduce to one steady current
+        each, measured through the full chain for ``duration`` seconds.
+        """
+        ensure_positive(duration, "duration")
+        fs = sample_rate if sample_rate else self.adc.sample_rate
+        n = max(int(duration * fs), 8)
+        times = np.arange(n) / fs
+        currents = np.full(n, float(current))
+        reading = self.digitize(times, currents, we=we, rng=rng)
+        return (float(np.mean(reading.current_estimate)),
+                float(np.std(reading.current_estimate)))
+
+    # -- budgets ------------------------------------------------------------------------
+
+    def total_power(self) -> float:
+        """Power of every block in this chain, watts."""
+        total = self.potentiostat.power + self.tia.power + self.adc.power
+        if self.mux is not None:
+            total += self.mux.power
+        total += self.noise_strategy.extra_power()
+        return total
+
+    def total_area_mm2(self) -> float:
+        """Silicon area of every block, mm^2."""
+        total = (self.potentiostat.area_mm2 + self.tia.area_mm2
+                 + self.adc.area_mm2)
+        if self.mux is not None:
+            total += self.mux.area_mm2
+        total += self.noise_strategy.extra_area_mm2()
+        return total
+
+    def describe(self) -> str:
+        """One-line signal-path summary (Fig. 2 in words)."""
+        mux_part = (f" -> mux({self.mux.n_channels})" if self.mux else "")
+        return (f"generator -> potentiostat(G={self.potentiostat.open_loop_gain:.0e})"
+                f"{mux_part} -> TIA(Rf={self.tia.feedback_resistance:.0e} ohm)"
+                f" -> {self.noise_strategy.name}"
+                f" -> ADC({self.adc.n_bits} bit @ {self.adc.sample_rate:g} Hz)")

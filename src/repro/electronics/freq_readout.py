@@ -1,0 +1,118 @@
+"""Current-to-frequency readout — the paper's alternative to the TIA.
+
+"Alternative approaches convert currents to the frequency domain
+[26], [27]."  A current-controlled oscillator integrates the sensor
+current onto a capacitor; each time the integrator crosses a threshold it
+resets and emits a pulse, so the pulse rate is proportional to the input
+current.  A counter gated for ``gate_time`` digitises the rate.
+
+Compared with the TIA+ADC path the converter trades resolution-vs-time
+(longer gates resolve smaller currents) for simplicity and intrinsic
+digitisation — which is why ultra-low-power potentiostats [26] use it.
+The readout-style ablation (A5 companion) compares both paths.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ElectronicsError
+from repro.units import ensure_non_negative, ensure_positive
+
+__all__ = ["CurrentToFrequencyConverter"]
+
+
+@dataclass(frozen=True)
+class CurrentToFrequencyConverter:
+    """Charge-balancing current-to-frequency converter.
+
+    Parameters
+    ----------
+    charge_per_pulse:
+        Charge integrated per emitted pulse, coulombs; the conversion
+        gain is ``1/charge_per_pulse`` Hz/A.
+    max_frequency:
+        Oscillator ceiling, Hz; currents above
+        ``max_frequency * charge_per_pulse`` saturate.
+    offset_frequency:
+        Zero-input pulse rate (leakage of the integrator), Hz.
+    power, area_mm2:
+        Cost-model bookkeeping (the attraction of this readout is the
+        tiny power budget, per ref. [26]).
+    """
+
+    charge_per_pulse: float = 1.0e-12
+    max_frequency: float = 5.0e6
+    offset_frequency: float = 2.0
+    power: float = 15.0e-6
+    area_mm2: float = 0.02
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.charge_per_pulse, "charge_per_pulse")
+        ensure_positive(self.max_frequency, "max_frequency")
+        ensure_non_negative(self.offset_frequency, "offset_frequency")
+
+    # -- transfer ---------------------------------------------------------------
+
+    @property
+    def gain(self) -> float:
+        """Conversion gain, Hz per ampere."""
+        return 1.0 / self.charge_per_pulse
+
+    @property
+    def full_scale_current(self) -> float:
+        """Input current at the oscillator ceiling, amperes."""
+        return self.max_frequency * self.charge_per_pulse
+
+    def frequency(self, current):
+        """Pulse rate for input current(s); unipolar, clipped at ceiling.
+
+        Charge-balancing converters rectify: the magnitude of the current
+        sets the rate (a sign bit is generated separately on chip).
+        """
+        i = np.asarray(current, dtype=float)
+        f = self.offset_frequency + np.abs(i) * self.gain
+        out = np.clip(f, 0.0, self.max_frequency)
+        return float(out) if i.ndim == 0 else out
+
+    def count(self, current: float, gate_time: float,
+              rng: np.random.Generator | None = None) -> int:
+        """Pulses counted in one gate; +/-1-count quantisation included.
+
+        With an ``rng`` the fractional pulse is resolved stochastically
+        (phase of the first pulse is random); without, it truncates.
+        """
+        ensure_positive(gate_time, "gate_time")
+        expected = self.frequency(current) * gate_time
+        if rng is None:
+            return int(expected)
+        frac = expected - math.floor(expected)
+        return int(expected) + (1 if rng.random() < frac else 0)
+
+    def estimate_current(self, count: int, gate_time: float) -> float:
+        """Invert a gated count back to a current magnitude, amperes."""
+        ensure_positive(gate_time, "gate_time")
+        if count < 0:
+            raise ElectronicsError("count must be non-negative")
+        f = count / gate_time
+        return max(f - self.offset_frequency, 0.0) * self.charge_per_pulse
+
+    # -- resolution ----------------------------------------------------------------
+
+    def current_resolution(self, gate_time: float) -> float:
+        """One-count resolution for a given gate, amperes.
+
+        ``delta_i = charge_per_pulse / gate_time`` — resolution improves
+        linearly with measurement time, the core trade-off of
+        frequency-domain readout.
+        """
+        ensure_positive(gate_time, "gate_time")
+        return self.charge_per_pulse / gate_time
+
+    def gate_time_for_resolution(self, resolution: float) -> float:
+        """Gate needed to resolve ``resolution`` amperes, seconds."""
+        ensure_positive(resolution, "resolution")
+        return self.charge_per_pulse / resolution

@@ -1,0 +1,129 @@
+"""Transimpedance amplifier — the paper's current readout (Fig. 1, Sec. II-C).
+
+"The most straightforward approach is to convert the biosensor current into
+voltage using a transimpedance amplifier."  The paper sets two readout
+classes:
+
+- oxidases:   +/-10 uA full scale, 10 nA resolution,
+- cytochromes: +/-100 uA full scale, 100 nA resolution.
+
+The behavioural model covers gain (feedback resistance), output rails
+(saturation is clipped and *flagged*, not silently ignored), input offset
+current, finite bandwidth, and the input-referred noise parameters the
+:mod:`repro.electronics.noise` model consumes (thermal floor and flicker
+corner; chopping and CDS act on those).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chem.constants import BOLTZMANN, STANDARD_TEMPERATURE
+from repro.units import ensure_finite, ensure_positive
+
+__all__ = ["TransimpedanceAmplifier", "OXIDASE_READOUT", "CYP_READOUT"]
+
+
+@dataclass(frozen=True)
+class TransimpedanceAmplifier:
+    """Resistive-feedback current-to-voltage converter.
+
+    Parameters
+    ----------
+    feedback_resistance:
+        Rf in ohms; output is ``v = -Rf * i`` (inverting).
+    rail:
+        Output saturates at +/-``rail`` volts.
+    input_offset_current:
+        Input-referred offset, amperes (adds to every input sample).
+    bandwidth:
+        Closed-loop -3 dB bandwidth, Hz.
+    flicker_corner:
+        Frequency below which 1/f noise dominates the white floor, Hz.
+        Chopping (Sec. II-C) works by moving the signal above this corner.
+    amplifier_noise_density:
+        White input-referred current-noise density of the amplifier
+        itself, A/sqrt(Hz) (the feedback resistor's 4kT/Rf adds to it).
+    power, area_mm2:
+        Cost-model bookkeeping.
+    """
+
+    feedback_resistance: float = 1.0e5
+    rail: float = 1.2
+    input_offset_current: float = 0.0
+    bandwidth: float = 1.0e3
+    flicker_corner: float = 10.0
+    amplifier_noise_density: float = 5.0e-12
+    power: float = 100.0e-6
+    area_mm2: float = 0.03
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.feedback_resistance, "feedback_resistance")
+        ensure_positive(self.rail, "rail")
+        ensure_finite(self.input_offset_current, "input_offset_current")
+        ensure_positive(self.bandwidth, "bandwidth")
+        ensure_positive(self.flicker_corner, "flicker_corner")
+        ensure_positive(self.amplifier_noise_density, "amplifier_noise_density")
+        ensure_positive(self.power, "power")
+        ensure_positive(self.area_mm2, "area_mm2")
+
+    # -- transfer -----------------------------------------------------------------
+
+    @property
+    def full_scale_current(self) -> float:
+        """Largest |input current| before the output rails, amperes."""
+        return self.rail / self.feedback_resistance
+
+    def output_voltage(self, current):
+        """v = -Rf * (i + offset), clipped at the rails."""
+        i = np.asarray(current, dtype=float)
+        v = -self.feedback_resistance * (i + self.input_offset_current)
+        out = np.clip(v, -self.rail, self.rail)
+        return float(out) if i.ndim == 0 else out
+
+    def saturates(self, current) -> bool | np.ndarray:
+        """Whether the (scalar or array) input drives the output to a rail."""
+        i = np.asarray(current, dtype=float)
+        v = -self.feedback_resistance * (i + self.input_offset_current)
+        out = np.abs(v) >= self.rail
+        return bool(out) if i.ndim == 0 else out
+
+    def input_current(self, voltage):
+        """Invert the transfer (offset-corrected), for calibrated readback."""
+        v = np.asarray(voltage, dtype=float)
+        i = -v / self.feedback_resistance - self.input_offset_current
+        return float(i) if v.ndim == 0 else i
+
+    # -- noise parameters ------------------------------------------------------------
+
+    def thermal_noise_density(self,
+                              temperature_k: float = STANDARD_TEMPERATURE,
+                              ) -> float:
+        """Input-referred white floor, A/sqrt(Hz).
+
+        Quadrature sum of the feedback resistor's Johnson noise
+        ``sqrt(4kT/Rf)`` and the amplifier's own floor.
+        """
+        johnson = math.sqrt(4.0 * BOLTZMANN * temperature_k
+                            / self.feedback_resistance)
+        return math.hypot(johnson, self.amplifier_noise_density)
+
+    # -- factories ---------------------------------------------------------------------
+
+    @classmethod
+    def for_range(cls, full_scale: float, rail: float = 1.2,
+                  **kwargs) -> "TransimpedanceAmplifier":
+        """A TIA whose output rails exactly at ``full_scale`` amperes."""
+        ensure_positive(full_scale, "full_scale")
+        return cls(feedback_resistance=rail / full_scale, rail=rail, **kwargs)
+
+
+#: Readout for the oxidase class: +/-10 uA full scale (Sec. II-C).
+OXIDASE_READOUT = TransimpedanceAmplifier.for_range(10.0e-6)
+
+#: Readout for the cytochrome class: +/-100 uA full scale (Sec. II-C).
+CYP_READOUT = TransimpedanceAmplifier.for_range(
+    100.0e-6, power=160.0e-6, area_mm2=0.04)

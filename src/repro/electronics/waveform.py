@@ -1,0 +1,195 @@
+"""Voltage-generator waveforms (paper Sec. II-C).
+
+"A voltage generator that generates a fixed or variable voltage to feed the
+potentiostat circuit.  For single-target chronoamperometry, the voltage is
+fixed and chosen on the basis of the electrochemical reaction.  For cyclic
+voltammetry, this circuit sweeps repeatedly within the voltage range of
+interest."
+
+Three waveforms cover the paper's protocols:
+
+- :class:`ConstantWaveform` — chronoamperometry;
+- :class:`StepWaveform` — potential-step experiments and Cottrell tests;
+- :class:`TriangleWaveform` — cyclic voltammetry, with the scan-rate
+  bookkeeping the 20 mV/s design rule needs.
+
+All waveforms are pure functions of time, vectorised over numpy arrays.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ElectronicsError
+from repro.units import ensure_finite, ensure_positive
+
+__all__ = [
+    "Waveform",
+    "ConstantWaveform",
+    "StepWaveform",
+    "TriangleWaveform",
+    "MAX_ACCURATE_SCAN_RATE",
+]
+
+#: The paper's accuracy limit for cyclic voltammetry: "the electrochemical
+#: cell reacts only to slow potential variations of about 20 mV/sec".
+MAX_ACCURATE_SCAN_RATE = 0.020
+
+
+class Waveform:
+    """Base interface: potential and scan rate as functions of time."""
+
+    #: Total programmed duration, seconds.
+    duration: float
+
+    def value(self, t):
+        """Potential at time(s) ``t``, volts (scalar in, scalar out)."""
+        raise NotImplementedError
+
+    def rate(self, t):
+        """Scan rate dE/dt at time(s) ``t``, V/s."""
+        raise NotImplementedError
+
+    def sample_times(self, sample_rate: float) -> np.ndarray:
+        """Uniform sample instants covering the waveform."""
+        ensure_positive(sample_rate, "sample_rate")
+        n = max(int(math.ceil(self.duration * sample_rate)) + 1, 2)
+        return np.linspace(0.0, self.duration, n)
+
+    def exceeds_accurate_scan_rate(self,
+                                   limit: float = MAX_ACCURATE_SCAN_RATE,
+                                   ) -> bool:
+        """True when any part of the waveform sweeps faster than ``limit``.
+
+        Above the limit the CV peaks shift and merge (ablation A2), so the
+        design rules reject such configurations for multi-target CYP
+        electrodes.
+        """
+        probe = self.sample_times(1000.0 / max(self.duration, 1e-9))
+        return bool(np.any(np.abs(self.rate(probe)) > limit * (1 + 1e-9)))
+
+
+@dataclass(frozen=True)
+class ConstantWaveform(Waveform):
+    """A fixed potential held for ``duration`` seconds (chronoamperometry)."""
+
+    level: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        ensure_finite(self.level, "level")
+        ensure_positive(self.duration, "duration")
+
+    def value(self, t):
+        t_arr = np.asarray(t, dtype=float)
+        out = np.full_like(t_arr, self.level)
+        return float(out) if t_arr.ndim == 0 else out
+
+    def rate(self, t):
+        t_arr = np.asarray(t, dtype=float)
+        out = np.zeros_like(t_arr)
+        return float(out) if t_arr.ndim == 0 else out
+
+
+@dataclass(frozen=True)
+class StepWaveform(Waveform):
+    """Piecewise-constant potential: levels[i] from times[i] to times[i+1].
+
+    ``times`` must start at 0 and be strictly increasing;
+    ``duration`` extends the last level.
+    """
+
+    times: tuple[float, ...]
+    levels: tuple[float, ...]
+    duration: float
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.levels) or not self.times:
+            raise ElectronicsError(
+                "StepWaveform needs equal-length, non-empty times/levels")
+        if self.times[0] != 0.0:
+            raise ElectronicsError("StepWaveform times must start at 0")
+        if any(b <= a for a, b in zip(self.times, self.times[1:])):
+            raise ElectronicsError("StepWaveform times must be increasing")
+        ensure_positive(self.duration, "duration")
+        if self.duration < self.times[-1]:
+            raise ElectronicsError("duration must cover the last step")
+        for lv in self.levels:
+            ensure_finite(lv, "level")
+
+    def value(self, t):
+        t_arr = np.asarray(t, dtype=float)
+        idx = np.searchsorted(np.asarray(self.times), t_arr, side="right") - 1
+        idx = np.clip(idx, 0, len(self.levels) - 1)
+        out = np.asarray(self.levels, dtype=float)[idx]
+        return float(out) if t_arr.ndim == 0 else out
+
+    def rate(self, t):
+        t_arr = np.asarray(t, dtype=float)
+        out = np.zeros_like(t_arr)
+        return float(out) if t_arr.ndim == 0 else out
+
+
+@dataclass(frozen=True)
+class TriangleWaveform(Waveform):
+    """Cyclic-voltammetry sweep: e_start -> e_vertex -> e_start, repeated.
+
+    The sweep starts at ``e_start``, ramps linearly at ``scan_rate`` to
+    ``e_vertex`` (either direction), returns, and repeats for
+    ``n_cycles``.  For the CYP sensors of Table II the forward sweep is
+    cathodic: ``e_vertex`` below ``e_start``.
+    """
+
+    e_start: float
+    e_vertex: float
+    scan_rate: float
+    n_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        ensure_finite(self.e_start, "e_start")
+        ensure_finite(self.e_vertex, "e_vertex")
+        ensure_positive(self.scan_rate, "scan_rate")
+        if self.e_vertex == self.e_start:
+            raise ElectronicsError("e_vertex must differ from e_start")
+        if self.n_cycles < 1:
+            raise ElectronicsError("n_cycles must be >= 1")
+
+    @property
+    def window(self) -> float:
+        """Potential window |e_vertex - e_start|, volts."""
+        return abs(self.e_vertex - self.e_start)
+
+    @property
+    def half_period(self) -> float:
+        """Time of one sweep leg, seconds."""
+        return self.window / self.scan_rate
+
+    @property
+    def duration(self) -> float:  # type: ignore[override]
+        return 2.0 * self.half_period * self.n_cycles
+
+    @property
+    def direction(self) -> float:
+        """+1 for an initially anodic sweep, -1 for cathodic."""
+        return 1.0 if self.e_vertex > self.e_start else -1.0
+
+    def value(self, t):
+        t_arr = np.asarray(t, dtype=float)
+        period = 2.0 * self.half_period
+        phase = np.mod(np.clip(t_arr, 0.0, self.duration), period)
+        leg1 = np.minimum(phase, self.half_period)
+        leg2 = np.maximum(phase - self.half_period, 0.0)
+        excursion = self.scan_rate * (leg1 - leg2)
+        out = self.e_start + self.direction * excursion
+        return float(out) if t_arr.ndim == 0 else out
+
+    def rate(self, t):
+        t_arr = np.asarray(t, dtype=float)
+        period = 2.0 * self.half_period
+        phase = np.mod(np.clip(t_arr, 0.0, self.duration), period)
+        sign = np.where(phase < self.half_period, 1.0, -1.0)
+        out = self.direction * sign * self.scan_rate
+        return float(out) if t_arr.ndim == 0 else out

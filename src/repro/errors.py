@@ -1,0 +1,122 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller embedding the platform simulator can catch a single base class.  The
+subclasses mirror the layers of the system:
+
+- chemistry and numerical simulation (:class:`ChemistryError`,
+  :class:`SimulationError`),
+- physical sensor construction (:class:`SensorError`),
+- electronics behavioural models (:class:`ElectronicsError`),
+- measurement protocols (:class:`ProtocolError`),
+- metric extraction (:class:`AnalysisError`),
+- platform design-space exploration (:class:`DesignError`,
+  :class:`InfeasibleDesignError`).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "UnitsError",
+    "ChemistryError",
+    "UnknownSpeciesError",
+    "UnknownEnzymeError",
+    "SimulationError",
+    "ConvergenceError",
+    "SensorError",
+    "ElectronicsError",
+    "SaturationError",
+    "ProtocolError",
+    "AnalysisError",
+    "CalibrationError",
+    "DesignError",
+    "InfeasibleDesignError",
+    "SpecError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class UnitsError(ReproError, ValueError):
+    """A quantity was supplied in an invalid or nonsensical unit/magnitude."""
+
+
+class ChemistryError(ReproError):
+    """Base class for chemistry-layer errors."""
+
+
+class UnknownSpeciesError(ChemistryError, KeyError):
+    """A species name was not found in the species registry."""
+
+    def __init__(self, name: str, known: tuple[str, ...] = ()):
+        self.name = name
+        self.known = known
+        hint = f" (known: {', '.join(sorted(known))})" if known else ""
+        super().__init__(f"unknown species {name!r}{hint}")
+
+
+class UnknownEnzymeError(ChemistryError, KeyError):
+    """An enzyme/probe name was not found in the probe library."""
+
+    def __init__(self, name: str, known: tuple[str, ...] = ()):
+        self.name = name
+        self.known = known
+        hint = f" (known: {', '.join(sorted(known))})" if known else ""
+        super().__init__(f"unknown enzyme {name!r}{hint}")
+
+
+class SimulationError(ReproError):
+    """A numerical simulation failed or was configured inconsistently."""
+
+
+class ConvergenceError(SimulationError):
+    """An iterative solver failed to converge within its iteration budget."""
+
+
+class SensorError(ReproError):
+    """A physical sensor model was constructed or used inconsistently."""
+
+
+class ElectronicsError(ReproError):
+    """An electronics behavioural model was configured inconsistently."""
+
+
+class SaturationError(ElectronicsError):
+    """A signal exceeded the physical range of an electronic block.
+
+    Raised only when a block is configured with ``strict=True``; by default
+    blocks clip (as real circuits do) and flag the trace instead.
+    """
+
+
+class ProtocolError(ReproError):
+    """A measurement protocol was configured inconsistently."""
+
+
+class AnalysisError(ReproError):
+    """Metric extraction failed (e.g. no steady state reached)."""
+
+
+class CalibrationError(AnalysisError):
+    """A calibration curve could not be established from the given data."""
+
+
+class DesignError(ReproError):
+    """Base class for platform design-space exploration errors."""
+
+
+class InfeasibleDesignError(DesignError):
+    """No platform in the design space satisfies the requirements."""
+
+    def __init__(self, message: str, violations: tuple[str, ...] = ()):
+        self.violations = violations
+        if violations:
+            message = f"{message}: " + "; ".join(violations)
+        super().__init__(message)
+
+
+class SpecError(DesignError, ValueError):
+    """A JSON platform specification was malformed."""

@@ -1,0 +1,15 @@
+"""Text tables and data export."""
+
+from repro.io.export import (
+    calibration_to_json,
+    trace_to_csv,
+    voltammogram_to_csv,
+    write_json,
+)
+from repro.io.tables import format_quantity, render_table
+
+__all__ = [
+    "render_table", "format_quantity",
+    "trace_to_csv", "voltammogram_to_csv", "calibration_to_json",
+    "write_json",
+]

@@ -1,0 +1,75 @@
+"""CSV/JSON export of traces, voltammograms and calibration curves.
+
+Benches drop machine-readable artifacts next to their printed tables so
+downstream tooling (plotting, regression tracking) can consume the same
+numbers.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.analysis.calibration import CalibrationCurve
+from repro.measurement.trace import Trace, Voltammogram
+
+__all__ = ["trace_to_csv", "voltammogram_to_csv", "calibration_to_json",
+           "write_json"]
+
+
+def trace_to_csv(trace: Trace, path: str | Path) -> Path:
+    """Write a time/current CSV; returns the path."""
+    out = Path(path)
+    with out.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        header = ["time_s", "current_a"]
+        if trace.true_current is not None:
+            header.append("true_current_a")
+        writer.writerow(header)
+        for k in range(trace.n_samples):
+            row = [f"{trace.times[k]:.6g}", f"{trace.current[k]:.9g}"]
+            if trace.true_current is not None:
+                row.append(f"{trace.true_current[k]:.9g}")
+            writer.writerow(row)
+    return out
+
+
+def voltammogram_to_csv(voltammogram: Voltammogram, path: str | Path) -> Path:
+    """Write a time/potential/current CSV; returns the path."""
+    out = Path(path)
+    with out.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time_s", "potential_v", "current_a", "sweep_sign"])
+        for k in range(voltammogram.n_samples):
+            writer.writerow([
+                f"{voltammogram.times[k]:.6g}",
+                f"{voltammogram.potentials[k]:.6g}",
+                f"{voltammogram.current[k]:.9g}",
+                f"{voltammogram.sweep_sign[k]:.0f}",
+            ])
+    return out
+
+
+def calibration_to_json(curve: CalibrationCurve, path: str | Path) -> Path:
+    """Serialise a calibration curve (points + blank stats) to JSON."""
+    payload = {
+        "blank_mean": curve.blank_mean,
+        "blank_std": curve.blank_std,
+        "points": [
+            {
+                "concentration": p.concentration,
+                "signal": p.signal,
+                "signal_std": p.signal_std,
+            }
+            for p in curve.points
+        ],
+    }
+    return write_json(payload, path)
+
+
+def write_json(payload: object, path: str | Path) -> Path:
+    """Write any JSON-serialisable payload, pretty-printed."""
+    out = Path(path)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return out

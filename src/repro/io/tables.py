@@ -1,0 +1,84 @@
+"""Plain-text table rendering, paper-style.
+
+Benches print paper-versus-measured tables; reports print design
+summaries.  The renderer right-aligns numeric columns, left-aligns text,
+and keeps everything ASCII so outputs diff cleanly in CI logs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table", "format_quantity"]
+
+
+def format_quantity(value: float | None, unit: str = "",
+                    digits: int = 3) -> str:
+    """Human-friendly number: engineering-ish formatting, '-' for None."""
+    if value is None:
+        return "-"
+    if value == 0.0:
+        text = "0"
+    elif abs(value) >= 1.0e4 or abs(value) < 1.0e-3:
+        text = f"{value:.{digits}g}"
+    else:
+        text = f"{value:.{digits}g}"
+    return f"{text} {unit}".strip()
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render rows as an ASCII table.
+
+    Cells are str()-ed; numeric-looking columns are right-aligned.
+    """
+    if not headers:
+        raise ValueError("table needs at least one column")
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    numeric = [
+        all(_looks_numeric(row[k]) for row in str_rows) if str_rows else False
+        for k in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "+".join("-" * (w + 2) for w in widths)
+    sep = f"+{sep}+"
+    lines.append(sep)
+    lines.append("| " + " | ".join(
+        h.ljust(widths[k]) for k, h in enumerate(headers)) + " |")
+    lines.append(sep)
+    for row in str_rows:
+        cells = []
+        for k, cell in enumerate(row):
+            if numeric[k]:
+                cells.append(cell.rjust(widths[k]))
+            else:
+                cells.append(cell.ljust(widths[k]))
+        lines.append("| " + " | ".join(cells) + " |")
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return format_quantity(value)
+    return str(value)
+
+
+def _looks_numeric(text: str) -> bool:
+    if text in ("-", ""):
+        return True
+    stripped = text.replace("+", "").replace("-", "").replace(".", "")
+    stripped = stripped.replace("e", "").replace("E", "")
+    return stripped.isdigit()

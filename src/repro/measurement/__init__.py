@@ -1,0 +1,27 @@
+"""Measurement protocols: chronoamperometry, cyclic voltammetry, panels."""
+
+from repro.measurement.chronoamperometry import (
+    Chronoamperometry,
+    ChronoamperometryResult,
+)
+from repro.measurement.panel import PanelProtocol, PanelResult, TargetReadout
+from repro.measurement.peaks import Peak, PeakAssignment, assign_peaks, find_peaks
+from repro.measurement.pulse_voltammetry import (
+    DifferentialPulseVoltammetry,
+    DpvPeak,
+    DpvResult,
+)
+from repro.measurement.trace import Trace, Voltammogram
+from repro.measurement.voltammetry import (
+    CyclicVoltammetry,
+    CyclicVoltammetryResult,
+)
+
+__all__ = [
+    "Trace", "Voltammogram",
+    "Chronoamperometry", "ChronoamperometryResult",
+    "CyclicVoltammetry", "CyclicVoltammetryResult",
+    "Peak", "PeakAssignment", "find_peaks", "assign_peaks",
+    "PanelProtocol", "PanelResult", "TargetReadout",
+    "DifferentialPulseVoltammetry", "DpvResult", "DpvPeak",
+]

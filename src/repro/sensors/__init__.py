@@ -1,0 +1,51 @@
+"""Physical sensor substrate: materials, electrodes, cells, chips, arrays."""
+
+from repro.sensors.array import SensorArray
+from repro.sensors.biointerface import PAPER_WE_COUNT, BioInterface
+from repro.sensors.cell import CrosstalkModel, ElectrochemicalCell
+from repro.sensors.electrode import (
+    PAPER_ELECTRODE_AREA,
+    Electrode,
+    ElectrodeRole,
+    WorkingElectrode,
+)
+from repro.sensors.functionalization import (
+    CARBON_NANOTUBES,
+    EPOXY_STABILIZING,
+    GOLD_NANOPARTICLES,
+    POLYMER_PERMSELECTIVE,
+    Functionalization,
+    Membrane,
+    Nanostructure,
+    blank,
+    with_cytochrome,
+    with_oxidase,
+)
+from repro.sensors.materials import (
+    GLASSY_CARBON,
+    GOLD,
+    PLATINUM,
+    RHODIUM_GRAPHITE,
+    SCREEN_PRINTED_CARBON,
+    SILVER,
+    ElectrodeMaterial,
+    get_material,
+    material_names,
+    register_material,
+)
+
+__all__ = [
+    "ElectrodeMaterial", "get_material", "material_names",
+    "register_material",
+    "GOLD", "SILVER", "PLATINUM", "GLASSY_CARBON",
+    "SCREEN_PRINTED_CARBON", "RHODIUM_GRAPHITE",
+    "Nanostructure", "Membrane", "Functionalization",
+    "CARBON_NANOTUBES", "GOLD_NANOPARTICLES",
+    "POLYMER_PERMSELECTIVE", "EPOXY_STABILIZING",
+    "blank", "with_oxidase", "with_cytochrome",
+    "ElectrodeRole", "Electrode", "WorkingElectrode",
+    "PAPER_ELECTRODE_AREA",
+    "CrosstalkModel", "ElectrochemicalCell",
+    "BioInterface", "PAPER_WE_COUNT",
+    "SensorArray",
+]

@@ -1,0 +1,155 @@
+"""Sensor arrays: one- and two-dimensional tilings of cells (Sec. II).
+
+The paper: "A one-dimensional (or two-dimensional) sensor array consists of
+k (or k x j) such sensors, each with 3 or more electrodes.  Finally, when
+the electrochemical reactions must be kept separated, each sensor in an
+array must have its own chamber."
+
+:class:`SensorArray` models exactly that: a grid of
+:class:`~repro.sensors.cell.ElectrochemicalCell`, either all sharing one
+chamber (one sample wets the whole die) or each with a private chamber
+(isolated reactions).  The design-space explorer uses arrays as one of the
+four sensor structures it enumerates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.chem.solution import Chamber, Injection
+from repro.errors import SensorError
+from repro.sensors.cell import ElectrochemicalCell
+
+__all__ = ["SensorArray"]
+
+
+class SensorArray:
+    """A k x j grid of electrochemical cells.
+
+    Parameters
+    ----------
+    cells:
+        Row-major list of rows of cells; all rows must have equal length.
+    shared_chamber:
+        When not ``None``, every cell's chamber *is* this object (the
+        constructor checks identity) — injections reach all cells.  When
+        ``None``, chambers are private and injections are per-cell.
+    """
+
+    def __init__(self, cells: list[list[ElectrochemicalCell]],
+                 shared_chamber: Chamber | None = None) -> None:
+        if not cells or not cells[0]:
+            raise SensorError("array needs at least one cell")
+        width = len(cells[0])
+        if any(len(row) != width for row in cells):
+            raise SensorError("array rows must have equal length")
+        if shared_chamber is not None:
+            for row in cells:
+                for cell in row:
+                    if cell.chamber is not shared_chamber:
+                        raise SensorError(
+                            "shared_chamber given but a cell holds a "
+                            "different chamber object")
+        self._cells = cells
+        self.shared_chamber = shared_chamber
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def shared(cls, chamber: Chamber,
+               cell_factory: Callable[[Chamber, int, int], ElectrochemicalCell],
+               rows: int, cols: int) -> "SensorArray":
+        """Build a k x j array whose cells all share ``chamber``."""
+        _check_dims(rows, cols)
+        grid = [[cell_factory(chamber, r, c) for c in range(cols)]
+                for r in range(rows)]
+        return cls(grid, shared_chamber=chamber)
+
+    @classmethod
+    def chambered(cls,
+                  cell_factory: Callable[[Chamber, int, int],
+                                         ElectrochemicalCell],
+                  rows: int, cols: int,
+                  chamber_volume: float = 1.0e-8) -> "SensorArray":
+        """Build a k x j array with a private chamber per cell."""
+        _check_dims(rows, cols)
+        grid = []
+        for r in range(rows):
+            row = []
+            for c in range(cols):
+                chamber = Chamber(name=f"chamber_{r}_{c}",
+                                  volume=chamber_volume)
+                row.append(cell_factory(chamber, r, c))
+            grid.append(row)
+        return cls(grid, shared_chamber=None)
+
+    # -- shape -------------------------------------------------------------------
+
+    @property
+    def rows(self) -> int:
+        return len(self._cells)
+
+    @property
+    def cols(self) -> int:
+        return len(self._cells[0])
+
+    @property
+    def n_cells(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def has_isolated_chambers(self) -> bool:
+        return self.shared_chamber is None
+
+    def cell(self, row: int, col: int) -> ElectrochemicalCell:
+        """The cell at (row, col); raises on out-of-range indices."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise SensorError(
+                f"cell index ({row}, {col}) outside {self.rows}x{self.cols}")
+        return self._cells[row][col]
+
+    def cells(self) -> list[ElectrochemicalCell]:
+        """All cells, row-major."""
+        return [cell for row in self._cells for cell in row]
+
+    # -- aggregate properties -------------------------------------------------------
+
+    def electrode_count(self) -> int:
+        """Total pads over the whole array."""
+        return sum(cell.electrode_count for cell in self.cells())
+
+    def targets(self) -> tuple[str, ...]:
+        """Union of every cell's targets, first-appearance order."""
+        seen: list[str] = []
+        for cell in self.cells():
+            for t in cell.targets():
+                if t not in seen:
+                    seen.append(t)
+        return tuple(seen)
+
+    def chambers(self) -> tuple[Chamber, ...]:
+        """Distinct chambers (one when shared)."""
+        if self.shared_chamber is not None:
+            return (self.shared_chamber,)
+        return tuple(cell.chamber for cell in self.cells())
+
+    # -- operations -------------------------------------------------------------------
+
+    def inject_everywhere(self, injection: Injection) -> None:
+        """Apply one injection to every chamber."""
+        for chamber in self.chambers():
+            chamber.inject(injection)
+
+    def inject_at(self, row: int, col: int, injection: Injection) -> None:
+        """Inject into one cell's chamber.
+
+        On a shared-chamber array this necessarily reaches every cell —
+        that is the physical point of separate chambers, and the reason
+        the design rules force them for incompatible chemistries.
+        """
+        self.cell(row, col).chamber.inject(injection)
+
+
+def _check_dims(rows: int, cols: int) -> None:
+    if rows < 1 or cols < 1:
+        raise SensorError(f"array dimensions must be >= 1, got {rows}x{cols}")

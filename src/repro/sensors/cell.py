@@ -1,0 +1,218 @@
+"""The three-electrode electrochemical cell (paper Sec. II).
+
+A cell is one chamber plus its electrodes: one or more working electrodes,
+one reference, one counter.  The paper's multi-target structures map to
+cells as follows:
+
+- *single sensor*: one WE, RE, CE — 3 electrodes;
+- *n-target sensor*: n WEs sharing RE and CE — n+2 electrodes (Sec. II);
+- *array*: several cells (see :mod:`repro.sensors.array`), each with its
+  own chamber when reactions must be isolated.
+
+The cell computes, per working electrode, the current the potentiostat
+will see: steady-state faradaic response, capacitive/leakage background,
+and the (small) H2O2 cross-talk from neighbouring oxidase electrodes
+sharing the chamber — the paper argues this is negligible because the
+H2O2 diffusion coefficient through the films is low, and the model keeps
+it small but non-zero so the claim is *testable*.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.chem import constants as C
+from repro.chem.enzymes import Oxidase
+from repro.chem.kinetics import steady_state_turnover_flux
+from repro.chem.solution import Chamber
+from repro.errors import SensorError
+from repro.sensors.electrode import Electrode, ElectrodeRole, WorkingElectrode
+from repro.units import ensure_non_negative, ensure_positive
+
+__all__ = ["CrosstalkModel", "ElectrochemicalCell"]
+
+
+@dataclass(frozen=True)
+class CrosstalkModel:
+    """Pairwise H2O2 cross-talk between co-chambered oxidase electrodes.
+
+    A fraction of the H2O2 produced at electrode *j* escapes its film and
+    reaches electrode *i*:
+
+        kappa_ij = base * exp(-d_ij / decay_length)
+
+    with ``d_ij`` the centre-to-centre spacing.  ``base`` is small
+    (default 0.2 %) because the H2O2 diffusivity through the sensing
+    membranes is low (paper Sec. II-A); the A3 designs rule in
+    :mod:`repro.core.rules` verifies the resulting error stays below the
+    selectivity budget, and forces separate chambers when it does not.
+    """
+
+    base: float = 0.002
+    decay_length: float = 1.0e-4
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.base < 1.0:
+            raise SensorError(f"base must be in [0, 1), got {self.base!r}")
+        ensure_positive(self.decay_length, "decay_length")
+
+    def coupling(self, distance: float) -> float:
+        """kappa for electrodes ``distance`` metres apart."""
+        ensure_non_negative(distance, "distance")
+        return self.base * math.exp(-distance / self.decay_length)
+
+
+class ElectrochemicalCell:
+    """One chamber with its working, reference and counter electrodes.
+
+    Parameters
+    ----------
+    chamber:
+        The solution the electrodes sit in.
+    working_electrodes:
+        One or more :class:`~repro.sensors.electrode.WorkingElectrode`;
+        names must be unique.
+    reference:
+        The RE; its material must be reference-suitable (silver/Ag-AgCl).
+    counter:
+        The CE; must be at least as large as the largest WE so it never
+        limits the cell current (standard design rule).
+    we_pitch:
+        Centre-to-centre spacing between consecutive WEs, m (the Fig. 4
+        chip places them in a row); feeds the cross-talk model.
+    crosstalk:
+        The :class:`CrosstalkModel`; pass ``None`` to disable entirely.
+    """
+
+    def __init__(self, chamber: Chamber,
+                 working_electrodes: list[WorkingElectrode],
+                 reference: Electrode, counter: Electrode,
+                 we_pitch: float = 1.0e-3,
+                 crosstalk: CrosstalkModel | None = None) -> None:
+        if not working_electrodes:
+            raise SensorError("a cell needs at least one working electrode")
+        names = [we.name for we in working_electrodes]
+        if len(set(names)) != len(names):
+            raise SensorError(f"duplicate working-electrode names: {names}")
+        if reference.role is not ElectrodeRole.REFERENCE:
+            raise SensorError(
+                f"electrode {reference.name!r} has role "
+                f"{reference.role.value}, expected RE")
+        if counter.role is not ElectrodeRole.COUNTER:
+            raise SensorError(
+                f"electrode {counter.name!r} has role "
+                f"{counter.role.value}, expected CE")
+        largest_we = max(we.area for we in working_electrodes)
+        if counter.area < largest_we:
+            raise SensorError(
+                f"counter electrode ({counter.area:.3g} m^2) must be at "
+                f"least as large as the largest WE ({largest_we:.3g} m^2) "
+                f"so it never limits the cell current")
+        self.chamber = chamber
+        self.working_electrodes = list(working_electrodes)
+        self.reference = reference
+        self.counter = counter
+        self.we_pitch = ensure_positive(we_pitch, "we_pitch")
+        self.crosstalk = crosstalk if crosstalk is not None else CrosstalkModel()
+
+    # -- lookup ----------------------------------------------------------------
+
+    @property
+    def electrode_count(self) -> int:
+        """Total pads: n WEs + RE + CE (the paper's n+2 structure)."""
+        return len(self.working_electrodes) + 2
+
+    def we_names(self) -> tuple[str, ...]:
+        return tuple(we.name for we in self.working_electrodes)
+
+    def working_electrode(self, name: str) -> WorkingElectrode:
+        for we in self.working_electrodes:
+            if we.name == name:
+                return we
+        raise SensorError(
+            f"no working electrode {name!r} in cell "
+            f"(have: {', '.join(self.we_names())})")
+
+    def targets(self) -> tuple[str, ...]:
+        """Every species sensed by some WE, in electrode order."""
+        seen: list[str] = []
+        for we in self.working_electrodes:
+            for t in we.targets():
+                if t not in seen:
+                    seen.append(t)
+        return tuple(seen)
+
+    # -- currents ---------------------------------------------------------------
+
+    def faradaic_current(self, we_name: str, e_applied: float) -> float:
+        """Steady faradaic current of one WE at ``e_applied``, amperes."""
+        we = self.working_electrode(we_name)
+        return we.steady_state_current(e_applied, self.chamber)
+
+    def background_current(self, we_name: str, scan_rate: float = 0.0) -> float:
+        """Capacitive charging background, amperes (zero at fixed potential)."""
+        we = self.working_electrode(we_name)
+        return we.electrode.charging_current(scan_rate)
+
+    def crosstalk_current(self, we_name: str, e_applied: float) -> float:
+        """H2O2 spill-over from neighbouring oxidase WEs, amperes.
+
+        For each *other* oxidase electrode producing H2O2 in this chamber,
+        a distance-decayed fraction of its H2O2 flux is collected here.
+        """
+        victim = self.working_electrode(we_name)
+        index = self.we_names().index(we_name)
+        total = 0.0
+        for j, neighbour in enumerate(self.working_electrodes):
+            if j == index or not isinstance(neighbour.probe, Oxidase):
+                continue
+            probe = neighbour.probe
+            c_bulk = self.chamber.bulk(probe.substrate)
+            if c_bulk <= 0.0:
+                continue
+            film = neighbour.effective_film()
+            m = neighbour.mass_transfer_coefficient(probe.substrate)
+            flux = steady_state_turnover_flux(c_bulk, film, m)
+            kappa = self.crosstalk.coupling(abs(j - index) * self.we_pitch)
+            # Spilled H2O2 oxidises on the victim at 2 e- per molecule,
+            # collected over the victim's area.
+            total += (C.ELECTRONS_PER_H2O2 * C.FARADAY * victim.area
+                      * kappa * flux)
+        return total
+
+    def measured_current(self, we_name: str, e_applied: float,
+                         scan_rate: float = 0.0,
+                         include_crosstalk: bool = True) -> float:
+        """What the potentiostat sees on ``we_name``: everything summed."""
+        total = self.faradaic_current(we_name, e_applied)
+        total += self.background_current(we_name, scan_rate)
+        if include_crosstalk and len(self.working_electrodes) > 1:
+            total += self.crosstalk_current(we_name, e_applied)
+        return total
+
+    def blank_current(self, e_applied: float,
+                      reference_we: str | None = None) -> float:
+        """Current of a blank (enzyme-free) WE, for CDS subtraction.
+
+        If the cell has a dedicated blank electrode, names it with
+        ``reference_we``; otherwise a virtual blank with the geometry of
+        the first WE is evaluated.  Direct oxidisers in the chamber still
+        contribute — the paper's caveat that a blank WE "is not helpful in
+        presence of molecules such as Dopamine and Etoposide".
+        """
+        if reference_we is not None:
+            we = self.working_electrode(reference_we)
+            if not we.is_blank:
+                raise SensorError(
+                    f"electrode {reference_we!r} is functionalized; a CDS "
+                    f"blank must be enzyme-free")
+            return we.steady_state_current(e_applied, self.chamber)
+        template = self.working_electrodes[0]
+        virtual = WorkingElectrode(
+            electrode=Electrode(
+                name="_blank", role=ElectrodeRole.WORKING,
+                material=template.material, area=template.area),
+            nernst_layer=template.nernst_layer,
+            sensor_noise_density=template.sensor_noise_density)
+        return virtual.steady_state_current(e_applied, self.chamber)

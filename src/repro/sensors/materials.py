@@ -1,0 +1,187 @@
+"""Electrode materials and their electrochemical personalities.
+
+The paper's platform (Sec. III) deposits thin-film **gold** working and
+counter electrodes and a **silver** reference on silicon; the cited sensor
+works use screen-printed carbon, glassy carbon, and **rhodium-graphite**
+(benzphetamine/aminopyrine, ref. [16]).  A material contributes:
+
+- the specific double-layer capacitance (background charging current
+  ``i = Cdl * A * dE/dt`` — the term that shrinks with electrode area,
+  Sec. III),
+- a catalytic shift of the H2O2 oxidation wave (carbon nanotube coatings
+  lower the overpotential),
+- a scale on the heterogeneous electron-transfer rate ``k0`` (how
+  reversible CYP films behave on it),
+- a faradaic leakage density (residual background at fixed potential), and
+- a relative cost per area used by the platform cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SensorError
+from repro.units import ensure_finite, ensure_non_negative, ensure_positive
+
+__all__ = [
+    "ElectrodeMaterial",
+    "get_material",
+    "material_names",
+    "register_material",
+    "GOLD",
+    "SILVER",
+    "PLATINUM",
+    "GLASSY_CARBON",
+    "SCREEN_PRINTED_CARBON",
+    "RHODIUM_GRAPHITE",
+]
+
+
+@dataclass(frozen=True)
+class ElectrodeMaterial:
+    """Electrochemical properties of an electrode material.
+
+    Parameters
+    ----------
+    name:
+        Registry key.
+    double_layer_capacitance:
+        Specific capacitance, F/m^2.
+    h2o2_wave_shift:
+        Shift (V) applied to the H2O2 oxidation half-wave relative to the
+        reference gold surface; negative = catalytic.
+    k0_scale:
+        Multiplier on the standard electron-transfer rate of redox probes
+        immobilised on this material (1.0 = gold-like).
+    leakage_density:
+        Residual faradaic background at working potentials, A/m^2.
+    roughness:
+        Electroactive-to-geometric area ratio (>= 1).
+    cost_per_mm2:
+        Relative fabrication cost per mm^2 (arbitrary units; used by the
+        design-space cost model, not by physics).
+    suitable_reference:
+        True for materials usable as a (pseudo-)reference electrode —
+        silver, via its Ag/AgCl couple.
+    """
+
+    name: str
+    display_name: str
+    double_layer_capacitance: float
+    h2o2_wave_shift: float = 0.0
+    k0_scale: float = 1.0
+    leakage_density: float = 1.0e-4
+    roughness: float = 1.0
+    cost_per_mm2: float = 1.0
+    suitable_reference: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SensorError("material name must be non-empty")
+        ensure_positive(self.double_layer_capacitance, "double_layer_capacitance")
+        ensure_finite(self.h2o2_wave_shift, "h2o2_wave_shift")
+        ensure_positive(self.k0_scale, "k0_scale")
+        ensure_non_negative(self.leakage_density, "leakage_density")
+        if self.roughness < 1.0:
+            raise SensorError(
+                f"roughness must be >= 1 (electroactive >= geometric), "
+                f"got {self.roughness!r}")
+        ensure_non_negative(self.cost_per_mm2, "cost_per_mm2")
+
+
+_REGISTRY: dict[str, ElectrodeMaterial] = {}
+
+
+def register_material(material: ElectrodeMaterial,
+                      overwrite: bool = False) -> ElectrodeMaterial:
+    """Add a material to the registry and return it."""
+    if material.name in _REGISTRY and not overwrite:
+        raise SensorError(
+            f"material {material.name!r} already registered; "
+            f"pass overwrite=True to replace it")
+    _REGISTRY[material.name] = material
+    return material
+
+
+def get_material(name: str) -> ElectrodeMaterial:
+    """Look up a material by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise SensorError(f"unknown material {name!r} (known: {known})") from None
+
+
+def material_names() -> tuple[str, ...]:
+    """All registered material names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+#: Thin-film gold: the platform's WE/CE material (Sec. III).
+GOLD = register_material(ElectrodeMaterial(
+    name="gold", display_name="Thin-film gold",
+    double_layer_capacitance=0.20,     # 20 uF/cm^2
+    h2o2_wave_shift=0.0,
+    k0_scale=1.0,
+    leakage_density=5.0e-5,
+    roughness=1.1,
+    cost_per_mm2=3.0,
+))
+
+#: Evaporated silver: the platform's reference electrode (Ag/AgCl).
+SILVER = register_material(ElectrodeMaterial(
+    name="silver", display_name="Evaporated silver (Ag/AgCl)",
+    double_layer_capacitance=0.25,
+    h2o2_wave_shift=0.05,
+    k0_scale=0.8,
+    leakage_density=1.0e-4,
+    roughness=1.2,
+    cost_per_mm2=1.5,
+    suitable_reference=True,
+))
+
+#: Platinum: classic H2O2-oxidation anode, catalytic (lower overpotential).
+PLATINUM = register_material(ElectrodeMaterial(
+    name="platinum", display_name="Platinum",
+    double_layer_capacitance=0.24,
+    h2o2_wave_shift=-0.05,
+    k0_scale=1.2,
+    leakage_density=6.0e-5,
+    roughness=1.3,
+    cost_per_mm2=5.0,
+))
+
+#: Glassy carbon: common lab electrode for nanostructured films.
+GLASSY_CARBON = register_material(ElectrodeMaterial(
+    name="glassy_carbon", display_name="Glassy carbon",
+    double_layer_capacitance=0.30,
+    h2o2_wave_shift=0.10,
+    k0_scale=0.6,
+    leakage_density=8.0e-5,
+    roughness=1.5,
+    cost_per_mm2=0.8,
+))
+
+#: Screen-printed carbon: the cheap disposable-strip material (Sec. III).
+SCREEN_PRINTED_CARBON = register_material(ElectrodeMaterial(
+    name="screen_printed_carbon", display_name="Screen-printed carbon",
+    double_layer_capacitance=0.45,
+    h2o2_wave_shift=0.12,
+    k0_scale=0.4,
+    leakage_density=2.0e-4,
+    roughness=2.5,
+    cost_per_mm2=0.1,
+))
+
+#: Rhodium-graphite: the electrode of ref. [16] for CYP2B4
+#: (benzphetamine/aminopyrine); modest electron-transfer kinetics, which is
+#: why those sensitivities in Table III are low.
+RHODIUM_GRAPHITE = register_material(ElectrodeMaterial(
+    name="rhodium_graphite", display_name="Rhodium-graphite",
+    double_layer_capacitance=0.35,
+    h2o2_wave_shift=0.08,
+    k0_scale=0.5,
+    leakage_density=1.5e-4,
+    roughness=2.0,
+    cost_per_mm2=1.2,
+))

@@ -1,0 +1,198 @@
+"""Unit conventions and conversions.
+
+The library computes in **SI units** throughout:
+
+===============  ==========================  ==============================
+Quantity         Internal unit               Convenient fact
+===============  ==========================  ==============================
+potential        volt (V)                    paper quotes mV
+current          ampere (A)                  paper quotes uA / nA
+concentration    mol/m^3                     1 mol/m^3 == 1 mM exactly
+area             m^2                         paper quotes mm^2 / cm^2
+length           m                           electrode radii in um
+time             second (s)
+scan rate        V/s                         paper quotes mV/s
+sensitivity      A*m/mol (== A/(m^2*mol/m^3))  paper quotes uA/(mM*cm^2)
+===============  ==========================  ==============================
+
+The paper reports values in laboratory units (mV, uA, mM, uA/(mM*cm^2)).
+Converters in this module are exact and round-trip; property tests assert
+this.  All converters validate that their input is a finite real number so
+unit mistakes fail loudly at the boundary instead of corrupting simulations.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import UnitsError
+
+__all__ = [
+    "mv_to_v",
+    "v_to_mv",
+    "ua_to_a",
+    "a_to_ua",
+    "na_to_a",
+    "a_to_na",
+    "mm_conc_to_si",
+    "si_to_mm_conc",
+    "um_conc_to_si",
+    "si_to_um_conc",
+    "mm2_to_m2",
+    "m2_to_mm2",
+    "cm2_to_m2",
+    "m2_to_cm2",
+    "um_to_m",
+    "m_to_um",
+    "mv_per_s_to_v_per_s",
+    "v_per_s_to_mv_per_s",
+    "sensitivity_to_si",
+    "sensitivity_to_paper",
+    "ensure_positive",
+    "ensure_non_negative",
+    "ensure_finite",
+    "ensure_fraction",
+]
+
+# Exact ratio between the paper's sensitivity unit uA/(mM*cm^2) and the SI
+# unit A*m/mol: 1 uA/(mM*cm^2) = 1e-6 A / (1 mol/m^3 * 1e-4 m^2) = 1e-2 A*m/mol.
+_SENSITIVITY_PAPER_TO_SI = 1.0e-2
+
+
+def ensure_finite(value: float, name: str = "value") -> float:
+    """Return ``value`` as a float, raising :class:`UnitsError` if not finite."""
+    try:
+        out = float(value)
+    except (TypeError, ValueError) as exc:
+        raise UnitsError(f"{name} must be a real number, got {value!r}") from exc
+    if not math.isfinite(out):
+        raise UnitsError(f"{name} must be finite, got {out!r}")
+    return out
+
+
+def ensure_positive(value: float, name: str = "value") -> float:
+    """Return ``value`` as a float, raising unless it is finite and > 0."""
+    out = ensure_finite(value, name)
+    if out <= 0.0:
+        raise UnitsError(f"{name} must be > 0, got {out!r}")
+    return out
+
+
+def ensure_non_negative(value: float, name: str = "value") -> float:
+    """Return ``value`` as a float, raising unless it is finite and >= 0."""
+    out = ensure_finite(value, name)
+    if out < 0.0:
+        raise UnitsError(f"{name} must be >= 0, got {out!r}")
+    return out
+
+
+def ensure_fraction(value: float, name: str = "value") -> float:
+    """Return ``value`` as a float, raising unless it lies in [0, 1]."""
+    out = ensure_finite(value, name)
+    if not 0.0 <= out <= 1.0:
+        raise UnitsError(f"{name} must be in [0, 1], got {out!r}")
+    return out
+
+
+def mv_to_v(millivolts: float) -> float:
+    """Convert millivolts to volts (paper potentials are quoted in mV)."""
+    return ensure_finite(millivolts, "millivolts") * 1.0e-3
+
+
+def v_to_mv(volts: float) -> float:
+    """Convert volts to millivolts."""
+    return ensure_finite(volts, "volts") * 1.0e3
+
+
+def ua_to_a(microamps: float) -> float:
+    """Convert microamperes to amperes (paper current ranges are in uA)."""
+    return ensure_finite(microamps, "microamps") * 1.0e-6
+
+
+def a_to_ua(amps: float) -> float:
+    """Convert amperes to microamperes."""
+    return ensure_finite(amps, "amps") * 1.0e6
+
+
+def na_to_a(nanoamps: float) -> float:
+    """Convert nanoamperes to amperes (readout resolutions are in nA)."""
+    return ensure_finite(nanoamps, "nanoamps") * 1.0e-9
+
+
+def a_to_na(amps: float) -> float:
+    """Convert amperes to nanoamperes."""
+    return ensure_finite(amps, "amps") * 1.0e9
+
+
+def mm_conc_to_si(millimolar: float) -> float:
+    """Convert mM to mol/m^3.  The factor is exactly 1 (1 mM == 1 mol/m^3)."""
+    return ensure_finite(millimolar, "millimolar") * 1.0
+
+
+def si_to_mm_conc(mol_per_m3: float) -> float:
+    """Convert mol/m^3 to mM (identity factor, provided for symmetry)."""
+    return ensure_finite(mol_per_m3, "mol_per_m3") * 1.0
+
+
+def um_conc_to_si(micromolar: float) -> float:
+    """Convert uM to mol/m^3 (1 uM == 1e-3 mol/m^3)."""
+    return ensure_finite(micromolar, "micromolar") * 1.0e-3
+
+
+def si_to_um_conc(mol_per_m3: float) -> float:
+    """Convert mol/m^3 to uM."""
+    return ensure_finite(mol_per_m3, "mol_per_m3") * 1.0e3
+
+
+def mm2_to_m2(square_millimeters: float) -> float:
+    """Convert mm^2 to m^2 (the Fig. 4 electrode area is 0.23 mm^2)."""
+    return ensure_finite(square_millimeters, "square_millimeters") * 1.0e-6
+
+
+def m2_to_mm2(square_meters: float) -> float:
+    """Convert m^2 to mm^2."""
+    return ensure_finite(square_meters, "square_meters") * 1.0e6
+
+
+def cm2_to_m2(square_centimeters: float) -> float:
+    """Convert cm^2 to m^2 (Table III sensitivities are per cm^2)."""
+    return ensure_finite(square_centimeters, "square_centimeters") * 1.0e-4
+
+
+def m2_to_cm2(square_meters: float) -> float:
+    """Convert m^2 to cm^2."""
+    return ensure_finite(square_meters, "square_meters") * 1.0e4
+
+
+def um_to_m(micrometers: float) -> float:
+    """Convert micrometers to meters (electrode radii, film thicknesses)."""
+    return ensure_finite(micrometers, "micrometers") * 1.0e-6
+
+
+def m_to_um(meters: float) -> float:
+    """Convert meters to micrometers."""
+    return ensure_finite(meters, "meters") * 1.0e6
+
+
+def mv_per_s_to_v_per_s(mv_per_s: float) -> float:
+    """Convert a scan rate quoted in mV/s (the paper's 20 mV/s) to V/s."""
+    return ensure_finite(mv_per_s, "mv_per_s") * 1.0e-3
+
+
+def v_per_s_to_mv_per_s(v_per_s: float) -> float:
+    """Convert a scan rate in V/s to mV/s."""
+    return ensure_finite(v_per_s, "v_per_s") * 1.0e3
+
+
+def sensitivity_to_si(ua_per_mm_cm2: float) -> float:
+    """Convert a paper sensitivity, uA/(mM*cm^2), to SI A*m/mol.
+
+    Table III reports sensitivities in uA/(mM*cm^2); internally sensitivity
+    is a current density per concentration, A/(m^2 * mol/m^3) = A*m/mol.
+    """
+    return ensure_finite(ua_per_mm_cm2, "ua_per_mm_cm2") * _SENSITIVITY_PAPER_TO_SI
+
+
+def sensitivity_to_paper(amp_m_per_mol: float) -> float:
+    """Convert an SI sensitivity (A*m/mol) to the paper unit uA/(mM*cm^2)."""
+    return ensure_finite(amp_m_per_mol, "amp_m_per_mol") / _SENSITIVITY_PAPER_TO_SI

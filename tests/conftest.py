@@ -1,0 +1,101 @@
+"""Shared fixtures: probes, cells, chains used across the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chem.enzymes import (
+    CypSubstrateChannel,
+    CytochromeP450,
+    Oxidase,
+    ProstheticGroup,
+)
+from repro.chem.kinetics import MichaelisMentenFilm
+from repro.chem.redox import ButlerVolmerKinetics, OxidationEfficiency, RedoxCouple
+from repro.chem.solution import Chamber
+from repro.sensors.cell import ElectrochemicalCell
+from repro.sensors.electrode import Electrode, ElectrodeRole, WorkingElectrode
+from repro.sensors.functionalization import with_cytochrome, with_oxidase
+from repro.sensors.materials import get_material
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator; reseeded per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def glucose_oxidase():
+    """A hand-built GOD probe with round-number kinetics."""
+    return Oxidase(
+        name="god_test", display_name="Glucose oxidase (test)",
+        prosthetic_group=ProstheticGroup.FAD, substrate="glucose",
+        film=MichaelisMentenFilm(vmax=2.0e-5, km=30.0),
+        h2o2_wave=OxidationEfficiency(e_half=0.47))
+
+
+@pytest.fixture
+def cyp2b4_probe():
+    """A hand-built CYP2B4-like probe with two channels (n=2)."""
+    return CytochromeP450(
+        name="cyp2b4_test", display_name="CYP2B4 (test)",
+        prosthetic_group=ProstheticGroup.HEME,
+        channels=(
+            CypSubstrateChannel(
+                "benzphetamine",
+                ButlerVolmerKinetics(RedoxCouple("b", -0.250, 2), k0=1.2e-4),
+                efficiency=0.05, km=10.0),
+            CypSubstrateChannel(
+                "aminopyrine",
+                ButlerVolmerKinetics(RedoxCouple("a", -0.400, 2), k0=1.2e-4),
+                efficiency=0.10, km=70.0),
+        ))
+
+
+def make_cell(working_electrodes, chamber=None):
+    """A valid 3-electrode cell around the given WEs."""
+    if chamber is None:
+        chamber = Chamber(name="test")
+    area = max(we.area for we in working_electrodes)
+    reference = Electrode(name="RE", role=ElectrodeRole.REFERENCE,
+                          material=get_material("silver"), area=area)
+    counter = Electrode(name="CE", role=ElectrodeRole.COUNTER,
+                        material=get_material("gold"), area=2.0 * area)
+    return ElectrochemicalCell(chamber=chamber,
+                               working_electrodes=list(working_electrodes),
+                               reference=reference, counter=counter)
+
+
+@pytest.fixture
+def cell_factory():
+    """The cell builder as a fixture (importable-free for test modules)."""
+    return make_cell
+
+
+@pytest.fixture
+def glucose_cell(glucose_oxidase):
+    """A macro screen-printed glucose cell with 2 mM glucose loaded."""
+    we = WorkingElectrode(
+        electrode=Electrode(name="WE1", role=ElectrodeRole.WORKING,
+                            material=get_material("screen_printed_carbon"),
+                            area=7.0e-6),
+        functionalization=with_oxidase(glucose_oxidase))
+    cell = make_cell([we])
+    cell.chamber.set_bulk("glucose", 2.0)
+    return cell
+
+
+@pytest.fixture
+def cyp_cell(cyp2b4_probe):
+    """A rhodium-graphite CYP2B4 cell with both drugs loaded."""
+    we = WorkingElectrode(
+        electrode=Electrode(name="WE4", role=ElectrodeRole.WORKING,
+                            material=get_material("rhodium_graphite"),
+                            area=7.0e-6),
+        functionalization=with_cytochrome(cyp2b4_probe))
+    cell = make_cell([we])
+    cell.chamber.set_bulk("benzphetamine", 0.8)
+    cell.chamber.set_bulk("aminopyrine", 2.0)
+    return cell

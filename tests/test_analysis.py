@@ -1,0 +1,200 @@
+"""Sec. II-B metrics, calibration curves, blanks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.baseline import blank_statistics, trace_baseline
+from repro.analysis.calibration import (
+    CalibrationCurve,
+    CalibrationPoint,
+    run_calibration,
+)
+from repro.analysis.metrics import (
+    average_sensitivity,
+    lod_concentration,
+    lod_signal,
+    max_nonlinearity,
+    sample_throughput,
+    selectivity_ratio,
+    steady_state_response_time,
+    transient_response_time,
+)
+from repro.data.catalog import bench_chain
+from repro.errors import AnalysisError, CalibrationError
+from repro.measurement.trace import Trace
+
+
+def step_trace(t_event=10.0, baseline=0.0, level=1.0, tau=5.0,
+               duration=100.0, fs=10.0, noise=0.0, rng=None):
+    times = np.arange(int(duration * fs)) / fs
+    values = np.where(times < t_event, baseline,
+                      baseline + level * (1 - np.exp(-(times - t_event) / tau)))
+    if noise and rng is not None:
+        values = values + rng.normal(0.0, noise, times.size)
+    return Trace(times=times, current=values)
+
+
+class TestLod:
+    def test_paper_equation_5(self):
+        # LOD = Vb + 3*sigma_b.
+        assert lod_signal(0.1, 0.02) == pytest.approx(0.16)
+
+    def test_concentration_form(self):
+        assert lod_concentration(1e-9, 1e-8) == pytest.approx(0.3)
+
+    def test_sign_of_sensitivity_irrelevant(self):
+        assert lod_concentration(1e-9, -1e-8) == pytest.approx(0.3)
+
+    def test_zero_sensitivity_rejected(self):
+        with pytest.raises(AnalysisError):
+            lod_concentration(1e-9, 0.0)
+
+
+class TestSensitivityAndLinearity:
+    @given(st.floats(min_value=0.1, max_value=100.0),
+           st.floats(min_value=-5.0, max_value=5.0))
+    @settings(max_examples=30)
+    def test_linear_data_recovers_slope(self, slope, intercept):
+        c = np.linspace(0.5, 4.0, 8)
+        v = slope * c + intercept
+        assert average_sensitivity(c, v) == pytest.approx(slope, rel=1e-9)
+        assert max_nonlinearity(c, v) == pytest.approx(0.0, abs=1e-9)
+
+    def test_saturating_data_shows_nonlinearity(self):
+        c = np.linspace(0.5, 10.0, 12)
+        v = c / (1.0 + c / 5.0)
+        assert max_nonlinearity(c, v) > 0.0
+
+    def test_needs_increasing_concentrations(self):
+        with pytest.raises(AnalysisError):
+            average_sensitivity(np.array([1.0, 1.0]), np.array([0.0, 1.0]))
+
+
+class TestResponseTimes:
+    def test_t90_of_exponential_step(self):
+        # 90 % of (1 - exp(-t/tau)) is reached at t = tau*ln(10).
+        trace = step_trace(t_event=10.0, tau=5.0)
+        t90 = steady_state_response_time(trace, 10.0)
+        assert t90 == pytest.approx(5.0 * np.log(10.0), rel=0.1)
+
+    def test_transient_time_at_step_onset(self):
+        trace = step_trace(t_event=10.0, tau=5.0)
+        t_tr = transient_response_time(trace, 10.0)
+        assert t_tr == pytest.approx(0.0, abs=0.3)
+
+    def test_downward_steps_supported(self):
+        trace = step_trace(t_event=10.0, level=-1.0, tau=5.0)
+        t90 = steady_state_response_time(trace, 10.0)
+        assert t90 == pytest.approx(5.0 * np.log(10.0), rel=0.1)
+
+    def test_no_step_rejected(self):
+        trace = step_trace(level=0.0)
+        with pytest.raises(AnalysisError, match="no response step"):
+            steady_state_response_time(trace, 10.0)
+
+    def test_noise_does_not_fake_early_settling(self, rng):
+        trace = step_trace(t_event=10.0, tau=5.0, noise=0.05, rng=rng)
+        t90 = steady_state_response_time(trace, 10.0)
+        # Must not report settling long before the true tau*ln(10) ~ 11.5 s.
+        assert t90 > 5.0
+
+
+class TestThroughputSelectivity:
+    def test_throughput(self):
+        # 30 s transient + 90 s recovery -> 30 samples/hour.
+        assert sample_throughput(30.0, 90.0) == pytest.approx(30.0)
+
+    def test_selectivity(self):
+        assert selectivity_ratio(1.0, 0.01) == pytest.approx(100.0)
+        assert selectivity_ratio(1.0, 0.0) == float("inf")
+        with pytest.raises(AnalysisError):
+            selectivity_ratio(0.0, 1.0)
+
+
+class TestCalibrationCurve:
+    def _curve(self, slope=1e-7, km=None, blank_std=1e-9):
+        points = []
+        for c in np.linspace(0.25, 6.0, 12):
+            signal = slope * c if km is None else slope * c * km / (km + c)
+            points.append(CalibrationPoint(concentration=float(c),
+                                           signal=float(signal)))
+        return CalibrationCurve(points, blank_mean=0.0, blank_std=blank_std)
+
+    def test_sensitivity_of_linear_curve(self):
+        curve = self._curve(slope=1e-7)
+        assert curve.sensitivity() == pytest.approx(1e-7, rel=1e-9)
+
+    def test_lod_from_blank(self):
+        curve = self._curve(slope=1e-7, blank_std=1e-9)
+        assert curve.limit_of_detection() == pytest.approx(0.03, rel=1e-6)
+
+    def test_linear_range_of_linear_data_reaches_top(self):
+        curve = self._curve(slope=1e-7)
+        low, high = curve.linear_range()
+        assert high == pytest.approx(6.0)
+
+    def test_linear_range_capped_by_saturation(self):
+        curve = self._curve(slope=1e-7, km=10.0)
+        low, high = curve.linear_range()
+        assert high < 6.0
+
+    def test_inversion(self):
+        curve = self._curve(slope=1e-7)
+        c = curve.concentration_from_signal(3e-7)
+        assert c == pytest.approx(3.0, rel=1e-6)
+
+    def test_needs_three_points(self):
+        with pytest.raises(CalibrationError):
+            CalibrationCurve([CalibrationPoint(1.0, 1.0),
+                              CalibrationPoint(2.0, 2.0)])
+
+    def test_duplicate_concentrations_rejected(self):
+        with pytest.raises(CalibrationError, match="duplicate"):
+            CalibrationCurve([CalibrationPoint(1.0, 1.0),
+                              CalibrationPoint(1.0, 1.1),
+                              CalibrationPoint(2.0, 2.0)])
+
+    def test_flat_curve_cannot_invert(self):
+        points = [CalibrationPoint(float(c), 1.0) for c in (1.0, 2.0, 3.0)]
+        curve = CalibrationCurve(points)
+        with pytest.raises(CalibrationError):
+            curve.concentration_from_signal(1.0)
+
+
+class TestRunCalibration:
+    def test_drives_callable_and_builds_curve(self, rng):
+        def signal_at(c):
+            return 2e-8 * c + rng.normal(0.0, 1e-10), 1e-10
+
+        curve = run_calibration(signal_at, [0.5, 1.0, 2.0, 4.0])
+        assert curve.sensitivity() == pytest.approx(2e-8, rel=0.05)
+        assert curve.blank_std > 0.0
+
+    def test_needs_enough_points(self):
+        with pytest.raises(CalibrationError):
+            run_calibration(lambda c: (c, 0.0), [1.0, 2.0])
+
+
+class TestBaseline:
+    def test_trace_baseline(self):
+        trace = step_trace(t_event=10.0)
+        mean, std = trace_baseline(trace, 10.0)
+        assert mean == pytest.approx(0.0, abs=1e-12)
+
+    def test_needs_pre_event_samples(self):
+        trace = step_trace(t_event=0.1)
+        with pytest.raises(AnalysisError, match="before"):
+            trace_baseline(trace, 0.1)
+
+    def test_blank_statistics_through_chain(self, glucose_cell, rng):
+        glucose_cell.chamber.set_bulk("glucose", 0.0)
+        vb, sb = blank_statistics(glucose_cell, "WE1", bench_chain(), 0.55,
+                                  duration=3.0, repeats=3, rng=rng)
+        assert sb > 0.0
+        # The blank is leakage only — far below a 2 mM glucose signal.
+        glucose_cell.chamber.set_bulk("glucose", 2.0)
+        assert vb < 0.05 * glucose_cell.measured_current("WE1", 0.55)

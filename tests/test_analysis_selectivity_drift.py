@@ -1,0 +1,121 @@
+"""Selectivity matrices and drift/recalibration tools."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.drift import GainDriftModel, OnePointRecalibration
+from repro.analysis.selectivity import cross_response_matrix
+from repro.data.catalog import paper_panel_cell
+from repro.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def panel_matrix():
+    cell = paper_panel_cell({"glucose": 0.0})
+    return cross_response_matrix(
+        cell, 0.550,
+        species=("glucose", "lactate", "glutamate", "dopamine"),
+        concentration=1.0)
+
+
+class TestCrossResponse:
+    def test_diagonal_dominates(self, panel_matrix):
+        assert panel_matrix.response("WE1", "glucose") > 0.0
+        assert abs(panel_matrix.response("WE1", "lactate")) < 1e-11
+
+    def test_selectivity_ratio_large(self, panel_matrix):
+        ratio = panel_matrix.selectivity("WE1", "lactate")
+        assert ratio > 1e3
+
+    def test_dopamine_is_worst_interferent(self, panel_matrix):
+        name, ratio = panel_matrix.worst_interferent("WE1")
+        assert name == "dopamine"
+        assert ratio < 1e3  # direct oxidation is a real interference
+
+    def test_blank_like_electrode_has_no_selectivity(self, panel_matrix):
+        # WE4 (CYP) has targets, but they were not part of this species
+        # set; selectivity against its own missing target must raise.
+        with pytest.raises(AnalysisError):
+            panel_matrix.selectivity("WE4", "glucose")
+
+    def test_chamber_restored_after_measurement(self):
+        cell = paper_panel_cell({"glucose": 2.0})
+        cross_response_matrix(cell, 0.55, species=("glucose",))
+        assert cell.chamber.bulk("glucose") == pytest.approx(2.0)
+
+    def test_render_contains_markers(self, panel_matrix):
+        text = panel_matrix.render()
+        assert "*" in text
+        assert "WE1" in text
+
+    def test_unknown_pair_raises(self, panel_matrix):
+        with pytest.raises(AnalysisError):
+            panel_matrix.response("WE1", "caffeine")
+
+
+class TestGainDrift:
+    def test_no_drift_when_rate_zero(self):
+        model = GainDriftModel(rate=0.0)
+        assert model.gain(1e7) == 1.0
+        assert math.isinf(model.time_to_gain(0.5))
+
+    def test_per_day_constructor(self):
+        model = GainDriftModel.per_day(0.04)
+        assert model.gain(86400.0) == pytest.approx(0.96, rel=1e-9)
+
+    def test_membrane_suppression_slows_drift(self):
+        bare = GainDriftModel.per_day(0.04)
+        coated = GainDriftModel.per_day(0.04, suppression=0.8)
+        assert coated.gain(7 * 86400.0) > bare.gain(7 * 86400.0)
+
+    def test_time_to_gain_inverts(self):
+        model = GainDriftModel.per_day(0.04)
+        t = model.time_to_gain(0.9)
+        assert model.gain(t) == pytest.approx(0.9, rel=1e-9)
+
+    def test_gain_never_negative(self):
+        model = GainDriftModel.per_day(0.5)
+        assert model.gain(365 * 86400.0) > 0.0
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            GainDriftModel(rate=-1.0)
+        with pytest.raises(AnalysisError):
+            GainDriftModel(rate=0.1, suppression=1.0)
+        with pytest.raises(AnalysisError):
+            GainDriftModel.per_day(1.0)
+
+
+class TestOnePointRecalibration:
+    def test_inverts_initial_calibration(self):
+        cal = OnePointRecalibration(slope=2e-8, intercept=1e-9)
+        signal = 2e-8 * 3.0 + 1e-9
+        assert cal.concentration(signal) == pytest.approx(3.0)
+
+    def test_recalibration_fixes_gain_drift(self):
+        cal = OnePointRecalibration(slope=2e-8)
+        # Sensor lost 20 % of its gain; a reference point re-anchors.
+        drifted_signal = 0.8 * 2e-8 * 4.0
+        cal.recalibrate(drifted_signal, true_concentration=4.0)
+        assert cal.gain_estimate == pytest.approx(0.8)
+        # Subsequent readings with the drifted sensor are correct again.
+        assert cal.concentration(0.8 * 2e-8 * 2.5) == pytest.approx(2.5)
+        assert cal.recalibration_count == 1
+
+    def test_degenerate_recalibration_rejected(self):
+        cal = OnePointRecalibration(slope=2e-8, intercept=1e-9)
+        with pytest.raises(AnalysisError, match="degenerate"):
+            cal.recalibrate(1e-9, true_concentration=3.0)
+
+    def test_sign_flip_rejected(self):
+        cal = OnePointRecalibration(slope=2e-8)
+        with pytest.raises(AnalysisError, match="sign"):
+            cal.recalibrate(-1e-8, true_concentration=3.0)
+
+    def test_zero_slope_rejected(self):
+        with pytest.raises(AnalysisError):
+            OnePointRecalibration(slope=0.0)

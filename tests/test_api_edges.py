@@ -1,0 +1,132 @@
+"""Edge-of-API behaviours not covered by the per-module suites."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import steady_state_response_time
+from repro.chem.analytic import planar_response_time
+from repro.chem.solution import InjectionSchedule
+from repro.chem.species import get_species
+from repro.core.explorer import explore
+from repro.core.targets import PanelSpec, TargetSpec
+from repro.data.catalog import bench_chain, integrated_chain, paper_panel_cell
+from repro.errors import AnalysisError, ProtocolError
+from repro.measurement.chronoamperometry import Chronoamperometry
+from repro.measurement.panel import PanelProtocol
+from repro.measurement.trace import Trace
+
+
+class TestTransientMatchesAnalyticPrediction:
+    """The numeric CA transient and the closed-form t90 must agree —
+    the consistency check between repro.chem.analytic and the solver."""
+
+    def test_t90_prediction(self, glucose_cell):
+        we = glucose_cell.working_electrodes[0]
+        predicted = planar_response_time(
+            we.effective_nernst_layer("glucose"),
+            get_species("glucose").diffusivity)
+        glucose_cell.chamber.set_bulk("glucose", 0.0)
+        protocol = Chronoamperometry(
+            e_setpoint=0.55, duration=predicted * 4.0, sample_rate=5.0,
+            injections=InjectionSchedule.single(2.0, "glucose", 2.0))
+        times, currents = protocol.simulate_true_current(glucose_cell, "WE1")
+        trace = Trace(times=times, current=currents)
+        measured = steady_state_response_time(trace, 2.0)
+        # The film consumption speeds settling slightly versus the pure
+        # diffusion mode; agreement within 40 % validates both paths.
+        assert measured == pytest.approx(predicted, rel=0.4)
+
+
+class TestPanelProtocolValidation:
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(Exception):
+            PanelProtocol(ca_dwell=0.0)
+        with pytest.raises(Exception):
+            PanelProtocol(scan_rate=-0.01)
+        with pytest.raises(Exception):
+            PanelProtocol(peak_min_height=0.0)
+
+    def test_assay_time_scales_with_dwell(self):
+        cell_a = paper_panel_cell()
+        cell_b = paper_panel_cell()
+        chain = integrated_chain("cyp_micro", n_channels=5)
+        short = PanelProtocol(ca_dwell=20.0).run(
+            cell_a, chain, rng=np.random.default_rng(2))
+        long = PanelProtocol(ca_dwell=60.0).run(
+            cell_b, chain, rng=np.random.default_rng(2))
+        assert long.assay_time > short.assay_time + 100.0
+
+
+class TestExplorerDiagnostics:
+    @pytest.fixture(scope="class")
+    def result(self):
+        panel = PanelSpec(
+            name="edges",
+            targets=(TargetSpec("benzphetamine", 0.2, 1.2,
+                                required_lod=0.25),))
+        return explore(panel)
+
+    def test_violation_summary_counts(self, result):
+        infeasible = [p for p in result.points if not p.feasible]
+        summary = result.violation_summary()
+        assert sum(summary.values()) >= len(infeasible)
+
+    def test_front_never_empty_when_feasible_exists(self, result):
+        if result.n_feasible:
+            assert result.front
+
+    def test_estimates_expose_margin(self, result):
+        point = result.points[0]
+        assert point.estimates.worst_lod_margin > 0.0
+
+
+class TestTraceSmoothing:
+    def test_preserves_mean_level(self, rng):
+        values = 1.0 + 0.1 * rng.standard_normal(400)
+        trace = Trace(times=np.arange(400) / 10.0, current=values)
+        smooth = trace.smoothed(21)
+        assert np.mean(smooth.current) == pytest.approx(np.mean(values),
+                                                        rel=1e-3)
+        assert np.std(smooth.current) < 0.5 * np.std(values)
+
+    def test_window_one_is_identity(self):
+        trace = Trace(times=np.arange(10.0), current=np.arange(10.0))
+        assert trace.smoothed(1) is trace
+
+    def test_even_window_rejected(self):
+        trace = Trace(times=np.arange(10.0), current=np.arange(10.0))
+        with pytest.raises(AnalysisError):
+            trace.smoothed(4)
+
+    def test_edges_not_dragged_to_zero(self):
+        # Padding with edge values, not zeros: a constant stays constant.
+        trace = Trace(times=np.arange(50.0), current=np.full(50, 3.0))
+        smooth = trace.smoothed(11)
+        assert np.allclose(smooth.current, 3.0)
+
+
+class TestChamberAccounting:
+    def test_electrolysis_consumption(self, glucose_cell):
+        chamber = glucose_cell.chamber
+        chamber.set_bulk("glucose", 1.0)
+        moles_present = 1.0 * chamber.volume
+        chamber.consume("glucose", moles_present / 2.0)
+        assert chamber.bulk("glucose") == pytest.approx(0.5)
+
+
+class TestBenchChainIsQuiet:
+    """The laboratory chain must be quiet enough that Table III LODs
+    reflect the sensors, not the instrument."""
+
+    def test_instrument_noise_below_sensor_noise(self, glucose_cell):
+        chain = bench_chain()
+        we = glucose_cell.working_electrodes[0]
+        instrument_only = chain.noise_rms(we=None)
+        with_sensor = chain.noise_rms(we=we)
+        assert instrument_only < 0.01 * with_sensor
+
+    def test_no_drift(self):
+        chain = bench_chain()
+        assert chain.baseline_drift_rate == 0.0

@@ -1,0 +1,127 @@
+"""Closed-form electrochemistry: Cottrell, Randles-Sevcik, microelectrodes."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chem import constants as C
+from repro.chem.analytic import (
+    cottrell_charge,
+    cottrell_current,
+    diffusion_limited_current,
+    mass_transfer_coefficient,
+    microdisk_response_time,
+    microdisk_steady_state_current,
+    planar_response_time,
+    randles_sevcik_peak_current,
+    reversible_half_peak_width,
+    reversible_peak_potential,
+)
+from repro.errors import ChemistryError
+
+areas = st.floats(min_value=1e-8, max_value=1e-4)
+concs = st.floats(min_value=1e-3, max_value=10.0)
+diffs = st.floats(min_value=1e-10, max_value=2e-9)
+rates = st.floats(min_value=1e-3, max_value=0.1)
+
+
+class TestCottrell:
+    def test_magnitude(self):
+        # 1 cm^2, 1 mM, D=1e-9, t=1 s: i = F*C*sqrt(D/pi) * A.
+        i = cottrell_current(1, 1e-4, 1.0, 1e-9, 1.0)
+        expected = C.FARADAY * 1e-4 * 1.0 * math.sqrt(1e-9 / math.pi)
+        assert i == pytest.approx(expected)
+
+    @given(areas, concs, diffs)
+    def test_inverse_sqrt_time_decay(self, a, c, d):
+        i1 = cottrell_current(1, a, c, d, 1.0)
+        i4 = cottrell_current(1, a, c, d, 4.0)
+        assert i1 / i4 == pytest.approx(2.0, rel=1e-9)
+
+    @given(areas, concs, diffs, st.floats(min_value=0.1, max_value=100.0))
+    def test_charge_is_integral_of_current(self, a, c, d, t):
+        # dQ/dt == i(t): check with a centered finite difference.
+        dt = t * 1e-4
+        dq = (cottrell_charge(1, a, c, d, t + dt)
+              - cottrell_charge(1, a, c, d, t - dt)) / (2 * dt)
+        assert dq == pytest.approx(cottrell_current(1, a, c, d, t), rel=1e-6)
+
+
+class TestRandlesSevcik:
+    @given(areas, concs, diffs, rates)
+    def test_linear_in_concentration(self, a, c, d, v):
+        i1 = randles_sevcik_peak_current(2, a, c, d, v)
+        i2 = randles_sevcik_peak_current(2, a, 2 * c, d, v)
+        assert i2 / i1 == pytest.approx(2.0, rel=1e-9)
+
+    @given(areas, concs, diffs, rates)
+    def test_sqrt_in_scan_rate(self, a, c, d, v):
+        i1 = randles_sevcik_peak_current(2, a, c, d, v)
+        i4 = randles_sevcik_peak_current(2, a, c, d, 4 * v)
+        assert i4 / i1 == pytest.approx(2.0, rel=1e-9)
+
+    def test_n_exponent_three_halves(self):
+        i1 = randles_sevcik_peak_current(1, 1e-6, 1.0, 1e-9, 0.02)
+        i2 = randles_sevcik_peak_current(2, 1e-6, 1.0, 1e-9, 0.02)
+        assert i2 / i1 == pytest.approx(2.0 ** 1.5, rel=1e-9)
+
+
+class TestPeakGeometry:
+    def test_cathodic_peak_below_formal(self):
+        ep = reversible_peak_potential(-0.250, 2, cathodic=True)
+        assert ep < -0.250
+        assert -0.250 - ep == pytest.approx(1.109 / (2 * C.F_OVER_RT))
+
+    def test_anodic_peak_above_formal(self):
+        ep = reversible_peak_potential(-0.250, 2, cathodic=False)
+        assert ep > -0.250
+
+    def test_half_width_halves_with_n(self):
+        w1 = reversible_half_peak_width(1)
+        w2 = reversible_half_peak_width(2)
+        assert w1 / w2 == pytest.approx(2.0)
+        assert w1 == pytest.approx(0.0565, abs=2e-3)  # ~56.5 mV at 25 C
+
+
+class TestMicroelectrode:
+    @given(st.floats(min_value=1e-6, max_value=1e-3), concs, diffs)
+    def test_steady_current_linear_in_radius(self, r, c, d):
+        i1 = microdisk_steady_state_current(1, r, c, d)
+        i2 = microdisk_steady_state_current(1, 2 * r, c, d)
+        assert i2 / i1 == pytest.approx(2.0, rel=1e-9)
+
+    def test_response_time_quadratic_in_radius(self):
+        # Halving the electrode radius quarters the settling time — the
+        # paper's microelectrode argument (Sec. III).
+        t1 = microdisk_response_time(1e-4, 6.7e-10)
+        t2 = microdisk_response_time(5e-5, 6.7e-10)
+        assert t1 / t2 == pytest.approx(4.0, rel=1e-9)
+
+    def test_planar_response_time_glucose_strip(self):
+        # The Fig. 3 calibration: 150 um layer, glucose D -> t90 ~ 29 s.
+        t90 = planar_response_time(1.5e-4, 6.7e-10)
+        assert 25.0 <= t90 <= 33.0
+
+    def test_planar_time_grows_with_settle_fraction(self):
+        t90 = planar_response_time(1.5e-4, 6.7e-10, settle_fraction=0.90)
+        t99 = planar_response_time(1.5e-4, 6.7e-10, settle_fraction=0.99)
+        assert t99 > t90
+
+
+class TestTransportLimits:
+    @given(areas, concs, diffs)
+    def test_diffusion_limited_current_formula(self, a, c, d):
+        delta = 1.5e-4
+        i = diffusion_limited_current(2, a, c, d, delta)
+        m = mass_transfer_coefficient(d, delta)
+        assert i == pytest.approx(2 * C.FARADAY * a * m * c, rel=1e-9)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ChemistryError):
+            cottrell_current(0, 1e-6, 1.0, 1e-9, 1.0)
+        with pytest.raises(Exception):
+            randles_sevcik_peak_current(1, -1e-6, 1.0, 1e-9, 0.02)

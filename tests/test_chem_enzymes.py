@@ -1,0 +1,126 @@
+"""Enzyme probes: oxidases and cytochromes P450."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.chem.enzymes import (
+    CypSubstrateChannel,
+    CytochromeP450,
+    Oxidase,
+    ProstheticGroup,
+)
+from repro.chem.kinetics import MichaelisMentenFilm
+from repro.chem.redox import ButlerVolmerKinetics, OxidationEfficiency, RedoxCouple
+from repro.errors import ChemistryError
+
+
+def make_channel(substrate, e_formal, n=2, efficiency=0.1, km=10.0):
+    return CypSubstrateChannel(
+        substrate, ButlerVolmerKinetics(RedoxCouple(substrate, e_formal, n)),
+        efficiency=efficiency, km=km)
+
+
+class TestOxidase:
+    def test_construction(self, glucose_oxidase):
+        assert glucose_oxidase.substrate == "glucose"
+        assert glucose_oxidase.prosthetic_group is ProstheticGroup.FAD
+        assert glucose_oxidase.substrate_species.name == "glucose"
+
+    def test_heme_rejected(self):
+        with pytest.raises(ChemistryError, match="heme"):
+            Oxidase(name="bad", display_name="Bad",
+                    prosthetic_group=ProstheticGroup.HEME,
+                    substrate="glucose")
+
+    def test_unknown_substrate_rejected(self):
+        with pytest.raises(Exception):
+            Oxidase(name="bad", display_name="Bad",
+                    prosthetic_group=ProstheticGroup.FAD,
+                    substrate="unobtainium")
+
+    def test_turnover_flux_is_film_rate(self, glucose_oxidase):
+        assert glucose_oxidase.turnover_flux(30.0) == pytest.approx(
+            glucose_oxidase.film.rate(30.0))
+
+    def test_faradaic_yield_at_saturation(self, glucose_oxidase):
+        # Far above the wave: 2 electrons per substrate (reaction 3).
+        assert glucose_oxidase.faradaic_yield(1.5) == pytest.approx(2.0,
+                                                                    abs=1e-5)
+
+    def test_recommended_potential_is_95_percent_point(self, glucose_oxidase):
+        e = glucose_oxidase.recommended_potential()
+        assert glucose_oxidase.collection_efficiency(e) == pytest.approx(
+            0.95, rel=1e-6)
+
+    def test_with_film_replaces_kinetics(self, glucose_oxidase):
+        film = MichaelisMentenFilm(vmax=1e-4, km=5.0)
+        boosted = glucose_oxidase.with_film(film)
+        assert boosted.film is film
+        assert boosted.substrate == glucose_oxidase.substrate
+
+
+class TestCytochrome:
+    def test_construction(self, cyp2b4_probe):
+        assert cyp2b4_probe.substrates == ("benzphetamine", "aminopyrine")
+        assert cyp2b4_probe.prosthetic_group is ProstheticGroup.HEME
+
+    def test_needs_heme(self):
+        with pytest.raises(ChemistryError, match="heme"):
+            CytochromeP450(name="bad", display_name="Bad",
+                           prosthetic_group=ProstheticGroup.FAD,
+                           channels=(make_channel("clozapine", -0.265),))
+
+    def test_needs_channels(self):
+        with pytest.raises(ChemistryError, match="channel"):
+            CytochromeP450(name="bad", display_name="Bad",
+                           prosthetic_group=ProstheticGroup.HEME)
+
+    def test_duplicate_substrate_rejected(self):
+        with pytest.raises(ChemistryError, match="twice"):
+            CytochromeP450(
+                name="bad", display_name="Bad",
+                prosthetic_group=ProstheticGroup.HEME,
+                channels=(make_channel("clozapine", -0.265),
+                          make_channel("clozapine", -0.3)))
+
+    def test_channel_lookup(self, cyp2b4_probe):
+        ch = cyp2b4_probe.channel_for("benzphetamine")
+        assert ch.reduction_potential == pytest.approx(-0.250)
+        with pytest.raises(ChemistryError, match="does not sense"):
+            cyp2b4_probe.channel_for("glucose")
+
+    def test_peak_separation(self, cyp2b4_probe):
+        # benzphetamine at -250 mV, aminopyrine at -400 mV: 150 mV gap.
+        assert cyp2b4_probe.peak_separation() == pytest.approx(0.150)
+
+    def test_single_channel_infinite_separation(self):
+        probe = CytochromeP450(
+            name="cyp1a2", display_name="CYP1A2",
+            prosthetic_group=ProstheticGroup.HEME,
+            channels=(make_channel("clozapine", -0.265),))
+        assert math.isinf(probe.peak_separation())
+
+    def test_couples_exposed(self, cyp2b4_probe):
+        couples = cyp2b4_probe.couples()
+        assert len(couples) == 2
+        assert couples[0].e_formal == pytest.approx(-0.250)
+
+
+class TestChannelValidation:
+    def test_efficiency_bounds(self):
+        with pytest.raises(ChemistryError):
+            make_channel("clozapine", -0.265, efficiency=0.0)
+        with pytest.raises(ChemistryError):
+            make_channel("clozapine", -0.265, efficiency=2.5)
+
+    def test_porous_film_preconcentration_allowed(self):
+        # Efficiencies slightly above 1 model CNT thin-layer trapping.
+        ch = make_channel("cholesterol", -0.400, efficiency=1.1)
+        assert ch.efficiency == pytest.approx(1.1)
+
+    def test_km_positive(self):
+        with pytest.raises(Exception):
+            make_channel("clozapine", -0.265, km=0.0)

@@ -1,0 +1,152 @@
+"""Michaelis-Menten kinetics: rate law, inversion, transport coupling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chem.kinetics import (
+    MichaelisMentenFilm,
+    competitive_inhibition,
+    linear_range_upper_bound,
+    michaelis_menten,
+    michaelis_menten_inverse,
+    steady_state_surface_concentration,
+    steady_state_turnover_flux,
+)
+from repro.errors import ChemistryError
+
+vmax_values = st.floats(min_value=1e-9, max_value=1e-3)
+km_values = st.floats(min_value=1e-3, max_value=1e3)
+conc_values = st.floats(min_value=0.0, max_value=1e3)
+mass_transfer_values = st.floats(min_value=1e-8, max_value=1e-3)
+
+
+class TestRateLaw:
+    def test_half_rate_at_km(self):
+        assert michaelis_menten(30.0, 2.0e-5, 30.0) == pytest.approx(1.0e-5)
+
+    def test_zero_at_zero(self):
+        assert michaelis_menten(0.0, 1e-5, 10.0) == 0.0
+
+    def test_negative_concentration_clipped(self):
+        # Solvers can undershoot by rounding; the rate must not go negative.
+        assert michaelis_menten(-1e-9, 1e-5, 10.0) == 0.0
+
+    def test_vectorized(self):
+        c = np.array([0.0, 10.0, 1e6])
+        v = michaelis_menten(c, 1e-5, 10.0)
+        assert v.shape == c.shape
+        assert v[0] == 0.0
+        assert v[1] == pytest.approx(0.5e-5)
+        assert v[2] == pytest.approx(1e-5, rel=1e-4)
+
+    @given(conc_values, vmax_values, km_values)
+    def test_bounded_by_vmax(self, c, vmax, km):
+        assert 0.0 <= michaelis_menten(c, vmax, km) <= vmax
+
+    @given(vmax_values, km_values,
+           st.floats(min_value=1e-3, max_value=1e2),
+           st.floats(min_value=1e-3, max_value=1e2))
+    def test_monotone_in_concentration(self, vmax, km, c1, dc):
+        v1 = michaelis_menten(c1, vmax, km)
+        v2 = michaelis_menten(c1 + dc, vmax, km)
+        assert v2 >= v1
+
+
+class TestInverse:
+    @given(vmax_values, km_values, st.floats(min_value=0.01, max_value=0.99))
+    def test_round_trip(self, vmax, km, fraction):
+        rate = fraction * vmax
+        c = michaelis_menten_inverse(rate, vmax, km)
+        assert michaelis_menten(c, vmax, km) == pytest.approx(rate, rel=1e-9)
+
+    def test_rate_at_vmax_unreachable(self):
+        with pytest.raises(ChemistryError, match="unreachable"):
+            michaelis_menten_inverse(1e-5, 1e-5, 10.0)
+
+
+class TestInhibition:
+    def test_no_inhibitor_reduces_to_mm(self):
+        plain = michaelis_menten(5.0, 1e-5, 10.0)
+        inhibited = competitive_inhibition(5.0, 1e-5, 10.0,
+                                           inhibitor=0.0, ki=1.0)
+        assert inhibited == pytest.approx(plain)
+
+    def test_inhibitor_slows_reaction(self):
+        plain = michaelis_menten(5.0, 1e-5, 10.0)
+        inhibited = competitive_inhibition(5.0, 1e-5, 10.0,
+                                           inhibitor=5.0, ki=1.0)
+        assert inhibited < plain
+
+    def test_vmax_unchanged_at_saturation(self):
+        # Competitive inhibition raises apparent km but not vmax.
+        inhibited = competitive_inhibition(1e9, 1e-5, 10.0,
+                                           inhibitor=5.0, ki=1.0)
+        assert inhibited == pytest.approx(1e-5, rel=1e-3)
+
+
+class TestFilm:
+    def test_scaled_multiplies_vmax_only(self):
+        film = MichaelisMentenFilm(vmax=1e-5, km=10.0)
+        boosted = film.scaled(4.0)
+        assert boosted.vmax == pytest.approx(4e-5)
+        assert boosted.km == film.km
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(Exception):
+            MichaelisMentenFilm(vmax=0.0, km=10.0)
+        with pytest.raises(Exception):
+            MichaelisMentenFilm(vmax=1e-5, km=0.0)
+
+
+class TestTransportCoupling:
+    @given(conc_values, vmax_values, km_values, mass_transfer_values)
+    def test_surface_concentration_below_bulk(self, cb, vmax, km, m):
+        film = MichaelisMentenFilm(vmax=vmax, km=km)
+        cs = steady_state_surface_concentration(cb, film, m)
+        assert 0.0 <= cs <= cb * (1.0 + 1e-9)
+
+    @given(conc_values, vmax_values, km_values, mass_transfer_values)
+    def test_flux_balances_supply(self, cb, vmax, km, m):
+        # At steady state the film consumes exactly what diffusion brings.
+        film = MichaelisMentenFilm(vmax=vmax, km=km)
+        cs = steady_state_surface_concentration(cb, film, m)
+        consumption = film.rate(cs)
+        supply = m * (cb - cs)
+        assert consumption == pytest.approx(supply, rel=1e-6, abs=1e-18)
+
+    def test_fast_kinetics_transport_limited(self):
+        # vmax >> m*km: surface concentration ~ 0, flux ~ m*cb.
+        film = MichaelisMentenFilm(vmax=1.0, km=1.0)
+        m = 1e-6
+        flux = steady_state_turnover_flux(2.0, film, m)
+        assert flux == pytest.approx(m * 2.0, rel=1e-3)
+
+    def test_slow_kinetics_kinetically_limited(self):
+        # vmax << m*km: surface ~ bulk, flux ~ MM(cb).
+        film = MichaelisMentenFilm(vmax=1e-9, km=10.0)
+        m = 1e-3
+        flux = steady_state_turnover_flux(2.0, film, m)
+        assert flux == pytest.approx(film.rate(2.0), rel=1e-3)
+
+    def test_zero_bulk_zero_flux(self):
+        film = MichaelisMentenFilm(vmax=1e-5, km=10.0)
+        assert steady_state_turnover_flux(0.0, film, 1e-6) == 0.0
+
+
+class TestLinearRange:
+    def test_upper_bound_scales_with_km(self):
+        m = 1e-5
+        low = linear_range_upper_bound(
+            MichaelisMentenFilm(vmax=1e-6, km=5.0), m)
+        high = linear_range_upper_bound(
+            MichaelisMentenFilm(vmax=1e-6, km=50.0), m)
+        assert high > low
+
+    def test_needs_reasonable_tolerance(self):
+        film = MichaelisMentenFilm(vmax=1e-6, km=10.0)
+        with pytest.raises(ChemistryError):
+            linear_range_upper_bound(film, 1e-5, non_linearity=0.6)

@@ -1,0 +1,153 @@
+"""Redox laws: Nernst, oxidation-efficiency wave, Butler-Volmer."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chem import constants as C
+from repro.chem.redox import (
+    ButlerVolmerKinetics,
+    OxidationEfficiency,
+    RedoxCouple,
+    butler_volmer_current_density,
+    nernst_potential,
+    nernst_ratio,
+)
+from repro.errors import ChemistryError
+
+potentials = st.floats(min_value=-1.0, max_value=1.0)
+
+
+class TestNernst:
+    def test_equal_concentrations_give_formal_potential(self):
+        assert nernst_potential(0.2, 1, 1.0) == pytest.approx(0.2)
+
+    def test_ten_to_one_shifts_59mV(self):
+        # The classic 59 mV/decade at 25 C for n=1.
+        e = nernst_potential(0.0, 1, 10.0)
+        assert e == pytest.approx(0.0592, abs=5e-4)
+
+    def test_n_2_halves_the_slope(self):
+        e = nernst_potential(0.0, 2, 10.0)
+        assert e == pytest.approx(0.0296, abs=5e-4)
+
+    @given(potentials, potentials)
+    def test_ratio_monotone_in_potential(self, e1, e2):
+        r1 = nernst_ratio(e1, 0.0, 1)
+        r2 = nernst_ratio(e2, 0.0, 1)
+        if e1 < e2:
+            assert r1 <= r2
+
+    @given(potentials)
+    def test_ratio_round_trip(self, e):
+        ratio = nernst_ratio(e, 0.1, 1)
+        back = nernst_potential(0.1, 1, ratio)
+        assert back == pytest.approx(e, abs=1e-9)
+
+    def test_extreme_potentials_do_not_overflow(self):
+        assert math.isfinite(nernst_ratio(50.0, 0.0, 4))
+        assert nernst_ratio(-50.0, 0.0, 4) >= 0.0
+
+
+class TestRedoxCouple:
+    def test_reduced_fraction_limits(self):
+        couple = RedoxCouple("test", e_formal=-0.4, n_electrons=1)
+        assert couple.reduced_fraction(-1.5) == pytest.approx(1.0, abs=1e-6)
+        assert couple.reduced_fraction(0.8) == pytest.approx(0.0, abs=1e-6)
+        assert couple.reduced_fraction(-0.4) == pytest.approx(0.5)
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ChemistryError):
+            RedoxCouple("bad", e_formal=0.0, n_electrons=0)
+
+
+class TestOxidationEfficiency:
+    def test_half_at_half_wave(self):
+        wave = OxidationEfficiency(e_half=0.45)
+        assert wave.at(0.45) == pytest.approx(0.5)
+
+    def test_saturates_high(self):
+        wave = OxidationEfficiency(e_half=0.45)
+        assert wave.at(1.5) == pytest.approx(1.0, abs=1e-6)
+        assert wave.at(-0.5) == pytest.approx(0.0, abs=1e-6)
+
+    def test_potential_for_efficiency_inverts(self):
+        wave = OxidationEfficiency(e_half=0.45, slope=0.0257)
+        for fraction in (0.05, 0.5, 0.95):
+            e = wave.potential_for_efficiency(fraction)
+            assert wave.at(e) == pytest.approx(fraction, rel=1e-6)
+
+    def test_95_percent_point_is_about_3_slopes_up(self):
+        wave = OxidationEfficiency(e_half=0.45, slope=0.0257)
+        e95 = wave.potential_for_efficiency(0.95)
+        assert e95 - 0.45 == pytest.approx(0.0257 * math.log(19.0), rel=1e-9)
+
+    def test_shifted(self):
+        wave = OxidationEfficiency(e_half=0.45)
+        catalysed = wave.shifted(-0.10)
+        assert catalysed.e_half == pytest.approx(0.35)
+        # A catalytic shift means more signal at the same potential.
+        assert catalysed.at(0.40) > wave.at(0.40)
+
+    def test_vectorized(self):
+        wave = OxidationEfficiency(e_half=0.45)
+        e = np.linspace(0.0, 0.9, 10)
+        eta = wave.at(e)
+        assert eta.shape == e.shape
+        assert np.all(np.diff(eta) > 0.0)  # strictly rising wave
+
+    def test_invalid_fraction_rejected(self):
+        wave = OxidationEfficiency(e_half=0.45)
+        with pytest.raises(ChemistryError):
+            wave.potential_for_efficiency(1.0)
+
+
+class TestButlerVolmer:
+    def test_zero_current_at_equilibrium(self):
+        # Equal ox/red at the formal potential: no net current.
+        j = butler_volmer_current_density(0.0, 1e-5, 1.0, 1.0)
+        assert j == pytest.approx(0.0, abs=1e-12)
+
+    def test_cathodic_negative(self):
+        # Well below E0 with only Ox present: reduction, negative current.
+        j = butler_volmer_current_density(-0.3, 1e-5, 1.0, 0.0)
+        assert j < 0.0
+
+    def test_anodic_positive(self):
+        j = butler_volmer_current_density(+0.3, 1e-5, 0.0, 1.0)
+        assert j > 0.0
+
+    def test_no_species_no_current(self):
+        j = butler_volmer_current_density(-0.3, 1e-5, 0.0, 0.0)
+        assert j == 0.0
+
+    @given(st.floats(min_value=-0.5, max_value=-0.05))
+    def test_cathodic_grows_with_overpotential(self, eta):
+        j1 = butler_volmer_current_density(eta, 1e-5, 1.0, 0.0)
+        j2 = butler_volmer_current_density(eta - 0.05, 1e-5, 1.0, 0.0)
+        assert j2 < j1 < 0.0
+
+    def test_rate_constants_cross_at_formal_potential(self):
+        kinetics = ButlerVolmerKinetics(
+            RedoxCouple("t", e_formal=-0.25, n_electrons=1), k0=1e-5)
+        kf, kb = kinetics.rate_constants(-0.25)
+        assert kf == pytest.approx(1e-5)
+        assert kb == pytest.approx(1e-5)
+
+    def test_rate_constants_obey_nernst(self):
+        # kf/kb = exp(-n f (E - E0)) — detailed balance.
+        kinetics = ButlerVolmerKinetics(
+            RedoxCouple("t", e_formal=-0.25, n_electrons=2), k0=1e-5)
+        e = -0.30
+        kf, kb = kinetics.rate_constants(e)
+        expected = math.exp(-2 * C.F_OVER_RT * (e - (-0.25)))
+        assert kf / kb == pytest.approx(expected, rel=1e-9)
+
+    def test_alpha_bounds(self):
+        with pytest.raises(ChemistryError):
+            ButlerVolmerKinetics(RedoxCouple("t", 0.0, 1), k0=1e-5, alpha=1.0)

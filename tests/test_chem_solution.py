@@ -1,0 +1,114 @@
+"""Chambers and injection schedules."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chem.solution import Chamber, Injection, InjectionSchedule
+from repro.errors import ProtocolError
+
+
+class TestInjection:
+    def test_validates_species(self):
+        with pytest.raises(Exception):
+            Injection(0.0, "unobtainium", 1.0)
+
+    def test_rejects_non_positive_step(self):
+        with pytest.raises(Exception):
+            Injection(0.0, "glucose", 0.0)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(Exception):
+            Injection(-1.0, "glucose", 1.0)
+
+
+class TestSchedule:
+    def test_single(self):
+        schedule = InjectionSchedule.single(10.0, "glucose", 2.0)
+        assert len(schedule.injections) == 1
+        assert schedule.duration_hint == 10.0
+        assert schedule.species_names() == ("glucose",)
+
+    def test_staircase(self):
+        schedule = InjectionSchedule.staircase("lactate", step=0.5,
+                                               n_steps=4, interval=30.0)
+        times = [inj.time for inj in schedule.injections]
+        assert times == [0.0, 30.0, 60.0, 90.0]
+        assert schedule.final_concentration("lactate") == pytest.approx(2.0)
+
+    def test_unordered_rejected(self):
+        with pytest.raises(ProtocolError, match="ordered"):
+            InjectionSchedule((Injection(10.0, "glucose", 1.0),
+                               Injection(5.0, "glucose", 1.0)))
+
+    def test_events_between_half_open(self):
+        schedule = InjectionSchedule.staircase("glucose", 1.0, 3, 10.0)
+        # (0, 10] catches the injection at exactly t=10, not t=0.
+        events = schedule.events_between(0.0, 10.0)
+        assert len(events) == 1
+        assert events[0].time == 10.0
+
+    def test_empty_schedule(self):
+        schedule = InjectionSchedule()
+        assert schedule.duration_hint == 0.0
+        assert schedule.species_names() == ()
+        assert schedule.final_concentration("glucose") == 0.0
+
+    @given(st.integers(min_value=1, max_value=10),
+           st.floats(min_value=0.1, max_value=5.0))
+    def test_final_concentration_sums_steps(self, n, step):
+        schedule = InjectionSchedule.staircase("glucose", step, n, 1.0)
+        assert schedule.final_concentration("glucose") == pytest.approx(
+            n * step)
+
+
+class TestChamber:
+    def test_set_and_get(self):
+        chamber = Chamber()
+        chamber.set_bulk("glucose", 2.0)
+        assert chamber.bulk("glucose") == 2.0
+        assert chamber.bulk("lactate") == 0.0
+
+    def test_inject_accumulates(self):
+        chamber = Chamber()
+        chamber.inject(Injection(0.0, "glucose", 1.0))
+        chamber.inject(Injection(1.0, "glucose", 0.5))
+        assert chamber.bulk("glucose") == pytest.approx(1.5)
+
+    def test_species_present_sorted_nonzero(self):
+        chamber = Chamber()
+        chamber.set_bulk("lactate", 1.0)
+        chamber.set_bulk("glucose", 1.0)
+        chamber.set_bulk("glutamate", 0.0)
+        assert chamber.species_present() == ("glucose", "lactate")
+
+    def test_consume_clamps_at_zero(self):
+        chamber = Chamber(volume=1e-6)
+        chamber.set_bulk("glucose", 1.0)
+        chamber.consume("glucose", moles=1.0)  # far more than present
+        assert chamber.bulk("glucose") == 0.0
+
+    def test_consume_bookkeeping(self):
+        chamber = Chamber(volume=1e-6)
+        chamber.set_bulk("glucose", 2.0)
+        chamber.consume("glucose", moles=1e-6)  # 1 mol/m^3 worth
+        assert chamber.bulk("glucose") == pytest.approx(1.0)
+
+    def test_copy_is_independent(self):
+        chamber = Chamber()
+        chamber.set_bulk("glucose", 2.0)
+        clone = chamber.copy()
+        clone.set_bulk("glucose", 5.0)
+        assert chamber.bulk("glucose") == 2.0
+
+    def test_unknown_species_rejected(self):
+        chamber = Chamber()
+        with pytest.raises(Exception):
+            chamber.set_bulk("unobtainium", 1.0)
+
+    def test_negative_concentration_rejected(self):
+        chamber = Chamber()
+        with pytest.raises(Exception):
+            chamber.set_bulk("glucose", -1.0)

@@ -1,0 +1,112 @@
+"""Species registry: built-ins, validation, registration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chem import constants as C
+from repro.chem.species import (
+    ENDOGENOUS_METABOLITES,
+    EXOGENOUS_DRUGS,
+    Species,
+    get_species,
+    has_species,
+    register_species,
+    species_names,
+)
+from repro.errors import ChemistryError, UnknownSpeciesError
+
+
+class TestBuiltins:
+    def test_paper_metabolites_present(self):
+        for name in ENDOGENOUS_METABOLITES:
+            assert has_species(name)
+
+    def test_paper_drugs_present(self):
+        for name in EXOGENOUS_DRUGS:
+            assert has_species(name)
+
+    def test_reaction_intermediates_present(self):
+        assert get_species("h2o2").n_electrons == C.ELECTRONS_PER_H2O2
+        assert has_species("o2")
+
+    def test_direct_oxidizers_flagged(self):
+        # The paper's CDS caveat names exactly these two.
+        assert get_species("dopamine").is_direct_oxidizer
+        assert get_species("etoposide").is_direct_oxidizer
+
+    def test_enzyme_targets_are_not_direct_oxidizers(self):
+        for name in ENDOGENOUS_METABOLITES:
+            assert not get_species(name).is_direct_oxidizer
+
+    def test_diffusivities_physical(self):
+        # Aqueous small-molecule diffusivities sit in 1e-10 .. 3e-9 m^2/s.
+        for name in species_names():
+            d = get_species(name).diffusivity
+            assert 1.0e-10 <= d <= 3.0e-9, name
+
+    def test_cholesterol_slowest_metabolite(self):
+        # Micelle-bound cholesterol diffuses slowest of the four.
+        cholesterol = get_species("cholesterol").diffusivity
+        for other in ("glucose", "lactate", "glutamate"):
+            assert cholesterol < get_species(other).diffusivity
+
+    def test_chemotherapy_compounds_from_intro(self):
+        for name in ("ftorafur", "cyclophosphamide", "ifosfamide"):
+            assert has_species(name)
+
+
+class TestLookup:
+    def test_unknown_species_raises_with_known_list(self):
+        with pytest.raises(UnknownSpeciesError) as excinfo:
+            get_species("unobtainium")
+        assert "glucose" in str(excinfo.value)
+
+    def test_names_sorted(self):
+        names = species_names()
+        assert list(names) == sorted(names)
+
+
+class TestRegistration:
+    def test_register_and_get(self):
+        sp = Species(name="test_molecule_xyz", display_name="Test",
+                     diffusivity=5.0e-10)
+        register_species(sp)
+        assert get_species("test_molecule_xyz") is sp
+
+    def test_duplicate_registration_rejected(self):
+        sp = Species(name="test_molecule_dup", display_name="Test",
+                     diffusivity=5.0e-10)
+        register_species(sp)
+        with pytest.raises(ChemistryError, match="already registered"):
+            register_species(sp)
+
+    def test_overwrite_allowed_when_asked(self):
+        sp = Species(name="test_molecule_ow", display_name="Test",
+                     diffusivity=5.0e-10)
+        register_species(sp)
+        sp2 = sp.with_diffusivity(6.0e-10)
+        register_species(sp2, overwrite=True)
+        assert get_species("test_molecule_ow").diffusivity == 6.0e-10
+
+
+class TestValidation:
+    def test_negative_diffusivity_rejected(self):
+        with pytest.raises(Exception):
+            Species(name="bad", display_name="Bad", diffusivity=-1.0)
+
+    def test_zero_electrons_rejected(self):
+        with pytest.raises(ChemistryError):
+            Species(name="bad2", display_name="Bad", diffusivity=1e-9,
+                    n_electrons=0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ChemistryError):
+            Species(name="", display_name="Bad", diffusivity=1e-9)
+
+    def test_with_diffusivity_returns_copy(self):
+        glucose = get_species("glucose")
+        slowed = glucose.with_diffusivity(1.0e-10)
+        assert slowed.diffusivity == 1.0e-10
+        assert glucose.diffusivity != 1.0e-10
+        assert slowed.name == glucose.name

@@ -1,0 +1,183 @@
+"""Explorer, materialised platforms, JSON specs, reports."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.architecture import design_from_choices
+from repro.core.explorer import explore
+from repro.core.library import probe_options
+from repro.core.platform import BiosensingPlatform
+from repro.core.report import design_point_report, exploration_report
+from repro.core.spec import (
+    design_from_dict,
+    design_to_dict,
+    load_design,
+    load_panel,
+    panel_from_dict,
+    panel_to_dict,
+    save_design,
+    save_panel,
+)
+from repro.core.targets import PanelSpec, TargetSpec, paper_panel_spec
+from repro.errors import InfeasibleDesignError, SpecError
+from repro.sensors.electrode import PAPER_ELECTRODE_AREA
+
+
+@pytest.fixture(scope="module")
+def small_panel():
+    """A two-target panel keeping exploration fast in tests."""
+    return PanelSpec(
+        name="mini",
+        targets=(TargetSpec("glucose", 0.5, 4.0, required_lod=0.9),
+                 TargetSpec("lactate", 0.5, 2.5, required_lod=0.6)))
+
+
+@pytest.fixture(scope="module")
+def mini_result(small_panel):
+    return explore(small_panel)
+
+
+class TestExplorer:
+    def test_enumerates_full_cross_product(self, mini_result):
+        # 2 structures x 2 readouts x 3 noise x 2 nano x 3 areas x 2 rates.
+        assert mini_result.n_candidates == 144
+
+    def test_some_feasible(self, mini_result):
+        assert 0 < mini_result.n_feasible <= mini_result.n_candidates
+
+    def test_front_subset_of_feasible(self, mini_result):
+        feasible = {p.design.name for p in mini_result.points if p.feasible}
+        for point in mini_result.front:
+            assert point.design.name in feasible
+
+    def test_front_not_dominated(self, mini_result):
+        from repro.core.pareto import dominates
+        objectives = [p.objectives() for p in mini_result.front]
+        for i, a in enumerate(objectives):
+            for j, b in enumerate(objectives):
+                if i != j:
+                    assert not dominates(b, a)
+
+    def test_best_by_objective(self, mini_result):
+        cheapest = mini_result.best_by("cost")
+        fastest = mini_result.best_by("time")
+        assert cheapest.cost.fabrication_cost <= fastest.cost.fabrication_cost
+        assert fastest.cost.assay_time_s <= cheapest.cost.assay_time_s
+        with pytest.raises(InfeasibleDesignError):
+            mini_result.best_by("beauty")
+
+    def test_infeasible_panel_raises_with_summary(self):
+        impossible = PanelSpec(
+            name="impossible",
+            targets=(TargetSpec("glucose", 0.5, 4.0, required_lod=1e-9),))
+        with pytest.raises(InfeasibleDesignError):
+            explore(impossible, require_feasible=True)
+
+    def test_paper_panel_pareto_shows_sharing_tradeoff(self):
+        result = explore(paper_panel_spec())
+        assert result.n_feasible > 0
+        readouts = {p.design.readout for p in result.front}
+        # Both sharing styles appear on the front: mux wins power/cost,
+        # per-WE wins assay time — the paper's Sec. II-A trade-off.
+        assert "mux_shared" in readouts
+        assert "per_we" in readouts
+
+
+class TestPlatform:
+    def _design(self, small_panel, **overrides):
+        choices = {t: probe_options(t)[0]
+                   for t in small_panel.species_names()}
+        kwargs = dict(structure="shared_chamber", readout="mux_shared",
+                      noise="raw", nanostructure="carbon_nanotubes",
+                      we_area=PAPER_ELECTRODE_AREA, scan_rate=0.02)
+        kwargs.update(overrides)
+        return design_from_choices(small_panel, choices, **kwargs)
+
+    def test_materialise_and_run(self, small_panel):
+        design = self._design(small_panel)
+        platform = BiosensingPlatform(design, ca_dwell=40.0)
+        platform.load_sample({"glucose": 2.0, "lactate": 1.0})
+        result = platform.run_panel(rng=np.random.default_rng(3))
+        assert set(result.readouts) == {"glucose", "lactate"}
+        assert result.readouts["glucose"].signal > 0.0
+        assert result.assay_time > 0.0
+
+    def test_chambered_array_isolates_samples(self, small_panel):
+        design = self._design(small_panel, structure="chambered_array")
+        platform = BiosensingPlatform(design, ca_dwell=40.0)
+        assert len({id(c.chamber) for c in platform.cells.values()}) == 2
+
+    def test_cds_blank_subtraction(self, small_panel):
+        design = self._design(small_panel, noise="cds")
+        platform = BiosensingPlatform(design, ca_dwell=40.0)
+        platform.load_sample({"glucose": 2.0, "lactate": 1.0})
+        result = platform.run_panel(rng=np.random.default_rng(3))
+        assert result.blank_current is not None
+
+    def test_summary_mentions_layout(self, small_panel):
+        design = self._design(small_panel)
+        platform = BiosensingPlatform(design)
+        text = platform.summary()
+        assert "WE1" in text
+        assert "shared_chamber" in text
+
+
+class TestSpecs:
+    def test_panel_round_trip(self, tmp_path):
+        panel = paper_panel_spec()
+        path = save_panel(panel, tmp_path / "panel.json")
+        loaded = load_panel(path)
+        assert loaded == panel
+
+    def test_design_round_trip(self, tmp_path, small_panel):
+        choices = {t: probe_options(t)[0]
+                   for t in small_panel.species_names()}
+        design = design_from_choices(
+            small_panel, choices, structure="shared_chamber",
+            readout="mux_shared", noise="cds", nanostructure=None,
+            we_area=PAPER_ELECTRODE_AREA, scan_rate=0.02)
+        path = save_design(design, tmp_path / "design.json")
+        loaded = load_design(path)
+        assert loaded == design
+
+    def test_wrong_kind_rejected(self):
+        panel = paper_panel_spec()
+        payload = panel_to_dict(panel)
+        with pytest.raises(SpecError, match="design"):
+            design_from_dict(payload)
+
+    def test_bad_schema_version(self):
+        payload = panel_to_dict(paper_panel_spec())
+        payload["schema"] = 99
+        with pytest.raises(SpecError, match="schema"):
+            panel_from_dict(payload)
+
+    def test_malformed_panel(self):
+        with pytest.raises(SpecError):
+            panel_from_dict({"kind": "panel", "schema": 1, "name": "x"})
+
+    def test_unreadable_file(self, tmp_path):
+        with pytest.raises(SpecError):
+            load_panel(tmp_path / "missing.json")
+
+
+class TestReports:
+    def test_exploration_report_renders(self, mini_result):
+        text = exploration_report(mini_result)
+        assert "candidates evaluated" in text
+        assert "Pareto" in text
+
+    def test_design_point_report_renders(self, mini_result):
+        point = mini_result.front[0]
+        text = design_point_report(point)
+        assert point.design.name in text
+        assert "per-target estimates" in text
+        assert "feasible: yes" in text
+
+    def test_violations_listed(self, mini_result):
+        infeasible = [p for p in mini_result.points if not p.feasible]
+        if infeasible:
+            text = design_point_report(infeasible[0])
+            assert "VIOLATIONS" in text

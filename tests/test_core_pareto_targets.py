@@ -1,0 +1,110 @@
+"""Pareto utilities and target/panel specifications."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pareto import dominates, pareto_front, pareto_indices
+from repro.core.targets import PanelSpec, TargetSpec, paper_panel_spec
+from repro.errors import DesignError
+
+vectors = st.lists(
+    st.tuples(st.floats(min_value=0.0, max_value=100.0),
+              st.floats(min_value=0.0, max_value=100.0),
+              st.floats(min_value=0.0, max_value=100.0)),
+    min_size=1, max_size=40)
+
+
+class TestDominates:
+    def test_strict_domination(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+        assert dominates((1.0, 2.0), (2.0, 2.0))
+
+    def test_equal_does_not_dominate(self):
+        assert not dominates((1.0, 1.0), (1.0, 1.0))
+
+    def test_incomparable(self):
+        assert not dominates((1.0, 3.0), (3.0, 1.0))
+        assert not dominates((3.0, 1.0), (1.0, 3.0))
+
+    def test_length_mismatch(self):
+        with pytest.raises(DesignError):
+            dominates((1.0,), (1.0, 2.0))
+
+
+class TestParetoFront:
+    @given(vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_front_is_nonempty_subset(self, vs):
+        idx = pareto_indices(vs)
+        assert len(idx) >= 1
+        assert all(0 <= i < len(vs) for i in idx)
+
+    @given(vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_no_front_member_dominated(self, vs):
+        idx = set(pareto_indices(vs))
+        for i in idx:
+            for j, w in enumerate(vs):
+                if j != i:
+                    assert not dominates(w, vs[i])
+
+    @given(vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_every_dropped_point_is_dominated(self, vs):
+        idx = set(pareto_indices(vs))
+        for i, v in enumerate(vs):
+            if i not in idx:
+                assert any(dominates(w, v) for j, w in enumerate(vs)
+                           if j != i)
+
+    @given(vectors)
+    @settings(max_examples=20, deadline=None)
+    def test_idempotent(self, vs):
+        front = pareto_front(vs, key=lambda v: v)
+        again = pareto_front(front, key=lambda v: v)
+        assert sorted(front) == sorted(again)
+
+    def test_duplicates_all_kept(self):
+        vs = [(1.0, 1.0), (1.0, 1.0), (2.0, 2.0)]
+        assert pareto_indices(vs) == (0, 1)
+
+    def test_key_projection(self):
+        items = [{"name": "a", "cost": (1.0, 2.0)},
+                 {"name": "b", "cost": (2.0, 1.0)},
+                 {"name": "c", "cost": (3.0, 3.0)}]
+        front = pareto_front(items, key=lambda x: x["cost"])
+        names = {x["name"] for x in front}
+        assert names == {"a", "b"}
+
+
+class TestTargetSpec:
+    def test_validation(self):
+        spec = TargetSpec("glucose", 0.5, 4.0)
+        assert spec.mid_concentration == pytest.approx((0.5 * 4.0) ** 0.5)
+        with pytest.raises(DesignError):
+            TargetSpec("glucose", 4.0, 0.5)
+        with pytest.raises(Exception):
+            TargetSpec("unobtainium", 0.5, 4.0)
+
+
+class TestPanelSpec:
+    def test_paper_panel_has_six_targets(self):
+        panel = paper_panel_spec()
+        assert len(panel.targets) == 6
+        assert set(panel.species_names()) == {
+            "glucose", "lactate", "glutamate", "benzphetamine",
+            "aminopyrine", "cholesterol"}
+
+    def test_duplicate_targets_rejected(self):
+        t = TargetSpec("glucose", 0.5, 4.0)
+        with pytest.raises(DesignError, match="duplicate"):
+            PanelSpec(name="bad", targets=(t, t))
+
+    def test_target_lookup(self):
+        panel = paper_panel_spec()
+        assert panel.target("glucose").c_max == pytest.approx(4.0)
+        with pytest.raises(DesignError):
+            panel.target("caffeine" if False else "clozapine")

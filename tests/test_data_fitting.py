@@ -1,0 +1,130 @@
+"""The Table III inversion machinery: films, channels, noise placement."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.chem import constants as C
+from repro.chem.kinetics import steady_state_turnover_flux
+from repro.data.fitting import (
+    blank_noise_density_for_lod,
+    cyp_channel_params_from_paper,
+    oxidase_film_from_paper,
+)
+from repro.errors import ChemistryError
+from repro.units import sensitivity_to_si
+
+#: A representative glucose-like transport coefficient, m/s.
+MASS_TRANSFER = 5.0e-6
+
+sensitivities = st.floats(min_value=1.0, max_value=60.0)
+uppers = st.floats(min_value=0.5, max_value=10.0)
+
+
+class TestOxidaseInversion:
+    @given(sensitivities, uppers)
+    @settings(max_examples=25, deadline=None)
+    def test_endpoint_slope_matches_request(self, s_paper, upper):
+        # The ceiling check: skip infeasible demands (tested separately).
+        s_si = sensitivity_to_si(s_paper)
+        ceiling = 2 * C.FARADAY * 0.95 * MASS_TRANSFER
+        assume(s_si < 0.9 * ceiling)
+        lower = upper / 8.0
+        film = oxidase_film_from_paper(s_paper, upper, MASS_TRANSFER,
+                                       linear_lower=lower)
+        f_low = steady_state_turnover_flux(lower, film, MASS_TRANSFER)
+        f_up = steady_state_turnover_flux(upper, film, MASS_TRANSFER)
+        slope = (f_up - f_low) / (upper - lower)
+        achieved = slope * 2 * C.FARADAY * 0.95
+        assert achieved == pytest.approx(s_si, rel=0.02)
+
+    @given(sensitivities, uppers)
+    @settings(max_examples=25, deadline=None)
+    def test_nonlinearity_within_budget_on_the_range(self, s_paper, upper):
+        s_si = sensitivity_to_si(s_paper)
+        ceiling = 2 * C.FARADAY * 0.95 * MASS_TRANSFER
+        assume(s_si < 0.7 * ceiling)
+        lower = upper / 8.0
+        film = oxidase_film_from_paper(s_paper, upper, MASS_TRANSFER,
+                                       linear_lower=lower)
+        f_low = steady_state_turnover_flux(lower, film, MASS_TRANSFER)
+        f_up = steady_state_turnover_flux(upper, film, MASS_TRANSFER)
+        slope = (f_up - f_low) / (upper - lower)
+        worst = 0.0
+        for frac in (0.25, 0.5, 0.75):
+            c = lower + frac * (upper - lower)
+            f = steady_state_turnover_flux(c, film, MASS_TRANSFER)
+            worst = max(worst, abs(f - (f_low + slope * (c - lower))))
+        # Within the 5 % budget plus a little slack for the bisection.
+        assert worst <= 0.06 * abs(f_up - f_low)
+
+    def test_transport_ceiling_rejected(self):
+        # n*F*eta*m ~ 92 uA/(mM cm^2) for this m; asking for more fails.
+        with pytest.raises(ChemistryError, match="ceiling"):
+            oxidase_film_from_paper(150.0, 4.0, MASS_TRANSFER)
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ChemistryError):
+            oxidase_film_from_paper(20.0, 4.0, MASS_TRANSFER,
+                                    linear_lower=5.0)
+
+
+class TestCypInversion:
+    @given(st.floats(min_value=0.1, max_value=50.0),
+           st.floats(min_value=0.05, max_value=8.0))
+    @settings(max_examples=30)
+    def test_efficiency_scales_linearly_with_sensitivity(self, s_paper,
+                                                         upper):
+        d = 5.0e-10
+        try:
+            eff1, km1 = cyp_channel_params_from_paper(s_paper, upper, d)
+        except ChemistryError:
+            assume(False)
+        try:
+            eff2, km2 = cyp_channel_params_from_paper(s_paper / 2, upper, d)
+        except ChemistryError:
+            assume(False)
+        assert eff1 / eff2 == pytest.approx(2.0, rel=1e-9)
+        assert km1 == km2
+
+    def test_km_tracks_linear_range(self):
+        d = 5.0e-10
+        __, km_small = cyp_channel_params_from_paper(1.0, 1.0, d)
+        __, km_large = cyp_channel_params_from_paper(1.0, 8.0, d)
+        assert km_large / km_small == pytest.approx(8.0, rel=1e-9)
+
+    def test_impossible_sensitivity_rejected(self):
+        with pytest.raises(ChemistryError, match="ceiling|2"):
+            cyp_channel_params_from_paper(10000.0, 1.0, 5.0e-10)
+
+    def test_height_factor_raises_efficiency(self):
+        d = 5.0e-10
+        eff_ideal, _ = cyp_channel_params_from_paper(1.0, 1.0, d,
+                                                     height_factor=1.0)
+        eff_attenuated, _ = cyp_channel_params_from_paper(
+            1.0, 1.0, d, height_factor=0.5)
+        assert eff_attenuated == pytest.approx(2.0 * eff_ideal, rel=1e-9)
+
+
+class TestNoisePlacement:
+    @given(st.floats(min_value=0.05, max_value=2.0),
+           st.floats(min_value=1.0, max_value=60.0))
+    @settings(max_examples=30)
+    def test_round_trip_lod(self, lod, s_paper):
+        # density -> sigma -> LOD must reproduce the requested LOD.
+        area = 7.0e-6
+        density = blank_noise_density_for_lod(lod, s_paper, area,
+                                              bench_nyquist=5.0)
+        radius = math.sqrt(area / math.pi)
+        sigma = density * (radius / 1.0e-3) * math.sqrt(5.0)
+        recovered = 3.0 * sigma / (sensitivity_to_si(s_paper) * area)
+        assert recovered == pytest.approx(lod, rel=1e-9)
+
+    def test_larger_lod_means_noisier_electrode(self):
+        quiet = blank_noise_density_for_lod(0.1, 27.7, 7e-6)
+        noisy = blank_noise_density_for_lod(1.0, 27.7, 7e-6)
+        assert noisy == pytest.approx(10.0 * quiet, rel=1e-9)

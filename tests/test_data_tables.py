@@ -1,0 +1,161 @@
+"""The paper's tables as data: integrity and calibration closure."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.chem.species import get_species
+from repro.data.catalog import (
+    PAPER_PANEL_MID_CONCENTRATIONS,
+    PAPER_PANEL_TARGETS,
+    build_cytochrome,
+    build_oxidase,
+    paper_biointerface,
+    paper_panel_cell,
+    reference_cell,
+    reference_working_electrode,
+    select_readout_class,
+    table1_working_electrode,
+)
+from repro.data.cytochromes import TABLE_II, cyp_isoforms, cyp_records_for
+from repro.data.oxidases import TABLE_I, oxidase_record
+from repro.data.performance import TABLE_III, performance_record
+from repro.errors import DesignError
+from repro.units import sensitivity_to_paper
+
+
+class TestTableI:
+    def test_four_oxidases(self):
+        assert len(TABLE_I) == 4
+        assert [r.target for r in TABLE_I] == [
+            "glucose", "lactate", "glutamate", "cholesterol"]
+
+    def test_paper_potentials(self):
+        expected = {"glucose": 0.550, "lactate": 0.650,
+                    "glutamate": 0.600, "cholesterol": 0.700}
+        for record in TABLE_I:
+            assert record.applied_potential == pytest.approx(
+                expected[record.target])
+
+    def test_lactate_uses_fmn(self):
+        # Paper Sec. I-B: lactate oxidase employs FMN, the others FAD.
+        assert oxidase_record("lactate").prosthetic_group == "FMN"
+        assert oxidase_record("glucose").prosthetic_group == "FAD"
+
+    def test_targets_are_registered_species(self):
+        for record in TABLE_I:
+            get_species(record.target)
+
+
+class TestTableII:
+    def test_eleven_rows_seven_isoforms(self):
+        assert len(TABLE_II) == 11
+        assert len(cyp_isoforms()) == 7
+
+    def test_paper_potentials_spot_checks(self):
+        by_target = {r.target: r.reduction_potential for r in TABLE_II}
+        assert by_target["clozapine"] == pytest.approx(-0.265)
+        assert by_target["indinavir"] == pytest.approx(-0.750)
+        assert by_target["benzphetamine"] == pytest.approx(-0.250)
+        assert by_target["torsemide"] == pytest.approx(-0.019)
+
+    def test_multi_drug_isoforms(self):
+        # CYP3A4, CYP2B4, CYP2B6 and CYP2C9 each sense two drugs.
+        multi = [iso for iso in cyp_isoforms()
+                 if len(cyp_records_for(iso)) == 2]
+        assert set(multi) == {"CYP3A4", "CYP2B4", "CYP2B6", "CYP2C9"}
+
+    def test_two_electron_reduction(self):
+        # Reaction (4): 2 e- per catalytic turnover.
+        for record in TABLE_II:
+            assert record.n_electrons == 2
+
+
+class TestTableIII:
+    def test_six_rows(self):
+        assert len(TABLE_III) == 6
+
+    def test_paper_values(self):
+        record = performance_record("glucose")
+        assert record.sensitivity == pytest.approx(27.7)
+        assert record.lod == pytest.approx(0.575)
+        assert record.linear_range == (0.5, 4.0)
+        assert performance_record("cholesterol").lod is None
+
+    def test_sensitivity_ordering(self):
+        # cholesterol > lactate > glucose > glutamate >> amino > benz.
+        s = {r.target: r.sensitivity for r in TABLE_III}
+        assert (s["cholesterol"] > s["lactate"] > s["glucose"]
+                > s["glutamate"] > s["aminopyrine"] > s["benzphetamine"])
+
+
+class TestCalibrationClosure:
+    """The derived probes must reproduce the paper values they came from."""
+
+    def test_oxidase_95_points_hit_table1(self):
+        for record in TABLE_I:
+            we = table1_working_electrode(record.target)
+            measured = we.effective_h2o2_wave().potential_for_efficiency(0.95)
+            assert measured == pytest.approx(record.applied_potential,
+                                             abs=1e-6), record.target
+
+    @pytest.mark.parametrize("target", ["glucose", "lactate", "glutamate"])
+    def test_oxidase_endpoint_sensitivity_hits_table3(self, target):
+        record = performance_record(target)
+        cell = reference_cell(target)
+        we = cell.working_electrodes[0]
+        e = oxidase_record(target).applied_potential
+        lo, hi = record.linear_range
+        cell.chamber.set_bulk(target, lo)
+        i_lo = cell.measured_current(we.name, e)
+        cell.chamber.set_bulk(target, hi)
+        i_hi = cell.measured_current(we.name, e)
+        slope = (i_hi - i_lo) / ((hi - lo) * we.area)
+        assert sensitivity_to_paper(slope) == pytest.approx(
+            record.sensitivity, rel=0.02)
+
+    def test_cyp_efficiencies_within_physical_bounds(self):
+        for isoform in cyp_isoforms():
+            probe = build_cytochrome(isoform)
+            for channel in probe.channels:
+                assert 0.0 < channel.efficiency <= 2.0
+
+    def test_reference_electrodes_use_cited_materials(self):
+        assert (reference_working_electrode("benzphetamine")
+                .material.name == "rhodium_graphite")
+        assert (reference_working_electrode("glucose")
+                .material.name == "screen_printed_carbon")
+
+
+class TestPanelFactory:
+    def test_paper_biointerface_layout(self):
+        chip = paper_biointerface()
+        assert chip.n_working == 5
+        assert chip.pad_count == 7
+        targets = []
+        for we in chip.working_electrodes:
+            targets.extend(we.targets())
+        assert set(targets) == set(PAPER_PANEL_TARGETS)
+
+    def test_panel_cell_loads_mid_concentrations(self):
+        cell = paper_panel_cell()
+        for target, value in PAPER_PANEL_MID_CONCENTRATIONS.items():
+            assert cell.chamber.bulk(target) == pytest.approx(value)
+
+    def test_electrode_areas_are_paper_area(self):
+        chip = paper_biointerface()
+        for we in chip.working_electrodes:
+            assert we.area == pytest.approx(0.23e-6)
+
+
+class TestReadoutClasses:
+    def test_selection_prefers_finest(self):
+        assert select_readout_class(0.5e-6) == "cyp_micro"
+        assert select_readout_class(5e-6) == "oxidase"
+        assert select_readout_class(50e-6) == "cyp"
+
+    def test_over_range_rejected(self):
+        with pytest.raises(DesignError):
+            select_readout_class(1e-3)

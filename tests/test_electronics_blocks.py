@@ -1,0 +1,216 @@
+"""Potentiostat, TIA, ADC, mux, current-to-frequency converter."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.electronics.adc import ADC, bits_for_resolution
+from repro.electronics.freq_readout import CurrentToFrequencyConverter
+from repro.electronics.mux import Multiplexer, MuxSchedule, MuxSlot
+from repro.electronics.potentiostat import Potentiostat
+from repro.electronics.tia import (
+    CYP_READOUT,
+    OXIDASE_READOUT,
+    TransimpedanceAmplifier,
+)
+from repro.errors import ElectronicsError
+
+volts = st.floats(min_value=-1.0, max_value=1.0)
+
+
+class TestPotentiostat:
+    def test_high_gain_small_error(self):
+        p = Potentiostat(open_loop_gain=1e5, input_offset=0.0)
+        assert abs(p.regulation_error(0.65)) < 1e-4
+
+    def test_offset_appears_at_output(self):
+        p = Potentiostat(open_loop_gain=1e9, input_offset=1e-3)
+        assert p.applied_potential(0.0) == pytest.approx(1e-3, rel=1e-3)
+
+    def test_compliance_clips(self):
+        p = Potentiostat(compliance=1.5)
+        assert p.applied_potential(5.0) == pytest.approx(1.5)
+
+    def test_counter_drive_includes_ir_drop(self):
+        p = Potentiostat(solution_resistance=1e3)
+        drive = p.counter_drive(0.65, 1e-4)
+        assert drive == pytest.approx(0.65 + 0.1)
+
+    def test_max_cell_current(self):
+        p = Potentiostat(compliance=1.5, solution_resistance=1e3)
+        assert p.max_cell_current(0.5) == pytest.approx(1e-3)
+        assert p.max_cell_current(2.0) == 0.0
+
+    def test_settling(self):
+        p = Potentiostat(bandwidth=1e4)
+        t = p.settle_time(0.01)
+        assert p.settled_after(t * 1.01)
+        assert not p.settled_after(t * 0.5)
+
+    def test_step_response_monotone(self):
+        p = Potentiostat()
+        t = np.linspace(0.0, 1e-3, 50)
+        y = p.step_response(t)
+        assert np.all(np.diff(y) >= 0.0)
+        assert y[-1] <= 1.0
+
+
+class TestTIA:
+    def test_inverting_transfer(self):
+        tia = TransimpedanceAmplifier(feedback_resistance=1e5)
+        assert tia.output_voltage(1e-6) == pytest.approx(-0.1)
+
+    def test_rails_clip_and_flag(self):
+        tia = TransimpedanceAmplifier(feedback_resistance=1e5, rail=1.2)
+        assert tia.output_voltage(1.0) == -1.2
+        assert tia.saturates(1.0)
+        assert not tia.saturates(1e-6)
+
+    @given(st.floats(min_value=-9e-6, max_value=9e-6))
+    def test_round_trip_inside_range(self, i):
+        tia = TransimpedanceAmplifier.for_range(10e-6)
+        v = tia.output_voltage(i)
+        assert tia.input_current(v) == pytest.approx(i, abs=1e-12)
+
+    def test_paper_readout_classes(self):
+        # Sec. II-C: +/-10 uA for oxidases, +/-100 uA for CYPs.
+        assert OXIDASE_READOUT.full_scale_current == pytest.approx(10e-6)
+        assert CYP_READOUT.full_scale_current == pytest.approx(100e-6)
+
+    def test_thermal_noise_includes_johnson(self):
+        tia = TransimpedanceAmplifier(feedback_resistance=1e5,
+                                      amplifier_noise_density=1e-15)
+        johnson = math.sqrt(4 * 1.380649e-23 * 298.15 / 1e5)
+        assert tia.thermal_noise_density() == pytest.approx(johnson, rel=1e-3)
+
+    def test_offset_current_added(self):
+        tia = TransimpedanceAmplifier(feedback_resistance=1e5,
+                                      input_offset_current=1e-8)
+        assert tia.output_voltage(0.0) == pytest.approx(-1e-3)
+
+
+class TestADC:
+    def test_paper_resolution_needs_11_bits(self):
+        # 20 uA span at 10 nA -> 2000 codes -> 11 bits (Sec. II-C).
+        assert bits_for_resolution(20e-6, 10e-9) == 11
+        assert bits_for_resolution(200e-6, 100e-9) == 11
+
+    def test_quantize_bounds(self):
+        adc = ADC(n_bits=8, v_min=-1.0, v_max=1.0)
+        assert adc.quantize(-2.0) == 0
+        assert adc.quantize(2.0) == adc.n_codes - 1
+
+    @given(volts)
+    def test_reconstruction_within_lsb(self, v):
+        adc = ADC(n_bits=12, v_min=-1.2, v_max=1.2)
+        if abs(v) <= 1.2:
+            back = adc.to_voltage(adc.quantize(v))
+            assert abs(back - v) <= adc.lsb * 0.5 + 1e-12
+
+    @given(volts, volts)
+    def test_monotone(self, v1, v2):
+        adc = ADC(n_bits=10, v_min=-1.2, v_max=1.2)
+        if v1 <= v2:
+            assert adc.quantize(v1) <= adc.quantize(v2)
+
+    def test_saturates_flag(self):
+        adc = ADC(n_bits=8, v_min=-1.0, v_max=1.0)
+        assert adc.saturates(1.5)
+        assert not adc.saturates(0.5)
+
+    def test_for_readout_meets_resolution(self):
+        adc = ADC.for_readout(10e-6, 10e-9)
+        tia = TransimpedanceAmplifier.for_range(10e-6, rail=1.2)
+        assert adc.current_resolution(
+            tia.feedback_resistance) <= 10e-9 * 1.01
+
+    def test_quantization_noise(self):
+        adc = ADC(n_bits=8, v_min=-1.0, v_max=1.0)
+        assert adc.quantization_noise_rms() == pytest.approx(
+            adc.lsb / math.sqrt(12.0))
+
+
+class TestMux:
+    def test_round_robin_schedule(self):
+        mux = Multiplexer(n_channels=5, settling_time=0.05)
+        schedule = mux.round_robin(["WE1", "WE2", "WE3"], dwell=1.0)
+        assert schedule.period == pytest.approx(3.0)
+        assert schedule.active_channel(0.5) == "WE1"
+        assert schedule.active_channel(1.5) == "WE2"
+        # Cyclic: wraps after one period.
+        assert schedule.active_channel(3.5) == "WE1"
+
+    def test_dwell_must_allow_settling(self):
+        mux = Multiplexer(settling_time=0.1)
+        with pytest.raises(ElectronicsError, match="settling"):
+            mux.round_robin(["a"], dwell=0.2)
+
+    def test_too_many_channels(self):
+        mux = Multiplexer(n_channels=2)
+        with pytest.raises(ElectronicsError, match="exceed"):
+            mux.round_robin(["a", "b", "c"], dwell=1.0)
+
+    def test_settling_factor_rises_to_one(self):
+        mux = Multiplexer(settling_time=0.05)
+        assert mux.settling_factor(0.0) == pytest.approx(0.0)
+        assert mux.settling_factor(0.5) == pytest.approx(1.0, abs=1e-4)
+
+    def test_injection_spike_decays(self):
+        mux = Multiplexer(settling_time=0.05, charge_injection=1e-12)
+        assert mux.injection_current(0.0) > mux.injection_current(0.2)
+
+    def test_time_since_switch(self):
+        mux = Multiplexer(n_channels=3)
+        schedule = mux.round_robin(["a", "b"], dwell=1.0)
+        assert schedule.time_since_switch(0.25) == pytest.approx(0.25)
+        assert schedule.time_since_switch(1.25) == pytest.approx(0.25)
+
+    def test_samples_per_channel(self):
+        mux = Multiplexer(settling_time=0.05)
+        n = mux.samples_per_channel(dwell=1.0, sample_rate=100.0)
+        assert 0 < n < 100
+
+    def test_overlapping_slots_rejected(self):
+        with pytest.raises(ElectronicsError, match="overlap"):
+            MuxSchedule((MuxSlot("a", 0.0, 1.0), MuxSlot("b", 0.5, 1.5)))
+
+
+class TestFreqReadout:
+    def test_frequency_linear_in_current(self):
+        conv = CurrentToFrequencyConverter(charge_per_pulse=1e-12,
+                                           offset_frequency=0.0)
+        assert conv.frequency(1e-9) == pytest.approx(1e3)
+        assert conv.frequency(2e-9) == pytest.approx(2e3)
+
+    def test_estimate_round_trip(self):
+        conv = CurrentToFrequencyConverter()
+        i = 5e-9
+        count = conv.count(i, gate_time=10.0)
+        back = conv.estimate_current(count, gate_time=10.0)
+        assert back == pytest.approx(i, rel=0.05)
+
+    def test_resolution_improves_with_gate_time(self):
+        # The defining trade-off of frequency-domain readout.
+        conv = CurrentToFrequencyConverter()
+        assert conv.current_resolution(10.0) < conv.current_resolution(1.0)
+
+    def test_gate_time_for_resolution_inverts(self):
+        conv = CurrentToFrequencyConverter()
+        gate = conv.gate_time_for_resolution(1e-10)
+        assert conv.current_resolution(gate) == pytest.approx(1e-10)
+
+    def test_saturation_at_ceiling(self):
+        conv = CurrentToFrequencyConverter(charge_per_pulse=1e-12,
+                                           max_frequency=1e4)
+        assert conv.frequency(1.0) == 1e4
+
+    def test_stochastic_count_unbiased(self, rng):
+        conv = CurrentToFrequencyConverter(offset_frequency=0.0)
+        expected = conv.frequency(3.3e-10) * 1.0
+        counts = [conv.count(3.3e-10, 1.0, rng) for _ in range(300)]
+        assert np.mean(counts) == pytest.approx(expected, rel=0.05)

@@ -1,0 +1,196 @@
+"""Noise models, reduction strategies, and the acquisition chain."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.electronics.adc import ADC
+from repro.electronics.chain import AcquisitionChain
+from repro.electronics.mux import Multiplexer
+from repro.electronics.noise import (
+    CdsStrategy,
+    ChoppingStrategy,
+    NoiseModel,
+    NoStrategy,
+    flicker_noise_series,
+)
+from repro.electronics.potentiostat import Potentiostat
+from repro.electronics.tia import TransimpedanceAmplifier
+from repro.errors import ElectronicsError
+
+
+class TestFlickerSynthesis:
+    def test_zero_density_is_silent(self, rng):
+        out = flicker_noise_series(rng, 256, 10.0, 0.0)
+        assert np.all(out == 0.0)
+
+    def test_rms_matches_band_integral(self, rng):
+        density = 1e-9
+        n, fs = 4096, 10.0
+        series = flicker_noise_series(rng, n, fs, density)
+        freqs = np.fft.rfftfreq(n, 1.0 / fs)
+        band = freqs[freqs > 0.0]
+        target_var = np.sum(density ** 2 / band) * (fs / n)
+        assert np.var(series) == pytest.approx(target_var, rel=1e-6)
+
+    def test_spectrum_falls_with_frequency(self, rng):
+        # Average many realisations; low-frequency PSD must exceed high.
+        n, fs = 2048, 10.0
+        psd = np.zeros(n // 2 + 1)
+        for _ in range(20):
+            s = flicker_noise_series(rng, n, fs, 1e-9)
+            psd += np.abs(np.fft.rfft(s)) ** 2
+        low = psd[1:20].mean()
+        high = psd[-200:].mean()
+        assert low > 10.0 * high
+
+
+class TestNoiseModel:
+    def test_rms_in_band_white_only(self):
+        model = NoiseModel(white_density=1e-12, flicker_corner=0.0)
+        assert model.rms_in_band(1.0, 101.0) == pytest.approx(1e-11)
+
+    def test_flicker_adds_log_term(self):
+        white = NoiseModel(white_density=1e-12, flicker_corner=0.0)
+        pink = NoiseModel(white_density=1e-12, flicker_corner=10.0)
+        assert pink.rms_in_band(0.01, 10.0) > white.rms_in_band(0.01, 10.0)
+
+    def test_sample_std_scales_with_density(self, rng):
+        quiet = NoiseModel(white_density=1e-12, flicker_corner=0.0)
+        loud = NoiseModel(white_density=1e-10, flicker_corner=0.0)
+        sq = np.std(quiet.sample(rng, 2000, 10.0))
+        sl = np.std(loud.sample(rng, 2000, 10.0))
+        assert sl / sq == pytest.approx(100.0, rel=0.2)
+
+    def test_drift_is_a_ramp(self, rng):
+        model = NoiseModel(white_density=0.0, flicker_corner=0.0,
+                           drift_rate=1e-9)
+        series = model.sample(rng, 100, 10.0)
+        assert series[-1] == pytest.approx(1e-9 * 9.9, rel=1e-6)
+
+
+class TestStrategies:
+    def test_no_strategy_identity(self):
+        model = NoiseModel(white_density=1e-12, flicker_corner=10.0,
+                           drift_rate=1e-10)
+        assert NoStrategy().effective_noise(model) == model
+
+    def test_chopping_shrinks_corner_and_kills_drift(self):
+        model = NoiseModel(white_density=1e-12, flicker_corner=10.0,
+                           drift_rate=1e-10)
+        out = ChoppingStrategy(chop_frequency=1e3).effective_noise(model)
+        assert out.flicker_corner == pytest.approx(0.1)
+        assert out.drift_rate == 0.0
+        assert out.white_density == model.white_density
+
+    def test_chopping_below_corner_rejected(self):
+        model = NoiseModel(white_density=1e-12, flicker_corner=10.0)
+        with pytest.raises(ElectronicsError, match="above"):
+            ChoppingStrategy(chop_frequency=5.0).effective_noise(model)
+
+    def test_cds_white_penalty_and_flicker_cancellation(self):
+        model = NoiseModel(white_density=1e-12, flicker_corner=10.0,
+                           drift_rate=1e-10)
+        out = CdsStrategy(correlation=0.9).effective_noise(model)
+        assert out.white_density == pytest.approx(1e-12 * math.sqrt(2.0))
+        assert out.drift_rate == 0.0
+        # Residual flicker well below the raw corner.
+        assert out.flicker_corner < model.flicker_corner
+
+    def test_strategies_reduce_low_frequency_rms(self):
+        model = NoiseModel(white_density=1e-12, flicker_corner=50.0)
+        raw = model.rms_in_band(0.01, 5.0)
+        chopped = ChoppingStrategy().effective_noise(model).rms_in_band(
+            0.01, 5.0)
+        cds = CdsStrategy().effective_noise(model).rms_in_band(0.01, 5.0)
+        assert chopped < raw
+        assert cds < raw
+
+    def test_cds_needs_blank_electrode_flag(self):
+        assert CdsStrategy().needs_blank_electrode
+        assert not ChoppingStrategy().needs_blank_electrode
+
+
+class TestAcquisitionChain:
+    def _chain(self, **kwargs):
+        return AcquisitionChain(
+            potentiostat=Potentiostat(),
+            tia=TransimpedanceAmplifier.for_range(10e-6),
+            adc=ADC.for_readout(10e-6, 10e-9), **kwargs)
+
+    def test_digitize_recovers_constant_current(self, rng):
+        chain = self._chain()
+        times = np.arange(200) / 10.0
+        currents = np.full(200, 2.0e-6)
+        reading = chain.digitize(times, currents, rng=rng)
+        assert np.mean(reading.current_estimate) == pytest.approx(
+            2.0e-6, rel=0.02)
+        assert not reading.any_saturated
+
+    def test_saturation_flagged(self, rng):
+        chain = self._chain()
+        times = np.arange(20) / 10.0
+        currents = np.full(20, 50e-6)  # beyond the 10 uA class
+        reading = chain.digitize(times, currents, rng=rng)
+        assert reading.any_saturated
+
+    def test_measure_constant_reports_noise(self, rng):
+        chain = self._chain()
+        mean, std = chain.measure_constant(1e-6, duration=5.0, rng=rng)
+        assert mean == pytest.approx(1e-6, rel=0.05)
+        assert std > 0.0
+
+    def test_nonuniform_times_rejected(self, rng):
+        chain = self._chain()
+        times = np.array([0.0, 0.1, 0.3])
+        with pytest.raises(ElectronicsError, match="uniform"):
+            chain.digitize(times, np.zeros(3), rng=rng)
+
+    def test_mux_schedule_needs_mux(self, rng):
+        chain = self._chain()
+        mux = Multiplexer()
+        schedule = mux.round_robin(["a"], dwell=1.0)
+        times = np.arange(10) / 10.0
+        with pytest.raises(ElectronicsError, match="no mux"):
+            chain.digitize(times, np.zeros(10), schedule=schedule, rng=rng)
+
+    def test_mux_settling_attenuates_early_samples(self, rng):
+        mux = Multiplexer(settling_time=0.2, charge_injection=0.0)
+        chain = self._chain(mux=mux)
+        schedule = mux.round_robin(["a"], dwell=10.0)
+        times = np.arange(100) / 10.0
+        currents = np.full(100, 5e-6)
+        reading = chain.digitize(times, currents, schedule=schedule, rng=rng)
+        # Early samples slew; late samples sit at the true value.
+        assert abs(reading.current_estimate[1]) < 3.0e-6
+        assert np.mean(reading.current_estimate[-20:]) == pytest.approx(
+            5e-6, rel=0.05)
+
+    def test_quantization_noise_floor(self):
+        chain = self._chain()
+        assert chain.quantization_noise_rms() > 0.0
+        assert chain.effective_input_noise() >= chain.quantization_noise_rms()
+
+    def test_noise_strategy_improves_effective_noise(self):
+        raw = self._chain()
+        chopped = AcquisitionChain(
+            potentiostat=Potentiostat(),
+            tia=TransimpedanceAmplifier.for_range(10e-6),
+            adc=ADC.for_readout(10e-6, 10e-9),
+            noise_strategy=ChoppingStrategy())
+        assert chopped.noise_rms() < raw.noise_rms()
+
+    def test_budgets_positive(self):
+        chain = self._chain(mux=Multiplexer())
+        assert chain.total_power() > 0.0
+        assert chain.total_area_mm2() > 0.0
+
+    def test_describe_mentions_blocks(self):
+        chain = self._chain()
+        text = chain.describe()
+        assert "potentiostat" in text
+        assert "TIA" in text
+        assert "ADC" in text

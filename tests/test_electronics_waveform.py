@@ -1,0 +1,95 @@
+"""Voltage-generator waveforms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.electronics.waveform import (
+    MAX_ACCURATE_SCAN_RATE,
+    ConstantWaveform,
+    StepWaveform,
+    TriangleWaveform,
+)
+from repro.errors import ElectronicsError
+
+
+class TestConstant:
+    def test_value_and_rate(self):
+        w = ConstantWaveform(level=0.55, duration=60.0)
+        assert w.value(30.0) == 0.55
+        assert w.rate(30.0) == 0.0
+
+    def test_vectorized(self):
+        w = ConstantWaveform(level=0.55, duration=60.0)
+        t = np.linspace(0.0, 60.0, 7)
+        assert np.all(w.value(t) == 0.55)
+
+    def test_never_exceeds_scan_limit(self):
+        w = ConstantWaveform(level=0.55, duration=60.0)
+        assert not w.exceeds_accurate_scan_rate()
+
+
+class TestStep:
+    def test_levels_at_times(self):
+        w = StepWaveform(times=(0.0, 10.0, 20.0),
+                         levels=(0.0, 0.3, 0.6), duration=30.0)
+        assert w.value(5.0) == 0.0
+        assert w.value(10.0) == 0.3
+        assert w.value(25.0) == 0.6
+
+    def test_times_must_start_at_zero(self):
+        with pytest.raises(ElectronicsError):
+            StepWaveform(times=(1.0,), levels=(0.0,), duration=5.0)
+
+    def test_duration_must_cover_steps(self):
+        with pytest.raises(ElectronicsError):
+            StepWaveform(times=(0.0, 10.0), levels=(0.0, 0.3), duration=5.0)
+
+
+class TestTriangle:
+    def test_cathodic_sweep_shape(self):
+        w = TriangleWaveform(e_start=0.0, e_vertex=-0.7, scan_rate=0.02)
+        assert w.direction == -1.0
+        assert w.half_period == pytest.approx(35.0)
+        assert w.duration == pytest.approx(70.0)
+        assert w.value(0.0) == pytest.approx(0.0)
+        assert w.value(35.0) == pytest.approx(-0.7)
+        assert w.value(70.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_rate_sign_flips_at_vertex(self):
+        w = TriangleWaveform(e_start=0.0, e_vertex=-0.7, scan_rate=0.02)
+        assert w.rate(10.0) == pytest.approx(-0.02)
+        assert w.rate(40.0) == pytest.approx(+0.02)
+
+    def test_multi_cycle_periodicity(self):
+        w = TriangleWaveform(e_start=0.1, e_vertex=-0.5, scan_rate=0.02,
+                             n_cycles=3)
+        period = 2.0 * w.half_period
+        t = np.linspace(0.0, period, 50)
+        assert np.allclose(w.value(t), w.value(t + period), atol=1e-9)
+
+    @given(st.floats(min_value=-0.5, max_value=0.5),
+           st.floats(min_value=0.05, max_value=1.0),
+           st.floats(min_value=0.001, max_value=0.1))
+    @settings(max_examples=40, deadline=None)
+    def test_stays_within_window(self, e_start, window, rate):
+        w = TriangleWaveform(e_start=e_start, e_vertex=e_start - window,
+                             scan_rate=rate)
+        t = np.linspace(0.0, w.duration, 200)
+        values = w.value(t)
+        assert np.all(values <= e_start + 1e-9)
+        assert np.all(values >= e_start - window - 1e-9)
+
+    def test_scan_rate_limit_check(self):
+        slow = TriangleWaveform(e_start=0.0, e_vertex=-0.5, scan_rate=0.02)
+        fast = TriangleWaveform(e_start=0.0, e_vertex=-0.5, scan_rate=0.1)
+        assert not slow.exceeds_accurate_scan_rate()
+        assert fast.exceeds_accurate_scan_rate()
+        assert MAX_ACCURATE_SCAN_RATE == pytest.approx(0.020)
+
+    def test_degenerate_vertex_rejected(self):
+        with pytest.raises(ElectronicsError):
+            TriangleWaveform(e_start=0.1, e_vertex=0.1, scan_rate=0.02)

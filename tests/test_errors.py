@@ -1,0 +1,61 @@
+"""Exception hierarchy: every library error is a ReproError."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.UnitsError,
+    errors.ChemistryError,
+    errors.UnknownSpeciesError,
+    errors.UnknownEnzymeError,
+    errors.SimulationError,
+    errors.ConvergenceError,
+    errors.SensorError,
+    errors.ElectronicsError,
+    errors.SaturationError,
+    errors.ProtocolError,
+    errors.AnalysisError,
+    errors.CalibrationError,
+    errors.DesignError,
+    errors.InfeasibleDesignError,
+    errors.SpecError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+
+
+def test_units_error_is_value_error():
+    # Callers using plain ValueError handling still catch unit mistakes.
+    assert issubclass(errors.UnitsError, ValueError)
+
+
+def test_unknown_species_is_key_error():
+    assert issubclass(errors.UnknownSpeciesError, KeyError)
+
+
+def test_unknown_species_lists_known_names():
+    err = errors.UnknownSpeciesError("glucse", ("glucose", "lactate"))
+    assert "glucse" in str(err)
+    assert "glucose" in str(err)
+
+
+def test_infeasible_design_carries_violations():
+    err = errors.InfeasibleDesignError("nothing fits", ("too big", "too slow"))
+    assert err.violations == ("too big", "too slow")
+    assert "too big" in str(err)
+
+
+def test_calibration_error_is_analysis_error():
+    assert issubclass(errors.CalibrationError, errors.AnalysisError)
+
+
+def test_spec_error_is_design_and_value_error():
+    assert issubclass(errors.SpecError, errors.DesignError)
+    assert issubclass(errors.SpecError, ValueError)

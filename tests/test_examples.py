@@ -1,0 +1,64 @@
+"""Smoke tests: every example script runs and tells its story.
+
+Examples are user-facing contracts; these tests execute them in-process
+(fast, no subprocess) and assert on the landmarks of their output.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart", capsys)
+    assert "sensitivity" in out
+    assert "27.7" in out          # compares against the paper value
+    assert "unknown sample" in out
+
+
+def test_multi_metabolite_panel(capsys):
+    out = run_example("multi_metabolite_panel", capsys)
+    assert "NOT RECOVERED" not in out
+    for target in ("glucose", "lactate", "glutamate", "benzphetamine",
+                   "aminopyrine", "cholesterol"):
+        assert target in out
+    assert "resolved two drugs" in out
+
+
+def test_drug_monitoring_cv(capsys):
+    out = run_example("drug_monitoring_cv", capsys)
+    assert "patient A" in out
+    assert "CYP2B4" in out
+    assert "dose guidance" in out
+
+
+def test_design_space_exploration(capsys):
+    out = run_example("design_space_exploration", capsys)
+    assert "Pareto" in out
+    assert "cheapest feasible" in out
+    assert "assay complete" in out
+
+
+def test_implantable_monitor(capsys):
+    out = run_example("implantable_monitor", capsys)
+    assert "continuous glucose monitoring" in out
+    assert "recalibration" in out

@@ -1,0 +1,154 @@
+"""End-to-end integration scenarios across every layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import run_calibration
+from repro.core import (
+    BiosensingPlatform,
+    PanelSpec,
+    TargetSpec,
+    design_from_choices,
+    explore,
+    load_design,
+    probe_options,
+    save_design,
+)
+from repro.chem import InjectionSchedule
+from repro.data import (
+    PAPER_PANEL_MID_CONCENTRATIONS,
+    bench_chain,
+    integrated_chain,
+    paper_panel_cell,
+    reference_cell,
+)
+from repro.measurement import Chronoamperometry, PanelProtocol
+from repro.sensors.electrode import PAPER_ELECTRODE_AREA
+
+
+class TestCalibrationThenDeployment:
+    """Calibrate a sensor, then use it as a deployed instrument."""
+
+    def test_concentration_readback_within_tolerance(self):
+        cell = reference_cell("lactate")
+        chain = bench_chain(seed=71)
+        we = cell.working_electrodes[0]
+
+        def signal_at(c: float) -> tuple[float, float]:
+            cell.chamber.set_bulk("lactate", c)
+            true = cell.measured_current(we.name, 0.650)
+            return chain.measure_constant(true, duration=4.0, we=we)
+
+        curve = run_calibration(signal_at, list(np.linspace(0.5, 2.5, 6)))
+        for truth in (0.8, 1.4, 2.2):
+            cell.chamber.set_bulk("lactate", truth)
+            mean, _ = chain.measure_constant(
+                cell.measured_current(we.name, 0.650), duration=4.0, we=we)
+            estimate = curve.concentration_from_signal(mean)
+            # Within 10 % across the linear range, through the noisy chain.
+            assert estimate == pytest.approx(truth, rel=0.10), truth
+
+
+class TestDseToRunningPlatform:
+    """The full paper loop: requirements -> DSE -> hardware -> sample."""
+
+    def test_explore_materialise_measure(self):
+        panel = PanelSpec(
+            name="integration",
+            targets=(TargetSpec("glucose", 0.5, 4.0),
+                     TargetSpec("cholesterol", 0.01, 0.08)))
+        result = explore(panel, require_feasible=True)
+        chosen = result.best_by("cost")
+        platform = BiosensingPlatform(chosen.design, ca_dwell=40.0, seed=72)
+        platform.load_sample({"glucose": 2.0, "cholesterol": 0.04})
+        run = platform.run_panel(rng=np.random.default_rng(72))
+        assert "glucose" in run.readouts
+        assert "cholesterol" in run.readouts
+        assert run.readouts["glucose"].signal > 0.0
+
+    def test_design_survives_serialisation_and_still_runs(self, tmp_path):
+        panel = PanelSpec(
+            name="roundtrip",
+            targets=(TargetSpec("glutamate", 0.5, 2.0),))
+        choices = {"glutamate": probe_options("glutamate")[0]}
+        design = design_from_choices(
+            panel, choices, structure="shared_chamber",
+            readout="mux_shared", noise="chopping",
+            nanostructure="carbon_nanotubes",
+            we_area=PAPER_ELECTRODE_AREA, scan_rate=0.02)
+        path = save_design(design, tmp_path / "d.json")
+        loaded = load_design(path)
+        platform = BiosensingPlatform(loaded, ca_dwell=30.0, seed=73)
+        platform.load_sample({"glutamate": 1.0})
+        run = platform.run_panel(rng=np.random.default_rng(73))
+        assert run.signal_for("glutamate") > 0.0
+
+
+class TestInjectionToPanelConsistency:
+    """Injections and preloaded chambers must agree at steady state."""
+
+    def test_staircase_endpoint_matches_preloaded(self, glucose_cell):
+        glucose_cell.chamber.set_bulk("glucose", 0.0)
+        schedule = InjectionSchedule.staircase("glucose", step=0.5,
+                                               n_steps=4, interval=40.0,
+                                               start=10.0)
+        protocol = Chronoamperometry(e_setpoint=0.55, duration=220.0,
+                                     sample_rate=4.0, injections=schedule)
+        times, currents = protocol.simulate_true_current(glucose_cell, "WE1")
+        glucose_cell.chamber.set_bulk("glucose", 2.0)
+        steady = glucose_cell.measured_current("WE1", 0.55)
+        assert currents[-1] == pytest.approx(steady, rel=0.03)
+        # Each step rises monotonically: currents right before each
+        # injection form an increasing sequence.
+        pre_injection = [currents[np.searchsorted(times, t) - 2]
+                         for t in (50.0, 90.0, 130.0, 210.0)]
+        assert all(b > a for a, b in zip(pre_injection, pre_injection[1:]))
+
+
+class TestSeededReproducibility:
+    """Identical seeds must give bit-identical measurements."""
+
+    def test_panel_runs_identical(self):
+        results = []
+        for _ in range(2):
+            cell = paper_panel_cell()
+            chain = integrated_chain("cyp_micro", n_channels=5, seed=99)
+            run = PanelProtocol(ca_dwell=30.0).run(
+                cell, chain, rng=np.random.default_rng(99))
+            results.append({t: r.signal for t, r in run.readouts.items()})
+        assert results[0] == results[1]
+
+    def test_different_seeds_differ(self):
+        signals = []
+        for seed in (1, 2):
+            cell = reference_cell("glucose")
+            cell.chamber.set_bulk("glucose", 2.0)
+            chain = bench_chain(seed=seed)
+            we = cell.working_electrodes[0]
+            mean, _ = chain.measure_constant(
+                cell.measured_current(we.name, 0.55), duration=3.0, we=we,
+                rng=np.random.default_rng(seed))
+            signals.append(mean)
+        assert signals[0] != signals[1]
+
+
+class TestSharedVersusChamberedPhysics:
+    """The structural choice has observable chemical consequences."""
+
+    def test_shared_chamber_mixes_chambered_isolates(self):
+        panel = PanelSpec(
+            name="structures",
+            targets=(TargetSpec("glucose", 0.5, 4.0),
+                     TargetSpec("lactate", 0.5, 2.5)))
+        choices = {t: probe_options(t)[0] for t in panel.species_names()}
+        for structure, distinct_chambers in (("shared_chamber", 1),
+                                             ("chambered_array", 2)):
+            design = design_from_choices(
+                panel, choices, structure=structure, readout="mux_shared",
+                noise="raw", nanostructure=None,
+                we_area=PAPER_ELECTRODE_AREA, scan_rate=0.02)
+            platform = BiosensingPlatform(design, seed=74)
+            chambers = {id(c.chamber) for c in platform.cells.values()}
+            assert len(chambers) == distinct_chambers

@@ -1,0 +1,136 @@
+"""Table rendering, export, and the command-line interface."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.calibration import CalibrationCurve, CalibrationPoint
+from repro.cli import main
+from repro.io.export import (
+    calibration_to_json,
+    trace_to_csv,
+    voltammogram_to_csv,
+    write_json,
+)
+from repro.io.tables import format_quantity, render_table
+from repro.measurement.trace import Trace, Voltammogram
+
+
+class TestRenderTable:
+    def test_basic_shape(self):
+        text = render_table(["a", "b"], [["x", 1.0], ["y", 2.0]])
+        lines = text.splitlines()
+        assert lines[0].startswith("+")
+        assert "| a" in lines[1]
+        assert len(lines) == 6
+
+    def test_title(self):
+        text = render_table(["a"], [["x"]], title="Table I")
+        assert text.splitlines()[0] == "Table I"
+
+    def test_none_rendered_as_dash(self):
+        text = render_table(["a"], [[None]])
+        assert "-" in text
+
+    def test_row_length_checked(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only one"]])
+
+    def test_numeric_right_aligned(self):
+        text = render_table(["name", "val"],
+                            [["x", "1"], ["long_name", "22"]])
+        lines = text.splitlines()
+        assert lines[3].endswith("  1 |")
+
+    def test_format_quantity(self):
+        assert format_quantity(None) == "-"
+        assert format_quantity(0.0) == "0"
+        assert format_quantity(1.23456, "uA") == "1.23 uA"
+
+
+class TestExport:
+    def _trace(self):
+        times = np.arange(10) / 10.0
+        return Trace(times=times, current=np.linspace(0, 1e-6, 10),
+                     true_current=np.linspace(0, 1e-6, 10))
+
+    def test_trace_csv(self, tmp_path):
+        path = trace_to_csv(self._trace(), tmp_path / "t.csv")
+        rows = list(csv.reader(path.open()))
+        assert rows[0] == ["time_s", "current_a", "true_current_a"]
+        assert len(rows) == 11
+
+    def test_voltammogram_csv(self, tmp_path):
+        n = 8
+        vg = Voltammogram(times=np.arange(n) / 10.0,
+                          potentials=np.linspace(0, -0.5, n),
+                          current=np.zeros(n),
+                          sweep_sign=np.full(n, -1.0), scan_rate=0.02)
+        path = voltammogram_to_csv(vg, tmp_path / "v.csv")
+        rows = list(csv.reader(path.open()))
+        assert rows[0][1] == "potential_v"
+        assert len(rows) == n + 1
+
+    def test_calibration_json(self, tmp_path):
+        curve = CalibrationCurve(
+            [CalibrationPoint(1.0, 1e-7), CalibrationPoint(2.0, 2e-7),
+             CalibrationPoint(3.0, 3e-7)],
+            blank_mean=0.0, blank_std=1e-9)
+        path = calibration_to_json(curve, tmp_path / "c.json")
+        payload = json.loads(path.read_text())
+        assert payload["blank_std"] == 1e-9
+        assert len(payload["points"]) == 3
+
+    def test_write_json_pretty(self, tmp_path):
+        path = write_json({"b": 1, "a": 2}, tmp_path / "x.json")
+        text = path.read_text()
+        assert text.index('"a"') < text.index('"b"')  # sorted keys
+
+
+class TestCli:
+    def test_tables_command(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "CYP2B4" in out
+        assert "27.7" in out
+
+    def test_panel_command(self, capsys):
+        assert main(["panel", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "glucose" in out
+        assert "assay time" in out
+
+    def test_explore_command(self, capsys, tmp_path):
+        from repro.core.spec import save_panel
+        from repro.core.targets import PanelSpec, TargetSpec
+        panel = PanelSpec(name="mini",
+                          targets=(TargetSpec("glucose", 0.5, 4.0),))
+        spec = save_panel(panel, tmp_path / "p.json")
+        assert main(["explore", "--spec", str(spec)]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto" in out
+
+    def test_calibrate_command(self, capsys):
+        assert main(["calibrate", "glucose", "--points", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "sensitivity" in out
+        assert "linear range" in out
+
+    def test_calibrate_cv_target_redirects(self, capsys):
+        assert main(["calibrate", "cholesterol"]) == 1
+
+    def test_selectivity_command(self, capsys):
+        assert main(["selectivity"]) == 0
+        out = capsys.readouterr().out
+        assert "cross-response" in out
+        assert "WE1" in out
+
+    def test_selectivity_cathodic(self, capsys):
+        assert main(["selectivity", "--potential", "-600"]) == 0
+        out = capsys.readouterr().out
+        assert "-600 mV" in out

@@ -1,0 +1,118 @@
+"""Differential pulse voltammetry: program, physics, chain integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.catalog import (
+    build_cytochrome,
+    integrated_chain,
+    paper_panel_cell,
+)
+from repro.errors import ProtocolError
+from repro.measurement.pulse_voltammetry import DifferentialPulseVoltammetry
+
+
+@pytest.fixture(scope="module")
+def panel_cell():
+    return paper_panel_cell()
+
+
+class TestPotentialProgram:
+    def test_staircase_shape(self):
+        dpv = DifferentialPulseVoltammetry(e_start=0.0, e_end=-0.2,
+                                           step_potential=0.01,
+                                           pulse_amplitude=0.05,
+                                           pulse_width=0.1, period=0.4,
+                                           dt=0.02)
+        times, potentials = dpv.potential_program()
+        assert times.size == dpv.n_steps * int(0.4 / 0.02)
+        # First period: base 0.0, pulse -0.05 in the last 5 samples.
+        assert np.all(potentials[:15] == 0.0)
+        assert np.all(potentials[15:20] == pytest.approx(-0.05))
+        # Second period base steps down by 10 mV.
+        assert potentials[20] == pytest.approx(-0.01)
+
+    def test_sample_indices_straddle_the_pulse(self):
+        dpv = DifferentialPulseVoltammetry(e_start=0.0, e_end=-0.2)
+        times, potentials = dpv.potential_program()
+        before, at_pulse = dpv._sample_indices()
+        # 'before' samples sit at base potential, 'pulse' ones at pulsed.
+        bases = potentials[before]
+        pulsed = potentials[at_pulse]
+        assert np.allclose(pulsed - bases, -dpv.pulse_amplitude)
+
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            DifferentialPulseVoltammetry(0.0, 0.0)
+        with pytest.raises(ProtocolError, match="period"):
+            DifferentialPulseVoltammetry(0.0, -0.5, pulse_width=0.5,
+                                         period=0.4)
+        with pytest.raises(ProtocolError, match="divide"):
+            DifferentialPulseVoltammetry(0.0, -0.5, period=0.41, dt=0.02)
+        with pytest.raises(ProtocolError, match="sample_window"):
+            DifferentialPulseVoltammetry(0.0, -0.5, sample_window=0)
+        with pytest.raises(ProtocolError, match="half the pulse"):
+            DifferentialPulseVoltammetry(0.0, -0.5, pulse_width=0.04,
+                                         dt=0.02, sample_window=2)
+
+
+class TestPhysics:
+    def test_peaks_at_half_amplitude_before_formal(self, panel_cell):
+        # DPV peak (base-potential axis) sits ~pulse_amplitude/2 anodic
+        # of E0: base + amplitude/2 spans the formal potential.
+        dpv = DifferentialPulseVoltammetry(e_start=0.0, e_end=-0.65)
+        result = dpv.simulate_true(panel_cell, "WE4")
+        peaks = result.find_peaks(min_height=1e-9)
+        assert len(peaks) == 2
+        centers = [p.potential - dpv.pulse_amplitude / 2.0 for p in peaks]
+        assert centers[0] == pytest.approx(-0.250, abs=0.015)
+        assert centers[1] == pytest.approx(-0.400, abs=0.015)
+
+    def test_height_tracks_concentration(self):
+        heights = []
+        for c in (0.02, 0.04):
+            cell = paper_panel_cell({"cholesterol": c})
+            dpv = DifferentialPulseVoltammetry(e_start=-0.15, e_end=-0.6)
+            result = dpv.simulate_true(cell, "WE5")
+            peaks = result.find_peaks(min_height=1e-10)
+            heights.append(max(p.height for p in peaks))
+        assert heights[1] / heights[0] == pytest.approx(2.0, rel=0.15)
+
+    def test_differential_is_charging_free(self, panel_cell):
+        # The oxidase electrode swept by DPV shows ~zero differential:
+        # no redox couple in the window, and charging is rejected by
+        # construction (samples sit long after each step).
+        dpv = DifferentialPulseVoltammetry(e_start=0.0, e_end=-0.3)
+        result = dpv.simulate_true(panel_cell, "WE1")
+        assert np.max(np.abs(result.differential)) < 1e-10
+
+    def test_no_loaded_channels_flat(self):
+        cell = paper_panel_cell({"glucose": 2.0})  # drugs absent
+        dpv = DifferentialPulseVoltammetry(e_start=0.0, e_end=-0.65)
+        result = dpv.simulate_true(cell, "WE4")
+        assert np.max(np.abs(result.differential)) < 1e-10
+
+
+class TestThroughChain:
+    def test_dominant_peak_survives_noise(self, panel_cell):
+        dpv = DifferentialPulseVoltammetry(e_start=0.0, e_end=-0.65,
+                                           pulse_width=0.16,
+                                           sample_window=4)
+        chain = integrated_chain("cyp_micro", n_channels=5, seed=17)
+        result = dpv.run(panel_cell, "WE4", chain,
+                         rng=np.random.default_rng(17))
+        peaks = result.find_peaks(min_height=5e-8)
+        assert len(peaks) >= 1
+        tallest = max(peaks, key=lambda p: p.height)
+        center = tallest.potential - dpv.pulse_amplitude / 2.0
+        assert center == pytest.approx(-0.400, abs=0.02)  # aminopyrine
+
+    def test_reproducible_with_seed(self, panel_cell):
+        dpv = DifferentialPulseVoltammetry(e_start=0.0, e_end=-0.65)
+        chain = integrated_chain("cyp_micro", n_channels=5, seed=18)
+        a = dpv.run(panel_cell, "WE4", chain, rng=np.random.default_rng(1))
+        chain2 = integrated_chain("cyp_micro", n_channels=5, seed=18)
+        b = dpv.run(panel_cell, "WE4", chain2, rng=np.random.default_rng(1))
+        assert np.array_equal(a.differential, b.differential)

@@ -1,0 +1,168 @@
+"""Chronoamperometry, cyclic voltammetry, and the multiplexed panel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chem.analytic import randles_sevcik_peak_current
+from repro.chem.solution import Chamber, InjectionSchedule
+from repro.data.catalog import bench_chain, integrated_chain
+from repro.electronics.waveform import TriangleWaveform
+from repro.errors import ProtocolError
+from repro.measurement.chronoamperometry import Chronoamperometry
+from repro.measurement.panel import PanelProtocol
+from repro.measurement.peaks import find_peaks
+from repro.measurement.trace import Voltammogram
+from repro.measurement.voltammetry import CyclicVoltammetry
+
+
+class TestChronoamperometry:
+    def test_settles_to_cell_steady_state(self, glucose_cell):
+        proto = Chronoamperometry(e_setpoint=0.55, duration=80.0,
+                                  sample_rate=5.0)
+        times, currents = proto.simulate_true_current(glucose_cell, "WE1")
+        steady = glucose_cell.measured_current("WE1", 0.55)
+        assert currents[-1] == pytest.approx(steady, rel=0.03)
+
+    def test_injection_raises_current(self, glucose_cell):
+        glucose_cell.chamber.set_bulk("glucose", 0.0)
+        proto = Chronoamperometry(
+            e_setpoint=0.55, duration=90.0, sample_rate=5.0,
+            injections=InjectionSchedule.single(10.0, "glucose", 2.0))
+        times, currents = proto.simulate_true_current(glucose_cell, "WE1")
+        before = currents[times < 9.0]
+        after = currents[-10:]
+        assert np.mean(after) > 10.0 * max(np.mean(before), 1e-12)
+
+    def test_t90_near_paper_30s(self, glucose_cell):
+        # Fig. 3: a macro glucose strip settles in about 30 s.
+        glucose_cell.chamber.set_bulk("glucose", 0.0)
+        proto = Chronoamperometry(
+            e_setpoint=0.55, duration=120.0, sample_rate=5.0,
+            injections=InjectionSchedule.single(5.0, "glucose", 2.0))
+        times, currents = proto.simulate_true_current(glucose_cell, "WE1")
+        steady = np.mean(currents[-25:])
+        crossed = np.flatnonzero(currents >= 0.9 * steady)
+        t90 = times[crossed[0]] - 5.0
+        assert 15.0 <= t90 <= 45.0
+
+    def test_caller_chamber_not_mutated(self, glucose_cell):
+        glucose_cell.chamber.set_bulk("glucose", 0.0)
+        proto = Chronoamperometry(
+            e_setpoint=0.55, duration=30.0, sample_rate=5.0,
+            injections=InjectionSchedule.single(5.0, "glucose", 2.0))
+        proto.simulate_true_current(glucose_cell, "WE1")
+        assert glucose_cell.chamber.bulk("glucose") == 0.0
+
+    def test_run_through_chain(self, glucose_cell, rng):
+        proto = Chronoamperometry(e_setpoint=0.55, duration=30.0,
+                                  sample_rate=5.0)
+        result = proto.run(glucose_cell, "WE1", bench_chain(), rng=rng)
+        assert result.trace.n_samples == 151
+        assert result.e_applied == pytest.approx(0.55, abs=1e-3)
+        assert result.trace.tail_mean() == pytest.approx(
+            glucose_cell.measured_current("WE1", 0.55), rel=0.1)
+
+    def test_injection_outside_duration_rejected(self):
+        with pytest.raises(ProtocolError):
+            Chronoamperometry(
+                e_setpoint=0.55, duration=5.0,
+                injections=InjectionSchedule.single(10.0, "glucose", 1.0))
+
+    def test_direct_oxidizer_contributes(self, glucose_cell):
+        glucose_cell.chamber.set_bulk("dopamine", 0.5)
+        proto = Chronoamperometry(e_setpoint=0.55, duration=30.0,
+                                  sample_rate=5.0)
+        times, currents = proto.simulate_true_current(glucose_cell, "WE1")
+        glucose_cell.chamber.set_bulk("dopamine", 0.0)
+        times2, currents2 = proto.simulate_true_current(glucose_cell, "WE1")
+        assert currents[-1] > currents2[-1]
+
+
+class TestCyclicVoltammetry:
+    def test_peak_positions_near_formal_potentials(self, cyp_cell):
+        wf = TriangleWaveform(e_start=0.0, e_vertex=-0.7, scan_rate=0.02)
+        cv = CyclicVoltammetry(wf, sample_rate=10.0)
+        t, p, s, i = cv.simulate_true_current(cyp_cell, "WE4")
+        vg = Voltammogram(times=t, potentials=p, current=i, sweep_sign=s,
+                          scan_rate=0.02)
+        peaks = find_peaks(vg, cathodic=True, min_height=5e-9)
+        assert len(peaks) == 2
+        # n=2 quasi-reversible: peaks a few tens of mV below E0.
+        assert peaks[0].potential == pytest.approx(-0.250, abs=0.05)
+        assert peaks[1].potential == pytest.approx(-0.400, abs=0.05)
+
+    def test_peak_height_scales_with_sqrt_scan_rate(self, cyp_cell):
+        heights = []
+        for rate in (0.005, 0.020):
+            wf = TriangleWaveform(e_start=0.0, e_vertex=-0.7, scan_rate=rate)
+            cv = CyclicVoltammetry(wf, sample_rate=max(10.0, rate * 500))
+            t, p, s, i = cv.simulate_true_current(cyp_cell, "WE4")
+            vg = Voltammogram(times=t, potentials=p, current=i,
+                              sweep_sign=s, scan_rate=rate)
+            peaks = find_peaks(vg, cathodic=True, min_height=5e-9)
+            heights.append(max(pk.height for pk in peaks))
+        assert heights[1] / heights[0] == pytest.approx(2.0, rel=0.25)
+
+    def test_matches_randles_sevcik_for_reversible_couple(self, cyp_cell):
+        # With a large k0 the simulated peak must approach the R-S value.
+        we = cyp_cell.working_electrodes[0]
+        channel = we.probe.channel_for("aminopyrine")
+        bulk = cyp_cell.chamber.bulk("aminopyrine")
+        gain = we.functionalization.signal_gain
+        c_eff = (bulk * channel.efficiency * gain
+                 * channel.km / (channel.km + bulk))
+        from repro.chem.species import get_species
+        expected = randles_sevcik_peak_current(
+            2, we.area, c_eff, get_species("aminopyrine").diffusivity, 0.02)
+        wf = TriangleWaveform(e_start=-0.1, e_vertex=-0.7, scan_rate=0.02)
+        cv = CyclicVoltammetry(wf, sample_rate=20.0)
+        t, p, s, i = cv.simulate_true_current(cyp_cell, "WE4")
+        vg = Voltammogram(times=t, potentials=p, current=i, sweep_sign=s,
+                          scan_rate=0.02)
+        peaks = find_peaks(vg, cathodic=True, min_height=5e-9)
+        tallest = max(peaks, key=lambda pk: pk.height)
+        # Quasi-reversible + charging baseline: within ~40 % of reversible.
+        assert tallest.height == pytest.approx(expected, rel=0.4)
+
+    def test_charging_background_flips_with_sweep(self, glucose_cell):
+        # An oxidase electrode swept with no analyte shows +/- Cdl*A*v.
+        glucose_cell.chamber.set_bulk("glucose", 0.0)
+        wf = TriangleWaveform(e_start=0.0, e_vertex=-0.3, scan_rate=0.02)
+        cv = CyclicVoltammetry(wf, sample_rate=10.0)
+        t, p, s, i = cv.simulate_true_current(glucose_cell, "WE1")
+        we = glucose_cell.working_electrodes[0]
+        charging = we.electrode.charging_current(0.02)
+        leak = we.electrode.leakage_current()
+        mid_fwd = i[len(i) // 4]
+        mid_rev = i[3 * len(i) // 4]
+        assert mid_fwd == pytest.approx(-charging + leak, rel=0.1)
+        assert mid_rev == pytest.approx(+charging + leak, rel=0.1)
+
+
+class TestPanel:
+    def test_paper_panel_recovers_all_six(self):
+        from repro.data.catalog import (
+            PAPER_PANEL_MID_CONCENTRATIONS,
+            paper_panel_cell,
+        )
+        cell = paper_panel_cell()
+        chain = integrated_chain("cyp_micro", n_channels=5)
+        result = PanelProtocol().run(cell, chain,
+                                     rng=np.random.default_rng(7))
+        for target in PAPER_PANEL_MID_CONCENTRATIONS:
+            assert target in result.readouts, target
+        # Benz and amino share WE4 — the paper's two-drugs-one-electrode.
+        assert result.readouts["benzphetamine"].we_name == "WE4"
+        assert result.readouts["aminopyrine"].we_name == "WE4"
+        assert result.assay_time > 0.0
+
+    def test_signal_for_unknown_target(self):
+        from repro.data.catalog import paper_panel_cell
+        cell = paper_panel_cell()
+        chain = integrated_chain("cyp_micro", n_channels=5)
+        result = PanelProtocol(ca_dwell=30.0).run(
+            cell, chain, rng=np.random.default_rng(7))
+        with pytest.raises(ProtocolError, match="not measured"):
+            result.signal_for("caffeine" if False else "clozapine")

@@ -1,0 +1,108 @@
+"""Trace and Voltammogram containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.measurement.trace import Trace, Voltammogram
+
+
+def make_trace(values, fs=10.0):
+    values = np.asarray(values, dtype=float)
+    times = np.arange(values.size) / fs
+    return Trace(times=times, current=values)
+
+
+class TestTrace:
+    def test_basic_properties(self):
+        trace = make_trace(np.linspace(0.0, 1.0, 101))
+        assert trace.n_samples == 101
+        assert trace.sample_rate == pytest.approx(10.0)
+        assert trace.duration == pytest.approx(10.0)
+
+    def test_tail_mean_of_settled_signal(self):
+        values = np.concatenate([np.linspace(0.0, 1.0, 50),
+                                 np.full(50, 1.0)])
+        trace = make_trace(values)
+        assert trace.tail_mean(0.3) == pytest.approx(1.0)
+
+    def test_window(self):
+        trace = make_trace(np.arange(100.0))
+        sub = trace.window(2.0, 4.0)
+        assert sub.times[0] >= 2.0
+        assert sub.times[-1] <= 4.0
+        assert sub.n_samples == 21
+
+    def test_window_validates(self):
+        trace = make_trace(np.arange(100.0))
+        with pytest.raises(AnalysisError):
+            trace.window(4.0, 2.0)
+        with pytest.raises(AnalysisError):
+            trace.window(99.0, 99.01)
+
+    def test_max_slope_locates_step(self):
+        values = np.zeros(100)
+        values[50:] = 1.0
+        trace = make_trace(values)
+        t, slope = trace.max_slope()
+        assert t == pytest.approx(5.0, abs=0.2)
+        assert slope > 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            Trace(times=np.arange(5.0), current=np.arange(4.0))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(AnalysisError):
+            Trace(times=np.array([0.0]), current=np.array([0.0]))
+
+
+class TestVoltammogram:
+    def _cv(self, n_cycles=1):
+        # Synthetic triangular sweep 0 -> -0.5 -> 0 per cycle.
+        per_leg = 50
+        legs = []
+        signs = []
+        for _ in range(n_cycles):
+            legs.append(np.linspace(0.0, -0.5, per_leg))
+            signs.append(np.full(per_leg, -1.0))
+            legs.append(np.linspace(-0.5, 0.0, per_leg))
+            signs.append(np.full(per_leg, +1.0))
+        potentials = np.concatenate(legs)
+        sweep_sign = np.concatenate(signs)
+        times = np.arange(potentials.size) / 10.0
+        current = -np.exp(-((potentials + 0.25) / 0.05) ** 2)  # a dip
+        return Voltammogram(times=times, potentials=potentials,
+                            current=current, sweep_sign=sweep_sign,
+                            scan_rate=0.02)
+
+    def test_leg_extraction(self):
+        cv = self._cv()
+        cathodic = cv.leg(cathodic=True)
+        anodic = cv.leg(cathodic=False)
+        assert np.all(cathodic.sweep_sign == -1.0)
+        assert np.all(anodic.sweep_sign == +1.0)
+        assert cathodic.n_samples + anodic.n_samples == cv.n_samples
+
+    def test_cycle_indexing(self):
+        cv = self._cv(n_cycles=3)
+        leg0 = cv.leg(cathodic=True, cycle=0)
+        leg2 = cv.leg(cathodic=True, cycle=2)
+        assert leg0.times[0] < leg2.times[0]
+        with pytest.raises(AnalysisError, match="cycle"):
+            cv.leg(cathodic=True, cycle=3)
+
+    def test_current_at_interpolates(self):
+        cv = self._cv()
+        # The synthetic dip bottoms out at -0.25 V.
+        assert cv.current_at(-0.25) == pytest.approx(-1.0, rel=2e-2)
+        assert abs(cv.current_at(0.0)) < 1e-5
+
+    def test_scan_rate_positive(self):
+        cv = self._cv()
+        with pytest.raises(Exception):
+            Voltammogram(times=cv.times, potentials=cv.potentials,
+                         current=cv.current, sweep_sign=cv.sweep_sign,
+                         scan_rate=0.0)

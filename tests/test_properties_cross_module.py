@@ -1,0 +1,140 @@
+"""Cross-module property-based tests: invariants spanning layers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.chem.analytic import diffusion_limited_current
+from repro.chem.diffusion import CrankNicolsonDiffusion, Grid1D
+from repro.chem.kinetics import MichaelisMentenFilm, steady_state_turnover_flux
+from repro.chem.solution import Chamber
+from repro.core.spec import design_from_dict, design_to_dict
+from repro.data.catalog import build_oxidase, integrated_chain
+from repro.sensors.electrode import Electrode, ElectrodeRole, WorkingElectrode
+from repro.sensors.functionalization import with_oxidase
+from repro.sensors.materials import get_material
+
+
+class TestTransportCeiling:
+    """No film, however loaded, can beat diffusion (the Table III ceiling)."""
+
+    @given(st.floats(min_value=1e-8, max_value=1e-2),   # vmax
+           st.floats(min_value=0.1, max_value=100.0),   # km
+           st.floats(min_value=0.1, max_value=10.0))    # c_bulk
+    @settings(max_examples=60)
+    def test_flux_below_transport_limit(self, vmax, km, cb):
+        m = 5.0e-6
+        film = MichaelisMentenFilm(vmax=vmax, km=km)
+        flux = steady_state_turnover_flux(cb, film, m)
+        assert flux <= m * cb * (1.0 + 1e-9)
+
+    @given(st.floats(min_value=0.1, max_value=5.0))
+    @settings(max_examples=30)
+    def test_electrode_current_below_ceiling(self, cb):
+        we = WorkingElectrode(
+            electrode=Electrode(name="WE", role=ElectrodeRole.WORKING,
+                                material=get_material("gold"), area=1e-6),
+            functionalization=with_oxidase(build_oxidase("glucose")))
+        chamber = Chamber()
+        chamber.set_bulk("glucose", cb)
+        i = we.steady_state_current(1.0, chamber)  # fully driven wave
+        ceiling = diffusion_limited_current(
+            2, we.area, cb, 6.7e-10, we.effective_nernst_layer())
+        leak = we.electrode.leakage_current()
+        assert i - leak <= ceiling * (1.0 + 1e-6)
+
+
+class TestSolverGridIndependence:
+    """Steady-state answers must not depend on discretisation details."""
+
+    @given(st.integers(min_value=40, max_value=120),
+           st.floats(min_value=0.05, max_value=0.5))
+    @settings(max_examples=10, deadline=None)
+    def test_steady_flux_matches_analytic(self, n_nodes, dt):
+        delta = 1.3e-4
+        d = 6.7e-10
+        film = MichaelisMentenFilm(vmax=2e-5, km=30.0)
+        grid = Grid1D.uniform(delta, n_nodes)
+        solver = CrankNicolsonDiffusion(grid, d, dt)
+        c = np.full(n_nodes, 2.0)
+        for _ in range(int(200.0 / dt)):
+            c0 = float(c[0])
+            rate = film.rate(c0)
+            slope = film.vmax * film.km / (film.km + max(c0, 0.0)) ** 2
+            c = solver.step_linear_surface(c, rate - slope * c0, slope)
+        expected = steady_state_turnover_flux(2.0, film, d / delta)
+        assert film.rate(float(c[0])) == pytest.approx(expected, rel=0.02)
+
+
+class TestChainLinearity:
+    """The chain must reconstruct mid-range currents linearly."""
+
+    @given(st.floats(min_value=0.05e-6, max_value=0.8e-6),
+           st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_reconstruction_unbiased(self, current, seed):
+        chain = integrated_chain("cyp_micro", n_channels=1, seed=5)
+        mean, std = chain.measure_constant(
+            current, duration=10.0, rng=np.random.default_rng(seed))
+        # Unbiased within a few LSB-equivalents of combined noise.
+        tolerance = 4.0 * max(std / math.sqrt(10.0 * 100.0),
+                              chain.quantization_noise_rms())
+        assert abs(mean - current) <= tolerance + 2e-10
+
+
+design_payloads = st.fixed_dictionaries({
+    "schema": st.just(1),
+    "kind": st.just("design"),
+    "name": st.text(alphabet="abcdef_0123456789", min_size=1, max_size=12),
+    "assignments": st.just([
+        {"we_name": "WE1", "family": "oxidase",
+         "probe_name": "glucose_oxidase", "targets": ["glucose"]},
+    ]),
+    "structure": st.sampled_from(["shared_chamber", "chambered_array"]),
+    "readout": st.sampled_from(["mux_shared", "per_we"]),
+    "noise": st.sampled_from(["raw", "chopping"]),
+    "nanostructure": st.sampled_from([None, "carbon_nanotubes"]),
+    "we_area": st.floats(min_value=1e-8, max_value=1e-5),
+    "scan_rate": st.floats(min_value=0.001, max_value=0.02),
+})
+
+
+class TestSpecRoundTrip:
+    @given(design_payloads)
+    @settings(max_examples=40)
+    def test_dict_round_trip_is_identity(self, payload):
+        design = design_from_dict(payload)
+        again = design_from_dict(design_to_dict(design))
+        assert again == design
+
+
+class TestNoiseStrategyOrdering:
+    """Strategies must never *worsen* the low-frequency noise."""
+
+    @given(st.floats(min_value=1e-13, max_value=1e-9),
+           st.floats(min_value=1.0, max_value=100.0))
+    @settings(max_examples=40)
+    def test_chopping_never_hurts(self, white, corner):
+        from repro.electronics.noise import ChoppingStrategy, NoiseModel
+        model = NoiseModel(white_density=white, flicker_corner=corner,
+                           drift_rate=1e-12)
+        chopped = ChoppingStrategy(chop_frequency=corner * 100.0
+                                   ).effective_noise(model)
+        assert chopped.rms_in_band(0.01, 5.0) <= model.rms_in_band(
+            0.01, 5.0) * (1.0 + 1e-9)
+
+    @given(st.floats(min_value=1e-13, max_value=1e-9),
+           st.floats(min_value=10.0, max_value=1000.0))
+    @settings(max_examples=40)
+    def test_cds_helps_when_flicker_dominates(self, white, corner):
+        from repro.electronics.noise import CdsStrategy, NoiseModel
+        model = NoiseModel(white_density=white, flicker_corner=corner)
+        cds = CdsStrategy(correlation=0.95).effective_noise(model)
+        # With a high corner, low-frequency rms improves despite the
+        # sqrt(2) white-noise penalty.
+        assert cds.rms_in_band(0.01, 1.0) < model.rms_in_band(0.01, 1.0)

@@ -1,0 +1,183 @@
+"""Cells, cross-talk, the Fig. 4 chip, and sensor arrays."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chem.solution import Chamber, Injection
+from repro.sensors.array import SensorArray
+from repro.sensors.biointerface import BioInterface
+from repro.sensors.cell import CrosstalkModel, ElectrochemicalCell
+from repro.sensors.electrode import Electrode, ElectrodeRole, WorkingElectrode
+from repro.sensors.functionalization import with_oxidase
+from repro.sensors.materials import get_material
+from repro.errors import SensorError
+
+def oxidase_we(name, probe, area=7e-6):
+    return WorkingElectrode(
+        electrode=Electrode(name=name, role=ElectrodeRole.WORKING,
+                            material=get_material("gold"), area=area),
+        functionalization=with_oxidase(probe))
+
+
+class TestCrosstalkModel:
+    def test_decays_with_distance(self):
+        model = CrosstalkModel()
+        assert model.coupling(1e-3) < model.coupling(1e-4)
+
+    def test_base_bounds(self):
+        with pytest.raises(SensorError):
+            CrosstalkModel(base=1.0)
+
+
+class TestCell:
+    def test_electrode_count_n_plus_2(self, glucose_oxidase, cell_factory):
+        # The paper's n-target structure: n WEs sharing RE and CE.
+        wes = [oxidase_we(f"WE{i}", glucose_oxidase) for i in range(3)]
+        cell = cell_factory(wes)
+        assert cell.electrode_count == 5
+
+    def test_counter_must_cover_we(self, glucose_oxidase):
+        we = oxidase_we("WE1", glucose_oxidase, area=7e-6)
+        reference = Electrode(name="RE", role=ElectrodeRole.REFERENCE,
+                              material=get_material("silver"), area=7e-6)
+        small_counter = Electrode(name="CE", role=ElectrodeRole.COUNTER,
+                                  material=get_material("gold"), area=1e-6)
+        with pytest.raises(SensorError, match="at least as large"):
+            ElectrochemicalCell(chamber=Chamber(), working_electrodes=[we],
+                                reference=reference, counter=small_counter)
+
+    def test_roles_enforced(self, glucose_oxidase):
+        we = oxidase_we("WE1", glucose_oxidase)
+        silver = Electrode(name="X", role=ElectrodeRole.REFERENCE,
+                           material=get_material("silver"), area=7e-6)
+        with pytest.raises(SensorError, match="expected CE"):
+            ElectrochemicalCell(chamber=Chamber(), working_electrodes=[we],
+                                reference=silver, counter=silver)
+
+    def test_duplicate_we_names_rejected(self, glucose_oxidase, cell_factory):
+        wes = [oxidase_we("WE1", glucose_oxidase),
+               oxidase_we("WE1", glucose_oxidase)]
+        with pytest.raises(SensorError, match="duplicate"):
+            cell_factory(wes)
+
+    def test_we_lookup(self, glucose_cell):
+        assert glucose_cell.working_electrode("WE1").name == "WE1"
+        with pytest.raises(SensorError, match="no working electrode"):
+            glucose_cell.working_electrode("WE9")
+
+    def test_crosstalk_small_but_nonzero(self, glucose_oxidase, cell_factory):
+        # The paper argues cross-talk is negligible; the model keeps it
+        # measurable so the claim is testable.
+        wes = [oxidase_we("WE1", glucose_oxidase),
+               oxidase_we("WE2", glucose_oxidase)]
+        cell = cell_factory(wes)
+        cell.chamber.set_bulk("glucose", 2.0)
+        own = cell.faradaic_current("WE1", 0.55)
+        spill = cell.crosstalk_current("WE1", 0.55)
+        assert 0.0 < spill < 0.01 * own
+
+    def test_blank_current_virtual(self, glucose_cell):
+        # Without a dedicated blank WE, a virtual blank is evaluated; it
+        # must not respond to glucose.
+        blank = glucose_cell.blank_current(0.55)
+        signal = glucose_cell.faradaic_current("WE1", 0.55)
+        assert blank < 0.05 * signal
+
+    def test_measured_current_includes_charging(self, glucose_cell):
+        static = glucose_cell.measured_current("WE1", 0.55, scan_rate=0.0)
+        sweeping = glucose_cell.measured_current("WE1", 0.55, scan_rate=0.02)
+        assert sweeping > static
+
+
+class TestBioInterface:
+    def test_gold_chip_factory(self, glucose_oxidase):
+        wes = [oxidase_we(f"WE{i}", glucose_oxidase, area=0.23e-6)
+               for i in range(1, 6)]
+        chip = BioInterface.gold_chip("test", wes)
+        assert chip.n_working == 5
+        assert chip.pad_count == 7  # 5 WE + RE + CE, the Fig. 4 count
+        assert chip.reference.material.name == "silver"
+        assert chip.counter.material.name == "gold"
+
+    def test_die_area_grows_with_we_count(self, glucose_oxidase):
+        wes3 = [oxidase_we(f"WE{i}", glucose_oxidase, area=0.23e-6)
+                for i in range(3)]
+        wes5 = [oxidase_we(f"WE{i}", glucose_oxidase, area=0.23e-6)
+                for i in range(5)]
+        assert (BioInterface.gold_chip("c5", wes5).die_area
+                > BioInterface.gold_chip("c3", wes3).die_area)
+
+    def test_as_cell(self, glucose_oxidase):
+        wes = [oxidase_we("WE1", glucose_oxidase, area=0.23e-6)]
+        chip = BioInterface.gold_chip("test", wes)
+        cell = chip.as_cell(Chamber())
+        assert cell.electrode_count == 3
+
+    def test_layout_summary_mentions_probes(self, glucose_oxidase):
+        wes = [oxidase_we("WE1", glucose_oxidase, area=0.23e-6)]
+        chip = BioInterface.gold_chip("test", wes)
+        text = chip.layout_summary()
+        assert "WE1" in text
+        assert "glucose" in text
+
+
+class TestSensorArray:
+    def _cell_factory(self, probe):
+        def factory(chamber, row, col):
+            we = oxidase_we(f"WE_{row}_{col}", probe)
+            reference = Electrode(name=f"RE_{row}_{col}",
+                                  role=ElectrodeRole.REFERENCE,
+                                  material=get_material("silver"), area=7e-6)
+            counter = Electrode(name=f"CE_{row}_{col}",
+                                role=ElectrodeRole.COUNTER,
+                                material=get_material("gold"), area=14e-6)
+            return ElectrochemicalCell(chamber=chamber,
+                                       working_electrodes=[we],
+                                       reference=reference, counter=counter)
+        return factory
+
+    def test_shared_array_injection_reaches_all(self, glucose_oxidase):
+        chamber = Chamber()
+        array = SensorArray.shared(chamber,
+                                   self._cell_factory(glucose_oxidase), 2, 2)
+        assert array.n_cells == 4
+        assert not array.has_isolated_chambers
+        array.inject_at(0, 0, Injection(0.0, "glucose", 1.0))
+        # Physically unavoidable: a shared chamber mixes everywhere.
+        assert array.cell(1, 1).chamber.bulk("glucose") == 1.0
+
+    def test_chambered_array_isolates(self, glucose_oxidase):
+        array = SensorArray.chambered(
+            self._cell_factory(glucose_oxidase), 2, 2)
+        assert array.has_isolated_chambers
+        array.inject_at(0, 0, Injection(0.0, "glucose", 1.0))
+        assert array.cell(0, 0).chamber.bulk("glucose") == 1.0
+        assert array.cell(1, 1).chamber.bulk("glucose") == 0.0
+
+    def test_inject_everywhere(self, glucose_oxidase):
+        array = SensorArray.chambered(
+            self._cell_factory(glucose_oxidase), 2, 3)
+        array.inject_everywhere(Injection(0.0, "glucose", 0.5))
+        for cell in array.cells():
+            assert cell.chamber.bulk("glucose") == 0.5
+
+    def test_electrode_count(self, glucose_oxidase):
+        # k x j array of 3-electrode sensors: 3*k*j pads (paper Sec. II).
+        array = SensorArray.chambered(
+            self._cell_factory(glucose_oxidase), 2, 3)
+        assert array.electrode_count() == 18
+
+    def test_out_of_range_index(self, glucose_oxidase):
+        array = SensorArray.chambered(
+            self._cell_factory(glucose_oxidase), 2, 2)
+        with pytest.raises(SensorError):
+            array.cell(2, 0)
+
+    def test_ragged_rows_rejected(self, glucose_oxidase):
+        factory = self._cell_factory(glucose_oxidase)
+        c1 = factory(Chamber(name="a"), 0, 0)
+        c2 = factory(Chamber(name="b"), 0, 1)
+        c3 = factory(Chamber(name="c"), 1, 0)
+        with pytest.raises(SensorError, match="equal length"):
+            SensorArray([[c1, c2], [c3]])

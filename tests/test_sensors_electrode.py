@@ -1,0 +1,171 @@
+"""Electrodes and functionalized working electrodes."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.chem.solution import Chamber
+from repro.sensors.electrode import (
+    PAPER_ELECTRODE_AREA,
+    Electrode,
+    ElectrodeRole,
+    WorkingElectrode,
+)
+from repro.sensors.functionalization import (
+    CARBON_NANOTUBES,
+    POLYMER_PERMSELECTIVE,
+    with_cytochrome,
+    with_oxidase,
+)
+from repro.sensors.materials import get_material
+from repro.errors import SensorError
+
+
+def gold_we(area=PAPER_ELECTRODE_AREA, functionalization=None, **kwargs):
+    electrode = Electrode(name="WE", role=ElectrodeRole.WORKING,
+                          material=get_material("gold"), area=area)
+    if functionalization is None:
+        return WorkingElectrode(electrode=electrode, **kwargs)
+    return WorkingElectrode(electrode=electrode,
+                            functionalization=functionalization, **kwargs)
+
+
+class TestElectrode:
+    def test_paper_area_constant(self):
+        assert PAPER_ELECTRODE_AREA == pytest.approx(0.23e-6)
+
+    def test_material_by_name(self):
+        e = Electrode(name="WE", role=ElectrodeRole.WORKING,
+                      material="gold")
+        assert e.material.name == "gold"
+
+    def test_reference_needs_suitable_material(self):
+        with pytest.raises(SensorError, match="reference"):
+            Electrode(name="RE", role=ElectrodeRole.REFERENCE,
+                      material=get_material("gold"))
+        Electrode(name="RE", role=ElectrodeRole.REFERENCE,
+                  material=get_material("silver"))  # fine
+
+    def test_charging_current_scales_with_area(self):
+        # The paper's microelectrode argument: background ~ area.
+        small = Electrode(name="a", role=ElectrodeRole.WORKING,
+                          material="gold", area=0.1e-6)
+        large = small.with_area(1.0e-6)
+        ratio = large.charging_current(0.02) / small.charging_current(0.02)
+        assert ratio == pytest.approx(10.0)
+
+    def test_charging_current_sign_follows_sweep(self):
+        e = Electrode(name="a", role=ElectrodeRole.WORKING, material="gold")
+        assert e.charging_current(0.02) > 0.0
+        assert e.charging_current(-0.02) < 0.0
+
+    def test_equivalent_radius(self):
+        e = Electrode(name="a", role=ElectrodeRole.WORKING,
+                      material="gold", area=math.pi * 1e-8)
+        assert e.equivalent_radius == pytest.approx(1e-4)
+
+
+class TestWorkingElectrode:
+    def test_role_enforced(self):
+        ce = Electrode(name="CE", role=ElectrodeRole.COUNTER,
+                       material="gold")
+        with pytest.raises(SensorError, match="expected WE"):
+            WorkingElectrode(electrode=ce)
+
+    def test_effective_layer_interpolates(self):
+        # Large electrode -> planar layer; small -> disk-limited (thinner).
+        big = gold_we(area=1e-3)
+        small = gold_we(area=1e-9)
+        assert big.effective_nernst_layer() == pytest.approx(
+            big.nernst_layer, rel=0.05)
+        assert small.effective_nernst_layer() < 0.2 * big.nernst_layer
+
+    def test_smaller_electrode_responds_faster(self):
+        # Quantitative form of the Sec. III scaling claim.
+        big = gold_we(area=7e-6)
+        small = gold_we(area=0.05e-6)
+        assert small.response_time("glucose") < big.response_time("glucose")
+
+    def test_membrane_slows_transport(self, glucose_oxidase):
+        bare = gold_we(functionalization=with_oxidase(glucose_oxidase))
+        coated = gold_we(functionalization=with_oxidase(
+            glucose_oxidase, membrane=POLYMER_PERMSELECTIVE))
+        assert (coated.mass_transfer_coefficient("glucose")
+                < bare.mass_transfer_coefficient("glucose"))
+
+    def test_effective_film_applies_gain(self, glucose_oxidase):
+        bare = gold_we(functionalization=with_oxidase(glucose_oxidase))
+        nano = gold_we(functionalization=with_oxidase(
+            glucose_oxidase, nanostructure=CARBON_NANOTUBES))
+        gain = CARBON_NANOTUBES.signal_gain
+        assert nano.effective_film().vmax == pytest.approx(
+            bare.effective_film().vmax * gain)
+
+    def test_effective_wave_shifts_with_material_and_nano(self, glucose_oxidase):
+        nano = gold_we(functionalization=with_oxidase(
+            glucose_oxidase, nanostructure=CARBON_NANOTUBES))
+        expected = (glucose_oxidase.h2o2_wave.e_half
+                    + get_material("gold").h2o2_wave_shift
+                    + CARBON_NANOTUBES.h2o2_wave_shift)
+        assert nano.effective_h2o2_wave().e_half == pytest.approx(expected)
+
+    def test_oxidase_methods_require_oxidase(self, cyp2b4_probe):
+        we = gold_we(functionalization=with_cytochrome(cyp2b4_probe))
+        with pytest.raises(SensorError):
+            we.effective_film()
+        with pytest.raises(SensorError):
+            we.effective_h2o2_wave()
+
+    def test_effective_k0_requires_cytochrome(self, glucose_oxidase):
+        we = gold_we(functionalization=with_oxidase(glucose_oxidase))
+        with pytest.raises(SensorError):
+            we.effective_k0("benzphetamine")
+
+
+class TestSteadyStateCurrent:
+    def test_oxidase_current_rises_with_concentration(self, glucose_oxidase):
+        we = gold_we(functionalization=with_oxidase(glucose_oxidase))
+        chamber = Chamber()
+        chamber.set_bulk("glucose", 1.0)
+        i1 = we.steady_state_current(0.55, chamber)
+        chamber.set_bulk("glucose", 2.0)
+        i2 = we.steady_state_current(0.55, chamber)
+        assert i2 > i1 > 0.0
+
+    def test_no_analyte_only_leakage(self, glucose_oxidase):
+        we = gold_we(functionalization=with_oxidase(glucose_oxidase))
+        chamber = Chamber()
+        assert we.steady_state_current(0.55, chamber) == pytest.approx(
+            we.electrode.leakage_current())
+
+    def test_below_wave_no_signal(self, glucose_oxidase):
+        we = gold_we(functionalization=with_oxidase(glucose_oxidase))
+        chamber = Chamber()
+        chamber.set_bulk("glucose", 2.0)
+        low = we.steady_state_current(0.0, chamber)
+        high = we.steady_state_current(0.55, chamber)
+        assert low < 0.05 * high
+
+    def test_cyp_reduction_is_negative(self, cyp2b4_probe):
+        we = gold_we(functionalization=with_cytochrome(cyp2b4_probe))
+        chamber = Chamber()
+        chamber.set_bulk("benzphetamine", 1.0)
+        i = we.steady_state_current(-0.6, chamber)
+        assert i < 0.0
+
+    def test_blank_sees_direct_oxidizers(self):
+        # The paper's CDS caveat: dopamine lights up an enzyme-free WE.
+        we = gold_we()
+        chamber = Chamber()
+        chamber.set_bulk("dopamine", 0.5)
+        i = we.steady_state_current(0.55, chamber)
+        assert i > 2.0 * we.electrode.leakage_current()
+
+    def test_blank_ignores_enzyme_substrates(self):
+        we = gold_we()
+        chamber = Chamber()
+        chamber.set_bulk("glucose", 5.0)
+        assert we.steady_state_current(0.55, chamber) == pytest.approx(
+            we.electrode.leakage_current())

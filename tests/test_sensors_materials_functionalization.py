@@ -1,0 +1,126 @@
+"""Electrode materials and functionalization stacks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sensors.functionalization import (
+    CARBON_NANOTUBES,
+    EPOXY_STABILIZING,
+    GOLD_NANOPARTICLES,
+    POLYMER_PERMSELECTIVE,
+    Functionalization,
+    Membrane,
+    Nanostructure,
+    blank,
+    with_cytochrome,
+    with_oxidase,
+)
+from repro.sensors.materials import (
+    ElectrodeMaterial,
+    get_material,
+    material_names,
+    register_material,
+)
+from repro.errors import SensorError
+
+
+class TestMaterials:
+    def test_paper_materials_present(self):
+        # Gold WE/CE, silver RE (Sec. III); rhodium-graphite from [16].
+        for name in ("gold", "silver", "rhodium_graphite",
+                     "screen_printed_carbon", "glassy_carbon", "platinum"):
+            assert name in material_names()
+
+    def test_only_silver_is_reference_suitable(self):
+        assert get_material("silver").suitable_reference
+        assert not get_material("gold").suitable_reference
+
+    def test_platinum_catalyses_h2o2(self):
+        # Negative shift = oxidation wave moves to lower potentials.
+        assert get_material("platinum").h2o2_wave_shift < 0.0
+
+    def test_screen_printed_is_cheapest(self):
+        costs = {name: get_material(name).cost_per_mm2
+                 for name in material_names()}
+        assert min(costs, key=costs.get) == "screen_printed_carbon"
+
+    def test_unknown_material_helpful_error(self):
+        with pytest.raises(SensorError, match="gold"):
+            get_material("unobtanium")
+
+    def test_roughness_at_least_one(self):
+        with pytest.raises(SensorError):
+            ElectrodeMaterial(name="bad", display_name="Bad",
+                              double_layer_capacitance=0.2, roughness=0.5)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(SensorError, match="already"):
+            register_material(get_material("gold"))
+
+
+class TestNanostructure:
+    def test_cnt_boosts_signal_and_lowers_overpotential(self):
+        # The paper: nanostructuration "brings much larger signals".
+        assert CARBON_NANOTUBES.signal_gain > 1.0
+        assert CARBON_NANOTUBES.h2o2_wave_shift < 0.0
+
+    def test_gain_must_be_positive(self):
+        with pytest.raises(Exception):
+            Nanostructure(name="bad", signal_gain=0.0)
+
+
+class TestMembrane:
+    def test_polymer_trades_signal_for_stability(self):
+        assert POLYMER_PERMSELECTIVE.permeability < 1.0
+        assert POLYMER_PERMSELECTIVE.drift_suppression > 0.0
+        assert POLYMER_PERMSELECTIVE.range_extension > 1.0
+
+    def test_epoxy_long_term(self):
+        assert EPOXY_STABILIZING.drift_suppression >= 0.5
+
+    def test_permeability_bounds(self):
+        with pytest.raises(SensorError):
+            Membrane(name="bad", permeability=0.0)
+        with pytest.raises(SensorError):
+            Membrane(name="bad", permeability=1.5)
+
+
+class TestFunctionalization:
+    def test_blank(self):
+        f = blank()
+        assert f.is_blank
+        assert f.probe_family == "blank"
+        assert f.targets() == ()
+        assert f.signal_gain == 1.0
+        assert f.permeability == 1.0
+
+    def test_oxidase_stack(self, glucose_oxidase):
+        f = with_oxidase(glucose_oxidase, nanostructure=CARBON_NANOTUBES,
+                         membrane=POLYMER_PERMSELECTIVE)
+        assert f.probe_family == "oxidase"
+        assert f.targets() == ("glucose",)
+        assert f.signal_gain == CARBON_NANOTUBES.signal_gain
+        assert f.permeability == POLYMER_PERMSELECTIVE.permeability
+        assert f.added_cost_per_mm2 > 0.0
+
+    def test_cytochrome_stack(self, cyp2b4_probe):
+        f = with_cytochrome(cyp2b4_probe)
+        assert f.probe_family == "cytochrome"
+        assert set(f.targets()) == {"benzphetamine", "aminopyrine"}
+
+    def test_type_checking(self, glucose_oxidase, cyp2b4_probe):
+        with pytest.raises(SensorError):
+            with_oxidase(cyp2b4_probe)  # type: ignore[arg-type]
+        with pytest.raises(SensorError):
+            with_cytochrome(glucose_oxidase)  # type: ignore[arg-type]
+
+    def test_with_membrane_copy(self, glucose_oxidase):
+        f = with_oxidase(glucose_oxidase)
+        f2 = f.with_membrane(EPOXY_STABILIZING)
+        assert f.membrane is None
+        assert f2.membrane is EPOXY_STABILIZING
+        assert f2.probe is f.probe
+
+    def test_gold_nanoparticles_milder_than_cnt(self):
+        assert GOLD_NANOPARTICLES.signal_gain < CARBON_NANOTUBES.signal_gain

@@ -1,0 +1,122 @@
+"""Unit conversions: exactness, round trips, input validation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+from repro.errors import UnitsError
+
+finite = st.floats(allow_nan=False, allow_infinity=False,
+                   min_value=-1e12, max_value=1e12)
+positive = st.floats(min_value=1e-12, max_value=1e12,
+                     allow_nan=False, allow_infinity=False)
+
+
+class TestExactFactors:
+    def test_millivolt(self):
+        assert units.mv_to_v(650.0) == pytest.approx(0.650)
+        assert units.v_to_mv(0.02) == pytest.approx(20.0)
+
+    def test_microamp(self):
+        assert units.ua_to_a(10.0) == pytest.approx(1.0e-5)
+        assert units.a_to_ua(1.0e-5) == pytest.approx(10.0)
+
+    def test_nanoamp(self):
+        assert units.na_to_a(10.0) == pytest.approx(1.0e-8)
+        assert units.a_to_na(1.0e-8) == pytest.approx(10.0)
+
+    def test_millimolar_is_identity(self):
+        # 1 mM == 1 mol/m^3 exactly; this is why concentrations are easy.
+        assert units.mm_conc_to_si(2.5) == 2.5
+        assert units.si_to_mm_conc(2.5) == 2.5
+
+    def test_micromolar(self):
+        assert units.um_conc_to_si(575.0) == pytest.approx(0.575)
+        assert units.si_to_um_conc(0.575) == pytest.approx(575.0)
+
+    def test_areas(self):
+        assert units.mm2_to_m2(0.23) == pytest.approx(0.23e-6)
+        assert units.cm2_to_m2(1.0) == pytest.approx(1.0e-4)
+        assert units.m2_to_cm2(7.0e-6) == pytest.approx(0.07)
+
+    def test_length(self):
+        assert units.um_to_m(150.0) == pytest.approx(1.5e-4)
+        assert units.m_to_um(1.5e-4) == pytest.approx(150.0)
+
+    def test_scan_rate(self):
+        assert units.mv_per_s_to_v_per_s(20.0) == pytest.approx(0.020)
+        assert units.v_per_s_to_mv_per_s(0.020) == pytest.approx(20.0)
+
+    def test_sensitivity_factor(self):
+        # 1 uA/(mM*cm^2) = 1e-2 A*m/mol.
+        assert units.sensitivity_to_si(1.0) == pytest.approx(1.0e-2)
+        assert units.sensitivity_to_paper(1.0e-2) == pytest.approx(1.0)
+        assert units.sensitivity_to_si(27.7) == pytest.approx(0.277)
+
+
+class TestRoundTrips:
+    @given(finite)
+    def test_potential(self, x):
+        assert units.v_to_mv(units.mv_to_v(x)) == pytest.approx(x, rel=1e-12, abs=1e-9)
+
+    @given(finite)
+    def test_current(self, x):
+        assert units.a_to_ua(units.ua_to_a(x)) == pytest.approx(x, rel=1e-12, abs=1e-9)
+        assert units.a_to_na(units.na_to_a(x)) == pytest.approx(x, rel=1e-12, abs=1e-9)
+
+    @given(finite)
+    def test_concentration(self, x):
+        assert units.si_to_um_conc(units.um_conc_to_si(x)) == pytest.approx(
+            x, rel=1e-12, abs=1e-9)
+
+    @given(finite)
+    def test_area(self, x):
+        assert units.m2_to_mm2(units.mm2_to_m2(x)) == pytest.approx(x, rel=1e-12, abs=1e-9)
+        assert units.m2_to_cm2(units.cm2_to_m2(x)) == pytest.approx(x, rel=1e-12, abs=1e-9)
+
+    @given(finite)
+    def test_sensitivity(self, x):
+        back = units.sensitivity_to_paper(units.sensitivity_to_si(x))
+        assert back == pytest.approx(x, rel=1e-12, abs=1e-9)
+
+
+class TestValidation:
+    def test_rejects_nan(self):
+        with pytest.raises(UnitsError):
+            units.mv_to_v(float("nan"))
+
+    def test_rejects_infinity(self):
+        with pytest.raises(UnitsError):
+            units.ua_to_a(float("inf"))
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(UnitsError):
+            units.mv_to_v("a lot")  # type: ignore[arg-type]
+
+    def test_ensure_positive(self):
+        assert units.ensure_positive(3.0) == 3.0
+        with pytest.raises(UnitsError):
+            units.ensure_positive(0.0)
+        with pytest.raises(UnitsError):
+            units.ensure_positive(-1.0)
+
+    def test_ensure_non_negative(self):
+        assert units.ensure_non_negative(0.0) == 0.0
+        with pytest.raises(UnitsError):
+            units.ensure_non_negative(-1e-12)
+
+    def test_ensure_fraction(self):
+        assert units.ensure_fraction(0.5) == 0.5
+        assert units.ensure_fraction(0.0) == 0.0
+        assert units.ensure_fraction(1.0) == 1.0
+        with pytest.raises(UnitsError):
+            units.ensure_fraction(1.0001)
+
+    def test_error_message_names_the_quantity(self):
+        with pytest.raises(UnitsError, match="electrode area"):
+            units.ensure_positive(-1.0, "electrode area")
