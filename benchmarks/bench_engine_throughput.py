@@ -1,0 +1,191 @@
+"""E1 — engine throughput: scalar per-channel loop vs batched engine.
+
+Every protocol bottoms out in "advance M diffusion systems one dt"; this
+bench measures that inner loop on an 8-channel panel workload (eight CYP
+substrate channels, i.e. sixteen coupled diffusion fields — one cyclic
+voltammetry sweep's worth of chemistry for a full Fig. 4 panel chip).
+
+Three implementations run the identical potential program:
+
+- **seed scalar** — the seed's solver: one channel at a time, each step
+  performing two ``thomas_solve`` calls that re-derive the elimination
+  coefficients in a pure-Python recurrence (the pre-engine hot path);
+- **prefactored scalar** — today's ``_RedoxChannelSimulator.step``,
+  which reuses the stepper's one-time factorization but still loops
+  over channels in Python;
+- **batched** — :class:`repro.engine.simulation.SimulationEngine`: all
+  2M fields advance in one prefactored, batch-vectorised solve.
+
+All three produce bit-identical currents (pinned in
+``tests/test_engine.py``); the acceptance bar here is >= 5x steps/sec
+for the batched engine over the seed scalar solver.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from repro.chem import constants as C
+from repro.chem.diffusion import thomas_solve
+from repro.chem.enzymes import CypSubstrateChannel, CytochromeP450, ProstheticGroup
+from repro.chem.redox import ButlerVolmerKinetics, RedoxCouple
+from repro.chem.solution import Chamber
+from repro.data.catalog import CYP_BASE_K0
+from repro.electronics.waveform import TriangleWaveform, uniform_sample_times
+from repro.engine.simulation import SimulationEngine
+from repro.io.tables import render_table
+from repro.measurement.voltammetry import build_channel_simulators
+from repro.sensors.cell import ElectrochemicalCell
+from repro.sensors.electrode import Electrode, ElectrodeRole, WorkingElectrode
+from repro.sensors.functionalization import with_cytochrome
+from repro.sensors.materials import get_material
+
+N_CHANNELS = 8
+SAMPLE_RATE = 10.0
+SCAN_RATE = 0.02
+
+#: Eight electroactive drugs with registered diffusivities — one channel
+#: per panel electrode, spread across the sweep window.
+_SUBSTRATES = ("benzphetamine", "aminopyrine", "bupropion", "clozapine",
+               "cyclophosphamide", "diclofenac", "erythromycin", "etoposide")
+
+
+def build_panel_channels():
+    """The 8-channel workload: one WE carrying every panel channel."""
+    channels = tuple(
+        CypSubstrateChannel(
+            substrate,
+            ButlerVolmerKinetics(
+                RedoxCouple(substrate, -0.15 - 0.05 * k, 2),
+                k0=CYP_BASE_K0),
+            efficiency=0.08, km=20.0)
+        for k, substrate in enumerate(_SUBSTRATES))
+    probe = CytochromeP450(
+        name="panel8", display_name="8-channel panel probe",
+        prosthetic_group=ProstheticGroup.HEME, channels=channels)
+    we = WorkingElectrode(
+        electrode=Electrode(name="WE_panel", role=ElectrodeRole.WORKING,
+                            material=get_material("rhodium_graphite"),
+                            area=7.0e-6),
+        functionalization=with_cytochrome(probe))
+    chamber = Chamber(name="panel")
+    for substrate in _SUBSTRATES:
+        chamber.set_bulk(substrate, 1.0)
+    reference = Electrode(name="RE", role=ElectrodeRole.REFERENCE,
+                          material=get_material("silver"), area=we.area)
+    counter = Electrode(name="CE", role=ElectrodeRole.COUNTER,
+                        material=get_material("gold"), area=2.0 * we.area)
+    cell = ElectrochemicalCell(chamber=chamber, working_electrodes=[we],
+                               reference=reference, counter=counter)
+    waveform = TriangleWaveform(e_start=0.0, e_vertex=-0.7,
+                                scan_rate=SCAN_RATE)
+    potentials = waveform.value(
+        uniform_sample_times(waveform.duration, SAMPLE_RATE))
+
+    def make_sims():
+        return build_channel_simulators(we, cell.chamber,
+                                        1.0 / SAMPLE_RATE,
+                                        waveform.duration)
+
+    return make_sims, potentials
+
+
+def _seed_step(sim, e_applied: float) -> float:
+    """The seed's ``_RedoxChannelSimulator.step``, verbatim.
+
+    Re-derives the elimination coefficients on every ``thomas_solve``
+    call — the cost profile this PR's engine replaced.
+    """
+    solver = sim.solver
+    lower, diag, upper = solver.implicit_coefficients
+    f = C.F_OVER_RT
+    x = sim.n * f * (e_applied - sim.e_formal)
+    x = min(max(x, -500.0), 500.0)
+    kf = sim.k0 * math.exp(-sim.alpha * x)
+    kb = sim.k0 * math.exp((1.0 - sim.alpha) * x)
+    u_ox = thomas_solve(lower, diag, upper, solver.explicit_rhs(sim.c_ox))
+    u_red = thomas_solve(lower, diag, upper, solver.explicit_rhs(sim.c_red))
+    s = solver.surface_source_scale
+    w = solver.surface_response()
+    denominator = 1.0 + s * float(w[0]) * (kf + kb)
+    flux = (kf * float(u_ox[0]) - kb * float(u_red[0])) / denominator
+    sim.c_ox = np.clip(u_ox - flux * s * w, 0.0, None)
+    sim.c_red = np.clip(u_red + flux * s * w, 0.0, None)
+    return flux
+
+
+def seed_steps_per_sec(make_sims, potentials) -> tuple[float, np.ndarray]:
+    """The seed inner loop: per-channel thomas_solve stepping."""
+    sims = make_sims()
+    fluxes = np.empty((potentials.size, len(sims)))
+    start = time.perf_counter()
+    for k in range(potentials.size):
+        e = float(potentials[k])
+        for j, sim in enumerate(sims):
+            fluxes[k, j] = _seed_step(sim, e)
+    elapsed = time.perf_counter() - start
+    return potentials.size / elapsed, fluxes
+
+
+def scalar_steps_per_sec(make_sims, potentials) -> tuple[float, np.ndarray]:
+    """Today's scalar path: prefactored, still per-channel Python."""
+    sims = make_sims()
+    fluxes = np.empty((potentials.size, len(sims)))
+    start = time.perf_counter()
+    for k in range(potentials.size):
+        e = float(potentials[k])
+        for j, sim in enumerate(sims):
+            fluxes[k, j] = sim.step(e)
+    elapsed = time.perf_counter() - start
+    return potentials.size / elapsed, fluxes
+
+
+def batched_steps_per_sec(make_sims, potentials) -> tuple[float, np.ndarray]:
+    """The engine inner loop: one batched solve per sample."""
+    engine = SimulationEngine.for_redox_channels(make_sims())
+    start = time.perf_counter()
+    fluxes = engine.run_sweep(potentials)
+    elapsed = time.perf_counter() - start
+    return potentials.size / elapsed, fluxes
+
+
+def run_experiment() -> dict:
+    make_sims, potentials = build_panel_channels()
+    # Warm-up pass (allocators, caches) before the timed runs.
+    batched_steps_per_sec(make_sims, potentials[:50])
+    scalar_steps_per_sec(make_sims, potentials[:50])
+    seed_rate, seed_fluxes = seed_steps_per_sec(make_sims, potentials)
+    scalar_rate, scalar_fluxes = scalar_steps_per_sec(make_sims, potentials)
+    batched_rate, batched_fluxes = batched_steps_per_sec(
+        make_sims, potentials)
+    scale = float(np.max(np.abs(seed_fluxes)))
+    deviation = float(max(np.max(np.abs(batched_fluxes - seed_fluxes)),
+                          np.max(np.abs(scalar_fluxes - seed_fluxes))))
+    return {"n_steps": int(potentials.size),
+            "seed_rate": seed_rate,
+            "scalar_rate": scalar_rate,
+            "batched_rate": batched_rate,
+            "speedup": batched_rate / seed_rate,
+            "relative_deviation": deviation / scale}
+
+
+def test_engine_throughput(benchmark, report):
+    out = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report(render_table(
+        ["implementation", "steps/sec"],
+        [["seed scalar (thomas_solve loop)", f"{out['seed_rate']:.0f}"],
+         ["prefactored scalar loop", f"{out['scalar_rate']:.0f}"],
+         ["batched SimulationEngine", f"{out['batched_rate']:.0f}"]],
+        title=(f"E1 | {N_CHANNELS}-channel panel sweep, "
+               f"{out['n_steps']} samples")))
+    report(f"speedup vs seed          : {out['speedup']:.1f}x  "
+           f"(acceptance: >= 5x)")
+    report(f"max relative deviation   : {out['relative_deviation']:.2e}  "
+           f"(acceptance: <= 1e-12)")
+
+    # The batched engine must agree with the seed path and beat it.
+    assert out["relative_deviation"] <= 1.0e-12
+    assert out["speedup"] >= 5.0

@@ -24,7 +24,7 @@ from repro.analysis.metrics import (
     lod_concentration,
     max_nonlinearity,
 )
-from repro.errors import CalibrationError
+from repro.errors import AnalysisError, CalibrationError
 from repro.units import ensure_non_negative, ensure_positive
 
 __all__ = ["CalibrationPoint", "CalibrationCurve", "run_calibration"]
@@ -137,7 +137,11 @@ class CalibrationCurve:
         lower = float(c_all[0])
         try:
             lower = max(lower, self.limit_of_detection())
-        except Exception:
+        except AnalysisError:
+            # Data-shaped LOD failures (no usable blank statistics, a
+            # flat low-concentration end) fall back to the measured
+            # floor.  Anything else — bad configuration, numerical
+            # failure — must propagate, not silently shrink the range.
             pass
         if lower >= best_high:
             lower = float(c_all[0])
@@ -201,9 +205,12 @@ def run_calibration(signal_at: Callable[[float], tuple[float, float]],
     blanks = [signal_at(0.0) for _ in range(blank_repeats)]
     blank_means = [b[0] for b in blanks]
     blank_mean = float(np.mean(blank_means))
-    # Blank sigma: combine the repeat scatter with the per-run std.
+    # Blank sigma: combine the repeat scatter with the per-run std.  The
+    # scatter uses the sample estimator (ddof=1): with a handful of
+    # repeats the population formula biases sigma_b low and makes every
+    # LOD derived from it optimistic.
     within = float(np.mean([b[1] for b in blanks]))
-    between = float(np.std(blank_means))
+    between = float(np.std(blank_means, ddof=1))
     blank_std = math.hypot(within, between)
     points = []
     for c in sorted(concentrations):

@@ -6,13 +6,22 @@ half-line: the electrode sits at ``x = 0``, the bulk solution at large
 
 - :class:`Grid1D` — uniform or exponentially expanding node placement
   (fine at the electrode where gradients are steep, coarse in the bulk),
-- :func:`thomas_solve` — the O(N) tridiagonal solver,
+- :func:`thomas_solve` — the O(N) tridiagonal solver (kept as the
+  scalar reference implementation; the stepper itself holds a
+  :class:`~repro.engine.tridiag.TridiagonalFactorization` and reuses the
+  forward-elimination coefficients on every step),
 - :class:`CrankNicolsonDiffusion` — an unconditionally stable
   Crank-Nicolson stepper in conservative finite-volume form, with a
   reactive electrode boundary that can be applied explicitly
   (``J = const``), semi-implicitly (``J = a + b*c0`` absorbed into the
   matrix), or via a Schur complement for problems where two species couple
   through one surface reaction (the CV simulator uses this).
+
+Steppers expose their tridiagonal coefficients
+(:attr:`~CrankNicolsonDiffusion.implicit_coefficients` /
+:attr:`~CrankNicolsonDiffusion.explicit_coefficients`) so
+:class:`repro.engine.batch.BatchCrankNicolson` can stack many of them
+into one batched solve per time step — the platform's hot path.
 
 Sign convention: ``surface_flux`` is the rate at which the electrode
 reaction **removes** the species from solution, mol/(m^2 s); a negative
@@ -29,6 +38,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine.tridiag import factor_tridiagonal
 from repro.errors import SimulationError
 from repro.units import ensure_positive
 
@@ -229,6 +239,31 @@ class CrankNicolsonDiffusion:
             self._implicit_diag[n - 1] = 1.0
             self._explicit_lower[n - 2] = 0.0
             self._explicit_diag[n - 1] = 1.0
+        # The implicit matrix never changes, so eliminate it once; every
+        # step then runs only the two substitution sweeps.
+        self._implicit_factor = factor_tridiagonal(
+            self._implicit_lower, self._implicit_diag, self._implicit_upper)
+
+    # -- matrix access (batched engine contract) -------------------------------
+
+    @property
+    def implicit_coefficients(self) -> tuple[np.ndarray, np.ndarray,
+                                             np.ndarray]:
+        """(lower, diag, upper) of (I - dt/2 A); treat as read-only."""
+        return (self._implicit_lower, self._implicit_diag,
+                self._implicit_upper)
+
+    @property
+    def explicit_coefficients(self) -> tuple[np.ndarray, np.ndarray,
+                                             np.ndarray]:
+        """(lower, diag, upper) of (I + dt/2 A); treat as read-only."""
+        return (self._explicit_lower, self._explicit_diag,
+                self._explicit_upper)
+
+    @property
+    def surface_volume(self) -> float:
+        """Finite-volume width of the electrode-surface cell, metres."""
+        return float(self._volumes[0])
 
     # -- public stepping API -------------------------------------------------
 
@@ -242,17 +277,22 @@ class CrankNicolsonDiffusion:
         """
         rhs = self._explicit_rhs(c)
         rhs[0] -= self.dt * surface_flux / self._volumes[0]
-        return thomas_solve(self._implicit_lower, self._implicit_diag,
-                            self._implicit_upper, rhs)
+        return self._implicit_factor.solve(rhs)
 
     def step_linear_surface(self, c: np.ndarray, a: float,
                             b: float) -> np.ndarray:
         """Advance one dt with an implicit linearised surface flux.
 
         The electrode removes the species at ``J = a + b * c0_new``
-        (mol/(m^2 s)); ``b >= 0`` keeps the matrix diagonally dominant.
-        Used for Michaelis-Menten films, Newton-linearised around the
-        current surface concentration.
+        (mol/(m^2 s)); ``b >= 0`` keeps the problem well posed.  Used
+        for Michaelis-Menten films, Newton-linearised around the current
+        surface concentration.
+
+        The slope only perturbs the matrix at the surface entry — a
+        rank-one update — so instead of refactoring per step the solve
+        uses the prefactored base matrix plus a Sherman-Morrison
+        correction through the cached :meth:`surface_response` (the same
+        Schur-complement structure the CV boundary uses).
         """
         if b < 0.0:
             raise SimulationError(
@@ -260,15 +300,15 @@ class CrankNicolsonDiffusion:
             )
         rhs = self._explicit_rhs(c)
         rhs[0] -= self.dt * a / self._volumes[0]
-        diag = self._implicit_diag.copy()
-        diag[0] += self.dt * b / self._volumes[0]
-        return thomas_solve(self._implicit_lower, diag,
-                            self._implicit_upper, rhs)
+        u = self._implicit_factor.solve(rhs)
+        w = self.surface_response()
+        sb = self.dt * b / self._volumes[0]
+        c0 = float(u[0]) / (1.0 + sb * float(w[0]))
+        return u - (sb * c0) * w
 
     def solve_implicit(self, rhs: np.ndarray) -> np.ndarray:
         """Solve (I - dt/2 A) x = rhs (building block for coupled problems)."""
-        return thomas_solve(self._implicit_lower, self._implicit_diag,
-                            self._implicit_upper, rhs)
+        return self._implicit_factor.solve(np.asarray(rhs, dtype=float))
 
     def explicit_rhs(self, c: np.ndarray) -> np.ndarray:
         """Return (I + dt/2 A) c — the Crank-Nicolson right-hand side."""
@@ -285,9 +325,7 @@ class CrankNicolsonDiffusion:
         if not hasattr(self, "_surface_response"):
             e0 = np.zeros(self.grid.n_nodes)
             e0[0] = 1.0
-            self._surface_response = thomas_solve(
-                self._implicit_lower, self._implicit_diag,
-                self._implicit_upper, e0)
+            self._surface_response = self._implicit_factor.solve(e0)
         return self._surface_response
 
     @property

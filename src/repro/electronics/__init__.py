@@ -24,11 +24,12 @@ from repro.electronics.waveform import (
     StepWaveform,
     TriangleWaveform,
     Waveform,
+    uniform_sample_times,
 )
 
 __all__ = [
     "Waveform", "ConstantWaveform", "StepWaveform", "TriangleWaveform",
-    "MAX_ACCURATE_SCAN_RATE",
+    "MAX_ACCURATE_SCAN_RATE", "uniform_sample_times",
     "Potentiostat",
     "TransimpedanceAmplifier", "OXIDASE_READOUT", "CYP_READOUT",
     "NoiseModel", "NoiseStrategy", "NoStrategy", "ChoppingStrategy",

@@ -183,13 +183,9 @@ class AcquisitionChain:
             if self.mux is None:
                 raise ElectronicsError(
                     "a mux schedule was given but the chain has no mux")
-            factors = np.empty_like(effective)
-            spikes = np.empty_like(effective)
-            for k, t in enumerate(times):
-                since = schedule.time_since_switch(float(t))
-                factors[k] = self.mux.settling_factor(since)
-                spikes[k] = self.mux.injection_current(since)
-            effective = effective * factors + spikes
+            since = schedule.times_since_switch(times)
+            effective = (effective * self.mux.settling_factors(since)
+                         + self.mux.injection_currents(since))
 
         noise = self.noise_model_for(we).sample(
             generator, times.size, sample_rate)
@@ -214,10 +210,13 @@ class AcquisitionChain:
         This is the fast path for calibration sweeps and LOD blanks:
         thousands of concentration points reduce to one steady current
         each, measured through the full chain for ``duration`` seconds.
+        The sample count rounds like the protocols' time axes do, so a
+        non-integer ``duration * fs`` no longer silently drops the final
+        sample (at least 8 samples are always taken).
         """
         ensure_positive(duration, "duration")
         fs = sample_rate if sample_rate else self.adc.sample_rate
-        n = max(int(duration * fs), 8)
+        n = max(int(round(duration * fs)), 8)
         times = np.arange(n) / fs
         currents = np.full(n, float(current))
         reading = self.digitize(times, currents, we=we, rng=rng)

@@ -18,6 +18,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ElectronicsError
 from repro.units import ensure_non_negative, ensure_positive
 
@@ -83,6 +85,23 @@ class MuxSchedule:
             if slot.start <= phase < slot.end:
                 return phase - slot.start
         return 0.0
+
+    def times_since_switch(self, times: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`time_since_switch` over a whole time axis.
+
+        One ``searchsorted`` over the slot starts replaces the
+        per-sample Python scan; gaps between slots map to 0.0, exactly
+        as the scalar method does.
+        """
+        t = np.asarray(times, dtype=float)
+        if self.period <= 0.0:
+            return t.copy()
+        start0 = self.slots[0].start
+        phase = start0 + np.fmod(np.maximum(t - start0, 0.0), self.period)
+        starts = np.asarray([slot.start for slot in self.slots])
+        ends = np.asarray([slot.end for slot in self.slots])
+        idx = np.searchsorted(starts, phase, side="right") - 1
+        return np.where(phase < ends[idx], phase - starts[idx], 0.0)
 
 
 @dataclass(frozen=True)
@@ -158,6 +177,18 @@ class Multiplexer:
         t = max(float(time_since_switch), 0.0)
         return (self.charge_injection / self.settling_time
                 * math.exp(-t / self.settling_time))
+
+    def settling_factors(self, times_since_switch: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`settling_factor` over an array of times."""
+        t = np.maximum(np.asarray(times_since_switch, dtype=float), 0.0)
+        return 1.0 - np.exp(-t / self.settling_time)
+
+    def injection_currents(self, times_since_switch: np.ndarray,
+                           ) -> np.ndarray:
+        """Vectorised :meth:`injection_current` over an array of times."""
+        t = np.maximum(np.asarray(times_since_switch, dtype=float), 0.0)
+        return (self.charge_injection / self.settling_time
+                * np.exp(-t / self.settling_time))
 
     def scan_period(self, n_active: int, dwell: float) -> float:
         """Time for one full scan of ``n_active`` channels, seconds."""

@@ -18,7 +18,6 @@ All waveforms are pure functions of time, vectorised over numpy arrays.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -32,11 +31,30 @@ __all__ = [
     "StepWaveform",
     "TriangleWaveform",
     "MAX_ACCURATE_SCAN_RATE",
+    "uniform_sample_times",
 ]
 
 #: The paper's accuracy limit for cyclic voltammetry: "the electrochemical
 #: cell reacts only to slow potential variations of about 20 mV/sec".
 MAX_ACCURATE_SCAN_RATE = 0.020
+
+
+def uniform_sample_times(duration: float, sample_rate: float) -> np.ndarray:
+    """The library-wide uniform time axis covering ``[0, duration]``.
+
+    ``round(duration * sample_rate) + 1`` instants spaced by exactly
+    ``1 / sample_rate`` (never fewer than two).  Every protocol and
+    waveform builds its axis here, so sample counts and dt agree across
+    the chemistry, the acquisition chain (which requires uniform
+    spacing) and the analysis layer even when ``duration * sample_rate``
+    is not an integer — the seed mixed ``ceil``-based ``linspace`` and
+    ``round``-based ``arange`` constructions, which disagreed by one
+    sample and by a dt rescale in exactly those cases.
+    """
+    ensure_positive(duration, "duration")
+    ensure_positive(sample_rate, "sample_rate")
+    n = max(int(round(duration * sample_rate)) + 1, 2)
+    return np.arange(n) * (1.0 / sample_rate)
 
 
 class Waveform:
@@ -54,10 +72,12 @@ class Waveform:
         raise NotImplementedError
 
     def sample_times(self, sample_rate: float) -> np.ndarray:
-        """Uniform sample instants covering the waveform."""
-        ensure_positive(sample_rate, "sample_rate")
-        n = max(int(math.ceil(self.duration * sample_rate)) + 1, 2)
-        return np.linspace(0.0, self.duration, n)
+        """Uniform sample instants covering the waveform.
+
+        Delegates to :func:`uniform_sample_times` so waveforms and
+        protocols share one time-axis construction.
+        """
+        return uniform_sample_times(self.duration, sample_rate)
 
     def exceeds_accurate_scan_rate(self,
                                    limit: float = MAX_ACCURATE_SCAN_RATE,

@@ -1,0 +1,99 @@
+"""Batch-vectorized simulation engine — the platform's shared compute core.
+
+Why this subsystem exists
+=========================
+
+Every measurement protocol in this library (cyclic voltammetry,
+differential pulse voltammetry, chronoamperometry, and the multiplexed
+multi-target panel built on them) bottoms out in the same numerical
+kernel: advance a handful of independent 1-D Crank-Nicolson diffusion
+systems by one time step and read each one's surface flux.  The seed
+implementation ran that kernel as nested pure-Python loops — per sample,
+per channel, per grid node — with the tridiagonal solver re-deriving its
+forward-elimination coefficients on every call.  A production platform
+serving many concurrent assays lives or dies on exactly this path, so
+the engine restructures it in three layers:
+
+1. **Prefactored Thomas solves** (:mod:`repro.engine.tridiag`).  The
+   elimination coefficients depend only on the matrix, never on the
+   right-hand side; :func:`~repro.engine.tridiag.factor_tridiagonal`
+   runs the elimination once and
+   :meth:`~repro.engine.tridiag.TridiagonalFactorization.solve` reuses
+   it for every step of a run.
+
+2. **Batched tridiagonal sweeps** (same module).  M independent systems
+   stack into ``(M, N)`` arrays and the forward/backward recurrences
+   vectorise across the batch: one numpy operation per grid node
+   advances *every* channel, instead of one Python iteration per node
+   per channel.
+
+3. **Batch steppers and the protocol facade**
+   (:mod:`repro.engine.batch`, :mod:`repro.engine.redox`,
+   :mod:`repro.engine.mechanisms`, :mod:`repro.engine.simulation`).
+   :class:`~repro.engine.batch.BatchCrankNicolson` stacks whole
+   Crank-Nicolson steppers (padding unequal grids with decoupled
+   identity rows); :class:`~repro.engine.redox.RedoxChannelBatch` fuses
+   the oxidised + reduced fields of all CV/DPV channels into one
+   ``(2M, N)`` solve per sample;
+   :class:`~repro.engine.mechanisms.MechanismBatch` does the same for
+   chronoamperometric surface mechanisms; and
+   :class:`~repro.engine.simulation.SimulationEngine` is the single
+   front door the protocols call.
+
+Equivalence guarantee
+=====================
+
+The batched path is not an approximation.  Per-row arithmetic keeps the
+exact operation order of the scalar solver, the O(M) surface couplings
+(Butler-Volmer rate constants, Michaelis-Menten relinearisation) are
+computed with the same scalar ``math`` calls the reference simulators
+use, and padded nodes are provably decoupled — so an engine built from
+scalar channel objects reproduces their trajectories bit for bit, and
+the acceptance bar of 1e-12 relative agreement holds trivially.  The
+scalar classes remain in place as the reference implementation;
+``tests/test_engine.py`` pins the equivalence and
+``benchmarks/bench_engine_throughput.py`` tracks the speedup.
+
+Sign conventions
+================
+
+The engine inherits the library-wide conventions unchanged:
+
+- *Surface flux* is the rate at which the electrode reaction **removes**
+  a species from solution, mol/(m^2 s); negative values inject it
+  (:mod:`repro.chem.diffusion`).
+- *Redox channel flux* (:class:`~repro.engine.redox.RedoxChannelBatch`)
+  is the net **reduction** flux J, positive when the oxidised form is
+  consumed; the faradaic current contribution of channel j is
+  ``-n_j * F * area * J_j`` (cathodic currents negative).
+- *Mechanism fluxes* (:class:`~repro.engine.mechanisms.MechanismBatch`)
+  are consumption rates in each mechanism's own convention; pair them
+  with ``mechanism.current(area, flux)``, which applies the anodic (+1)
+  or cathodic (-1) sign.
+
+Import order note: :mod:`repro.chem.diffusion` imports
+:mod:`repro.engine.tridiag`, and :mod:`repro.engine.redox` imports
+:mod:`repro.chem.constants` — keep the dependency-free numerical modules
+(tridiag, batch) imported before the chemistry-aware ones below so both
+import directions resolve cleanly.
+"""
+
+from repro.engine.tridiag import (
+    TridiagonalFactorization,
+    batch_thomas_solve,
+    factor_tridiagonal,
+)
+from repro.engine.batch import BatchCrankNicolson
+from repro.engine.mechanisms import MechanismBatch
+from repro.engine.redox import RedoxChannelBatch
+from repro.engine.simulation import SimulationEngine
+
+__all__ = [
+    "TridiagonalFactorization",
+    "factor_tridiagonal",
+    "batch_thomas_solve",
+    "BatchCrankNicolson",
+    "RedoxChannelBatch",
+    "MechanismBatch",
+    "SimulationEngine",
+]

@@ -1,0 +1,79 @@
+"""SimulationEngine: the batch-stepping front door for protocols.
+
+Every measurement protocol bottoms out in the same inner loop — "advance
+all diffusion systems one dt, collect one flux per channel" — and this
+facade is the single entry point for it.  Cyclic voltammetry,
+differential pulse voltammetry, chronoamperometry and (through them) the
+multiplexed panel construct an engine around their scalar channel or
+mechanism objects and call :meth:`step` once per sample; the engine
+advances every system in one batched tridiagonal solve.
+
+The scalar objects remain the reference implementation: an engine built
+from them reproduces their trajectories bit for bit (see
+``tests/test_engine.py``), which is the guarantee that let the protocols
+adopt the batched path without moving any bench result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.mechanisms import MechanismBatch
+from repro.engine.redox import RedoxChannelBatch
+
+__all__ = ["SimulationEngine"]
+
+
+class SimulationEngine:
+    """Facade over the batched steppers the protocols route through."""
+
+    def __init__(self, stepper) -> None:
+        self._stepper = stepper
+
+    @classmethod
+    def for_redox_channels(cls, channels) -> "SimulationEngine":
+        """Batch the coupled ox/red channels of one CV/DPV sweep."""
+        return cls(RedoxChannelBatch(channels))
+
+    @classmethod
+    def for_mechanisms(cls, mechanisms) -> "SimulationEngine":
+        """Batch the surface mechanisms of one chronoamperometric dwell."""
+        return cls(MechanismBatch(mechanisms))
+
+    @property
+    def stepper(self):
+        """The underlying batch stepper (redox or mechanism batch)."""
+        return self._stepper
+
+    @property
+    def batch_size(self) -> int:
+        """Channels/mechanisms advanced per step."""
+        return self._stepper.batch_size
+
+    def step(self, e_applied: float | None = None) -> np.ndarray:
+        """Advance every system one dt; return one flux per channel.
+
+        Potential-programmed batches (redox channels) require
+        ``e_applied``; autonomous batches (chronoamperometric
+        mechanisms) take none.
+        """
+        if e_applied is None:
+            return self._stepper.step()
+        return self._stepper.step(float(e_applied))
+
+    def run_sweep(self, potentials: np.ndarray) -> np.ndarray:
+        """Drive a whole potential program; return (n_samples, M) fluxes.
+
+        Convenience for benchmarks and analyses that only need the flux
+        matrix; protocols keep their own per-sample loop so they can mix
+        in quasi-static and charging contributions as they go.
+        """
+        potentials = np.asarray(potentials, dtype=float)
+        fluxes = np.empty((potentials.size, self.batch_size))
+        for k in range(potentials.size):
+            fluxes[k] = self._stepper.step(float(potentials[k]))
+        return fluxes
+
+    def sync_back(self) -> None:
+        """Write batched state back onto the scalar channel objects."""
+        self._stepper.sync_back()

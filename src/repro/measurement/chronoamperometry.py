@@ -14,6 +14,11 @@ surface term).  Every consuming mechanism on the electrode contributes:
 - CYP channels held below their reduction potential (linear sink),
 - direct oxidisers (dopamine/etoposide) on any electrode — including
   blanks, which is what breaks CDS for those molecules.
+
+All mechanisms of a dwell advance together through
+:class:`repro.engine.simulation.SimulationEngine` — one batched
+linear-surface solve per sample; the ``_Mechanism`` classes stay as the
+scalar reference the engine is built from (and verified against).
 """
 
 from __future__ import annotations
@@ -29,6 +34,8 @@ from repro.chem.redox import OxidationEfficiency
 from repro.chem.solution import InjectionSchedule
 from repro.chem.species import get_species
 from repro.electronics.chain import AcquisitionChain
+from repro.electronics.waveform import uniform_sample_times
+from repro.engine.simulation import SimulationEngine
 from repro.errors import ProtocolError
 from repro.measurement.trace import Trace
 from repro.sensors.cell import ElectrochemicalCell
@@ -149,24 +156,36 @@ class Chronoamperometry:
         we = cell.working_electrode(we_name)
         chamber = cell.chamber.copy()
         dt = 1.0 / self.sample_rate
-        n = int(round(self.duration * self.sample_rate)) + 1
-        times = np.arange(n) * dt
+        times = uniform_sample_times(self.duration, self.sample_rate)
+        n = times.size
 
         mechanisms = self._build_mechanisms(we, chamber, e, dt)
         currents = np.empty(n)
         static = self._static_current(cell, we_name, e)
         currents[0] = static + self._instant_current(we, mechanisms)
 
+        engine = (SimulationEngine.for_mechanisms(mechanisms)
+                  if mechanisms else None)
         t_prev = 0.0
         for k in range(1, n):
             t_now = float(times[k])
-            for inj in self.injections.events_between(t_prev, t_now):
-                chamber.inject(inj)
-                self._apply_injection(mechanisms, we, chamber, e, dt)
+            events = self.injections.events_between(t_prev, t_now)
+            if events:
+                # Injections mutate the mechanism objects, so drain the
+                # batched state back first and rebuild the engine around
+                # the refreshed (possibly grown) mechanism set.
+                if engine is not None:
+                    engine.sync_back()
+                for inj in events:
+                    chamber.inject(inj)
+                    self._apply_injection(mechanisms, we, chamber, e, dt)
+                engine = (SimulationEngine.for_mechanisms(mechanisms)
+                          if mechanisms else None)
             total = static
-            for mech in mechanisms.values():
-                flux = mech.step()
-                total += mech.current(we.area, flux)
+            if engine is not None:
+                fluxes = engine.step()
+                for j, mech in enumerate(mechanisms.values()):
+                    total += mech.current(we.area, float(fluxes[j]))
             currents[k] = total
             t_prev = t_now
         return times, currents

@@ -17,6 +17,13 @@ of a cell through one shared acquisition chain:
 with mux settling inserted between channels.  The result carries per-WE
 traces/voltammograms, per-target quantities, and the assay timing that
 feeds the paper's *sample throughput* property.
+
+Every per-WE protocol the panel sequences routes its chemistry through
+:class:`repro.engine.simulation.SimulationEngine`: a CYP sweep advances
+all of its substrate channels in one batched solve per sample, and a
+chronoamperometric dwell advances all of its surface mechanisms the same
+way — the panel is therefore the engine's heaviest workload (its
+throughput is tracked by ``benchmarks/bench_engine_throughput.py``).
 """
 
 from __future__ import annotations

@@ -20,6 +20,9 @@ Two properties make the differential measurement attractive here:
 
 The simulator reuses the coupled ox/red diffusion channels of the CV
 engine; only the potential program and the sampling pattern differ.
+Like CV, the channels advance through
+:class:`repro.engine.simulation.SimulationEngine` — one batched
+tridiagonal solve per sample for all channels of the staircase.
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ import numpy as np
 
 from repro.chem import constants as C
 from repro.electronics.chain import AcquisitionChain
+from repro.engine.simulation import SimulationEngine
 from repro.errors import ProtocolError
 from repro.measurement.voltammetry import build_channel_simulators
 from repro.sensors.cell import ElectrochemicalCell
@@ -192,13 +196,16 @@ class DifferentialPulseVoltammetry:
         duration = float(times[-1]) if times.size else self.period
         channels = build_channel_simulators(we, cell.chamber, self.dt,
                                             duration)
+        engine = (SimulationEngine.for_redox_channels(channels)
+                  if channels else None)
         currents = np.empty(times.size)
         for k in range(times.size):
             e = float(potentials[k])
             faradaic = 0.0
-            for sim in channels:
-                flux = sim.step(e)
-                faradaic -= sim.n * C.FARADAY * we.area * flux
+            if engine is not None:
+                fluxes = engine.step(e)
+                for j, sim in enumerate(channels):
+                    faradaic -= sim.n * C.FARADAY * we.area * float(fluxes[j])
             # Steps happen between samples; the double-layer spike decays
             # with tau = Rs*Cdl (~tens of us) and is gone by the next
             # sample — the charging rejection DPV is built on.

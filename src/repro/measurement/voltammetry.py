@@ -22,6 +22,12 @@ charging current (a hysteresis rectangle proportional to electrode area
 and scan rate — the background the paper's microelectrode argument is
 about) and, for oxidase-functionalized electrodes swept anodically, the
 steady H2O2 oxidation wave.
+
+The protocol advances its channels through
+:class:`repro.engine.simulation.SimulationEngine`: all 2M ox/red fields
+of a sweep move in one batched tridiagonal solve per sample.
+:class:`_RedoxChannelSimulator` remains the scalar reference the engine
+is built from (and verified against, bit for bit).
 """
 
 from __future__ import annotations
@@ -36,7 +42,8 @@ from repro.chem.diffusion import CrankNicolsonDiffusion, Grid1D, default_domain_
 from repro.chem.enzymes import CytochromeP450, Oxidase
 from repro.chem.species import get_species
 from repro.electronics.chain import AcquisitionChain
-from repro.electronics.waveform import TriangleWaveform
+from repro.electronics.waveform import TriangleWaveform, uniform_sample_times
+from repro.engine.simulation import SimulationEngine
 from repro.errors import ProtocolError
 from repro.measurement.trace import Voltammogram
 from repro.sensors.cell import ElectrochemicalCell
@@ -48,7 +55,13 @@ __all__ = ["CyclicVoltammetry", "CyclicVoltammetryResult",
 
 
 class _RedoxChannelSimulator:
-    """Coupled ox/red diffusion for one CYP substrate channel."""
+    """Coupled ox/red diffusion for one CYP substrate channel.
+
+    This is the scalar reference path: the protocols batch these
+    objects through :class:`repro.engine.redox.RedoxChannelBatch`, which
+    reads the attributes set here and must keep :meth:`step` semantics
+    exactly (the engine tests pin bitwise agreement).
+    """
 
     def __init__(self, we: WorkingElectrode, substrate: str,
                  c_effective: float, dt: float, duration: float,
@@ -161,20 +174,23 @@ class CyclicVoltammetry:
         we = cell.working_electrode(we_name)
         chamber = cell.chamber
         dt = 1.0 / self.sample_rate
-        n = int(round(self.waveform.duration * self.sample_rate)) + 1
-        times = np.arange(n) * dt
+        times = uniform_sample_times(self.waveform.duration, self.sample_rate)
+        n = times.size
         potentials = self.waveform.value(times)
         rates = self.waveform.rate(times)
         sweep_sign = np.where(rates >= 0.0, 1.0, -1.0)
 
         channels = self._build_channels(we, chamber, dt)
+        engine = (SimulationEngine.for_redox_channels(channels)
+                  if channels else None)
         currents = np.empty(n)
         for k in range(n):
             e = float(potentials[k])
             faradaic = 0.0
-            for sim in channels:
-                flux = sim.step(e)
-                faradaic -= sim.n * C.FARADAY * we.area * flux
+            if engine is not None:
+                fluxes = engine.step(e)
+                for j, sim in enumerate(channels):
+                    faradaic -= sim.n * C.FARADAY * we.area * float(fluxes[j])
             currents[k] = (faradaic
                            + self._quasi_static_current(cell, we, e)
                            + we.electrode.charging_current(float(rates[k])))

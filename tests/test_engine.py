@@ -1,0 +1,352 @@
+"""The batched simulation engine: factorization, batching, equivalence.
+
+The engine's contract is that the batched path reproduces the scalar
+reference path within 1e-12 relative (it is in fact built to match bit
+for bit), so protocols could adopt it without moving any bench result.
+These tests pin that contract at every layer: raw tridiagonal solves,
+stacked Crank-Nicolson stepping (including mass conservation under
+sealed boundaries), the redox-channel batch behind CV/DPV, and the
+mechanism batch behind chronoamperometry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chem import constants as C
+from repro.chem.diffusion import CrankNicolsonDiffusion, Grid1D, thomas_solve
+from repro.chem.solution import InjectionSchedule
+from repro.electronics.waveform import TriangleWaveform, uniform_sample_times
+from repro.engine import (
+    BatchCrankNicolson,
+    MechanismBatch,
+    RedoxChannelBatch,
+    SimulationEngine,
+    batch_thomas_solve,
+    factor_tridiagonal,
+)
+from repro.engine.tridiag import SMALL_BATCH
+from repro.errors import SimulationError
+from repro.measurement.chronoamperometry import Chronoamperometry
+from repro.measurement.voltammetry import (
+    CyclicVoltammetry,
+    build_channel_simulators,
+)
+
+
+def random_dominant_system(rng, n):
+    """A strictly diagonally dominant tridiagonal system."""
+    lower = rng.uniform(-1.0, 1.0, n - 1)
+    upper = rng.uniform(-1.0, 1.0, n - 1)
+    diag = 2.5 + rng.uniform(0.0, 1.0, n)
+    rhs = rng.uniform(-1.0, 1.0, n)
+    return lower, diag, upper, rhs
+
+
+class TestFactorization:
+    def test_prefactored_solve_matches_thomas_bitwise(self):
+        rng = np.random.default_rng(7)
+        for n in (3, 7, 40, 121):
+            lower, diag, upper, rhs = random_dominant_system(rng, n)
+            expected = thomas_solve(lower, diag, upper, rhs)
+            factor = factor_tridiagonal(lower, diag, upper)
+            out = factor.solve(rhs)
+            assert np.array_equal(out, expected)
+            # The factorization is reusable: a second rhs, same matrix.
+            rhs2 = rng.uniform(-1.0, 1.0, n)
+            assert np.array_equal(factor.solve(rhs2),
+                                  thomas_solve(lower, diag, upper, rhs2))
+
+    @pytest.mark.parametrize("m", [2, SMALL_BATCH, SMALL_BATCH + 1, 12])
+    def test_batched_solve_matches_scalar_per_system(self, m):
+        # Covers both dispatch paths (Python-float and node-major numpy);
+        # the contract is <= 1e-12 relative, the implementation is exact.
+        rng = np.random.default_rng(m)
+        n = 35
+        lower = np.empty((m, n - 1))
+        diag = np.empty((m, n))
+        upper = np.empty((m, n - 1))
+        rhs = np.empty((m, n))
+        for j in range(m):
+            lower[j], diag[j], upper[j], rhs[j] = random_dominant_system(
+                rng, n)
+        out = batch_thomas_solve(lower, diag, upper, rhs)
+        for j in range(m):
+            expected = thomas_solve(lower[j], diag[j], upper[j], rhs[j])
+            np.testing.assert_allclose(out[j], expected, rtol=1e-12, atol=0.0)
+            assert np.array_equal(out[j], expected)
+
+    def test_tile_duplicates_the_batch(self):
+        rng = np.random.default_rng(3)
+        lower, diag, upper, rhs = random_dominant_system(rng, 9)
+        tiled = factor_tridiagonal(lower, diag, upper).tile(3)
+        assert tiled.batch_shape == (3,)
+        out = tiled.solve(np.stack([rhs, 2.0 * rhs, rhs]))
+        base = thomas_solve(lower, diag, upper, rhs)
+        assert np.array_equal(out[0], base)
+        assert np.array_equal(out[2], base)
+
+    def test_zero_pivot_rejected(self):
+        with pytest.raises(SimulationError, match="zero pivot"):
+            factor_tridiagonal(np.zeros(2), np.zeros(3), np.zeros(2))
+
+    def test_shape_mismatch_rejected(self):
+        factor = factor_tridiagonal(np.zeros(2), np.ones(3), np.zeros(2))
+        with pytest.raises(SimulationError, match="shape"):
+            factor.solve(np.ones(4))
+        with pytest.raises(SimulationError):
+            factor_tridiagonal(np.zeros(3), np.ones(3), np.zeros(2))
+
+
+def make_steppers(boundary="dirichlet", n_systems=3):
+    """Steppers with deliberately different grids and diffusivities.
+
+    ``n_systems`` above :data:`SMALL_BATCH` exercises the vectorised
+    solve dispatch instead of the Python-float one.
+    """
+    dt = 0.05
+    specs = [(6.7e-10, Grid1D.expanding(1.0e-6, 8.0e-4, growth=1.10)),
+             (2.0e-10, Grid1D.expanding(8.0e-7, 5.0e-4, growth=1.08)),
+             (1.1e-9, Grid1D.uniform(6.0e-4, 45))]
+    while len(specs) < n_systems:
+        d = 1.0e-10 * (len(specs) + 2)
+        specs.append((d, Grid1D.uniform(4.0e-4, 30 + 3 * len(specs))))
+    return [CrankNicolsonDiffusion(grid, d, dt, bulk_boundary=boundary)
+            for d, grid in specs[:n_systems]]
+
+
+class TestBatchCrankNicolson:
+    # Both solver dispatch paths: 3 systems run the Python-float
+    # sweeps, SMALL_BATCH + 3 the node-major vectorised sweeps.
+    @pytest.mark.parametrize("n_systems", [3, SMALL_BATCH + 3])
+    def test_batched_step_matches_scalar_steppers(self, n_systems):
+        steppers = make_steppers(n_systems=n_systems)
+        batch = BatchCrankNicolson(steppers)
+        fields = [np.linspace(1.0, 2.0, st.grid.n_nodes) for st in steppers]
+        state = batch.stack_states(fields)
+        flux = 1.0e-8 * np.linspace(-0.5, 2.0, n_systems)
+        for _ in range(50):
+            state = batch.step(state, flux)
+            fields = [st.step(c, float(f))
+                      for st, c, f in zip(steppers, fields, flux)]
+        for j, st in enumerate(steppers):
+            assert np.array_equal(state[j, :st.grid.n_nodes], fields[j])
+            # Padding stays decoupled and identically zero.
+            assert np.all(state[j, st.grid.n_nodes:] == 0.0)
+
+    @pytest.mark.parametrize("n_systems", [3, SMALL_BATCH + 3])
+    def test_batched_linear_surface_matches_scalar(self, n_systems):
+        steppers = make_steppers(n_systems=n_systems)
+        batch = BatchCrankNicolson(steppers)
+        fields = [np.full(st.grid.n_nodes, 2.0) for st in steppers]
+        state = batch.stack_states(fields)
+        a = 1.0e-7 * np.linspace(0.0, 1.0, n_systems)
+        b = 1.0e-4 * np.linspace(0.0, 2.0, n_systems)
+        for _ in range(40):
+            state = batch.step_linear_surface(state, a, b)
+            fields = [st.step_linear_surface(c, float(ai), float(bi))
+                      for st, c, ai, bi in zip(steppers, fields, a, b)]
+        for j, st in enumerate(steppers):
+            assert np.array_equal(state[j, :st.grid.n_nodes], fields[j])
+
+    def test_mass_conserved_under_batch_stepping_sealed(self):
+        # Sealed boundaries (noflux bulk, zero surface flux): the batch
+        # must conserve each system's mass to solver precision.
+        steppers = make_steppers(boundary="noflux")
+        batch = BatchCrankNicolson(steppers)
+        rng = np.random.default_rng(11)
+        fields = [1.0 + rng.uniform(0.0, 1.0, st.grid.n_nodes)
+                  for st in steppers]
+        state = batch.stack_states(fields)
+        initial = batch.total_mass(state)
+        for _ in range(200):
+            state = batch.step(state)
+        final = batch.total_mass(state)
+        np.testing.assert_allclose(final, initial, rtol=1e-12)
+
+    def test_mixed_dt_rejected(self):
+        grid = Grid1D.uniform(1.0e-4, 12)
+        st1 = CrankNicolsonDiffusion(grid, 1.0e-9, 0.1)
+        st2 = CrankNicolsonDiffusion(grid, 1.0e-9, 0.2)
+        with pytest.raises(SimulationError, match="share one time step"):
+            BatchCrankNicolson([st1, st2])
+
+    def test_profile_length_checked(self):
+        batch = BatchCrankNicolson(make_steppers())
+        with pytest.raises(SimulationError, match="nodes"):
+            batch.stack_states([np.ones(3)] * 3)
+
+
+def make_panel_channel_sims(n_channels=8, dt=0.1, duration=70.0):
+    """An n-channel CYP workload (the bench's panel shape): 2n fields,
+    enough stacked systems to exercise the vectorised solve path."""
+    from repro.chem.enzymes import (CypSubstrateChannel, CytochromeP450,
+                                    ProstheticGroup)
+    from repro.chem.redox import ButlerVolmerKinetics, RedoxCouple
+    from repro.chem.solution import Chamber
+    from repro.sensors.electrode import (Electrode, ElectrodeRole,
+                                         WorkingElectrode)
+    from repro.sensors.functionalization import with_cytochrome
+    from repro.sensors.materials import get_material
+
+    substrates = ("benzphetamine", "aminopyrine", "bupropion", "clozapine",
+                  "cyclophosphamide", "diclofenac", "erythromycin",
+                  "etoposide")[:n_channels]
+    channels = tuple(
+        CypSubstrateChannel(
+            s, ButlerVolmerKinetics(RedoxCouple(s, -0.15 - 0.05 * k, 2),
+                                    k0=1.2e-4),
+            efficiency=0.08, km=20.0)
+        for k, s in enumerate(substrates))
+    probe = CytochromeP450(name="panel_test", display_name="panel test",
+                           prosthetic_group=ProstheticGroup.HEME,
+                           channels=channels)
+    we = WorkingElectrode(
+        electrode=Electrode(name="WEp", role=ElectrodeRole.WORKING,
+                            material=get_material("rhodium_graphite"),
+                            area=7.0e-6),
+        functionalization=with_cytochrome(probe))
+    chamber = Chamber(name="panel_test")
+    for s in substrates:
+        chamber.set_bulk(s, 1.0)
+    return build_channel_simulators(we, chamber, dt, duration)
+
+
+class TestRedoxChannelBatch:
+    def _sims(self, cyp_cell, dt=0.1, duration=70.0):
+        we = cyp_cell.working_electrode("WE4")
+        return build_channel_simulators(we, cyp_cell.chamber, dt, duration)
+
+    def test_eight_channel_batch_matches_scalar(self):
+        # 16 stacked systems: the node-major vectorised dispatch, the
+        # same shape the bench's acceptance criterion runs on.
+        scalar = make_panel_channel_sims()
+        batched = RedoxChannelBatch(make_panel_channel_sims())
+        assert 2 * batched.batch_size > SMALL_BATCH
+        for e in np.linspace(0.0, -0.7, 200):
+            fluxes = batched.step(float(e))
+            expected = np.asarray([sim.step(float(e)) for sim in scalar])
+            assert np.array_equal(fluxes, expected)
+
+    def test_fluxes_match_scalar_simulators(self, cyp_cell):
+        scalar = self._sims(cyp_cell)
+        batched = RedoxChannelBatch(self._sims(cyp_cell))
+        potentials = np.linspace(0.0, -0.7, 300)
+        for e in potentials:
+            fluxes = batched.step(float(e))
+            expected = [sim.step(float(e)) for sim in scalar]
+            assert np.array_equal(fluxes, np.asarray(expected))
+
+    def test_sync_back_restores_profiles(self, cyp_cell):
+        scalar = self._sims(cyp_cell)
+        batched = RedoxChannelBatch(self._sims(cyp_cell))
+        for e in np.linspace(0.0, -0.5, 40):
+            batched.step(float(e))
+            for sim in scalar:
+                sim.step(float(e))
+        batched.sync_back()
+        for ref, mirrored in zip(scalar, batched.channels):
+            assert np.array_equal(mirrored.c_ox, ref.c_ox)
+            assert np.array_equal(mirrored.c_red, ref.c_red)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(SimulationError):
+            RedoxChannelBatch([])
+
+
+class TestProtocolEquivalence:
+    """The acceptance bar: batched protocols vs the scalar reference."""
+
+    def test_cv_currents_match_scalar_path(self, cyp_cell):
+        # The bench scenario of TestCyclicVoltammetry / bench_table2.
+        wf = TriangleWaveform(e_start=0.0, e_vertex=-0.7, scan_rate=0.02)
+        cv = CyclicVoltammetry(wf, sample_rate=10.0)
+        times, potentials, sweep_sign, currents = cv.simulate_true_current(
+            cyp_cell, "WE4")
+
+        # Scalar reference: the seed's per-channel inner loop.
+        we = cyp_cell.working_electrode("WE4")
+        dt = 1.0 / cv.sample_rate
+        sims = build_channel_simulators(we, cyp_cell.chamber, dt,
+                                        wf.duration)
+        expected = np.empty(times.size)
+        for k in range(times.size):
+            e = float(potentials[k])
+            faradaic = 0.0
+            for sim in sims:
+                faradaic -= sim.n * C.FARADAY * we.area * sim.step(e)
+            expected[k] = (faradaic
+                           + cv._quasi_static_current(cyp_cell, we, e)
+                           + we.electrode.charging_current(
+                               float(wf.rate(times[k]))))
+        scale = np.max(np.abs(expected))
+        assert np.max(np.abs(currents - expected)) <= 1e-12 * scale
+
+    def test_chronoamperometry_matches_scalar_path(self, glucose_cell):
+        glucose_cell.chamber.set_bulk("dopamine", 0.3)
+        proto = Chronoamperometry(
+            e_setpoint=0.55, duration=40.0, sample_rate=5.0,
+            injections=InjectionSchedule.single(10.0, "glucose", 1.0))
+        times, currents = proto.simulate_true_current(glucose_cell, "WE1")
+
+        # Scalar reference: the seed's one-mechanism-at-a-time loop.
+        e = proto.e_setpoint
+        we = glucose_cell.working_electrode("WE1")
+        chamber = glucose_cell.chamber.copy()
+        dt = 1.0 / proto.sample_rate
+        ref_times = uniform_sample_times(proto.duration, proto.sample_rate)
+        mechanisms = proto._build_mechanisms(we, chamber, e, dt)
+        expected = np.empty(ref_times.size)
+        static = proto._static_current(glucose_cell, "WE1", e)
+        expected[0] = static + proto._instant_current(we, mechanisms)
+        t_prev = 0.0
+        for k in range(1, ref_times.size):
+            t_now = float(ref_times[k])
+            for inj in proto.injections.events_between(t_prev, t_now):
+                chamber.inject(inj)
+                proto._apply_injection(mechanisms, we, chamber, e, dt)
+            total = static
+            for mech in mechanisms.values():
+                total += mech.current(we.area, mech.step())
+            expected[k] = total
+            t_prev = t_now
+
+        assert np.array_equal(times, ref_times)
+        scale = np.max(np.abs(expected))
+        assert np.max(np.abs(currents - expected)) <= 1e-12 * scale
+
+
+class TestMechanismBatch:
+    def test_requires_known_mechanism_kind(self):
+        class Unknown:
+            solver = None
+            field = None
+
+        with pytest.raises(SimulationError, match="mechanisms must expose"):
+            MechanismBatch([Unknown()])
+
+    def test_batch_size_and_engine_facade(self, glucose_cell):
+        proto = Chronoamperometry(e_setpoint=0.55, duration=10.0,
+                                  sample_rate=5.0)
+        we = glucose_cell.working_electrode("WE1")
+        mechanisms = proto._build_mechanisms(
+            we, glucose_cell.chamber.copy(), 0.55, 0.2)
+        engine = SimulationEngine.for_mechanisms(mechanisms)
+        assert engine.batch_size == len(mechanisms)
+        fluxes = engine.step()
+        assert fluxes.shape == (len(mechanisms),)
+
+
+class TestSimulationEngineFacade:
+    def test_run_sweep_matches_stepwise(self, cyp_cell):
+        we = cyp_cell.working_electrode("WE4")
+        potentials = np.linspace(0.0, -0.6, 50)
+        sims_a = build_channel_simulators(we, cyp_cell.chamber, 0.1, 60.0)
+        sims_b = build_channel_simulators(we, cyp_cell.chamber, 0.1, 60.0)
+        engine_a = SimulationEngine.for_redox_channels(sims_a)
+        engine_b = SimulationEngine.for_redox_channels(sims_b)
+        swept = engine_a.run_sweep(potentials)
+        assert swept.shape == (potentials.size, engine_a.batch_size)
+        stepped = np.vstack([engine_b.step(float(e)) for e in potentials])
+        assert np.array_equal(swept, stepped)

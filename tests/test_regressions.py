@@ -1,0 +1,207 @@
+"""Regression tests for the calibration-statistics and sampling bugfixes.
+
+Each test here pins one fixed defect:
+
+- ``run_calibration`` used the population std (ddof=0) over a handful of
+  blank repeats, biasing ``blank_std`` low and every LOD optimistic;
+- ``CalibrationCurve.linear_range`` swallowed *every* exception around
+  ``limit_of_detection()``, hiding configuration bugs;
+- ``AcquisitionChain.measure_constant`` truncated ``duration * fs`` and
+  dropped the final sample for non-integer products;
+- time axes were built two different ways (``ceil``-based ``linspace``
+  vs ``round``-based ``arange``), disagreeing by one sample and a dt
+  rescale for non-integer ``duration * sample_rate``;
+- the per-sample mux settling loop in ``digitize`` is now vectorised and
+  must match the scalar mux model it replaced.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.calibration import CalibrationPoint, run_calibration
+from repro.data.catalog import bench_chain
+from repro.electronics.mux import Multiplexer
+from repro.electronics.waveform import (
+    ConstantWaveform,
+    TriangleWaveform,
+    uniform_sample_times,
+)
+from repro.errors import CalibrationError
+from repro.measurement.chronoamperometry import Chronoamperometry
+from repro.measurement.voltammetry import CyclicVoltammetry
+
+
+class TestBlankStdUsesSampleEstimator:
+    def test_between_repeat_scatter_is_ddof1(self):
+        blanks = iter([(0.0, 0.0), (1.0, 0.0), (2.0, 0.0),
+                       (3.0, 0.0), (4.0, 0.0)])
+
+        def signal_at(c):
+            if c == 0.0:
+                return next(blanks)
+            return (2.0 * c, 0.0)
+
+        curve = run_calibration(signal_at, [1.0, 2.0, 3.0], blank_repeats=5)
+        expected = float(np.std([0.0, 1.0, 2.0, 3.0, 4.0], ddof=1))
+        assert curve.blank_std == pytest.approx(expected, rel=1e-12)
+        # The population estimator would have been sqrt(2) — strictly
+        # smaller, i.e. the old optimistic bias.
+        assert curve.blank_std > float(np.std([0.0, 1.0, 2.0, 3.0, 4.0]))
+
+    def test_within_run_std_still_combined(self):
+        def signal_at(c):
+            return (2.0 * c, 3.0e-9) if c else (0.0, 3.0e-9)
+
+        curve = run_calibration(signal_at, [1.0, 2.0, 3.0], blank_repeats=4)
+        # Identical blank means: only the within-run term remains.
+        assert curve.blank_std == pytest.approx(3.0e-9, rel=1e-12)
+
+
+class TestLinearRangeErrorPropagation:
+    def _curve(self):
+        points = [CalibrationPoint(float(c), 1.0e-7 * c)
+                  for c in (0.5, 1.0, 2.0, 4.0)]
+        from repro.analysis.calibration import CalibrationCurve
+        return CalibrationCurve(points, blank_mean=0.0, blank_std=1.0e-10)
+
+    def test_calibration_error_from_lod_is_tolerated(self):
+        curve = self._curve()
+
+        def broken_lod():
+            raise CalibrationError("no usable blank")
+
+        curve.limit_of_detection = broken_lod
+        low, high = curve.linear_range()
+        assert low == pytest.approx(0.5)
+        assert high == pytest.approx(4.0)
+
+    def test_flat_low_end_falls_back_to_measured_floor(self):
+        # A low end quantized flat makes limit_of_detection raise a
+        # plain AnalysisError (zero sensitivity); linear_range must
+        # fall back to the measured floor, not crash.
+        from repro.analysis.calibration import CalibrationCurve
+        signals = [5.0, 5.2, 4.9, 5.0, 6.0, 7.0, 8.0]
+        points = [CalibrationPoint(float(c), s) for c, s in
+                  zip((0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0), signals)]
+        curve = CalibrationCurve(points, blank_mean=5.0, blank_std=1.0)
+        low, high = curve.linear_range()
+        assert low == pytest.approx(0.5)
+
+    def test_unexpected_error_from_lod_propagates(self):
+        curve = self._curve()
+
+        def broken_lod():
+            raise RuntimeError("configuration bug")
+
+        curve.limit_of_detection = broken_lod
+        with pytest.raises(RuntimeError, match="configuration bug"):
+            curve.linear_range()
+
+
+class TestMeasureConstantSampleCount:
+    def _count_samples(self, duration, sample_rate):
+        chain = bench_chain(seed=5)
+        captured = {}
+        original = chain.digitize
+
+        def spy(times, currents, **kwargs):
+            captured["n"] = np.asarray(times).size
+            return original(times, currents, **kwargs)
+
+        chain.digitize = spy
+        chain.measure_constant(1.0e-6, duration=duration,
+                               sample_rate=sample_rate)
+        return captured["n"]
+
+    def test_non_integer_product_rounds_instead_of_truncating(self):
+        # 0.95 s at 10 Hz is 9.5 samples: the seed truncated to 9.
+        assert self._count_samples(0.95, 10.0) == 10
+
+    def test_integer_product_unchanged(self):
+        assert self._count_samples(2.0, 10.0) == 20
+
+    def test_minimum_of_eight_samples(self):
+        assert self._count_samples(0.2, 10.0) == 8
+
+
+class TestUnifiedTimeAxis:
+    def test_waveform_and_cv_share_one_axis(self, cyp_cell):
+        wf = TriangleWaveform(e_start=0.0, e_vertex=-0.35, scan_rate=0.02)
+        cv = CyclicVoltammetry(wf, sample_rate=10.0)
+        times, _, _, _ = cv.simulate_true_current(cyp_cell, "WE4")
+        assert np.array_equal(times, wf.sample_times(10.0))
+
+    def test_chronoamperometry_uses_shared_axis(self, glucose_cell):
+        proto = Chronoamperometry(e_setpoint=0.55, duration=7.3,
+                                  sample_rate=5.0)
+        times, _ = proto.simulate_true_current(glucose_cell, "WE1")
+        assert np.array_equal(times, uniform_sample_times(7.3, 5.0))
+
+    def test_non_integer_product_rounds_with_exact_dt(self):
+        # duration * fs = 10.4: the seed's ceil-based linspace produced
+        # 12 samples with a rescaled dt; round-based arange gives 11
+        # samples at exactly 1/fs.
+        times = uniform_sample_times(1.04, 10.0)
+        assert times.size == 11
+        np.testing.assert_allclose(np.diff(times), 0.1, rtol=1e-12)
+        assert ConstantWaveform(0.1, 1.04).sample_times(10.0).size == 11
+
+    def test_never_fewer_than_two_samples(self):
+        assert uniform_sample_times(1.0e-3, 10.0).size == 2
+
+
+class TestVectorisedMuxSettling:
+    def _schedule(self):
+        mux = Multiplexer(n_channels=4, settling_time=0.05)
+        schedule = mux.round_robin(["a", "b", "c"], dwell=0.4)
+        return mux, schedule
+
+    def test_times_since_switch_matches_scalar(self):
+        _, schedule = self._schedule()
+        times = np.linspace(0.0, 3.7, 400)
+        vector = schedule.times_since_switch(times)
+        scalar = np.asarray([schedule.time_since_switch(float(t))
+                             for t in times])
+        assert np.array_equal(vector, scalar)
+
+    def test_settling_and_injection_match_scalar(self):
+        mux, schedule = self._schedule()
+        since = schedule.times_since_switch(np.linspace(0.0, 2.0, 200))
+        factors = mux.settling_factors(since)
+        spikes = mux.injection_currents(since)
+        for k, t in enumerate(since):
+            assert factors[k] == pytest.approx(mux.settling_factor(float(t)),
+                                               rel=1e-14, abs=1e-300)
+            assert spikes[k] == pytest.approx(
+                mux.injection_current(float(t)), rel=1e-14, abs=1e-300)
+
+    def test_gap_maps_to_zero(self):
+        from repro.electronics.mux import MuxSchedule, MuxSlot
+        schedule = MuxSchedule((MuxSlot("a", 0.0, 0.3),
+                                MuxSlot("b", 0.5, 0.8)))
+        # 0.4 falls in the gap between slots.
+        assert schedule.time_since_switch(0.4) == 0.0
+        out = schedule.times_since_switch(np.asarray([0.1, 0.4, 0.6]))
+        assert out[1] == 0.0
+        assert out[0] == pytest.approx(0.1)
+        assert out[2] == pytest.approx(0.1)
+
+    def test_digitize_applies_vectorised_settling(self):
+        from repro.electronics.chain import AcquisitionChain
+        mux, schedule = self._schedule()
+        chain = AcquisitionChain(mux=mux, baseline_drift_rate=0.0)
+        times = np.arange(40) / 20.0
+        currents = np.full(40, 5.0e-7)
+        rng = np.random.default_rng(9)
+        reading = chain.digitize(times, currents, schedule=schedule, rng=rng)
+        since = schedule.times_since_switch(times)
+        expected = (currents * mux.settling_factors(since)
+                    + mux.injection_currents(since))
+        noise = chain.noise_model_for(None).sample(
+            np.random.default_rng(9), times.size, 20.0)
+        assert np.allclose(reading.input_current, expected + noise,
+                           rtol=1e-12, atol=1e-15)
