@@ -172,8 +172,19 @@ def run_experiment() -> dict:
             "relative_deviation": deviation / scale}
 
 
-def test_engine_throughput(benchmark, report):
+def test_engine_throughput(benchmark, report, json_report):
     out = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    json_report("engine", {
+        "bench": "engine_throughput",
+        "workload": f"{N_CHANNELS}-channel panel sweep",
+        "n_steps": out["n_steps"],
+        "steps_per_sec": {"seed_scalar": out["seed_rate"],
+                          "prefactored_scalar": out["scalar_rate"],
+                          "batched_engine": out["batched_rate"]},
+        "speedup_vs_seed": out["speedup"],
+        "max_relative_deviation": out["relative_deviation"],
+        "acceptance": {"min_speedup": 5.0, "max_deviation": 1.0e-12},
+    })
     report(render_table(
         ["implementation", "steps/sec"],
         [["seed scalar (thomas_solve loop)", f"{out['seed_rate']:.0f}"],

@@ -1,0 +1,192 @@
+"""P1 — panel/fleet throughput: sequential per-WE panels vs the fused
+cross-electrode scheduler.
+
+The platform exists to run many multiplexed assays concurrently; this
+bench measures that workload end to end.  A fleet of N identical
+metabolite cells — glucose, lactate and glutamate oxidase WEs plus a
+blank, with dopamine in the sample so even the blank carries chemistry —
+runs through two implementations:
+
+- **sequential** — PR 1's `PanelProtocol` reference path
+  (``batch_electrodes=False``): one engine per working electrode, one
+  cell after another;
+- **fleet scheduler** — :class:`repro.engine.scheduler.AssayScheduler`:
+  every chronoamperometric dwell of every cell fused into one
+  :class:`~repro.engine.scheduler.DwellBatch` solve per time step,
+  digitised per WE afterwards in the original per-job electrode order.
+
+Both produce bit-identical :class:`~repro.measurement.panel.PanelResult`
+records (same per-job RNG streams); the acceptance bar is >= 3x
+assays/sec for the scheduler on the 16-cell fleet.  Results are written
+as both the human-readable report and ``BENCH_panel.json``.
+
+Smoke mode: set ``REPRO_BENCH_QUICK=1`` (tier-1 CI does, through
+``tests/test_scheduler.py``) to shrink the fleet and dwell so the bench
+doubles as a fast regression gate on the batched path.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import replace
+
+import numpy as np
+
+from repro.data.catalog import build_oxidase, table1_working_electrode
+from repro.engine import AssayJob, AssayScheduler
+from repro.io.tables import render_table
+from repro.measurement.panel import PanelProtocol
+from repro.sensors.cell import ElectrochemicalCell
+from repro.sensors.electrode import Electrode, ElectrodeRole, WorkingElectrode
+from repro.sensors.functionalization import blank, with_oxidase
+from repro.sensors.materials import get_material
+from repro.chem.solution import Chamber
+from repro.data import bench_chain
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+N_CELLS = 4 if QUICK else 16
+CA_DWELL = 10.0 if QUICK else 30.0
+SAMPLE_RATE = 10.0
+MIN_SPEEDUP = 1.0 if QUICK else 3.0
+
+_OXIDASE_TARGETS = ("glucose", "lactate", "glutamate")
+
+
+def build_fleet(n_cells: int) -> list[AssayJob]:
+    """N metabolite cells, each with 3 oxidase WEs + 1 blank WE."""
+    jobs = []
+    for k in range(n_cells):
+        chamber = Chamber(name=f"fleet{k:02d}")
+        for target in _OXIDASE_TARGETS:
+            chamber.set_bulk(target, 1.0)
+        chamber.set_bulk("dopamine", 0.2)  # direct oxidiser: blanks too
+        wes = []
+        for target in _OXIDASE_TARGETS:
+            reference = table1_working_electrode(target)
+            wes.append(WorkingElectrode(
+                electrode=Electrode(
+                    name=f"WE_{target}", role=ElectrodeRole.WORKING,
+                    material=reference.material, area=reference.area),
+                functionalization=with_oxidase(build_oxidase(target))))
+        wes.append(WorkingElectrode(
+            electrode=Electrode(name="WE_blank", role=ElectrodeRole.WORKING,
+                                material=get_material("gold"),
+                                area=wes[0].area),
+            functionalization=blank()))
+        reference = Electrode(name="RE", role=ElectrodeRole.REFERENCE,
+                              material=get_material("silver"),
+                              area=wes[0].area)
+        counter = Electrode(name="CE", role=ElectrodeRole.COUNTER,
+                            material=get_material("gold"),
+                            area=2.0 * wes[0].area)
+        cell = ElectrochemicalCell(chamber=chamber, working_electrodes=wes,
+                                   reference=reference, counter=counter)
+        jobs.append(AssayJob(cell=cell, chain=bench_chain(seed=900 + k),
+                             name=f"cell{k:02d}"))
+    return jobs
+
+
+def _seeded(jobs) -> list[AssayJob]:
+    """Fresh per-job generators (generators are stateful; re-seed per run)."""
+    return [replace(job, rng=np.random.default_rng(900 + k))
+            for k, job in enumerate(jobs)]
+
+
+def run_sequential(jobs) -> tuple[float, list]:
+    """PR 1's reference path: one engine per WE, one cell at a time."""
+    protocol = PanelProtocol(ca_dwell=CA_DWELL, sample_rate=SAMPLE_RATE,
+                             batch_electrodes=False)
+    jobs = _seeded(jobs)
+    start = time.perf_counter()
+    results = [protocol.run(job.cell, job.chain, rng=job.rng)
+               for job in jobs]
+    elapsed = time.perf_counter() - start
+    return len(jobs) / elapsed, results
+
+
+def run_fleet(jobs) -> tuple[float, list, "object"]:
+    """The scheduler: every dwell of every cell in one fused batch."""
+    scheduler = AssayScheduler(
+        PanelProtocol(ca_dwell=CA_DWELL, sample_rate=SAMPLE_RATE))
+    jobs = _seeded(jobs)
+    start = time.perf_counter()
+    fleet = scheduler.run_many(jobs)
+    elapsed = time.perf_counter() - start
+    return len(jobs) / elapsed, list(fleet.results), fleet
+
+
+def max_relative_deviation(ref_results, got_results) -> float:
+    """Worst per-sample deviation across every trace, readout and blank."""
+    worst = 0.0
+    for ref, got in zip(ref_results, got_results):
+        for name, trace in ref.traces.items():
+            other = got.traces[name]
+            for a, b in ((trace.current, other.current),
+                         (trace.true_current, other.true_current)):
+                scale = float(np.max(np.abs(a))) or 1.0
+                worst = max(worst, float(np.max(np.abs(a - b))) / scale)
+        for target, readout in ref.readouts.items():
+            scale = abs(readout.signal) or 1.0
+            worst = max(worst,
+                        abs(readout.signal - got.readouts[target].signal)
+                        / scale)
+        if ref.blank_current is not None:
+            scale = abs(ref.blank_current) or 1.0
+            worst = max(worst, abs(ref.blank_current - got.blank_current)
+                        / scale)
+    return worst
+
+
+def run_experiment() -> dict:
+    jobs = build_fleet(N_CELLS)
+    # Warm-up on a small slice (allocators, factor caches) before timing.
+    run_fleet(jobs[:1])
+    run_sequential(jobs[:1])
+    seq_rate, seq_results = run_sequential(jobs)
+    fleet_rate, fleet_results, fleet = run_fleet(jobs)
+    deviation = max_relative_deviation(seq_results, fleet_results)
+    return {"n_cells": N_CELLS,
+            "n_wes": sum(len(j.cell.working_electrodes) for j in jobs),
+            "ca_dwell_s": CA_DWELL,
+            "n_fused_dwells": fleet.n_fused_dwells,
+            "sequential_rate": seq_rate,
+            "fleet_rate": fleet_rate,
+            "speedup": fleet_rate / seq_rate,
+            "relative_deviation": deviation,
+            "quick": QUICK}
+
+
+def test_panel_throughput(benchmark, report, json_report):
+    out = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    json_report("panel", {
+        "bench": "panel_throughput",
+        "workload": (f"{out['n_cells']}-cell fleet, {out['n_wes']} WEs, "
+                     f"{out['ca_dwell_s']:g} s dwell"),
+        "quick_mode": out["quick"],
+        "n_fused_dwell_systems": out["n_fused_dwells"],
+        "assays_per_sec": {"sequential_panel": out["sequential_rate"],
+                           "fleet_scheduler": out["fleet_rate"]},
+        "speedup_vs_sequential": out["speedup"],
+        "max_relative_deviation": out["relative_deviation"],
+        "acceptance": {"min_speedup": MIN_SPEEDUP,
+                       "max_deviation": 1.0e-12},
+    })
+    report(render_table(
+        ["implementation", "assays/sec"],
+        [["sequential PanelProtocol (per-WE engines)",
+          f"{out['sequential_rate']:.2f}"],
+         ["AssayScheduler (fused dwell batch)",
+          f"{out['fleet_rate']:.2f}"]],
+        title=(f"P1 | {out['n_cells']}-cell fleet, "
+               f"{out['n_fused_dwells']} fused dwell systems"
+               + (" [quick]" if out["quick"] else ""))))
+    report(f"speedup vs sequential    : {out['speedup']:.1f}x  "
+           f"(acceptance: >= {MIN_SPEEDUP:g}x)")
+    report(f"max relative deviation   : {out['relative_deviation']:.2e}  "
+           f"(acceptance: <= 1e-12)")
+
+    # The scheduler must reproduce the sequential panels and beat them.
+    assert out["relative_deviation"] <= 1.0e-12
+    assert out["speedup"] >= MIN_SPEEDUP

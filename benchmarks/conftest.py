@@ -12,10 +12,16 @@ Use the ``report`` fixture::
     def test_table1(benchmark, report):
         ...
         report(render_table(...))
+
+Throughput benches additionally write machine-readable summaries through
+the ``json_report`` fixture — ``benchmarks/results/BENCH_<tag>.json`` —
+so the perf trajectory (steps/sec, assays/sec, speedups) is trackable
+across PRs without parsing the human-readable tables.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -33,6 +39,18 @@ def report(request):
         _REPORTS.setdefault(name, []).append(str(text))
 
     return _append
+
+
+@pytest.fixture
+def json_report():
+    """Write one machine-readable bench summary: BENCH_<tag>.json."""
+
+    def _write(tag: str, payload: dict) -> None:
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        path = _RESULTS_DIR / f"BENCH_{tag}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    return _write
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

@@ -38,7 +38,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.engine.tridiag import factor_tridiagonal
+from repro.engine.tridiag import TridiagonalFactorization, factor_tridiagonal
 from repro.errors import SimulationError
 from repro.units import ensure_positive
 
@@ -136,6 +136,27 @@ class Grid1D:
         v[1:-1] = 0.5 * (h[:-1] + h[1:])
         v[-1] = 0.5 * h[-1]
         return v
+
+
+#: Shared implicit-matrix factorizations, keyed by everything the matrix
+#: depends on: (bulk boundary, dt, diffusivity, grid nodes).  A panel's
+#: working electrodes routinely build dozens of steppers over identical
+#: (grid, D, dt) triples — one mechanism per WE — and each used to
+#: re-run the same forward elimination.  Factorizations are read-only
+#: after construction, so sharing one instance is safe and bit-identical.
+_FACTOR_CACHE: dict[tuple, TridiagonalFactorization] = {}
+_FACTOR_CACHE_MAX = 256
+
+
+def _shared_factorization(key: tuple, lower: np.ndarray, diag: np.ndarray,
+                          upper: np.ndarray) -> TridiagonalFactorization:
+    factor = _FACTOR_CACHE.get(key)
+    if factor is None:
+        factor = factor_tridiagonal(lower, diag, upper)
+        if len(_FACTOR_CACHE) >= _FACTOR_CACHE_MAX:
+            _FACTOR_CACHE.pop(next(iter(_FACTOR_CACHE)))
+        _FACTOR_CACHE[key] = factor
+    return factor
 
 
 def thomas_solve(lower: np.ndarray, diag: np.ndarray, upper: np.ndarray,
@@ -240,8 +261,11 @@ class CrankNicolsonDiffusion:
             self._explicit_lower[n - 2] = 0.0
             self._explicit_diag[n - 1] = 1.0
         # The implicit matrix never changes, so eliminate it once; every
-        # step then runs only the two substitution sweeps.
-        self._implicit_factor = factor_tridiagonal(
+        # step then runs only the two substitution sweeps.  Steppers over
+        # the same (grid, D, dt, boundary) share one factorization.
+        self._implicit_factor = _shared_factorization(
+            (self.bulk_boundary, self.dt, self.diffusivity,
+             self.grid.x.tobytes()),
             self._implicit_lower, self._implicit_diag, self._implicit_upper)
 
     # -- matrix access (batched engine contract) -------------------------------

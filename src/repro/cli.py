@@ -5,6 +5,8 @@ headline flows:
 
 - ``tables`` — print Tables I, II and III from the data layer,
 - ``panel`` — run the Fig. 4 multi-target panel end to end,
+- ``fleet`` — run many concurrent panel assays through the shared
+  batched engine scheduler,
 - ``explore`` — design-space exploration for the Sec. III panel (or a
   JSON panel spec),
 - ``calibrate <target>`` — measured calibration of one reference sensor.
@@ -34,6 +36,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     panel = sub.add_parser("panel", help="run the Fig. 4 multi-target panel")
     panel.add_argument("--seed", type=int, default=2011)
+    panel.add_argument("--sequential", action="store_true",
+                       help="per-WE reference path instead of the fused "
+                            "cross-electrode engine batch (bit-identical)")
+
+    fleet = sub.add_parser(
+        "fleet", help="run many concurrent panel assays through the "
+                      "shared batched engine scheduler")
+    fleet.add_argument("--cells", type=int, default=8,
+                       help="number of concurrent assay cells")
+    fleet.add_argument("--seed", type=int, default=2011)
+    fleet.add_argument("--ca-dwell", type=float, default=30.0,
+                       help="chronoamperometric dwell per WE, seconds")
+    fleet.add_argument("--sequential", action="store_true",
+                       help="run the fleet as per-cell sequential panels "
+                            "(reference path, same results)")
 
     explore_cmd = sub.add_parser(
         "explore", help="design-space exploration for a panel spec")
@@ -74,7 +91,7 @@ def _cmd_tables() -> int:
     return 0
 
 
-def _cmd_panel(seed: int) -> int:
+def _cmd_panel(seed: int, sequential: bool = False) -> int:
     from repro.data import (
         PAPER_PANEL_MID_CONCENTRATIONS,
         integrated_chain,
@@ -85,8 +102,8 @@ def _cmd_panel(seed: int) -> int:
     cell = paper_panel_cell()
     chain = integrated_chain("cyp_micro", n_channels=5, seed=seed)
     print(chain.describe())
-    result = PanelProtocol().run(cell, chain,
-                                 rng=np.random.default_rng(seed))
+    result = PanelProtocol(batch_electrodes=not sequential).run(
+        cell, chain, rng=np.random.default_rng(seed))
     rows = []
     for target in PAPER_PANEL_MID_CONCENTRATIONS:
         if target in result.readouts:
@@ -98,6 +115,54 @@ def _cmd_panel(seed: int) -> int:
     print(render_table(["Target", "WE", "Method", "Signal nA"], rows,
                        title="Fig. 4 panel readouts"))
     print(f"assay time: {result.assay_time:.0f} s")
+    return 0
+
+
+def _cmd_fleet(n_cells: int, seed: int, ca_dwell: float,
+               sequential: bool) -> int:
+    import time
+
+    from repro.data import (
+        PAPER_PANEL_MID_CONCENTRATIONS,
+        integrated_chain,
+        paper_panel_cell,
+    )
+    from repro.engine import AssayJob, AssayScheduler
+    from repro.measurement import PanelProtocol
+
+    if n_cells < 1:
+        print("--cells must be >= 1")
+        return 1
+    jobs = [AssayJob(cell=paper_panel_cell(),
+                     chain=integrated_chain("cyp_micro", n_channels=5,
+                                            seed=seed + k),
+                     name=f"cell{k:02d}",
+                     rng=np.random.default_rng(seed + k))
+            for k in range(n_cells)]
+    start = time.perf_counter()
+    if sequential:
+        protocol = PanelProtocol(ca_dwell=ca_dwell, batch_electrodes=False)
+        results = [protocol.run(job.cell, job.chain, rng=job.rng)
+                   for job in jobs]
+        names = [job.name for job in jobs]
+        mode = "sequential per-cell panels"
+    else:
+        scheduler = AssayScheduler(PanelProtocol(ca_dwell=ca_dwell))
+        fleet = scheduler.run_many(jobs)
+        results, names = list(fleet.results), list(fleet.names)
+        mode = (f"fused scheduler ({fleet.n_fused_dwells} dwell systems in "
+                f"{fleet.n_dwell_groups} group(s))")
+    elapsed = time.perf_counter() - start
+    rows = []
+    for name, result in zip(names, results):
+        recovered = sum(1 for t in PAPER_PANEL_MID_CONCENTRATIONS
+                        if t in result.readouts)
+        rows.append([name, f"{recovered}/{len(PAPER_PANEL_MID_CONCENTRATIONS)}",
+                     f"{result.assay_time:.0f}"])
+    print(render_table(["Job", "Targets recovered", "Assay s"], rows,
+                       title=f"{n_cells}-cell fleet | {mode}"))
+    print(f"wall time : {elapsed:.2f} s")
+    print(f"throughput: {n_cells / elapsed:.2f} assays/sec")
     return 0
 
 
@@ -174,7 +239,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "tables":
         return _cmd_tables()
     if args.command == "panel":
-        return _cmd_panel(args.seed)
+        return _cmd_panel(args.seed, args.sequential)
+    if args.command == "fleet":
+        return _cmd_fleet(args.cells, args.seed, args.ca_dwell,
+                          args.sequential)
     if args.command == "explore":
         return _cmd_explore(args.spec)
     if args.command == "calibrate":

@@ -200,6 +200,40 @@ class AcquisitionChain:
             input_current=input_current, output_voltage=volts,
             codes=codes, current_estimate=estimates, saturated=saturated)
 
+    def digitize_batch(self, times: np.ndarray, currents: np.ndarray,
+                       wes=None, schedule: MuxSchedule | None = None,
+                       rng: np.random.Generator | None = None,
+                       ) -> list[ChannelReading]:
+        """Digitise a stacked ``(M, N)`` batch of channel currents.
+
+        The chain-level entry for callers driving
+        :class:`~repro.engine.scheduler.DwellBatch` directly (fused
+        dwell groups without a full panel assembly): row ``j`` is
+        channel ``j``'s cell current over the shared ``times``, and
+        ``wes`` optionally supplies one
+        :class:`~repro.sensors.electrode.WorkingElectrode` per row for
+        the per-channel noise budget.  Rows are carried through the
+        chain strictly in order with one shared generator, so the noise
+        stream — and every reading — matches M sequential
+        :meth:`digitize` calls exactly.  (The panel/fleet assemblers
+        interleave CV digitisations between dwells, so they call
+        :meth:`digitize` per electrode themselves, in the same order
+        contract.)
+        """
+        currents = np.asarray(currents, dtype=float)
+        if currents.ndim != 2:
+            raise ElectronicsError(
+                "digitize_batch needs a (channels, samples) current array")
+        rows = currents.shape[0]
+        we_list = list(wes) if wes is not None else [None] * rows
+        if len(we_list) != rows:
+            raise ElectronicsError(
+                f"got {len(we_list)} working electrodes for {rows} rows")
+        generator = rng if rng is not None else self._rng
+        return [self.digitize(times, currents[j], we=we_list[j],
+                              schedule=schedule, rng=generator)
+                for j in range(rows)]
+
     def measure_constant(self, current: float, duration: float = 10.0,
                          sample_rate: float | None = None,
                          we: WorkingElectrode | None = None,

@@ -12,7 +12,7 @@ implementation ran that kernel as nested pure-Python loops — per sample,
 per channel, per grid node — with the tridiagonal solver re-deriving its
 forward-elimination coefficients on every call.  A production platform
 serving many concurrent assays lives or dies on exactly this path, so
-the engine restructures it in three layers:
+the engine restructures it in five layers:
 
 1. **Prefactored Thomas solves** (:mod:`repro.engine.tridiag`).  The
    elimination coefficients depend only on the matrix, never on the
@@ -38,7 +38,33 @@ the engine restructures it in three layers:
    :class:`~repro.engine.mechanisms.MechanismBatch` does the same for
    chronoamperometric surface mechanisms; and
    :class:`~repro.engine.simulation.SimulationEngine` is the single
-   front door the protocols call.
+   front door the protocols call.  Identical matrices inside a batch
+   (WEs sharing a grid/diffusivity/dt) are eliminated once and the sweep
+   coefficients shared
+   (:func:`~repro.engine.tridiag.factor_tridiagonal_shared`), and
+   scalar steppers over the same (grid, D, dt, boundary) share one
+   cached factorization outright.
+
+4. **Cross-electrode dwell fusion** (:mod:`repro.engine.scheduler`).
+   A panel's chronoamperometric dwells — one mechanism set per working
+   electrode, heterogeneous grids included — stack into a single
+   :class:`~repro.engine.scheduler.DwellBatch`:
+   :class:`~repro.measurement.panel.PanelProtocol` advances *every*
+   electrode of a cell with one fused solve per time step (injection
+   schedules drain the batch back, refresh the affected dwell, and
+   rebuild), then digitises per WE in the original electrode order so
+   the RNG stream — and every result — matches the sequential path bit
+   for bit.
+
+5. **Multi-assay fleet scheduling** (same module).
+   :class:`~repro.engine.scheduler.AssayScheduler` accepts N
+   ``(cell, chain)`` jobs (:class:`~repro.engine.scheduler.AssayJob`),
+   groups compatible dwells *across cells* into fused
+   :class:`~repro.engine.scheduler.DwellBatch` solves, interleaves the
+   CV sweeps in job order, and assembles one per-job
+   :class:`~repro.measurement.panel.PanelResult` each
+   (:class:`~repro.engine.scheduler.FleetResult`) — the many-concurrent-
+   assays workload of the ROADMAP served by one shared compute core.
 
 Equivalence guarantee
 =====================
@@ -82,18 +108,30 @@ from repro.engine.tridiag import (
     TridiagonalFactorization,
     batch_thomas_solve,
     factor_tridiagonal,
+    factor_tridiagonal_shared,
 )
 from repro.engine.batch import BatchCrankNicolson
 from repro.engine.mechanisms import MechanismBatch
 from repro.engine.redox import RedoxChannelBatch
 from repro.engine.simulation import SimulationEngine
+from repro.engine.scheduler import (
+    AssayJob,
+    AssayScheduler,
+    DwellBatch,
+    FleetResult,
+)
 
 __all__ = [
     "TridiagonalFactorization",
     "factor_tridiagonal",
+    "factor_tridiagonal_shared",
     "batch_thomas_solve",
     "BatchCrankNicolson",
     "RedoxChannelBatch",
     "MechanismBatch",
     "SimulationEngine",
+    "DwellBatch",
+    "AssayJob",
+    "AssayScheduler",
+    "FleetResult",
 ]

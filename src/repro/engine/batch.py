@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.engine.tridiag import factor_tridiagonal
+from repro.engine.tridiag import factor_tridiagonal_shared
 from repro.errors import SimulationError
 
 __all__ = ["BatchCrankNicolson"]
@@ -78,7 +78,9 @@ class BatchCrankNicolson:
             ediag[j, :k] = dg
             eupper[j, :k - 1] = up
             v0[j] = st.surface_volume
-        factor = factor_tridiagonal(ilower, idiag, iupper)
+        # Cross-electrode batches stack many identical matrices (WEs
+        # sharing grid/diffusivity/dt); eliminate each distinct one once.
+        factor = factor_tridiagonal_shared(ilower, idiag, iupper)
         if replicas > 1:
             factor = factor.tile(replicas)
             elower, ediag, eupper, v0, sizes = (

@@ -1,0 +1,273 @@
+"""Multi-assay fleet scheduling on the shared batched engine.
+
+The platform's north star is many concurrent assays through one compute
+core.  PR 1 batched the systems *within* one protocol run; this module
+lifts batching two levels higher:
+
+- :class:`DwellBatch` advances the surface mechanisms of **many**
+  chronoamperometric dwells — different working electrodes, different
+  cells — in lockstep through one :class:`~repro.engine.simulation.
+  SimulationEngine` solve per time step.  Dwells are duck-typed (see
+  :class:`~repro.measurement.chronoamperometry.ChronoDwell`): anything
+  exposing ``mechanisms``/``injections``/``initial_current``/
+  ``apply_injection_events``/``current_from_fluxes`` can join.  Because
+  every per-system operation of the batched solver is element-for-element
+  identical however many rows are stacked, a fused group reproduces each
+  dwell's standalone trajectory bit for bit.
+
+- :class:`AssayScheduler` accepts N ``(cell, chain)`` assay jobs
+  (:class:`AssayJob`), plans every panel's dwells up front, groups
+  compatible dwells (same record length and time step) across cells into
+  fused :class:`DwellBatch` solves, interleaves the CV sweeps in job
+  order, and assembles one per-job
+  :class:`~repro.measurement.panel.PanelResult` each — bit-identical to
+  running :class:`~repro.measurement.panel.PanelProtocol` per cell,
+  because chemistry consumes no randomness and each job's RNG stream is
+  drawn in its original per-electrode order.
+
+Only the chronoamperometric dwells fuse across cells: they share a
+potential-free autonomous stepping contract.  CV sweeps keep their
+per-sweep batched engine (all substrate channels of a sweep advance in
+one solve) and are simply scheduled between dwell groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.engine.simulation import SimulationEngine
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.electronics.chain import AcquisitionChain
+    from repro.measurement.panel import PanelProtocol, PanelResult
+    from repro.sensors.cell import ElectrochemicalCell
+
+__all__ = ["DwellBatch", "AssayJob", "FleetResult", "AssayScheduler"]
+
+_NO_FLUXES = np.empty(0)
+
+
+class DwellBatch:
+    """Advance many chronoamperometric dwells through one fused engine.
+
+    Parameters
+    ----------
+    dwells:
+        Dwell objects (duck-typed, e.g. :class:`~repro.measurement.
+        chronoamperometry.ChronoDwell`); their mechanisms are stacked in
+        dwell order into one :class:`~repro.engine.mechanisms.
+        MechanismBatch`.
+    times:
+        The shared uniform sample times, seconds; every dwell must have
+        been built for this time step.
+    """
+
+    def __init__(self, dwells, times: np.ndarray) -> None:
+        self.dwells = tuple(dwells)
+        if not self.dwells:
+            raise SimulationError("a dwell batch needs at least one dwell")
+        times = np.asarray(times, dtype=float)
+        if times.ndim != 1 or times.size < 2:
+            raise SimulationError("a dwell batch needs at least two samples")
+        spacing = float(times[1] - times[0])
+        for dwell in self.dwells:
+            if not np.isclose(spacing, dwell.dt, rtol=1e-9, atol=0.0):
+                raise SimulationError(
+                    f"dwell {getattr(dwell, 'we_name', '?')!r} was built "
+                    f"for dt={dwell.dt!r} but the batch time axis is "
+                    f"spaced {spacing!r}")
+        self.times = times
+        # Injection checks are per step; only dwells that actually carry
+        # a schedule need scanning.
+        self._scheduled = tuple(d for d in self.dwells
+                                if d.injections.injections)
+
+    @property
+    def n_dwells(self) -> int:
+        return len(self.dwells)
+
+    @property
+    def batch_size(self) -> int:
+        """Diffusion systems fused per solve (sum over dwells)."""
+        return sum(len(d.mechanisms) for d in self.dwells)
+
+    def _build_engine(self):
+        """One engine over every dwell's mechanisms, plus per-dwell spans."""
+        mechanisms: list = []
+        spans: list[tuple[int, int]] = []
+        for dwell in self.dwells:
+            start = len(mechanisms)
+            mechanisms.extend(dwell.mechanisms.values())
+            spans.append((start, len(mechanisms)))
+        engine = (SimulationEngine.for_mechanisms(mechanisms)
+                  if mechanisms else None)
+        return engine, spans
+
+    def simulate(self) -> np.ndarray:
+        """Integrate every dwell; return (n_dwells, n_samples) currents.
+
+        Row ``i`` is dwell ``i``'s true (pre-chain) cell current — the
+        exact array its standalone
+        :meth:`~repro.measurement.chronoamperometry.Chronoamperometry.
+        simulate_true_current` loop would produce.
+        """
+        n = self.times.size
+        currents = np.empty((self.n_dwells, n))
+        for i, dwell in enumerate(self.dwells):
+            currents[i, 0] = dwell.initial_current()
+        engine, spans = self._build_engine()
+        t_prev = 0.0
+        for k in range(1, n):
+            t_now = float(self.times[k])
+            pending = [(d, d.injections.events_between(t_prev, t_now))
+                       for d in self._scheduled]
+            pending = [(d, events) for d, events in pending if events]
+            if pending:
+                # Injections mutate mechanism objects: drain the batched
+                # state back, refresh the affected dwells, rebuild.
+                if engine is not None:
+                    engine.sync_back()
+                for dwell, events in pending:
+                    dwell.apply_injection_events(events)
+                engine, spans = self._build_engine()
+            fluxes = engine.step() if engine is not None else _NO_FLUXES
+            for i, dwell in enumerate(self.dwells):
+                start, stop = spans[i]
+                currents[i, k] = dwell.current_from_fluxes(
+                    fluxes[start:stop])
+            t_prev = t_now
+        return currents
+
+
+@dataclass(frozen=True)
+class AssayJob:
+    """One assay the fleet scheduler should run: a cell through a chain.
+
+    ``rng`` seeds the job's acquisition noise (defaults to the panel
+    protocol's default stream); ``protocol`` overrides the scheduler's
+    shared protocol for this job (dwells only fuse across jobs whose
+    protocols agree on record length and sample rate).
+    """
+
+    cell: "ElectrochemicalCell"
+    chain: "AcquisitionChain"
+    name: str = ""
+    rng: np.random.Generator | None = None
+    protocol: "PanelProtocol | None" = None
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Everything one scheduler pass over N assay jobs produced."""
+
+    results: tuple["PanelResult", ...]
+    names: tuple[str, ...]
+    n_fused_dwells: int
+    n_dwell_groups: int
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def by_name(self) -> dict[str, "PanelResult"]:
+        return dict(zip(self.names, self.results))
+
+    def result_for(self, name: str) -> "PanelResult":
+        """The panel result of the named job; raises when unknown."""
+        for job_name, result in zip(self.names, self.results):
+            if job_name == name:
+                return result
+        raise SimulationError(
+            f"no job named {name!r} in this fleet "
+            f"(have: {', '.join(self.names)})")
+
+
+@dataclass
+class _JobPlan:
+    """One job's planned execution: its dwells and, later, their rows."""
+
+    job: AssayJob
+    protocol: "PanelProtocol"
+    dwells: list = field(default_factory=list)
+    rows: dict = field(default_factory=dict)
+
+
+class AssayScheduler:
+    """Run many panel assays through one shared batched compute core.
+
+    The scheduler is the fleet-level counterpart of
+    :class:`~repro.measurement.panel.PanelProtocol`'s cross-electrode
+    batching: it plans every job's chronoamperometric dwells, fuses all
+    compatible dwells — across electrodes *and* cells — into single
+    :class:`DwellBatch` solves, then digitises and assembles each job in
+    its original electrode order so every
+    :class:`~repro.measurement.panel.PanelResult` is bit-identical to a
+    sequential per-cell run.
+    """
+
+    def __init__(self, protocol: "PanelProtocol | None" = None) -> None:
+        self.protocol = protocol
+
+    def _default_protocol(self) -> "PanelProtocol":
+        from repro.measurement.panel import PanelProtocol
+
+        return self.protocol if self.protocol is not None else PanelProtocol()
+
+    @staticmethod
+    def _coerce_job(job) -> AssayJob:
+        if isinstance(job, AssayJob):
+            return job
+        # (cell, chain[, name[, rng]]) tuples for sweep-style callers.
+        return AssayJob(*job)
+
+    def run_many(self, jobs) -> FleetResult:
+        """Advance every job's panel through the shared engine.
+
+        ``jobs`` is an iterable of :class:`AssayJob` (or ``(cell,
+        chain, ...)`` tuples).  Dwell chemistry is fused across jobs per
+        compatibility group; acquisition noise is drawn per job from its
+        own generator, in the job's electrode order.
+        """
+        from repro.electronics.waveform import uniform_sample_times
+
+        default = self._default_protocol()
+        plans: list[_JobPlan] = []
+        for job in map(self._coerce_job, jobs):
+            protocol = job.protocol if job.protocol is not None else default
+            plans.append(_JobPlan(
+                job=job, protocol=protocol,
+                dwells=protocol.plan_dwells(job.cell, job.chain)))
+
+        # Group compatible dwells across jobs: one fused solve per
+        # distinct (record length, time step).
+        groups: dict[tuple[float, float], list[tuple[_JobPlan, object]]] = {}
+        for plan in plans:
+            key = (float(plan.protocol.ca_dwell),
+                   float(plan.protocol.sample_rate))
+            for dwell in plan.dwells:
+                groups.setdefault(key, []).append((plan, dwell))
+        n_fused = 0
+        for (dwell_time, sample_rate), members in groups.items():
+            times = uniform_sample_times(dwell_time, sample_rate)
+            batch = DwellBatch([dwell for _, dwell in members], times)
+            n_fused += batch.batch_size
+            rows = batch.simulate()
+            for i, (plan, dwell) in enumerate(members):
+                plan.rows[dwell.we_name] = (dwell, times, rows[i])
+
+        results = []
+        names = []
+        for index, plan in enumerate(plans):
+            job = plan.job
+            generator = (job.rng if job.rng is not None
+                         else np.random.default_rng(2011))
+            results.append(plan.protocol.assemble(
+                job.cell, job.chain, generator, plan.rows))
+            names.append(job.name if job.name else f"job{index}")
+        return FleetResult(results=tuple(results), names=tuple(names),
+                           n_fused_dwells=n_fused,
+                           n_dwell_groups=len(groups))

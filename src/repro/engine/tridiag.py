@@ -30,6 +30,7 @@ from repro.errors import SimulationError
 __all__ = [
     "TridiagonalFactorization",
     "factor_tridiagonal",
+    "factor_tridiagonal_shared",
     "batch_thomas_solve",
 ]
 
@@ -205,6 +206,47 @@ def factor_tridiagonal(lower: np.ndarray, diag: np.ndarray,
         raise SimulationError(
             f"zero pivot in tridiagonal solve (row {row})")
     return TridiagonalFactorization(lower.copy(), denom, c_prime)
+
+
+def factor_tridiagonal_shared(lower: np.ndarray, diag: np.ndarray,
+                              upper: np.ndarray) -> TridiagonalFactorization:
+    """Factor stacked systems, eliminating each *distinct* matrix once.
+
+    Panel batches stack one diffusion system per (WE, species) pair, and
+    electrodes sharing a grid, diffusivity and time step contribute
+    byte-identical bands — a 16-cell glucose fleet re-eliminates the
+    same matrix dozens of times.  This wrapper keys rows by their band
+    bytes, runs :func:`factor_tridiagonal` over the unique rows only and
+    broadcasts the sweep coefficients back to the full batch.  The
+    elimination is independent per row, so the expanded factorization is
+    bit-identical to factoring every row directly.
+    """
+    lower = np.asarray(lower, dtype=float)
+    diag = np.asarray(diag, dtype=float)
+    upper = np.asarray(upper, dtype=float)
+    if diag.ndim != 2:
+        return factor_tridiagonal(lower, diag, upper)
+    n = diag.shape[-1]
+    band_shape = diag.shape[:-1] + (n - 1,)
+    if n < 2 or lower.shape != band_shape or upper.shape != band_shape:
+        raise SimulationError(
+            "tridiagonal system arrays have inconsistent sizes")
+    first: dict[bytes, int] = {}
+    unique: list[int] = []
+    inverse = np.empty(diag.shape[0], dtype=int)
+    for j in range(diag.shape[0]):
+        key = (lower[j].tobytes() + diag[j].tobytes() + upper[j].tobytes())
+        slot = first.get(key)
+        if slot is None:
+            slot = len(unique)
+            first[key] = slot
+            unique.append(j)
+        inverse[j] = slot
+    if len(unique) == diag.shape[0]:
+        return factor_tridiagonal(lower, diag, upper)
+    base = factor_tridiagonal(lower[unique], diag[unique], upper[unique])
+    return TridiagonalFactorization(
+        lower.copy(), base.denom[inverse], base.c_prime[inverse])
 
 
 def batch_thomas_solve(lower: np.ndarray, diag: np.ndarray,

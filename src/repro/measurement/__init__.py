@@ -3,6 +3,7 @@
 from repro.measurement.chronoamperometry import (
     Chronoamperometry,
     ChronoamperometryResult,
+    ChronoDwell,
 )
 from repro.measurement.panel import PanelProtocol, PanelResult, TargetReadout
 from repro.measurement.peaks import Peak, PeakAssignment, assign_peaks, find_peaks
@@ -19,7 +20,7 @@ from repro.measurement.voltammetry import (
 
 __all__ = [
     "Trace", "Voltammogram",
-    "Chronoamperometry", "ChronoamperometryResult",
+    "Chronoamperometry", "ChronoamperometryResult", "ChronoDwell",
     "CyclicVoltammetry", "CyclicVoltammetryResult",
     "Peak", "PeakAssignment", "find_peaks", "assign_peaks",
     "PanelProtocol", "PanelResult", "TargetReadout",

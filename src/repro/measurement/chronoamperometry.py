@@ -19,6 +19,16 @@ All mechanisms of a dwell advance together through
 :class:`repro.engine.simulation.SimulationEngine` — one batched
 linear-surface solve per sample; the ``_Mechanism`` classes stay as the
 scalar reference the engine is built from (and verified against).
+
+The mechanism-building machinery is exposed as engine-facing module
+functions (:func:`build_mechanisms`, :func:`refresh_mechanisms`,
+:func:`initial_mechanism_current`, :func:`static_current`) and bundled
+per electrode by :class:`ChronoDwell`, so cross-electrode and cross-cell
+steppers (:class:`~repro.measurement.panel.PanelProtocol`'s fused path,
+:class:`~repro.engine.scheduler.DwellBatch`) can advance many dwells
+through one shared solve.  :class:`Chronoamperometry` itself integrates
+through a single-dwell :class:`~repro.engine.scheduler.DwellBatch`, so
+there is exactly one stepping code path at every fan-out level.
 """
 
 from __future__ import annotations
@@ -35,14 +45,22 @@ from repro.chem.solution import InjectionSchedule
 from repro.chem.species import get_species
 from repro.electronics.chain import AcquisitionChain
 from repro.electronics.waveform import uniform_sample_times
-from repro.engine.simulation import SimulationEngine
+from repro.engine.scheduler import DwellBatch
 from repro.errors import ProtocolError
 from repro.measurement.trace import Trace
 from repro.sensors.cell import ElectrochemicalCell
 from repro.sensors.electrode import WorkingElectrode
 from repro.units import ensure_positive
 
-__all__ = ["Chronoamperometry", "ChronoamperometryResult"]
+__all__ = [
+    "Chronoamperometry",
+    "ChronoamperometryResult",
+    "ChronoDwell",
+    "build_mechanisms",
+    "refresh_mechanisms",
+    "initial_mechanism_current",
+    "static_current",
+]
 
 #: Effective heterogeneous rate for species that oxidise directly on the
 #: electrode (transport-limited once past their wave), m/s.
@@ -96,6 +114,174 @@ class _LinearSinkMechanism(_Mechanism):
         self.field = self.solver.step_linear_surface(
             self.field, 0.0, self.rate_constant)
         return self.rate_constant * float(self.field[0])
+
+
+# -- engine-facing dwell chemistry ------------------------------------------------
+
+
+def _diffusion_field(we: WorkingElectrode, species: str, bulk: float,
+                     dt: float, n_nodes: int,
+                     ) -> tuple[CrankNicolsonDiffusion, np.ndarray]:
+    """A species' solver + initial profile over this electrode's layer."""
+    sp = get_species(species)
+    d_eff = sp.diffusivity * we.functionalization.permeability
+    delta = we.effective_nernst_layer(species)
+    grid = Grid1D.uniform(delta, n_nodes)
+    solver = CrankNicolsonDiffusion(grid, d_eff, dt,
+                                    bulk_boundary="dirichlet")
+    field = np.full(grid.n_nodes, max(bulk, 0.0))
+    return solver, field
+
+
+def build_mechanisms(we: WorkingElectrode, chamber, e: float, dt: float,
+                     n_nodes: int = 60) -> dict[str, _Mechanism]:
+    """One consuming mechanism per electroactive species on ``we``.
+
+    Oxidase probes contribute their substrate's Michaelis-Menten film,
+    CYP probes one first-order sink per channel at the held potential,
+    and every species in the chamber with a direct-oxidation wave adds a
+    sink on any electrode (including blanks — what breaks CDS for those
+    molecules).
+    """
+    mechanisms: dict[str, _Mechanism] = {}
+    probe = we.probe
+    if isinstance(probe, Oxidase):
+        species = probe.substrate
+        solver, field = _diffusion_field(we, species, chamber.bulk(species),
+                                         dt, n_nodes)
+        eta = we.effective_h2o2_wave().at(e)
+        mechanisms[species] = _MichaelisMentenMechanism(
+            solver, field, we.effective_film(), eta,
+            probe.electrons_per_substrate)
+    elif isinstance(probe, CytochromeP450):
+        for channel in probe.channels:
+            species = channel.substrate
+            bulk = chamber.bulk(species)
+            saturation = channel.km / (channel.km + bulk) if bulk else 1.0
+            gain = we.functionalization.signal_gain
+            solver, field = _diffusion_field(we, species,
+                                             bulk * channel.efficiency
+                                             * saturation * gain, dt, n_nodes)
+            kf, _ = channel.kinetics.rate_constants(e)
+            kf *= we.material.k0_scale * we.functionalization.k0_gain
+            n = channel.kinetics.couple.n_electrons
+            mechanisms[species] = _LinearSinkMechanism(
+                solver, field, kf, n, sign=-1.0)
+    for name in chamber.species_present():
+        sp = get_species(name)
+        if sp.direct_oxidation_potential is None or name in mechanisms:
+            continue
+        wave = OxidationEfficiency(e_half=sp.direct_oxidation_potential)
+        solver, field = _diffusion_field(we, name, chamber.bulk(name),
+                                         dt, n_nodes)
+        mechanisms[name] = _LinearSinkMechanism(
+            solver, field, _DIRECT_RATE * wave.at(e),
+            sp.n_electrons, sign=+1.0)
+    return mechanisms
+
+
+def refresh_mechanisms(mechanisms: dict[str, _Mechanism],
+                       we: WorkingElectrode, chamber, e: float,
+                       dt: float, n_nodes: int = 60) -> None:
+    """Refresh bulk boundaries after an injection (create new fields).
+
+    Existing mechanisms keep their relaxed profile and only lift the
+    bulk boundary node — stirring refreshes the bulk instantly, the
+    layer lags — while newly present species get fresh fields.
+    """
+    rebuilt = build_mechanisms(we, chamber, e, dt, n_nodes)
+    for name, fresh in rebuilt.items():
+        if name in mechanisms:
+            old = mechanisms[name]
+            new_bulk = float(fresh.field[-1])
+            old.field = old.field.copy()
+            old.field[-1] = new_bulk
+            if isinstance(old, _LinearSinkMechanism) and isinstance(
+                    fresh, _LinearSinkMechanism):
+                old.rate_constant = fresh.rate_constant
+        else:
+            mechanisms[name] = fresh
+
+
+def initial_mechanism_current(we: WorkingElectrode,
+                              mechanisms: dict[str, _Mechanism]) -> float:
+    """Mechanism current at t=0 (surface still at bulk concentration)."""
+    total = 0.0
+    for mech in mechanisms.values():
+        if isinstance(mech, _MichaelisMentenMechanism):
+            flux = mech.film.rate(float(mech.field[0]))
+        elif isinstance(mech, _LinearSinkMechanism):
+            flux = mech.rate_constant * float(mech.field[0])
+        else:  # pragma: no cover - no other mechanisms exist
+            flux = 0.0
+        total += mech.current(we.area, flux)
+    return total
+
+
+def static_current(cell: ElectrochemicalCell, we_name: str,
+                   e: float) -> float:
+    """Leakage and (steady) cross-talk — not transient-simulated."""
+    we = cell.working_electrode(we_name)
+    static = we.electrode.leakage_current()
+    if len(cell.working_electrodes) > 1:
+        static += cell.crosstalk_current(we_name, e)
+    return static
+
+
+class ChronoDwell:
+    """Engine-facing chemistry of one chronoamperometric dwell on one WE.
+
+    Everything :meth:`Chronoamperometry.simulate_true_current` tracks
+    for one electrode — mechanism set, its own chamber copy, static
+    current, injection schedule — packaged so cross-electrode and
+    cross-cell steppers (:class:`~repro.measurement.panel.PanelProtocol`
+    and :class:`~repro.engine.scheduler.AssayScheduler`, through
+    :class:`~repro.engine.scheduler.DwellBatch`) can advance many dwells
+    through one shared engine.  The caller's chamber is copied —
+    protocols never mutate their inputs.
+    """
+
+    def __init__(self, cell: ElectrochemicalCell, we_name: str,
+                 e_applied: float, dt: float,
+                 injections: InjectionSchedule | None = None,
+                 n_nodes: int = 60, e_setpoint: float | None = None) -> None:
+        self.we = cell.working_electrode(we_name)
+        self.we_name = we_name
+        self.e_applied = float(e_applied)
+        self.e_setpoint = (float(e_setpoint) if e_setpoint is not None
+                           else float(e_applied))
+        self.dt = ensure_positive(dt, "dt")
+        self.n_nodes = int(n_nodes)
+        self.injections = injections if injections else InjectionSchedule()
+        self.chamber = cell.chamber.copy()
+        self.static = static_current(cell, we_name, self.e_applied)
+        self.mechanisms = build_mechanisms(
+            self.we, self.chamber, self.e_applied, self.dt, self.n_nodes)
+
+    def initial_current(self) -> float:
+        """Cell current at t=0 (static plus instant mechanism response)."""
+        return self.static + initial_mechanism_current(self.we,
+                                                       self.mechanisms)
+
+    def apply_injection_events(self, events) -> None:
+        """Inject each event into this dwell's chamber and refresh fields.
+
+        Call only with the batched state synced back onto the mechanism
+        objects (:meth:`~repro.engine.simulation.SimulationEngine.
+        sync_back`); the caller rebuilds its engine afterwards.
+        """
+        for injection in events:
+            self.chamber.inject(injection)
+            refresh_mechanisms(self.mechanisms, self.we, self.chamber,
+                               self.e_applied, self.dt, self.n_nodes)
+
+    def current_from_fluxes(self, fluxes: np.ndarray) -> float:
+        """Total cell current given this dwell's slice of batch fluxes."""
+        total = self.static
+        area = self.we.area
+        for mech, flux in zip(self.mechanisms.values(), fluxes):
+            total += mech.current(area, float(flux))
+        return total
 
 
 @dataclass(frozen=True)
@@ -153,42 +339,24 @@ class Chronoamperometry:
         protocols never mutate their inputs.
         """
         e = self.e_setpoint if e_applied is None else float(e_applied)
-        we = cell.working_electrode(we_name)
-        chamber = cell.chamber.copy()
-        dt = 1.0 / self.sample_rate
         times = uniform_sample_times(self.duration, self.sample_rate)
-        n = times.size
-
-        mechanisms = self._build_mechanisms(we, chamber, e, dt)
-        currents = np.empty(n)
-        static = self._static_current(cell, we_name, e)
-        currents[0] = static + self._instant_current(we, mechanisms)
-
-        engine = (SimulationEngine.for_mechanisms(mechanisms)
-                  if mechanisms else None)
-        t_prev = 0.0
-        for k in range(1, n):
-            t_now = float(times[k])
-            events = self.injections.events_between(t_prev, t_now)
-            if events:
-                # Injections mutate the mechanism objects, so drain the
-                # batched state back first and rebuild the engine around
-                # the refreshed (possibly grown) mechanism set.
-                if engine is not None:
-                    engine.sync_back()
-                for inj in events:
-                    chamber.inject(inj)
-                    self._apply_injection(mechanisms, we, chamber, e, dt)
-                engine = (SimulationEngine.for_mechanisms(mechanisms)
-                          if mechanisms else None)
-            total = static
-            if engine is not None:
-                fluxes = engine.step()
-                for j, mech in enumerate(mechanisms.values()):
-                    total += mech.current(we.area, float(fluxes[j]))
-            currents[k] = total
-            t_prev = t_now
+        dwell = self.build_dwell(cell, we_name, e_applied=e)
+        currents = DwellBatch([dwell], times).simulate()[0]
         return times, currents
+
+    def build_dwell(self, cell: ElectrochemicalCell, we_name: str,
+                    e_applied: float | None = None) -> ChronoDwell:
+        """This protocol's dwell chemistry for one WE, engine-ready.
+
+        The returned :class:`ChronoDwell` is what a
+        :class:`~repro.engine.scheduler.DwellBatch` fuses across
+        electrodes and cells; :meth:`simulate_true_current` is exactly a
+        single-dwell batch of it.
+        """
+        e = self.e_setpoint if e_applied is None else float(e_applied)
+        return ChronoDwell(cell, we_name, e, dt=1.0 / self.sample_rate,
+                           injections=self.injections, n_nodes=self.n_nodes,
+                           e_setpoint=self.e_setpoint)
 
     def run(self, cell: ElectrochemicalCell, we_name: str,
             chain: AcquisitionChain,
@@ -206,93 +374,26 @@ class Chronoamperometry:
             e_setpoint=self.e_setpoint, e_applied=float(e_applied))
 
     # -- internals ------------------------------------------------------------------
+    # Thin wrappers over the module-level engine-facing functions, kept
+    # as the protocol-local reference API (tests pin equivalence on it).
 
     def _build_mechanisms(self, we: WorkingElectrode, chamber, e: float,
                           dt: float) -> dict[str, _Mechanism]:
         """One mechanism per electroactive species on this electrode."""
-        mechanisms: dict[str, _Mechanism] = {}
-        probe = we.probe
-        if isinstance(probe, Oxidase):
-            species = probe.substrate
-            solver, field = self._field(we, species, chamber.bulk(species), dt)
-            eta = we.effective_h2o2_wave().at(e)
-            mechanisms[species] = _MichaelisMentenMechanism(
-                solver, field, we.effective_film(), eta,
-                probe.electrons_per_substrate)
-        elif isinstance(probe, CytochromeP450):
-            for channel in probe.channels:
-                species = channel.substrate
-                bulk = chamber.bulk(species)
-                saturation = channel.km / (channel.km + bulk) if bulk else 1.0
-                gain = we.functionalization.signal_gain
-                solver, field = self._field(we, species,
-                                            bulk * channel.efficiency
-                                            * saturation * gain, dt)
-                kf, _ = channel.kinetics.rate_constants(e)
-                kf *= we.material.k0_scale * we.functionalization.k0_gain
-                n = channel.kinetics.couple.n_electrons
-                mechanisms[species] = _LinearSinkMechanism(
-                    solver, field, kf, n, sign=-1.0)
-        for name in chamber.species_present():
-            sp = get_species(name)
-            if sp.direct_oxidation_potential is None or name in mechanisms:
-                continue
-            wave = OxidationEfficiency(e_half=sp.direct_oxidation_potential)
-            solver, field = self._field(we, name, chamber.bulk(name), dt)
-            mechanisms[name] = _LinearSinkMechanism(
-                solver, field, _DIRECT_RATE * wave.at(e),
-                sp.n_electrons, sign=+1.0)
-        return mechanisms
-
-    def _field(self, we: WorkingElectrode, species: str, bulk: float,
-               dt: float) -> tuple[CrankNicolsonDiffusion, np.ndarray]:
-        sp = get_species(species)
-        d_eff = sp.diffusivity * we.functionalization.permeability
-        delta = we.effective_nernst_layer(species)
-        grid = Grid1D.uniform(delta, self.n_nodes)
-        solver = CrankNicolsonDiffusion(grid, d_eff, dt,
-                                        bulk_boundary="dirichlet")
-        field = np.full(grid.n_nodes, max(bulk, 0.0))
-        return solver, field
+        return build_mechanisms(we, chamber, e, dt, self.n_nodes)
 
     def _apply_injection(self, mechanisms: dict[str, _Mechanism],
                          we: WorkingElectrode, chamber, e: float,
                          dt: float) -> None:
         """Refresh bulk boundaries (and create fields for new species)."""
-        rebuilt = self._build_mechanisms(we, chamber, e, dt)
-        for name, fresh in rebuilt.items():
-            if name in mechanisms:
-                # Keep the relaxed profile, lift only the bulk boundary:
-                # stirring refreshes the bulk instantly, the layer lags.
-                old = mechanisms[name]
-                new_bulk = float(fresh.field[-1])
-                old.field = old.field.copy()
-                old.field[-1] = new_bulk
-                if isinstance(old, _LinearSinkMechanism) and isinstance(
-                        fresh, _LinearSinkMechanism):
-                    old.rate_constant = fresh.rate_constant
-            else:
-                mechanisms[name] = fresh
+        refresh_mechanisms(mechanisms, we, chamber, e, dt, self.n_nodes)
 
     def _instant_current(self, we: WorkingElectrode,
                          mechanisms: dict[str, _Mechanism]) -> float:
         """Current at t=0 (surface still at bulk concentration)."""
-        total = 0.0
-        for mech in mechanisms.values():
-            if isinstance(mech, _MichaelisMentenMechanism):
-                flux = mech.film.rate(float(mech.field[0]))
-            elif isinstance(mech, _LinearSinkMechanism):
-                flux = mech.rate_constant * float(mech.field[0])
-            else:  # pragma: no cover - no other mechanisms exist
-                flux = 0.0
-            total += mech.current(we.area, flux)
-        return total
+        return initial_mechanism_current(we, mechanisms)
 
     def _static_current(self, cell: ElectrochemicalCell, we_name: str,
                         e: float) -> float:
         """Leakage and (steady) cross-talk — not transient-simulated."""
-        we = cell.working_electrode(we_name)
-        static = we.electrode.leakage_current()
-        if len(cell.working_electrodes) > 1:
-            static += cell.crosstalk_current(we_name, e)
-        return static
+        return static_current(cell, we_name, e)

@@ -18,25 +18,35 @@ with mux settling inserted between channels.  The result carries per-WE
 traces/voltammograms, per-target quantities, and the assay timing that
 feeds the paper's *sample throughput* property.
 
-Every per-WE protocol the panel sequences routes its chemistry through
-:class:`repro.engine.simulation.SimulationEngine`: a CYP sweep advances
-all of its substrate channels in one batched solve per sample, and a
-chronoamperometric dwell advances all of its surface mechanisms the same
-way — the panel is therefore the engine's heaviest workload (its
-throughput is tracked by ``benchmarks/bench_engine_throughput.py``).
+The chemistry is batched at the *panel* level: all chronoamperometric
+dwells of the cell — oxidase and blank WEs alike — advance together
+through one :class:`~repro.engine.scheduler.DwellBatch`, i.e. one fused
+:class:`~repro.engine.simulation.SimulationEngine` solve per time step
+across every electrode's mechanisms.  Digitisation then runs per WE in
+the original electrode order, so the chain's RNG stream — and therefore
+every :class:`PanelResult` — is bit-identical to the sequential per-WE
+path (kept available via ``batch_electrodes=False`` as the reference).
+CYP sweeps keep their per-sweep batched engine and are interleaved in
+electrode order.  The panel is the engine's heaviest workload; its
+throughput is tracked by ``benchmarks/bench_panel_throughput.py`` and
+fleets of panels fuse further through
+:class:`~repro.engine.scheduler.AssayScheduler`.
 """
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.chem.enzymes import CytochromeP450, Oxidase
+from repro.chem.solution import InjectionSchedule
 from repro.electronics.chain import AcquisitionChain
-from repro.electronics.waveform import TriangleWaveform
+from repro.electronics.waveform import TriangleWaveform, uniform_sample_times
+from repro.engine.scheduler import DwellBatch
 from repro.errors import ProtocolError
-from repro.measurement.chronoamperometry import Chronoamperometry
+from repro.measurement.chronoamperometry import ChronoDwell, Chronoamperometry
 from repro.measurement.peaks import Peak, assign_peaks, find_peaks
 from repro.measurement.trace import Trace, Voltammogram
 from repro.measurement.voltammetry import CyclicVoltammetry
@@ -52,6 +62,9 @@ class TargetReadout:
 
     ``signal`` is the concentration-proportional raw quantity: the steady
     current for oxidase channels, the peak height for CYP channels.
+    ``e_applied`` is the actual potentiostat output the channel was held
+    at — chronoamperometric channels only; CV channels sweep a program
+    and carry ``None``.
     """
 
     target: str
@@ -59,17 +72,23 @@ class TargetReadout:
     method: str
     signal: float
     peak: Peak | None = None
+    e_applied: float | None = None
 
 
 @dataclass(frozen=True)
 class PanelResult:
-    """Everything one multiplexed assay produced."""
+    """Everything one multiplexed assay produced.
+
+    ``blank_e_applied`` records the held potential of the blank dwell
+    (the CDS reference record), when the cell carried a blank WE.
+    """
 
     traces: dict[str, Trace]
     voltammograms: dict[str, Voltammogram]
     readouts: dict[str, TargetReadout]
     assay_time: float
     blank_current: float | None
+    blank_e_applied: float | None = None
 
     def signal_for(self, target: str) -> float:
         """The raw signal of ``target``; raises when it was not measured."""
@@ -81,7 +100,7 @@ class PanelResult:
 
 
 class PanelProtocol:
-    """Sequential multiplexed assay over every WE of a cell.
+    """Multiplexed assay over every WE of a cell, batched across WEs.
 
     Parameters
     ----------
@@ -100,6 +119,14 @@ class PanelProtocol:
         Extra idle time after each mux switch, seconds.
     peak_min_height:
         Peak-detection prominence threshold, amperes.
+    ca_injections:
+        Mid-dwell bulk additions: one
+        :class:`~repro.chem.solution.InjectionSchedule` applied to every
+        chronoamperometric WE, or a mapping from WE name to schedule.
+    batch_electrodes:
+        Advance all chronoamperometric dwells of the cell in one fused
+        engine solve per step (default).  ``False`` runs the sequential
+        per-WE reference path; both produce bit-identical results.
     """
 
     def __init__(self, ca_dwell: float = 60.0,
@@ -107,7 +134,11 @@ class PanelProtocol:
                  scan_rate: float = 0.020,
                  sample_rate: float = 10.0,
                  settle_between: float = 1.0,
-                 peak_min_height: float = 2.0e-9) -> None:
+                 peak_min_height: float = 2.0e-9,
+                 ca_injections: (InjectionSchedule
+                                 | Mapping[str, InjectionSchedule]
+                                 | None) = None,
+                 batch_electrodes: bool = True) -> None:
         self.ca_dwell = ensure_positive(ca_dwell, "ca_dwell")
         self.cv_window_margin = ensure_positive(
             cv_window_margin, "cv_window_margin")
@@ -116,15 +147,85 @@ class PanelProtocol:
         self.settle_between = ensure_positive(settle_between, "settle_between")
         self.peak_min_height = ensure_positive(
             peak_min_height, "peak_min_height")
+        self.ca_injections = ca_injections
+        self.batch_electrodes = bool(batch_electrodes)
+        schedules = (ca_injections.values()
+                     if isinstance(ca_injections, Mapping)
+                     else [ca_injections])
+        for schedule in schedules:
+            # None (bare or inside a mapping) means "no schedule".
+            if schedule is None:
+                continue
+            if schedule.duration_hint >= self.ca_dwell:
+                raise ProtocolError(
+                    "the last injection falls outside the record duration")
 
     def run(self, cell: ElectrochemicalCell, chain: AcquisitionChain,
             rng: np.random.Generator | None = None) -> PanelResult:
         """Measure every WE in order; return the assembled panel result."""
         generator = rng if rng is not None else np.random.default_rng(2011)
+        ca_rows: dict[str, tuple[ChronoDwell, np.ndarray, np.ndarray]] | None
+        if self.batch_electrodes:
+            ca_rows = {}
+            dwells = self.plan_dwells(cell, chain)
+            if dwells:
+                times = uniform_sample_times(self.ca_dwell, self.sample_rate)
+                currents = DwellBatch(dwells, times).simulate()
+                ca_rows = {dwell.we_name: (dwell, times, currents[i])
+                           for i, dwell in enumerate(dwells)}
+        else:
+            ca_rows = None
+        return self.assemble(cell, chain, generator, ca_rows)
+
+    # -- planning and assembly -----------------------------------------------------
+
+    def _injections_for(self, we_name: str) -> InjectionSchedule | None:
+        if isinstance(self.ca_injections, Mapping):
+            return self.ca_injections.get(we_name)
+        return self.ca_injections
+
+    def _ca_setpoint(self, cell: ElectrochemicalCell, we_name: str) -> float:
+        we = cell.working_electrode(we_name)
+        if isinstance(we.probe, Oxidase):
+            return we.effective_h2o2_wave().potential_for_efficiency(0.95)
+        return 0.65  # the generic H2O2 potential of Sec. I-B
+
+    def plan_dwells(self, cell: ElectrochemicalCell,
+                     chain: AcquisitionChain) -> list[ChronoDwell]:
+        """Engine-ready dwells for every chronoamperometric WE, in order.
+
+        This is the unit the fused paths batch over — within this cell
+        here, and across cells in
+        :class:`~repro.engine.scheduler.AssayScheduler`.
+        """
+        dwells: list[ChronoDwell] = []
+        for we in cell.working_electrodes:
+            if isinstance(we.probe, CytochromeP450):
+                continue
+            e_set = self._ca_setpoint(cell, we.name)
+            e_applied = chain.potentiostat.applied_potential(e_set)
+            dwells.append(ChronoDwell(
+                cell, we.name, float(e_applied), dt=1.0 / self.sample_rate,
+                injections=self._injections_for(we.name), e_setpoint=e_set))
+        return dwells
+
+    def assemble(self, cell: ElectrochemicalCell, chain: AcquisitionChain,
+                  generator: np.random.Generator,
+                  ca_rows: (dict[str, tuple[ChronoDwell, np.ndarray,
+                                            np.ndarray]] | None),
+                  ) -> PanelResult:
+        """Digitise and quantify every WE in electrode order.
+
+        ``ca_rows`` maps WE names to their pre-simulated batched dwell
+        chemistry; ``None`` runs the sequential per-WE reference path
+        instead.  Either way the chain's RNG is consumed strictly in
+        electrode order, which is what keeps the two paths bit-identical.
+        """
         traces: dict[str, Trace] = {}
         voltammograms: dict[str, Voltammogram] = {}
         readouts: dict[str, TargetReadout] = {}
         blank_current: float | None = None
+        blank_e_applied: float | None = None
         assay_time = 0.0
 
         for we in cell.working_electrodes:
@@ -136,34 +237,41 @@ class PanelProtocol:
                 assay_time += voltammogram.times[-1]
                 self._extract_cyp_readouts(we.name, probe, voltammogram,
                                            readouts)
+                continue
+            if ca_rows is None:
+                trace, e_applied = self._run_ca(cell, we.name, chain,
+                                                generator)
             else:
-                trace, e_used = self._run_ca(cell, we.name, chain, generator)
-                traces[we.name] = trace
-                assay_time += trace.duration
-                if isinstance(probe, Oxidase):
-                    readouts[probe.substrate] = TargetReadout(
-                        target=probe.substrate, we_name=we.name,
-                        method="chronoamperometry",
-                        signal=trace.tail_mean())
-                else:
-                    blank_current = trace.tail_mean()
+                dwell, times, row = ca_rows[we.name]
+                reading = chain.digitize(times, row, we=we, rng=generator)
+                trace = Trace(times=times, current=reading.current_estimate,
+                              true_current=row, channel=we.name,
+                              reading=reading)
+                e_applied = dwell.e_applied
+            traces[we.name] = trace
+            assay_time += trace.duration
+            if isinstance(probe, Oxidase):
+                readouts[probe.substrate] = TargetReadout(
+                    target=probe.substrate, we_name=we.name,
+                    method="chronoamperometry",
+                    signal=trace.tail_mean(), e_applied=e_applied)
+            else:
+                blank_current = trace.tail_mean()
+                blank_e_applied = e_applied
         return PanelResult(traces=traces, voltammograms=voltammograms,
                            readouts=readouts, assay_time=assay_time,
-                           blank_current=blank_current)
+                           blank_current=blank_current,
+                           blank_e_applied=blank_e_applied)
 
     # -- per-mode runners ----------------------------------------------------------
 
     def _run_ca(self, cell: ElectrochemicalCell, we_name: str,
                 chain: AcquisitionChain,
                 rng: np.random.Generator) -> tuple[Trace, float]:
-        we = cell.working_electrode(we_name)
-        if isinstance(we.probe, Oxidase):
-            e_set = we.effective_h2o2_wave().potential_for_efficiency(0.95)
-        else:
-            e_set = 0.65  # the generic H2O2 potential of Sec. I-B
         protocol = Chronoamperometry(
-            e_setpoint=e_set, duration=self.ca_dwell,
-            sample_rate=self.sample_rate)
+            e_setpoint=self._ca_setpoint(cell, we_name),
+            duration=self.ca_dwell, sample_rate=self.sample_rate,
+            injections=self._injections_for(we_name))
         result = protocol.run(cell, we_name, chain, rng=rng)
         return result.trace, result.e_applied
 

@@ -25,6 +25,7 @@ from repro.engine import (
     SimulationEngine,
     batch_thomas_solve,
     factor_tridiagonal,
+    factor_tridiagonal_shared,
 )
 from repro.engine.tridiag import SMALL_BATCH
 from repro.errors import SimulationError
@@ -97,6 +98,60 @@ class TestFactorization:
             factor.solve(np.ones(4))
         with pytest.raises(SimulationError):
             factor_tridiagonal(np.zeros(3), np.ones(3), np.zeros(2))
+
+
+class TestSharedFactorization:
+    """Deduplicated eliminations: (grid, D, dt)-identical systems."""
+
+    def _banded_batch(self, m, n, rng, duplicates):
+        lower = np.empty((m, n - 1))
+        diag = np.empty((m, n))
+        upper = np.empty((m, n - 1))
+        rhs = np.empty((m, n))
+        for j in range(m):
+            lower[j], diag[j], upper[j], rhs[j] = random_dominant_system(
+                rng, n)
+        for dst, src in duplicates:
+            lower[dst], diag[dst], upper[dst] = lower[src], diag[src], upper[src]
+        return lower, diag, upper, rhs
+
+    @pytest.mark.parametrize("m", [3, SMALL_BATCH + 4])
+    def test_duplicate_rows_solve_bitwise(self, m):
+        rng = np.random.default_rng(m + 40)
+        # Rows 1 and m-1 duplicate row 0's matrix (rhs stays distinct).
+        lower, diag, upper, rhs = self._banded_batch(
+            m, 23, rng, duplicates=[(1, 0), (m - 1, 0)])
+        out = factor_tridiagonal_shared(lower, diag, upper).solve(rhs)
+        for j in range(m):
+            assert np.array_equal(
+                out[j], thomas_solve(lower[j], diag[j], upper[j], rhs[j]))
+
+    def test_all_unique_rows_unchanged(self):
+        rng = np.random.default_rng(77)
+        lower, diag, upper, rhs = self._banded_batch(6, 17, rng, [])
+        shared = factor_tridiagonal_shared(lower, diag, upper).solve(rhs)
+        direct = factor_tridiagonal(lower, diag, upper).solve(rhs)
+        assert np.array_equal(shared, direct)
+
+    def test_one_dimensional_delegates(self):
+        rng = np.random.default_rng(5)
+        lower, diag, upper, rhs = random_dominant_system(rng, 12)
+        out = factor_tridiagonal_shared(lower, diag, upper).solve(rhs)
+        assert np.array_equal(out, thomas_solve(lower, diag, upper, rhs))
+
+    def test_crank_nicolson_steppers_share_one_factorization(self):
+        grid = Grid1D.uniform(5.0e-4, 40)
+        st1 = CrankNicolsonDiffusion(grid, 6.7e-10, 0.1)
+        st2 = CrankNicolsonDiffusion(Grid1D.uniform(5.0e-4, 40), 6.7e-10, 0.1)
+        assert st1._implicit_factor is st2._implicit_factor
+        # A different dt / diffusivity must not share.
+        st3 = CrankNicolsonDiffusion(grid, 6.7e-10, 0.2)
+        st4 = CrankNicolsonDiffusion(grid, 1.0e-9, 0.1)
+        assert st3._implicit_factor is not st1._implicit_factor
+        assert st4._implicit_factor is not st1._implicit_factor
+        # Shared or not, the stepping arithmetic is untouched.
+        c = np.linspace(1.0, 2.0, 40)
+        assert np.array_equal(st1.step(c, 1.0e-8), st2.step(c, 1.0e-8))
 
 
 def make_steppers(boundary="dirichlet", n_systems=3):
