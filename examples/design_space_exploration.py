@@ -9,23 +9,26 @@ The example specifies the Sec. III six-target panel as requirements,
 explores every platform the component library can express (probe choices,
 sensor structures, readout sharing, noise strategies, nanostructuring,
 electrode areas, scan rates), prints the Pareto front, materialises the
-cheapest feasible platform, and runs a real sample through it.
+cheapest feasible platform, and runs a real sample through it — both
+steps described as declarative :mod:`repro.api` specs and executed
+through the ``run(spec)`` front door, so the chosen design's JSON
+payload drops straight from the exploration record into the platform
+run spec.
 
 Run:  python examples/design_space_exploration.py
 """
 
 from __future__ import annotations
 
-import numpy as np
-
+from repro import api
 from repro.core import (
-    BiosensingPlatform,
     design_point_report,
+    design_to_dict,
     exploration_report,
-    explore,
     paper_panel_spec,
 )
 from repro.data import PAPER_PANEL_MID_CONCENTRATIONS
+from repro.errors import InfeasibleDesignError
 
 
 def main() -> None:
@@ -33,8 +36,12 @@ def main() -> None:
     print(f"panel: {panel.name}  "
           f"({', '.join(panel.species_names())})")
 
-    result = explore(panel, require_feasible=True)
-    print()
+    explore_record = api.run(api.ExploreSpec())
+    result = explore_record.result
+    if not result.n_feasible:
+        raise InfeasibleDesignError("no feasible design in the space")
+    print(f"\nexplored via spec {explore_record.spec_hash[:12]} "
+          f"(schema v{explore_record.schema_version})")
     print(exploration_report(result))
 
     cheapest = result.best_by("cost")
@@ -42,12 +49,13 @@ def main() -> None:
     print("=== chosen design (cheapest feasible) ===")
     print(design_point_report(cheapest))
 
-    platform = BiosensingPlatform(cheapest.design, seed=31)
+    platform_record = api.run(api.PlatformSpec(
+        design=design_to_dict(cheapest.design),
+        concentrations=dict(PAPER_PANEL_MID_CONCENTRATIONS), seed=31))
     print()
-    print(platform.summary())
+    print(platform_record.summary)
 
-    platform.load_sample(PAPER_PANEL_MID_CONCENTRATIONS)
-    run = platform.run_panel(rng=np.random.default_rng(31))
+    run = platform_record.result
     print(f"\nassay complete in {run.assay_time:.0f} s; recovered "
           f"{len(run.readouts)}/{len(panel.targets)} targets:")
     for target, readout in sorted(run.readouts.items()):

@@ -3,25 +3,20 @@
 Builds the paper's five-electrode silicon biointerface (glucose, lactate,
 glutamate, CYP2B4 for benzphetamine + aminopyrine, CYP11A1 for
 cholesterol), wets it with a mid-range sample, and runs the multiplexed
-assay through the integrated acquisition chain — chronoamperometry on the
-oxidase electrodes, cyclic voltammetry with peak assignment on the
-cytochrome electrodes.
+assay — described as one declarative :mod:`repro.api` spec and executed
+through the platform's single ``run(spec)`` front door:
+chronoamperometry on the oxidase electrodes, cyclic voltammetry with
+peak assignment on the cytochrome electrodes, every dwell fused through
+the batched engine.
 
 Run:  python examples/multi_metabolite_panel.py
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.data import (
-    PAPER_PANEL_MID_CONCENTRATIONS,
-    integrated_chain,
-    paper_biointerface,
-    paper_panel_cell,
-)
+from repro import api
+from repro.data import PAPER_PANEL_MID_CONCENTRATIONS, paper_biointerface
 from repro.io.tables import render_table
-from repro.measurement import PanelProtocol
 from repro.units import v_to_mv
 
 
@@ -33,12 +28,15 @@ def main() -> None:
     print("\nsample loading (mM):",
           ", ".join(f"{k}={v:g}" for k, v in sample.items()))
 
-    cell = paper_panel_cell(sample)
-    chain = integrated_chain("cyp_micro", n_channels=5, seed=11)
-    print(f"\nchain: {chain.describe()}")
-
-    protocol = PanelProtocol()
-    result = protocol.run(cell, chain, rng=np.random.default_rng(11))
+    spec = api.AssaySpec(
+        name="fig4", seed=11,
+        cell=api.CellSpec(concentrations=sample),
+        chain=api.ChainSpec(readout="cyp_micro", n_channels=5, seed=11))
+    record = api.run(spec)
+    print(f"\nran spec {record.spec_hash[:12]} "
+          f"(schema v{record.schema_version}, seed {record.seed}, "
+          f"{record.engine.n_fused_dwells} dwells fused)")
+    result = record.result
 
     rows = []
     for target, loading in sample.items():

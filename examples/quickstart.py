@@ -1,13 +1,16 @@
-"""Quickstart: build a glucose biosensor and measure a sample.
+"""Quickstart: calibrate a glucose biosensor through the spec front door.
 
 This walks the shortest path through the library:
 
-1. get the calibrated glucose-oxidase sensor from the catalog (the
-   screen-printed CNT electrode behind Table III's 27.7 uA/(mM cm^2)),
-2. hold it at the Table I potential (+550 mV vs Ag/AgCl) with a
-   laboratory-grade acquisition chain,
-3. inject glucose and watch the Fig. 3 transient,
-4. calibrate and read an unknown sample back in millimolar.
+1. describe the run declaratively — a :mod:`repro.api`
+   ``CalibrationSpec`` — and execute it with ``api.run``; the returned
+   record carries the fitted curve *plus* provenance (spec hash, schema
+   version, seed),
+2. compare the measured metrics against the paper's Table III row
+   (27.7 uA/(mM cm^2) for the screen-printed CNT glucose electrode),
+3. drop below the front door (the documented escape hatch) to watch the
+   Fig. 3 injection transient with ``Chronoamperometry`` directly,
+4. read an unknown sample back in millimolar with the record's curve.
 
 Run:  python examples/quickstart.py
 """
@@ -16,9 +19,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis import run_calibration, steady_state_response_time
+from repro import api
+from repro.analysis import steady_state_response_time
 from repro.chem import InjectionSchedule
-from repro.data import bench_chain, reference_cell
+from repro.data import bench_chain, performance_record, reference_cell
 from repro.io.tables import render_table
 from repro.measurement import Chronoamperometry
 from repro.units import sensitivity_to_paper, si_to_um_conc
@@ -27,35 +31,18 @@ E_APPLIED = 0.550  # Table I: glucose oxidase, +550 mV vs Ag/AgCl
 
 
 def main() -> None:
-    # --- 1. sensor and electronics -------------------------------------
-    cell = reference_cell("glucose")
-    chain = bench_chain(seed=7)
-    we = cell.working_electrodes[0]
-    print(f"sensor : {we.functionalization.probe.display_name} on "
-          f"{we.material.display_name}, {we.area * 1e6:.2f} mm^2")
-    print(f"chain  : {chain.describe()}")
+    # --- 1. one declarative spec, one run --------------------------------
+    spec = api.CalibrationSpec(target="glucose", points=8, seed=7)
+    record = api.run(spec)
+    print(f"ran spec {record.spec_hash[:12]} "
+          f"(kind {record.kind!r}, schema v{record.schema_version}, "
+          f"seed {record.seed})")
 
-    # --- 2. one injection, one transient (the Fig. 3 experiment) -------
-    protocol = Chronoamperometry(
-        e_setpoint=E_APPLIED, duration=90.0, sample_rate=5.0,
-        injections=InjectionSchedule.single(10.0, "glucose", 2.0))
-    result = protocol.run(cell, we.name, chain,
-                          rng=np.random.default_rng(7))
-    trace = result.trace.smoothed(21)
-    t90 = steady_state_response_time(trace, 10.0)
-    print(f"\ninjected 2 mM glucose at t=10 s:")
-    print(f"  steady current : {trace.tail_mean() * 1e6:.2f} uA")
-    print(f"  response time  : {t90:.0f} s to 90 % "
-          f"(the paper's Fig. 3 shows ~30 s)")
-
-    # --- 3. calibration ladder ------------------------------------------
-    def signal_at(c: float) -> tuple[float, float]:
-        cell.chamber.set_bulk("glucose", c)
-        true = cell.measured_current(we.name, E_APPLIED)
-        return chain.measure_constant(true, duration=5.0, we=we)
-
-    curve = run_calibration(signal_at, list(np.linspace(0.5, 5.0, 8)))
-    sensitivity = curve.sensitivity(c_low=0.5, c_high=4.0) / we.area
+    # --- 2. measured metrics vs the paper --------------------------------
+    curve = record.curve
+    paper = performance_record("glucose")
+    lo_p, hi_p = paper.linear_range
+    sensitivity = curve.sensitivity(c_low=lo_p, c_high=hi_p) / record.we_area
     low, high = curve.linear_range(nl_fraction=0.06)
     print("\ncalibration (paper Table III values in parentheses):")
     rows = [
@@ -66,6 +53,22 @@ def main() -> None:
         ["linear range", f"{low:.2g} - {high:.2g} mM", "(0.5 - 4)"],
     ]
     print(render_table(["metric", "measured", "paper"], rows))
+
+    # --- 3. the escape hatch: one injection, one transient ---------------
+    cell = reference_cell("glucose")
+    chain = bench_chain(seed=7)
+    we = cell.working_electrodes[0]
+    protocol = Chronoamperometry(
+        e_setpoint=E_APPLIED, duration=90.0, sample_rate=5.0,
+        injections=InjectionSchedule.single(10.0, "glucose", 2.0))
+    result = protocol.run(cell, we.name, chain,
+                          rng=np.random.default_rng(7))
+    trace = result.trace.smoothed(21)
+    t90 = steady_state_response_time(trace, 10.0)
+    print(f"\ninjected 2 mM glucose at t=10 s (class-level API):")
+    print(f"  steady current : {trace.tail_mean() * 1e6:.2f} uA")
+    print(f"  response time  : {t90:.0f} s to 90 % "
+          f"(the paper's Fig. 3 shows ~30 s)")
 
     # --- 4. read an unknown sample ---------------------------------------
     unknown = 2.7  # mM, pretend we do not know this

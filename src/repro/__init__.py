@@ -11,15 +11,21 @@ design-space exploration for multi-target biosensors.
 
 Quickstart::
 
-    import repro
+    from repro import api
 
-    cell = repro.data.paper_panel_cell()
-    chain = repro.data.integrated_chain("cyp", n_channels=5)
-    result = repro.measurement.PanelProtocol().run(cell, chain)
-    print(result.readouts["glucose"].signal)
+    record = api.run(api.AssaySpec(seed=2011))   # the Fig. 4 panel
+    print(record.spec_hash, record.result.readouts["glucose"].signal)
+
+(The class-level escape hatch remains available: build a cell with
+``repro.data.paper_panel_cell()``, a chain with
+``repro.data.integrated_chain(...)`` and call
+``repro.measurement.PanelProtocol().run(cell, chain)``.)
 
 Subpackages
 -----------
+``repro.api``
+    The declarative front door: versioned run specs, ``run(spec)``,
+    streaming fleet results, provenance-carrying run records.
 ``repro.chem``
     Species, enzyme kinetics, redox laws, diffusion solver.
 ``repro.sensors``
@@ -38,7 +44,17 @@ Subpackages
     ASCII tables and CSV/JSON export.
 """
 
-from repro import analysis, chem, core, data, electronics, io, measurement, sensors
+from repro import (
+    analysis,
+    api,
+    chem,
+    core,
+    data,
+    electronics,
+    io,
+    measurement,
+    sensors,
+)
 from repro.errors import (
     AnalysisError,
     CalibrationError,
@@ -58,7 +74,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "chem", "sensors", "electronics", "measurement", "analysis",
-    "core", "data", "io",
+    "core", "data", "io", "api",
     "ReproError", "UnitsError", "ChemistryError", "SimulationError",
     "SensorError", "ElectronicsError", "ProtocolError", "AnalysisError",
     "CalibrationError", "DesignError", "InfeasibleDesignError", "SpecError",

@@ -1,0 +1,103 @@
+"""repro.api — the platform's single declarative front door.
+
+The paper's pitch is an *integrated* platform; this package is the seam
+that makes the codebase one.  Users describe work as versioned,
+JSON-round-trippable **specs** and get **run records** back — result
+plus provenance — through exactly one entry point::
+
+    from repro import api
+
+    record = api.run(api.AssaySpec(seed=7))          # Fig. 4 panel
+    print(record.spec_hash, record.result.readouts["glucose"].signal)
+
+    fleet = api.FleetSpec.homogeneous(cells=8, seed=2011)
+    for rec in api.iter_results(fleet):              # streamed, job order
+        print(rec.job_name, rec.result.assay_time)
+
+Spec schema
+===========
+
+Every spec serialises to a flat JSON object with a two-field envelope —
+``{"schema": <int>, "kind": <str>, ...}`` — shared with the core
+design/panel specs of :mod:`repro.core.spec`.  Kinds and their payloads
+live in :mod:`repro.api.specs`:
+
+- ``assay``: ``name``, ``seed``, ``cell`` (paper panel or reference
+  sensor), ``chain`` (integrated readout class or bench), ``protocol``
+  (dwell/sweep parameters, injection schedules, ``batch_electrodes``).
+- ``fleet``: ``name`` plus an explicit ``assays`` list (files stay
+  reproducible; :meth:`~repro.api.specs.FleetSpec.homogeneous` builds
+  the N-identical-cells case).
+- ``calibration``: ``target``, ``points``, ``seed``.
+- ``platform``: an embedded core ``design`` payload plus sample
+  ``concentrations`` and run parameters.
+- ``explore``: an embedded core ``panel`` payload (or null for the
+  paper's Sec. III panel).
+
+Versioning policy
+=================
+
+``SCHEMA_VERSION`` (currently 1) is written into every payload and
+checked on load; a reader raises :class:`~repro.errors.SpecError` on
+any version it does not understand, naming the offending file/path.
+The version bumps only on *breaking* payload changes (a key removed,
+renamed, or reinterpreted); adding optional keys with defaults is not a
+bump, so version-1 files keep loading as the library grows.  Unknown
+keys are ignored on read — forward-written files degrade gracefully —
+and ``to_dict`` always emits the complete canonical payload, so
+:func:`spec_hash` (SHA-256 over the sorted canonical JSON) is stable
+across round trips and is the provenance key every
+:class:`~repro.api.records.RunRecord` carries.
+
+Escape hatch
+============
+
+The class-level entry points remain supported and documented —
+:class:`~repro.measurement.panel.PanelProtocol.run`,
+:class:`~repro.engine.scheduler.AssayScheduler.run_many`,
+:class:`~repro.core.platform.BiosensingPlatform.run` — and the spec
+paths are pinned bit-identical to them in ``tests/test_api_run.py``;
+specs add provenance and a stable file surface, not new physics.
+"""
+
+from repro.api.records import (
+    AssayRunRecord,
+    CalibrationRunRecord,
+    EngineStats,
+    ExploreRunRecord,
+    FleetRunRecord,
+    PlatformRunRecord,
+    RunRecord,
+)
+from repro.api.runner import iter_results, run
+from repro.api.specs import (
+    SCHEMA_VERSION,
+    AssaySpec,
+    CalibrationSpec,
+    CellSpec,
+    ChainSpec,
+    ExploreSpec,
+    FleetSpec,
+    InjectionEvent,
+    PanelProtocolSpec,
+    PlatformSpec,
+    canonical_payload,
+    load_spec,
+    spec_from_dict,
+    spec_hash,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    # specs
+    "AssaySpec", "FleetSpec", "CalibrationSpec", "PlatformSpec",
+    "ExploreSpec",
+    "CellSpec", "ChainSpec", "PanelProtocolSpec", "InjectionEvent",
+    "spec_from_dict", "load_spec", "spec_hash", "canonical_payload",
+    # records
+    "RunRecord", "AssayRunRecord", "FleetRunRecord",
+    "CalibrationRunRecord", "PlatformRunRecord", "ExploreRunRecord",
+    "EngineStats",
+    # entry points
+    "run", "iter_results",
+]

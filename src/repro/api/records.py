@@ -1,0 +1,172 @@
+"""Uniform run records: result + provenance for every front-door run.
+
+Every :func:`repro.api.run` / :func:`repro.api.iter_results` call
+returns a :class:`RunRecord` subclass carrying the layer-specific result
+object *plus* the provenance that makes the run reproducible and
+auditable: the canonical spec payload, its SHA-256 hash, the spec schema
+version, the seed, the wall time, and (where the batched engine ran)
+its fusion statistics.  ``to_dict()`` serialises record summaries for
+:func:`repro.io.export.run_record_to_json`; raw sample arrays stay on
+the live result objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.analysis.calibration import CalibrationCurve
+    from repro.core.explorer import ExplorationResult
+    from repro.core.platform import PlatformRunResult
+    from repro.measurement.panel import PanelResult
+
+__all__ = [
+    "EngineStats", "RunRecord", "AssayRunRecord", "FleetRunRecord",
+    "CalibrationRunRecord", "PlatformRunRecord", "ExploreRunRecord",
+]
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Fusion statistics of the batched engine pass behind a record."""
+
+    n_fused_dwells: int
+    n_dwell_groups: int
+
+    def to_dict(self) -> dict:
+        return {"n_fused_dwells": self.n_fused_dwells,
+                "n_dwell_groups": self.n_dwell_groups}
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Provenance shared by every front-door run.
+
+    ``spec`` is the canonical payload the run was built from (what
+    :meth:`~repro.api.specs.AssaySpec.to_dict` returned), ``spec_hash``
+    its SHA-256, ``schema_version`` the spec schema it was written
+    against, and ``seed`` the acquisition-noise seed — together they pin
+    the run bit for bit.  ``wall_time_s`` is the elapsed time since the
+    run (or, for records streamed by :func:`repro.api.iter_results`,
+    since the *stream*) started, measured when the record was produced.
+    """
+
+    spec: dict
+    spec_hash: str
+    schema_version: int
+    seed: int | None
+    wall_time_s: float
+
+    @property
+    def kind(self) -> str:
+        return str(self.spec.get("kind", "?"))
+
+    def provenance(self) -> dict:
+        return {"kind": self.kind, "spec_hash": self.spec_hash,
+                "schema_version": self.schema_version, "seed": self.seed,
+                "wall_time_s": self.wall_time_s}
+
+    def _result_dict(self) -> dict:
+        return {}
+
+    def to_dict(self) -> dict:
+        return {"provenance": self.provenance(), "spec": self.spec,
+                "result": self._result_dict()}
+
+
+@dataclass(frozen=True)
+class AssayRunRecord(RunRecord):
+    """One panel assay: a :class:`~repro.measurement.panel.PanelResult`
+    plus provenance.  ``engine`` carries the fused-batch statistics of
+    the solve (``None`` on the sequential per-WE reference path)."""
+
+    job_name: str
+    result: "PanelResult"
+    engine: EngineStats | None = None
+
+    def _result_dict(self) -> dict:
+        summary = self.result.summary_dict()
+        summary["job_name"] = self.job_name
+        if self.engine is not None:
+            summary["engine"] = self.engine.to_dict()
+        return summary
+
+
+@dataclass(frozen=True)
+class FleetRunRecord(RunRecord):
+    """One fleet pass: the per-job records, in job order, plus the
+    fused-engine totals across the whole fleet."""
+
+    records: tuple[AssayRunRecord, ...]
+    engine: EngineStats
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(record.job_name for record in self.records)
+
+    @property
+    def results(self) -> tuple["PanelResult", ...]:
+        return tuple(record.result for record in self.records)
+
+    def _result_dict(self) -> dict:
+        return {"n_jobs": len(self.records),
+                "engine": self.engine.to_dict(),
+                "jobs": [r._result_dict() for r in self.records]}
+
+
+@dataclass(frozen=True)
+class CalibrationRunRecord(RunRecord):
+    """One measured calibration: the fitted curve plus the held
+    potential and electrode area needed to express paper-style
+    area-normalised sensitivities."""
+
+    target: str
+    curve: "CalibrationCurve"
+    e_applied: float
+    we_area: float
+
+    def _result_dict(self) -> dict:
+        return {"target": self.target,
+                "e_applied_v": self.e_applied,
+                "we_area_m2": self.we_area,
+                "blank_mean_a": self.curve.blank_mean,
+                "blank_std_a": self.curve.blank_std,
+                "points": [{"concentration_mm": p.concentration,
+                            "signal_a": p.signal,
+                            "signal_std_a": p.signal_std}
+                           for p in self.curve.points]}
+
+
+@dataclass(frozen=True)
+class PlatformRunRecord(RunRecord):
+    """One assay on a materialised design: the
+    :class:`~repro.core.platform.PlatformRunResult` plus the platform's
+    human-readable summary."""
+
+    result: "PlatformRunResult"
+    summary: str
+
+    def _result_dict(self) -> dict:
+        return {"assay_time_s": self.result.assay_time,
+                "blank_current_a": self.result.blank_current,
+                "readouts": {target: readout.to_dict()
+                             for target, readout
+                             in self.result.readouts.items()}}
+
+
+@dataclass(frozen=True)
+class ExploreRunRecord(RunRecord):
+    """One design-space exploration: the full
+    :class:`~repro.core.explorer.ExplorationResult`."""
+
+    result: "ExplorationResult"
+
+    def _result_dict(self) -> dict:
+        return {"panel_name": self.result.panel_name,
+                "n_candidates": self.result.n_candidates,
+                "n_feasible": self.result.n_feasible,
+                "n_pareto": len(self.result.front)}

@@ -1,0 +1,216 @@
+"""``run(spec)`` / ``iter_results(spec)`` — the platform's front door.
+
+One entry point, five dispatch paths:
+
+==============  ==============================================  =======================
+spec kind       executes through                                returns
+==============  ==============================================  =======================
+``assay``       :class:`~repro.engine.scheduler.AssayScheduler`
+                (single-job fused batch), or
+                :meth:`~repro.measurement.panel.PanelProtocol.
+                run` when ``batch_electrodes`` is off            :class:`AssayRunRecord`
+``fleet``       :meth:`~repro.engine.scheduler.AssayScheduler.
+                run_iter` (streamed, then collected)             :class:`FleetRunRecord`
+``calibration`` :func:`~repro.analysis.calibration.
+                run_calibration` over the bench chain            :class:`CalibrationRunRecord`
+``platform``    :meth:`~repro.core.platform.BiosensingPlatform.
+                run`                                             :class:`PlatformRunRecord`
+``explore``     :func:`~repro.core.explorer.explore`             :class:`ExploreRunRecord`
+==============  ==============================================  =======================
+
+:func:`iter_results` is the streaming form of the fleet path: it yields
+one :class:`AssayRunRecord` per job, in job order, as each assay's
+dwells drain from the fused engine batches — a consumer can export or
+react to job ``k`` while jobs ``k+1..N`` are still digitising, and
+``run(fleet_spec)`` is exactly this stream collected.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterator, Mapping
+
+import numpy as np
+
+from repro.api.records import (
+    AssayRunRecord,
+    CalibrationRunRecord,
+    EngineStats,
+    ExploreRunRecord,
+    FleetRunRecord,
+    PlatformRunRecord,
+    RunRecord,
+)
+from repro.api.specs import (
+    SCHEMA_VERSION,
+    AssaySpec,
+    CalibrationSpec,
+    ExploreSpec,
+    FleetSpec,
+    PlatformSpec,
+    hash_payload,
+    spec_from_dict,
+)
+from repro.errors import ProtocolError, SpecError
+
+__all__ = ["run", "iter_results"]
+
+
+def _coerce(spec):
+    if isinstance(spec, Mapping):
+        return spec_from_dict(spec)
+    return spec
+
+
+def run(spec) -> RunRecord:
+    """Execute any runnable spec (dataclass or payload dict)."""
+    spec = _coerce(spec)
+    if isinstance(spec, AssaySpec):
+        return _run_assay(spec)
+    if isinstance(spec, FleetSpec):
+        return _run_fleet(spec)
+    if isinstance(spec, CalibrationSpec):
+        return _run_calibration(spec)
+    if isinstance(spec, PlatformSpec):
+        return _run_platform(spec)
+    if isinstance(spec, ExploreSpec):
+        return _run_explore(spec)
+    raise SpecError(f"not a runnable spec: {type(spec).__name__}")
+
+
+def iter_results(spec) -> Iterator[AssayRunRecord]:
+    """Stream a fleet: one per-job record as each assay completes.
+
+    Job order, results, and engine statistics match ``run(fleet_spec)``
+    exactly (both drain :meth:`~repro.engine.scheduler.AssayScheduler.
+    run_iter`); each yielded record carries its *own* assay spec payload
+    and hash, its job's seed, and — cumulative since the stream started,
+    like ``wall_time_s`` — the fused-engine statistics at the moment it
+    completed.
+    """
+    from repro.engine.scheduler import AssayScheduler
+
+    spec = _coerce(spec)
+    if isinstance(spec, AssaySpec):
+        spec = FleetSpec(name=spec.name, assays=(spec,))
+    if not isinstance(spec, FleetSpec):
+        raise SpecError(f"iter_results needs a fleet (or assay) spec, "
+                        f"got {type(spec).__name__}")
+    jobs = spec.build_jobs()
+    start = time.perf_counter()
+    for item in AssayScheduler().run_iter(jobs):
+        assay = spec.assays[item.index]
+        payload = assay.to_dict()
+        yield AssayRunRecord(
+            spec=payload, spec_hash=hash_payload(payload),
+            schema_version=SCHEMA_VERSION, seed=assay.seed,
+            wall_time_s=time.perf_counter() - start,
+            job_name=item.name, result=item.result,
+            engine=EngineStats(n_fused_dwells=item.n_fused_dwells,
+                               n_dwell_groups=item.n_dwell_groups))
+
+
+def _run_assay(spec: AssaySpec) -> AssayRunRecord:
+    from repro.engine.scheduler import AssayScheduler
+
+    payload = spec.to_dict()
+    start = time.perf_counter()
+    job = spec.build_job()
+    if spec.protocol.batch_electrodes:
+        # A single-job fleet: same fused solve as PanelProtocol.run's
+        # batched path (pinned bit-identical), plus engine statistics.
+        item = next(AssayScheduler().run_iter([job]))
+        result = item.result
+        engine = EngineStats(n_fused_dwells=item.n_fused_dwells,
+                             n_dwell_groups=item.n_dwell_groups)
+    else:
+        result = job.protocol.run(job.cell, job.chain, rng=job.rng)
+        engine = None
+    return AssayRunRecord(
+        spec=payload, spec_hash=hash_payload(payload),
+        schema_version=SCHEMA_VERSION, seed=spec.seed,
+        wall_time_s=time.perf_counter() - start,
+        job_name=spec.name, result=result, engine=engine)
+
+
+def _run_fleet(spec: FleetSpec) -> FleetRunRecord:
+    payload = spec.to_dict()
+    start = time.perf_counter()
+    records = tuple(iter_results(spec))
+    # FleetSpec guarantees at least one assay, so records is non-empty
+    # and the last record's cumulative stats are the fleet totals.
+    engine = records[-1].engine
+    return FleetRunRecord(
+        spec=payload, spec_hash=hash_payload(payload),
+        schema_version=SCHEMA_VERSION, seed=None,
+        wall_time_s=time.perf_counter() - start,
+        records=records, engine=engine)
+
+
+def _run_calibration(spec: CalibrationSpec) -> CalibrationRunRecord:
+    from repro.analysis import run_calibration
+    from repro.data import bench_chain, performance_record, reference_cell
+    from repro.data.catalog import table1_working_electrode
+
+    payload = spec.to_dict()
+    start = time.perf_counter()
+    try:
+        record = performance_record(spec.target)
+    except KeyError as exc:
+        raise SpecError(f"calibration spec: {exc.args[0]}") from exc
+    if record.method != "chronoamperometry":
+        raise ProtocolError(
+            f"{spec.target} is CV-detected; use the T3 bench for "
+            f"peak-height calibration")
+    cell = reference_cell(spec.target)
+    chain = bench_chain(seed=spec.seed)
+    we = cell.working_electrodes[0]
+    e_applied = table1_working_electrode(
+        spec.target).effective_h2o2_wave().potential_for_efficiency(0.95)
+
+    def signal_at(concentration: float) -> tuple[float, float]:
+        cell.chamber.set_bulk(spec.target, concentration)
+        true = cell.measured_current(we.name, e_applied)
+        return chain.measure_constant(true, duration=5.0, we=we)
+
+    lo, hi = record.linear_range
+    ladder = list(np.linspace(lo, hi * 1.5, spec.points))
+    curve = run_calibration(signal_at, ladder)
+    return CalibrationRunRecord(
+        spec=payload, spec_hash=hash_payload(payload),
+        schema_version=SCHEMA_VERSION, seed=spec.seed,
+        wall_time_s=time.perf_counter() - start,
+        target=spec.target, curve=curve,
+        e_applied=float(e_applied), we_area=float(we.area))
+
+
+def _run_platform(spec: PlatformSpec) -> PlatformRunRecord:
+    from repro.core.platform import BiosensingPlatform
+
+    payload = spec.to_dict()
+    start = time.perf_counter()
+    platform = BiosensingPlatform(
+        spec.build_design(), ca_dwell=spec.ca_dwell,
+        sample_rate=spec.sample_rate, seed=spec.seed,
+        readout_class=spec.readout_class)
+    if spec.concentrations is not None:
+        platform.load_sample(dict(spec.concentrations))
+    result = platform.run()
+    return PlatformRunRecord(
+        spec=payload, spec_hash=hash_payload(payload),
+        schema_version=SCHEMA_VERSION, seed=spec.seed,
+        wall_time_s=time.perf_counter() - start,
+        result=result, summary=platform.summary())
+
+
+def _run_explore(spec: ExploreSpec) -> ExploreRunRecord:
+    from repro.core.explorer import explore
+
+    payload = spec.to_dict()
+    start = time.perf_counter()
+    result = explore(spec.build_panel())
+    return ExploreRunRecord(
+        spec=payload, spec_hash=hash_payload(payload),
+        schema_version=SCHEMA_VERSION, seed=None,
+        wall_time_s=time.perf_counter() - start,
+        result=result)

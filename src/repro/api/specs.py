@@ -1,0 +1,662 @@
+"""Versioned, JSON-round-trippable *execution* specs.
+
+Where :mod:`repro.core.spec` serialises what a deployment *wants*
+(panel targets, design constraints) and what it *chose* (a platform
+design), this module serialises what the platform should *do*: which
+cell to wet, which acquisition chain to drive it, which protocol
+parameters and injection schedules to run, and which seed pins the
+noise.  Every spec is a frozen dataclass with a canonical ``to_dict``
+payload (``schema`` + ``kind`` envelope, shared with the core specs),
+so a spec file is a complete, hashable description of a run —
+:func:`spec_hash` over the canonical payload is the provenance key every
+:class:`~repro.api.records.RunRecord` carries.
+
+Spec kinds (see :mod:`repro.api` for the schema/versioning policy):
+
+- ``assay`` — one multiplexed panel assay: cell x chain x protocol x seed.
+- ``fleet`` — N concurrent assays for the batched scheduler.
+- ``calibration`` — a measured calibration ladder of one reference sensor.
+- ``platform`` — materialise a :class:`~repro.core.architecture.
+  PlatformDesign` (embedded core ``design`` payload) and assay a sample.
+- ``explore`` — design-space exploration of a core ``panel`` payload.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.chem.solution import Injection, InjectionSchedule
+from repro.core.spec import (
+    SCHEMA_VERSION,
+    check_kind,
+    read_payload,
+    require,
+    require_list,
+)
+from repro.errors import SpecError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from pathlib import Path
+
+    from repro.core.architecture import PlatformDesign
+    from repro.core.targets import PanelSpec
+    from repro.electronics.chain import AcquisitionChain
+    from repro.engine.scheduler import AssayJob
+    from repro.measurement.panel import PanelProtocol
+    from repro.sensors.cell import ElectrochemicalCell
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ChainSpec", "CellSpec", "InjectionEvent", "PanelProtocolSpec",
+    "AssaySpec", "FleetSpec", "CalibrationSpec", "PlatformSpec",
+    "ExploreSpec",
+    "spec_from_dict", "load_spec", "spec_hash", "hash_payload",
+    "canonical_payload",
+]
+
+
+def canonical_payload(spec) -> dict:
+    """The canonical JSON payload of a spec.
+
+    Raw payload dicts are normalised by parsing them back into a spec
+    first, so hand-written files (``"ca_dwell": 30``) and ``to_dict``
+    output (``30.0``) canonicalise — and therefore hash — identically.
+    """
+    if isinstance(spec, Mapping):
+        return spec_from_dict(spec).to_dict()
+    to_dict = getattr(spec, "to_dict", None)
+    if to_dict is None:
+        raise SpecError(f"not a spec: {type(spec).__name__}")
+    return to_dict()
+
+
+def _float_value(value, label: str) -> float:
+    # Strict like _int_value/_bool_value: bool/str coercions (float(True)
+    # == 1.0, float("30")) would silently change a hand-written spec.
+    if isinstance(value, (bool, str)):
+        raise SpecError(f"{label}: expected a number, got {value!r}")
+    try:
+        return float(value)
+    except (TypeError, ValueError) as exc:
+        raise SpecError(f"{label}: expected a number, "
+                        f"got {value!r}") from exc
+
+
+def _int_value(value, label: str) -> int:
+    # Reject bools, strings and non-integral floats rather than coercing:
+    # a spec saying "seed": 7.9 must not silently run a different stream.
+    if isinstance(value, (bool, str)) or (isinstance(value, float)
+                                          and not value.is_integer()):
+        raise SpecError(f"{label}: expected an integer, got {value!r}")
+    try:
+        return int(value)
+    except (TypeError, ValueError) as exc:
+        raise SpecError(f"{label}: expected an integer, "
+                        f"got {value!r}") from exc
+
+
+def _bool_value(value, label: str) -> bool:
+    # No coercion: bool("false") is True, which would silently flip the
+    # meaning of a hand-written spec.
+    if not isinstance(value, bool):
+        raise SpecError(f"{label}: expected true or false, got {value!r}")
+    return value
+
+
+def hash_payload(payload: Mapping) -> str:
+    """SHA-256 of an *already canonical* payload (``to_dict`` output).
+
+    The runner uses this to hash the payload it just serialised without
+    re-parsing it; arbitrary hand-written dicts should go through
+    :func:`spec_hash`, which canonicalises first.
+    """
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def spec_hash(spec) -> str:
+    """SHA-256 over the canonical JSON payload — the provenance key."""
+    return hash_payload(canonical_payload(spec))
+
+
+# -- building blocks ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChainSpec:
+    """Which acquisition chain digitises the assay.
+
+    ``kind`` is ``"integrated"`` (the paper's Sec. II-C multiplexed
+    chain; ``readout`` names a :data:`~repro.data.catalog.
+    READOUT_CLASSES` entry) or ``"bench"`` (the laboratory-grade chain
+    behind the cited Table III numbers).  ``seed`` pins the chain's own
+    noise generator.
+    """
+
+    kind: str = "integrated"
+    readout: str = "cyp_micro"
+    n_channels: int = 5
+    seed: int = 2011
+
+    def build(self) -> "AcquisitionChain":
+        from repro.data import bench_chain, integrated_chain
+
+        if self.kind == "bench":
+            return bench_chain(seed=self.seed)
+        if self.kind == "integrated":
+            return integrated_chain(self.readout, n_channels=self.n_channels,
+                                    seed=self.seed)
+        raise SpecError(f"chain spec: unknown kind {self.kind!r} "
+                        f"(known: integrated, bench)")
+
+    def to_dict(self) -> dict:
+        # Bench chains ignore readout/n_channels; emit nulls so two
+        # bench specs that execute identically also hash identically.
+        if self.kind == "bench":
+            return {"kind": "bench", "readout": None, "n_channels": None,
+                    "seed": int(self.seed)}
+        return {"kind": self.kind, "readout": self.readout,
+                "n_channels": int(self.n_channels), "seed": int(self.seed)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping, path: str = "chain") -> "ChainSpec":
+        if not isinstance(payload, Mapping):
+            raise SpecError(f"{path}: expected a JSON object")
+        readout = payload.get("readout")
+        n_channels = payload.get("n_channels")
+        return cls(kind=payload.get("kind", "integrated"),
+                   readout="cyp_micro" if readout is None else readout,
+                   n_channels=(5 if n_channels is None
+                               else _int_value(n_channels,
+                                               f"{path}.n_channels")),
+                   seed=_int_value(payload.get("seed", 2011),
+                                   f"{path}.seed"))
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Which electrochemical cell (chip + sample) the assay runs on.
+
+    ``kind`` is ``"paper_panel"`` (the Fig. 4 five-electrode chip) or
+    ``"reference"`` (the single-sensor cell of ``target``'s calibrated
+    reference electrode).  ``concentrations`` maps species names to bulk
+    loadings in mM for either kind — the paper panel defaults to the
+    mid-linear-range sample, the reference cell to an unloaded chamber.
+    ``target`` is meaningful only for ``"reference"``.
+    """
+
+    kind: str = "paper_panel"
+    target: str | None = None
+    concentrations: Mapping[str, float] | None = None
+
+    def build(self) -> "ElectrochemicalCell":
+        from repro.data import paper_panel_cell, reference_cell
+
+        if self.kind == "paper_panel":
+            if self.target is not None:
+                raise SpecError(
+                    "cell spec: 'target' is only for kind 'reference' "
+                    "(the paper panel chip is fixed)")
+            loading = (dict(self.concentrations)
+                       if self.concentrations is not None else None)
+            return paper_panel_cell(loading)
+        if self.kind == "reference":
+            if not self.target:
+                raise SpecError(
+                    "cell spec: kind 'reference' needs a 'target'")
+            try:
+                cell = reference_cell(self.target)
+            except KeyError as exc:
+                raise SpecError(
+                    f"cell spec: {exc.args[0]}") from exc
+            for species, value in (self.concentrations or {}).items():
+                cell.chamber.set_bulk(species, value)
+            return cell
+        raise SpecError(f"cell spec: unknown kind {self.kind!r} "
+                        f"(known: paper_panel, reference)")
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "target": self.target,
+                "concentrations": ({k: float(v)
+                                    for k, v in self.concentrations.items()}
+                                   if self.concentrations is not None
+                                   else None)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping, path: str = "cell") -> "CellSpec":
+        if not isinstance(payload, Mapping):
+            raise SpecError(f"{path}: expected a JSON object")
+        concentrations = payload.get("concentrations")
+        if concentrations is not None:
+            if not isinstance(concentrations, Mapping):
+                raise SpecError(f"{path}.concentrations: expected an object "
+                                f"mapping species to mM")
+            concentrations = {
+                k: _float_value(v, f"{path}.concentrations[{k!r}]")
+                for k, v in concentrations.items()}
+        return cls(kind=payload.get("kind", "paper_panel"),
+                   target=payload.get("target"),
+                   concentrations=concentrations)
+
+
+@dataclass(frozen=True)
+class InjectionEvent:
+    """One mid-dwell bulk addition (mirrors :class:`~repro.chem.solution.
+    Injection`): at ``time`` seconds the bulk of ``species`` rises by
+    ``concentration_step`` mM."""
+
+    time: float
+    species: str
+    concentration_step: float
+
+    def build(self) -> Injection:
+        return Injection(self.time, self.species, self.concentration_step)
+
+    def to_dict(self) -> dict:
+        return {"time": float(self.time), "species": self.species,
+                "concentration_step": float(self.concentration_step)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping,
+                  path: str = "injection") -> "InjectionEvent":
+        return cls(time=_float_value(require(payload, "time", path),
+                                     f"{path}.time"),
+                   species=require(payload, "species", path),
+                   concentration_step=_float_value(
+                       require(payload, "concentration_step", path),
+                       f"{path}.concentration_step"))
+
+
+def _events_to_schedule(events: tuple[InjectionEvent, ...],
+                        ) -> InjectionSchedule:
+    return InjectionSchedule(tuple(e.build() for e in events))
+
+
+def _events_from_list(items, path: str) -> tuple[InjectionEvent, ...]:
+    return tuple(InjectionEvent.from_dict(item, f"{path}[{i}]")
+                 for i, item in enumerate(items))
+
+
+@dataclass(frozen=True)
+class PanelProtocolSpec:
+    """The :class:`~repro.measurement.panel.PanelProtocol` parameter set.
+
+    Field defaults mirror the protocol's constructor; ``injections`` is
+    ``None``, a tuple of :class:`InjectionEvent` applied to every
+    chronoamperometric WE, or a mapping from WE name to a tuple.
+    ``batch_electrodes=False`` selects the sequential per-WE reference
+    path (bit-identical, kept as the verification escape hatch).
+    """
+
+    ca_dwell: float = 60.0
+    cv_window_margin: float = 0.25
+    scan_rate: float = 0.020
+    sample_rate: float = 10.0
+    settle_between: float = 1.0
+    peak_min_height: float = 2.0e-9
+    batch_electrodes: bool = True
+    injections: (tuple[InjectionEvent, ...]
+                 | Mapping[str, tuple[InjectionEvent, ...]] | None) = None
+
+    def build(self) -> "PanelProtocol":
+        from repro.measurement.panel import PanelProtocol
+
+        if self.injections is None:
+            schedule = None
+        elif isinstance(self.injections, Mapping):
+            schedule = {we: _events_to_schedule(tuple(events))
+                        for we, events in self.injections.items()}
+        else:
+            schedule = _events_to_schedule(tuple(self.injections))
+        return PanelProtocol(
+            ca_dwell=self.ca_dwell, cv_window_margin=self.cv_window_margin,
+            scan_rate=self.scan_rate, sample_rate=self.sample_rate,
+            settle_between=self.settle_between,
+            peak_min_height=self.peak_min_height,
+            ca_injections=schedule, batch_electrodes=self.batch_electrodes)
+
+    def to_dict(self) -> dict:
+        if self.injections is None:
+            injections = None
+        elif isinstance(self.injections, Mapping):
+            injections = {we: [e.to_dict() for e in events]
+                          for we, events in self.injections.items()}
+        else:
+            injections = [e.to_dict() for e in self.injections]
+        return {"ca_dwell": float(self.ca_dwell),
+                "cv_window_margin": float(self.cv_window_margin),
+                "scan_rate": float(self.scan_rate),
+                "sample_rate": float(self.sample_rate),
+                "settle_between": float(self.settle_between),
+                "peak_min_height": float(self.peak_min_height),
+                "batch_electrodes": bool(self.batch_electrodes),
+                "injections": injections}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping,
+                  path: str = "protocol") -> "PanelProtocolSpec":
+        if not isinstance(payload, Mapping):
+            raise SpecError(f"{path}: expected a JSON object")
+        raw = payload.get("injections")
+        injections: (tuple[InjectionEvent, ...]
+                     | dict[str, tuple[InjectionEvent, ...]] | None)
+        if raw is None:
+            injections = None
+        elif isinstance(raw, Mapping):
+            injections = {we: _events_from_list(
+                              items, f"{path}.injections[{we!r}]")
+                          for we, items in raw.items()}
+        elif isinstance(raw, (list, tuple)):
+            injections = _events_from_list(raw, f"{path}.injections")
+        else:
+            raise SpecError(f"{path}.injections: expected null, a list of "
+                            f"events, or a WE-name mapping")
+        defaults = cls()
+
+        def number(key: str) -> float:
+            return _float_value(payload.get(key, getattr(defaults, key)),
+                                f"{path}.{key}")
+
+        return cls(
+            ca_dwell=number("ca_dwell"),
+            cv_window_margin=number("cv_window_margin"),
+            scan_rate=number("scan_rate"),
+            sample_rate=number("sample_rate"),
+            settle_between=number("settle_between"),
+            peak_min_height=number("peak_min_height"),
+            batch_electrodes=_bool_value(
+                payload.get("batch_electrodes", defaults.batch_electrodes),
+                f"{path}.batch_electrodes"),
+            injections=injections)
+
+
+# -- runnable specs ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AssaySpec:
+    """One declarative panel assay: cell x chain x protocol x seed.
+
+    ``seed`` pins the acquisition-noise generator the protocol draws
+    from (dwell chemistry consumes no randomness), so two runs of the
+    same spec are bit-identical.
+    """
+
+    name: str = "assay"
+    seed: int = 2011
+    cell: CellSpec = field(default_factory=CellSpec)
+    chain: ChainSpec = field(default_factory=ChainSpec)
+    protocol: PanelProtocolSpec = field(default_factory=PanelProtocolSpec)
+
+    def build_protocol(self) -> "PanelProtocol":
+        return self.protocol.build()
+
+    def build_job(self) -> "AssayJob":
+        """A scheduler-ready job: built cell, chain, protocol and RNG."""
+        from repro.engine.scheduler import AssayJob
+
+        return AssayJob(cell=self.cell.build(), chain=self.chain.build(),
+                        name=self.name,
+                        rng=np.random.default_rng(self.seed),
+                        protocol=self.build_protocol())
+
+    def to_dict(self) -> dict:
+        return {"schema": SCHEMA_VERSION, "kind": "assay",
+                "name": self.name, "seed": int(self.seed),
+                "cell": self.cell.to_dict(), "chain": self.chain.to_dict(),
+                "protocol": self.protocol.to_dict()}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping,
+                  path: str = "assay spec") -> "AssaySpec":
+        check_kind(payload, "assay", path)
+        return cls(
+            name=payload.get("name", "assay"),
+            seed=_int_value(payload.get("seed", 2011), f"{path}.seed"),
+            cell=CellSpec.from_dict(payload.get("cell", {}), f"{path}.cell"),
+            chain=ChainSpec.from_dict(payload.get("chain", {}),
+                                      f"{path}.chain"),
+            protocol=PanelProtocolSpec.from_dict(payload.get("protocol", {}),
+                                                 f"{path}.protocol"))
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """N concurrent assays for the batched fleet scheduler.
+
+    The canonical payload stores every assay explicitly (fully
+    reproducible files); :meth:`homogeneous` builds the common case of N
+    identical cells with consecutive seeds, mirroring the CLI's
+    ``fleet --cells N --seed S`` convention (job ``k`` gets seed
+    ``S + k`` for both its chain and its acquisition RNG).
+    """
+
+    name: str = "fleet"
+    assays: tuple[AssaySpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Reject empty fleets at construction so every FleetSpec that
+        # exists (and therefore every exported payload) can be reloaded.
+        if not self.assays:
+            raise SpecError("fleet spec: a fleet needs at least one assay")
+
+    @classmethod
+    def homogeneous(cls, cells: int, seed: int = 2011,
+                    ca_dwell: float = 30.0, readout: str = "cyp_micro",
+                    batch_electrodes: bool = True,
+                    name: str = "fleet") -> "FleetSpec":
+        if cells < 1:
+            raise SpecError("fleet spec: cells must be >= 1")
+        assays = tuple(
+            AssaySpec(name=f"cell{k:02d}", seed=seed + k,
+                      chain=ChainSpec(readout=readout, seed=seed + k),
+                      protocol=PanelProtocolSpec(
+                          ca_dwell=ca_dwell,
+                          batch_electrodes=batch_electrodes))
+            for k in range(cells))
+        return cls(name=name, assays=assays)
+
+    def __len__(self) -> int:
+        return len(self.assays)
+
+    def to_dict(self) -> dict:
+        return {"schema": SCHEMA_VERSION, "kind": "fleet",
+                "name": self.name,
+                "assays": [a.to_dict() for a in self.assays]}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping,
+                  path: str = "fleet spec") -> "FleetSpec":
+        check_kind(payload, "fleet", path)
+        assays = tuple(
+            AssaySpec.from_dict(item, f"{path}.assays[{i}]")
+            for i, item in enumerate(require_list(payload, "assays", path)))
+        if not assays:
+            raise SpecError(f"{path}.assays: a fleet needs at least one "
+                            f"assay")
+        return cls(name=payload.get("name", "fleet"), assays=assays)
+
+    def build_jobs(self) -> list:
+        """Scheduler-ready jobs for every assay, in fleet order."""
+        return [assay.build_job() for assay in self.assays]
+
+
+@dataclass(frozen=True)
+class CalibrationSpec:
+    """A measured calibration of one reference sensor.
+
+    ``points`` concentrations are laddered linearly from the target's
+    paper linear range (up to 1.5x its top); ``seed`` pins the bench
+    chain's noise.  The spec floor is 2 points; the curve fit itself
+    (:func:`~repro.analysis.calibration.run_calibration`) needs >= 3 and
+    reports the shortfall as a one-line
+    :class:`~repro.errors.CalibrationError`.
+    """
+
+    target: str = "glucose"
+    points: int = 8
+    seed: int = 2011
+
+    def __post_init__(self) -> None:
+        if self.points < 2:
+            raise SpecError(f"calibration spec: need at least 2 ladder "
+                            f"points, got {self.points}")
+
+    def to_dict(self) -> dict:
+        return {"schema": SCHEMA_VERSION, "kind": "calibration",
+                "target": self.target, "points": int(self.points),
+                "seed": int(self.seed)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping,
+                  path: str = "calibration spec") -> "CalibrationSpec":
+        check_kind(payload, "calibration", path)
+        points = _int_value(payload.get("points", 8), f"{path}.points")
+        if points < 2:
+            raise SpecError(f"{path}.points: need at least 2 ladder points, "
+                            f"got {points}")
+        return cls(target=require(payload, "target", path),
+                   points=points,
+                   seed=_int_value(payload.get("seed", 2011),
+                                   f"{path}.seed"))
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Materialise a platform design and run one assay on a sample.
+
+    ``design`` embeds a :mod:`repro.core.spec` ``design`` payload (the
+    explorer's output format), so a Pareto point saved with
+    :func:`~repro.core.spec.save_design` drops straight into a run spec.
+    """
+
+    design: Mapping
+    concentrations: Mapping[str, float] | None = None
+    ca_dwell: float = 60.0
+    sample_rate: float = 10.0
+    seed: int = 2011
+    readout_class: str | None = None
+
+    def build_design(self) -> "PlatformDesign":
+        from repro.core.spec import design_from_dict
+
+        return design_from_dict(dict(self.design), "platform spec.design")
+
+    def to_dict(self) -> dict:
+        from repro.core.spec import design_to_dict
+
+        # Re-emit the embedded design through its own serialiser so
+        # hand-written files (missing optional keys, int-typed numbers)
+        # canonicalise — and hash — identically to saved designs.
+        return {"schema": SCHEMA_VERSION, "kind": "platform",
+                "design": design_to_dict(self.build_design()),
+                "concentrations": ({k: float(v)
+                                    for k, v in self.concentrations.items()}
+                                   if self.concentrations is not None
+                                   else None),
+                "ca_dwell": float(self.ca_dwell),
+                "sample_rate": float(self.sample_rate),
+                "seed": int(self.seed),
+                "readout_class": self.readout_class}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping,
+                  path: str = "platform spec") -> "PlatformSpec":
+        check_kind(payload, "platform", path)
+        concentrations = payload.get("concentrations")
+        if concentrations is not None:
+            if not isinstance(concentrations, Mapping):
+                raise SpecError(f"{path}.concentrations: expected an object "
+                                f"mapping species to mM")
+            concentrations = {
+                k: _float_value(v, f"{path}.concentrations[{k!r}]")
+                for k, v in concentrations.items()}
+        design = require(payload, "design", path)
+        if not isinstance(design, Mapping):
+            raise SpecError(f"{path}.design: expected a core design spec "
+                            f"object, got {type(design).__name__}")
+        return cls(design=dict(design),
+                   concentrations=concentrations,
+                   ca_dwell=_float_value(payload.get("ca_dwell", 60.0),
+                                         f"{path}.ca_dwell"),
+                   sample_rate=_float_value(payload.get("sample_rate", 10.0),
+                                            f"{path}.sample_rate"),
+                   seed=_int_value(payload.get("seed", 2011),
+                                   f"{path}.seed"),
+                   readout_class=payload.get("readout_class"))
+
+
+@dataclass(frozen=True)
+class ExploreSpec:
+    """Design-space exploration of a measurement-problem panel spec.
+
+    ``panel`` embeds a :mod:`repro.core.spec` ``panel`` payload; ``None``
+    explores the paper's Sec. III six-target panel.
+    """
+
+    panel: Mapping | None = None
+
+    def build_panel(self) -> "PanelSpec":
+        from repro.core.spec import panel_from_dict
+        from repro.core.targets import paper_panel_spec
+
+        if self.panel is None:
+            return paper_panel_spec()
+        return panel_from_dict(dict(self.panel), "explore spec.panel")
+
+    def to_dict(self) -> dict:
+        from repro.core.spec import panel_to_dict
+
+        # Canonicalise the embedded panel like PlatformSpec.to_dict does
+        # for designs (None — the paper panel default — stays None).
+        return {"schema": SCHEMA_VERSION, "kind": "explore",
+                "panel": (panel_to_dict(self.build_panel())
+                          if self.panel is not None else None)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping,
+                  path: str = "explore spec") -> "ExploreSpec":
+        check_kind(payload, "explore", path)
+        panel = payload.get("panel")
+        if panel is not None and not isinstance(panel, Mapping):
+            raise SpecError(f"{path}.panel: expected a core panel spec "
+                            f"object or null")
+        return cls(panel=dict(panel) if panel is not None else None)
+
+
+# -- loading and dispatch ----------------------------------------------------------
+
+_SPEC_KINDS = {
+    "assay": AssaySpec,
+    "fleet": FleetSpec,
+    "calibration": CalibrationSpec,
+    "platform": PlatformSpec,
+    "explore": ExploreSpec,
+}
+
+RunnableSpec = (AssaySpec | FleetSpec | CalibrationSpec | PlatformSpec
+                | ExploreSpec)
+
+
+def spec_from_dict(payload: Mapping, path: str = "spec") -> RunnableSpec:
+    """Rebuild any runnable spec from its payload, dispatching on kind."""
+    if not isinstance(payload, Mapping):
+        raise SpecError(f"{path}: expected a JSON object, "
+                        f"got {type(payload).__name__}")
+    kind = require(payload, "kind", path)
+    cls = _SPEC_KINDS.get(kind) if isinstance(kind, str) else None
+    if cls is None:
+        raise SpecError(f"{path}: unknown spec kind {kind!r} "
+                        f"(known: {', '.join(sorted(_SPEC_KINDS))})")
+    return cls.from_dict(payload, path)
+
+
+def load_spec(path: "str | Path") -> RunnableSpec:
+    """Load any runnable spec from a JSON file (SpecError on failure)."""
+    return spec_from_dict(read_payload(path), f"spec {path!s}")

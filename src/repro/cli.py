@@ -6,10 +6,19 @@ headline flows:
 - ``tables`` — print Tables I, II and III from the data layer,
 - ``panel`` — run the Fig. 4 multi-target panel end to end,
 - ``fleet`` — run many concurrent panel assays through the shared
-  batched engine scheduler,
+  batched engine scheduler, streaming results as they complete,
 - ``explore`` — design-space exploration for the Sec. III panel (or a
   JSON panel spec),
-- ``calibrate <target>`` — measured calibration of one reference sensor.
+- ``calibrate <target>`` — measured calibration of one reference sensor,
+- ``run <spec.json>`` — execute any :mod:`repro.api` spec file.
+
+Every measurement subcommand builds a declarative :mod:`repro.api` spec
+and executes it through :func:`repro.api.run` /
+:func:`repro.api.iter_results`, so the CLI, spec files, and library
+callers all go through the same front door and every run prints its
+provenance (spec hash, schema version, seed).  Numeric arguments are
+validated by argparse up front; any :class:`~repro.errors.ReproError`
+from deeper layers exits with status 1 and a one-line message.
 """
 
 from __future__ import annotations
@@ -17,12 +26,36 @@ from __future__ import annotations
 import argparse
 import sys
 
-import numpy as np
-
+from repro.errors import ReproError
 from repro.io.tables import render_table
 from repro.units import si_to_um_conc, v_to_mv
 
 __all__ = ["main", "build_parser"]
+
+
+def _int_at_least(minimum: int):
+    def parse(text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"expected an integer, got {text!r}")
+        if value < minimum:
+            raise argparse.ArgumentTypeError(
+                f"must be >= {minimum}, got {value}")
+        return value
+
+    return parse
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if value <= 0.0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -43,11 +76,11 @@ def build_parser() -> argparse.ArgumentParser:
     fleet = sub.add_parser(
         "fleet", help="run many concurrent panel assays through the "
                       "shared batched engine scheduler")
-    fleet.add_argument("--cells", type=int, default=8,
-                       help="number of concurrent assay cells")
+    fleet.add_argument("--cells", type=_int_at_least(1), default=8,
+                       help="number of concurrent assay cells (>= 1)")
     fleet.add_argument("--seed", type=int, default=2011)
-    fleet.add_argument("--ca-dwell", type=float, default=30.0,
-                       help="chronoamperometric dwell per WE, seconds")
+    fleet.add_argument("--ca-dwell", type=_positive_float, default=30.0,
+                       help="chronoamperometric dwell per WE, seconds (> 0)")
     fleet.add_argument("--sequential", action="store_true",
                        help="run the fleet as per-cell sequential panels "
                             "(reference path, same results)")
@@ -60,13 +93,29 @@ def build_parser() -> argparse.ArgumentParser:
     calibrate = sub.add_parser(
         "calibrate", help="measured calibration of one reference sensor")
     calibrate.add_argument("target", type=str)
-    calibrate.add_argument("--points", type=int, default=8)
+    calibrate.add_argument("--points", type=_int_at_least(2), default=8,
+                           help="ladder concentrations (>= 2)")
 
     selectivity = sub.add_parser(
         "selectivity", help="cross-response matrix of the Fig. 4 panel")
     selectivity.add_argument("--potential", type=float, default=550.0,
                              help="operating potential, mV vs Ag/AgCl")
+
+    run_cmd = sub.add_parser(
+        "run", help="execute any repro.api spec file (assay, fleet, "
+                    "calibration, platform, explore)")
+    run_cmd.add_argument("spec", type=str, help="path to a JSON run spec")
+    run_cmd.add_argument("--json", type=str, default=None, metavar="PATH",
+                         help="also export the run record "
+                              "(provenance + result summary) as JSON")
     return parser
+
+
+def _print_provenance(record) -> None:
+    seed = "-" if record.seed is None else record.seed
+    print(f"[{record.kind}] spec {record.spec_hash[:12]} "
+          f"(schema v{record.schema_version}, seed {seed}, "
+          f"{record.wall_time_s:.2f} s)")
 
 
 def _cmd_tables() -> int:
@@ -91,19 +140,10 @@ def _cmd_tables() -> int:
     return 0
 
 
-def _cmd_panel(seed: int, sequential: bool = False) -> int:
-    from repro.data import (
-        PAPER_PANEL_MID_CONCENTRATIONS,
-        integrated_chain,
-        paper_panel_cell,
-    )
-    from repro.measurement import PanelProtocol
+def _print_panel_record(record) -> None:
+    from repro.data import PAPER_PANEL_MID_CONCENTRATIONS
 
-    cell = paper_panel_cell()
-    chain = integrated_chain("cyp_micro", n_channels=5, seed=seed)
-    print(chain.describe())
-    result = PanelProtocol(batch_electrodes=not sequential).run(
-        cell, chain, rng=np.random.default_rng(seed))
+    result = record.result
     rows = []
     for target in PAPER_PANEL_MID_CONCENTRATIONS:
         if target in result.readouts:
@@ -115,6 +155,17 @@ def _cmd_panel(seed: int, sequential: bool = False) -> int:
     print(render_table(["Target", "WE", "Method", "Signal nA"], rows,
                        title="Fig. 4 panel readouts"))
     print(f"assay time: {result.assay_time:.0f} s")
+
+
+def _cmd_panel(seed: int, sequential: bool = False) -> int:
+    from repro import api
+
+    spec = api.AssaySpec(
+        name="fig4-panel", seed=seed, chain=api.ChainSpec(seed=seed),
+        protocol=api.PanelProtocolSpec(batch_electrodes=not sequential))
+    record = api.run(spec)
+    _print_provenance(record)
+    _print_panel_record(record)
     return 0
 
 
@@ -122,101 +173,80 @@ def _cmd_fleet(n_cells: int, seed: int, ca_dwell: float,
                sequential: bool) -> int:
     import time
 
-    from repro.data import (
-        PAPER_PANEL_MID_CONCENTRATIONS,
-        integrated_chain,
-        paper_panel_cell,
-    )
-    from repro.engine import AssayJob, AssayScheduler
-    from repro.measurement import PanelProtocol
+    from repro import api
+    from repro.data import PAPER_PANEL_MID_CONCENTRATIONS
 
-    if n_cells < 1:
-        print("--cells must be >= 1")
-        return 1
-    jobs = [AssayJob(cell=paper_panel_cell(),
-                     chain=integrated_chain("cyp_micro", n_channels=5,
-                                            seed=seed + k),
-                     name=f"cell{k:02d}",
-                     rng=np.random.default_rng(seed + k))
-            for k in range(n_cells)]
+    n_targets = len(PAPER_PANEL_MID_CONCENTRATIONS)
+    spec = api.FleetSpec.homogeneous(
+        cells=n_cells, seed=seed, ca_dwell=ca_dwell,
+        batch_electrodes=not sequential)
     start = time.perf_counter()
+    print(f"fleet spec {api.spec_hash(spec)[:12]} "
+          f"(schema v{api.SCHEMA_VERSION}, {n_cells} assays)")
+    def report(record) -> None:
+        recovered = sum(1 for t in PAPER_PANEL_MID_CONCENTRATIONS
+                        if t in record.result.readouts)
+        print(f"  done {record.job_name}: {recovered}/{n_targets} "
+              f"targets, assay {record.result.assay_time:.0f} s")
+
     if sequential:
-        protocol = PanelProtocol(ca_dwell=ca_dwell, batch_electrodes=False)
-        results = [protocol.run(job.cell, job.chain, rng=job.rng)
-                   for job in jobs]
-        names = [job.name for job in jobs]
+        for assay in spec.assays:
+            report(api.run(assay))
         mode = "sequential per-cell panels"
     else:
-        scheduler = AssayScheduler(PanelProtocol(ca_dwell=ca_dwell))
-        fleet = scheduler.run_many(jobs)
-        results, names = list(fleet.results), list(fleet.names)
-        mode = (f"fused scheduler ({fleet.n_fused_dwells} dwell systems in "
-                f"{fleet.n_dwell_groups} group(s))")
+        stats = None
+        for record in api.iter_results(spec):
+            report(record)
+            stats = record.engine
+        mode = (f"fused scheduler ({stats.n_fused_dwells} dwell systems in "
+                f"{stats.n_dwell_groups} group(s))")
     elapsed = time.perf_counter() - start
-    rows = []
-    for name, result in zip(names, results):
-        recovered = sum(1 for t in PAPER_PANEL_MID_CONCENTRATIONS
-                        if t in result.readouts)
-        rows.append([name, f"{recovered}/{len(PAPER_PANEL_MID_CONCENTRATIONS)}",
-                     f"{result.assay_time:.0f}"])
-    print(render_table(["Job", "Targets recovered", "Assay s"], rows,
-                       title=f"{n_cells}-cell fleet | {mode}"))
+    print(f"mode      : {mode}")
     print(f"wall time : {elapsed:.2f} s")
     print(f"throughput: {n_cells / elapsed:.2f} assays/sec")
     return 0
 
 
 def _cmd_explore(spec_path: str | None) -> int:
-    from repro.core import explore, exploration_report, paper_panel_spec
-    from repro.core.spec import load_panel
+    from repro import api
+    from repro.core import exploration_report
+    from repro.core.spec import read_payload
 
-    panel = load_panel(spec_path) if spec_path else paper_panel_spec()
-    result = explore(panel)
-    print(exploration_report(result))
-    return 0 if result.n_feasible else 1
+    panel = read_payload(spec_path) if spec_path else None
+    record = api.run(api.ExploreSpec(panel=panel))
+    _print_provenance(record)
+    print(exploration_report(record.result))
+    return 0 if record.result.n_feasible else 1
 
 
-def _cmd_calibrate(target: str, n_points: int) -> int:
-    from repro.analysis import run_calibration
-    from repro.data import bench_chain, performance_record, reference_cell
-    from repro.data.catalog import table1_working_electrode
+def _print_calibration_record(record) -> None:
+    from repro.data import performance_record
+    from repro.units import sensitivity_to_paper
 
-    record = performance_record(target)
-    if record.method != "chronoamperometry":
-        print(f"{target} is CV-detected; use the T3 bench for peak-height "
-              f"calibration")
-        return 1
-    cell = reference_cell(target)
-    chain = bench_chain()
-    we_name = cell.working_electrodes[0].name
-    e_applied = table1_working_electrode(
-        target).effective_h2o2_wave().potential_for_efficiency(0.95)
-
-    def signal_at(c: float) -> tuple[float, float]:
-        cell.chamber.set_bulk(target, c)
-        true = cell.measured_current(we_name, e_applied)
-        return chain.measure_constant(true, duration=5.0,
-                                      we=cell.working_electrodes[0])
-
-    lo, hi = record.linear_range
-    ladder = list(np.linspace(lo, hi * 1.5, n_points))
-    curve = run_calibration(signal_at, ladder)
+    paper = performance_record(record.target)
+    curve = record.curve
     rows = [[f"{p.concentration:.3g}", f"{p.signal * 1e6:.4g}"]
             for p in curve.points]
     print(render_table(["C mM", "I uA"], rows,
-                       title=f"calibration of {target}"))
-    lo_p, hi_p = record.linear_range
-    sens = curve.sensitivity(c_low=lo_p, c_high=hi_p) / (
-        cell.working_electrodes[0].area)
-    from repro.units import sensitivity_to_paper
+                       title=f"calibration of {record.target}"))
+    lo_p, hi_p = paper.linear_range
+    sens = curve.sensitivity(c_low=lo_p, c_high=hi_p) / record.we_area
     print(f"sensitivity : {sensitivity_to_paper(sens):.2f} uA/(mM cm^2) "
-          f"(paper {record.sensitivity:g})")
+          f"(paper {paper.sensitivity:g})")
     print(f"LOD         : {si_to_um_conc(curve.limit_of_detection()):.0f} uM "
-          + (f"(paper {si_to_um_conc(record.lod):.0f})"
-             if record.lod is not None else ""))
+          + (f"(paper {si_to_um_conc(paper.lod):.0f})"
+             if paper.lod is not None else ""))
     low, high = curve.linear_range()
     print(f"linear range: {low:.2g} - {high:.2g} mM "
-          f"(paper {record.linear_range[0]:g} - {record.linear_range[1]:g})")
+          f"(paper {paper.linear_range[0]:g} - {paper.linear_range[1]:g})")
+
+
+def _cmd_calibrate(target: str, n_points: int) -> int:
+    from repro import api
+
+    record = api.run(api.CalibrationSpec(target=target, points=n_points))
+    _print_provenance(record)
+    _print_calibration_record(record)
     return 0
 
 
@@ -234,21 +264,59 @@ def _cmd_selectivity(potential_mv: float) -> int:
     return 0
 
 
+def _cmd_run(spec_path: str, json_out: str | None) -> int:
+    from repro import api
+    from repro.core import exploration_report
+    from repro.io.export import run_record_to_json
+
+    record = api.run(api.load_spec(spec_path))
+    _print_provenance(record)
+    status = 0
+    if isinstance(record, api.AssayRunRecord):
+        _print_panel_record(record)
+    elif isinstance(record, api.FleetRunRecord):
+        rows = [[rec.job_name, len(rec.result.readouts),
+                 f"{rec.result.assay_time:.0f}"]
+                for rec in record.records]
+        print(render_table(["Job", "Targets", "Assay s"], rows,
+                           title=f"{len(record)}-assay fleet"))
+    elif isinstance(record, api.CalibrationRunRecord):
+        _print_calibration_record(record)
+    elif isinstance(record, api.PlatformRunRecord):
+        print(record.summary)
+        for target, readout in record.result.readouts.items():
+            print(f"  {target}: {readout.signal * 1e9:.2f} nA "
+                  f"({readout.method})")
+    elif isinstance(record, api.ExploreRunRecord):
+        print(exploration_report(record.result))
+        status = 0 if record.result.n_feasible else 1
+    if json_out:
+        path = run_record_to_json(record, json_out)
+        print(f"record written to {path}")
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "tables":
-        return _cmd_tables()
-    if args.command == "panel":
-        return _cmd_panel(args.seed, args.sequential)
-    if args.command == "fleet":
-        return _cmd_fleet(args.cells, args.seed, args.ca_dwell,
-                          args.sequential)
-    if args.command == "explore":
-        return _cmd_explore(args.spec)
-    if args.command == "calibrate":
-        return _cmd_calibrate(args.target, args.points)
-    if args.command == "selectivity":
-        return _cmd_selectivity(args.potential)
+    try:
+        if args.command == "tables":
+            return _cmd_tables()
+        if args.command == "panel":
+            return _cmd_panel(args.seed, args.sequential)
+        if args.command == "fleet":
+            return _cmd_fleet(args.cells, args.seed, args.ca_dwell,
+                              args.sequential)
+        if args.command == "explore":
+            return _cmd_explore(args.spec)
+        if args.command == "calibrate":
+            return _cmd_calibrate(args.target, args.points)
+        if args.command == "selectivity":
+            return _cmd_selectivity(args.potential)
+        if args.command == "run":
+            return _cmd_run(args.spec, args.json)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

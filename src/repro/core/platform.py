@@ -91,6 +91,7 @@ class BiosensingPlatform:
                 f"unknown readout class {readout_class!r} "
                 f"(known: {', '.join(READOUT_CLASSES)})")
         self.readout_class = readout_class
+        self.seed = int(seed)
         self._rng = np.random.default_rng(seed)
         self._build()
 
@@ -195,6 +196,17 @@ class BiosensingPlatform:
                 chamber.set_bulk(name, value)
 
     # -- measurement ----------------------------------------------------------------
+
+    def run(self, rng: np.random.Generator | None = None,
+            ) -> PlatformRunResult:
+        """One full assay — alias of :meth:`run_panel`.
+
+        The uniform protocol-style entry point: this is what
+        :mod:`repro.api` dispatches a platform spec to.  The class-level
+        API (build a design, construct the platform, call ``run``)
+        remains the documented escape hatch below the spec front door.
+        """
+        return self.run_panel(rng=rng)
 
     def run_panel(self, rng: np.random.Generator | None = None,
                   ) -> PlatformRunResult:

@@ -3,11 +3,17 @@
 Deployments describe their measurement problem and chosen platform as
 JSON; this module round-trips both.  Schemas are flat and versioned so
 files survive library evolution.
+
+The low-level helpers (:func:`read_payload`, :func:`require`,
+:func:`check_kind`) are shared with the *execution* specs of
+:mod:`repro.api`, so every spec-parsing failure in the library surfaces
+as one :class:`~repro.errors.SpecError` naming the offending key/path.
 """
 
 from __future__ import annotations
 
 import json
+from collections.abc import Mapping
 from pathlib import Path
 
 from repro.core.architecture import PlatformDesign, WeAssignment
@@ -16,18 +22,40 @@ from repro.core.targets import PanelSpec, TargetSpec
 from repro.errors import SpecError
 
 __all__ = [
+    "SCHEMA_VERSION",
     "panel_to_dict", "panel_from_dict",
     "design_to_dict", "design_from_dict",
     "save_panel", "load_panel", "save_design", "load_design",
+    "read_payload", "require", "require_list", "check_kind",
 ]
 
-_SCHEMA_VERSION = 1
+SCHEMA_VERSION = 1
+
+
+def require(payload: Mapping, key: str, path: str = "spec"):
+    """``payload[key]`` or a :class:`SpecError` naming the key and path."""
+    if not isinstance(payload, Mapping):
+        raise SpecError(f"{path}: expected a JSON object, "
+                        f"got {type(payload).__name__}")
+    try:
+        return payload[key]
+    except KeyError as exc:
+        raise SpecError(f"{path}: missing required key {key!r}") from exc
+
+
+def require_list(payload: Mapping, key: str, path: str = "spec") -> list:
+    """Like :func:`require`, but the value must be a JSON array."""
+    value = require(payload, key, path)
+    if not isinstance(value, (list, tuple)):
+        raise SpecError(f"{path}.{key}: expected a list, "
+                        f"got {type(value).__name__}")
+    return list(value)
 
 
 def panel_to_dict(panel: PanelSpec) -> dict:
     """Serialise a panel spec to a JSON-ready dict."""
     return {
-        "schema": _SCHEMA_VERSION,
+        "schema": SCHEMA_VERSION,
         "kind": "panel",
         "name": panel.name,
         "targets": [
@@ -47,33 +75,38 @@ def panel_to_dict(panel: PanelSpec) -> dict:
     }
 
 
-def panel_from_dict(payload: dict) -> PanelSpec:
+def panel_from_dict(payload: dict, path: str = "panel spec") -> PanelSpec:
     """Rebuild a panel spec, validating shape and version."""
-    _check(payload, "panel")
+    check_kind(payload, "panel", path)
+    # SpecErrors from require/require_list pass through; TypeErrors from
+    # value-object validation (e.g. a string-typed number reaching
+    # TargetSpec's range comparison) map to SpecError here.
     try:
-        targets = tuple(
-            TargetSpec(
-                species=t["species"], c_min=t["c_min"], c_max=t["c_max"],
+        targets = []
+        for i, t in enumerate(require_list(payload, "targets", path)):
+            at = f"{path}.targets[{i}]"
+            targets.append(TargetSpec(
+                species=require(t, "species", at),
+                c_min=require(t, "c_min", at),
+                c_max=require(t, "c_max", at),
                 required_lod=t.get("required_lod"),
                 max_response_time=t.get("max_response_time"),
-            )
-            for t in payload["targets"]
-        )
+            ))
         return PanelSpec(
-            name=payload["name"], targets=targets,
+            name=require(payload, "name", path), targets=tuple(targets),
             max_die_area_mm2=payload.get("max_die_area_mm2"),
             max_power=payload.get("max_power"),
             max_assay_time=payload.get("max_assay_time"),
             max_cost=payload.get("max_cost"),
         )
-    except (KeyError, TypeError) as exc:
-        raise SpecError(f"malformed panel spec: {exc!r}") from exc
+    except TypeError as exc:
+        raise SpecError(f"malformed {path}: {exc!r}") from exc
 
 
 def design_to_dict(design: PlatformDesign) -> dict:
     """Serialise a platform design to a JSON-ready dict."""
     return {
-        "schema": _SCHEMA_VERSION,
+        "schema": SCHEMA_VERSION,
         "kind": "design",
         "name": design.name,
         "assignments": [
@@ -94,29 +127,37 @@ def design_to_dict(design: PlatformDesign) -> dict:
     }
 
 
-def design_from_dict(payload: dict) -> PlatformDesign:
+def design_from_dict(payload: dict, path: str = "design spec") -> PlatformDesign:
     """Rebuild a platform design, validating shape and version."""
-    _check(payload, "design")
+    check_kind(payload, "design", path)
     try:
         assignments = []
-        for a in payload["assignments"]:
-            if a["probe_name"] is None:
+        for i, a in enumerate(require_list(payload, "assignments", path)):
+            at = f"{path}.assignments[{i}]"
+            targets = tuple(require_list(a, "targets", at))
+            if require(a, "probe_name", at) is None:
                 option = None
             else:
+                if not targets:
+                    raise SpecError(
+                        f"{at}: a probe needs at least one target")
                 option = ProbeOption(
-                    target=a["targets"][0], family=a["family"],
+                    target=targets[0], family=require(a, "family", at),
                     probe_name=a["probe_name"])
             assignments.append(WeAssignment(
-                we_name=a["we_name"], option=option,
-                targets=tuple(a["targets"])))
+                we_name=require(a, "we_name", at), option=option,
+                targets=targets))
         return PlatformDesign(
-            name=payload["name"], assignments=tuple(assignments),
-            structure=payload["structure"], readout=payload["readout"],
-            noise=payload["noise"],
+            name=require(payload, "name", path),
+            assignments=tuple(assignments),
+            structure=require(payload, "structure", path),
+            readout=require(payload, "readout", path),
+            noise=require(payload, "noise", path),
             nanostructure=payload.get("nanostructure"),
-            we_area=payload["we_area"], scan_rate=payload["scan_rate"])
-    except (KeyError, TypeError, IndexError) as exc:
-        raise SpecError(f"malformed design spec: {exc!r}") from exc
+            we_area=require(payload, "we_area", path),
+            scan_rate=require(payload, "scan_rate", path))
+    except TypeError as exc:
+        raise SpecError(f"malformed {path}: {exc!r}") from exc
 
 
 def save_panel(panel: PanelSpec, path: str | Path) -> Path:
@@ -126,7 +167,7 @@ def save_panel(panel: PanelSpec, path: str | Path) -> Path:
 
 
 def load_panel(path: str | Path) -> PanelSpec:
-    return panel_from_dict(_read(path))
+    return panel_from_dict(read_payload(path))
 
 
 def save_design(design: PlatformDesign, path: str | Path) -> Path:
@@ -136,24 +177,32 @@ def save_design(design: PlatformDesign, path: str | Path) -> Path:
 
 
 def load_design(path: str | Path) -> PlatformDesign:
-    return design_from_dict(_read(path))
+    return design_from_dict(read_payload(path))
 
 
-def _read(path: str | Path) -> dict:
+def read_payload(path: str | Path) -> dict:
+    """Load a JSON spec file; wrap I/O and syntax failures in SpecError."""
     try:
         payload = json.loads(Path(path).read_text())
-    except (OSError, json.JSONDecodeError) as exc:
+    except OSError as exc:
         raise SpecError(f"cannot read spec {path!s}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise SpecError(f"spec {path!s} is not valid JSON: {exc}") from exc
     if not isinstance(payload, dict):
         raise SpecError(f"spec {path!s} is not a JSON object")
     return payload
 
 
-def _check(payload: dict, kind: str) -> None:
+def check_kind(payload: Mapping, kind: str, path: str = "spec",
+               version: int = SCHEMA_VERSION) -> None:
+    """Verify a payload's ``kind``/``schema`` envelope (SpecError if not)."""
+    if not isinstance(payload, Mapping):
+        raise SpecError(f"{path}: expected a JSON object, "
+                        f"got {type(payload).__name__}")
     if payload.get("kind") != kind:
         raise SpecError(
-            f"expected a {kind!r} spec, got {payload.get('kind')!r}")
-    if payload.get("schema") != _SCHEMA_VERSION:
+            f"{path}: expected a {kind!r} spec, got {payload.get('kind')!r}")
+    if payload.get("schema") != version:
         raise SpecError(
-            f"unsupported schema version {payload.get('schema')!r} "
-            f"(this library reads version {_SCHEMA_VERSION})")
+            f"{path}: unsupported schema version {payload.get('schema')!r} "
+            f"(this library reads version {version})")

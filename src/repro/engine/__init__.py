@@ -65,6 +65,25 @@ the engine restructures it in five layers:
    :class:`~repro.measurement.panel.PanelResult` each
    (:class:`~repro.engine.scheduler.FleetResult`) — the many-concurrent-
    assays workload of the ROADMAP served by one shared compute core.
+   :meth:`~repro.engine.scheduler.AssayScheduler.run_iter` is the
+   streaming form: dwell groups are simulated lazily and one
+   :class:`~repro.engine.scheduler.FleetItem` is yielded per job, in
+   job order, as each assay's dwells drain from the fused batches —
+   ``run_many`` is this stream drained into a ``FleetResult``.
+
+6. **The declarative spec/run front door** (:mod:`repro.api`, one layer
+   above this package).  Versioned, JSON-round-trippable
+   :class:`~repro.api.specs.AssaySpec` / :class:`~repro.api.specs.
+   FleetSpec` (plus calibration / platform / explore kinds) describe
+   work; one :func:`~repro.api.runner.run` entry point dispatches to the
+   protocol, scheduler, calibration and platform paths and returns
+   :class:`~repro.api.records.RunRecord` objects carrying the result
+   plus provenance — spec hash, schema version, seed, wall time, and
+   this engine's fusion statistics.  :func:`~repro.api.runner.
+   iter_results` exposes layer 5's ``run_iter`` stream as per-job
+   records.  The CLI and examples describe all work as specs; the
+   class-level protocol entry points below remain the documented escape
+   hatch, pinned bit-identical to the spec paths.
 
 Equivalence guarantee
 =====================
@@ -118,6 +137,7 @@ from repro.engine.scheduler import (
     AssayJob,
     AssayScheduler,
     DwellBatch,
+    FleetItem,
     FleetResult,
 )
 
@@ -133,5 +153,6 @@ __all__ = [
     "DwellBatch",
     "AssayJob",
     "AssayScheduler",
+    "FleetItem",
     "FleetResult",
 ]

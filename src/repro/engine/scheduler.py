@@ -25,6 +25,16 @@ lifts batching two levels higher:
   because chemistry consumes no randomness and each job's RNG stream is
   drawn in its original per-electrode order.
 
+- :meth:`AssayScheduler.run_iter` is the *streaming* form of the same
+  pass: it yields one :class:`FleetItem` per job, in job order, as each
+  assay's dwells drain from the fused batches.  Dwell groups are
+  simulated lazily — a group runs the first time a job that contributed
+  dwells to it is assembled — so a consumer digests job ``k``'s result
+  while jobs ``k+1..N`` are still waiting on digitisation, and a fleet
+  never has to materialise a full :class:`FleetResult` to be consumed.
+  :meth:`AssayScheduler.run_many` is now simply ``run_iter`` drained
+  into a :class:`FleetResult`, so the two paths cannot diverge.
+
 Only the chronoamperometric dwells fuse across cells: they share a
 potential-free autonomous stepping contract.  CV sweeps keep their
 per-sweep batched engine (all substrate channels of a sweep advance in
@@ -33,6 +43,7 @@ one solve) and are simply scheduled between dwell groups.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -46,7 +57,8 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.measurement.panel import PanelProtocol, PanelResult
     from repro.sensors.cell import ElectrochemicalCell
 
-__all__ = ["DwellBatch", "AssayJob", "FleetResult", "AssayScheduler"]
+__all__ = ["DwellBatch", "AssayJob", "FleetItem", "FleetResult",
+           "AssayScheduler"]
 
 _NO_FLUXES = np.empty(0)
 
@@ -161,6 +173,24 @@ class AssayJob:
 
 
 @dataclass(frozen=True)
+class FleetItem:
+    """One streamed fleet completion, yielded by
+    :meth:`AssayScheduler.run_iter` in job order.
+
+    ``n_fused_dwells``/``n_dwell_groups`` are cumulative over the dwell
+    groups simulated *so far*; on the last item they equal the totals a
+    :class:`FleetResult` of the same jobs would report.
+    """
+
+    index: int
+    name: str
+    result: "PanelResult"
+    n_jobs: int
+    n_fused_dwells: int
+    n_dwell_groups: int
+
+
+@dataclass(frozen=True)
 class FleetResult:
     """Everything one scheduler pass over N assay jobs produced."""
 
@@ -224,13 +254,18 @@ class AssayScheduler:
         # (cell, chain[, name[, rng]]) tuples for sweep-style callers.
         return AssayJob(*job)
 
-    def run_many(self, jobs) -> FleetResult:
-        """Advance every job's panel through the shared engine.
+    def run_iter(self, jobs) -> Iterator[FleetItem]:
+        """Stream every job's panel result as its dwells drain.
 
         ``jobs`` is an iterable of :class:`AssayJob` (or ``(cell,
-        chain, ...)`` tuples).  Dwell chemistry is fused across jobs per
-        compatibility group; acquisition noise is drawn per job from its
-        own generator, in the job's electrode order.
+        chain, ...)`` tuples).  Planning and cross-job grouping are
+        identical to :meth:`run_many`; dwell groups are then simulated
+        *lazily* — a fused :class:`DwellBatch` runs the first time a job
+        that contributed dwells to it is assembled — and one
+        :class:`FleetItem` is yielded per job, in job order.  Because
+        dwell chemistry consumes no randomness and each group's fused
+        solve is independent of when it runs, every streamed result is
+        bit-identical to its :meth:`run_many` counterpart.
         """
         from repro.electronics.waveform import uniform_sample_times
 
@@ -245,29 +280,56 @@ class AssayScheduler:
         # Group compatible dwells across jobs: one fused solve per
         # distinct (record length, time step).
         groups: dict[tuple[float, float], list[tuple[_JobPlan, object]]] = {}
+        plan_keys: list[tuple[float, float] | None] = []
         for plan in plans:
             key = (float(plan.protocol.ca_dwell),
                    float(plan.protocol.sample_rate))
             for dwell in plan.dwells:
                 groups.setdefault(key, []).append((plan, dwell))
-        n_fused = 0
-        for (dwell_time, sample_rate), members in groups.items():
-            times = uniform_sample_times(dwell_time, sample_rate)
-            batch = DwellBatch([dwell for _, dwell in members], times)
-            n_fused += batch.batch_size
-            rows = batch.simulate()
-            for i, (plan, dwell) in enumerate(members):
-                plan.rows[dwell.we_name] = (dwell, times, rows[i])
+            plan_keys.append(key if plan.dwells else None)
 
-        results = []
-        names = []
+        simulated: set[tuple[float, float]] = set()
+        n_fused = 0
         for index, plan in enumerate(plans):
+            key = plan_keys[index]
+            if key is not None and key not in simulated:
+                simulated.add(key)
+                dwell_time, sample_rate = key
+                members = groups[key]
+                times = uniform_sample_times(dwell_time, sample_rate)
+                batch = DwellBatch([dwell for _, dwell in members], times)
+                n_fused += batch.batch_size
+                rows = batch.simulate()
+                for i, (member, dwell) in enumerate(members):
+                    member.rows[dwell.we_name] = (dwell, times, rows[i])
             job = plan.job
             generator = (job.rng if job.rng is not None
                          else np.random.default_rng(2011))
-            results.append(plan.protocol.assemble(
-                job.cell, job.chain, generator, plan.rows))
-            names.append(job.name if job.name else f"job{index}")
+            result = plan.protocol.assemble(job.cell, job.chain, generator,
+                                            plan.rows)
+            yield FleetItem(index=index,
+                            name=job.name if job.name else f"job{index}",
+                            result=result, n_jobs=len(plans),
+                            n_fused_dwells=n_fused,
+                            n_dwell_groups=len(simulated))
+
+    def run_many(self, jobs) -> FleetResult:
+        """Advance every job's panel through the shared engine.
+
+        Drains :meth:`run_iter` into a :class:`FleetResult`; dwell
+        chemistry is fused across jobs per compatibility group, and
+        acquisition noise is drawn per job from its own generator, in
+        the job's electrode order.
+        """
+        results: list["PanelResult"] = []
+        names: list[str] = []
+        n_fused = 0
+        n_groups = 0
+        for item in self.run_iter(jobs):
+            results.append(item.result)
+            names.append(item.name)
+            n_fused = item.n_fused_dwells
+            n_groups = item.n_dwell_groups
         return FleetResult(results=tuple(results), names=tuple(names),
                            n_fused_dwells=n_fused,
-                           n_dwell_groups=len(groups))
+                           n_dwell_groups=n_groups)

@@ -15,7 +15,7 @@ from repro.analysis.calibration import CalibrationCurve
 from repro.measurement.trace import Trace, Voltammogram
 
 __all__ = ["trace_to_csv", "voltammogram_to_csv", "calibration_to_json",
-           "write_json"]
+           "run_record_to_json", "write_json"]
 
 
 def trace_to_csv(trace: Trace, path: str | Path) -> Path:
@@ -66,6 +66,18 @@ def calibration_to_json(curve: CalibrationCurve, path: str | Path) -> Path:
         ],
     }
     return write_json(payload, path)
+
+
+def run_record_to_json(record, path: str | Path) -> Path:
+    """Serialise a :mod:`repro.api` run record to JSON.
+
+    The payload is the record's ``to_dict()``: provenance (spec hash,
+    schema version, seed, wall time), the canonical spec itself, and the
+    quantified result summary — everything needed to audit or replay the
+    run.  Raw sample arrays stay on the live result; export those with
+    :func:`trace_to_csv` / :func:`voltammogram_to_csv`.
+    """
+    return write_json(record.to_dict(), path)
 
 
 def write_json(payload: object, path: str | Path) -> Path:

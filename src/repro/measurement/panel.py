@@ -74,6 +74,18 @@ class TargetReadout:
     peak: Peak | None = None
     e_applied: float | None = None
 
+    def to_dict(self) -> dict:
+        """JSON-ready summary (peak reduced to its potential/height)."""
+        return {
+            "target": self.target,
+            "we_name": self.we_name,
+            "method": self.method,
+            "signal_a": self.signal,
+            "e_applied_v": self.e_applied,
+            "peak_potential_v": (self.peak.potential
+                                 if self.peak is not None else None),
+        }
+
 
 @dataclass(frozen=True)
 class PanelResult:
@@ -97,6 +109,23 @@ class PanelResult:
                 f"target {target!r} was not measured "
                 f"(have: {', '.join(sorted(self.readouts))})")
         return self.readouts[target].signal
+
+    def summary_dict(self) -> dict:
+        """JSON-ready summary: quantities only, no raw sample arrays.
+
+        This is what :mod:`repro.api` run records and
+        :func:`repro.io.export.run_record_to_json` serialise; full
+        traces/voltammograms stay on the live object (export them with
+        :func:`repro.io.export.trace_to_csv` when needed).
+        """
+        return {
+            "assay_time_s": self.assay_time,
+            "blank_current_a": self.blank_current,
+            "blank_e_applied_v": self.blank_e_applied,
+            "channels": sorted([*self.traces, *self.voltammograms]),
+            "readouts": {target: readout.to_dict()
+                         for target, readout in self.readouts.items()},
+        }
 
 
 class PanelProtocol:

@@ -134,3 +134,72 @@ class TestCli:
         assert main(["selectivity", "--potential", "-600"]) == 0
         out = capsys.readouterr().out
         assert "-600 mV" in out
+
+
+class TestCliValidationAndExitCodes:
+    """Argparse rejects bad numerics up front; ReproError exits 1."""
+
+    @pytest.mark.parametrize("argv", [
+        ["fleet", "--cells", "0"],
+        ["fleet", "--cells", "-3"],
+        ["fleet", "--cells", "two"],
+        ["fleet", "--ca-dwell", "0"],
+        ["fleet", "--ca-dwell", "-1.5"],
+        ["calibrate", "glucose", "--points", "1"],
+    ])
+    def test_bad_numeric_arguments_fail_fast(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2  # argparse usage error
+        assert "error" in capsys.readouterr().err
+
+    def test_fleet_streams_results(self, capsys):
+        assert main(["fleet", "--cells", "2", "--ca-dwell", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet spec" in out
+        assert "done cell00" in out
+        assert "done cell01" in out
+        assert "throughput" in out
+
+    def test_fleet_sequential_reference(self, capsys):
+        assert main(["fleet", "--cells", "1", "--ca-dwell", "5",
+                     "--sequential"]) == 0
+        assert "sequential" in capsys.readouterr().out
+
+    def test_panel_prints_provenance(self, capsys):
+        assert main(["panel", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "[assay] spec" in out
+        assert "schema v1" in out
+
+    def test_calibrate_unknown_target_exits_one(self, capsys):
+        assert main(["calibrate", "unobtainium"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_explore_bad_spec_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["explore", "--spec", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_run_command_assay_spec(self, tmp_path, capsys):
+        from repro import api
+        spec_path = tmp_path / "assay.json"
+        spec_path.write_text(json.dumps(api.AssaySpec(
+            name="cli", seed=7,
+            protocol=api.PanelProtocolSpec(ca_dwell=5.0)).to_dict()))
+        record_path = tmp_path / "record.json"
+        assert main(["run", str(spec_path), "--json",
+                     str(record_path)]) == 0
+        out = capsys.readouterr().out
+        assert "[assay] spec" in out
+        assert "assay time" in out
+        payload = json.loads(record_path.read_text())
+        assert payload["provenance"]["kind"] == "assay"
+
+    def test_run_command_missing_key_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 1, "kind": "calibration"}))
+        assert main(["run", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "target" in err
