@@ -17,8 +17,17 @@ runs through two implementations:
 
 Both produce bit-identical :class:`~repro.measurement.panel.PanelResult`
 records (same per-job RNG streams); the acceptance bar is >= 3x
-assays/sec for the scheduler on the 16-cell fleet.  Results are written
-as both the human-readable report and ``BENCH_panel.json``.
+assays/sec for the scheduler on the 16-cell fleet.
+
+The bench also has a **backend axis**: the same spec-level fleet runs
+through :class:`repro.api.executors.InlineExecutor` (one fused pass in
+this process) and :class:`repro.api.executors.ProcessExecutor`
+(sharded across worker processes).  Results must again be bit-identical
+(<= 1e-12 relative deviation); the acceptance bar is >= 2x assays/sec
+for the process backend with 4 workers on the 16-cell fleet — enforced
+only when the host actually has the cores, since multi-process scaling
+on a 1-core box is physically impossible.  Everything is written to
+both the human-readable report and ``BENCH_panel.json``.
 
 Smoke mode: set ``REPRO_BENCH_QUICK=1`` (tier-1 CI does, through
 ``tests/test_scheduler.py``) to shrink the fleet and dwell so the bench
@@ -27,6 +36,7 @@ doubles as a fast regression gate on the batched path.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import time
 from dataclasses import replace
@@ -50,6 +60,18 @@ N_CELLS = 4 if QUICK else 16
 CA_DWELL = 10.0 if QUICK else 30.0
 SAMPLE_RATE = 10.0
 MIN_SPEEDUP = 1.0 if QUICK else 3.0
+
+# Backend axis: the api-level fleet through inline vs process executors.
+N_CELLS_BACKEND = 2 if QUICK else 16
+N_WORKERS = 2 if QUICK else 4
+# Process sharding can only beat inline when the cores exist, and on
+# spawn-start platforms each timed run pays worker re-import costs the
+# warm-up cannot amortise; the parity bar (bit-identical results) is
+# enforced unconditionally, the speedup bar only where it is fair.
+MIN_BACKEND_SPEEDUP = (
+    2.0 if not QUICK and (os.cpu_count() or 1) >= N_WORKERS
+    and multiprocessing.get_start_method(allow_none=False) == "fork"
+    else 0.0)
 
 _OXIDASE_TARGETS = ("glucose", "lactate", "glutamate")
 
@@ -158,8 +180,43 @@ def run_experiment() -> dict:
             "quick": QUICK}
 
 
+def run_backend_experiment() -> dict:
+    """The same paper-panel fleet through inline vs process backends."""
+    import time
+
+    from repro import api
+
+    spec = api.FleetSpec.homogeneous(cells=N_CELLS_BACKEND, seed=900,
+                                     ca_dwell=CA_DWELL)
+
+    def timed(backend) -> tuple[float, list]:
+        start = time.perf_counter()
+        records = list(api.iter_results(spec, backend=backend))
+        elapsed = time.perf_counter() - start
+        return len(records) / elapsed, [r.result for r in records]
+
+    # Warm-up on a one-cell fleet through *both* backends (allocators,
+    # factor caches, and the OS page cache for worker imports).
+    warm = api.FleetSpec.homogeneous(cells=1, seed=900, ca_dwell=CA_DWELL)
+    list(api.iter_results(warm))
+    list(api.iter_results(warm, backend=api.ProcessExecutor(workers=1)))
+    inline_rate, inline_results = timed(api.InlineExecutor())
+    process_rate, process_results = timed(
+        api.ProcessExecutor(workers=N_WORKERS))
+    deviation = max_relative_deviation(inline_results, process_results)
+    return {"n_cells": N_CELLS_BACKEND,
+            "workers": N_WORKERS,
+            "inline_rate": inline_rate,
+            "process_rate": process_rate,
+            "speedup": process_rate / inline_rate,
+            "relative_deviation": deviation,
+            "enforced_min_speedup": MIN_BACKEND_SPEEDUP,
+            "host_cpus": os.cpu_count() or 1}
+
+
 def test_panel_throughput(benchmark, report, json_report):
     out = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    backends = run_backend_experiment()
     json_report("panel", {
         "bench": "panel_throughput",
         "workload": (f"{out['n_cells']}-cell fleet, {out['n_wes']} WEs, "
@@ -172,6 +229,19 @@ def test_panel_throughput(benchmark, report, json_report):
         "max_relative_deviation": out["relative_deviation"],
         "acceptance": {"min_speedup": MIN_SPEEDUP,
                        "max_deviation": 1.0e-12},
+        "backends": {
+            "workload": (f"{backends['n_cells']}-cell paper-panel fleet, "
+                         f"{backends['workers']} workers"),
+            "host_cpus": backends["host_cpus"],
+            "assays_per_sec": {"inline": backends["inline_rate"],
+                               "process": backends["process_rate"]},
+            "process_speedup_vs_inline": backends["speedup"],
+            "max_relative_deviation": backends["relative_deviation"],
+            "acceptance": {
+                "min_speedup": 2.0,
+                "enforced_min_speedup": backends["enforced_min_speedup"],
+                "max_deviation": 1.0e-12},
+        },
     })
     report(render_table(
         ["implementation", "assays/sec"],
@@ -186,7 +256,23 @@ def test_panel_throughput(benchmark, report, json_report):
            f"(acceptance: >= {MIN_SPEEDUP:g}x)")
     report(f"max relative deviation   : {out['relative_deviation']:.2e}  "
            f"(acceptance: <= 1e-12)")
+    report(render_table(
+        ["backend", "assays/sec"],
+        [["InlineExecutor (fused, in-process)",
+          f"{backends['inline_rate']:.2f}"],
+         [f"ProcessExecutor ({backends['workers']} workers)",
+          f"{backends['process_rate']:.2f}"]],
+        title=(f"P1b | backend axis, {backends['n_cells']}-cell fleet, "
+               f"{backends['host_cpus']} host CPU(s)")))
+    report(f"process speedup vs inline: {backends['speedup']:.1f}x  "
+           f"(acceptance: >= 2x with >= {N_WORKERS} cores; enforced: "
+           f">= {backends['enforced_min_speedup']:g}x here)")
+    report(f"backend max rel deviation: "
+           f"{backends['relative_deviation']:.2e}  (acceptance: <= 1e-12)")
 
     # The scheduler must reproduce the sequential panels and beat them.
     assert out["relative_deviation"] <= 1.0e-12
     assert out["speedup"] >= MIN_SPEEDUP
+    # Backends must agree bit for bit; process must scale when it can.
+    assert backends["relative_deviation"] <= 1.0e-12
+    assert backends["speedup"] >= backends["enforced_min_speedup"]

@@ -14,6 +14,43 @@ plus provenance — through exactly one entry point::
     for rec in api.iter_results(fleet):              # streamed, job order
         print(rec.job_name, rec.result.assay_time)
 
+Execution backends
+==================
+
+*What* runs is orthogonal to *how* it runs.  Fleet execution is
+pluggable (:mod:`repro.api.executors`): :class:`InlineExecutor` is one
+fused scheduler pass in this process (the bit-identical reference) and
+:class:`ProcessExecutor` shards the fleet's jobs across worker
+processes, re-merging completions in job order so the stream — and
+every sample of every result — is bit-identical to inline.  Select a
+backend declaratively through the fleet's ``execution`` block::
+
+    {"kind": "fleet", ..., "execution":
+        {"backend": "process", "workers": 4, "shard": "interleave"}}
+
+or programmatically: ``run(spec, backend="process")`` /
+``run(spec, backend=ProcessExecutor(workers=4))`` (the explicit
+argument wins).  Any object with ``run_fleet(spec)`` yielding
+:class:`~repro.api.records.AssayRunRecord` plugs in.
+
+The run store
+=============
+
+:class:`~repro.api.store.RunStore` (:mod:`repro.api.store`) memoises
+whole runs, content-addressed by ``spec_hash``::
+
+    store = api.RunStore("runs/")
+    first = api.run(spec, store=store)    # executes, persists
+    again = api.run(spec, store=store)    # cache hit: no engine work
+    assert again.cached and again.spec_hash == first.spec_hash
+
+Records live at ``<root>/<hash[:2]>/<hash>.json`` (the record's
+``to_dict()``: provenance + canonical spec + result summary), written
+atomically.  Hits come back as :class:`~repro.api.records.
+StoredRunRecord` with ``cached=True``; live runs report
+``cached=False``.  The CLI drives the same store via ``--store`` and
+inspects it with the ``cache`` subcommand.
+
 Spec schema
 ===========
 
@@ -25,9 +62,14 @@ live in :mod:`repro.api.specs`:
 - ``assay``: ``name``, ``seed``, ``cell`` (paper panel or reference
   sensor), ``chain`` (integrated readout class or bench), ``protocol``
   (dwell/sweep parameters, injection schedules, ``batch_electrodes``).
-- ``fleet``: ``name`` plus an explicit ``assays`` list (files stay
+- ``fleet``: ``name``, an explicit ``assays`` list (files stay
   reproducible; :meth:`~repro.api.specs.FleetSpec.homogeneous` builds
-  the N-identical-cells case).
+  the N-identical-cells case), and the ``execution`` block above.
+- ``sweep``: a ``base`` assay payload plus a ``grid`` mapping dotted
+  payload paths (``"seed"``, ``"protocol.ca_dwell"``,
+  ``"cell.concentrations.glucose"``) to value lists; compiles to the
+  Cartesian-product ``fleet``, so parameter studies flow through the
+  same backends and store.
 - ``calibration``: ``target``, ``points``, ``seed``.
 - ``platform``: an embedded core ``design`` payload plus sample
   ``concentrations`` and run parameters.
@@ -37,17 +79,20 @@ live in :mod:`repro.api.specs`:
 Versioning policy
 =================
 
-``SCHEMA_VERSION`` (currently 1) is written into every payload and
+``SCHEMA_VERSION`` (currently 2) is written into every payload and
 checked on load; a reader raises :class:`~repro.errors.SpecError` on
 any version it does not understand, naming the offending file/path.
-The version bumps only on *breaking* payload changes (a key removed,
-renamed, or reinterpreted); adding optional keys with defaults is not a
-bump, so version-1 files keep loading as the library grows.  Unknown
-keys are ignored on read — forward-written files degrade gracefully —
-and ``to_dict`` always emits the complete canonical payload, so
-:func:`spec_hash` (SHA-256 over the sorted canonical JSON) is stable
-across round trips and is the provenance key every
-:class:`~repro.api.records.RunRecord` carries.
+Version 2 added the fleet ``execution`` block and the ``sweep`` kind;
+both are additive, so readers accept every version in
+``SUPPORTED_SCHEMAS`` (1 and 2) and version-1 files keep loading with
+schema-1 behaviour (inline execution).  The version bumps only on
+payload changes a version-1 reader would misread; adding optional keys
+with defaults is not a bump.  Unknown keys are ignored on read —
+forward-written files degrade gracefully — and ``to_dict`` always
+emits the complete canonical payload, so :func:`spec_hash` (SHA-256
+over the sorted canonical JSON) is stable across round trips and is
+the provenance key every :class:`~repro.api.records.RunRecord` carries
+and every :class:`~repro.api.store.RunStore` keys by.
 
 Escape hatch
 ============
@@ -60,6 +105,12 @@ paths are pinned bit-identical to them in ``tests/test_api_run.py``;
 specs add provenance and a stable file surface, not new physics.
 """
 
+from repro.api.executors import (
+    Executor,
+    InlineExecutor,
+    ProcessExecutor,
+    resolve_executor,
+)
 from repro.api.records import (
     AssayRunRecord,
     CalibrationRunRecord,
@@ -68,36 +119,45 @@ from repro.api.records import (
     FleetRunRecord,
     PlatformRunRecord,
     RunRecord,
+    StoredRunRecord,
 )
 from repro.api.runner import iter_results, run
 from repro.api.specs import (
     SCHEMA_VERSION,
+    SUPPORTED_SCHEMAS,
     AssaySpec,
     CalibrationSpec,
     CellSpec,
     ChainSpec,
+    ExecutionSpec,
     ExploreSpec,
     FleetSpec,
     InjectionEvent,
     PanelProtocolSpec,
     PlatformSpec,
+    SweepSpec,
     canonical_payload,
     load_spec,
     spec_from_dict,
     spec_hash,
 )
+from repro.api.store import RunStore
 
 __all__ = [
-    "SCHEMA_VERSION",
+    "SCHEMA_VERSION", "SUPPORTED_SCHEMAS",
     # specs
-    "AssaySpec", "FleetSpec", "CalibrationSpec", "PlatformSpec",
-    "ExploreSpec",
+    "AssaySpec", "FleetSpec", "SweepSpec", "CalibrationSpec",
+    "PlatformSpec", "ExploreSpec",
     "CellSpec", "ChainSpec", "PanelProtocolSpec", "InjectionEvent",
+    "ExecutionSpec",
     "spec_from_dict", "load_spec", "spec_hash", "canonical_payload",
     # records
     "RunRecord", "AssayRunRecord", "FleetRunRecord",
     "CalibrationRunRecord", "PlatformRunRecord", "ExploreRunRecord",
-    "EngineStats",
+    "StoredRunRecord", "EngineStats",
+    # execution backends + store
+    "Executor", "InlineExecutor", "ProcessExecutor", "resolve_executor",
+    "RunStore",
     # entry points
     "run", "iter_results",
 ]

@@ -1,0 +1,266 @@
+"""Pluggable fleet execution backends behind the ``repro.api`` front door.
+
+:func:`repro.api.run` and :func:`repro.api.iter_results` describe *what*
+to run (a :class:`~repro.api.specs.FleetSpec`); an :class:`Executor`
+decides *how*.  Two backends ship:
+
+- :class:`InlineExecutor` — one fused
+  :meth:`~repro.engine.scheduler.AssayScheduler.run_iter` pass in the
+  calling process.  This is the bit-identical reference every other
+  backend is pinned against.
+- :class:`ProcessExecutor` — the fleet's jobs sharded across worker
+  processes.  Each worker receives only canonical assay *payloads*
+  (JSON-ready dicts — cells, chains and engines are rebuilt inside the
+  worker, so nothing stateful crosses the process boundary), runs one
+  fused ``run_iter`` over its shard, and ships back per-job
+  :class:`~repro.measurement.panel.PanelResult` objects.  The parent
+  re-merges completions in job order, so the streamed records — names,
+  seeds, hashes and every sample of every result — are bit-identical
+  to the inline backend.  Only wall time and the engine fusion
+  statistics differ: each worker fuses its own shard, so an N-job fleet
+  that inlines into one dwell group reports one group *per worker*
+  here (the per-record statistics stay cumulative in merged job order,
+  and the final record still carries the fleet totals).
+
+Backends are selected declaratively (the fleet's
+:class:`~repro.api.specs.ExecutionSpec` block), programmatically
+(``run(spec, backend=ProcessExecutor(workers=4))``), or by name
+(``backend="process"``); :func:`resolve_executor` implements that
+precedence.  Anything exposing ``run_fleet(spec) -> iterator of
+AssayRunRecord`` can serve as a backend — the :class:`Executor`
+protocol is structural.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections.abc import Iterator
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.api.records import AssayRunRecord, EngineStats
+from repro.api.specs import (
+    _EXECUTION_SHARDS,
+    SCHEMA_VERSION,
+    ExecutionSpec,
+    FleetSpec,
+    hash_payload,
+)
+from repro.errors import SpecError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.measurement.panel import PanelResult
+
+__all__ = ["Executor", "InlineExecutor", "ProcessExecutor",
+           "resolve_executor", "shard_indices"]
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Structural protocol every execution backend satisfies.
+
+    ``run_fleet`` streams one :class:`~repro.api.records.AssayRunRecord`
+    per job, in job order; records must be backend-independent bit for
+    bit (wall time and engine statistics excepted — they describe the
+    actual execution).
+    """
+
+    def run_fleet(self, spec: FleetSpec) -> Iterator[AssayRunRecord]:
+        ...  # pragma: no cover - protocol signature only
+
+
+def _record(payload: dict, seed: int, name: str, result: "PanelResult",
+            n_fused: int, n_groups: int, start: float) -> AssayRunRecord:
+    """One streamed per-job record; shared by every backend."""
+    return AssayRunRecord(
+        spec=payload, spec_hash=hash_payload(payload),
+        schema_version=SCHEMA_VERSION, seed=seed,
+        wall_time_s=time.perf_counter() - start,
+        job_name=name, result=result,
+        engine=EngineStats(n_fused_dwells=n_fused,
+                           n_dwell_groups=n_groups))
+
+
+class InlineExecutor:
+    """Execute a fleet as one fused scheduler pass in this process.
+
+    The bit-identical reference backend: jobs are built in fleet order
+    and drained through :meth:`~repro.engine.scheduler.AssayScheduler.
+    run_iter` exactly as :func:`repro.api.iter_results` always has.
+    """
+
+    name = "inline"
+
+    def run_fleet(self, spec: FleetSpec) -> Iterator[AssayRunRecord]:
+        from repro.engine.scheduler import AssayScheduler
+
+        jobs = spec.build_jobs()
+        start = time.perf_counter()
+        for item in AssayScheduler().run_iter(jobs):
+            assay = spec.assays[item.index]
+            yield _record(assay.to_dict(), assay.seed, item.name,
+                          item.result, item.n_fused_dwells,
+                          item.n_dwell_groups, start)
+
+    def __repr__(self) -> str:
+        return "InlineExecutor()"
+
+
+def shard_indices(n_jobs: int, n_shards: int,
+                  mode: str = "interleave") -> list[list[int]]:
+    """Partition job indices ``0..n_jobs-1`` into non-empty shards.
+
+    ``interleave`` deals jobs round-robin (shard ``i`` takes ``i, i+w,
+    ...``) so early-finishing jobs spread across workers; ``contiguous``
+    cuts near-equal consecutive blocks (friendlier to per-shard dwell
+    fusion when neighbouring jobs share protocol parameters).
+    """
+    if n_jobs < 1:
+        raise SpecError("shard_indices: need at least one job")
+    n_shards = max(1, min(n_shards, n_jobs))
+    if mode == "interleave":
+        return [list(range(i, n_jobs, n_shards)) for i in range(n_shards)]
+    if mode == "contiguous":
+        block, extra = divmod(n_jobs, n_shards)
+        shards, at = [], 0
+        for i in range(n_shards):
+            size = block + (1 if i < extra else 0)
+            shards.append(list(range(at, at + size)))
+            at += size
+        return shards
+    raise SpecError(f"shard_indices: unknown mode {mode!r} "
+                    f"(known: {', '.join(_EXECUTION_SHARDS)})")
+
+
+def _execute_shard(shard: list[tuple[int, dict]]) -> list[tuple]:
+    """Worker entry point: run one shard's assays as a fused mini-fleet.
+
+    ``shard`` is ``[(fleet_index, assay_payload), ...]``; the worker
+    rebuilds each :class:`~repro.api.specs.AssaySpec` from its payload
+    (fresh cells, chains and RNGs — per-job determinism is seeded, not
+    shared) and drains one scheduler pass.  Returns ``[(fleet_index,
+    result, d_fused, d_groups), ...]`` where the ``d_*`` are the *delta*
+    engine statistics each job contributed, so the parent can
+    re-accumulate them in merged job order.
+    """
+    from repro.api.specs import AssaySpec
+    from repro.engine.scheduler import AssayScheduler
+
+    specs = [AssaySpec.from_dict(payload) for _, payload in shard]
+    jobs = [spec.build_job() for spec in specs]
+    out: list[tuple] = []
+    prev_fused = prev_groups = 0
+    for (index, _), item in zip(shard, AssayScheduler().run_iter(jobs)):
+        out.append((index, item.result,
+                    item.n_fused_dwells - prev_fused,
+                    item.n_dwell_groups - prev_groups))
+        prev_fused = item.n_fused_dwells
+        prev_groups = item.n_dwell_groups
+    return out
+
+
+class ProcessExecutor:
+    """Shard a fleet's jobs across worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count; ``None`` means one per CPU core.
+    shard:
+        Job partitioning strategy — see :func:`shard_indices`.
+
+    Each worker runs a fused :meth:`~repro.engine.scheduler.
+    AssayScheduler.run_iter` over its shard; the parent buffers shard
+    completions and yields records strictly in fleet job order, so the
+    stream is a drop-in replacement for :class:`InlineExecutor` (results
+    pinned bit-identical in ``tests/test_api_executors_store.py``).
+    Streaming granularity is the *shard*, not the job — one future per
+    shard keeps the per-shard dwell fusion that makes sharding pay, so
+    the first record arrives once the first shard finishes (use
+    :class:`InlineExecutor` when per-job latency matters more than
+    throughput).  Workers are plain ``concurrent.futures`` process-pool
+    workers; a single-job fleet degenerates to one shard, and an
+    abandoned stream cancels every shard not yet running.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int | None = None,
+                 shard: str = "interleave") -> None:
+        # One validation authority: the declarative block this executor
+        # is the programmatic face of.
+        ExecutionSpec(backend="process", workers=workers, shard=shard)
+        self.workers = workers
+        self.shard = shard
+
+    def __repr__(self) -> str:
+        return (f"ProcessExecutor(workers={self.workers!r}, "
+                f"shard={self.shard!r})")
+
+    def run_fleet(self, spec: FleetSpec) -> Iterator[AssayRunRecord]:
+        n_jobs = len(spec.assays)
+        workers = self.workers if self.workers is not None \
+            else (os.cpu_count() or 1)
+        payloads = [assay.to_dict() for assay in spec.assays]
+        shards = [[(i, payloads[i]) for i in indices]
+                  for indices in shard_indices(n_jobs, workers, self.shard)]
+        buffered: dict[int, tuple] = {}
+        cum_fused = cum_groups = 0
+        start = time.perf_counter()
+        with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+            pending = {pool.submit(_execute_shard, shard)
+                       for shard in shards}
+            try:
+                for index in range(n_jobs):
+                    while index not in buffered:
+                        if not pending:
+                            raise SpecError(
+                                f"process executor: workers completed "
+                                f"without producing job {index} — shard "
+                                f"bookkeeping bug")
+                        done, pending = wait(pending,
+                                             return_when=FIRST_COMPLETED)
+                        for future in done:
+                            for at, result, d_fused, d_groups in \
+                                    future.result():
+                                buffered[at] = (result, d_fused, d_groups)
+                    result, d_fused, d_groups = buffered.pop(index)
+                    cum_fused += d_fused
+                    cum_groups += d_groups
+                    assay = spec.assays[index]
+                    name = assay.name if assay.name else f"job{index}"
+                    yield _record(payloads[index], assay.seed, name, result,
+                                  cum_fused, cum_groups, start)
+            except GeneratorExit:
+                # The consumer abandoned the stream: drop every queued
+                # shard so close() costs at most the shards already
+                # running (futures mid-execution cannot be killed
+                # without terminating their worker processes).
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+
+
+def resolve_executor(backend, execution: ExecutionSpec | None = None):
+    """The executor a run should use.
+
+    Precedence: an explicit ``backend`` (an :class:`Executor` instance,
+    or the name ``"inline"`` / ``"process"`` — names take ``workers`` /
+    ``shard`` from the spec's ``execution`` block) overrides the block;
+    ``backend=None`` defers to ``execution`` (default: inline).
+    """
+    if backend is None:
+        return (execution if execution is not None
+                else ExecutionSpec()).build()
+    if isinstance(backend, str):
+        execution = execution if execution is not None else ExecutionSpec()
+        try:
+            return ExecutionSpec(backend=backend, workers=execution.workers,
+                                 shard=execution.shard).build()
+        except SpecError:
+            raise SpecError(f"unknown execution backend {backend!r} "
+                            f"(known: inline, process)") from None
+    if isinstance(backend, Executor):
+        return backend
+    raise SpecError(f"not an execution backend: {type(backend).__name__} "
+                    f"(need an Executor, 'inline', or 'process')")

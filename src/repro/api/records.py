@@ -12,7 +12,7 @@ the live result objects.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
@@ -24,6 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
 __all__ = [
     "EngineStats", "RunRecord", "AssayRunRecord", "FleetRunRecord",
     "CalibrationRunRecord", "PlatformRunRecord", "ExploreRunRecord",
+    "StoredRunRecord",
 ]
 
 
@@ -58,6 +59,11 @@ class RunRecord:
     seed: int | None
     wall_time_s: float
 
+    #: ``True`` only on records rehydrated from a
+    #: :class:`~repro.api.store.RunStore` hit (:class:`StoredRunRecord`);
+    #: live engine runs always report ``False``.
+    cached = False
+
     @property
     def kind(self) -> str:
         return str(self.spec.get("kind", "?"))
@@ -65,7 +71,7 @@ class RunRecord:
     def provenance(self) -> dict:
         return {"kind": self.kind, "spec_hash": self.spec_hash,
                 "schema_version": self.schema_version, "seed": self.seed,
-                "wall_time_s": self.wall_time_s}
+                "wall_time_s": self.wall_time_s, "cached": self.cached}
 
     def _result_dict(self) -> dict:
         return {}
@@ -96,10 +102,16 @@ class AssayRunRecord(RunRecord):
 @dataclass(frozen=True)
 class FleetRunRecord(RunRecord):
     """One fleet pass: the per-job records, in job order, plus the
-    fused-engine totals across the whole fleet."""
+    fused-engine totals across the whole fleet.
+
+    A fleet has no single seed (``seed`` is ``None``); ``seeds`` records
+    every job's acquisition seed, in job order, so the whole pass stays
+    reproducible from the record alone.
+    """
 
     records: tuple[AssayRunRecord, ...]
     engine: EngineStats
+    seeds: tuple[int, ...] = ()
 
     def __len__(self) -> int:
         return len(self.records)
@@ -111,6 +123,11 @@ class FleetRunRecord(RunRecord):
     @property
     def results(self) -> tuple["PanelResult", ...]:
         return tuple(record.result for record in self.records)
+
+    def provenance(self) -> dict:
+        out = super().provenance()
+        out["seeds"] = list(self.seeds)
+        return out
 
     def _result_dict(self) -> dict:
         return {"n_jobs": len(self.records),
@@ -170,3 +187,35 @@ class ExploreRunRecord(RunRecord):
                 "n_candidates": self.result.n_candidates,
                 "n_feasible": self.result.n_feasible,
                 "n_pareto": len(self.result.front)}
+
+
+@dataclass(frozen=True)
+class StoredRunRecord(RunRecord):
+    """A run record rehydrated from a :class:`~repro.api.store.RunStore`.
+
+    Cache hits return everything the store persisted — the canonical
+    spec, full provenance (including extras like a fleet's per-job
+    ``seeds``) and the quantified result summary — without touching the
+    engine.  Raw sample arrays were never persisted, so ``result`` is
+    the summary dict, not a live result object; re-run the spec without
+    a store when the live arrays are needed.  ``cached`` is ``True`` and
+    ``wall_time_s`` is the *original* run's wall time.
+    """
+
+    result: dict
+    stored_provenance: dict = field(default_factory=dict)
+
+    cached = True
+
+    def provenance(self) -> dict:
+        out = super().provenance()
+        # Preserve provenance extras the original record type emitted
+        # (e.g. FleetRunRecord.seeds); the live fields above stay
+        # authoritative for anything they both carry.
+        for key, value in self.stored_provenance.items():
+            out.setdefault(key, value)
+        out["cached"] = True
+        return out
+
+    def _result_dict(self) -> dict:
+        return dict(self.result)

@@ -1,6 +1,6 @@
 """``run(spec)`` / ``iter_results(spec)`` — the platform's front door.
 
-One entry point, five dispatch paths:
+One entry point, six dispatch paths:
 
 ==============  ==============================================  =======================
 spec kind       executes through                                returns
@@ -9,8 +9,11 @@ spec kind       executes through                                returns
                 (single-job fused batch), or
                 :meth:`~repro.measurement.panel.PanelProtocol.
                 run` when ``batch_electrodes`` is off            :class:`AssayRunRecord`
-``fleet``       :meth:`~repro.engine.scheduler.AssayScheduler.
-                run_iter` (streamed, then collected)             :class:`FleetRunRecord`
+``fleet``       a pluggable :class:`~repro.api.executors.
+                Executor` backend (inline scheduler pass or
+                multi-process sharding)                          :class:`FleetRunRecord`
+``sweep``       compiled to a ``fleet`` (grid of overrides
+                over a base assay), then as above                :class:`FleetRunRecord`
 ``calibration`` :func:`~repro.analysis.calibration.
                 run_calibration` over the bench chain            :class:`CalibrationRunRecord`
 ``platform``    :meth:`~repro.core.platform.BiosensingPlatform.
@@ -19,10 +22,18 @@ spec kind       executes through                                returns
 ==============  ==============================================  =======================
 
 :func:`iter_results` is the streaming form of the fleet path: it yields
-one :class:`AssayRunRecord` per job, in job order, as each assay's
-dwells drain from the fused engine batches — a consumer can export or
-react to job ``k`` while jobs ``k+1..N`` are still digitising, and
+one :class:`AssayRunRecord` per job, in job order, as each assay
+completes on the selected backend — a consumer can export or react to
+job ``k`` while jobs ``k+1..N`` are still digitising, and
 ``run(fleet_spec)`` is exactly this stream collected.
+
+Execution is orthogonal to description: ``backend=`` (an
+:class:`~repro.api.executors.Executor`, ``"inline"`` or ``"process"``)
+overrides the fleet's declarative ``execution`` block, and results are
+bit-identical across backends.  ``store=`` (a
+:class:`~repro.api.store.RunStore` or its root path) memoises whole
+runs by spec hash: a repeated ``run(spec, store=store)`` returns the
+stored record — marked ``cached=True`` — without touching the engine.
 """
 
 from __future__ import annotations
@@ -48,6 +59,8 @@ from repro.api.specs import (
     ExploreSpec,
     FleetSpec,
     PlatformSpec,
+    RunnableSpec,
+    SweepSpec,
     hash_payload,
     spec_from_dict,
 )
@@ -62,52 +75,90 @@ def _coerce(spec):
     return spec
 
 
-def run(spec) -> RunRecord:
-    """Execute any runnable spec (dataclass or payload dict)."""
+def _coerce_store(store):
+    from repro.api.store import RunStore
+
+    if store is None or isinstance(store, RunStore):
+        return store
+    return RunStore(store)
+
+
+def run(spec, backend=None, store=None) -> RunRecord:
+    """Execute any runnable spec (dataclass or payload dict).
+
+    ``backend`` selects the fleet execution backend (fleet/sweep/assay
+    kinds; see :func:`~repro.api.executors.resolve_executor`);
+    ``store`` short-circuits to a cached record when this exact spec
+    has run before, and persists the fresh record otherwise.
+    """
     spec = _coerce(spec)
+    if not isinstance(spec, RunnableSpec):
+        raise SpecError(f"not a runnable spec: {type(spec).__name__}")
+    store = _coerce_store(store)
+    if store is not None:
+        # The spec is already canonical (a parsed dataclass), so its
+        # hash needs one to_dict, not a serialise/re-parse round trip.
+        hit = store.get(hash_payload(spec.to_dict()))
+        if hit is not None:
+            return hit
+    record = _dispatch(spec, backend)
+    if store is not None:
+        store.put(record)
+    return record
+
+
+def _dispatch(spec, backend) -> RunRecord:
     if isinstance(spec, AssaySpec):
+        if backend is not None:
+            # A one-job fleet through the requested backend; records
+            # are backend-independent, so this is the same assay.
+            fleet = FleetSpec(name=spec.name, assays=(spec,))
+            return _run_fleet(fleet, backend).records[0]
         return _run_assay(spec)
     if isinstance(spec, FleetSpec):
-        return _run_fleet(spec)
+        return _run_fleet(spec, backend)
+    if isinstance(spec, SweepSpec):
+        return _run_sweep(spec, backend)
+    if backend is not None:
+        raise SpecError(f"execution backends apply to assay/fleet/sweep "
+                        f"specs, not {type(spec).__name__}")
     if isinstance(spec, CalibrationSpec):
         return _run_calibration(spec)
     if isinstance(spec, PlatformSpec):
         return _run_platform(spec)
-    if isinstance(spec, ExploreSpec):
-        return _run_explore(spec)
-    raise SpecError(f"not a runnable spec: {type(spec).__name__}")
+    return _run_explore(spec)
 
 
-def iter_results(spec) -> Iterator[AssayRunRecord]:
+def iter_results(spec, backend=None) -> Iterator[AssayRunRecord]:
     """Stream a fleet: one per-job record as each assay completes.
 
-    Job order, results, and engine statistics match ``run(fleet_spec)``
-    exactly (both drain :meth:`~repro.engine.scheduler.AssayScheduler.
-    run_iter`); each yielded record carries its *own* assay spec payload
-    and hash, its job's seed, and — cumulative since the stream started,
-    like ``wall_time_s`` — the fused-engine statistics at the moment it
-    completed.
+    Job order, results, and provenance match ``run(fleet_spec)`` exactly
+    on every backend (``backend=None`` defers to the spec's
+    ``execution`` block); each yielded record carries its *own* assay
+    spec payload and hash, its job's seed, and — cumulative since the
+    stream started, like ``wall_time_s`` — the engine fusion statistics
+    of the backend at the moment it completed.  Sweep specs are
+    compiled to their fleet first; a bare assay streams as a one-job
+    fleet.  Streaming granularity depends on the backend: inline yields
+    as each job's dwells drain, while the process backend yields a
+    shard at a time (in job order either way).  The stream may be
+    abandoned early (``close()`` or a partial iteration): backends
+    release their scheduler state — the process backend cancels shards
+    not yet running — and a fresh call replays from the spec
+    bit-identically.
     """
-    from repro.engine.scheduler import AssayScheduler
+    from repro.api.executors import resolve_executor
 
     spec = _coerce(spec)
     if isinstance(spec, AssaySpec):
         spec = FleetSpec(name=spec.name, assays=(spec,))
+    if isinstance(spec, SweepSpec):
+        spec = spec.compile()
     if not isinstance(spec, FleetSpec):
-        raise SpecError(f"iter_results needs a fleet (or assay) spec, "
-                        f"got {type(spec).__name__}")
-    jobs = spec.build_jobs()
-    start = time.perf_counter()
-    for item in AssayScheduler().run_iter(jobs):
-        assay = spec.assays[item.index]
-        payload = assay.to_dict()
-        yield AssayRunRecord(
-            spec=payload, spec_hash=hash_payload(payload),
-            schema_version=SCHEMA_VERSION, seed=assay.seed,
-            wall_time_s=time.perf_counter() - start,
-            job_name=item.name, result=item.result,
-            engine=EngineStats(n_fused_dwells=item.n_fused_dwells,
-                               n_dwell_groups=item.n_dwell_groups))
+        raise SpecError(f"iter_results needs a fleet, sweep or assay "
+                        f"spec, got {type(spec).__name__}")
+    executor = resolve_executor(backend, spec.execution)
+    yield from executor.run_fleet(spec)
 
 
 def _run_assay(spec: AssaySpec) -> AssayRunRecord:
@@ -133,10 +184,17 @@ def _run_assay(spec: AssaySpec) -> AssayRunRecord:
         job_name=spec.name, result=result, engine=engine)
 
 
-def _run_fleet(spec: FleetSpec) -> FleetRunRecord:
-    payload = spec.to_dict()
+def _run_fleet(spec: FleetSpec, backend=None,
+               payload: dict | None = None) -> FleetRunRecord:
+    """Collect a fleet stream; ``payload`` lets sweeps stamp their own
+    spec (the record's provenance names what the user asked for, not
+    the compiled expansion)."""
+    from repro.api.executors import resolve_executor
+
+    payload = payload if payload is not None else spec.to_dict()
     start = time.perf_counter()
-    records = tuple(iter_results(spec))
+    executor = resolve_executor(backend, spec.execution)
+    records = tuple(executor.run_fleet(spec))
     # FleetSpec guarantees at least one assay, so records is non-empty
     # and the last record's cumulative stats are the fleet totals.
     engine = records[-1].engine
@@ -144,7 +202,12 @@ def _run_fleet(spec: FleetSpec) -> FleetRunRecord:
         spec=payload, spec_hash=hash_payload(payload),
         schema_version=SCHEMA_VERSION, seed=None,
         wall_time_s=time.perf_counter() - start,
-        records=records, engine=engine)
+        records=records, engine=engine,
+        seeds=tuple(assay.seed for assay in spec.assays))
+
+
+def _run_sweep(spec: SweepSpec, backend=None) -> FleetRunRecord:
+    return _run_fleet(spec.compile(), backend, payload=spec.to_dict())
 
 
 def _run_calibration(spec: CalibrationSpec) -> CalibrationRunRecord:

@@ -14,7 +14,12 @@ so a spec file is a complete, hashable description of a run —
 Spec kinds (see :mod:`repro.api` for the schema/versioning policy):
 
 - ``assay`` — one multiplexed panel assay: cell x chain x protocol x seed.
-- ``fleet`` — N concurrent assays for the batched scheduler.
+- ``fleet`` — N concurrent assays for the batched scheduler, plus a
+  declarative ``execution`` block (backend / workers / shard) selecting
+  how the fleet executes (see :mod:`repro.api.executors`).
+- ``sweep`` — a parameter grid over a base ``assay``, compiled into one
+  ``fleet`` payload so parameter studies flow through the same
+  backends and run store.
 - ``calibration`` — a measured calibration ladder of one reference sensor.
 - ``platform`` — materialise a :class:`~repro.core.architecture.
   PlatformDesign` (embedded core ``design`` payload) and assay a sample.
@@ -23,7 +28,9 @@ Spec kinds (see :mod:`repro.api` for the schema/versioning policy):
 
 from __future__ import annotations
 
+import copy
 import hashlib
+import itertools
 import json
 from collections.abc import Mapping
 from dataclasses import dataclass, field
@@ -33,13 +40,18 @@ import numpy as np
 
 from repro.chem.solution import Injection, InjectionSchedule
 from repro.core.spec import (
-    SCHEMA_VERSION,
     check_kind,
     read_payload,
     require,
     require_list,
 )
 from repro.errors import SpecError
+
+#: Schema written into every api payload.  Version 2 added the fleet
+#: ``execution`` block and the ``sweep`` kind; version-1 files still
+#: load (missing keys take their defaults), so readers accept both.
+SCHEMA_VERSION = 2
+SUPPORTED_SCHEMAS = (1, 2)
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from pathlib import Path
@@ -52,13 +64,19 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.sensors.cell import ElectrochemicalCell
 
 __all__ = [
-    "SCHEMA_VERSION",
+    "SCHEMA_VERSION", "SUPPORTED_SCHEMAS",
     "ChainSpec", "CellSpec", "InjectionEvent", "PanelProtocolSpec",
-    "AssaySpec", "FleetSpec", "CalibrationSpec", "PlatformSpec",
-    "ExploreSpec",
+    "ExecutionSpec",
+    "AssaySpec", "FleetSpec", "SweepSpec", "CalibrationSpec",
+    "PlatformSpec", "ExploreSpec",
     "spec_from_dict", "load_spec", "spec_hash", "hash_payload",
     "canonical_payload",
 ]
+
+
+def _check_kind(payload: Mapping, kind: str, path: str) -> None:
+    """Envelope check accepting every schema this reader interprets."""
+    check_kind(payload, kind, path, version=SUPPORTED_SCHEMAS)
 
 
 def canonical_payload(spec) -> dict:
@@ -415,7 +433,7 @@ class AssaySpec:
     @classmethod
     def from_dict(cls, payload: Mapping,
                   path: str = "assay spec") -> "AssaySpec":
-        check_kind(payload, "assay", path)
+        _check_kind(payload, "assay", path)
         return cls(
             name=payload.get("name", "assay"),
             seed=_int_value(payload.get("seed", 2011), f"{path}.seed"),
@@ -424,6 +442,83 @@ class AssaySpec:
                                       f"{path}.chain"),
             protocol=PanelProtocolSpec.from_dict(payload.get("protocol", {}),
                                                  f"{path}.protocol"))
+
+
+_EXECUTION_BACKENDS = ("inline", "process")
+_EXECUTION_SHARDS = ("interleave", "contiguous")
+
+
+@dataclass(frozen=True)
+class ExecutionSpec:
+    """How a fleet executes — the declarative face of the backend API.
+
+    ``backend`` selects an :class:`~repro.api.executors.Executor`:
+    ``"inline"`` (one fused scheduler pass in this process, the
+    bit-identical reference) or ``"process"`` (the fleet's jobs sharded
+    across worker processes).  ``workers`` is the process count (``null``
+    means one per CPU core) and ``shard`` the job-partitioning strategy
+    (``"interleave"``: worker ``i`` takes jobs ``i, i+w, ...``;
+    ``"contiguous"``: near-equal consecutive blocks).  Every field
+    defaults to the schema-1 behaviour, so version-1 fleet files load
+    unchanged.  Results are backend-independent bit for bit; only the
+    wall time and engine fusion statistics reflect the choice.
+    """
+
+    backend: str = "inline"
+    workers: int | None = None
+    shard: str = "interleave"
+
+    def __post_init__(self) -> None:
+        if self.backend not in _EXECUTION_BACKENDS:
+            raise SpecError(
+                f"execution spec: unknown backend {self.backend!r} "
+                f"(known: {', '.join(_EXECUTION_BACKENDS)})")
+        if self.shard not in _EXECUTION_SHARDS:
+            raise SpecError(
+                f"execution spec: unknown shard strategy {self.shard!r} "
+                f"(known: {', '.join(_EXECUTION_SHARDS)})")
+        if self.workers is not None and self.workers < 1:
+            raise SpecError(f"execution spec: workers must be >= 1, "
+                            f"got {self.workers}")
+
+    def build(self):
+        """The configured :class:`~repro.api.executors.Executor`."""
+        from repro.api.executors import InlineExecutor, ProcessExecutor
+
+        if self.backend == "inline":
+            return InlineExecutor()
+        return ProcessExecutor(workers=self.workers, shard=self.shard)
+
+    def to_dict(self) -> dict:
+        return {"backend": self.backend,
+                "workers": (int(self.workers)
+                            if self.workers is not None else None),
+                "shard": self.shard}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping | None,
+                  path: str = "execution") -> "ExecutionSpec":
+        if payload is None:
+            return cls()
+        if not isinstance(payload, Mapping):
+            raise SpecError(f"{path}: expected a JSON object or null")
+        # Re-check the enumerations here so file errors name the
+        # offending path, like every other loader; __post_init__ stays
+        # the authority for programmatic construction.
+        backend = payload.get("backend", "inline")
+        if backend not in _EXECUTION_BACKENDS:
+            raise SpecError(f"{path}.backend: unknown backend {backend!r} "
+                            f"(known: {', '.join(_EXECUTION_BACKENDS)})")
+        shard = payload.get("shard", "interleave")
+        if shard not in _EXECUTION_SHARDS:
+            raise SpecError(f"{path}.shard: unknown shard strategy "
+                            f"{shard!r} "
+                            f"(known: {', '.join(_EXECUTION_SHARDS)})")
+        workers = payload.get("workers")
+        return cls(backend=backend,
+                   workers=(None if workers is None
+                            else _int_value(workers, f"{path}.workers")),
+                   shard=shard)
 
 
 @dataclass(frozen=True)
@@ -435,10 +530,15 @@ class FleetSpec:
     identical cells with consecutive seeds, mirroring the CLI's
     ``fleet --cells N --seed S`` convention (job ``k`` gets seed
     ``S + k`` for both its chain and its acquisition RNG).
+    ``execution`` declares the backend the fleet runs on; results are
+    backend-independent, so two fleets differing only in ``execution``
+    produce bit-identical panel results (but hash differently — the
+    payload records how the run was performed).
     """
 
     name: str = "fleet"
     assays: tuple[AssaySpec, ...] = ()
+    execution: ExecutionSpec = field(default_factory=ExecutionSpec)
 
     def __post_init__(self) -> None:
         # Reject empty fleets at construction so every FleetSpec that
@@ -450,7 +550,8 @@ class FleetSpec:
     def homogeneous(cls, cells: int, seed: int = 2011,
                     ca_dwell: float = 30.0, readout: str = "cyp_micro",
                     batch_electrodes: bool = True,
-                    name: str = "fleet") -> "FleetSpec":
+                    name: str = "fleet",
+                    execution: ExecutionSpec | None = None) -> "FleetSpec":
         if cells < 1:
             raise SpecError("fleet spec: cells must be >= 1")
         assays = tuple(
@@ -460,7 +561,9 @@ class FleetSpec:
                           ca_dwell=ca_dwell,
                           batch_electrodes=batch_electrodes))
             for k in range(cells))
-        return cls(name=name, assays=assays)
+        return cls(name=name, assays=assays,
+                   execution=(execution if execution is not None
+                              else ExecutionSpec()))
 
     def __len__(self) -> int:
         return len(self.assays)
@@ -468,23 +571,131 @@ class FleetSpec:
     def to_dict(self) -> dict:
         return {"schema": SCHEMA_VERSION, "kind": "fleet",
                 "name": self.name,
-                "assays": [a.to_dict() for a in self.assays]}
+                "assays": [a.to_dict() for a in self.assays],
+                "execution": self.execution.to_dict()}
 
     @classmethod
     def from_dict(cls, payload: Mapping,
                   path: str = "fleet spec") -> "FleetSpec":
-        check_kind(payload, "fleet", path)
+        _check_kind(payload, "fleet", path)
         assays = tuple(
             AssaySpec.from_dict(item, f"{path}.assays[{i}]")
             for i, item in enumerate(require_list(payload, "assays", path)))
         if not assays:
             raise SpecError(f"{path}.assays: a fleet needs at least one "
                             f"assay")
-        return cls(name=payload.get("name", "fleet"), assays=assays)
+        return cls(name=payload.get("name", "fleet"), assays=assays,
+                   execution=ExecutionSpec.from_dict(
+                       payload.get("execution"), f"{path}.execution"))
 
     def build_jobs(self) -> list:
         """Scheduler-ready jobs for every assay, in fleet order."""
         return [assay.build_job() for assay in self.assays]
+
+
+def _grid_assign(payload: dict, dotted: str, value, label: str) -> None:
+    """Set ``dotted`` (e.g. ``"protocol.ca_dwell"``) inside a payload.
+
+    Intermediate objects are created when the canonical payload carries
+    ``null`` there (e.g. ``cell.concentrations``); anything else that is
+    not an object is a spec error naming the axis.
+    """
+    parts = dotted.split(".")
+    node = payload
+    for part in parts[:-1]:
+        child = node.get(part)
+        if child is None:
+            child = {}
+            node[part] = child
+        if not isinstance(child, dict):
+            raise SpecError(f"{label}: path {dotted!r} crosses "
+                            f"non-object key {part!r}")
+        node = child
+    node[parts[-1]] = value
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A parameter study: a grid of overrides over one base assay.
+
+    ``grid`` maps dotted paths into the base assay's canonical payload
+    (``"seed"``, ``"protocol.ca_dwell"``,
+    ``"cell.concentrations.glucose"``, ...) to the list of values each
+    axis takes.  :meth:`compile` expands the Cartesian product — axes
+    sorted by path for determinism, values in file order — into one
+    :class:`FleetSpec` payload, so sweeps flow through the same
+    executors and :class:`~repro.api.store.RunStore` as every other
+    fleet.  Grid point ``k`` is named ``<base.name>#<k>`` and re-parsed
+    through :meth:`AssaySpec.from_dict`, so an invalid override surfaces
+    as a :class:`~repro.errors.SpecError` naming the grid point.
+    """
+
+    name: str = "sweep"
+    base: AssaySpec = field(default_factory=AssaySpec)
+    grid: Mapping[str, tuple] = field(default_factory=dict)
+    execution: ExecutionSpec = field(default_factory=ExecutionSpec)
+
+    def __post_init__(self) -> None:
+        if not self.grid:
+            raise SpecError("sweep spec: a sweep needs at least one grid "
+                            "axis")
+        normalised = {}
+        for dotted, values in self.grid.items():
+            if isinstance(values, (str, bytes)) or not isinstance(
+                    values, (list, tuple)):
+                raise SpecError(f"sweep spec: grid[{dotted!r}] must be a "
+                                f"list of values")
+            if not values:
+                raise SpecError(f"sweep spec: grid[{dotted!r}] needs at "
+                                f"least one value")
+            normalised[dotted] = tuple(values)
+        object.__setattr__(self, "grid", normalised)
+
+    def __len__(self) -> int:
+        """Number of grid points the sweep compiles to."""
+        size = 1
+        for values in self.grid.values():
+            size *= len(values)
+        return size
+
+    def compile(self) -> FleetSpec:
+        """Expand the grid into the equivalent explicit fleet."""
+        axes = sorted(self.grid.items())
+        base_payload = self.base.to_dict()
+        assays = []
+        for k, combo in enumerate(itertools.product(
+                *(values for _, values in axes))):
+            payload = copy.deepcopy(base_payload)
+            for (dotted, _), value in zip(axes, combo):
+                _grid_assign(payload, dotted, value,
+                             f"sweep spec.grid[{dotted!r}]")
+            payload["name"] = f"{self.base.name}#{k}"
+            assays.append(AssaySpec.from_dict(
+                payload, f"sweep spec: grid point {k}"))
+        return FleetSpec(name=self.name, assays=tuple(assays),
+                         execution=self.execution)
+
+    def to_dict(self) -> dict:
+        return {"schema": SCHEMA_VERSION, "kind": "sweep",
+                "name": self.name, "base": self.base.to_dict(),
+                "grid": {dotted: list(values)
+                         for dotted, values in self.grid.items()},
+                "execution": self.execution.to_dict()}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping,
+                  path: str = "sweep spec") -> "SweepSpec":
+        _check_kind(payload, "sweep", path)
+        grid = require(payload, "grid", path)
+        if not isinstance(grid, Mapping):
+            raise SpecError(f"{path}.grid: expected an object mapping "
+                            f"payload paths to value lists")
+        return cls(name=payload.get("name", "sweep"),
+                   base=AssaySpec.from_dict(require(payload, "base", path),
+                                            f"{path}.base"),
+                   grid={dotted: values for dotted, values in grid.items()},
+                   execution=ExecutionSpec.from_dict(
+                       payload.get("execution"), f"{path}.execution"))
 
 
 @dataclass(frozen=True)
@@ -516,7 +727,7 @@ class CalibrationSpec:
     @classmethod
     def from_dict(cls, payload: Mapping,
                   path: str = "calibration spec") -> "CalibrationSpec":
-        check_kind(payload, "calibration", path)
+        _check_kind(payload, "calibration", path)
         points = _int_value(payload.get("points", 8), f"{path}.points")
         if points < 2:
             raise SpecError(f"{path}.points: need at least 2 ladder points, "
@@ -568,7 +779,7 @@ class PlatformSpec:
     @classmethod
     def from_dict(cls, payload: Mapping,
                   path: str = "platform spec") -> "PlatformSpec":
-        check_kind(payload, "platform", path)
+        _check_kind(payload, "platform", path)
         concentrations = payload.get("concentrations")
         if concentrations is not None:
             if not isinstance(concentrations, Mapping):
@@ -622,7 +833,7 @@ class ExploreSpec:
     @classmethod
     def from_dict(cls, payload: Mapping,
                   path: str = "explore spec") -> "ExploreSpec":
-        check_kind(payload, "explore", path)
+        _check_kind(payload, "explore", path)
         panel = payload.get("panel")
         if panel is not None and not isinstance(panel, Mapping):
             raise SpecError(f"{path}.panel: expected a core panel spec "
@@ -635,13 +846,14 @@ class ExploreSpec:
 _SPEC_KINDS = {
     "assay": AssaySpec,
     "fleet": FleetSpec,
+    "sweep": SweepSpec,
     "calibration": CalibrationSpec,
     "platform": PlatformSpec,
     "explore": ExploreSpec,
 }
 
-RunnableSpec = (AssaySpec | FleetSpec | CalibrationSpec | PlatformSpec
-                | ExploreSpec)
+RunnableSpec = (AssaySpec | FleetSpec | SweepSpec | CalibrationSpec
+                | PlatformSpec | ExploreSpec)
 
 
 def spec_from_dict(payload: Mapping, path: str = "spec") -> RunnableSpec:

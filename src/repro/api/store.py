@@ -1,0 +1,147 @@
+"""Content-addressed persistence of run records — run once, replay free.
+
+A :class:`RunStore` keys every persisted :class:`~repro.api.records.
+RunRecord` by its ``spec_hash`` (SHA-256 over the canonical spec
+payload), so the store *is* the memoisation table of the front door:
+``run(spec, store=store)`` consults it before touching the engine and
+returns a :class:`~repro.api.records.StoredRunRecord` (``cached=True``)
+on a hit.  Because the hash covers the complete canonical payload —
+seeds, injection schedules, execution block and all — two specs collide
+only when they would execute identically, and a spec edited in any
+meaningful way misses cleanly.
+
+Layout on disk (git-friendly, one JSON file per record, sharded by the
+first hash byte so a million records don't share one directory)::
+
+    <root>/
+      ab/
+        ab3f...e2.json     # record.to_dict(): provenance + spec + result
+      c0/
+        c04d...91.json
+
+Records are persisted through :func:`repro.io.export.write_json`, which
+writes atomically (temp file + ``os.replace``) — concurrent workers
+racing on the same spec hash simply last-write-wins a bit-identical
+payload, and a reader can never observe a truncated record.  What is
+stored is the record's ``to_dict()`` summary: provenance, the canonical
+spec, and the quantified results — raw sample arrays stay with live
+runs (re-run without a store to regenerate them).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.api.records import RunRecord, StoredRunRecord
+from repro.api.specs import spec_hash
+from repro.errors import StoreError
+from repro.io.export import write_json
+
+__all__ = ["RunStore"]
+
+_HASH_LENGTH = 64  # hex sha-256
+
+
+class RunStore:
+    """A directory of run records, content-addressed by spec hash."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def __repr__(self) -> str:
+        return f"RunStore({str(self.root)!r})"
+
+    @staticmethod
+    def _key(spec_or_hash) -> str:
+        """Accept a spec (dataclass or payload dict) or a literal hash."""
+        if isinstance(spec_or_hash, str):
+            key = spec_or_hash.lower()
+            if len(key) != _HASH_LENGTH or any(
+                    c not in "0123456789abcdef" for c in key):
+                raise StoreError(f"not a spec hash: {spec_or_hash!r} "
+                                 f"(need {_HASH_LENGTH} hex characters)")
+            return key
+        return spec_hash(spec_or_hash)
+
+    def path_for(self, spec_or_hash) -> Path:
+        key = self._key(spec_or_hash)
+        return self.root / key[:2] / f"{key}.json"
+
+    def __contains__(self, spec_or_hash) -> bool:
+        return self.path_for(spec_or_hash).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.hashes())
+
+    def hashes(self) -> Iterator[str]:
+        """Every stored spec hash, sorted for stable listings."""
+        if not self.root.is_dir():
+            return iter(())
+        return iter(sorted(
+            path.stem for path in self.root.glob("??/*.json")
+            if len(path.stem) == _HASH_LENGTH))
+
+    def get(self, spec_or_hash) -> StoredRunRecord | None:
+        """The stored record for a spec/hash, or ``None`` on a miss."""
+        path = self.path_for(spec_or_hash)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            raise StoreError(f"cannot read stored record {path}: "
+                             f"{exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise StoreError(f"stored record {path} is not valid JSON "
+                             f"({exc}); delete it or clear the store"
+                             ) from exc
+        try:
+            provenance = payload["provenance"]
+            return StoredRunRecord(
+                spec=payload["spec"],
+                spec_hash=provenance["spec_hash"],
+                schema_version=provenance["schema_version"],
+                seed=provenance.get("seed"),
+                wall_time_s=provenance["wall_time_s"],
+                result=payload.get("result", {}),
+                stored_provenance=dict(provenance))
+        except (KeyError, TypeError) as exc:
+            raise StoreError(f"stored record {path} is malformed "
+                             f"({exc!r}); delete it or clear the store"
+                             ) from exc
+
+    def put(self, record: RunRecord) -> Path:
+        """Persist a live record under its spec hash; returns the path.
+
+        Cached records are already in a store and are not re-persisted
+        (their summaries would round-trip unchanged anyway).
+        """
+        if record.cached:
+            return self.path_for(record.spec_hash)
+        path = self.path_for(record.spec_hash)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        return write_json(record.to_dict(), path)
+
+    def records(self) -> Iterator[StoredRunRecord]:
+        """Every stored record, in hash order."""
+        for key in self.hashes():
+            record = self.get(key)
+            if record is not None:
+                yield record
+
+    def clear(self) -> int:
+        """Delete every stored record; returns how many were removed."""
+        removed = 0
+        for key in list(self.hashes()):
+            path = self.path_for(key)
+            try:
+                path.unlink()
+                removed += 1
+            except FileNotFoundError:  # pragma: no cover - racing clear
+                pass
+            shard = path.parent
+            if shard.is_dir() and not any(shard.iterdir()):
+                shard.rmdir()
+        return removed

@@ -10,13 +10,19 @@ headline flows:
 - ``explore`` — design-space exploration for the Sec. III panel (or a
   JSON panel spec),
 - ``calibrate <target>`` — measured calibration of one reference sensor,
-- ``run <spec.json>`` — execute any :mod:`repro.api` spec file.
+- ``run <spec.json>`` — execute any :mod:`repro.api` spec file,
+- ``cache <store-dir>`` — inspect or clear a content-addressed run
+  store.
 
 Every measurement subcommand builds a declarative :mod:`repro.api` spec
 and executes it through :func:`repro.api.run` /
 :func:`repro.api.iter_results`, so the CLI, spec files, and library
 callers all go through the same front door and every run prints its
-provenance (spec hash, schema version, seed).  Numeric arguments are
+provenance (spec hash, schema version, seed).  ``fleet`` and ``run``
+select an execution backend with ``--backend process --workers N``
+(bit-identical results, sharded across worker processes) and memoise
+through ``--store DIR`` — a repeated run against the same store is a
+cache hit served without touching the engine.  Numeric arguments are
 validated by argparse up front; any :class:`~repro.errors.ReproError`
 from deeper layers exits with status 1 and a one-line message.
 """
@@ -84,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--sequential", action="store_true",
                        help="run the fleet as per-cell sequential panels "
                             "(reference path, same results)")
+    _add_execution_arguments(fleet)
 
     explore_cmd = sub.add_parser(
         "explore", help="design-space exploration for a panel spec")
@@ -103,19 +110,59 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_cmd = sub.add_parser(
         "run", help="execute any repro.api spec file (assay, fleet, "
-                    "calibration, platform, explore)")
+                    "sweep, calibration, platform, explore)")
     run_cmd.add_argument("spec", type=str, help="path to a JSON run spec")
     run_cmd.add_argument("--json", type=str, default=None, metavar="PATH",
                          help="also export the run record "
                               "(provenance + result summary) as JSON")
+    _add_execution_arguments(run_cmd)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear a content-addressed run store")
+    cache.add_argument("store", type=str,
+                       help="run store directory (as passed to --store)")
+    cache.add_argument("--clear", action="store_true",
+                       help="delete every stored record")
     return parser
+
+
+def _add_execution_arguments(command) -> None:
+    command.add_argument("--backend", choices=("inline", "process"),
+                         default=None,
+                         help="execution backend (default: the spec's "
+                              "execution block; results are bit-identical "
+                              "either way)")
+    command.add_argument("--workers", type=_int_at_least(1), default=None,
+                         help="worker processes for --backend process "
+                              "(default: one per CPU core)")
+    command.add_argument("--store", type=str, default=None, metavar="DIR",
+                         help="content-addressed run store: reuse a "
+                              "stored record on spec-hash hit, persist "
+                              "the record otherwise")
+
+
+def _build_backend(args):
+    """An Executor from --backend/--workers, or None to follow the spec."""
+    from repro import api
+
+    if args.workers is not None and args.backend != "process":
+        raise SystemExit("error: --workers needs --backend process")
+    if getattr(args, "sequential", False) and args.backend is not None:
+        raise SystemExit("error: --sequential is the per-cell reference "
+                         "path; it cannot run on --backend")
+    if args.backend is None:
+        return None
+    if args.backend == "inline":
+        return api.InlineExecutor()
+    return api.ProcessExecutor(workers=args.workers)
 
 
 def _print_provenance(record) -> None:
     seed = "-" if record.seed is None else record.seed
+    cached = " [cached]" if record.cached else ""
     print(f"[{record.kind}] spec {record.spec_hash[:12]} "
           f"(schema v{record.schema_version}, seed {seed}, "
-          f"{record.wall_time_s:.2f} s)")
+          f"{record.wall_time_s:.2f} s){cached}")
 
 
 def _cmd_tables() -> int:
@@ -170,35 +217,53 @@ def _cmd_panel(seed: int, sequential: bool = False) -> int:
 
 
 def _cmd_fleet(n_cells: int, seed: int, ca_dwell: float,
-               sequential: bool) -> int:
+               sequential: bool, backend=None,
+               store: str | None = None) -> int:
     import time
 
     from repro import api
     from repro.data import PAPER_PANEL_MID_CONCENTRATIONS
 
     n_targets = len(PAPER_PANEL_MID_CONCENTRATIONS)
+    backend_name = getattr(backend, "name", "inline")
+    # The backend is an execution detail, not part of the workload: keep
+    # the spec canonical (default execution block) so the same fleet
+    # hashes — and store-hits — identically under every --backend.
     spec = api.FleetSpec.homogeneous(
         cells=n_cells, seed=seed, ca_dwell=ca_dwell,
         batch_electrodes=not sequential)
     start = time.perf_counter()
     print(f"fleet spec {api.spec_hash(spec)[:12]} "
           f"(schema v{api.SCHEMA_VERSION}, {n_cells} assays)")
+
     def report(record) -> None:
         recovered = sum(1 for t in PAPER_PANEL_MID_CONCENTRATIONS
                         if t in record.result.readouts)
         print(f"  done {record.job_name}: {recovered}/{n_targets} "
               f"targets, assay {record.result.assay_time:.0f} s")
 
-    if sequential:
+    if store is not None:
+        # The memoised path: one collected record, keyed by spec hash.
+        record = api.run(spec, backend=backend, store=api.RunStore(store))
+        _print_provenance(record)
+        jobs = record.to_dict()["result"]["jobs"]
+        for job in jobs:
+            print(f"  {'hit ' if record.cached else 'done'} "
+                  f"{job['job_name']}: {len(job['readouts'])}/{n_targets} "
+                  f"targets, assay {job['assay_time_s']:.0f} s")
+        mode = ("run store cache hit" if record.cached
+                else f"{backend_name} backend, stored")
+    elif sequential:
         for assay in spec.assays:
             report(api.run(assay))
         mode = "sequential per-cell panels"
     else:
         stats = None
-        for record in api.iter_results(spec):
+        for record in api.iter_results(spec, backend=backend):
             report(record)
             stats = record.engine
-        mode = (f"fused scheduler ({stats.n_fused_dwells} dwell systems in "
+        mode = (f"{backend_name} backend "
+                f"({stats.n_fused_dwells} dwell systems in "
                 f"{stats.n_dwell_groups} group(s))")
     elapsed = time.perf_counter() - start
     print(f"mode      : {mode}")
@@ -264,15 +329,20 @@ def _cmd_selectivity(potential_mv: float) -> int:
     return 0
 
 
-def _cmd_run(spec_path: str, json_out: str | None) -> int:
+def _cmd_run(spec_path: str, json_out: str | None, backend=None,
+             store: str | None = None) -> int:
     from repro import api
     from repro.core import exploration_report
     from repro.io.export import run_record_to_json
 
-    record = api.run(api.load_spec(spec_path))
+    record = api.run(api.load_spec(spec_path), backend=backend,
+                     store=api.RunStore(store) if store else None)
     _print_provenance(record)
     status = 0
-    if isinstance(record, api.AssayRunRecord):
+    if isinstance(record, api.StoredRunRecord):
+        print(f"cache hit: stored record served from the run store "
+              f"(original run took {record.wall_time_s:.2f} s)")
+    elif isinstance(record, api.AssayRunRecord):
         _print_panel_record(record)
     elif isinstance(record, api.FleetRunRecord):
         rows = [[rec.job_name, len(rec.result.readouts),
@@ -296,6 +366,26 @@ def _cmd_run(spec_path: str, json_out: str | None) -> int:
     return status
 
 
+def _cmd_cache(store_dir: str, clear: bool) -> int:
+    from repro import api
+
+    store = api.RunStore(store_dir)
+    if clear:
+        removed = store.clear()
+        print(f"removed {removed} record(s) from {store.root}")
+        return 0
+    rows = []
+    for record in store.records():
+        seed = record.provenance().get("seed")
+        rows.append([record.spec_hash[:12], record.kind,
+                     "-" if seed is None else str(seed),
+                     f"{record.wall_time_s:.2f}"])
+    print(render_table(["Spec hash", "Kind", "Seed", "Wall s"], rows,
+                       title=f"run store {store.root}"))
+    print(f"{len(rows)} record(s)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -305,7 +395,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_panel(args.seed, args.sequential)
         if args.command == "fleet":
             return _cmd_fleet(args.cells, args.seed, args.ca_dwell,
-                              args.sequential)
+                              args.sequential, backend=_build_backend(args),
+                              store=args.store)
         if args.command == "explore":
             return _cmd_explore(args.spec)
         if args.command == "calibrate":
@@ -313,7 +404,10 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "selectivity":
             return _cmd_selectivity(args.potential)
         if args.command == "run":
-            return _cmd_run(args.spec, args.json)
+            return _cmd_run(args.spec, args.json,
+                            backend=_build_backend(args), store=args.store)
+        if args.command == "cache":
+            return _cmd_cache(args.store, args.clear)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -194,15 +194,24 @@ def read_payload(path: str | Path) -> dict:
 
 
 def check_kind(payload: Mapping, kind: str, path: str = "spec",
-               version: int = SCHEMA_VERSION) -> None:
-    """Verify a payload's ``kind``/``schema`` envelope (SpecError if not)."""
+               version: int | tuple[int, ...] = SCHEMA_VERSION) -> None:
+    """Verify a payload's ``kind``/``schema`` envelope (SpecError if not).
+
+    ``version`` is the accepted schema version, or a tuple of them —
+    readers that stayed back-compatible across a bump (e.g. the
+    :mod:`repro.api` execution specs) accept every version they can
+    still interpret.
+    """
     if not isinstance(payload, Mapping):
         raise SpecError(f"{path}: expected a JSON object, "
                         f"got {type(payload).__name__}")
     if payload.get("kind") != kind:
         raise SpecError(
             f"{path}: expected a {kind!r} spec, got {payload.get('kind')!r}")
-    if payload.get("schema") != version:
+    versions = version if isinstance(version, tuple) else (version,)
+    if payload.get("schema") not in versions:
         raise SpecError(
             f"{path}: unsupported schema version {payload.get('schema')!r} "
-            f"(this library reads version {version})")
+            f"(this library reads "
+            f"version{'s' if len(versions) > 1 else ''} "
+            f"{', '.join(str(v) for v in versions)})")

@@ -85,6 +85,25 @@ the engine restructures it in five layers:
    class-level protocol entry points below remain the documented escape
    hatch, pinned bit-identical to the spec paths.
 
+7. **Pluggable execution backends and the run store**
+   (:mod:`repro.api.executors`, :mod:`repro.api.store`).  *How* a fleet
+   executes is an :class:`~repro.api.executors.Executor` plugged in
+   behind the front door: :class:`~repro.api.executors.InlineExecutor`
+   is layer 5's fused pass in-process (the bit-identical reference) and
+   :class:`~repro.api.executors.ProcessExecutor` shards the fleet's
+   jobs across worker processes — each worker rebuilds its shard from
+   canonical assay payloads and runs its own fused ``run_iter``, and
+   the parent re-merges completions in job order, so results are
+   bit-identical to inline on every backend (only wall time and fusion
+   statistics reflect the sharding).  Backends are declared in the
+   fleet spec's ``execution`` block or passed as ``run(spec,
+   backend=...)``.  Orthogonally, :class:`~repro.api.store.RunStore`
+   memoises whole runs content-addressed by spec hash — a repeated
+   ``run(spec, store=...)`` returns the stored record (``cached=True``)
+   without touching this engine at all — and the ``sweep`` spec kind
+   compiles parameter grids into fleets so parameter studies flow
+   through the same backends and store.
+
 Equivalence guarantee
 =====================
 

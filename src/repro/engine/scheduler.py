@@ -290,28 +290,42 @@ class AssayScheduler:
 
         simulated: set[tuple[float, float]] = set()
         n_fused = 0
-        for index, plan in enumerate(plans):
-            key = plan_keys[index]
-            if key is not None and key not in simulated:
-                simulated.add(key)
-                dwell_time, sample_rate = key
-                members = groups[key]
-                times = uniform_sample_times(dwell_time, sample_rate)
-                batch = DwellBatch([dwell for _, dwell in members], times)
-                n_fused += batch.batch_size
-                rows = batch.simulate()
-                for i, (member, dwell) in enumerate(members):
-                    member.rows[dwell.we_name] = (dwell, times, rows[i])
-            job = plan.job
-            generator = (job.rng if job.rng is not None
-                         else np.random.default_rng(2011))
-            result = plan.protocol.assemble(job.cell, job.chain, generator,
-                                            plan.rows)
-            yield FleetItem(index=index,
-                            name=job.name if job.name else f"job{index}",
-                            result=result, n_jobs=len(plans),
-                            n_fused_dwells=n_fused,
-                            n_dwell_groups=len(simulated))
+        try:
+            for index, plan in enumerate(plans):
+                key = plan_keys[index]
+                if key is not None and key not in simulated:
+                    simulated.add(key)
+                    dwell_time, sample_rate = key
+                    members = groups[key]
+                    times = uniform_sample_times(dwell_time, sample_rate)
+                    batch = DwellBatch([dwell for _, dwell in members],
+                                       times)
+                    n_fused += batch.batch_size
+                    rows = batch.simulate()
+                    for i, (member, dwell) in enumerate(members):
+                        member.rows[dwell.we_name] = (dwell, times, rows[i])
+                job = plan.job
+                generator = (job.rng if job.rng is not None
+                             else np.random.default_rng(2011))
+                result = plan.protocol.assemble(job.cell, job.chain,
+                                                generator, plan.rows)
+                yield FleetItem(index=index,
+                                name=job.name if job.name else f"job{index}",
+                                result=result, n_jobs=len(plans),
+                                n_fused_dwells=n_fused,
+                                n_dwell_groups=len(simulated))
+        finally:
+            # A consumer may abandon the stream mid-fleet (close() or a
+            # partial iteration — see repro.api.iter_results).  Drop all
+            # planned dwell and simulated-row references immediately so
+            # a still-referenced generator object does not pin N cells
+            # of per-fleet state; every run_iter call re-plans from its
+            # jobs, so a fresh stream is unaffected and bit-identical.
+            groups.clear()
+            for plan in plans:
+                plan.dwells.clear()
+                plan.rows.clear()
+            plans.clear()
 
     def run_many(self, jobs) -> FleetResult:
         """Advance every job's panel through the shared engine.

@@ -33,6 +33,7 @@ __all__ = [
     "DesignError",
     "InfeasibleDesignError",
     "SpecError",
+    "StoreError",
 ]
 
 
@@ -120,3 +121,7 @@ class InfeasibleDesignError(DesignError):
 
 class SpecError(DesignError, ValueError):
     """A JSON platform specification was malformed."""
+
+
+class StoreError(ReproError):
+    """A run-store record could not be read or written."""

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import csv
 import json
+import os
 from pathlib import Path
 
 from repro.analysis.calibration import CalibrationCurve
@@ -81,7 +82,21 @@ def run_record_to_json(record, path: str | Path) -> Path:
 
 
 def write_json(payload: object, path: str | Path) -> Path:
-    """Write any JSON-serialisable payload, pretty-printed."""
+    """Write any JSON-serialisable payload, pretty-printed, atomically.
+
+    The payload is serialised up front and staged to a temp file in the
+    target directory, then moved into place with ``os.replace`` — so a
+    concurrent reader (run-store lookups, parallel workers racing on one
+    record) sees either the old file or the complete new one, never a
+    truncated write, and a serialisation failure leaves any existing
+    file untouched.
+    """
     out = Path(path)
-    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    tmp = out.parent / f".{out.name}.{os.getpid()}.tmp"
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, out)
+    finally:
+        tmp.unlink(missing_ok=True)
     return out

@@ -311,9 +311,19 @@ class TestRunRecords:
         record = api.run(spec)
         assert record.spec_hash == api.spec_hash(spec)
         assert record.seed is None
+        # A fleet has no single seed, but its record carries every
+        # job's seed in job order (and exports it in to_dict()).
+        assert record.seeds == (5, 6)
+        assert record.provenance()["seeds"] == [5, 6]
+        assert record.to_dict()["provenance"]["seeds"] == [5, 6]
         for k, rec in enumerate(record.records):
             assert rec.seed == 5 + k
             assert rec.spec_hash == api.spec_hash(spec.assays[k])
+
+    def test_records_report_uncached(self):
+        record = api.run(quick_spec(seed=9))
+        assert record.cached is False
+        assert record.provenance()["cached"] is False
 
     def test_record_export_json(self, tmp_path):
         record = api.run(quick_spec(seed=7))

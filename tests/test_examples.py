@@ -62,3 +62,11 @@ def test_implantable_monitor(capsys):
     out = run_example("implantable_monitor", capsys)
     assert "continuous glucose monitoring" in out
     assert "recalibration" in out
+
+
+def test_parameter_sweep(capsys):
+    out = run_example("parameter_sweep", capsys)
+    assert "6 grid points" in out
+    assert "dose response" in out
+    assert "cached=False" in out
+    assert "cached=True" in out

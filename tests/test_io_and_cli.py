@@ -90,6 +90,17 @@ class TestExport:
         text = path.read_text()
         assert text.index('"a"') < text.index('"b"')  # sorted keys
 
+    def test_write_json_atomic(self, tmp_path):
+        # No staging temp files survive a successful write...
+        path = write_json({"ok": 1}, tmp_path / "x.json")
+        assert [p.name for p in tmp_path.iterdir()] == ["x.json"]
+        # ...and a failed serialisation leaves the existing file intact
+        # (the payload is staged to a temp file, never written in place).
+        with pytest.raises(TypeError):
+            write_json({"bad": object()}, path)
+        assert json.loads(path.read_text()) == {"ok": 1}
+        assert [p.name for p in tmp_path.iterdir()] == ["x.json"]
+
 
 class TestCli:
     def test_tables_command(self, capsys):
@@ -170,7 +181,7 @@ class TestCliValidationAndExitCodes:
         assert main(["panel", "--seed", "7"]) == 0
         out = capsys.readouterr().out
         assert "[assay] spec" in out
-        assert "schema v1" in out
+        assert "schema v2" in out
 
     def test_calibrate_unknown_target_exits_one(self, capsys):
         assert main(["calibrate", "unobtainium"]) == 1
@@ -203,3 +214,72 @@ class TestCliValidationAndExitCodes:
         assert main(["run", str(path)]) == 1
         err = capsys.readouterr().err
         assert "target" in err
+
+    def test_fleet_process_backend(self, capsys):
+        assert main(["fleet", "--cells", "2", "--ca-dwell", "5",
+                     "--backend", "process", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "done cell00" in out
+        assert "done cell01" in out
+        assert "process backend" in out
+
+    def test_workers_without_process_backend_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--cells", "2", "--workers", "2"])
+
+    def test_sequential_with_backend_rejected(self, capsys):
+        with pytest.raises(SystemExit, match="sequential"):
+            main(["fleet", "--cells", "2", "--sequential",
+                  "--backend", "process"])
+
+    def test_fleet_store_roundtrip_and_cache_command(self, tmp_path,
+                                                     capsys):
+        store = tmp_path / "runs"
+        argv = ["fleet", "--cells", "2", "--ca-dwell", "5",
+                "--store", str(store)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "stored" in first and "[cached]" not in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "[cached]" in second and "cache hit" in second
+        assert "hit  cell00" in second
+
+        # The backend is an execution detail, not part of the workload:
+        # the same fleet under --backend process hits the same record.
+        assert main(argv + ["--backend", "process", "--workers", "2"]) == 0
+        assert "[cached]" in capsys.readouterr().out
+
+        assert main(["cache", str(store)]) == 0
+        listing = capsys.readouterr().out
+        assert "1 record(s)" in listing and "fleet" in listing
+        assert main(["cache", str(store), "--clear"]) == 0
+        assert "removed 1 record(s)" in capsys.readouterr().out
+        assert main(["cache", str(store)]) == 0
+        assert "0 record(s)" in capsys.readouterr().out
+
+    def test_run_command_store_cache_hit(self, tmp_path, capsys):
+        from repro import api
+        spec_path = tmp_path / "assay.json"
+        spec_path.write_text(json.dumps(api.AssaySpec(
+            name="memo", seed=9,
+            protocol=api.PanelProtocolSpec(ca_dwell=5.0)).to_dict()))
+        store = tmp_path / "runs"
+        assert main(["run", str(spec_path), "--store", str(store)]) == 0
+        assert "cache hit" not in capsys.readouterr().out
+        assert main(["run", str(spec_path), "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "[cached]" in out and "cache hit" in out
+
+    def test_run_command_sweep_spec(self, tmp_path, capsys):
+        from repro import api
+        spec_path = tmp_path / "sweep.json"
+        sweep = api.SweepSpec(
+            base=api.AssaySpec(
+                name="pt", protocol=api.PanelProtocolSpec(ca_dwell=5.0)),
+            grid={"seed": [1, 2]})
+        spec_path.write_text(json.dumps(sweep.to_dict()))
+        assert main(["run", str(spec_path)]) == 0
+        out = capsys.readouterr().out
+        assert "[sweep] spec" in out
+        assert "2-assay fleet" in out
