@@ -29,6 +29,13 @@ only when the host actually has the cores, since multi-process scaling
 on a 1-core box is physically impossible.  Everything is written to
 both the human-readable report and ``BENCH_panel.json``.
 
+A third **store axis** measures the job-level cache: the same sweep
+runs cold (every grid point simulated, records persisted) and warm
+(every grid point rehydrated from the per-job store).  The warm pass
+must be bit-identical, perform zero fused engine solves
+(``EngineStats.n_solve_steps == 0``), and its cache-hit timings are
+emitted into ``BENCH_panel.json`` alongside the backend numbers.
+
 Smoke mode: set ``REPRO_BENCH_QUICK=1`` (tier-1 CI does, through
 ``tests/test_scheduler.py``) to shrink the fleet and dwell so the bench
 doubles as a fast regression gate on the batched path.
@@ -64,6 +71,10 @@ MIN_SPEEDUP = 1.0 if QUICK else 3.0
 # Backend axis: the api-level fleet through inline vs process executors.
 N_CELLS_BACKEND = 2 if QUICK else 16
 N_WORKERS = 2 if QUICK else 4
+
+# Store axis: a parameter sweep cold vs warm against a per-job store.
+N_SWEEP_POINTS = 2 if QUICK else 8
+SWEEP_CA_DWELL = 5.0 if QUICK else 15.0
 # Process sharding can only beat inline when the cores exist, and on
 # spawn-start platforms each timed run pays worker re-import costs the
 # warm-up cannot amortise; the parity bar (bit-identical results) is
@@ -214,9 +225,55 @@ def run_backend_experiment() -> dict:
             "host_cpus": os.cpu_count() or 1}
 
 
+def run_store_experiment() -> dict:
+    """A dose-response sweep cold vs warm against a per-job run store."""
+    import tempfile
+    import time
+
+    from repro import api
+
+    sweep = api.SweepSpec(
+        name="bench-dose-response",
+        base=api.AssaySpec(name="pt", seed=900,
+                           chain=api.ChainSpec(seed=900),
+                           protocol=api.PanelProtocolSpec(
+                               ca_dwell=SWEEP_CA_DWELL)),
+        grid={"seed": list(range(900, 900 + N_SWEEP_POINTS))})
+
+    def timed(store) -> tuple[float, list]:
+        start = time.perf_counter()
+        records = list(api.iter_results(sweep, store=store))
+        return time.perf_counter() - start, records
+
+    with tempfile.TemporaryDirectory() as root:
+        store = api.RunStore(root)
+        cold_s, cold = timed(store)
+        warm_s, warm = timed(store)
+        deviation = max_relative_deviation(
+            [r.result for r in cold], [r.result for r in warm])
+        # A collected warm fleet exposes the live engine totals of the
+        # pass: all-cached means zero fused engine solve steps.
+        verify = api.run(api.SweepSpec(
+            name="bench-dose-response-verify", base=sweep.base,
+            grid=dict(sweep.grid)), store=store)
+        stats = store.stats()
+        return {"n_points": N_SWEEP_POINTS,
+                "ca_dwell_s": SWEEP_CA_DWELL,
+                "cold_s": cold_s,
+                "warm_s": warm_s,
+                "speedup": cold_s / warm_s if warm_s > 0.0 else float("inf"),
+                "warm_all_cached": all(r.cached for r in warm),
+                "warm_solve_steps": verify.engine.n_solve_steps,
+                "warm_fresh_jobs": sum(1 for r in warm if not r.cached),
+                "relative_deviation": deviation,
+                "store_bytes": stats.bytes,
+                "store_hit_rate": stats.hit_rate}
+
+
 def test_panel_throughput(benchmark, report, json_report):
     out = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
     backends = run_backend_experiment()
+    store_axis = run_store_experiment()
     json_report("panel", {
         "bench": "panel_throughput",
         "workload": (f"{out['n_cells']}-cell fleet, {out['n_wes']} WEs, "
@@ -241,6 +298,20 @@ def test_panel_throughput(benchmark, report, json_report):
                 "min_speedup": 2.0,
                 "enforced_min_speedup": backends["enforced_min_speedup"],
                 "max_deviation": 1.0e-12},
+        },
+        "store": {
+            "workload": (f"{store_axis['n_points']}-point dose-response "
+                         f"sweep, {store_axis['ca_dwell_s']:g} s dwell"),
+            "cold_s": store_axis["cold_s"],
+            "warm_s": store_axis["warm_s"],
+            "cache_hit_speedup": store_axis["speedup"],
+            "warm_all_cached": store_axis["warm_all_cached"],
+            "warm_solve_steps": store_axis["warm_solve_steps"],
+            "max_relative_deviation": store_axis["relative_deviation"],
+            "store_bytes": store_axis["store_bytes"],
+            "store_hit_rate": store_axis["store_hit_rate"],
+            "acceptance": {"warm_solve_steps": 0,
+                           "max_deviation": 0.0},
         },
     })
     report(render_table(
@@ -269,6 +340,17 @@ def test_panel_throughput(benchmark, report, json_report):
            f">= {backends['enforced_min_speedup']:g}x here)")
     report(f"backend max rel deviation: "
            f"{backends['relative_deviation']:.2e}  (acceptance: <= 1e-12)")
+    report(render_table(
+        ["pass", "wall s"],
+        [["cold sweep (every point simulated)",
+          f"{store_axis['cold_s']:.2f}"],
+         ["warm sweep (per-job store hits)",
+          f"{store_axis['warm_s']:.2f}"]],
+        title=(f"P1c | store axis, {store_axis['n_points']}-point sweep, "
+               f"{store_axis['store_bytes']} stored bytes")))
+    report(f"cache-hit speedup        : {store_axis['speedup']:.1f}x  "
+           f"(warm pass: {store_axis['warm_fresh_jobs']} fresh jobs, "
+           f"{store_axis['warm_solve_steps']} engine solve steps)")
 
     # The scheduler must reproduce the sequential panels and beat them.
     assert out["relative_deviation"] <= 1.0e-12
@@ -276,3 +358,7 @@ def test_panel_throughput(benchmark, report, json_report):
     # Backends must agree bit for bit; process must scale when it can.
     assert backends["relative_deviation"] <= 1.0e-12
     assert backends["speedup"] >= backends["enforced_min_speedup"]
+    # A warm sweep is a pure replay: bit-identical, zero engine solves.
+    assert store_axis["relative_deviation"] == 0.0
+    assert store_axis["warm_all_cached"]
+    assert store_axis["warm_solve_steps"] == 0

@@ -33,23 +33,49 @@ or programmatically: ``run(spec, backend="process")`` /
 argument wins).  Any object with ``run_fleet(spec)`` yielding
 :class:`~repro.api.records.AssayRunRecord` plugs in.
 
-The run store
-=============
+The run store and the job-level pipeline
+========================================
 
 :class:`~repro.api.store.RunStore` (:mod:`repro.api.store`) memoises
-whole runs, content-addressed by ``spec_hash``::
+at two granularities, both content-addressed by SHA-256 over canonical
+payloads::
 
     store = api.RunStore("runs/")
     first = api.run(spec, store=store)    # executes, persists
     again = api.run(spec, store=store)    # cache hit: no engine work
     assert again.cached and again.spec_hash == first.spec_hash
 
+**Whole runs** are keyed by spec hash and rehydrate as summary-only
+:class:`~repro.api.records.StoredRunRecord` objects.  **Individual
+assay jobs** are keyed by :class:`~repro.api.jobs.JobKey` (the SHA-256
+of the job's canonical assay payload — seed, injection schedules and
+all) and persist their full sample arrays, so a hit rehydrates a *live*
+:class:`~repro.api.records.CachedAssayRecord` with bit-identical
+results.  On a whole-run miss, fleets and sweeps flow through the
+job-level pipeline (:class:`~repro.api.jobs.JobPlan` → executor →
+store): warm jobs are pulled from the store, only the miss fleet
+reaches the backend (cached jobs are dropped before the process
+executor shards), fresh per-job records are persisted as they stream,
+and cached + fresh records are re-merged in job order — so a sweep
+sharing 90 of 100 grid points with an earlier study simulates only the
+10 new points, and a fully warm sweep performs zero engine solves
+(observable via :class:`~repro.api.records.EngineStats.n_solve_steps`).
+Because the per-job key is the assay payload hash, fleet members, sweep
+grid points and standalone assay runs all share one cache entry.
+
 Records live at ``<root>/<hash[:2]>/<hash>.json`` (the record's
-``to_dict()``: provenance + canonical spec + result summary), written
-atomically.  Hits come back as :class:`~repro.api.records.
-StoredRunRecord` with ``cached=True``; live runs report
-``cached=False``.  The CLI drives the same store via ``--store`` and
-inspects it with the ``cache`` subcommand.
+``to_dict()``: provenance + canonical spec + result summary, plus a
+``samples`` section for per-job records), written atomically.  The
+store keeps an ``index.json`` with per-record sizes, an LRU clock and
+lifetime hit/miss/eviction counters: ``RunStore(root, max_count=,
+max_bytes=)`` (or an explicit :meth:`~repro.api.store.RunStore.gc`)
+evicts least-recently-used records, and
+:meth:`~repro.api.store.RunStore.stats` returns a
+:class:`~repro.api.store.StoreStats` snapshot.  Runs that consulted a
+store stamp their hit/miss/eviction delta into record provenance under
+``"store"``.  The CLI drives the same store via ``--store`` and the
+``cache`` subcommand (``cache <dir>`` listing, ``cache <dir> stats``,
+``cache <dir> gc --max-count/--max-bytes``, both with ``--json``).
 
 Spec schema
 ===========
@@ -111,8 +137,10 @@ from repro.api.executors import (
     ProcessExecutor,
     resolve_executor,
 )
+from repro.api.jobs import JobKey, JobPlan
 from repro.api.records import (
     AssayRunRecord,
+    CachedAssayRecord,
     CalibrationRunRecord,
     EngineStats,
     ExploreRunRecord,
@@ -141,7 +169,7 @@ from repro.api.specs import (
     spec_from_dict,
     spec_hash,
 )
-from repro.api.store import RunStore
+from repro.api.store import RunStore, StoreStats
 
 __all__ = [
     "SCHEMA_VERSION", "SUPPORTED_SCHEMAS",
@@ -152,12 +180,14 @@ __all__ = [
     "ExecutionSpec",
     "spec_from_dict", "load_spec", "spec_hash", "canonical_payload",
     # records
-    "RunRecord", "AssayRunRecord", "FleetRunRecord",
+    "RunRecord", "AssayRunRecord", "CachedAssayRecord", "FleetRunRecord",
     "CalibrationRunRecord", "PlatformRunRecord", "ExploreRunRecord",
     "StoredRunRecord", "EngineStats",
+    # job-level pipeline
+    "JobKey", "JobPlan",
     # execution backends + store
     "Executor", "InlineExecutor", "ProcessExecutor", "resolve_executor",
-    "RunStore",
+    "RunStore", "StoreStats",
     # entry points
     "run", "iter_results",
 ]

@@ -39,13 +39,13 @@ from collections.abc import Iterator
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
+from repro.api.jobs import JobKey
 from repro.api.records import AssayRunRecord, EngineStats
 from repro.api.specs import (
     _EXECUTION_SHARDS,
     SCHEMA_VERSION,
     ExecutionSpec,
     FleetSpec,
-    hash_payload,
 )
 from repro.errors import SpecError
 
@@ -71,15 +71,23 @@ class Executor(Protocol):
 
 
 def _record(payload: dict, seed: int, name: str, result: "PanelResult",
-            n_fused: int, n_groups: int, start: float) -> AssayRunRecord:
-    """One streamed per-job record; shared by every backend."""
+            n_fused: int, n_groups: int, n_steps: int,
+            start: float) -> AssayRunRecord:
+    """One streamed per-job record; shared by every backend.
+
+    The record's ``spec_hash`` is the job's :class:`~repro.api.jobs.
+    JobKey` digest — the same content address the run store files
+    per-job records under, so a streamed record and its cache entry
+    share one identity.
+    """
     return AssayRunRecord(
-        spec=payload, spec_hash=hash_payload(payload),
+        spec=payload, spec_hash=JobKey.for_payload(payload).digest,
         schema_version=SCHEMA_VERSION, seed=seed,
         wall_time_s=time.perf_counter() - start,
         job_name=name, result=result,
         engine=EngineStats(n_fused_dwells=n_fused,
-                           n_dwell_groups=n_groups))
+                           n_dwell_groups=n_groups,
+                           n_solve_steps=n_steps))
 
 
 class InlineExecutor:
@@ -101,7 +109,7 @@ class InlineExecutor:
             assay = spec.assays[item.index]
             yield _record(assay.to_dict(), assay.seed, item.name,
                           item.result, item.n_fused_dwells,
-                          item.n_dwell_groups, start)
+                          item.n_dwell_groups, item.n_solve_steps, start)
 
     def __repr__(self) -> str:
         return "InlineExecutor()"
@@ -115,22 +123,32 @@ def shard_indices(n_jobs: int, n_shards: int,
     ...``) so early-finishing jobs spread across workers; ``contiguous``
     cuts near-equal consecutive blocks (friendlier to per-shard dwell
     fusion when neighbouring jobs share protocol parameters).
+
+    Every returned shard is non-empty: when there are fewer jobs than
+    requested shards, the excess shards are dropped — a dispatcher
+    sizing its worker pool by ``len(shards)`` therefore never spawns an
+    idle worker process.
     """
     if n_jobs < 1:
         raise SpecError("shard_indices: need at least one job")
     n_shards = max(1, min(n_shards, n_jobs))
     if mode == "interleave":
-        return [list(range(i, n_jobs, n_shards)) for i in range(n_shards)]
-    if mode == "contiguous":
+        shards = [list(range(i, n_jobs, n_shards))
+                  for i in range(n_shards)]
+    elif mode == "contiguous":
         block, extra = divmod(n_jobs, n_shards)
         shards, at = [], 0
         for i in range(n_shards):
             size = block + (1 if i < extra else 0)
             shards.append(list(range(at, at + size)))
             at += size
-        return shards
-    raise SpecError(f"shard_indices: unknown mode {mode!r} "
-                    f"(known: {', '.join(_EXECUTION_SHARDS)})")
+    else:
+        raise SpecError(f"shard_indices: unknown mode {mode!r} "
+                        f"(known: {', '.join(_EXECUTION_SHARDS)})")
+    # Belt and braces: the clamp above already guarantees n_shards <=
+    # n_jobs, but an empty shard must never reach dispatch — it would
+    # pin an idle worker process for the fleet's whole lifetime.
+    return [shard for shard in shards if shard]
 
 
 def _execute_shard(shard: list[tuple[int, dict]]) -> list[tuple]:
@@ -140,9 +158,9 @@ def _execute_shard(shard: list[tuple[int, dict]]) -> list[tuple]:
     rebuilds each :class:`~repro.api.specs.AssaySpec` from its payload
     (fresh cells, chains and RNGs — per-job determinism is seeded, not
     shared) and drains one scheduler pass.  Returns ``[(fleet_index,
-    result, d_fused, d_groups), ...]`` where the ``d_*`` are the *delta*
-    engine statistics each job contributed, so the parent can
-    re-accumulate them in merged job order.
+    result, d_fused, d_groups, d_steps), ...]`` where the ``d_*`` are
+    the *delta* engine statistics each job contributed, so the parent
+    can re-accumulate them in merged job order.
     """
     from repro.api.specs import AssaySpec
     from repro.engine.scheduler import AssayScheduler
@@ -150,13 +168,15 @@ def _execute_shard(shard: list[tuple[int, dict]]) -> list[tuple]:
     specs = [AssaySpec.from_dict(payload) for _, payload in shard]
     jobs = [spec.build_job() for spec in specs]
     out: list[tuple] = []
-    prev_fused = prev_groups = 0
+    prev_fused = prev_groups = prev_steps = 0
     for (index, _), item in zip(shard, AssayScheduler().run_iter(jobs)):
         out.append((index, item.result,
                     item.n_fused_dwells - prev_fused,
-                    item.n_dwell_groups - prev_groups))
+                    item.n_dwell_groups - prev_groups,
+                    item.n_solve_steps - prev_steps))
         prev_fused = item.n_fused_dwells
         prev_groups = item.n_dwell_groups
+        prev_steps = item.n_solve_steps
     return out
 
 
@@ -206,8 +226,11 @@ class ProcessExecutor:
         shards = [[(i, payloads[i]) for i in indices]
                   for indices in shard_indices(n_jobs, workers, self.shard)]
         buffered: dict[int, tuple] = {}
-        cum_fused = cum_groups = 0
+        cum_fused = cum_groups = cum_steps = 0
         start = time.perf_counter()
+        # One worker per (non-empty) shard: shard_indices never returns
+        # an empty shard, so a fleet with fewer jobs than workers spawns
+        # exactly len(shards) == n_jobs processes, not idle extras.
         with ProcessPoolExecutor(max_workers=len(shards)) as pool:
             pending = {pool.submit(_execute_shard, shard)
                        for shard in shards}
@@ -222,16 +245,18 @@ class ProcessExecutor:
                         done, pending = wait(pending,
                                              return_when=FIRST_COMPLETED)
                         for future in done:
-                            for at, result, d_fused, d_groups in \
+                            for at, result, d_fused, d_groups, d_steps in \
                                     future.result():
-                                buffered[at] = (result, d_fused, d_groups)
-                    result, d_fused, d_groups = buffered.pop(index)
+                                buffered[at] = (result, d_fused, d_groups,
+                                                d_steps)
+                    result, d_fused, d_groups, d_steps = buffered.pop(index)
                     cum_fused += d_fused
                     cum_groups += d_groups
+                    cum_steps += d_steps
                     assay = spec.assays[index]
                     name = assay.name if assay.name else f"job{index}"
                     yield _record(payloads[index], assay.seed, name, result,
-                                  cum_fused, cum_groups, start)
+                                  cum_fused, cum_groups, cum_steps, start)
             except GeneratorExit:
                 # The consumer abandoned the stream: drop every queued
                 # shard so close() costs at most the shards already

@@ -22,22 +22,36 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.measurement.panel import PanelResult
 
 __all__ = [
-    "EngineStats", "RunRecord", "AssayRunRecord", "FleetRunRecord",
-    "CalibrationRunRecord", "PlatformRunRecord", "ExploreRunRecord",
-    "StoredRunRecord",
+    "EngineStats", "RunRecord", "AssayRunRecord", "CachedAssayRecord",
+    "FleetRunRecord", "CalibrationRunRecord", "PlatformRunRecord",
+    "ExploreRunRecord", "StoredRunRecord",
 ]
 
 
 @dataclass(frozen=True)
 class EngineStats:
-    """Fusion statistics of the batched engine pass behind a record."""
+    """Fusion statistics of the batched engine pass behind a record.
+
+    ``n_solve_steps`` counts the fused dwell-engine time steps actually
+    solved (CV sweeps keep their own per-sweep engines and are not
+    counted here) — the observable that lets a job-level cache prove a
+    fully warm re-run performed **zero** engine solves.
+    """
 
     n_fused_dwells: int
     n_dwell_groups: int
+    n_solve_steps: int = 0
 
     def to_dict(self) -> dict:
         return {"n_fused_dwells": self.n_fused_dwells,
-                "n_dwell_groups": self.n_dwell_groups}
+                "n_dwell_groups": self.n_dwell_groups,
+                "n_solve_steps": self.n_solve_steps}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EngineStats":
+        return cls(n_fused_dwells=int(payload.get("n_fused_dwells", 0)),
+                   n_dwell_groups=int(payload.get("n_dwell_groups", 0)),
+                   n_solve_steps=int(payload.get("n_solve_steps", 0)))
 
 
 @dataclass(frozen=True)
@@ -60,18 +74,28 @@ class RunRecord:
     wall_time_s: float
 
     #: ``True`` only on records rehydrated from a
-    #: :class:`~repro.api.store.RunStore` hit (:class:`StoredRunRecord`);
-    #: live engine runs always report ``False``.
+    #: :class:`~repro.api.store.RunStore` hit (:class:`StoredRunRecord` /
+    #: :class:`CachedAssayRecord`); live engine runs report ``False``.
     cached = False
+
+    #: :class:`~repro.api.store.StoreStats` snapshot stamped by
+    #: :func:`repro.api.run` when the run consulted a store (``None``
+    #: otherwise); surfaced in :meth:`provenance` under ``"store"``.
+    #: A class-level default so frozen subclasses need no extra field —
+    #: the runner attaches it with ``object.__setattr__``.
+    store_stats = None
 
     @property
     def kind(self) -> str:
         return str(self.spec.get("kind", "?"))
 
     def provenance(self) -> dict:
-        return {"kind": self.kind, "spec_hash": self.spec_hash,
-                "schema_version": self.schema_version, "seed": self.seed,
-                "wall_time_s": self.wall_time_s, "cached": self.cached}
+        out = {"kind": self.kind, "spec_hash": self.spec_hash,
+               "schema_version": self.schema_version, "seed": self.seed,
+               "wall_time_s": self.wall_time_s, "cached": self.cached}
+        if self.store_stats is not None:
+            out["store"] = self.store_stats.to_dict()
+        return out
 
     def _result_dict(self) -> dict:
         return {}
@@ -97,6 +121,24 @@ class AssayRunRecord(RunRecord):
         if self.engine is not None:
             summary["engine"] = self.engine.to_dict()
         return summary
+
+
+@dataclass(frozen=True)
+class CachedAssayRecord(AssayRunRecord):
+    """A per-job assay record rehydrated from a run store hit.
+
+    Unlike :class:`StoredRunRecord` (whole-run summaries), per-job
+    records persist every sample array, so a hit rebuilds a **live**
+    :class:`~repro.measurement.panel.PanelResult` — bit-identical
+    traces, voltammograms and readouts — and drops into a merged fleet
+    stream exactly where the uncached run would have produced it.  Only
+    the raw :class:`~repro.electronics.chain.ChannelReading` attachments
+    (ADC codes, saturation flags) are not persisted; rehydrated traces
+    carry ``reading=None``.  ``wall_time_s`` and ``engine`` describe the
+    *original* solve; ``cached`` is ``True``.
+    """
+
+    cached = True
 
 
 @dataclass(frozen=True)

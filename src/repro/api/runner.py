@@ -31,9 +31,26 @@ Execution is orthogonal to description: ``backend=`` (an
 :class:`~repro.api.executors.Executor`, ``"inline"`` or ``"process"``)
 overrides the fleet's declarative ``execution`` block, and results are
 bit-identical across backends.  ``store=`` (a
-:class:`~repro.api.store.RunStore` or its root path) memoises whole
-runs by spec hash: a repeated ``run(spec, store=store)`` returns the
-stored record — marked ``cached=True`` — without touching the engine.
+:class:`~repro.api.store.RunStore` or its root path) memoises at two
+granularities:
+
+- **whole runs** by spec hash — a repeated ``run(spec, store=store)``
+  returns the stored record (``cached=True``) without touching the
+  engine;
+- **individual assay jobs** by :class:`~repro.api.jobs.JobKey` — on a
+  whole-run miss, a fleet/sweep is planned job by job
+  (:class:`~repro.api.jobs.JobPlan`): warm jobs rehydrate live
+  :class:`~repro.api.records.CachedAssayRecord` results from the
+  store, only the *miss fleet* reaches the execution backend (cached
+  jobs are dropped before sharding), and cached + fresh records are
+  re-merged in job order — bit-identical to the uncached stream.  A
+  sweep sharing 90 of 100 grid points with an earlier study simulates
+  only the 10 new points; a fully warm sweep performs zero engine
+  solves.
+
+Runs that consulted a store carry a :class:`~repro.api.store.StoreStats`
+delta (job hits/misses/evictions plus the store footprint) in their
+provenance under ``"store"``.
 """
 
 from __future__ import annotations
@@ -88,37 +105,66 @@ def run(spec, backend=None, store=None) -> RunRecord:
 
     ``backend`` selects the fleet execution backend (fleet/sweep/assay
     kinds; see :func:`~repro.api.executors.resolve_executor`);
-    ``store`` short-circuits to a cached record when this exact spec
-    has run before, and persists the fresh record otherwise.
+    ``store`` memoises — whole runs by spec hash, and fleet/sweep
+    *jobs* by :class:`~repro.api.jobs.JobKey`, so a partially warm
+    study simulates only its missing grid points.  The returned record
+    carries the run's :class:`~repro.api.store.StoreStats` delta in its
+    provenance.
     """
     spec = _coerce(spec)
     if not isinstance(spec, RunnableSpec):
         raise SpecError(f"not a runnable spec: {type(spec).__name__}")
     store = _coerce_store(store)
-    if store is not None:
+    if store is None:
+        return _dispatch(spec, backend, None)
+    from repro.api.jobs import JobKey
+    from repro.api.store import StoreStats
+
+    before = store.stats()
+    if isinstance(spec, AssaySpec):
+        # A standalone assay *is* a job: its per-job record (samples
+        # included) may have been warmed by an earlier fleet or sweep.
+        # With an explicit backend the one-job fleet's JobPlan performs
+        # the same lookup, so don't double-count it here.
+        record = (store.get_job(JobKey.for_assay(spec))
+                  if backend is None else None)
+    else:
         # The spec is already canonical (a parsed dataclass), so its
         # hash needs one to_dict, not a serialise/re-parse round trip.
-        hit = store.get(hash_payload(spec.to_dict()))
-        if hit is not None:
-            return hit
-    record = _dispatch(spec, backend)
-    if store is not None:
-        store.put(record)
+        record = store.get(hash_payload(spec.to_dict()))
+    if record is None:
+        record = _dispatch(spec, backend, store)
+        if isinstance(record, AssayRunRecord):
+            # With an explicit backend the one-job fleet's store path
+            # already persisted the record as it streamed.
+            if backend is None:
+                store.put_job(record)
+        else:
+            store.put(record)
+    after = store.stats()
+    # Stamp the run's store delta (job hits/misses/evictions) plus the
+    # store's resulting footprint; records are frozen, so this rides as
+    # the documented class-attribute override on RunRecord.
+    object.__setattr__(record, "store_stats", StoreStats(
+        hits=after.hits - before.hits,
+        misses=after.misses - before.misses,
+        evictions=after.evictions - before.evictions,
+        records=after.records, bytes=after.bytes))
     return record
 
 
-def _dispatch(spec, backend) -> RunRecord:
+def _dispatch(spec, backend, store) -> RunRecord:
     if isinstance(spec, AssaySpec):
         if backend is not None:
             # A one-job fleet through the requested backend; records
             # are backend-independent, so this is the same assay.
             fleet = FleetSpec(name=spec.name, assays=(spec,))
-            return _run_fleet(fleet, backend).records[0]
+            return _run_fleet(fleet, backend, store=store).records[0]
         return _run_assay(spec)
     if isinstance(spec, FleetSpec):
-        return _run_fleet(spec, backend)
+        return _run_fleet(spec, backend, store=store)
     if isinstance(spec, SweepSpec):
-        return _run_sweep(spec, backend)
+        return _run_sweep(spec, backend, store)
     if backend is not None:
         raise SpecError(f"execution backends apply to assay/fleet/sweep "
                         f"specs, not {type(spec).__name__}")
@@ -129,7 +175,7 @@ def _dispatch(spec, backend) -> RunRecord:
     return _run_explore(spec)
 
 
-def iter_results(spec, backend=None) -> Iterator[AssayRunRecord]:
+def iter_results(spec, backend=None, store=None) -> Iterator[AssayRunRecord]:
     """Stream a fleet: one per-job record as each assay completes.
 
     Job order, results, and provenance match ``run(fleet_spec)`` exactly
@@ -146,6 +192,14 @@ def iter_results(spec, backend=None) -> Iterator[AssayRunRecord]:
     release their scheduler state — the process backend cancels shards
     not yet running — and a fresh call replays from the spec
     bit-identically.
+
+    ``store`` enables job-level memoisation: warm jobs are yielded as
+    rehydrated :class:`~repro.api.records.CachedAssayRecord` objects
+    (live, bit-identical results; ``cached=True``), only the misses
+    reach the backend — dropped before sharding — and every fresh
+    record is persisted as it streams.  Cached records keep their
+    *original* run's wall time and engine statistics; fresh records'
+    cumulative statistics cover the miss fleet only.
     """
     from repro.api.executors import resolve_executor
 
@@ -157,8 +211,77 @@ def iter_results(spec, backend=None) -> Iterator[AssayRunRecord]:
     if not isinstance(spec, FleetSpec):
         raise SpecError(f"iter_results needs a fleet, sweep or assay "
                         f"spec, got {type(spec).__name__}")
-    executor = resolve_executor(backend, spec.execution)
-    yield from executor.run_fleet(spec)
+    store = _coerce_store(store)
+    if store is None:
+        executor = resolve_executor(backend, spec.execution)
+        yield from executor.run_fleet(spec)
+    else:
+        yield from _iter_fleet_store(spec, backend, store)
+
+
+def _iter_fleet_store(spec: FleetSpec, backend, store
+                      ) -> Iterator[AssayRunRecord]:
+    """Merge warm store records and fresh backend records in job order.
+
+    The job-level pipeline: plan (key every job, pull warm records),
+    execute the miss fleet on the selected backend (cached jobs never
+    reach the scheduler or the process shards), persist each fresh
+    per-job record as it completes, and yield records in the original
+    fleet job order — bit-identical to the uncached stream.
+    """
+    from repro.api.executors import resolve_executor
+    from repro.api.jobs import JobPlan
+
+    plan = JobPlan.plan(spec, store)
+    miss = plan.miss_fleet()
+    fresh = (iter(()) if miss is None
+             else resolve_executor(backend, spec.execution).run_fleet(miss))
+    prev_engine = None
+    prev_wall = 0.0
+    try:
+        with store.batched():
+            for index in range(len(spec.assays)):
+                record = plan.cached.get(index)
+                if record is None:
+                    record = next(fresh)
+                    store.put_job(_per_job_snapshot(record, prev_engine,
+                                                    prev_wall))
+                    prev_engine = record.engine
+                    prev_wall = record.wall_time_s
+                yield record
+    finally:
+        close = getattr(fresh, "close", None)
+        if close is not None:
+            close()
+
+
+def _per_job_snapshot(record: AssayRunRecord, prev_engine, prev_wall: float
+                      ) -> AssayRunRecord:
+    """The copy of a streamed record that is persisted per job.
+
+    Streamed records carry stream-*cumulative* engine statistics and
+    wall time (documented on :func:`iter_results`); a per-job store
+    record must describe only its own job, so the cumulative values are
+    converted to deltas against the previous fresh record before
+    persisting.  Attribution follows the stream: a fused dwell group is
+    charged to the first job that triggered it (later members of the
+    group added no solves of their own), and the deltas of a fleet's
+    per-job records always sum to its live totals.
+    """
+    import dataclasses
+
+    engine = record.engine
+    if engine is not None and prev_engine is not None:
+        engine = EngineStats(
+            n_fused_dwells=(engine.n_fused_dwells
+                            - prev_engine.n_fused_dwells),
+            n_dwell_groups=(engine.n_dwell_groups
+                            - prev_engine.n_dwell_groups),
+            n_solve_steps=(engine.n_solve_steps
+                           - prev_engine.n_solve_steps))
+    return dataclasses.replace(
+        record, engine=engine,
+        wall_time_s=record.wall_time_s - prev_wall)
 
 
 def _run_assay(spec: AssaySpec) -> AssayRunRecord:
@@ -173,7 +296,8 @@ def _run_assay(spec: AssaySpec) -> AssayRunRecord:
         item = next(AssayScheduler().run_iter([job]))
         result = item.result
         engine = EngineStats(n_fused_dwells=item.n_fused_dwells,
-                             n_dwell_groups=item.n_dwell_groups)
+                             n_dwell_groups=item.n_dwell_groups,
+                             n_solve_steps=item.n_solve_steps)
     else:
         result = job.protocol.run(job.cell, job.chain, rng=job.rng)
         engine = None
@@ -185,7 +309,8 @@ def _run_assay(spec: AssaySpec) -> AssayRunRecord:
 
 
 def _run_fleet(spec: FleetSpec, backend=None,
-               payload: dict | None = None) -> FleetRunRecord:
+               payload: dict | None = None,
+               store=None) -> FleetRunRecord:
     """Collect a fleet stream; ``payload`` lets sweeps stamp their own
     spec (the record's provenance names what the user asked for, not
     the compiled expansion)."""
@@ -193,11 +318,16 @@ def _run_fleet(spec: FleetSpec, backend=None,
 
     payload = payload if payload is not None else spec.to_dict()
     start = time.perf_counter()
-    executor = resolve_executor(backend, spec.execution)
-    records = tuple(executor.run_fleet(spec))
-    # FleetSpec guarantees at least one assay, so records is non-empty
-    # and the last record's cumulative stats are the fleet totals.
-    engine = records[-1].engine
+    if store is None:
+        executor = resolve_executor(backend, spec.execution)
+        records = tuple(executor.run_fleet(spec))
+        # FleetSpec guarantees at least one assay, so records is
+        # non-empty and the last record's cumulative stats are the
+        # fleet totals.
+        engine = records[-1].engine
+    else:
+        records = tuple(_iter_fleet_store(spec, backend, store))
+        engine = _live_engine_totals(records)
     return FleetRunRecord(
         spec=payload, spec_hash=hash_payload(payload),
         schema_version=SCHEMA_VERSION, seed=None,
@@ -206,8 +336,24 @@ def _run_fleet(spec: FleetSpec, backend=None,
         seeds=tuple(assay.seed for assay in spec.assays))
 
 
-def _run_sweep(spec: SweepSpec, backend=None) -> FleetRunRecord:
-    return _run_fleet(spec.compile(), backend, payload=spec.to_dict())
+def _live_engine_totals(records) -> EngineStats:
+    """The engine work *this* run actually performed.
+
+    Cached records carry their original runs' statistics; the fleet
+    totals must describe the live pass, so they come from the last
+    fresh record (cumulative over the miss fleet) — and are all zero
+    for a fully warm run, which is exactly the observable the
+    zero-engine-solves acceptance bar pins.
+    """
+    for record in reversed(records):
+        if not record.cached and record.engine is not None:
+            return record.engine
+    return EngineStats(n_fused_dwells=0, n_dwell_groups=0, n_solve_steps=0)
+
+
+def _run_sweep(spec: SweepSpec, backend=None, store=None) -> FleetRunRecord:
+    return _run_fleet(spec.compile(), backend, payload=spec.to_dict(),
+                      store=store)
 
 
 def _run_calibration(spec: CalibrationSpec) -> CalibrationRunRecord:

@@ -592,6 +592,24 @@ class FleetSpec:
         """Scheduler-ready jobs for every assay, in fleet order."""
         return [assay.build_job() for assay in self.assays]
 
+    def subset(self, indices) -> "FleetSpec":
+        """The sub-fleet of the given job indices (same name/execution).
+
+        This is the job-level pipeline's miss fleet: cached jobs are
+        dropped *before* the executors shard, so only the jobs that
+        still need engine time are dispatched.  Indices must be valid
+        and the subset non-empty (a :class:`FleetSpec` cannot be empty).
+        """
+        indices = tuple(indices)
+        try:
+            assays = tuple(self.assays[i] for i in indices)
+        except IndexError:
+            raise SpecError(
+                f"fleet spec: subset index out of range for a "
+                f"{len(self.assays)}-assay fleet: {indices}") from None
+        return FleetSpec(name=self.name, assays=assays,
+                         execution=self.execution)
+
 
 def _grid_assign(payload: dict, dotted: str, value, label: str) -> None:
     """Set ``dotted`` (e.g. ``"protocol.ca_dwell"``) inside a payload.

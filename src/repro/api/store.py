@@ -1,61 +1,153 @@
 """Content-addressed persistence of run records — run once, replay free.
 
-A :class:`RunStore` keys every persisted :class:`~repro.api.records.
-RunRecord` by its ``spec_hash`` (SHA-256 over the canonical spec
-payload), so the store *is* the memoisation table of the front door:
-``run(spec, store=store)`` consults it before touching the engine and
-returns a :class:`~repro.api.records.StoredRunRecord` (``cached=True``)
-on a hit.  Because the hash covers the complete canonical payload —
-seeds, injection schedules, execution block and all — two specs collide
-only when they would execute identically, and a spec edited in any
-meaningful way misses cleanly.
+A :class:`RunStore` keys every persisted record by its ``spec_hash``
+(SHA-256 over the canonical spec payload), so the store *is* the
+memoisation table of the front door.  Two granularities share one
+sharded layout:
+
+- **Whole-run records** (any spec kind): the record's ``to_dict()``
+  summary — provenance, canonical spec, quantified results.  A repeated
+  ``run(spec, store=store)`` returns a
+  :class:`~repro.api.records.StoredRunRecord` (``cached=True``) without
+  touching the engine.
+- **Per-job records** (kind ``assay``; :meth:`put_job` /
+  :meth:`get_job`): the same summary *plus* a ``samples`` section — the
+  lossless :func:`~repro.io.export.panel_result_to_payload` payload of
+  the live result.  A hit rehydrates a
+  :class:`~repro.api.records.CachedAssayRecord` whose
+  :class:`~repro.measurement.panel.PanelResult` is bit-identical to the
+  original solve, so warm jobs drop straight back into a merged fleet
+  stream (see :class:`~repro.api.jobs.JobPlan`).  Because the per-job
+  key is the assay payload hash, fleet members, sweep grid points and
+  standalone assay runs all share one cache entry.
+
+Because every hash covers the complete canonical payload — seeds,
+injection schedules and all — two specs collide only when they would
+execute identically, and a spec edited in any meaningful way misses
+cleanly.
 
 Layout on disk (git-friendly, one JSON file per record, sharded by the
 first hash byte so a million records don't share one directory)::
 
     <root>/
+      index.json           # LRU/size index + lifetime hit counters
       ab/
-        ab3f...e2.json     # record.to_dict(): provenance + spec + result
+        ab3f...e2.json     # record.to_dict() [+ "samples" for jobs]
       c0/
         c04d...91.json
 
 Records are persisted through :func:`repro.io.export.write_json`, which
 writes atomically (temp file + ``os.replace``) — concurrent workers
 racing on the same spec hash simply last-write-wins a bit-identical
-payload, and a reader can never observe a truncated record.  What is
-stored is the record's ``to_dict()`` summary: provenance, the canonical
-spec, and the quantified results — raw sample arrays stay with live
-runs (re-run without a store to regenerate them).
+payload, and a reader can never observe a truncated record.
+
+Eviction and statistics
+=======================
+
+``index.json`` tracks per-record byte sizes and a logical LRU clock,
+plus lifetime ``hits`` / ``misses`` / ``evictions`` counters.  It is a
+best-effort cache, not a source of truth: a missing or corrupt index is
+rebuilt from the record files, and :meth:`gc` / :meth:`stats` reconcile
+it against the directory first.  ``RunStore(root, max_count=, max_bytes=)``
+enforces the limits after every write; :meth:`gc` applies them (or
+one-off limits) on demand, evicting least-recently-used records first.
+:meth:`stats` returns a :class:`StoreStats` snapshot — the same numbers
+the CLI ``cache stats`` subcommand prints and :func:`repro.api.run`
+stamps into record provenance.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass
 from pathlib import Path
 
-from repro.api.records import RunRecord, StoredRunRecord
+from repro.api.jobs import JobKey
+from repro.api.records import (
+    AssayRunRecord,
+    CachedAssayRecord,
+    EngineStats,
+    RunRecord,
+    StoredRunRecord,
+)
 from repro.api.specs import spec_hash
-from repro.errors import StoreError
-from repro.io.export import write_json
+from repro.errors import ReproError, StoreError
+from repro.io.export import (
+    panel_result_from_payload,
+    panel_result_to_payload,
+    write_json,
+)
 
-__all__ = ["RunStore"]
+__all__ = ["RunStore", "StoreStats"]
 
 _HASH_LENGTH = 64  # hex sha-256
+_INDEX_VERSION = 1
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """One snapshot of a store's counters and footprint.
+
+    ``hits``/``misses``/``evictions`` are lifetime counters persisted in
+    the index (or, when stamped into a record's provenance by
+    :func:`repro.api.run`, the *deltas* of that one run); ``records``
+    and ``bytes`` are the store's current footprint.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    records: int = 0
+    bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the store (0 when none)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "records": self.records,
+                "bytes": self.bytes}
 
 
 class RunStore:
-    """A directory of run records, content-addressed by spec hash."""
+    """A directory of run records, content-addressed by spec hash.
 
-    def __init__(self, root: str | Path) -> None:
+    ``max_count`` / ``max_bytes`` (optional) cap the store: after every
+    write the least-recently-used records are evicted until both limits
+    hold.  Limits may also be applied one-off through :meth:`gc`.
+    """
+
+    def __init__(self, root: str | Path, max_count: int | None = None,
+                 max_bytes: int | None = None) -> None:
+        if max_count is not None and max_count < 0:
+            raise StoreError(f"max_count must be >= 0, got {max_count}")
+        if max_bytes is not None and max_bytes < 0:
+            raise StoreError(f"max_bytes must be >= 0, got {max_bytes}")
         self.root = Path(root)
+        self.max_count = max_count
+        self.max_bytes = max_bytes
+        self._index: dict | None = None
+        self._defer = 0          # batched() nesting depth
+        self._dirty = False      # index changed while deferred
+        self._gc_pending = False  # limits to enforce at batch exit
 
     def __repr__(self) -> str:
         return f"RunStore({str(self.root)!r})"
 
+    # -- keys and paths ----------------------------------------------------------
+
     @staticmethod
     def _key(spec_or_hash) -> str:
-        """Accept a spec (dataclass or payload dict) or a literal hash."""
+        """Accept a spec (dataclass or payload dict), a JobKey, or a
+        literal hash."""
+        if isinstance(spec_or_hash, JobKey):
+            return spec_or_hash.digest
         if isinstance(spec_or_hash, str):
             key = spec_or_hash.lower()
             if len(key) != _HASH_LENGTH or any(
@@ -68,6 +160,10 @@ class RunStore:
     def path_for(self, spec_or_hash) -> Path:
         key = self._key(spec_or_hash)
         return self.root / key[:2] / f"{key}.json"
+
+    @property
+    def index_path(self) -> Path:
+        return self.root / "index.json"
 
     def __contains__(self, spec_or_hash) -> bool:
         return self.path_for(spec_or_hash).exists()
@@ -83,9 +179,136 @@ class RunStore:
             path.stem for path in self.root.glob("??/*.json")
             if len(path.stem) == _HASH_LENGTH))
 
-    def get(self, spec_or_hash) -> StoredRunRecord | None:
-        """The stored record for a spec/hash, or ``None`` on a miss."""
-        path = self.path_for(spec_or_hash)
+    # -- the LRU/size index ------------------------------------------------------
+
+    @staticmethod
+    def _empty_index() -> dict:
+        return {"version": _INDEX_VERSION, "clock": 0,
+                "hits": 0, "misses": 0, "evictions": 0, "records": {}}
+
+    def _load_index(self) -> dict:
+        if self._index is not None:
+            return self._index
+        payload = None
+        try:
+            payload = json.loads(self.index_path.read_text())
+        except (FileNotFoundError, OSError, json.JSONDecodeError):
+            payload = None
+        if (not isinstance(payload, dict)
+                or payload.get("version") != _INDEX_VERSION
+                or not isinstance(payload.get("records"), dict)):
+            payload = self._rebuild_index()
+        for counter in ("clock", "hits", "misses", "evictions"):
+            if not isinstance(payload.get(counter), int):
+                payload[counter] = 0
+        self._index = payload
+        return payload
+
+    def _rebuild_index(self) -> dict:
+        """Re-derive the index from the record files (LRU order is lost;
+        hash order stands in, which only biases the first evictions)."""
+        index = self._empty_index()
+        for key in self.hashes():
+            path = self.path_for(key)
+            try:
+                size = path.stat().st_size
+            except OSError:  # pragma: no cover - racing delete
+                continue
+            index["clock"] += 1
+            index["records"][key] = {"bytes": size, "used": index["clock"],
+                                     "kind": self._peek_kind(path)}
+        return index
+
+    @staticmethod
+    def _peek_kind(path: Path) -> str:
+        try:
+            payload = json.loads(path.read_text())
+            return str(payload["provenance"]["kind"])
+        except (OSError, json.JSONDecodeError, KeyError, TypeError):
+            return "?"
+
+    def _save_index(self) -> None:
+        if self._index is None:  # pragma: no cover - defensive
+            return
+        if self._defer:
+            self._dirty = True
+            return
+        self._dirty = False
+        self.root.mkdir(parents=True, exist_ok=True)
+        write_json(self._index, self.index_path)
+
+    @contextmanager
+    def batched(self):
+        """Coalesce index writes across many lookups/puts.
+
+        Inside the context every get/put updates only the in-memory
+        index; one ``index.json`` write (and, when ``max_count`` /
+        ``max_bytes`` are set, one eviction pass) happens at exit
+        instead of one per operation — the difference between O(N) and
+        O(N^2) file I/O when a JobPlan keys an N-point sweep.  Nests
+        safely; the runner wraps whole fleet merges in one batch.
+        """
+        self._defer += 1
+        try:
+            yield self
+        finally:
+            self._defer -= 1
+            if self._defer == 0:
+                if self._gc_pending:
+                    self._gc_pending = False
+                    self.gc()  # syncs and saves the index itself
+                elif self._dirty:
+                    self._save_index()
+
+    def _sync_index(self) -> dict:
+        """Reconcile the index against the directory (records written or
+        deleted by other processes), without counting hits/misses."""
+        index = self._load_index()
+        records = index["records"]
+        on_disk = {path.stem: path
+                   for path in (self.root.glob("??/*.json")
+                                if self.root.is_dir() else ())
+                   if len(path.stem) == _HASH_LENGTH}
+        for key in set(records) - set(on_disk):
+            del records[key]
+        for key, path in on_disk.items():
+            if key not in records:
+                try:
+                    size = path.stat().st_size
+                except OSError:  # pragma: no cover - racing delete
+                    continue
+                index["clock"] += 1
+                records[key] = {"bytes": size, "used": index["clock"],
+                                "kind": self._peek_kind(path)}
+        return index
+
+    def _note_lookup(self, key: str | None, hit: bool) -> None:
+        """Count a hit/miss; hits also refresh the record's LRU clock."""
+        index = self._load_index()
+        if hit and key is not None:
+            index["hits"] += 1
+            index["clock"] += 1
+            entry = index["records"].get(key)
+            if entry is None:
+                # A record the index has not seen (written by another
+                # process, or a pre-index store): adopt it on access.
+                path = self.path_for(key)
+                try:
+                    size = path.stat().st_size
+                except OSError:  # pragma: no cover - racing delete
+                    size = 0
+                entry = {"bytes": size, "kind": self._peek_kind(path)}
+                index["records"][key] = entry
+            entry["used"] = index["clock"]
+        else:
+            index["misses"] += 1
+        self._save_index()
+
+    # -- reads -------------------------------------------------------------------
+
+    def _read_payload(self, path: Path) -> dict | None:
+        """The raw JSON payload at ``path`` — ``None`` when absent,
+        :class:`~repro.errors.StoreError` naming the path otherwise."""
         try:
             payload = json.loads(path.read_text())
         except FileNotFoundError:
@@ -97,6 +320,13 @@ class RunStore:
             raise StoreError(f"stored record {path} is not valid JSON "
                              f"({exc}); delete it or clear the store"
                              ) from exc
+        if not isinstance(payload, dict):
+            raise StoreError(f"stored record {path} is malformed (not a "
+                             f"JSON object); delete it or clear the store")
+        return payload
+
+    @staticmethod
+    def _stored_record(payload: dict, path: Path) -> StoredRunRecord:
         try:
             provenance = payload["provenance"]
             return StoredRunRecord(
@@ -112,36 +342,198 @@ class RunStore:
                              f"({exc!r}); delete it or clear the store"
                              ) from exc
 
+    def get(self, spec_or_hash) -> StoredRunRecord | None:
+        """The stored record for a spec/hash, or ``None`` on a miss.
+
+        Counts one hit or miss in the store statistics; corrupt records
+        raise :class:`~repro.errors.StoreError` naming the file (and
+        count nothing — they are neither served nor absent).
+        """
+        key = self._key(spec_or_hash)
+        path = self.path_for(key)
+        payload = self._read_payload(path)
+        if payload is None:
+            self._note_lookup(None, hit=False)
+            return None
+        record = self._stored_record(payload, path)
+        self._note_lookup(key, hit=True)
+        return record
+
+    def get_job(self, key) -> AssayRunRecord | StoredRunRecord | None:
+        """The per-job record for a :class:`~repro.api.jobs.JobKey`
+        (or hash/assay spec), or ``None`` on a miss.
+
+        Full-sample records rehydrate as live
+        :class:`~repro.api.records.CachedAssayRecord` objects —
+        bit-identical traces, voltammograms and readouts.  Legacy
+        records persisted without samples fall back to the summary-only
+        :class:`~repro.api.records.StoredRunRecord` (still a hit, but
+        they cannot rejoin a live fleet stream).
+        """
+        digest = self._key(key)
+        path = self.path_for(digest)
+        payload = self._read_payload(path)
+        if payload is None:
+            self._note_lookup(None, hit=False)
+            return None
+        samples = payload.get("samples")
+        if samples is None:
+            record = self._stored_record(payload, path)
+            self._note_lookup(digest, hit=True)
+            return record
+        try:
+            provenance = payload["provenance"]
+            result_summary = payload.get("result", {})
+            engine = result_summary.get("engine")
+            record = CachedAssayRecord(
+                spec=payload["spec"],
+                spec_hash=provenance["spec_hash"],
+                schema_version=provenance["schema_version"],
+                seed=provenance.get("seed"),
+                wall_time_s=provenance["wall_time_s"],
+                job_name=result_summary.get(
+                    "job_name", str(payload["spec"].get("name", ""))),
+                result=panel_result_from_payload(samples),
+                engine=(EngineStats.from_dict(engine)
+                        if engine is not None else None))
+        except (KeyError, TypeError, ValueError, AttributeError,
+                ReproError) as exc:
+            raise StoreError(f"stored job record {path} is malformed "
+                             f"({exc!r}); delete it or clear the store"
+                             ) from exc
+        self._note_lookup(digest, hit=True)
+        return record
+
+    def records(self) -> Iterator[StoredRunRecord]:
+        """Every stored record's summary, in hash order.
+
+        Unreadable records are skipped with a :class:`RuntimeWarning`
+        naming the file — one corrupt entry must not make the whole
+        store unlistable.  Listing does not count hits/misses.
+        """
+        for key in self.hashes():
+            path = self.path_for(key)
+            try:
+                payload = self._read_payload(path)
+                if payload is None:  # pragma: no cover - racing delete
+                    continue
+                yield self._stored_record(payload, path)
+            except StoreError as exc:
+                warnings.warn(f"run store: skipping unreadable record: "
+                              f"{exc}", RuntimeWarning, stacklevel=2)
+
+    # -- writes ------------------------------------------------------------------
+
+    def _write(self, key: str, payload: dict, kind: str) -> Path:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        write_json(payload, path)
+        index = self._load_index()
+        index["clock"] += 1
+        index["records"][key] = {"bytes": path.stat().st_size,
+                                 "used": index["clock"], "kind": kind}
+        self._save_index()
+        if self.max_count is not None or self.max_bytes is not None:
+            if self._defer:
+                self._gc_pending = True
+            else:
+                self.gc()
+        return path
+
     def put(self, record: RunRecord) -> Path:
-        """Persist a live record under its spec hash; returns the path.
+        """Persist a live record's summary under its spec hash.
 
         Cached records are already in a store and are not re-persisted
-        (their summaries would round-trip unchanged anyway).
+        (their summaries would round-trip unchanged anyway).  Assay
+        records carrying a live result should go through
+        :meth:`put_job`, which also persists the sample arrays.
         """
         if record.cached:
             return self.path_for(record.spec_hash)
-        path = self.path_for(record.spec_hash)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        return write_json(record.to_dict(), path)
+        return self._write(record.spec_hash, record.to_dict(), record.kind)
 
-    def records(self) -> Iterator[StoredRunRecord]:
-        """Every stored record, in hash order."""
-        for key in self.hashes():
-            record = self.get(key)
-            if record is not None:
-                yield record
+    def put_job(self, record: AssayRunRecord) -> Path:
+        """Persist a per-job assay record, samples included.
+
+        The payload is the record's ``to_dict()`` summary plus a
+        ``samples`` section (:func:`~repro.io.export.
+        panel_result_to_payload`), so a later :meth:`get_job` hit
+        rehydrates the live result bit for bit.
+        """
+        if record.cached:
+            return self.path_for(record.spec_hash)
+        payload = record.to_dict()
+        payload["samples"] = panel_result_to_payload(record.result)
+        return self._write(record.spec_hash, payload, record.kind)
+
+    # -- eviction, statistics, clearing ------------------------------------------
+
+    def _unlink(self, key: str) -> None:
+        path = self.path_for(key)
+        try:
+            path.unlink()
+        except FileNotFoundError:  # pragma: no cover - racing delete
+            pass
+        shard = path.parent
+        if shard.is_dir() and not any(shard.iterdir()):
+            shard.rmdir()
+
+    def gc(self, max_count: int | None = None,
+           max_bytes: int | None = None) -> tuple[int, int]:
+        """Evict least-recently-used records until the limits hold.
+
+        Limits default to the store's own ``max_count``/``max_bytes``;
+        pass either explicitly for a one-off collection.  Returns
+        ``(n_evicted, bytes_freed)``.  A limit of ``None`` does not
+        constrain that axis; ``gc()`` with no limits anywhere is a no-op.
+        """
+        max_count = self.max_count if max_count is None else max_count
+        max_bytes = self.max_bytes if max_bytes is None else max_bytes
+        index = self._sync_index()
+        records = index["records"]
+        count = len(records)
+        total = sum(entry["bytes"] for entry in records.values())
+        evicted = 0
+        freed = 0
+        if max_count is not None or max_bytes is not None:
+            for key, entry in sorted(records.items(),
+                                     key=lambda kv: kv[1]["used"]):
+                over_count = max_count is not None and count > max_count
+                over_bytes = max_bytes is not None and total > max_bytes
+                if not over_count and not over_bytes:
+                    break
+                self._unlink(key)
+                del records[key]
+                count -= 1
+                total -= entry["bytes"]
+                freed += entry["bytes"]
+                evicted += 1
+        index["evictions"] += evicted
+        self._save_index()
+        return evicted, freed
+
+    def stats(self) -> StoreStats:
+        """Lifetime counters plus the store's current footprint."""
+        index = self._sync_index()
+        self._save_index()
+        records = index["records"]
+        return StoreStats(
+            hits=index["hits"], misses=index["misses"],
+            evictions=index["evictions"], records=len(records),
+            bytes=sum(entry["bytes"] for entry in records.values()))
 
     def clear(self) -> int:
-        """Delete every stored record; returns how many were removed."""
+        """Delete every stored record; returns how many were removed.
+
+        Lifetime hit/miss/eviction counters survive a clear (they
+        describe the store's history, not its contents).
+        """
         removed = 0
         for key in list(self.hashes()):
-            path = self.path_for(key)
-            try:
-                path.unlink()
-                removed += 1
-            except FileNotFoundError:  # pragma: no cover - racing clear
-                pass
-            shard = path.parent
-            if shard.is_dir() and not any(shard.iterdir()):
-                shard.rmdir()
+            self._unlink(key)
+            removed += 1
+        if removed or self.index_path.exists():
+            index = self._load_index()
+            index["records"] = {}
+            self._save_index()
         return removed

@@ -11,8 +11,11 @@ headline flows:
   JSON panel spec),
 - ``calibrate <target>`` — measured calibration of one reference sensor,
 - ``run <spec.json>`` — execute any :mod:`repro.api` spec file,
-- ``cache <store-dir>`` — inspect or clear a content-addressed run
-  store.
+- ``cache <store-dir>`` — inspect a content-addressed run store
+  (``--clear`` empties it; the ``stats`` sub-subcommand prints
+  hit/miss/eviction counters and footprint, ``gc --max-count N
+  --max-bytes B`` evicts least-recently-used records; both take
+  ``--json``).
 
 Every measurement subcommand builds a declarative :mod:`repro.api` spec
 and executes it through :func:`repro.api.run` /
@@ -21,10 +24,13 @@ callers all go through the same front door and every run prints its
 provenance (spec hash, schema version, seed).  ``fleet`` and ``run``
 select an execution backend with ``--backend process --workers N``
 (bit-identical results, sharded across worker processes) and memoise
-through ``--store DIR`` — a repeated run against the same store is a
-cache hit served without touching the engine.  Numeric arguments are
-validated by argparse up front; any :class:`~repro.errors.ReproError`
-from deeper layers exits with status 1 and a one-line message.
+through ``--store DIR`` — memoisation is *per job*: a repeated run is
+a whole-run cache hit served without touching the engine, and a
+partially warm fleet/sweep pulls its warm jobs from the store and
+simulates only the misses (runs against a store print their hit/miss
+delta).  Numeric arguments are validated by argparse up front; any
+:class:`~repro.errors.ReproError` from deeper layers exits with status
+1 and a one-line message.
 """
 
 from __future__ import annotations
@@ -118,11 +124,26 @@ def build_parser() -> argparse.ArgumentParser:
     _add_execution_arguments(run_cmd)
 
     cache = sub.add_parser(
-        "cache", help="inspect or clear a content-addressed run store")
+        "cache", help="inspect, garbage-collect or clear a "
+                      "content-addressed run store")
     cache.add_argument("store", type=str,
                        help="run store directory (as passed to --store)")
     cache.add_argument("--clear", action="store_true",
                        help="delete every stored record")
+    cache_sub = cache.add_subparsers(dest="cache_command")
+    stats_cmd = cache_sub.add_parser(
+        "stats", help="hit/miss/eviction counters and store footprint")
+    stats_cmd.add_argument("--json", action="store_true",
+                           help="machine-readable output")
+    gc_cmd = cache_sub.add_parser(
+        "gc", help="evict least-recently-used records down to the "
+                   "given limits")
+    gc_cmd.add_argument("--max-count", type=_int_at_least(0), default=None,
+                        help="keep at most N records (>= 0)")
+    gc_cmd.add_argument("--max-bytes", type=_int_at_least(0), default=None,
+                        help="keep at most B stored bytes (>= 0)")
+    gc_cmd.add_argument("--json", action="store_true",
+                        help="machine-readable output")
     return parser
 
 
@@ -163,6 +184,21 @@ def _print_provenance(record) -> None:
     print(f"[{record.kind}] spec {record.spec_hash[:12]} "
           f"(schema v{record.schema_version}, seed {seed}, "
           f"{record.wall_time_s:.2f} s){cached}")
+    stats = record.store_stats
+    if stats is not None:
+        print(f"store: {stats.hits} hit(s), {stats.misses} miss(es), "
+              f"{stats.evictions} eviction(s); "
+              f"{stats.records} record(s), {_human_bytes(stats.bytes)}")
+
+
+def _human_bytes(n: int) -> str:
+    value = float(n)
+    for unit in ("B", "kB", "MB", "GB"):
+        if value < 1024.0 or unit == "GB":
+            return (f"{value:.0f} {unit}" if unit == "B"
+                    else f"{value:.1f} {unit}")
+        value /= 1024.0
+    raise AssertionError("unreachable")
 
 
 def _cmd_tables() -> int:
@@ -243,16 +279,27 @@ def _cmd_fleet(n_cells: int, seed: int, ca_dwell: float,
               f"targets, assay {record.result.assay_time:.0f} s")
 
     if store is not None:
-        # The memoised path: one collected record, keyed by spec hash.
+        # The memoised path: whole-run records by spec hash, per-job
+        # records by JobKey — a partially warm fleet simulates only its
+        # missing jobs.
         record = api.run(spec, backend=backend, store=api.RunStore(store))
         _print_provenance(record)
-        jobs = record.to_dict()["result"]["jobs"]
-        for job in jobs:
-            print(f"  {'hit ' if record.cached else 'done'} "
-                  f"{job['job_name']}: {len(job['readouts'])}/{n_targets} "
-                  f"targets, assay {job['assay_time_s']:.0f} s")
-        mode = ("run store cache hit" if record.cached
-                else f"{backend_name} backend, stored")
+        if record.cached:
+            for job in record.to_dict()["result"]["jobs"]:
+                print(f"  hit  {job['job_name']}: "
+                      f"{len(job['readouts'])}/{n_targets} targets, "
+                      f"assay {job['assay_time_s']:.0f} s")
+            mode = "run store cache hit"
+        else:
+            n_hits = sum(1 for rec in record.records if rec.cached)
+            for rec in record.records:
+                recovered = sum(1 for t in PAPER_PANEL_MID_CONCENTRATIONS
+                                if t in rec.result.readouts)
+                print(f"  {'hit ' if rec.cached else 'done'} "
+                      f"{rec.job_name}: {recovered}/{n_targets} "
+                      f"targets, assay {rec.result.assay_time:.0f} s")
+            mode = (f"{backend_name} backend, stored "
+                    f"({n_hits}/{len(record.records)} jobs from store)")
     elif sequential:
         for assay in spec.assays:
             report(api.run(assay))
@@ -339,10 +386,13 @@ def _cmd_run(spec_path: str, json_out: str | None, backend=None,
                      store=api.RunStore(store) if store else None)
     _print_provenance(record)
     status = 0
-    if isinstance(record, api.StoredRunRecord):
+    if record.cached:
         print(f"cache hit: stored record served from the run store "
               f"(original run took {record.wall_time_s:.2f} s)")
-    elif isinstance(record, api.AssayRunRecord):
+    # StoredRunRecord (a whole-run summary) matches none of the arms
+    # below; rehydrated CachedAssayRecords are live assay records and
+    # still render their panel table.
+    if isinstance(record, api.AssayRunRecord):
         _print_panel_record(record)
     elif isinstance(record, api.FleetRunRecord):
         rows = [[rec.job_name, len(rec.result.readouts),
@@ -366,11 +416,17 @@ def _cmd_run(spec_path: str, json_out: str | None, backend=None,
     return status
 
 
-def _cmd_cache(store_dir: str, clear: bool) -> int:
+def _cmd_cache(args) -> int:
     from repro import api
 
-    store = api.RunStore(store_dir)
-    if clear:
+    store = api.RunStore(args.store)
+    command = getattr(args, "cache_command", None)
+    if command == "stats":
+        return _cmd_cache_stats(store, args.json)
+    if command == "gc":
+        return _cmd_cache_gc(store, args.max_count, args.max_bytes,
+                             args.json)
+    if args.clear:
         removed = store.clear()
         print(f"removed {removed} record(s) from {store.root}")
         return 0
@@ -383,6 +439,44 @@ def _cmd_cache(store_dir: str, clear: bool) -> int:
     print(render_table(["Spec hash", "Kind", "Seed", "Wall s"], rows,
                        title=f"run store {store.root}"))
     print(f"{len(rows)} record(s)")
+    return 0
+
+
+def _cmd_cache_stats(store, as_json: bool) -> int:
+    import json as json_module
+
+    stats = store.stats()
+    if as_json:
+        payload = {"root": str(store.root), **stats.to_dict(),
+                   "hit_rate": stats.hit_rate}
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"run store {store.root}")
+    print(f"records   : {stats.records}")
+    print(f"bytes     : {stats.bytes} ({_human_bytes(stats.bytes)})")
+    print(f"hits      : {stats.hits}")
+    print(f"misses    : {stats.misses}")
+    print(f"evictions : {stats.evictions}")
+    print(f"hit rate  : {100.0 * stats.hit_rate:.1f}%")
+    return 0
+
+
+def _cmd_cache_gc(store, max_count: int | None, max_bytes: int | None,
+                  as_json: bool) -> int:
+    import json as json_module
+
+    if max_count is None and max_bytes is None:
+        raise SystemExit("error: cache gc needs --max-count and/or "
+                         "--max-bytes")
+    evicted, freed = store.gc(max_count=max_count, max_bytes=max_bytes)
+    stats = store.stats()
+    if as_json:
+        payload = {"root": str(store.root), "evicted": evicted,
+                   "bytes_freed": freed, **stats.to_dict()}
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"evicted {evicted} record(s), freed {_human_bytes(freed)}; "
+          f"{stats.records} record(s), {_human_bytes(stats.bytes)} remain")
     return 0
 
 
@@ -407,7 +501,7 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_run(args.spec, args.json,
                             backend=_build_backend(args), store=args.store)
         if args.command == "cache":
-            return _cmd_cache(args.store, args.clear)
+            return _cmd_cache(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -104,6 +104,31 @@ the engine restructures it in five layers:
    compiles parameter grids into fleets so parameter studies flow
    through the same backends and store.
 
+8. **Job-level caching** (:mod:`repro.api.jobs`, threaded through the
+   runner, both executors and the store).  The cacheable unit of work
+   is the individual assay *job*: :class:`~repro.api.jobs.JobKey`
+   content-addresses each job by SHA-256 over its canonical assay
+   payload (seed and injection schedules included), and
+   :class:`~repro.api.jobs.JobPlan` splits a fleet into warm store
+   hits and engine misses *before* anything is scheduled or sharded.
+   Per-job store records persist every sample array, so a hit
+   rehydrates a live, bit-identical
+   :class:`~repro.measurement.panel.PanelResult`
+   (:class:`~repro.api.records.CachedAssayRecord`); only the miss
+   fleet reaches layer 5's ``run_iter`` — on any backend — and cached
+   + fresh records are re-merged in job order, bit-identical to the
+   uncached stream.  A sweep sharing 90 of 100 grid points with an
+   earlier study therefore simulates only the 10 new points, and a
+   fully warm re-run performs **zero** engine solves — observable, and
+   pinned in tests, via ``EngineStats.n_solve_steps`` (this package
+   counts its fused dwell solves in
+   :attr:`~repro.engine.scheduler.DwellBatch.n_solve_steps` /
+   :class:`~repro.engine.scheduler.FleetItem`).  The store adds
+   LRU eviction (``max_count``/``max_bytes``, an ``index.json`` clock)
+   and :class:`~repro.api.store.StoreStats` hit/miss/eviction counters
+   surfaced in record provenance and the CLI ``cache stats``
+   subcommand.
+
 Equivalence guarantee
 =====================
 

@@ -97,6 +97,8 @@ class DwellBatch:
         # a schedule need scanning.
         self._scheduled = tuple(d for d in self.dwells
                                 if d.injections.injections)
+        #: Fused engine steps actually solved; set by :meth:`simulate`.
+        self.n_solve_steps = 0
 
     @property
     def n_dwells(self) -> int:
@@ -133,6 +135,7 @@ class DwellBatch:
             currents[i, 0] = dwell.initial_current()
         engine, spans = self._build_engine()
         t_prev = 0.0
+        steps = 0
         for k in range(1, n):
             t_now = float(self.times[k])
             pending = [(d, d.injections.events_between(t_prev, t_now))
@@ -146,12 +149,17 @@ class DwellBatch:
                 for dwell, events in pending:
                     dwell.apply_injection_events(events)
                 engine, spans = self._build_engine()
-            fluxes = engine.step() if engine is not None else _NO_FLUXES
+            if engine is not None:
+                fluxes = engine.step()
+                steps += 1
+            else:
+                fluxes = _NO_FLUXES
             for i, dwell in enumerate(self.dwells):
                 start, stop = spans[i]
                 currents[i, k] = dwell.current_from_fluxes(
                     fluxes[start:stop])
             t_prev = t_now
+        self.n_solve_steps = steps
         return currents
 
 
@@ -177,9 +185,12 @@ class FleetItem:
     """One streamed fleet completion, yielded by
     :meth:`AssayScheduler.run_iter` in job order.
 
-    ``n_fused_dwells``/``n_dwell_groups`` are cumulative over the dwell
-    groups simulated *so far*; on the last item they equal the totals a
-    :class:`FleetResult` of the same jobs would report.
+    ``n_fused_dwells``/``n_dwell_groups``/``n_solve_steps`` are
+    cumulative over the dwell groups simulated *so far*; on the last
+    item they equal the totals a :class:`FleetResult` of the same jobs
+    would report.  ``n_solve_steps`` counts the fused dwell-engine steps
+    actually solved — the observable a job-level cache uses to prove a
+    warm re-run never touched the engine.
     """
 
     index: int
@@ -188,6 +199,7 @@ class FleetItem:
     n_jobs: int
     n_fused_dwells: int
     n_dwell_groups: int
+    n_solve_steps: int = 0
 
 
 @dataclass(frozen=True)
@@ -198,6 +210,7 @@ class FleetResult:
     names: tuple[str, ...]
     n_fused_dwells: int
     n_dwell_groups: int
+    n_solve_steps: int = 0
 
     def __len__(self) -> int:
         return len(self.results)
@@ -290,6 +303,7 @@ class AssayScheduler:
 
         simulated: set[tuple[float, float]] = set()
         n_fused = 0
+        n_steps = 0
         try:
             for index, plan in enumerate(plans):
                 key = plan_keys[index]
@@ -302,6 +316,7 @@ class AssayScheduler:
                                        times)
                     n_fused += batch.batch_size
                     rows = batch.simulate()
+                    n_steps += batch.n_solve_steps
                     for i, (member, dwell) in enumerate(members):
                         member.rows[dwell.we_name] = (dwell, times, rows[i])
                 job = plan.job
@@ -313,7 +328,8 @@ class AssayScheduler:
                                 name=job.name if job.name else f"job{index}",
                                 result=result, n_jobs=len(plans),
                                 n_fused_dwells=n_fused,
-                                n_dwell_groups=len(simulated))
+                                n_dwell_groups=len(simulated),
+                                n_solve_steps=n_steps)
         finally:
             # A consumer may abandon the stream mid-fleet (close() or a
             # partial iteration — see repro.api.iter_results).  Drop all
@@ -339,11 +355,14 @@ class AssayScheduler:
         names: list[str] = []
         n_fused = 0
         n_groups = 0
+        n_steps = 0
         for item in self.run_iter(jobs):
             results.append(item.result)
             names.append(item.name)
             n_fused = item.n_fused_dwells
             n_groups = item.n_dwell_groups
+            n_steps = item.n_solve_steps
         return FleetResult(results=tuple(results), names=tuple(names),
                            n_fused_dwells=n_fused,
-                           n_dwell_groups=n_groups)
+                           n_dwell_groups=n_groups,
+                           n_solve_steps=n_steps)

@@ -3,6 +3,17 @@
 Benches drop machine-readable artifacts next to their printed tables so
 downstream tooling (plotting, regression tracking) can consume the same
 numbers.
+
+:func:`panel_result_to_payload` / :func:`panel_result_from_payload` are
+the *lossless* JSON round trip of a live
+:class:`~repro.measurement.panel.PanelResult` — every sample of every
+trace and voltammogram, every readout and detected peak.  Python floats
+serialise through ``repr`` and therefore round-trip bit for bit, so the
+:class:`~repro.api.store.RunStore`'s per-job records can rehydrate a
+result that is bit-identical to the run that produced it.  Only the raw
+:class:`~repro.electronics.chain.ChannelReading` attachments (ADC codes,
+saturation flags) are dropped; rehydrated records carry
+``reading=None``.
 """
 
 from __future__ import annotations
@@ -16,7 +27,8 @@ from repro.analysis.calibration import CalibrationCurve
 from repro.measurement.trace import Trace, Voltammogram
 
 __all__ = ["trace_to_csv", "voltammogram_to_csv", "calibration_to_json",
-           "run_record_to_json", "write_json"]
+           "run_record_to_json", "write_json",
+           "panel_result_to_payload", "panel_result_from_payload"]
 
 
 def trace_to_csv(trace: Trace, path: str | Path) -> Path:
@@ -79,6 +91,103 @@ def run_record_to_json(record, path: str | Path) -> Path:
     :func:`trace_to_csv` / :func:`voltammogram_to_csv`.
     """
     return write_json(record.to_dict(), path)
+
+
+def _optional(array) -> list | None:
+    return None if array is None else array.tolist()
+
+
+def _trace_to_payload(trace: Trace) -> dict:
+    return {"times": trace.times.tolist(),
+            "current": trace.current.tolist(),
+            "true_current": _optional(trace.true_current),
+            "channel": trace.channel}
+
+
+def _trace_from_payload(payload: dict) -> Trace:
+    return Trace(times=payload["times"], current=payload["current"],
+                 true_current=payload.get("true_current"),
+                 channel=payload.get("channel", ""))
+
+
+def _voltammogram_to_payload(voltammogram: Voltammogram) -> dict:
+    return {"times": voltammogram.times.tolist(),
+            "potentials": voltammogram.potentials.tolist(),
+            "current": voltammogram.current.tolist(),
+            "sweep_sign": voltammogram.sweep_sign.tolist(),
+            "scan_rate": voltammogram.scan_rate,
+            "channel": voltammogram.channel,
+            "true_current": _optional(voltammogram.true_current)}
+
+
+def _voltammogram_from_payload(payload: dict) -> Voltammogram:
+    import numpy as np
+
+    true_current = payload.get("true_current")
+    return Voltammogram(
+        times=np.asarray(payload["times"], dtype=float),
+        potentials=np.asarray(payload["potentials"], dtype=float),
+        current=np.asarray(payload["current"], dtype=float),
+        sweep_sign=np.asarray(payload["sweep_sign"], dtype=float),
+        scan_rate=payload["scan_rate"], channel=payload.get("channel", ""),
+        true_current=(None if true_current is None
+                      else np.asarray(true_current, dtype=float)))
+
+
+def _readout_to_payload(readout) -> dict:
+    peak = readout.peak
+    return {"target": readout.target, "we_name": readout.we_name,
+            "method": readout.method, "signal": readout.signal,
+            "e_applied": readout.e_applied,
+            "peak": (None if peak is None else
+                     {"potential": peak.potential, "current": peak.current,
+                      "height": peak.height, "width": peak.width,
+                      "cathodic": peak.cathodic, "method": peak.method})}
+
+
+def _readout_from_payload(payload: dict):
+    from repro.measurement.panel import TargetReadout
+    from repro.measurement.peaks import Peak
+
+    peak = payload.get("peak")
+    return TargetReadout(
+        target=payload["target"], we_name=payload["we_name"],
+        method=payload["method"], signal=payload["signal"],
+        e_applied=payload.get("e_applied"),
+        peak=None if peak is None else Peak(**peak))
+
+
+def panel_result_to_payload(result) -> dict:
+    """Lossless JSON payload of a live :class:`~repro.measurement.panel.
+    PanelResult` (raw ``ChannelReading`` attachments excepted)."""
+    return {
+        "traces": {name: _trace_to_payload(trace)
+                   for name, trace in result.traces.items()},
+        "voltammograms": {name: _voltammogram_to_payload(vg)
+                          for name, vg in result.voltammograms.items()},
+        "readouts": {target: _readout_to_payload(readout)
+                     for target, readout in result.readouts.items()},
+        "assay_time": result.assay_time,
+        "blank_current": result.blank_current,
+        "blank_e_applied": result.blank_e_applied,
+    }
+
+
+def panel_result_from_payload(payload: dict):
+    """Rebuild the live :class:`~repro.measurement.panel.PanelResult` a
+    :func:`panel_result_to_payload` payload came from, bit for bit."""
+    from repro.measurement.panel import PanelResult
+
+    return PanelResult(
+        traces={name: _trace_from_payload(item)
+                for name, item in payload["traces"].items()},
+        voltammograms={name: _voltammogram_from_payload(item)
+                       for name, item in payload["voltammograms"].items()},
+        readouts={target: _readout_from_payload(item)
+                  for target, item in payload["readouts"].items()},
+        assay_time=payload["assay_time"],
+        blank_current=payload["blank_current"],
+        blank_e_applied=payload.get("blank_e_applied"))
 
 
 def write_json(payload: object, path: str | Path) -> Path:

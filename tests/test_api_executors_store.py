@@ -197,7 +197,10 @@ class TestRunStore:
         record = api.run(spec, store=store)
         assert record.cached is False
         assert api.spec_hash(spec) in store
-        assert len(store) == 1
+        # Whole-run record plus one full-sample record per assay job.
+        assert len(store) == 3
+        for assay in spec.assays:
+            assert api.spec_hash(assay) in store
         path = store.path_for(record.spec_hash)
         assert path.parent.name == record.spec_hash[:2]
         assert json.loads(path.read_text())["provenance"]["spec_hash"] \
@@ -234,17 +237,19 @@ class TestRunStore:
         api.run(small_fleet(cells=1, seed=90), store=store)
         other = api.run(small_fleet(cells=1, seed=91), store=store)
         assert other.cached is False
-        assert len(store) == 2
+        # Two whole-run records + one per-job record each.
+        assert len(store) == 4
 
     def test_records_and_clear(self, tmp_path):
         store = api.RunStore(tmp_path)
         api.run(small_fleet(cells=1, seed=92), store=store)
         api.run(small_fleet(cells=1, seed=93), store=store)
         listed = list(store.records())
-        assert len(listed) == 2
+        assert len(listed) == 4  # 2 whole-run + 2 per-job records
         assert all(r.cached for r in listed)
+        assert {r.kind for r in listed} == {"fleet", "assay"}
         assert list(store.hashes()) == sorted(r.spec_hash for r in listed)
-        assert store.clear() == 2
+        assert store.clear() == 4
         assert len(store) == 0
 
     def test_corrupt_record_is_a_store_error(self, tmp_path):

@@ -68,5 +68,8 @@ def test_parameter_sweep(capsys):
     out = run_example("parameter_sweep", capsys)
     assert "6 grid points" in out
     assert "dose response" in out
-    assert "cached=False" in out
-    assert "cached=True" in out
+    # First sweep is all cold, the extended grid reuses its 6 shared
+    # points and simulates only the 2 new ones.
+    assert "grid points cached: 0/6" in out
+    assert "grid points cached: 6/8" in out
+    assert "done dose#6" in out and "hit  dose#5" in out

@@ -250,11 +250,16 @@ class TestCliValidationAndExitCodes:
         assert main(argv + ["--backend", "process", "--workers", "2"]) == 0
         assert "[cached]" in capsys.readouterr().out
 
+        # Whole-run record + one per-job record per assay.
         assert main(["cache", str(store)]) == 0
         listing = capsys.readouterr().out
-        assert "1 record(s)" in listing and "fleet" in listing
+        assert "3 record(s)" in listing and "fleet" in listing \
+            and "assay" in listing
+        assert main(["cache", str(store), "stats"]) == 0
+        stats_out = capsys.readouterr().out
+        assert "records   : 3" in stats_out and "hits" in stats_out
         assert main(["cache", str(store), "--clear"]) == 0
-        assert "removed 1 record(s)" in capsys.readouterr().out
+        assert "removed 3 record(s)" in capsys.readouterr().out
         assert main(["cache", str(store)]) == 0
         assert "0 record(s)" in capsys.readouterr().out
 
