@@ -19,6 +19,15 @@ Three implementations run the identical potential program:
 All three produce bit-identical currents (pinned in
 ``tests/test_engine.py``); the acceptance bar here is >= 5x steps/sec
 for the batched engine over the seed scalar solver.
+
+A second axis measures **cross-cell CV fusion** (PR 6): a fleet of
+``N_FUSED_SWEEPS`` cells each running the same 8-channel sweep, executed
+as (a) one batched engine per sweep, sequentially — the pre-fusion
+fleet's cost profile — and (b) all sweeps' channels stacked into one
+engine driven by per-system potential programs, exactly what
+:class:`repro.engine.scheduler.SweepBatch` builds.  Acceptance: the
+fused pass delivers >= 2x total sweep-steps/sec over per-sweep batched,
+at bit-identical fluxes.
 """
 
 from __future__ import annotations
@@ -46,6 +55,7 @@ from repro.sensors.materials import get_material
 N_CHANNELS = 8
 SAMPLE_RATE = 10.0
 SCAN_RATE = 0.02
+N_FUSED_SWEEPS = 8
 
 #: Eight electroactive drugs with registered diffusivities — one channel
 #: per panel electrode, spread across the sweep window.
@@ -152,6 +162,44 @@ def batched_steps_per_sec(make_sims, potentials) -> tuple[float, np.ndarray]:
     return potentials.size / elapsed, fluxes
 
 
+def fusion_rates(make_sims, potentials,
+                 n_sweeps: int = N_FUSED_SWEEPS) -> dict:
+    """Per-sweep batched engines vs one cross-sweep fused engine.
+
+    Both passes advance ``n_sweeps`` copies of the panel sweep; the
+    fused pass drives a single engine with a per-system potential
+    program, the same shape :class:`~repro.engine.scheduler.SweepBatch`
+    compiles for a fleet's CV group.
+    """
+    engines = [SimulationEngine.for_redox_channels(make_sims())
+               for _ in range(n_sweeps)]
+    start = time.perf_counter()
+    per_sweep = [engine.run_sweep(potentials) for engine in engines]
+    sequential_elapsed = time.perf_counter() - start
+
+    channels = [sim for _ in range(n_sweeps) for sim in make_sims()]
+    fused = SimulationEngine.for_redox_channels(channels)
+    programs = np.broadcast_to(
+        potentials, (len(channels), potentials.size))
+    fluxes = np.empty((potentials.size, len(channels)))
+    start = time.perf_counter()
+    for k in range(potentials.size):
+        fluxes[k] = fused.step(programs[:, k])
+    fused_elapsed = time.perf_counter() - start
+
+    scale = float(np.max(np.abs(per_sweep[0])))
+    deviation = max(
+        float(np.max(np.abs(fluxes[:, j * N_CHANNELS:(j + 1) * N_CHANNELS]
+                            - per_sweep[j])))
+        for j in range(n_sweeps)) / scale
+    total_steps = n_sweeps * potentials.size
+    return {"n_sweeps": n_sweeps,
+            "per_sweep_rate": total_steps / sequential_elapsed,
+            "fused_rate": total_steps / fused_elapsed,
+            "fusion_speedup": sequential_elapsed / fused_elapsed,
+            "fusion_deviation": deviation}
+
+
 def run_experiment() -> dict:
     make_sims, potentials = build_panel_channels()
     # Warm-up pass (allocators, caches) before the timed runs.
@@ -164,12 +212,14 @@ def run_experiment() -> dict:
     scale = float(np.max(np.abs(seed_fluxes)))
     deviation = float(max(np.max(np.abs(batched_fluxes - seed_fluxes)),
                           np.max(np.abs(scalar_fluxes - seed_fluxes))))
+    fusion = fusion_rates(make_sims, potentials)
     return {"n_steps": int(potentials.size),
             "seed_rate": seed_rate,
             "scalar_rate": scalar_rate,
             "batched_rate": batched_rate,
             "speedup": batched_rate / seed_rate,
-            "relative_deviation": deviation / scale}
+            "relative_deviation": deviation / scale,
+            **fusion}
 
 
 def test_engine_throughput(benchmark, report, json_report):
@@ -183,7 +233,14 @@ def test_engine_throughput(benchmark, report, json_report):
                           "batched_engine": out["batched_rate"]},
         "speedup_vs_seed": out["speedup"],
         "max_relative_deviation": out["relative_deviation"],
-        "acceptance": {"min_speedup": 5.0, "max_deviation": 1.0e-12},
+        "cv_fusion": {
+            "n_sweeps": out["n_sweeps"],
+            "per_sweep_steps_per_sec": out["per_sweep_rate"],
+            "fused_steps_per_sec": out["fused_rate"],
+            "fusion_speedup": out["fusion_speedup"],
+            "max_relative_deviation": out["fusion_deviation"]},
+        "acceptance": {"min_speedup": 5.0, "max_deviation": 1.0e-12,
+                       "min_fusion_speedup": 2.0},
     })
     report(render_table(
         ["implementation", "steps/sec"],
@@ -196,7 +253,21 @@ def test_engine_throughput(benchmark, report, json_report):
            f"(acceptance: >= 5x)")
     report(f"max relative deviation   : {out['relative_deviation']:.2e}  "
            f"(acceptance: <= 1e-12)")
+    report(render_table(
+        ["pass", "sweep-steps/sec"],
+        [["per-sweep batched, sequential", f"{out['per_sweep_rate']:.0f}"],
+         ["cross-sweep fused engine", f"{out['fused_rate']:.0f}"]],
+        title=(f"E1b | {out['n_sweeps']}x {N_CHANNELS}-channel sweeps "
+               f"(cross-cell CV fusion)")))
+    report(f"fusion speedup           : {out['fusion_speedup']:.1f}x  "
+           f"(acceptance: >= 2x)")
+    report(f"fusion deviation         : {out['fusion_deviation']:.2e}  "
+           f"(acceptance: <= 1e-12)")
 
     # The batched engine must agree with the seed path and beat it.
     assert out["relative_deviation"] <= 1.0e-12
     assert out["speedup"] >= 5.0
+    # Cross-cell fusion must beat per-sweep batched engines and stay
+    # bit-compatible with them.
+    assert out["fusion_deviation"] <= 1.0e-12
+    assert out["fusion_speedup"] >= 2.0

@@ -22,12 +22,30 @@ across PRs without parsing the human-readable tables.
 from __future__ import annotations
 
 import json
+import os
+import platform
 from pathlib import Path
 
 import pytest
 
 _RESULTS_DIR = Path(__file__).parent / "results"
 _REPORTS: dict[str, list[str]] = {}
+
+#: BLAS/OpenMP thread knobs that change measured throughput; recorded so
+#: two BENCH_*.json files are comparable (or visibly not).
+_THREAD_ENV_VARS = ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS",
+                    "MKL_NUM_THREADS", "NUMEXPR_NUM_THREADS")
+
+
+def _host_metadata() -> dict:
+    import numpy
+
+    return {"cpu_count": os.cpu_count(),
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "numpy": numpy.__version__,
+            "thread_env": {name: os.environ.get(name)
+                           for name in _THREAD_ENV_VARS}}
 
 
 @pytest.fixture
@@ -48,6 +66,7 @@ def json_report():
     def _write(tag: str, payload: dict) -> None:
         _RESULTS_DIR.mkdir(exist_ok=True)
         path = _RESULTS_DIR / f"BENCH_{tag}.json"
+        payload = {**payload, "host": _host_metadata()}
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     return _write

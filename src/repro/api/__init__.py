@@ -105,20 +105,34 @@ live in :mod:`repro.api.specs`:
 Versioning policy
 =================
 
-``SCHEMA_VERSION`` (currently 2) is written into every payload and
+``SCHEMA_VERSION`` (currently 3) is written into every payload and
 checked on load; a reader raises :class:`~repro.errors.SpecError` on
 any version it does not understand, naming the offending file/path.
 Version 2 added the fleet ``execution`` block and the ``sweep`` kind;
-both are additive, so readers accept every version in
-``SUPPORTED_SCHEMAS`` (1 and 2) and version-1 files keep loading with
-schema-1 behaviour (inline execution).  The version bumps only on
-payload changes a version-1 reader would misread; adding optional keys
-with defaults is not a bump.  Unknown keys are ignored on read —
-forward-written files degrade gracefully — and ``to_dict`` always
-emits the complete canonical payload, so :func:`spec_hash` (SHA-256
-over the sorted canonical JSON) is stable across round trips and is
-the provenance key every :class:`~repro.api.records.RunRecord` carries
-and every :class:`~repro.api.store.RunStore` keys by.
+version 3 added the opt-in ``screening`` flag on assay and sweep
+payloads.  All are additive, so readers accept every version in
+``SUPPORTED_SCHEMAS`` (1, 2 and 3) and older files keep loading with
+their original behaviour (inline execution, full fidelity).  The
+version bumps only on payload changes an older reader would misread;
+adding optional keys with defaults is not a bump.  Unknown keys are
+ignored on read — forward-written files degrade gracefully — and
+``to_dict`` always emits the complete canonical payload, so
+:func:`spec_hash` (SHA-256 over the sorted canonical JSON) is stable
+across round trips and is the provenance key every
+:class:`~repro.api.records.RunRecord` carries and every
+:class:`~repro.api.store.RunStore` keys by.
+
+Screening provenance
+====================
+
+``screening`` is the one knob that changes *physics*, not just
+execution: it swaps in a coarser chemistry grid for triage-speed runs.
+It is therefore opt-in at every layer (spec field, ``run(...,
+screening=True)``, CLI ``--screening``; never a default), stamped into
+the canonical payload **before** hashing — so a screening run can never
+collide with its full-fidelity twin in a run store — and surfaced in
+every record's ``provenance()["screening"]``.  Pre-v3 payloads carry no
+flag and omit the provenance key rather than fabricating one.
 
 Escape hatch
 ============

@@ -32,9 +32,9 @@ __all__ = [
 class EngineStats:
     """Fusion statistics of the batched engine pass behind a record.
 
-    ``n_solve_steps`` counts the fused dwell-engine time steps actually
-    solved (CV sweeps keep their own per-sweep engines and are not
-    counted here) — the observable that lets a job-level cache prove a
+    ``n_solve_steps`` counts the fused engine time steps actually
+    solved — chronoamperometric dwell groups plus cross-cell fused CV
+    sweep groups — the observable that lets a job-level cache prove a
     fully warm re-run performed **zero** engine solves.
     """
 
@@ -89,10 +89,30 @@ class RunRecord:
     def kind(self) -> str:
         return str(self.spec.get("kind", "?"))
 
+    def _screening_flag(self) -> bool | None:
+        """The run's screening-profile flag, if the spec declares one.
+
+        Assay and sweep payloads carry it at top level; fleet payloads
+        carry it per assay (the fleet screened if any job did).  Pre-v3
+        payloads have no flag and report ``None`` (omitted from
+        provenance) rather than a fabricated ``False``.
+        """
+        if "screening" in self.spec:
+            return bool(self.spec["screening"])
+        assays = self.spec.get("assays")
+        if isinstance(assays, list) and any(
+                isinstance(a, dict) and "screening" in a for a in assays):
+            return any(bool(a.get("screening", False))
+                       for a in assays if isinstance(a, dict))
+        return None
+
     def provenance(self) -> dict:
         out = {"kind": self.kind, "spec_hash": self.spec_hash,
                "schema_version": self.schema_version, "seed": self.seed,
                "wall_time_s": self.wall_time_s, "cached": self.cached}
+        screening = self._screening_flag()
+        if screening is not None:
+            out["screening"] = screening
         if self.store_stats is not None:
             out["store"] = self.store_stats.to_dict()
         return out

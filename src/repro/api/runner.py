@@ -100,7 +100,33 @@ def _coerce_store(store):
     return RunStore(store)
 
 
-def run(spec, backend=None, store=None) -> RunRecord:
+def _apply_screening(spec, screening):
+    """Re-target a spec at the screening (or full-fidelity) profile.
+
+    ``None`` leaves the spec as written — the only way a screening run
+    happens is an explicit opt-in, either here or in the spec file
+    itself.  The flag lands in the canonical payload before any store
+    lookup, so screening runs and their full-fidelity twins never share
+    a spec hash or a :class:`~repro.api.jobs.JobKey`.
+    """
+    if screening is None:
+        return spec
+    import dataclasses
+
+    flag = bool(screening)
+    if isinstance(spec, AssaySpec):
+        return dataclasses.replace(spec, screening=flag)
+    if isinstance(spec, FleetSpec):
+        return dataclasses.replace(spec, assays=tuple(
+            dataclasses.replace(assay, screening=flag)
+            for assay in spec.assays))
+    if isinstance(spec, SweepSpec):
+        return dataclasses.replace(spec, screening=flag)
+    raise SpecError(f"screening applies to assay/fleet/sweep specs, "
+                    f"not {type(spec).__name__}")
+
+
+def run(spec, backend=None, store=None, screening=None) -> RunRecord:
     """Execute any runnable spec (dataclass or payload dict).
 
     ``backend`` selects the fleet execution backend (fleet/sweep/assay
@@ -109,9 +135,13 @@ def run(spec, backend=None, store=None) -> RunRecord:
     *jobs* by :class:`~repro.api.jobs.JobKey`, so a partially warm
     study simulates only its missing grid points.  The returned record
     carries the run's :class:`~repro.api.store.StoreStats` delta in its
-    provenance.
+    provenance.  ``screening=True`` opts an assay/fleet/sweep into the
+    coarse-grid screening profile (``False`` forces full fidelity;
+    ``None`` — the default — runs the spec as written); the flag joins
+    the spec payload before hashing, so screening results are stored
+    and recalled under their own content addresses.
     """
-    spec = _coerce(spec)
+    spec = _apply_screening(_coerce(spec), screening)
     if not isinstance(spec, RunnableSpec):
         raise SpecError(f"not a runnable spec: {type(spec).__name__}")
     store = _coerce_store(store)
@@ -175,7 +205,8 @@ def _dispatch(spec, backend, store) -> RunRecord:
     return _run_explore(spec)
 
 
-def iter_results(spec, backend=None, store=None) -> Iterator[AssayRunRecord]:
+def iter_results(spec, backend=None, store=None,
+                 screening=None) -> Iterator[AssayRunRecord]:
     """Stream a fleet: one per-job record as each assay completes.
 
     Job order, results, and provenance match ``run(fleet_spec)`` exactly
@@ -200,10 +231,14 @@ def iter_results(spec, backend=None, store=None) -> Iterator[AssayRunRecord]:
     record is persisted as it streams.  Cached records keep their
     *original* run's wall time and engine statistics; fresh records'
     cumulative statistics cover the miss fleet only.
+
+    ``screening`` opts the whole stream into (``True``) or out of
+    (``False``) the coarse-grid screening profile, exactly as on
+    :func:`run`; ``None`` runs the spec as written.
     """
     from repro.api.executors import resolve_executor
 
-    spec = _coerce(spec)
+    spec = _apply_screening(_coerce(spec), screening)
     if isinstance(spec, AssaySpec):
         spec = FleetSpec(name=spec.name, assays=(spec,))
     if isinstance(spec, SweepSpec):

@@ -48,10 +48,11 @@ from repro.core.spec import (
 from repro.errors import SpecError
 
 #: Schema written into every api payload.  Version 2 added the fleet
-#: ``execution`` block and the ``sweep`` kind; version-1 files still
-#: load (missing keys take their defaults), so readers accept both.
-SCHEMA_VERSION = 2
-SUPPORTED_SCHEMAS = (1, 2)
+#: ``execution`` block and the ``sweep`` kind; version 3 added the
+#: opt-in ``screening`` flag on assays and sweeps.  Older files still
+#: load (missing keys take their defaults), so readers accept all three.
+SCHEMA_VERSION = 3
+SUPPORTED_SCHEMAS = (1, 2, 3)
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from pathlib import Path
@@ -322,7 +323,7 @@ class PanelProtocolSpec:
     injections: (tuple[InjectionEvent, ...]
                  | Mapping[str, tuple[InjectionEvent, ...]] | None) = None
 
-    def build(self) -> "PanelProtocol":
+    def build(self, screening: bool = False) -> "PanelProtocol":
         from repro.measurement.panel import PanelProtocol
 
         if self.injections is None:
@@ -337,7 +338,8 @@ class PanelProtocolSpec:
             scan_rate=self.scan_rate, sample_rate=self.sample_rate,
             settle_between=self.settle_between,
             peak_min_height=self.peak_min_height,
-            ca_injections=schedule, batch_electrodes=self.batch_electrodes)
+            ca_injections=schedule, batch_electrodes=self.batch_electrodes,
+            screening=screening)
 
     def to_dict(self) -> dict:
         if self.injections is None:
@@ -403,7 +405,10 @@ class AssaySpec:
 
     ``seed`` pins the acquisition-noise generator the protocol draws
     from (dwell chemistry consumes no randomness), so two runs of the
-    same spec are bit-identical.
+    same spec are bit-identical.  ``screening`` opts the assay into the
+    coarse-grid screening profile — never the default; the flag is part
+    of the canonical payload, so a screening run can never share a
+    content address (or a store slot) with its full-fidelity twin.
     """
 
     name: str = "assay"
@@ -411,9 +416,10 @@ class AssaySpec:
     cell: CellSpec = field(default_factory=CellSpec)
     chain: ChainSpec = field(default_factory=ChainSpec)
     protocol: PanelProtocolSpec = field(default_factory=PanelProtocolSpec)
+    screening: bool = False
 
     def build_protocol(self) -> "PanelProtocol":
-        return self.protocol.build()
+        return self.protocol.build(screening=self.screening)
 
     def build_job(self) -> "AssayJob":
         """A scheduler-ready job: built cell, chain, protocol and RNG."""
@@ -428,7 +434,8 @@ class AssaySpec:
         return {"schema": SCHEMA_VERSION, "kind": "assay",
                 "name": self.name, "seed": int(self.seed),
                 "cell": self.cell.to_dict(), "chain": self.chain.to_dict(),
-                "protocol": self.protocol.to_dict()}
+                "protocol": self.protocol.to_dict(),
+                "screening": bool(self.screening)}
 
     @classmethod
     def from_dict(cls, payload: Mapping,
@@ -441,7 +448,9 @@ class AssaySpec:
             chain=ChainSpec.from_dict(payload.get("chain", {}),
                                       f"{path}.chain"),
             protocol=PanelProtocolSpec.from_dict(payload.get("protocol", {}),
-                                                 f"{path}.protocol"))
+                                                 f"{path}.protocol"),
+            screening=_bool_value(payload.get("screening", False),
+                                  f"{path}.screening"))
 
 
 _EXECUTION_BACKENDS = ("inline", "process")
@@ -652,6 +661,7 @@ class SweepSpec:
     base: AssaySpec = field(default_factory=AssaySpec)
     grid: Mapping[str, tuple] = field(default_factory=dict)
     execution: ExecutionSpec = field(default_factory=ExecutionSpec)
+    screening: bool = False
 
     def __post_init__(self) -> None:
         if not self.grid:
@@ -680,6 +690,10 @@ class SweepSpec:
         """Expand the grid into the equivalent explicit fleet."""
         axes = sorted(self.grid.items())
         base_payload = self.base.to_dict()
+        # A screening sweep screens every grid point; grid axes may
+        # still override "screening" per point if a study mixes tiers.
+        if self.screening:
+            base_payload["screening"] = True
         assays = []
         for k, combo in enumerate(itertools.product(
                 *(values for _, values in axes))):
@@ -698,7 +712,8 @@ class SweepSpec:
                 "name": self.name, "base": self.base.to_dict(),
                 "grid": {dotted: list(values)
                          for dotted, values in self.grid.items()},
-                "execution": self.execution.to_dict()}
+                "execution": self.execution.to_dict(),
+                "screening": bool(self.screening)}
 
     @classmethod
     def from_dict(cls, payload: Mapping,
@@ -713,7 +728,9 @@ class SweepSpec:
                                             f"{path}.base"),
                    grid={dotted: values for dotted, values in grid.items()},
                    execution=ExecutionSpec.from_dict(
-                       payload.get("execution"), f"{path}.execution"))
+                       payload.get("execution"), f"{path}.execution"),
+                   screening=_bool_value(payload.get("screening", False),
+                                         f"{path}.screening"))
 
 
 @dataclass(frozen=True)

@@ -160,6 +160,11 @@ def _add_execution_arguments(command) -> None:
                          help="content-addressed run store: reuse a "
                               "stored record on spec-hash hit, persist "
                               "the record otherwise")
+    command.add_argument("--screening", action="store_true",
+                         help="opt into the coarse-grid screening profile "
+                              "(faster, lower fidelity; flagged in "
+                              "provenance and stored under its own "
+                              "content address)")
 
 
 def _build_backend(args):
@@ -254,7 +259,8 @@ def _cmd_panel(seed: int, sequential: bool = False) -> int:
 
 def _cmd_fleet(n_cells: int, seed: int, ca_dwell: float,
                sequential: bool, backend=None,
-               store: str | None = None) -> int:
+               store: str | None = None,
+               screening: bool = False) -> int:
     import time
 
     from repro import api
@@ -268,9 +274,18 @@ def _cmd_fleet(n_cells: int, seed: int, ca_dwell: float,
     spec = api.FleetSpec.homogeneous(
         cells=n_cells, seed=seed, ca_dwell=ca_dwell,
         batch_electrodes=not sequential)
+    if screening:
+        import dataclasses
+
+        # Stamp the flag into the spec itself (not just the run call) so
+        # the hash printed below is the one the store files under.
+        spec = dataclasses.replace(spec, assays=tuple(
+            dataclasses.replace(assay, screening=True)
+            for assay in spec.assays))
     start = time.perf_counter()
     print(f"fleet spec {api.spec_hash(spec)[:12]} "
-          f"(schema v{api.SCHEMA_VERSION}, {n_cells} assays)")
+          f"(schema v{api.SCHEMA_VERSION}, {n_cells} assays"
+          f"{', screening' if screening else ''})")
 
     def report(record) -> None:
         recovered = sum(1 for t in PAPER_PANEL_MID_CONCENTRATIONS
@@ -377,13 +392,14 @@ def _cmd_selectivity(potential_mv: float) -> int:
 
 
 def _cmd_run(spec_path: str, json_out: str | None, backend=None,
-             store: str | None = None) -> int:
+             store: str | None = None, screening: bool = False) -> int:
     from repro import api
     from repro.core import exploration_report
     from repro.io.export import run_record_to_json
 
     record = api.run(api.load_spec(spec_path), backend=backend,
-                     store=api.RunStore(store) if store else None)
+                     store=api.RunStore(store) if store else None,
+                     screening=True if screening else None)
     _print_provenance(record)
     status = 0
     if record.cached:
@@ -490,7 +506,7 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "fleet":
             return _cmd_fleet(args.cells, args.seed, args.ca_dwell,
                               args.sequential, backend=_build_backend(args),
-                              store=args.store)
+                              store=args.store, screening=args.screening)
         if args.command == "explore":
             return _cmd_explore(args.spec)
         if args.command == "calibrate":
@@ -499,7 +515,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_selectivity(args.potential)
         if args.command == "run":
             return _cmd_run(args.spec, args.json,
-                            backend=_build_backend(args), store=args.store)
+                            backend=_build_backend(args), store=args.store,
+                            screening=args.screening)
         if args.command == "cache":
             return _cmd_cache(args)
     except ReproError as exc:

@@ -203,6 +203,7 @@ class AcquisitionChain:
     def digitize_batch(self, times: np.ndarray, currents: np.ndarray,
                        wes=None, schedule: MuxSchedule | None = None,
                        rng: np.random.Generator | None = None,
+                       noise: np.ndarray | None = None,
                        ) -> list[ChannelReading]:
         """Digitise a stacked ``(M, N)`` batch of channel currents.
 
@@ -219,6 +220,15 @@ class AcquisitionChain:
         interleave CV digitisations between dwells, so they call
         :meth:`digitize` per electrode themselves, in the same order
         contract.)
+
+        When ``noise`` — a pre-drawn ``(M, N)`` array, row ``j`` being
+        channel ``j``'s input-referred noise — is given, no generator
+        is consumed at all and the whole batch runs through the TIA/ADC
+        transfer as one vectorised 2-D pass.  Every transfer operation
+        is elementwise, so each returned reading is bit-identical to a
+        scalar :meth:`digitize` call fed the same noise.  This is the
+        one-call-per-fused-group path the fleet scheduler uses, with
+        the noise pre-drawn per job in electrode order.
         """
         currents = np.asarray(currents, dtype=float)
         if currents.ndim != 2:
@@ -229,10 +239,42 @@ class AcquisitionChain:
         if len(we_list) != rows:
             raise ElectronicsError(
                 f"got {len(we_list)} working electrodes for {rows} rows")
-        generator = rng if rng is not None else self._rng
-        return [self.digitize(times, currents[j], we=we_list[j],
-                              schedule=schedule, rng=generator)
-                for j in range(rows)]
+        if noise is None:
+            generator = rng if rng is not None else self._rng
+            return [self.digitize(times, currents[j], we=we_list[j],
+                                  schedule=schedule, rng=generator)
+                    for j in range(rows)]
+        times = np.asarray(times, dtype=float)
+        if times.ndim != 1 or times.size < 2:
+            raise ElectronicsError("digitize needs at least two samples")
+        if currents.shape[1] != times.size:
+            raise ElectronicsError("times and currents must have equal shape")
+        noise = np.asarray(noise, dtype=float)
+        if noise.shape != currents.shape:
+            raise ElectronicsError(
+                "noise and currents must have equal shape")
+        steps = np.diff(times)
+        if not np.allclose(steps, steps[0], rtol=1e-6, atol=1e-12):
+            raise ElectronicsError("digitize needs uniform sampling")
+        effective = currents.copy()
+        if schedule is not None:
+            if self.mux is None:
+                raise ElectronicsError(
+                    "a mux schedule was given but the chain has no mux")
+            since = schedule.times_since_switch(times)
+            effective = (effective * self.mux.settling_factors(since)
+                         + self.mux.injection_currents(since))
+        input_current = effective + noise
+        volts = self.tia.output_voltage(input_current)
+        codes = self.adc.quantize(volts)
+        estimates = self.tia.input_current(self.adc.to_voltage(codes))
+        saturated = (np.asarray(self.tia.saturates(input_current))
+                     | np.asarray(self.adc.saturates(volts)))
+        return [ChannelReading(
+            times=times, true_current=currents[j],
+            input_current=input_current[j], output_voltage=volts[j],
+            codes=codes[j], current_estimate=estimates[j],
+            saturated=saturated[j]) for j in range(rows)]
 
     def measure_constant(self, current: float, duration: float = 10.0,
                          sample_rate: float | None = None,

@@ -129,6 +129,37 @@ the engine restructures it in five layers:
    surfaced in record provenance and the CLI ``cache stats``
    subcommand.
 
+9. **Precompiled step programs and cross-cell CV fusion** (round 2 of
+   :mod:`repro.engine.scheduler` and the batch steppers).  The per-step
+   Python branching of layers 3-5 is compiled away before the time
+   loop: :class:`~repro.engine.mechanisms.MechanismBatch` precomputes
+   its film/sink index arrays and kinetic constants once and steps as a
+   handful of vectorised array expressions;
+   :class:`~repro.engine.scheduler.DwellBatch` compiles each fused
+   group's injection schedule into a step→events program and assembles
+   current rows segment-at-a-time from precomputed per-mechanism
+   coefficients (:meth:`~repro.measurement.chronoamperometry.
+   ChronoDwell.current_coefficients`) instead of calling back into
+   Python per sample.  CV sweeps, previously simulated per WE inside
+   each job, now fuse *across cells* exactly like dwells:
+   :meth:`~repro.measurement.panel.PanelProtocol.plan_sweeps` compiles
+   each CYP WE into a :class:`~repro.measurement.voltammetry.CvSweep`
+   (potential program, background currents, faradaic coefficients),
+   and :class:`~repro.engine.scheduler.SweepBatch` stacks every
+   compatible sweep's redox channels into one
+   :class:`~repro.engine.redox.RedoxChannelBatch` driven by a
+   per-system potential matrix — one fused solve per sample for the
+   whole group.  Digitisation is fused too: the scheduler pre-draws
+   each job's noise streams in electrode order off the job's own RNG
+   (preserving the sequential draw sequence bit for bit), then calls
+   :meth:`~repro.electronics.chain.AcquisitionChain.digitize_batch`
+   once per (TIA, ADC) cluster of a fused group.  An opt-in
+   *screening* profile (``PanelProtocol(screening=True)``, surfaced as
+   ``AssaySpec.screening`` / ``run(spec, screening=True)`` /
+   ``--screening``) trades grid resolution for throughput on the same
+   fused paths; it is provenance-flagged and content-addressed apart
+   from full-fidelity runs, and never the default.
+
 Equivalence guarantee
 =====================
 
@@ -183,6 +214,7 @@ from repro.engine.scheduler import (
     DwellBatch,
     FleetItem,
     FleetResult,
+    SweepBatch,
 )
 
 __all__ = [
@@ -195,6 +227,7 @@ __all__ = [
     "MechanismBatch",
     "SimulationEngine",
     "DwellBatch",
+    "SweepBatch",
     "AssayJob",
     "AssayScheduler",
     "FleetItem",

@@ -100,18 +100,23 @@ class BatchCrankNicolson:
 
     def stack_states(self, fields) -> np.ndarray:
         """Pack per-system profiles into one zero-padded (M, N) array."""
-        fields = list(fields)
+        fields = [np.asarray(field, dtype=float) for field in fields]
         if len(fields) != self.n_systems:
             raise SimulationError(
                 f"got {len(fields)} profiles for {self.n_systems} systems")
+        lengths = np.asarray([field.size for field in fields], dtype=int)
+        bad = np.flatnonzero(lengths != self.sizes)
+        if bad.size:
+            j = int(bad[0])
+            raise SimulationError(
+                f"profile {j} has {fields[j].size} nodes, grid has "
+                f"{self.sizes[j]}")
         state = np.zeros((self.n_systems, self.n_nodes))
-        for j, field in enumerate(fields):
-            field = np.asarray(field, dtype=float)
-            if field.size != self.sizes[j]:
-                raise SimulationError(
-                    f"profile {j} has {field.size} nodes, grid has "
-                    f"{self.sizes[j]}")
-            state[j, :self.sizes[j]] = field
+        # One masked assignment packs every profile: the mask walks the
+        # rows in order and np.concatenate supplies the values in the
+        # same row-major order.
+        mask = np.arange(self.n_nodes) < self.sizes[:, None]
+        state[mask] = np.concatenate(fields)
         return state
 
     def unstack(self, state: np.ndarray) -> list[np.ndarray]:

@@ -13,10 +13,14 @@ Mechanism contract (duck-typed, satisfied by the protocol's
 mechanism exposes ``solver`` and ``field``; Michaelis-Menten films
 additionally expose ``film`` (with ``rate``, ``vmax``, ``km``) and are
 Newton-relinearised around the surface concentration each step, while
-first-order sinks expose a constant ``rate_constant``.  The O(M) rate
-laws stay scalar — identical arithmetic to the mechanisms' own ``step``
-methods — so batched fluxes match the scalar path bit for bit.  The
-surface slopes enter as rank-one Sherman-Morrison corrections
+first-order sinks expose a constant ``rate_constant``.  The rate laws
+are *precompiled* at construction: the film ``(vmax, km)`` and sink
+rate constants are gathered into flat arrays once, so each step is a
+handful of elementwise numpy operations over the surface row with no
+per-mechanism Python dispatch.  Every operation applies the scalar
+arithmetic in the same left-to-right order the mechanisms' own ``step``
+methods use, so batched fluxes still match the scalar path bit for
+bit.  The surface slopes enter as rank-one Sherman-Morrison corrections
 (:meth:`BatchCrankNicolson.step_linear_surface`), so no matrix is ever
 refactored, however the Newton relinearisation moves.
 """
@@ -48,7 +52,19 @@ class MechanismBatch:
                     "'rate_constant' (first-order sink)")
         self.mechanisms = mechanisms
         self._m = len(mechanisms)
-        self._is_film = [hasattr(mech, "film") for mech in mechanisms]
+        is_film = np.asarray([hasattr(mech, "film") for mech in mechanisms])
+        # Precompiled step program: the rate-law parameters, gathered by
+        # kind into flat arrays once, so step() never touches a
+        # mechanism object again.
+        self._film_idx = np.flatnonzero(is_film)
+        self._sink_idx = np.flatnonzero(~is_film)
+        self._vmax = np.asarray([mechanisms[j].film.vmax
+                                 for j in self._film_idx], dtype=float)
+        self._km = np.asarray([mechanisms[j].film.km
+                               for j in self._film_idx], dtype=float)
+        self._rate_constants = np.asarray([mechanisms[j].rate_constant
+                                           for j in self._sink_idx],
+                                          dtype=float)
         self._cn = BatchCrankNicolson([mech.solver for mech in mechanisms])
         self._state = self._cn.stack_states(
             [mech.field for mech in mechanisms])
@@ -65,28 +81,28 @@ class MechanismBatch:
         value its scalar ``step`` would have returned); pair them with
         ``mechanism.current(area, flux)`` for signed currents.
         """
-        a = np.empty(self._m)
-        b = np.empty(self._m)
-        for j, mech in enumerate(self.mechanisms):
-            if self._is_film[j]:
-                c0 = float(self._state[j, 0])
-                film = mech.film
-                rate = film.rate(c0)
-                # d(rate)/dc at c0 — always >= 0, keeps the matrix dominant.
-                slope = film.vmax * film.km / (film.km + max(c0, 0.0)) ** 2
-                a[j] = rate - slope * c0
-                b[j] = slope
-            else:
-                a[j] = 0.0
-                b[j] = mech.rate_constant
+        a = np.zeros(self._m)
+        b = np.zeros(self._m)
+        c0 = self._state[:, 0]
+        if self._film_idx.size:
+            cf = c0[self._film_idx]
+            cpos = np.maximum(cf, 0.0)
+            rate = self._vmax * cpos / (self._km + cpos)
+            # d(rate)/dc at c0 — always >= 0, keeps the matrix dominant.
+            slope = self._vmax * self._km / (self._km + cpos) ** 2
+            a[self._film_idx] = rate - slope * cf
+            b[self._film_idx] = slope
+        if self._sink_idx.size:
+            b[self._sink_idx] = self._rate_constants
         self._state = self._cn.step_linear_surface(self._state, a, b)
+        c0 = self._state[:, 0]
         fluxes = np.empty(self._m)
-        for j, mech in enumerate(self.mechanisms):
-            c0 = float(self._state[j, 0])
-            if self._is_film[j]:
-                fluxes[j] = mech.film.rate(c0)
-            else:
-                fluxes[j] = mech.rate_constant * c0
+        if self._film_idx.size:
+            cpos = np.maximum(c0[self._film_idx], 0.0)
+            fluxes[self._film_idx] = self._vmax * cpos / (self._km + cpos)
+        if self._sink_idx.size:
+            fluxes[self._sink_idx] = (self._rate_constants
+                                      * c0[self._sink_idx])
         return fluxes
 
     def sync_back(self) -> None:

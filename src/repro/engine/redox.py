@@ -69,20 +69,33 @@ class RedoxChannelBatch:
     def n_electrons(self) -> list[int]:
         return list(self._n_electrons)
 
-    def step(self, e_applied: float) -> np.ndarray:
+    def step(self, e_applied) -> np.ndarray:
         """Advance all channels one dt at ``e_applied``; return fluxes.
 
-        The returned array holds each channel's current-defining
-        reduction flux J, mol/(m^2 s), positive = reduction — the same
-        quantity the scalar simulator's ``step`` returns.
+        ``e_applied`` is one shared potential (a scalar) or a per-channel
+        potential *program* of shape ``(M,)`` — what lets sweeps with
+        different waveforms fuse into one batch.  The returned array
+        holds each channel's current-defining reduction flux J,
+        mol/(m^2 s), positive = reduction — the same quantity the scalar
+        simulator's ``step`` returns.
         """
         m = self._m
+        e = np.asarray(e_applied, dtype=float)
+        if e.ndim == 0:
+            potentials = [float(e)] * m
+        elif e.shape == (m,):
+            potentials = [float(v) for v in e]
+        else:
+            raise SimulationError(
+                f"per-channel potentials must be a scalar or have shape "
+                f"({m},); got shape {e.shape}")
         u = self._cn.solve_implicit(self._cn.explicit_rhs(self._state))
         f = C.F_OVER_RT
         fluxes = np.empty(m)
         source = np.empty(2 * m)
         for j in range(m):
-            x = self._n_electrons[j] * f * (e_applied - self._e_formal[j])
+            x = self._n_electrons[j] * f * (potentials[j]
+                                            - self._e_formal[j])
             x = min(max(x, -500.0), 500.0)
             kf = self._k0[j] * math.exp(-self._alpha[j] * x)
             kb = self._k0[j] * math.exp((1.0 - self._alpha[j]) * x)

@@ -35,14 +35,21 @@ lifts batching two levels higher:
   :meth:`AssayScheduler.run_many` is now simply ``run_iter`` drained
   into a :class:`FleetResult`, so the two paths cannot diverge.
 
-Only the chronoamperometric dwells fuse across cells: they share a
-potential-free autonomous stepping contract.  CV sweeps keep their
-per-sweep batched engine (all substrate channels of a sweep advance in
-one solve) and are simply scheduled between dwell groups.
+CV sweeps fuse across cells too: :class:`SweepBatch` stacks the redox
+channels of many planned sweeps (:class:`~repro.measurement.voltammetry.
+CvSweep`) into one engine with a per-channel potential *program*, so
+sweeps with different waveforms advance together as long as they share
+one time axis.  Digitisation is group-level as well: each job's per-WE
+noise streams are pre-drawn from its own generator in electrode order
+(the exact draws the sequential path makes), and every fused group then
+runs through one vectorised
+:meth:`~repro.electronics.chain.AcquisitionChain.digitize_batch` call
+per transform-compatible chain cluster.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from collections.abc import Iterator
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
@@ -57,8 +64,8 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.measurement.panel import PanelProtocol, PanelResult
     from repro.sensors.cell import ElectrochemicalCell
 
-__all__ = ["DwellBatch", "AssayJob", "FleetItem", "FleetResult",
-           "AssayScheduler"]
+__all__ = ["DwellBatch", "SweepBatch", "AssayJob", "FleetItem",
+           "FleetResult", "AssayScheduler"]
 
 _NO_FLUXES = np.empty(0)
 
@@ -121,46 +128,193 @@ class DwellBatch:
                   if mechanisms else None)
         return engine, spans
 
+    def _compile_injection_program(self, n: int) -> dict:
+        """Map step index -> [(dwell, events)] for every scheduled event.
+
+        The schedules are static, so the per-step window scan the
+        sequential loop performed can run once, up front; the hot loop
+        then only probes a dict.
+        """
+        program: dict[int, list] = {}
+        if not self._scheduled:
+            return program
+        t_prev = 0.0
+        for k in range(1, n):
+            t_now = float(self.times[k])
+            for dwell in self._scheduled:
+                events = dwell.injections.events_between(t_prev, t_now)
+                if events:
+                    program.setdefault(k, []).append((dwell, events))
+            t_prev = t_now
+        return program
+
+    def _flush_segment(self, currents: np.ndarray,
+                       flux_hist: np.ndarray | None, spans,
+                       lo: int, hi: int) -> None:
+        """Assemble currents for steps [lo, hi) from the flux history.
+
+        Within an injection-free segment each dwell's mechanism set is
+        fixed, so ``static + sum(coef * flux)`` vectorises over the
+        whole segment.  Each elementwise add runs in the same
+        left-to-right order ``current_from_fluxes`` accumulates, which
+        keeps the assembled rows bit-identical to the per-step scalar
+        sum (no reductions that would reassociate the terms).
+        """
+        if hi <= lo:
+            return
+        for i, dwell in enumerate(self.dwells):
+            start, stop = spans[i]
+            row = currents[i]
+            coefficients = getattr(dwell, "current_coefficients", None)
+            if coefficients is None or flux_hist is None:
+                # Duck-typed dwells without the compiled form keep the
+                # per-sample reference path.
+                for k in range(lo, hi):
+                    fluxes = (flux_hist[start:stop, k]
+                              if flux_hist is not None else _NO_FLUXES)
+                    row[k] = dwell.current_from_fluxes(fluxes)
+                continue
+            row[lo:hi] = dwell.static
+            for p, coef in enumerate(coefficients()):
+                row[lo:hi] += coef * flux_hist[start + p, lo:hi]
+
     def simulate(self) -> np.ndarray:
         """Integrate every dwell; return (n_dwells, n_samples) currents.
 
         Row ``i`` is dwell ``i``'s true (pre-chain) cell current — the
         exact array its standalone
         :meth:`~repro.measurement.chronoamperometry.Chronoamperometry.
-        simulate_true_current` loop would produce.
+        simulate_true_current` loop would produce.  The schedule is
+        compiled before stepping: injection windows are resolved into a
+        step-indexed program, the engine's fluxes are recorded into one
+        history matrix, and currents assemble per injection-free
+        segment as vectorised ``static + coef * flux`` rows.
         """
         n = self.times.size
         currents = np.empty((self.n_dwells, n))
         for i, dwell in enumerate(self.dwells):
             currents[i, 0] = dwell.initial_current()
+        program = self._compile_injection_program(n)
         engine, spans = self._build_engine()
-        t_prev = 0.0
+        flux_hist = (np.empty((engine.batch_size, n))
+                     if engine is not None else None)
+        seg_start = 1
         steps = 0
         for k in range(1, n):
-            t_now = float(self.times[k])
-            pending = [(d, d.injections.events_between(t_prev, t_now))
-                       for d in self._scheduled]
-            pending = [(d, events) for d, events in pending if events]
+            pending = program.get(k)
             if pending:
-                # Injections mutate mechanism objects: drain the batched
-                # state back, refresh the affected dwells, rebuild.
+                # Injections mutate mechanism objects: flush the closed
+                # segment, drain the batched state back, refresh the
+                # affected dwells, rebuild.
+                self._flush_segment(currents, flux_hist, spans,
+                                    seg_start, k)
                 if engine is not None:
                     engine.sync_back()
                 for dwell, events in pending:
                     dwell.apply_injection_events(events)
                 engine, spans = self._build_engine()
+                flux_hist = (np.empty((engine.batch_size, n))
+                             if engine is not None else None)
+                seg_start = k
             if engine is not None:
-                fluxes = engine.step()
+                flux_hist[:, k] = engine.step()
                 steps += 1
-            else:
-                fluxes = _NO_FLUXES
-            for i, dwell in enumerate(self.dwells):
-                start, stop = spans[i]
-                currents[i, k] = dwell.current_from_fluxes(
-                    fluxes[start:stop])
-            t_prev = t_now
+        self._flush_segment(currents, flux_hist, spans, seg_start, n)
         self.n_solve_steps = steps
         return currents
+
+
+class SweepBatch:
+    """Advance many planned CV sweeps through one fused engine.
+
+    Parameters
+    ----------
+    sweeps:
+        Planned sweep objects (duck-typed, e.g.
+        :class:`~repro.measurement.voltammetry.CvSweep`): each exposes
+        ``times``, ``channels``, ``potentials`` and
+        ``row_from_fluxes``.  All sweeps must share one time axis (same
+        record duration and sample rate); each keeps its *own*
+        potential program, so sweeps over different windows fuse.
+
+    Every channel of every sweep becomes one row of a shared
+    :class:`~repro.engine.redox.RedoxChannelBatch`; one step per sample
+    advances the whole group, driving each row with its sweep's
+    potential at that sample.  Because the batched solver's per-system
+    arithmetic is element-for-element independent of how many rows are
+    stacked, each sweep's assembled current row is bit-identical to its
+    standalone run.
+    """
+
+    def __init__(self, sweeps) -> None:
+        self.sweeps = tuple(sweeps)
+        if not self.sweeps:
+            raise SimulationError("a sweep batch needs at least one sweep")
+        times = np.asarray(self.sweeps[0].times, dtype=float)
+        if times.ndim != 1 or times.size < 2:
+            raise SimulationError("a sweep batch needs at least two samples")
+        for sweep in self.sweeps[1:]:
+            other = np.asarray(sweep.times, dtype=float)
+            if other.shape != times.shape or not np.array_equal(other,
+                                                                times):
+                raise SimulationError(
+                    f"sweep {getattr(sweep, 'we_name', '?')!r} does not "
+                    f"share the batch time axis")
+        self.times = times
+        channels: list = []
+        spans: list[tuple[int, int]] = []
+        for sweep in self.sweeps:
+            start = len(channels)
+            channels.extend(sweep.channels)
+            spans.append((start, len(channels)))
+        self._spans = spans
+        self._engine = (SimulationEngine.for_redox_channels(channels)
+                        if channels else None)
+        if channels:
+            # The compiled potential program: row j is the potential of
+            # channel j's own sweep at every sample.
+            programs = np.empty((len(channels), times.size))
+            for (start, stop), sweep in zip(spans, self.sweeps):
+                programs[start:stop, :] = np.asarray(sweep.potentials,
+                                                     dtype=float)
+            self._programs = programs
+        else:
+            self._programs = None
+        #: Fused engine steps actually solved; set by :meth:`simulate`.
+        self.n_solve_steps = 0
+
+    @property
+    def n_sweeps(self) -> int:
+        return len(self.sweeps)
+
+    @property
+    def batch_size(self) -> int:
+        """Redox channels fused per solve (sum over sweeps)."""
+        return sum(len(sweep.channels) for sweep in self.sweeps)
+
+    def simulate(self) -> list[np.ndarray]:
+        """Integrate every sweep; return one true-current row per sweep.
+
+        Row ``i`` is sweep ``i``'s pre-chain cell current — the exact
+        array its standalone :meth:`~repro.measurement.voltammetry.
+        CyclicVoltammetry.simulate_true_current` loop would produce.
+        """
+        n = self.times.size
+        if self._engine is not None:
+            flux_hist = np.empty((self._engine.batch_size, n))
+            for k in range(n):
+                flux_hist[:, k] = self._engine.step(self._programs[:, k])
+            self.n_solve_steps = n
+        else:
+            flux_hist = None
+        rows = []
+        for (start, stop), sweep in zip(self._spans, self.sweeps):
+            if flux_hist is not None:
+                rows.append(sweep.row_from_fluxes(flux_hist[start:stop]))
+            else:
+                rows.append(sweep.row_from_fluxes(
+                    np.empty((0, n))))
+        return rows
 
 
 @dataclass(frozen=True)
@@ -188,9 +342,11 @@ class FleetItem:
     ``n_fused_dwells``/``n_dwell_groups``/``n_solve_steps`` are
     cumulative over the dwell groups simulated *so far*; on the last
     item they equal the totals a :class:`FleetResult` of the same jobs
-    would report.  ``n_solve_steps`` counts the fused dwell-engine steps
-    actually solved — the observable a job-level cache uses to prove a
-    warm re-run never touched the engine.
+    would report.  ``n_fused_sweeps``/``n_sweep_groups`` count the CV
+    sweeps fused so far and the sweep groups they drained through.
+    ``n_solve_steps`` counts the fused engine steps actually solved
+    (dwell and sweep engines alike) — the observable a job-level cache
+    uses to prove a warm re-run never touched the engine.
     """
 
     index: int
@@ -200,6 +356,8 @@ class FleetItem:
     n_fused_dwells: int
     n_dwell_groups: int
     n_solve_steps: int = 0
+    n_fused_sweeps: int = 0
+    n_sweep_groups: int = 0
 
 
 @dataclass(frozen=True)
@@ -211,6 +369,8 @@ class FleetResult:
     n_fused_dwells: int
     n_dwell_groups: int
     n_solve_steps: int = 0
+    n_fused_sweeps: int = 0
+    n_sweep_groups: int = 0
 
     def __len__(self) -> int:
         return len(self.results)
@@ -231,12 +391,22 @@ class FleetResult:
 
 @dataclass
 class _JobPlan:
-    """One job's planned execution: its dwells and, later, their rows."""
+    """One job's planned execution: dwells, sweeps and, later, their
+    simulated rows, pre-drawn noise streams and digitised readings."""
 
     job: AssayJob
     protocol: "PanelProtocol"
     dwells: list = field(default_factory=list)
+    sweeps: list = field(default_factory=list)
     rows: dict = field(default_factory=dict)
+    cv_rows: dict = field(default_factory=dict)
+    noise: dict = field(default_factory=dict)
+    readings: dict = field(default_factory=dict)
+    generator: "np.random.Generator | None" = None
+    #: Whether the protocol supports the fused planning/IO contract
+    #: (plan_sweeps + assemble(..., cv_rows=, readings=)).  Duck-typed
+    #: protocols without it keep the legacy per-job path.
+    fused_io: bool = True
 
 
 class AssayScheduler:
@@ -286,50 +456,109 @@ class AssayScheduler:
         plans: list[_JobPlan] = []
         for job in map(self._coerce_job, jobs):
             protocol = job.protocol if job.protocol is not None else default
+            fused_io = hasattr(protocol, "plan_sweeps")
             plans.append(_JobPlan(
                 job=job, protocol=protocol,
-                dwells=protocol.plan_dwells(job.cell, job.chain)))
+                dwells=protocol.plan_dwells(job.cell, job.chain),
+                sweeps=(protocol.plan_sweeps(job.cell, job.chain)
+                        if fused_io else []),
+                fused_io=fused_io))
 
-        # Group compatible dwells across jobs: one fused solve per
-        # distinct (record length, time step).
-        groups: dict[tuple[float, float], list[tuple[_JobPlan, object]]] = {}
-        plan_keys: list[tuple[float, float] | None] = []
+        # Silent shadowing in by_name would lose results; fail loudly
+        # at scheduling time, before any chemistry runs.
+        names = [plan.job.name if plan.job.name else f"job{index}"
+                 for index, plan in enumerate(plans)]
+        duplicates = sorted(name for name, count in Counter(names).items()
+                            if count > 1)
+        if duplicates:
+            raise SimulationError(
+                f"duplicate job names in fleet: {', '.join(duplicates)}")
+
+        # Group compatible work across jobs: one fused solve per
+        # distinct (mode, record length, time step).  CA dwells key on
+        # the protocol's dwell settings; CV sweeps key on their waveform
+        # duration and sample rate — equal values mean an identical
+        # time axis, which is all the fused engines need (each sweep
+        # carries its own potential program).
+        groups: dict[tuple, list[tuple[_JobPlan, object]]] = {}
+        plan_keys: list[list[tuple]] = []
         for plan in plans:
-            key = (float(plan.protocol.ca_dwell),
-                   float(plan.protocol.sample_rate))
-            for dwell in plan.dwells:
-                groups.setdefault(key, []).append((plan, dwell))
-            plan_keys.append(key if plan.dwells else None)
+            keys: list[tuple] = []
+            if plan.dwells:
+                key = ("ca", float(plan.protocol.ca_dwell),
+                       float(plan.protocol.sample_rate))
+                for dwell in plan.dwells:
+                    groups.setdefault(key, []).append((plan, dwell))
+                keys.append(key)
+            for sweep in plan.sweeps:
+                key = ("cv", float(sweep.waveform.duration),
+                       float(sweep.sample_rate))
+                groups.setdefault(key, []).append((plan, sweep))
+                if key not in keys:
+                    keys.append(key)
+            plan_keys.append(keys)
 
-        simulated: set[tuple[float, float]] = set()
+        # Pre-draw every job's acquisition noise from its own generator
+        # in electrode order — the exact per-WE model.sample calls the
+        # sequential path makes — so fused groups can digitise in one
+        # vectorised pass without reordering any RNG stream.
+        for plan in plans:
+            job = plan.job
+            plan.generator = (job.rng if job.rng is not None
+                              else np.random.default_rng(2011))
+            if plan.fused_io:
+                self._predraw_noise(plan, uniform_sample_times)
+
+        simulated: set[tuple] = set()
         n_fused = 0
+        n_ca_groups = 0
         n_steps = 0
+        n_fused_sweeps = 0
+        n_sweep_groups = 0
         try:
             for index, plan in enumerate(plans):
-                key = plan_keys[index]
-                if key is not None and key not in simulated:
+                for key in plan_keys[index]:
+                    if key in simulated:
+                        continue
                     simulated.add(key)
-                    dwell_time, sample_rate = key
                     members = groups[key]
-                    times = uniform_sample_times(dwell_time, sample_rate)
-                    batch = DwellBatch([dwell for _, dwell in members],
-                                       times)
-                    n_fused += batch.batch_size
-                    rows = batch.simulate()
-                    n_steps += batch.n_solve_steps
-                    for i, (member, dwell) in enumerate(members):
-                        member.rows[dwell.we_name] = (dwell, times, rows[i])
+                    if key[0] == "ca":
+                        times = uniform_sample_times(key[1], key[2])
+                        batch = DwellBatch(
+                            [dwell for _, dwell in members], times)
+                        n_fused += batch.batch_size
+                        n_ca_groups += 1
+                        rows = batch.simulate()
+                        n_steps += batch.n_solve_steps
+                        for i, (member, dwell) in enumerate(members):
+                            member.rows[dwell.we_name] = (dwell, times,
+                                                          rows[i])
+                    else:
+                        batch = SweepBatch([sweep for _, sweep in members])
+                        n_fused_sweeps += batch.n_sweeps
+                        n_sweep_groups += 1
+                        times = batch.times
+                        rows = batch.simulate()
+                        n_steps += batch.n_solve_steps
+                        for i, (member, sweep) in enumerate(members):
+                            member.cv_rows[sweep.we_name] = (sweep, rows[i])
+                    self._digitize_group(times, members, rows)
                 job = plan.job
-                generator = (job.rng if job.rng is not None
-                             else np.random.default_rng(2011))
-                result = plan.protocol.assemble(job.cell, job.chain,
-                                                generator, plan.rows)
-                yield FleetItem(index=index,
-                                name=job.name if job.name else f"job{index}",
+                if plan.fused_io:
+                    result = plan.protocol.assemble(
+                        job.cell, job.chain, plan.generator, plan.rows,
+                        cv_rows=plan.cv_rows, readings=plan.readings)
+                else:
+                    result = plan.protocol.assemble(job.cell, job.chain,
+                                                    plan.generator,
+                                                    plan.rows)
+                yield FleetItem(index=index, name=names[index],
                                 result=result, n_jobs=len(plans),
                                 n_fused_dwells=n_fused,
-                                n_dwell_groups=len(simulated),
-                                n_solve_steps=n_steps)
+                                n_dwell_groups=n_ca_groups,
+                                n_solve_steps=n_steps,
+                                n_fused_sweeps=n_fused_sweeps,
+                                n_sweep_groups=n_sweep_groups)
         finally:
             # A consumer may abandon the stream mid-fleet (close() or a
             # partial iteration — see repro.api.iter_results).  Drop all
@@ -340,8 +569,73 @@ class AssayScheduler:
             groups.clear()
             for plan in plans:
                 plan.dwells.clear()
+                plan.sweeps.clear()
                 plan.rows.clear()
+                plan.cv_rows.clear()
+                plan.noise.clear()
+                plan.readings.clear()
             plans.clear()
+
+    def _predraw_noise(self, plan: _JobPlan, uniform_sample_times) -> None:
+        """Draw the job's per-WE noise streams in electrode order.
+
+        One ``model.sample(generator, n, fs)`` call per working
+        electrode — the same single call ``digitize`` makes, at the
+        same arguments (``fs`` reconstructed from the time axis exactly
+        as ``digitize`` does), so the generator state after pre-drawing
+        matches the sequential path sample for sample.
+        """
+        chain = plan.job.chain
+        sweeps_by_we = {sweep.we_name: sweep for sweep in plan.sweeps}
+        ca_times = None
+        for we in plan.job.cell.working_electrodes:
+            sweep = sweeps_by_we.get(we.name)
+            if sweep is not None:
+                times = sweep.times
+            else:
+                if ca_times is None:
+                    ca_times = uniform_sample_times(
+                        float(plan.protocol.ca_dwell),
+                        float(plan.protocol.sample_rate))
+                times = ca_times
+            fs = 1.0 / float(times[1] - times[0])
+            plan.noise[we.name] = chain.noise_model_for(we).sample(
+                plan.generator, times.size, fs)
+
+    @staticmethod
+    def _digitize_group(times: np.ndarray, members, rows) -> None:
+        """Digitise one fused group's rows in vectorised batch calls.
+
+        Members are clustered by their chains' (TIA, ADC) transform —
+        the only chain state the noise-supplied ``digitize_batch`` path
+        reads — so one call covers every compatible row however many
+        jobs contributed.  Noise was pre-drawn per job, which is what
+        makes the clustering free of RNG-ordering concerns.
+        """
+        clusters: dict = {}
+        order: list = []
+        for i, (plan, unit) in enumerate(members):
+            if not plan.fused_io:
+                continue
+            chain = plan.job.chain
+            key = (chain.tia, chain.adc)
+            if key not in clusters:
+                clusters[key] = []
+                order.append(key)
+            clusters[key].append(i)
+        for key in order:
+            indices = clusters[key]
+            chain = members[indices[0]][0].job.chain
+            stacked = np.asarray([np.asarray(rows[i], dtype=float)
+                                  for i in indices])
+            wes = [members[i][1].we for i in indices]
+            noise = np.asarray([members[i][0].noise[members[i][1].we_name]
+                                for i in indices])
+            readings = chain.digitize_batch(times, stacked, wes=wes,
+                                            noise=noise)
+            for reading, i in zip(readings, indices):
+                plan, unit = members[i]
+                plan.readings[unit.we_name] = reading
 
     def run_many(self, jobs) -> FleetResult:
         """Advance every job's panel through the shared engine.
@@ -356,13 +650,19 @@ class AssayScheduler:
         n_fused = 0
         n_groups = 0
         n_steps = 0
+        n_fused_sweeps = 0
+        n_sweep_groups = 0
         for item in self.run_iter(jobs):
             results.append(item.result)
             names.append(item.name)
             n_fused = item.n_fused_dwells
             n_groups = item.n_dwell_groups
             n_steps = item.n_solve_steps
+            n_fused_sweeps = item.n_fused_sweeps
+            n_sweep_groups = item.n_sweep_groups
         return FleetResult(results=tuple(results), names=tuple(names),
                            n_fused_dwells=n_fused,
                            n_dwell_groups=n_groups,
-                           n_solve_steps=n_steps)
+                           n_solve_steps=n_steps,
+                           n_fused_sweeps=n_fused_sweeps,
+                           n_sweep_groups=n_sweep_groups)

@@ -50,16 +50,19 @@ class SimulationEngine:
         """Channels/mechanisms advanced per step."""
         return self._stepper.batch_size
 
-    def step(self, e_applied: float | None = None) -> np.ndarray:
+    def step(self, e_applied=None) -> np.ndarray:
         """Advance every system one dt; return one flux per channel.
 
         Potential-programmed batches (redox channels) require
-        ``e_applied``; autonomous batches (chronoamperometric
-        mechanisms) take none.
+        ``e_applied`` — one shared scalar, or a per-channel array for
+        batches fusing sweeps with different potential programs;
+        autonomous batches (chronoamperometric mechanisms) take none.
         """
         if e_applied is None:
             return self._stepper.step()
-        return self._stepper.step(float(e_applied))
+        if np.ndim(e_applied) == 0:
+            return self._stepper.step(float(e_applied))
+        return self._stepper.step(np.asarray(e_applied, dtype=float))
 
     def run_sweep(self, potentials: np.ndarray) -> np.ndarray:
         """Drive a whole potential program; return (n_samples, M) fluxes.

@@ -283,6 +283,21 @@ class ChronoDwell:
             total += mech.current(area, float(flux))
         return total
 
+    def current_coefficients(self) -> np.ndarray:
+        """One current-per-flux factor per mechanism, in mechanism order.
+
+        ``static + coefficients @ fluxes`` equals
+        :meth:`current_from_fluxes` term for term: each factor is
+        ``sign * electrons * F * area``, multiplied out in the same
+        left-to-right order ``_Mechanism.current`` uses, so vectorised
+        callers (:class:`~repro.engine.scheduler.DwellBatch`'s compiled
+        step program) reproduce the scalar sum bit for bit.  Recompute
+        after injections — they can add mechanisms.
+        """
+        area = self.we.area
+        return np.asarray([mech.sign * mech.electrons * C.FARADAY * area
+                           for mech in self.mechanisms.values()])
+
 
 @dataclass(frozen=True)
 class ChronoamperometryResult:

@@ -49,8 +49,9 @@ from repro.errors import ProtocolError
 from repro.measurement.chronoamperometry import ChronoDwell, Chronoamperometry
 from repro.measurement.peaks import Peak, assign_peaks, find_peaks
 from repro.measurement.trace import Trace, Voltammogram
-from repro.measurement.voltammetry import CyclicVoltammetry
+from repro.measurement.voltammetry import CvSweep, CyclicVoltammetry
 from repro.sensors.cell import ElectrochemicalCell
+from repro.sensors.electrode import WorkingElectrode
 from repro.units import ensure_positive
 
 __all__ = ["PanelProtocol", "PanelResult", "TargetReadout"]
@@ -156,7 +157,20 @@ class PanelProtocol:
         Advance all chronoamperometric dwells of the cell in one fused
         engine solve per step (default).  ``False`` runs the sequential
         per-WE reference path; both produce bit-identical results.
+    screening:
+        Opt-in coarse execution profile for explore/sweep workloads
+        that only rank candidates: fewer dwell nodes and a coarser CV
+        grid.  Off by default; screening results are *not* bit-
+        comparable to full-fidelity runs and the api layer keys and
+        provenance-flags them separately.
     """
+
+    #: Full-fidelity spatial resolution (the reference profile).
+    CA_N_NODES = 60
+    CV_GRID_GROWTH = 1.10
+    #: Screening-profile resolution: ranks candidates, trades accuracy.
+    SCREENING_CA_N_NODES = 24
+    SCREENING_CV_GRID_GROWTH = 1.30
 
     def __init__(self, ca_dwell: float = 60.0,
                  cv_window_margin: float = 0.25,
@@ -167,7 +181,8 @@ class PanelProtocol:
                  ca_injections: (InjectionSchedule
                                  | Mapping[str, InjectionSchedule]
                                  | None) = None,
-                 batch_electrodes: bool = True) -> None:
+                 batch_electrodes: bool = True,
+                 screening: bool = False) -> None:
         self.ca_dwell = ensure_positive(ca_dwell, "ca_dwell")
         self.cv_window_margin = ensure_positive(
             cv_window_margin, "cv_window_margin")
@@ -178,6 +193,11 @@ class PanelProtocol:
             peak_min_height, "peak_min_height")
         self.ca_injections = ca_injections
         self.batch_electrodes = bool(batch_electrodes)
+        self.screening = bool(screening)
+        self.ca_n_nodes = (self.SCREENING_CA_N_NODES if self.screening
+                           else self.CA_N_NODES)
+        self.cv_grid_growth = (self.SCREENING_CV_GRID_GROWTH
+                               if self.screening else self.CV_GRID_GROWTH)
         schedules = (ca_injections.values()
                      if isinstance(ca_injections, Mapping)
                      else [ca_injections])
@@ -235,20 +255,48 @@ class PanelProtocol:
             e_applied = chain.potentiostat.applied_potential(e_set)
             dwells.append(ChronoDwell(
                 cell, we.name, float(e_applied), dt=1.0 / self.sample_rate,
-                injections=self._injections_for(we.name), e_setpoint=e_set))
+                injections=self._injections_for(we.name),
+                n_nodes=self.ca_n_nodes, e_setpoint=e_set))
         return dwells
+
+    def plan_sweeps(self, cell: ElectrochemicalCell,
+                    chain: AcquisitionChain) -> list[CvSweep]:
+        """Compiled CV sweeps for every CYP WE, in electrode order.
+
+        This is the unit :class:`~repro.engine.scheduler.SweepBatch`
+        fuses across cells; each sweep carries its own potential
+        program, backgrounds and channel simulators, evaluated exactly
+        as the sequential :meth:`_run_cv` path would.
+        """
+        sweeps: list[CvSweep] = []
+        for we in cell.working_electrodes:
+            if not isinstance(we.probe, CytochromeP450):
+                continue
+            sweeps.append(
+                self._cv_protocol(we).plan_sweep(cell, we.name, chain))
+        return sweeps
 
     def assemble(self, cell: ElectrochemicalCell, chain: AcquisitionChain,
                   generator: np.random.Generator,
                   ca_rows: (dict[str, tuple[ChronoDwell, np.ndarray,
                                             np.ndarray]] | None),
+                  cv_rows: (dict[str, tuple[CvSweep, np.ndarray]]
+                            | None) = None,
+                  readings: dict | None = None,
                   ) -> PanelResult:
         """Digitise and quantify every WE in electrode order.
 
         ``ca_rows`` maps WE names to their pre-simulated batched dwell
         chemistry; ``None`` runs the sequential per-WE reference path
-        instead.  Either way the chain's RNG is consumed strictly in
-        electrode order, which is what keeps the two paths bit-identical.
+        instead.  ``cv_rows`` likewise maps CYP WE names to their fused
+        ``(sweep, true_current)`` pairs; missing entries run the
+        per-sweep path.  ``readings`` supplies pre-digitised
+        :class:`~repro.electronics.chain.ChannelReading` objects per WE
+        (the fleet scheduler's group-digitisation output, built from
+        noise pre-drawn off ``generator`` in this same electrode
+        order); for WEs without one the chain's RNG is consumed
+        in-place, strictly in electrode order — the contract that keeps
+        every path bit-identical.
         """
         traces: dict[str, Trace] = {}
         voltammograms: dict[str, Voltammogram] = {}
@@ -261,7 +309,17 @@ class PanelProtocol:
             assay_time += self.settle_between
             probe = we.probe
             if isinstance(probe, CytochromeP450):
-                voltammogram = self._run_cv(cell, we.name, chain, generator)
+                if cv_rows is not None and we.name in cv_rows:
+                    sweep, row = cv_rows[we.name]
+                    reading = (readings.get(we.name)
+                               if readings is not None else None)
+                    if reading is None:
+                        reading = chain.digitize(sweep.times, row, we=we,
+                                                 rng=generator)
+                    voltammogram = sweep.to_voltammogram(row, reading)
+                else:
+                    voltammogram = self._run_cv(cell, we.name, chain,
+                                                generator)
                 voltammograms[we.name] = voltammogram
                 assay_time += voltammogram.times[-1]
                 self._extract_cyp_readouts(we.name, probe, voltammogram,
@@ -272,7 +330,11 @@ class PanelProtocol:
                                                 generator)
             else:
                 dwell, times, row = ca_rows[we.name]
-                reading = chain.digitize(times, row, we=we, rng=generator)
+                reading = (readings.get(we.name)
+                           if readings is not None else None)
+                if reading is None:
+                    reading = chain.digitize(times, row, we=we,
+                                             rng=generator)
                 trace = Trace(times=times, current=reading.current_estimate,
                               true_current=row, channel=we.name,
                               reading=reading)
@@ -300,14 +362,12 @@ class PanelProtocol:
         protocol = Chronoamperometry(
             e_setpoint=self._ca_setpoint(cell, we_name),
             duration=self.ca_dwell, sample_rate=self.sample_rate,
-            injections=self._injections_for(we_name))
+            injections=self._injections_for(we_name),
+            n_nodes=self.ca_n_nodes)
         result = protocol.run(cell, we_name, chain, rng=rng)
         return result.trace, result.e_applied
 
-    def _run_cv(self, cell: ElectrochemicalCell, we_name: str,
-                chain: AcquisitionChain,
-                rng: np.random.Generator) -> Voltammogram:
-        we = cell.working_electrode(we_name)
+    def _cv_protocol(self, we: WorkingElectrode) -> CyclicVoltammetry:
         probe = we.probe
         assert isinstance(probe, CytochromeP450)
         potentials = [ch.reduction_potential for ch in probe.channels]
@@ -315,7 +375,14 @@ class PanelProtocol:
         e_vertex = min(potentials) - self.cv_window_margin
         waveform = TriangleWaveform(e_start=e_start, e_vertex=e_vertex,
                                     scan_rate=self.scan_rate)
-        protocol = CyclicVoltammetry(waveform, sample_rate=self.sample_rate)
+        return CyclicVoltammetry(waveform, sample_rate=self.sample_rate,
+                                 grid_growth=self.cv_grid_growth)
+
+    def _run_cv(self, cell: ElectrochemicalCell, we_name: str,
+                chain: AcquisitionChain,
+                rng: np.random.Generator) -> Voltammogram:
+        we = cell.working_electrode(we_name)
+        protocol = self._cv_protocol(we)
         return protocol.run(cell, we_name, chain, rng=rng).voltammogram
 
     def _extract_cyp_readouts(self, we_name: str, probe: CytochromeP450,

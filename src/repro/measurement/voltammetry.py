@@ -50,7 +50,7 @@ from repro.sensors.cell import ElectrochemicalCell
 from repro.sensors.electrode import WorkingElectrode
 from repro.units import ensure_positive
 
-__all__ = ["CyclicVoltammetry", "CyclicVoltammetryResult",
+__all__ = ["CvSweep", "CyclicVoltammetry", "CyclicVoltammetryResult",
            "build_channel_simulators"]
 
 
@@ -60,18 +60,20 @@ class _RedoxChannelSimulator:
     This is the scalar reference path: the protocols batch these
     objects through :class:`repro.engine.redox.RedoxChannelBatch`, which
     reads the attributes set here and must keep :meth:`step` semantics
-    exactly (the engine tests pin bitwise agreement).
+    exactly (the engine tests pin bitwise agreement).  ``grid_growth``
+    sets the expanding-grid ratio — 1.10 is the full-fidelity default;
+    screening mode trades nodes for speed with a coarser ratio.
     """
 
     def __init__(self, we: WorkingElectrode, substrate: str,
                  c_effective: float, dt: float, duration: float,
                  n_electrons: int, k0: float, alpha: float,
-                 e_formal: float) -> None:
+                 e_formal: float, grid_growth: float = 1.10) -> None:
         sp = get_species(substrate)
         d = sp.diffusivity * we.functionalization.permeability
         length = default_domain_length(d, duration)
         first = max(0.25 * math.sqrt(d * dt), length / 4000.0)
-        grid = Grid1D.expanding(first, length, growth=1.10)
+        grid = Grid1D.expanding(first, length, growth=grid_growth)
         self.solver = CrankNicolsonDiffusion(grid, d, dt,
                                              bulk_boundary="dirichlet")
         self.c_ox = np.full(grid.n_nodes, max(c_effective, 0.0))
@@ -102,7 +104,7 @@ class _RedoxChannelSimulator:
 
 
 def build_channel_simulators(we: WorkingElectrode, chamber, dt: float,
-                             duration: float,
+                             duration: float, grid_growth: float = 1.10,
                              ) -> list[_RedoxChannelSimulator]:
     """One coupled ox/red simulator per loaded CYP channel of ``we``.
 
@@ -129,8 +131,64 @@ def build_channel_simulators(we: WorkingElectrode, chamber, dt: float,
             dt=dt, duration=duration,
             n_electrons=channel.kinetics.couple.n_electrons,
             k0=k0, alpha=channel.kinetics.alpha,
-            e_formal=channel.kinetics.couple.e_formal))
+            e_formal=channel.kinetics.couple.e_formal,
+            grid_growth=grid_growth))
     return sims
+
+
+@dataclass
+class CvSweep:
+    """One planned CV sweep, compiled for cross-cell fusion.
+
+    Everything :meth:`CyclicVoltammetry.simulate_true_current` computes
+    *outside* the diffusion solve — the potential program, the
+    quasi-static and charging backgrounds, the per-channel
+    current-per-flux factors — evaluated once at planning time, so a
+    :class:`~repro.engine.scheduler.SweepBatch` can fuse the channels of
+    many sweeps into one engine and assemble each sweep's current row
+    from the recorded flux history.  ``quasi`` and ``charging`` stay
+    separate arrays because the scalar loop adds them in that order
+    (``(faradaic + quasi) + charging``) and bit-identity requires the
+    same association.
+    """
+
+    we_name: str
+    we: WorkingElectrode
+    waveform: TriangleWaveform
+    sample_rate: float
+    times: np.ndarray
+    potentials: np.ndarray
+    sweep_sign: np.ndarray
+    e_applied: np.ndarray
+    channels: list
+    coefficients: np.ndarray
+    quasi: np.ndarray
+    charging: np.ndarray
+
+    @property
+    def n_channels(self) -> int:
+        return len(self.channels)
+
+    def row_from_fluxes(self, flux_rows) -> np.ndarray:
+        """This sweep's true-current row given its slice of batch fluxes.
+
+        ``flux_rows`` is the ``(n_channels, n_samples)`` flux history
+        the fused engine recorded for this sweep's channels.  The
+        accumulation subtracts one channel term at a time, in channel
+        order, exactly as the scalar sample loop does.
+        """
+        faradaic = np.zeros(self.times.size)
+        for j in range(self.n_channels):
+            faradaic -= self.coefficients[j] * flux_rows[j]
+        return (faradaic + self.quasi) + self.charging
+
+    def to_voltammogram(self, row: np.ndarray, reading) -> Voltammogram:
+        """Assemble the digitised record, as :meth:`CyclicVoltammetry.run`."""
+        return Voltammogram(
+            times=self.times, potentials=np.asarray(self.e_applied),
+            current=reading.current_estimate, sweep_sign=self.sweep_sign,
+            scan_rate=self.waveform.scan_rate, channel=self.we_name,
+            true_current=row, reading=reading)
 
 
 @dataclass(frozen=True)
@@ -155,12 +213,18 @@ class CyclicVoltammetry:
         never refuses.
     sample_rate:
         Samples (and chemistry steps) per second.
+    grid_growth:
+        Expanding-grid ratio of the channel simulators; the 1.10
+        default is the full-fidelity profile, screening mode passes a
+        coarser ratio.
     """
 
     def __init__(self, waveform: TriangleWaveform,
-                 sample_rate: float = 20.0) -> None:
+                 sample_rate: float = 20.0,
+                 grid_growth: float = 1.10) -> None:
         self.waveform = waveform
         self.sample_rate = ensure_positive(sample_rate, "sample_rate")
+        self.grid_growth = ensure_positive(grid_growth, "grid_growth")
         if waveform.duration * sample_rate > 2.0e6:
             raise ProtocolError(
                 "waveform too long for the configured sample rate")
@@ -214,12 +278,49 @@ class CyclicVoltammetry:
             voltammogram=voltammogram, we_name=we_name,
             waveform=self.waveform)
 
+    def plan_sweep(self, cell: ElectrochemicalCell, we_name: str,
+                   chain: AcquisitionChain) -> CvSweep:
+        """Compile this protocol's sweep on ``we_name`` for fusion.
+
+        Evaluates every potential-dependent background and per-channel
+        factor up front (sampling the same scalar functions the
+        reference loop calls, at the same arguments) and builds fresh
+        channel simulators, so a :class:`~repro.engine.scheduler.
+        SweepBatch` fusing this sweep with others reproduces
+        :meth:`simulate_true_current` bit for bit.
+        """
+        we = cell.working_electrode(we_name)
+        chamber = cell.chamber
+        dt = 1.0 / self.sample_rate
+        times = uniform_sample_times(self.waveform.duration, self.sample_rate)
+        n = times.size
+        potentials = self.waveform.value(times)
+        rates = self.waveform.rate(times)
+        sweep_sign = np.where(rates >= 0.0, 1.0, -1.0)
+        channels = self._build_channels(we, chamber, dt)
+        quasi = np.empty(n)
+        charging = np.empty(n)
+        for k in range(n):
+            quasi[k] = self._quasi_static_current(cell, we,
+                                                  float(potentials[k]))
+            charging[k] = we.electrode.charging_current(float(rates[k]))
+        coefficients = np.asarray([sim.n * C.FARADAY * we.area
+                                   for sim in channels])
+        e_applied = chain.potentiostat.applied_potential(potentials)
+        return CvSweep(we_name=we_name, we=we, waveform=self.waveform,
+                       sample_rate=self.sample_rate, times=times,
+                       potentials=potentials, sweep_sign=sweep_sign,
+                       e_applied=np.asarray(e_applied), channels=channels,
+                       coefficients=coefficients, quasi=quasi,
+                       charging=charging)
+
     # -- internals ------------------------------------------------------------------
 
     def _build_channels(self, we: WorkingElectrode, chamber,
                         dt: float) -> list[_RedoxChannelSimulator]:
         return build_channel_simulators(we, chamber, dt,
-                                        self.waveform.duration)
+                                        self.waveform.duration,
+                                        self.grid_growth)
 
     def _quasi_static_current(self, cell: ElectrochemicalCell,
                               we: WorkingElectrode, e: float) -> float:

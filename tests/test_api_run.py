@@ -475,3 +475,84 @@ class TestSpecShapeGuards:
             panel_from_dict({"schema": 1, "kind": "panel", "name": "p",
                              "targets": [{"species": "glucose",
                                           "c_min": "0.5", "c_max": 4.0}]})
+
+
+class TestScreening:
+    """The opt-in screening profile: provenance-flagged, never default.
+
+    Screening swaps in a coarser chemistry grid — it changes physics —
+    so it must be content-addressed apart from its full-fidelity twin
+    at every granularity (spec hash and per-job key), stamped into
+    record provenance, and engaged only by explicit request.
+    """
+
+    def test_screening_spec_has_distinct_hash_and_job_key(self):
+        import dataclasses
+
+        full = quick_spec(seed=11)
+        screening = dataclasses.replace(full, screening=True)
+        assert api.spec_hash(screening) != api.spec_hash(full)
+        assert (api.JobKey.for_assay(screening).digest
+                != api.JobKey.for_assay(full).digest)
+
+    def test_screening_round_trips(self):
+        import dataclasses
+
+        spec = dataclasses.replace(quick_spec(seed=3), screening=True)
+        back = api.spec_from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert back == spec
+        assert back.screening is True
+        # Default payloads omit nothing: the flag is always emitted, so
+        # the canonical payload (and hash) is stable across round trips.
+        assert quick_spec(seed=3).to_dict()["screening"] is False
+
+    def test_default_run_is_full_fidelity(self):
+        record = api.run(quick_spec(seed=21))
+        assert record.provenance()["screening"] is False
+
+    def test_screening_kwarg_flags_provenance_and_changes_physics(self):
+        import dataclasses
+
+        spec = quick_spec(seed=21)
+        full = api.run(spec)
+        screened = api.run(spec, screening=True)
+        assert screened.provenance()["screening"] is True
+        assert screened.spec_hash != full.spec_hash
+        # The kwarg is shorthand for the spec field: identical record.
+        explicit = api.run(dataclasses.replace(spec, screening=True))
+        assert explicit.spec_hash == screened.spec_hash
+        assert np.array_equal(
+            explicit.result.traces["WE1"].current,
+            screened.result.traces["WE1"].current)
+        # Coarser grid -> different chemistry than the full run.
+        assert not np.array_equal(
+            screened.result.traces["WE1"].true_current,
+            full.result.traces["WE1"].true_current)
+
+    def test_screening_and_full_runs_coexist_in_one_store(self, tmp_path):
+        spec = quick_spec(seed=33)
+        store = api.RunStore(tmp_path / "runs")
+        full = api.run(spec, store=store)
+        screened = api.run(spec, store=store, screening=True)
+        assert not full.cached and not screened.cached
+        # Re-runs hit their own entries; neither shadows the other.
+        assert api.run(spec, store=store).cached
+        again = api.run(spec, store=store, screening=True)
+        assert again.cached and again.spec_hash == screened.spec_hash
+
+    def test_screening_kwarg_applies_to_fleets_and_sweeps(self):
+        fleet = api.FleetSpec.homogeneous(cells=2, seed=5,
+                                          ca_dwell=CA_DWELL)
+        record = api.run(fleet, screening=True)
+        assert record.provenance()["screening"] is True
+        for rec in record.records:
+            assert rec.provenance()["screening"] is True
+        sweep = api.SweepSpec(base=quick_spec(seed=2),
+                              grid={"seed": [2, 3]}, screening=True)
+        compiled = sweep.compile()
+        assert all(assay.screening for assay in compiled.assays)
+
+    def test_screening_kwarg_rejected_for_other_kinds(self):
+        spec = api.CalibrationSpec(target="glucose", points=3, seed=1)
+        with pytest.raises(SpecError, match="screening"):
+            api.run(spec, screening=True)

@@ -227,6 +227,19 @@ class TestBatchCrankNicolson:
         with pytest.raises(SimulationError, match="share one time step"):
             BatchCrankNicolson([st1, st2])
 
+    def test_stack_states_shape_mismatch_rejected(self):
+        # The vectorised packer must keep the scalar path's validation:
+        # wrong profile count and wrong per-system node counts both fail
+        # loudly, naming the first offending system.
+        steppers = make_steppers()
+        batch = BatchCrankNicolson(steppers)
+        fields = [np.zeros(st.grid.n_nodes) for st in steppers]
+        with pytest.raises(SimulationError, match="profiles for"):
+            batch.stack_states(fields[:-1])
+        fields[1] = np.zeros(fields[1].size + 1)
+        with pytest.raises(SimulationError, match="nodes, grid has"):
+            batch.stack_states(fields)
+
     def test_profile_length_checked(self):
         batch = BatchCrankNicolson(make_steppers())
         with pytest.raises(SimulationError, match="nodes"):

@@ -262,6 +262,91 @@ class TestAssayScheduler:
         with pytest.raises(SimulationError, match="no job named"):
             fleet.result_for("missing")
 
+    def test_duplicate_job_names_rejected_before_any_chemistry(
+            self, glucose_cell):
+        # Silent shadowing in by_name would lose a result; the scheduler
+        # must refuse at planning time, before any engine work runs.
+        jobs = [AssayJob(cell=glucose_cell, chain=bench_chain(seed=1),
+                         name="twin", rng=np.random.default_rng(1)),
+                AssayJob(cell=glucose_cell, chain=bench_chain(seed=2),
+                         name="twin", rng=np.random.default_rng(2))]
+        scheduler = AssayScheduler(PanelProtocol(ca_dwell=8.0,
+                                                 sample_rate=5.0))
+        with pytest.raises(SimulationError,
+                           match="duplicate job names in fleet: twin"):
+            scheduler.run_many(jobs)
+        # The streaming form fails just as early: the error surfaces
+        # before the first item is yielded.
+        with pytest.raises(SimulationError, match="duplicate job names"):
+            next(scheduler.run_iter(jobs))
+
+
+class TestFusedCvSweeps:
+    """Cross-cell CV fusion vs the per-cell sequential reference.
+
+    Round 2 of the scheduler fuses the CYP voltammetry sweeps across
+    jobs exactly like the chronoamperometric dwells.  These tests pin
+    the bit-identity property on fleets mixing CV-bearing and CA-only
+    cells, under every rotation of the job order, and check the new
+    fusion counters actually report the fused work.
+    """
+
+    KWARGS = {"ca_dwell": 12.0, "sample_rate": 5.0}
+
+    def _fleet_and_references(self, cells, seeds, names):
+        reference_protocol = PanelProtocol(batch_electrodes=False,
+                                           **self.KWARGS)
+        references = [
+            reference_protocol.run(cell, bench_chain(seed=seed),
+                                   rng=np.random.default_rng(seed))
+            for cell, seed in zip(cells, seeds)]
+        jobs = [AssayJob(cell=cell, chain=bench_chain(seed=seed),
+                         name=name, rng=np.random.default_rng(seed))
+                for cell, seed, name in zip(cells, seeds, names)]
+        fleet = AssayScheduler(PanelProtocol(**self.KWARGS)).run_many(jobs)
+        return fleet, references
+
+    @pytest.mark.parametrize("rotation", [0, 1, 2])
+    def test_mixed_cv_ca_fleet_bit_identical_under_job_order(
+            self, mixed_cell, glucose_cell, rotation):
+        # Two CV-bearing cells (permuted electrode orders) plus one
+        # CA-only cell, rotated through every job position: each job's
+        # result must match its own sequential reference regardless of
+        # where it lands in the fused batches.
+        cells = [mixed_cell(), glucose_cell,
+                 mixed_cell(("cyp", "ox", "blank"))]
+        seeds = [90, 91, 92]
+        names = ["assay0", "assay1", "assay2"]
+        indices = [(k + rotation) % 3 for k in range(3)]
+        fleet, references = self._fleet_and_references(
+            [cells[i] for i in indices], [seeds[i] for i in indices],
+            [names[i] for i in indices])
+        # Both CYP sweeps share one waveform/rate -> one fused group.
+        assert fleet.n_fused_sweeps == 2
+        assert fleet.n_sweep_groups == 1
+        for reference, result in zip(references, fleet.results):
+            assert_panel_results_equal(reference, result)
+
+    def test_ca_only_fleet_reports_no_fused_sweeps(self, glucose_cell):
+        fleet = AssayScheduler(
+            PanelProtocol(ca_dwell=8.0, sample_rate=5.0)).run_many(
+                [(glucose_cell, bench_chain(seed=9))])
+        assert fleet.n_fused_sweeps == 0
+        assert fleet.n_sweep_groups == 0
+
+    def test_fused_sweep_steps_counted_in_solve_steps(self, mixed_cell):
+        # CV fusion work must show up in the cumulative step counter
+        # (the store's zero-engine-work proof depends on it).
+        cell = mixed_cell()
+        fleet = AssayScheduler(PanelProtocol(**self.KWARGS)).run_many(
+            [AssayJob(cell=cell, chain=bench_chain(seed=5), name="one",
+                      rng=np.random.default_rng(5))])
+        assert fleet.n_fused_sweeps == 1
+        assert fleet.n_sweep_groups == 1
+        sweep, = PanelProtocol(**self.KWARGS).plan_sweeps(
+            cell, bench_chain(seed=5))
+        assert fleet.n_solve_steps > sweep.times.size
+
 
 class TestDigitizeBatch:
     def test_matches_sequential_digitize_calls(self, glucose_cell):
