@@ -47,6 +47,15 @@ one :meth:`~repro.electronics.chain.AcquisitionChain.digitize_batch`
 call per (TIA, ADC) cluster.  Results are bit-identical; the fused pass
 must not fall behind per-cell batching (quick) / beat it (full).
 
+A fifth **supervision axis** (PR 7) prices the fault-tolerance layer:
+the same fleet through the plain process backend versus a supervised
+:class:`~repro.api.executors.ProcessExecutor` carrying a
+:class:`~repro.api.resilience.RetryPolicy` — with **no faults
+injected**, so the measured ratio is pure supervision overhead
+(per-unit worker pools, deadline bookkeeping, in-order re-merge).
+Results must be bit-identical and the overhead bounded (<= 5% where
+timing is fair; a loose catastrophic-regression bar elsewhere).
+
 Smoke mode: set ``REPRO_BENCH_QUICK=1`` (tier-1 CI does, through
 ``tests/test_scheduler.py``) to shrink the fleet and dwell so the bench
 doubles as a fast regression gate on the batched path.
@@ -100,6 +109,14 @@ MIN_BACKEND_SPEEDUP = (
     2.0 if not QUICK and (os.cpu_count() or 1) >= N_WORKERS
     and multiprocessing.get_start_method(allow_none=False) == "fork"
     else 0.0)
+# Supervision axis: the fault-tolerance layer must be close to free
+# when nothing faults.  The 5% bar applies where the backend timing is
+# fair (cores present, fork start); elsewhere only a catastrophic
+# regression (e.g. per-unit re-serialisation of the whole fleet) trips.
+MAX_SUPERVISION_OVERHEAD = (
+    1.05 if not QUICK and (os.cpu_count() or 1) >= N_WORKERS
+    and multiprocessing.get_start_method(allow_none=False) == "fork"
+    else 1.5)
 
 _OXIDASE_TARGETS = ("glucose", "lactate", "glutamate")
 
@@ -303,6 +320,45 @@ def run_backend_experiment() -> dict:
             "host_cpus": os.cpu_count() or 1}
 
 
+def run_supervision_experiment() -> dict:
+    """No-fault cost of the supervised process path vs the plain one."""
+    import time
+
+    from repro import api
+
+    spec = api.FleetSpec.homogeneous(cells=N_CELLS_BACKEND, seed=900,
+                                     ca_dwell=CA_DWELL)
+
+    def timed(backend) -> tuple[float, list, object]:
+        start = time.perf_counter()
+        records = list(api.iter_results(spec, backend=backend))
+        elapsed = time.perf_counter() - start
+        return (len(records) / elapsed, [r.result for r in records],
+                records[-1])
+
+    # Warm-up both paths (worker imports, per-unit pool spawn).
+    warm = api.FleetSpec.homogeneous(cells=1, seed=900, ca_dwell=CA_DWELL)
+    list(api.iter_results(warm, backend=api.ProcessExecutor(workers=1)))
+    list(api.iter_results(warm, backend=api.ProcessExecutor(
+        workers=1, retry=api.RetryPolicy(max_attempts=2))))
+    plain_rate, plain_results, _ = timed(
+        api.ProcessExecutor(workers=N_WORKERS))
+    supervised_rate, supervised_results, last = timed(
+        api.ProcessExecutor(workers=N_WORKERS,
+                            retry=api.RetryPolicy(max_attempts=2)))
+    deviation = max_relative_deviation(plain_results, supervised_results)
+    stats = last.resilience
+    return {"n_cells": N_CELLS_BACKEND,
+            "workers": N_WORKERS,
+            "plain_rate": plain_rate,
+            "supervised_rate": supervised_rate,
+            "overhead": plain_rate / supervised_rate,
+            "relative_deviation": deviation,
+            "faults": stats.faults if stats is not None else None,
+            "retries": stats.retries if stats is not None else None,
+            "enforced_max_overhead": MAX_SUPERVISION_OVERHEAD}
+
+
 def run_store_experiment() -> dict:
     """A dose-response sweep cold vs warm against a per-job run store."""
     import tempfile
@@ -351,6 +407,7 @@ def run_store_experiment() -> dict:
 def test_panel_throughput(benchmark, report, json_report):
     out = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
     backends = run_backend_experiment()
+    supervision = run_supervision_experiment()
     store_axis = run_store_experiment()
     cv_axis = run_cv_fusion_experiment()
     json_report("panel", {
@@ -389,6 +446,23 @@ def test_panel_throughput(benchmark, report, json_report):
             "acceptance": {
                 "min_speedup": 2.0,
                 "enforced_min_speedup": backends["enforced_min_speedup"],
+                "max_deviation": 1.0e-12},
+        },
+        "supervision": {
+            "workload": (f"{supervision['n_cells']}-cell paper-panel "
+                         f"fleet, {supervision['workers']} workers, "
+                         f"no faults"),
+            "assays_per_sec": {
+                "plain_process": supervision["plain_rate"],
+                "supervised_process": supervision["supervised_rate"]},
+            "supervision_overhead": supervision["overhead"],
+            "max_relative_deviation": supervision["relative_deviation"],
+            "faults": supervision["faults"],
+            "retries": supervision["retries"],
+            "acceptance": {
+                "max_overhead": 1.05,
+                "enforced_max_overhead":
+                    supervision["enforced_max_overhead"],
                 "max_deviation": 1.0e-12},
         },
         "store": {
@@ -433,6 +507,19 @@ def test_panel_throughput(benchmark, report, json_report):
     report(f"backend max rel deviation: "
            f"{backends['relative_deviation']:.2e}  (acceptance: <= 1e-12)")
     report(render_table(
+        ["backend", "assays/sec"],
+        [["ProcessExecutor (plain)", f"{supervision['plain_rate']:.2f}"],
+         ["ProcessExecutor (supervised, no faults)",
+          f"{supervision['supervised_rate']:.2f}"]],
+        title=(f"P1e | supervision axis, {supervision['n_cells']}-cell "
+               f"fleet, {supervision['workers']} workers")))
+    report(f"supervision overhead     : {supervision['overhead']:.2f}x  "
+           f"(acceptance: <= 1.05x where timing is fair; enforced: "
+           f"<= {supervision['enforced_max_overhead']:g}x here)")
+    report(f"supervised max deviation : "
+           f"{supervision['relative_deviation']:.2e}  "
+           f"(acceptance: <= 1e-12)")
+    report(render_table(
         ["pass", "wall s"],
         [["cold sweep (every point simulated)",
           f"{store_axis['cold_s']:.2f}"],
@@ -462,6 +549,10 @@ def test_panel_throughput(benchmark, report, json_report):
     # Backends must agree bit for bit; process must scale when it can.
     assert backends["relative_deviation"] <= 1.0e-12
     assert backends["speedup"] >= backends["enforced_min_speedup"]
+    # Supervision must be bit-identical, fault-free here, and near-free.
+    assert supervision["relative_deviation"] <= 1.0e-12
+    assert supervision["faults"] == 0 and supervision["retries"] == 0
+    assert supervision["overhead"] <= supervision["enforced_max_overhead"]
     # A warm sweep is a pure replay: bit-identical, zero engine solves.
     assert store_axis["relative_deviation"] == 0.0
     assert store_axis["warm_all_cached"]

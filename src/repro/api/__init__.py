@@ -33,6 +33,63 @@ or programmatically: ``run(spec, backend="process")`` /
 argument wins).  Any object with ``run_fleet(spec)`` yielding
 :class:`~repro.api.records.AssayRunRecord` plugs in.
 
+Fault-tolerant execution
+========================
+
+Real fleets lose workers.  The resilience layer
+(:mod:`repro.api.resilience`) supervises execution so a crashed, hung
+or transiently failing worker costs a retry, not the run::
+
+    policy = api.RetryPolicy(max_attempts=3, timeout_s=120.0,
+                             backoff_s=0.5)
+    record = api.run(fleet, backend="process", retry=policy)
+
+**Retry semantics.**  Each job carries an attempt budget
+(``max_attempts``).  The supervised process backend runs every shard in
+its own single-worker pool, so a dead pool names its culprits exactly;
+a failed shard's *surviving* jobs are re-dispatched at finer
+granularity (shard → split halves → single jobs) with the failure
+charged only against the jobs that were present.  Re-dispatch waits
+``backoff_s * backoff_factor**(attempt-1)`` plus a deterministic
+seeded jitter (``jitter_s``/``jitter_seed`` — no wall-clock
+randomness), and ``timeout_s`` bounds each dispatch: a shard that
+exceeds it is killed and treated as a failed attempt.  Because every
+job re-executes from its canonical payload with a fresh seeded RNG,
+**a retried run is bit-identical to a fault-free run** — supervision
+changes when results arrive, never what they are.
+
+**Degradation modes.**  ``on_error="raise"`` (default) aborts the run
+with :class:`~repro.errors.ExecutionError` when any job exhausts its
+budget.  ``on_error="partial"`` keeps going: exhausted jobs yield
+:class:`~repro.api.records.FailedAssayRecord` entries (error type,
+message, traceback, attempt count; ``record.failed`` is true) merged
+into the stream at their job-order slots, and
+:attr:`~repro.api.records.FleetRunRecord.n_failed` counts them.
+Supervised records carry cumulative
+:class:`~repro.api.records.ResilienceStats` (retries, crashes, hangs,
+engine errors, failed jobs) in ``provenance()["resilience"]``.  Both
+knobs live in the spec's execution block too (schema v4)::
+
+    {"execution": {"backend": "process", "workers": 4,
+                   "retry": {"max_attempts": 3, "timeout_s": 120.0},
+                   "on_error": "partial"}}
+
+**Fault injection.**  :class:`FaultInjector` drives deterministic
+faults for CI and tests — ``worker_crash`` (hard ``os._exit``),
+``worker_hang`` (sleep past the timeout), ``engine_error`` (transient
+exception), ``store_corrupt`` (truncated store write) — from a
+seeded rule string, never from wall-clock randomness::
+
+    inj = api.FaultInjector.parse("worker_crash:1@cell01;engine_error:0.2")
+    api.run(fleet, backend="process", retry=policy, faults=inj)
+
+The environment variables ``REPRO_FAULTS`` (same rule syntax) and
+``REPRO_FAULTS_SEED`` arm every executor and store constructed without
+an explicit injector, so a CI job can fault an unmodified workload.
+Faults are an executor property, never part of the spec payload —
+faulted and fault-free runs share every spec hash and job key, which
+is what makes the bit-identity assertions possible.
+
 The run store and the job-level pipeline
 ========================================
 
@@ -77,6 +134,13 @@ store stamp their hit/miss/eviction delta into record provenance under
 ``cache`` subcommand (``cache <dir>`` listing, ``cache <dir> stats``,
 ``cache <dir> gc --max-count/--max-bytes``, both with ``--json``).
 
+Stores are *hardened*: every write is sealed with a SHA-256 integrity
+checksum, every read verifies it, and a record that fails to parse or
+verify is quarantined to ``<root>/quarantine/`` (counted in
+``stats().quarantined``, reported as a :class:`RuntimeWarning`) and
+treated as a miss — the job silently re-runs and re-persists a clean
+record.  Failed (degraded) records are never persisted.
+
 Spec schema
 ===========
 
@@ -105,14 +169,16 @@ live in :mod:`repro.api.specs`:
 Versioning policy
 =================
 
-``SCHEMA_VERSION`` (currently 3) is written into every payload and
+``SCHEMA_VERSION`` (currently 4) is written into every payload and
 checked on load; a reader raises :class:`~repro.errors.SpecError` on
 any version it does not understand, naming the offending file/path.
 Version 2 added the fleet ``execution`` block and the ``sweep`` kind;
 version 3 added the opt-in ``screening`` flag on assay and sweep
-payloads.  All are additive, so readers accept every version in
-``SUPPORTED_SCHEMAS`` (1, 2 and 3) and older files keep loading with
-their original behaviour (inline execution, full fidelity).  The
+payloads; version 4 added the ``retry`` policy and ``on_error`` mode
+to the execution block.  All are additive, so readers accept every
+version in ``SUPPORTED_SCHEMAS`` (1 through 4) and older files keep
+loading with their original behaviour (inline execution, full
+fidelity, unsupervised).  The
 version bumps only on payload changes an older reader would misread;
 adding optional keys with defaults is not a bump.  Unknown keys are
 ignored on read — forward-written files degrade gracefully — and
@@ -158,11 +224,14 @@ from repro.api.records import (
     CalibrationRunRecord,
     EngineStats,
     ExploreRunRecord,
+    FailedAssayRecord,
     FleetRunRecord,
     PlatformRunRecord,
+    ResilienceStats,
     RunRecord,
     StoredRunRecord,
 )
+from repro.api.resilience import FaultInjector, RetryPolicy
 from repro.api.runner import iter_results, run
 from repro.api.specs import (
     SCHEMA_VERSION,
@@ -196,12 +265,15 @@ __all__ = [
     # records
     "RunRecord", "AssayRunRecord", "CachedAssayRecord", "FleetRunRecord",
     "CalibrationRunRecord", "PlatformRunRecord", "ExploreRunRecord",
-    "StoredRunRecord", "EngineStats",
+    "StoredRunRecord", "FailedAssayRecord", "EngineStats",
+    "ResilienceStats",
     # job-level pipeline
     "JobKey", "JobPlan",
     # execution backends + store
     "Executor", "InlineExecutor", "ProcessExecutor", "resolve_executor",
     "RunStore", "StoreStats",
+    # resilience
+    "RetryPolicy", "FaultInjector",
     # entry points
     "run", "iter_results",
 ]

@@ -29,6 +29,15 @@ Backends are selected declaratively (the fleet's
 precedence.  Anything exposing ``run_fleet(spec) -> iterator of
 AssayRunRecord`` can serve as a backend — the :class:`Executor`
 protocol is structural.
+
+Both shipped backends take a ``retry`` policy, an ``on_error`` mode
+and a ``faults`` injector (:mod:`repro.api.resilience`); configuring
+any of them routes ``run_fleet`` through the *supervised* execution
+engine — worker crash/hang/error detection, finer-granularity
+re-dispatch, partial-fleet degradation — while the default
+configuration keeps the plain fast paths below.  With no explicit
+``faults``, executors adopt the ``REPRO_FAULTS`` environment injector
+(if set), so an unmodified program can be faulted from the outside.
 """
 
 from __future__ import annotations
@@ -41,13 +50,21 @@ from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 from repro.api.jobs import JobKey
 from repro.api.records import AssayRunRecord, EngineStats
+from repro.api.resilience import (
+    FaultInjector,
+    RetryPolicy,
+    kill_pool,
+    supervise_fleet,
+    supervise_inline,
+)
 from repro.api.specs import (
+    _EXECUTION_BACKENDS,
     _EXECUTION_SHARDS,
     SCHEMA_VERSION,
     ExecutionSpec,
     FleetSpec,
 )
-from repro.errors import SpecError
+from repro.errors import ExecutionError, SpecError
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.measurement.panel import PanelResult
@@ -96,13 +113,39 @@ class InlineExecutor:
     The bit-identical reference backend: jobs are built in fleet order
     and drained through :meth:`~repro.engine.scheduler.AssayScheduler.
     run_iter` exactly as :func:`repro.api.iter_results` always has.
+
+    ``retry`` / ``on_error`` / ``faults`` opt into the supervised
+    variant (:func:`~repro.api.resilience.supervise_inline`): jobs run
+    one fused pass at a time — still bit-identical per job — with
+    transient errors retried under the policy and exhausted jobs
+    degrading per ``on_error``.
     """
 
     name = "inline"
 
+    def __init__(self, retry: RetryPolicy | None = None,
+                 on_error: str = "raise",
+                 faults: FaultInjector | None = None) -> None:
+        # One validation authority: the declarative block this executor
+        # is the programmatic face of.
+        ExecutionSpec(backend="inline", retry=retry, on_error=on_error)
+        self.retry = retry
+        self.on_error = on_error
+        self.faults = faults if faults is not None \
+            else FaultInjector.from_env()
+
+    def _supervised(self) -> bool:
+        return (self.retry is not None or self.on_error != "raise"
+                or self.faults is not None)
+
     def run_fleet(self, spec: FleetSpec) -> Iterator[AssayRunRecord]:
         from repro.engine.scheduler import AssayScheduler
 
+        if self._supervised():
+            yield from supervise_inline(
+                spec, policy=self.retry, on_error=self.on_error,
+                injector=self.faults)
+            return
         jobs = spec.build_jobs()
         start = time.perf_counter()
         for item in AssayScheduler().run_iter(jobs):
@@ -112,7 +155,10 @@ class InlineExecutor:
                           item.n_dwell_groups, item.n_solve_steps, start)
 
     def __repr__(self) -> str:
-        return "InlineExecutor()"
+        if not self._supervised():
+            return "InlineExecutor()"
+        return (f"InlineExecutor(retry={self.retry!r}, "
+                f"on_error={self.on_error!r})")
 
 
 def shard_indices(n_jobs: int, n_shards: int,
@@ -201,24 +247,54 @@ class ProcessExecutor:
     :class:`InlineExecutor` when per-job latency matters more than
     throughput).  Workers are plain ``concurrent.futures`` process-pool
     workers; a single-job fleet degenerates to one shard, and an
-    abandoned stream cancels every shard not yet running.
+    abandoned stream kills the pool under a bounded wait (queued shards
+    cancelled, running workers terminated) so a hung worker can never
+    block ``close()`` or interpreter exit.
+
+    ``retry`` / ``on_error`` / ``faults`` route the fleet through the
+    supervised engine (:func:`~repro.api.resilience.supervise_fleet`):
+    each unit gets its own single-worker pool for exact crash/hang
+    attribution, failures re-dispatch at finer granularity (shard →
+    halves → single jobs) under the policy's backoff, and exhausted
+    jobs degrade per ``on_error``.  Results stay bit-identical; the
+    supervised path costs one pool per unit instead of one shared pool.
     """
 
     name = "process"
 
     def __init__(self, workers: int | None = None,
-                 shard: str = "interleave") -> None:
+                 shard: str = "interleave",
+                 retry: RetryPolicy | None = None,
+                 on_error: str = "raise",
+                 faults: FaultInjector | None = None) -> None:
         # One validation authority: the declarative block this executor
         # is the programmatic face of.
-        ExecutionSpec(backend="process", workers=workers, shard=shard)
+        ExecutionSpec(backend="process", workers=workers, shard=shard,
+                      retry=retry, on_error=on_error)
         self.workers = workers
         self.shard = shard
+        self.retry = retry
+        self.on_error = on_error
+        self.faults = faults if faults is not None \
+            else FaultInjector.from_env()
+
+    def _supervised(self) -> bool:
+        return (self.retry is not None or self.on_error != "raise"
+                or self.faults is not None)
 
     def __repr__(self) -> str:
+        extra = (f", retry={self.retry!r}, on_error={self.on_error!r}"
+                 if self._supervised() else "")
         return (f"ProcessExecutor(workers={self.workers!r}, "
-                f"shard={self.shard!r})")
+                f"shard={self.shard!r}{extra})")
 
     def run_fleet(self, spec: FleetSpec) -> Iterator[AssayRunRecord]:
+        if self._supervised():
+            yield from supervise_fleet(
+                spec, workers=self.workers, shard_mode=self.shard,
+                policy=self.retry, on_error=self.on_error,
+                injector=self.faults)
+            return
         n_jobs = len(spec.assays)
         workers = self.workers if self.workers is not None \
             else (os.cpu_count() or 1)
@@ -231,61 +307,83 @@ class ProcessExecutor:
         # One worker per (non-empty) shard: shard_indices never returns
         # an empty shard, so a fleet with fewer jobs than workers spawns
         # exactly len(shards) == n_jobs processes, not idle extras.
-        with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+        pool = ProcessPoolExecutor(max_workers=len(shards))
+        drained = False
+        try:
             pending = {pool.submit(_execute_shard, shard)
                        for shard in shards}
-            try:
-                for index in range(n_jobs):
-                    while index not in buffered:
-                        if not pending:
-                            raise SpecError(
-                                f"process executor: workers completed "
-                                f"without producing job {index} — shard "
-                                f"bookkeeping bug")
-                        done, pending = wait(pending,
-                                             return_when=FIRST_COMPLETED)
-                        for future in done:
-                            for at, result, d_fused, d_groups, d_steps in \
-                                    future.result():
-                                buffered[at] = (result, d_fused, d_groups,
-                                                d_steps)
-                    result, d_fused, d_groups, d_steps = buffered.pop(index)
-                    cum_fused += d_fused
-                    cum_groups += d_groups
-                    cum_steps += d_steps
-                    assay = spec.assays[index]
-                    name = assay.name if assay.name else f"job{index}"
-                    yield _record(payloads[index], assay.seed, name, result,
-                                  cum_fused, cum_groups, cum_steps, start)
-            except GeneratorExit:
-                # The consumer abandoned the stream: drop every queued
-                # shard so close() costs at most the shards already
-                # running (futures mid-execution cannot be killed
-                # without terminating their worker processes).
-                pool.shutdown(wait=False, cancel_futures=True)
-                raise
+            for index in range(n_jobs):
+                while index not in buffered:
+                    if not pending:
+                        raise ExecutionError(
+                            f"process executor: workers completed "
+                            f"without producing job {index} — shard "
+                            f"bookkeeping bug")
+                    done, pending = wait(pending,
+                                         return_when=FIRST_COMPLETED)
+                    for future in done:
+                        for at, result, d_fused, d_groups, d_steps in \
+                                future.result():
+                            buffered[at] = (result, d_fused, d_groups,
+                                            d_steps)
+                result, d_fused, d_groups, d_steps = buffered.pop(index)
+                cum_fused += d_fused
+                cum_groups += d_groups
+                cum_steps += d_steps
+                assay = spec.assays[index]
+                name = assay.name if assay.name else f"job{index}"
+                yield _record(payloads[index], assay.seed, name, result,
+                              cum_fused, cum_groups, cum_steps, start)
+            drained = True
+        finally:
+            if drained:
+                # Normal completion: every worker is idle, a waiting
+                # shutdown returns immediately and reaps cleanly.
+                pool.shutdown(wait=True)
+            else:
+                # Abandoned stream (GeneratorExit) or a failure with
+                # shards mid-flight: cancel everything queued and tear
+                # the pool down under a bounded wait — a hung worker
+                # must not be able to block close() or interpreter
+                # exit.
+                kill_pool(pool)
 
 
-def resolve_executor(backend, execution: ExecutionSpec | None = None):
+def resolve_executor(backend, execution: ExecutionSpec | None = None,
+                     retry: RetryPolicy | None = None,
+                     on_error: str | None = None,
+                     faults: FaultInjector | None = None):
     """The executor a run should use.
 
     Precedence: an explicit ``backend`` (an :class:`Executor` instance,
     or the name ``"inline"`` / ``"process"`` — names take ``workers`` /
     ``shard`` from the spec's ``execution`` block) overrides the block;
     ``backend=None`` defers to ``execution`` (default: inline).
+
+    ``retry`` / ``on_error`` / ``faults`` are the programmatic
+    overrides of the block's resilience fields (``None`` defers to the
+    block); they configure the built executor and are rejected when
+    ``backend`` is already a constructed :class:`Executor` instance —
+    configure the instance itself instead.
     """
-    if backend is None:
-        return (execution if execution is not None
-                else ExecutionSpec()).build()
-    if isinstance(backend, str):
-        execution = execution if execution is not None else ExecutionSpec()
-        try:
-            return ExecutionSpec(backend=backend, workers=execution.workers,
-                                 shard=execution.shard).build()
-        except SpecError:
-            raise SpecError(f"unknown execution backend {backend!r} "
-                            f"(known: inline, process)") from None
-    if isinstance(backend, Executor):
+    if backend is not None and not isinstance(backend, str):
+        if not isinstance(backend, Executor):
+            raise SpecError(f"not an execution backend: "
+                            f"{type(backend).__name__} "
+                            f"(need an Executor, 'inline', or 'process')")
+        if retry is not None or on_error is not None or faults is not None:
+            raise SpecError(
+                "retry/on_error/faults overrides do not apply to an "
+                "already-constructed Executor instance; pass them to "
+                "the executor's constructor instead")
         return backend
-    raise SpecError(f"not an execution backend: {type(backend).__name__} "
-                    f"(need an Executor, 'inline', or 'process')")
+    block = execution if execution is not None else ExecutionSpec()
+    retry = retry if retry is not None else block.retry
+    on_error = on_error if on_error is not None else block.on_error
+    name = block.backend if backend is None else backend
+    if name not in _EXECUTION_BACKENDS:
+        raise SpecError(f"unknown execution backend {name!r} "
+                        f"(known: {', '.join(_EXECUTION_BACKENDS)})")
+    return ExecutionSpec(backend=name, workers=block.workers,
+                         shard=block.shard, retry=retry,
+                         on_error=on_error).build(faults=faults)

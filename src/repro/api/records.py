@@ -22,9 +22,10 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.measurement.panel import PanelResult
 
 __all__ = [
-    "EngineStats", "RunRecord", "AssayRunRecord", "CachedAssayRecord",
-    "FleetRunRecord", "CalibrationRunRecord", "PlatformRunRecord",
-    "ExploreRunRecord", "StoredRunRecord",
+    "EngineStats", "ResilienceStats", "RunRecord", "AssayRunRecord",
+    "CachedAssayRecord", "FailedAssayRecord", "FleetRunRecord",
+    "CalibrationRunRecord", "PlatformRunRecord", "ExploreRunRecord",
+    "StoredRunRecord",
 ]
 
 
@@ -52,6 +53,46 @@ class EngineStats:
         return cls(n_fused_dwells=int(payload.get("n_fused_dwells", 0)),
                    n_dwell_groups=int(payload.get("n_dwell_groups", 0)),
                    n_solve_steps=int(payload.get("n_solve_steps", 0)))
+
+
+@dataclass(frozen=True)
+class ResilienceStats:
+    """Fault/retry tallies of a supervised execution, cumulative since
+    the stream started (like ``wall_time_s`` and the engine statistics).
+
+    Stamped onto records by the supervised backends
+    (:mod:`repro.api.resilience`) and surfaced in
+    ``provenance()["resilience"]``; an all-zero snapshot on a
+    supervised run is itself informative — it proves the run needed no
+    recovery.
+    """
+
+    retries: int = 0
+    worker_crashes: int = 0
+    worker_hangs: int = 0
+    engine_errors: int = 0
+    failed_jobs: int = 0
+
+    @property
+    def faults(self) -> int:
+        """Total failure events observed (before retry accounting)."""
+        return (self.worker_crashes + self.worker_hangs
+                + self.engine_errors)
+
+    def to_dict(self) -> dict:
+        return {"retries": self.retries,
+                "worker_crashes": self.worker_crashes,
+                "worker_hangs": self.worker_hangs,
+                "engine_errors": self.engine_errors,
+                "failed_jobs": self.failed_jobs}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ResilienceStats":
+        return cls(retries=int(payload.get("retries", 0)),
+                   worker_crashes=int(payload.get("worker_crashes", 0)),
+                   worker_hangs=int(payload.get("worker_hangs", 0)),
+                   engine_errors=int(payload.get("engine_errors", 0)),
+                   failed_jobs=int(payload.get("failed_jobs", 0)))
 
 
 @dataclass(frozen=True)
@@ -85,6 +126,18 @@ class RunRecord:
     #: the runner attaches it with ``object.__setattr__``.
     store_stats = None
 
+    #: :class:`ResilienceStats` snapshot stamped by the supervised
+    #: backends (:mod:`repro.api.resilience`) — cumulative retry/fault
+    #: counts at the moment the record streamed; ``None`` on
+    #: unsupervised runs.  Same class-attribute pattern as
+    #: ``store_stats``.  Surfaced in :meth:`provenance` under
+    #: ``"resilience"``.
+    resilience = None
+
+    #: ``True`` only on :class:`FailedAssayRecord` — a job that
+    #: exhausted its retry budget under ``on_error="partial"``.
+    failed = False
+
     @property
     def kind(self) -> str:
         return str(self.spec.get("kind", "?"))
@@ -115,6 +168,10 @@ class RunRecord:
             out["screening"] = screening
         if self.store_stats is not None:
             out["store"] = self.store_stats.to_dict()
+        if self.resilience is not None:
+            out["resilience"] = self.resilience.to_dict()
+        if self.failed:
+            out["failed"] = True
         return out
 
     def _result_dict(self) -> dict:
@@ -162,6 +219,43 @@ class CachedAssayRecord(AssayRunRecord):
 
 
 @dataclass(frozen=True)
+class FailedAssayRecord(RunRecord):
+    """A job that exhausted its retry budget under ``on_error="partial"``.
+
+    Streams (and files into :class:`FleetRunRecord.records`) in the
+    failed job's slot, so the fleet's job order survives partial
+    degradation.  Carries what an operator needs to attribute the
+    failure: the last exception's type, message and traceback, plus the
+    number of attempts consumed (``provenance()["attempts"]``).
+    ``result`` and ``engine`` are ``None`` — there is nothing to
+    persist, and stores never cache failures (a later run retries the
+    job as a plain miss).  The ``spec``/``spec_hash`` are the job's own
+    canonical payload and :class:`~repro.api.jobs.JobKey` digest,
+    identical to what the successful record would have carried.
+    """
+
+    job_name: str = ""
+    error_type: str = "ExecutionError"
+    error: str = ""
+    traceback: str = ""
+    attempts: int = 1
+
+    failed = True
+    result = None
+    engine = None
+
+    def provenance(self) -> dict:
+        out = super().provenance()
+        out["attempts"] = self.attempts
+        return out
+
+    def _result_dict(self) -> dict:
+        return {"job_name": self.job_name, "failed": True,
+                "error_type": self.error_type, "error": self.error,
+                "attempts": self.attempts}
+
+
+@dataclass(frozen=True)
 class FleetRunRecord(RunRecord):
     """One fleet pass: the per-job records, in job order, plus the
     fused-engine totals across the whole fleet.
@@ -186,9 +280,17 @@ class FleetRunRecord(RunRecord):
     def results(self) -> tuple["PanelResult", ...]:
         return tuple(record.result for record in self.records)
 
+    @property
+    def n_failed(self) -> int:
+        """Jobs that exhausted their retry budget (``on_error="partial"``
+        yields them as :class:`FailedAssayRecord`; 0 everywhere else)."""
+        return sum(1 for record in self.records if record.failed)
+
     def provenance(self) -> dict:
         out = super().provenance()
         out["seeds"] = list(self.seeds)
+        if self.n_failed:
+            out["n_failed"] = self.n_failed
         return out
 
     def _result_dict(self) -> dict:

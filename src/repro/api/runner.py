@@ -51,6 +51,18 @@ granularities:
 Runs that consulted a store carry a :class:`~repro.api.store.StoreStats`
 delta (job hits/misses/evictions plus the store footprint) in their
 provenance under ``"store"``.
+
+Execution is also *supervised* on request: ``retry=`` (a
+:class:`~repro.api.resilience.RetryPolicy`), ``on_error=`` (``"raise"``
+or ``"partial"``) and ``faults=`` (a deterministic
+:class:`~repro.api.resilience.FaultInjector`, normally driven by the
+``REPRO_FAULTS`` environment variable) route fleet/sweep/assay runs
+through the resilience layer: crashed, hung or failing shards are
+re-dispatched at finer granularity under the retry budget, and under
+``on_error="partial"`` exhausted jobs degrade to
+:class:`~repro.api.records.FailedAssayRecord` entries instead of
+aborting the fleet.  Failed records are never persisted to a store —
+a later warm run re-executes exactly the jobs that failed.
 """
 
 from __future__ import annotations
@@ -126,7 +138,15 @@ def _apply_screening(spec, screening):
                     f"not {type(spec).__name__}")
 
 
-def run(spec, backend=None, store=None, screening=None) -> RunRecord:
+def _has_failures(record) -> bool:
+    """Whether a record (or any of a fleet's members) degraded."""
+    if isinstance(record, FleetRunRecord):
+        return any(r.failed for r in record.records)
+    return bool(getattr(record, "failed", False))
+
+
+def run(spec, backend=None, store=None, screening=None,
+        retry=None, on_error=None, faults=None) -> RunRecord:
     """Execute any runnable spec (dataclass or payload dict).
 
     ``backend`` selects the fleet execution backend (fleet/sweep/assay
@@ -140,13 +160,24 @@ def run(spec, backend=None, store=None, screening=None) -> RunRecord:
     ``None`` — the default — runs the spec as written); the flag joins
     the spec payload before hashing, so screening results are stored
     and recalled under their own content addresses.
+
+    ``retry`` (a :class:`~repro.api.resilience.RetryPolicy`),
+    ``on_error`` (``"raise"`` | ``"partial"``) and ``faults`` (a
+    :class:`~repro.api.resilience.FaultInjector`) opt the run into
+    supervised execution; ``None`` defers to the spec's ``execution``
+    block.  A fleet containing :class:`FailedAssayRecord` entries is
+    never persisted as a whole-run store record, and failed jobs are
+    never persisted at job granularity — a later warm run re-executes
+    exactly the jobs that failed.
     """
     spec = _apply_screening(_coerce(spec), screening)
     if not isinstance(spec, RunnableSpec):
         raise SpecError(f"not a runnable spec: {type(spec).__name__}")
     store = _coerce_store(store)
+    supervised = (retry is not None or on_error is not None
+                  or faults is not None)
     if store is None:
-        return _dispatch(spec, backend, None)
+        return _dispatch(spec, backend, None, retry, on_error, faults)
     from repro.api.jobs import JobKey
     from repro.api.store import StoreStats
 
@@ -154,20 +185,27 @@ def run(spec, backend=None, store=None, screening=None) -> RunRecord:
     if isinstance(spec, AssaySpec):
         # A standalone assay *is* a job: its per-job record (samples
         # included) may have been warmed by an earlier fleet or sweep.
-        # With an explicit backend the one-job fleet's JobPlan performs
-        # the same lookup, so don't double-count it here.
+        # With an explicit backend (or supervision) the one-job fleet's
+        # JobPlan performs the same lookup, so don't double-count it
+        # here.
         record = (store.get_job(JobKey.for_assay(spec))
-                  if backend is None else None)
+                  if backend is None and not supervised else None)
     else:
         # The spec is already canonical (a parsed dataclass), so its
         # hash needs one to_dict, not a serialise/re-parse round trip.
         record = store.get(hash_payload(spec.to_dict()))
     if record is None:
-        record = _dispatch(spec, backend, store)
-        if isinstance(record, AssayRunRecord):
+        record = _dispatch(spec, backend, store, retry, on_error, faults)
+        if _has_failures(record):
+            # A degraded run is not a reusable result: persisting it
+            # would turn a transient fault into a permanently cached
+            # failure.  Per-job successes were already persisted as
+            # they streamed, so a warm retry re-runs only the failures.
+            pass
+        elif isinstance(record, AssayRunRecord):
             # With an explicit backend the one-job fleet's store path
             # already persisted the record as it streamed.
-            if backend is None:
+            if backend is None and not supervised:
                 store.put_job(record)
         else:
             store.put(record)
@@ -179,23 +217,30 @@ def run(spec, backend=None, store=None, screening=None) -> RunRecord:
         hits=after.hits - before.hits,
         misses=after.misses - before.misses,
         evictions=after.evictions - before.evictions,
-        records=after.records, bytes=after.bytes))
+        records=after.records, bytes=after.bytes,
+        quarantined=after.quarantined - before.quarantined))
     return record
 
 
-def _dispatch(spec, backend, store) -> RunRecord:
+def _dispatch(spec, backend, store, retry=None, on_error=None,
+              faults=None) -> RunRecord:
+    supervised = (retry is not None or on_error is not None
+                  or faults is not None)
     if isinstance(spec, AssaySpec):
-        if backend is not None:
+        if backend is not None or supervised:
             # A one-job fleet through the requested backend; records
             # are backend-independent, so this is the same assay.
             fleet = FleetSpec(name=spec.name, assays=(spec,))
-            return _run_fleet(fleet, backend, store=store).records[0]
+            return _run_fleet(fleet, backend, store=store, retry=retry,
+                              on_error=on_error, faults=faults).records[0]
         return _run_assay(spec)
     if isinstance(spec, FleetSpec):
-        return _run_fleet(spec, backend, store=store)
+        return _run_fleet(spec, backend, store=store, retry=retry,
+                          on_error=on_error, faults=faults)
     if isinstance(spec, SweepSpec):
-        return _run_sweep(spec, backend, store)
-    if backend is not None:
+        return _run_sweep(spec, backend, store, retry=retry,
+                          on_error=on_error, faults=faults)
+    if backend is not None or supervised:
         raise SpecError(f"execution backends apply to assay/fleet/sweep "
                         f"specs, not {type(spec).__name__}")
     if isinstance(spec, CalibrationSpec):
@@ -205,8 +250,9 @@ def _dispatch(spec, backend, store) -> RunRecord:
     return _run_explore(spec)
 
 
-def iter_results(spec, backend=None, store=None,
-                 screening=None) -> Iterator[AssayRunRecord]:
+def iter_results(spec, backend=None, store=None, screening=None,
+                 retry=None, on_error=None,
+                 faults=None) -> Iterator[AssayRunRecord]:
     """Stream a fleet: one per-job record as each assay completes.
 
     Job order, results, and provenance match ``run(fleet_spec)`` exactly
@@ -234,7 +280,11 @@ def iter_results(spec, backend=None, store=None,
 
     ``screening`` opts the whole stream into (``True``) or out of
     (``False``) the coarse-grid screening profile, exactly as on
-    :func:`run`; ``None`` runs the spec as written.
+    :func:`run`; ``None`` runs the spec as written.  ``retry`` /
+    ``on_error`` / ``faults`` opt the stream into supervised execution
+    (see :func:`run`); under ``on_error="partial"`` exhausted jobs
+    stream as :class:`~repro.api.records.FailedAssayRecord` entries in
+    their job-order slots.
     """
     from repro.api.executors import resolve_executor
 
@@ -248,13 +298,16 @@ def iter_results(spec, backend=None, store=None,
                         f"spec, got {type(spec).__name__}")
     store = _coerce_store(store)
     if store is None:
-        executor = resolve_executor(backend, spec.execution)
+        executor = resolve_executor(backend, spec.execution, retry=retry,
+                                    on_error=on_error, faults=faults)
         yield from executor.run_fleet(spec)
     else:
-        yield from _iter_fleet_store(spec, backend, store)
+        yield from _iter_fleet_store(spec, backend, store, retry=retry,
+                                     on_error=on_error, faults=faults)
 
 
-def _iter_fleet_store(spec: FleetSpec, backend, store
+def _iter_fleet_store(spec: FleetSpec, backend, store, retry=None,
+                      on_error=None, faults=None
                       ) -> Iterator[AssayRunRecord]:
     """Merge warm store records and fresh backend records in job order.
 
@@ -270,7 +323,9 @@ def _iter_fleet_store(spec: FleetSpec, backend, store
     plan = JobPlan.plan(spec, store)
     miss = plan.miss_fleet()
     fresh = (iter(()) if miss is None
-             else resolve_executor(backend, spec.execution).run_fleet(miss))
+             else resolve_executor(backend, spec.execution, retry=retry,
+                                   on_error=on_error,
+                                   faults=faults).run_fleet(miss))
     prev_engine = None
     prev_wall = 0.0
     try:
@@ -279,6 +334,12 @@ def _iter_fleet_store(spec: FleetSpec, backend, store
                 record = plan.cached.get(index)
                 if record is None:
                     record = next(fresh)
+                    if record.failed:
+                        # A FailedAssayRecord is not a result; leaving
+                        # it out of the store keeps its job a miss, so
+                        # a later warm run re-executes exactly this job.
+                        yield record
+                        continue
                     store.put_job(_per_job_snapshot(record, prev_engine,
                                                     prev_wall))
                     prev_engine = record.engine
@@ -345,7 +406,8 @@ def _run_assay(spec: AssaySpec) -> AssayRunRecord:
 
 def _run_fleet(spec: FleetSpec, backend=None,
                payload: dict | None = None,
-               store=None) -> FleetRunRecord:
+               store=None, retry=None, on_error=None,
+               faults=None) -> FleetRunRecord:
     """Collect a fleet stream; ``payload`` lets sweeps stamp their own
     spec (the record's provenance names what the user asked for, not
     the compiled expansion)."""
@@ -354,21 +416,36 @@ def _run_fleet(spec: FleetSpec, backend=None,
     payload = payload if payload is not None else spec.to_dict()
     start = time.perf_counter()
     if store is None:
-        executor = resolve_executor(backend, spec.execution)
+        executor = resolve_executor(backend, spec.execution, retry=retry,
+                                    on_error=on_error, faults=faults)
         records = tuple(executor.run_fleet(spec))
         # FleetSpec guarantees at least one assay, so records is
         # non-empty and the last record's cumulative stats are the
-        # fleet totals.
-        engine = records[-1].engine
+        # fleet totals — unless that record is a degraded
+        # FailedAssayRecord (engine is None), in which case the last
+        # *successful* record carries them.
+        engine = (records[-1].engine if records[-1].engine is not None
+                  else _live_engine_totals(records))
     else:
-        records = tuple(_iter_fleet_store(spec, backend, store))
+        records = tuple(_iter_fleet_store(spec, backend, store,
+                                          retry=retry, on_error=on_error,
+                                          faults=faults))
         engine = _live_engine_totals(records)
-    return FleetRunRecord(
+    fleet_record = FleetRunRecord(
         spec=payload, spec_hash=hash_payload(payload),
         schema_version=SCHEMA_VERSION, seed=None,
         wall_time_s=time.perf_counter() - start,
         records=records, engine=engine,
         seeds=tuple(assay.seed for assay in spec.assays))
+    # Supervised runs stamp cumulative retry/fault counters on each
+    # streamed record; surface the final totals on the fleet record so
+    # whole-run provenance carries them.
+    for record in reversed(records):
+        stats = getattr(record, "resilience", None)
+        if stats is not None:
+            object.__setattr__(fleet_record, "resilience", stats)
+            break
+    return fleet_record
 
 
 def _live_engine_totals(records) -> EngineStats:
@@ -386,9 +463,11 @@ def _live_engine_totals(records) -> EngineStats:
     return EngineStats(n_fused_dwells=0, n_dwell_groups=0, n_solve_steps=0)
 
 
-def _run_sweep(spec: SweepSpec, backend=None, store=None) -> FleetRunRecord:
+def _run_sweep(spec: SweepSpec, backend=None, store=None, retry=None,
+               on_error=None, faults=None) -> FleetRunRecord:
     return _run_fleet(spec.compile(), backend, payload=spec.to_dict(),
-                      store=store)
+                      store=store, retry=retry, on_error=on_error,
+                      faults=faults)
 
 
 def _run_calibration(spec: CalibrationSpec) -> CalibrationRunRecord:

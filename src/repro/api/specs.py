@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.api.resilience import RetryPolicy
 from repro.chem.solution import Injection, InjectionSchedule
 from repro.core.spec import (
     check_kind,
@@ -49,10 +50,12 @@ from repro.errors import SpecError
 
 #: Schema written into every api payload.  Version 2 added the fleet
 #: ``execution`` block and the ``sweep`` kind; version 3 added the
-#: opt-in ``screening`` flag on assays and sweeps.  Older files still
-#: load (missing keys take their defaults), so readers accept all three.
-SCHEMA_VERSION = 3
-SUPPORTED_SCHEMAS = (1, 2, 3)
+#: opt-in ``screening`` flag on assays and sweeps; version 4 added the
+#: ``retry`` policy and ``on_error`` mode to the execution block.
+#: Older files still load (missing keys take their defaults), so
+#: readers accept all four.
+SCHEMA_VERSION = 4
+SUPPORTED_SCHEMAS = (1, 2, 3, 4)
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from pathlib import Path
@@ -455,6 +458,7 @@ class AssaySpec:
 
 _EXECUTION_BACKENDS = ("inline", "process")
 _EXECUTION_SHARDS = ("interleave", "contiguous")
+_EXECUTION_ON_ERROR = ("raise", "partial")
 
 
 @dataclass(frozen=True)
@@ -467,15 +471,26 @@ class ExecutionSpec:
     across worker processes).  ``workers`` is the process count (``null``
     means one per CPU core) and ``shard`` the job-partitioning strategy
     (``"interleave"``: worker ``i`` takes jobs ``i, i+w, ...``;
-    ``"contiguous"``: near-equal consecutive blocks).  Every field
-    defaults to the schema-1 behaviour, so version-1 fleet files load
-    unchanged.  Results are backend-independent bit for bit; only the
-    wall time and engine fusion statistics reflect the choice.
+    ``"contiguous"``: near-equal consecutive blocks).
+
+    ``retry`` (schema v4) is a :class:`~repro.api.resilience.
+    RetryPolicy` — attempt budget, per-dispatch timeout, backoff —
+    that turns the backend into its supervised variant; ``on_error``
+    selects what exhausting the budget does: ``"raise"`` (default —
+    the run fails with :class:`~repro.errors.ExecutionError`) or
+    ``"partial"`` (the job streams a :class:`~repro.api.records.
+    FailedAssayRecord` in its slot and the fleet survives).
+
+    Every field defaults to the schema-1 behaviour, so older fleet
+    files load unchanged.  Results are backend-independent bit for bit;
+    only the wall time and engine fusion statistics reflect the choice.
     """
 
     backend: str = "inline"
     workers: int | None = None
     shard: str = "interleave"
+    retry: RetryPolicy | None = None
+    on_error: str = "raise"
 
     def __post_init__(self) -> None:
         if self.backend not in _EXECUTION_BACKENDS:
@@ -489,20 +504,42 @@ class ExecutionSpec:
         if self.workers is not None and self.workers < 1:
             raise SpecError(f"execution spec: workers must be >= 1, "
                             f"got {self.workers}")
+        if self.retry is not None \
+                and not isinstance(self.retry, RetryPolicy):
+            raise SpecError(f"execution spec: retry must be a "
+                            f"RetryPolicy or None, "
+                            f"got {type(self.retry).__name__}")
+        if self.on_error not in _EXECUTION_ON_ERROR:
+            raise SpecError(
+                f"execution spec: unknown on_error mode "
+                f"{self.on_error!r} "
+                f"(known: {', '.join(_EXECUTION_ON_ERROR)})")
 
-    def build(self):
-        """The configured :class:`~repro.api.executors.Executor`."""
+    def build(self, faults=None):
+        """The configured :class:`~repro.api.executors.Executor`.
+
+        ``faults`` (a :class:`~repro.api.resilience.FaultInjector`) is
+        deliberately *not* a spec field — injected faults are a harness
+        concern and must never enter the canonical payload, or a
+        faulted run would hash apart from its fault-free twin.
+        """
         from repro.api.executors import InlineExecutor, ProcessExecutor
 
         if self.backend == "inline":
-            return InlineExecutor()
-        return ProcessExecutor(workers=self.workers, shard=self.shard)
+            return InlineExecutor(retry=self.retry,
+                                  on_error=self.on_error, faults=faults)
+        return ProcessExecutor(workers=self.workers, shard=self.shard,
+                               retry=self.retry, on_error=self.on_error,
+                               faults=faults)
 
     def to_dict(self) -> dict:
         return {"backend": self.backend,
                 "workers": (int(self.workers)
                             if self.workers is not None else None),
-                "shard": self.shard}
+                "shard": self.shard,
+                "retry": (self.retry.to_dict()
+                          if self.retry is not None else None),
+                "on_error": self.on_error}
 
     @classmethod
     def from_dict(cls, payload: Mapping | None,
@@ -524,10 +561,20 @@ class ExecutionSpec:
                             f"{shard!r} "
                             f"(known: {', '.join(_EXECUTION_SHARDS)})")
         workers = payload.get("workers")
+        retry_payload = payload.get("retry")
+        on_error = payload.get("on_error", "raise")
+        if on_error not in _EXECUTION_ON_ERROR:
+            raise SpecError(f"{path}.on_error: unknown mode "
+                            f"{on_error!r} "
+                            f"(known: {', '.join(_EXECUTION_ON_ERROR)})")
         return cls(backend=backend,
                    workers=(None if workers is None
                             else _int_value(workers, f"{path}.workers")),
-                   shard=shard)
+                   shard=shard,
+                   retry=(None if retry_payload is None
+                          else RetryPolicy.from_dict(retry_payload,
+                                                     f"{path}.retry")),
+                   on_error=on_error)
 
 
 @dataclass(frozen=True)

@@ -41,6 +41,22 @@ writes atomically (temp file + ``os.replace``) — concurrent workers
 racing on the same spec hash simply last-write-wins a bit-identical
 payload, and a reader can never observe a truncated record.
 
+Integrity and quarantine
+========================
+
+Every record written carries an ``integrity`` section — a SHA-256
+checksum over the rest of the payload (the same canonical-JSON recipe
+as spec hashing) — and every read verifies it.  A record that fails to
+parse, fails its checksum, or is structurally malformed is
+**quarantined**: moved aside to ``<root>/quarantine/`` (named so the
+``??/`` shard glob never lists it), dropped from the index, counted in
+the lifetime ``quarantined`` statistic, and reported once as a
+:class:`RuntimeWarning` naming the file and the reason.  The lookup
+that found it counts as a miss, so the affected job simply re-runs and
+re-persists a clean record — corruption degrades to recomputation, not
+to an exception five layers up.  Records from older stores without an
+``integrity`` section still load (parse and structure checks only).
+
 Eviction and statistics
 =======================
 
@@ -59,6 +75,7 @@ stamps into record provenance.
 from __future__ import annotations
 
 import json
+import os
 import warnings
 from collections.abc import Iterator
 from contextlib import contextmanager
@@ -73,7 +90,8 @@ from repro.api.records import (
     RunRecord,
     StoredRunRecord,
 )
-from repro.api.specs import spec_hash
+from repro.api.resilience import FaultInjector
+from repro.api.specs import hash_payload, spec_hash
 from repro.errors import ReproError, StoreError
 from repro.io.export import (
     panel_result_from_payload,
@@ -91,10 +109,10 @@ _INDEX_VERSION = 1
 class StoreStats:
     """One snapshot of a store's counters and footprint.
 
-    ``hits``/``misses``/``evictions`` are lifetime counters persisted in
-    the index (or, when stamped into a record's provenance by
-    :func:`repro.api.run`, the *deltas* of that one run); ``records``
-    and ``bytes`` are the store's current footprint.
+    ``hits``/``misses``/``evictions``/``quarantined`` are lifetime
+    counters persisted in the index (or, when stamped into a record's
+    provenance by :func:`repro.api.run`, the *deltas* of that one run);
+    ``records`` and ``bytes`` are the store's current footprint.
     """
 
     hits: int = 0
@@ -102,6 +120,7 @@ class StoreStats:
     evictions: int = 0
     records: int = 0
     bytes: int = 0
+    quarantined: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -112,7 +131,7 @@ class StoreStats:
     def to_dict(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
                 "evictions": self.evictions, "records": self.records,
-                "bytes": self.bytes}
+                "bytes": self.bytes, "quarantined": self.quarantined}
 
 
 class RunStore:
@@ -121,10 +140,17 @@ class RunStore:
     ``max_count`` / ``max_bytes`` (optional) cap the store: after every
     write the least-recently-used records are evicted until both limits
     hold.  Limits may also be applied one-off through :meth:`gc`.
+
+    ``faults`` (a :class:`~repro.api.resilience.FaultInjector`, default
+    from the ``REPRO_FAULTS`` environment variable) arms deterministic
+    ``store_corrupt`` fault rules: matched writes land on disk
+    deliberately truncated, exercising the verify-on-read + quarantine
+    path end to end.  Production stores simply leave it unset.
     """
 
     def __init__(self, root: str | Path, max_count: int | None = None,
-                 max_bytes: int | None = None) -> None:
+                 max_bytes: int | None = None,
+                 faults: FaultInjector | None = None) -> None:
         if max_count is not None and max_count < 0:
             raise StoreError(f"max_count must be >= 0, got {max_count}")
         if max_bytes is not None and max_bytes < 0:
@@ -132,6 +158,8 @@ class RunStore:
         self.root = Path(root)
         self.max_count = max_count
         self.max_bytes = max_bytes
+        self.faults = faults if faults is not None else (
+            FaultInjector.from_env())
         self._index: dict | None = None
         self._defer = 0          # batched() nesting depth
         self._dirty = False      # index changed while deferred
@@ -184,7 +212,8 @@ class RunStore:
     @staticmethod
     def _empty_index() -> dict:
         return {"version": _INDEX_VERSION, "clock": 0,
-                "hits": 0, "misses": 0, "evictions": 0, "records": {}}
+                "hits": 0, "misses": 0, "evictions": 0,
+                "quarantined": 0, "records": {}}
 
     def _load_index(self) -> dict:
         if self._index is not None:
@@ -198,7 +227,8 @@ class RunStore:
                 or payload.get("version") != _INDEX_VERSION
                 or not isinstance(payload.get("records"), dict)):
             payload = self._rebuild_index()
-        for counter in ("clock", "hits", "misses", "evictions"):
+        for counter in ("clock", "hits", "misses", "evictions",
+                        "quarantined"):
             if not isinstance(payload.get(counter), int):
                 payload[counter] = 0
         self._index = payload
@@ -304,11 +334,41 @@ class RunStore:
             index["misses"] += 1
         self._save_index()
 
+    # -- quarantine --------------------------------------------------------------
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt record aside instead of serving or raising.
+
+        The file lands in ``<root>/quarantine/`` (preserved for
+        post-mortem, invisible to the ``??/`` shard glob so listings
+        and index rebuilds never see it again), its index entry is
+        dropped, the lifetime ``quarantined`` counter ticks, and a
+        :class:`RuntimeWarning` names the file and the reason.
+        """
+        qdir = self.root / "quarantine"
+        qdir.mkdir(parents=True, exist_ok=True)
+        try:
+            os.replace(path, qdir / path.name)
+        except OSError:  # pragma: no cover - racing delete
+            pass
+        shard = path.parent
+        if shard.is_dir() and not any(shard.iterdir()):
+            shard.rmdir()
+        index = self._load_index()
+        index["quarantined"] += 1
+        index["records"].pop(path.stem, None)
+        self._save_index()
+        warnings.warn(f"run store: quarantined corrupt record "
+                      f"{path.name}: {reason}", RuntimeWarning,
+                      stacklevel=4)
+
     # -- reads -------------------------------------------------------------------
 
     def _read_payload(self, path: Path) -> dict | None:
-        """The raw JSON payload at ``path`` — ``None`` when absent,
-        :class:`~repro.errors.StoreError` naming the path otherwise."""
+        """The verified JSON payload at ``path`` — ``None`` when absent
+        *or* quarantined as corrupt (unparseable, non-object, or failing
+        its ``integrity`` checksum); :class:`~repro.errors.StoreError`
+        only for I/O failures reading an existing file."""
         try:
             payload = json.loads(path.read_text())
         except FileNotFoundError:
@@ -317,12 +377,19 @@ class RunStore:
             raise StoreError(f"cannot read stored record {path}: "
                              f"{exc}") from exc
         except json.JSONDecodeError as exc:
-            raise StoreError(f"stored record {path} is not valid JSON "
-                             f"({exc}); delete it or clear the store"
-                             ) from exc
+            self._quarantine(path, f"not valid JSON ({exc})")
+            return None
         if not isinstance(payload, dict):
-            raise StoreError(f"stored record {path} is malformed (not a "
-                             f"JSON object); delete it or clear the store")
+            self._quarantine(path, "not a JSON object")
+            return None
+        integrity = payload.get("integrity")
+        if integrity is not None:
+            digest = (integrity.get("digest")
+                      if isinstance(integrity, dict) else None)
+            body = {k: v for k, v in payload.items() if k != "integrity"}
+            if digest != hash_payload(body):
+                self._quarantine(path, "integrity checksum mismatch")
+                return None
         return payload
 
     @staticmethod
@@ -345,9 +412,10 @@ class RunStore:
     def get(self, spec_or_hash) -> StoredRunRecord | None:
         """The stored record for a spec/hash, or ``None`` on a miss.
 
-        Counts one hit or miss in the store statistics; corrupt records
-        raise :class:`~repro.errors.StoreError` naming the file (and
-        count nothing — they are neither served nor absent).
+        Counts one hit or miss in the store statistics.  Corrupt
+        records (bad JSON, failed checksum, malformed structure) are
+        quarantined with a :class:`RuntimeWarning` and count as a miss
+        — the caller simply re-runs the spec.
         """
         key = self._key(spec_or_hash)
         path = self.path_for(key)
@@ -355,7 +423,12 @@ class RunStore:
         if payload is None:
             self._note_lookup(None, hit=False)
             return None
-        record = self._stored_record(payload, path)
+        try:
+            record = self._stored_record(payload, path)
+        except StoreError as exc:
+            self._quarantine(path, str(exc))
+            self._note_lookup(None, hit=False)
+            return None
         self._note_lookup(key, hit=True)
         return record
 
@@ -368,7 +441,8 @@ class RunStore:
         bit-identical traces, voltammograms and readouts.  Legacy
         records persisted without samples fall back to the summary-only
         :class:`~repro.api.records.StoredRunRecord` (still a hit, but
-        they cannot rejoin a live fleet stream).
+        they cannot rejoin a live fleet stream).  Corrupt records are
+        quarantined and count as a miss, so the job re-runs.
         """
         digest = self._key(key)
         path = self.path_for(digest)
@@ -378,7 +452,12 @@ class RunStore:
             return None
         samples = payload.get("samples")
         if samples is None:
-            record = self._stored_record(payload, path)
+            try:
+                record = self._stored_record(payload, path)
+            except StoreError as exc:
+                self._quarantine(path, str(exc))
+                self._note_lookup(None, hit=False)
+                return None
             self._note_lookup(digest, hit=True)
             return record
         try:
@@ -398,36 +477,55 @@ class RunStore:
                         if engine is not None else None))
         except (KeyError, TypeError, ValueError, AttributeError,
                 ReproError) as exc:
-            raise StoreError(f"stored job record {path} is malformed "
-                             f"({exc!r}); delete it or clear the store"
-                             ) from exc
+            self._quarantine(path, f"malformed job record ({exc!r})")
+            self._note_lookup(None, hit=False)
+            return None
         self._note_lookup(digest, hit=True)
         return record
 
     def records(self) -> Iterator[StoredRunRecord]:
         """Every stored record's summary, in hash order.
 
-        Unreadable records are skipped with a :class:`RuntimeWarning`
-        naming the file — one corrupt entry must not make the whole
-        store unlistable.  Listing does not count hits/misses.
+        Corrupt records are quarantined (with a :class:`RuntimeWarning`
+        naming the file) rather than listed — one bad entry must not
+        make the whole store unlistable, and it must not resurface on
+        the next listing either.  Records that exist but cannot be
+        *read* (I/O errors) are skipped with a warning.  Listing does
+        not count hits/misses.
         """
         for key in self.hashes():
             path = self.path_for(key)
             try:
                 payload = self._read_payload(path)
-                if payload is None:  # pragma: no cover - racing delete
-                    continue
-                yield self._stored_record(payload, path)
             except StoreError as exc:
                 warnings.warn(f"run store: skipping unreadable record: "
                               f"{exc}", RuntimeWarning, stacklevel=2)
+                continue
+            if payload is None:
+                continue
+            try:
+                yield self._stored_record(payload, path)
+            except StoreError as exc:
+                self._quarantine(path, str(exc))
 
     # -- writes ------------------------------------------------------------------
 
     def _write(self, key: str, payload: dict, kind: str) -> Path:
+        # Seal the payload: checksum over everything *but* the seal
+        # itself, using the same canonical-JSON recipe as spec hashing,
+        # so any later on-disk mutation fails verify-on-read.
+        body = {k: v for k, v in payload.items() if k != "integrity"}
+        payload = dict(body)
+        payload["integrity"] = {"algo": "sha256",
+                                "digest": hash_payload(body)}
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         write_json(payload, path)
+        if self.faults is not None and self.faults.corrupts(key):
+            # Deterministic fault injection: truncate the just-written
+            # record mid-payload, as a crash or full disk would.
+            text = path.read_text()
+            path.write_text(text[: max(len(text) // 2, 1)])
         index = self._load_index()
         index["clock"] += 1
         index["records"][key] = {"bytes": path.stat().st_size,
@@ -520,7 +618,8 @@ class RunStore:
         return StoreStats(
             hits=index["hits"], misses=index["misses"],
             evictions=index["evictions"], records=len(records),
-            bytes=sum(entry["bytes"] for entry in records.values()))
+            bytes=sum(entry["bytes"] for entry in records.values()),
+            quarantined=index["quarantined"])
 
     def clear(self) -> int:
         """Delete every stored record; returns how many were removed.

@@ -28,9 +28,14 @@ through ``--store DIR`` — memoisation is *per job*: a repeated run is
 a whole-run cache hit served without touching the engine, and a
 partially warm fleet/sweep pulls its warm jobs from the store and
 simulates only the misses (runs against a store print their hit/miss
-delta).  Numeric arguments are validated by argparse up front; any
-:class:`~repro.errors.ReproError` from deeper layers exits with status
-1 and a one-line message.
+delta).  ``--max-attempts N`` / ``--timeout-s T`` opt into supervised
+execution (crashed, hung or failing workers are retried under the
+budget) and ``--on-error partial`` degrades gracefully — exhausted
+jobs print as ``FAIL`` lines instead of aborting the fleet.  Numeric
+arguments are validated by argparse up front; any
+:class:`~repro.errors.ReproError` from deeper layers — including an
+:class:`~repro.errors.ExecutionError` from a run that exhausted its
+retry budget — exits with status 1 and a one-line message.
 """
 
 from __future__ import annotations
@@ -165,10 +170,51 @@ def _add_execution_arguments(command) -> None:
                               "(faster, lower fidelity; flagged in "
                               "provenance and stored under its own "
                               "content address)")
+    command.add_argument("--max-attempts", type=_int_at_least(1),
+                         default=None, metavar="N",
+                         help="supervised execution: retry each job up "
+                              "to N times on worker crash, hang or "
+                              "transient error (results stay "
+                              "bit-identical to a fault-free run)")
+    command.add_argument("--timeout-s", type=_positive_float, default=None,
+                         metavar="T",
+                         help="supervised execution: treat a shard "
+                              "running longer than T seconds as hung "
+                              "and retry it under the attempt budget")
+    command.add_argument("--on-error", choices=("raise", "partial"),
+                         default=None,
+                         help="what to do when a job exhausts its "
+                              "retries: abort the run (raise, the "
+                              "default) or keep the survivors and "
+                              "report the failures (partial)")
 
 
-def _build_backend(args):
-    """An Executor from --backend/--workers, or None to follow the spec."""
+def _build_resilience(args):
+    """``(retry, on_error)`` from --max-attempts/--timeout-s/--on-error.
+
+    ``(None, None)`` — the common case — defers entirely to the spec's
+    execution block; the run is unsupervised unless the spec says
+    otherwise.
+    """
+    from repro import api
+
+    retry = None
+    if args.max_attempts is not None or args.timeout_s is not None:
+        retry = api.RetryPolicy(
+            max_attempts=(args.max_attempts
+                          if args.max_attempts is not None else 3),
+            timeout_s=args.timeout_s)
+    return retry, args.on_error
+
+
+def _build_execution(args):
+    """``(backend, retry, on_error)`` for the api front door.
+
+    With an explicit ``--backend`` the resilience flags configure the
+    constructed Executor directly (an already-built instance takes no
+    overrides); without one they ride as ``run()``/``iter_results()``
+    arguments over the spec's execution block.
+    """
     from repro import api
 
     if args.workers is not None and args.backend != "process":
@@ -176,11 +222,15 @@ def _build_backend(args):
     if getattr(args, "sequential", False) and args.backend is not None:
         raise SystemExit("error: --sequential is the per-cell reference "
                          "path; it cannot run on --backend")
+    retry, on_error = _build_resilience(args)
     if args.backend is None:
-        return None
+        return None, retry, on_error
+    kwargs = {"retry": retry}
+    if on_error is not None:
+        kwargs["on_error"] = on_error
     if args.backend == "inline":
-        return api.InlineExecutor()
-    return api.ProcessExecutor(workers=args.workers)
+        return api.InlineExecutor(**kwargs), None, None
+    return api.ProcessExecutor(workers=args.workers, **kwargs), None, None
 
 
 def _print_provenance(record) -> None:
@@ -191,9 +241,21 @@ def _print_provenance(record) -> None:
           f"{record.wall_time_s:.2f} s){cached}")
     stats = record.store_stats
     if stats is not None:
+        quarantined = (f", {stats.quarantined} quarantined"
+                       if stats.quarantined else "")
         print(f"store: {stats.hits} hit(s), {stats.misses} miss(es), "
-              f"{stats.evictions} eviction(s); "
+              f"{stats.evictions} eviction(s){quarantined}; "
               f"{stats.records} record(s), {_human_bytes(stats.bytes)}")
+    _print_resilience(getattr(record, "resilience", None))
+
+
+def _print_resilience(resilience) -> None:
+    if resilience is not None and resilience.faults:
+        print(f"resilience: {resilience.retries} retr(ies), "
+              f"{resilience.worker_crashes} crash(es), "
+              f"{resilience.worker_hangs} hang(s), "
+              f"{resilience.engine_errors} engine error(s), "
+              f"{resilience.failed_jobs} failed job(s)")
 
 
 def _human_bytes(n: int) -> str:
@@ -260,7 +322,8 @@ def _cmd_panel(seed: int, sequential: bool = False) -> int:
 def _cmd_fleet(n_cells: int, seed: int, ca_dwell: float,
                sequential: bool, backend=None,
                store: str | None = None,
-               screening: bool = False) -> int:
+               screening: bool = False,
+               retry=None, on_error=None) -> int:
     import time
 
     from repro import api
@@ -288,16 +351,22 @@ def _cmd_fleet(n_cells: int, seed: int, ca_dwell: float,
           f"{', screening' if screening else ''})")
 
     def report(record) -> None:
+        if record.failed:
+            print(f"  FAIL {record.job_name}: {record.error_type} "
+                  f"after {record.attempts} attempt(s)")
+            return
         recovered = sum(1 for t in PAPER_PANEL_MID_CONCENTRATIONS
                         if t in record.result.readouts)
         print(f"  done {record.job_name}: {recovered}/{n_targets} "
               f"targets, assay {record.result.assay_time:.0f} s")
 
+    n_failed = 0
     if store is not None:
         # The memoised path: whole-run records by spec hash, per-job
         # records by JobKey — a partially warm fleet simulates only its
         # missing jobs.
-        record = api.run(spec, backend=backend, store=api.RunStore(store))
+        record = api.run(spec, backend=backend, store=api.RunStore(store),
+                         retry=retry, on_error=on_error)
         _print_provenance(record)
         if record.cached:
             for job in record.to_dict()["result"]["jobs"]:
@@ -307,7 +376,11 @@ def _cmd_fleet(n_cells: int, seed: int, ca_dwell: float,
             mode = "run store cache hit"
         else:
             n_hits = sum(1 for rec in record.records if rec.cached)
+            n_failed = record.n_failed
             for rec in record.records:
+                if rec.failed:
+                    report(rec)
+                    continue
                 recovered = sum(1 for t in PAPER_PANEL_MID_CONCENTRATIONS
                                 if t in rec.result.readouts)
                 print(f"  {'hit ' if rec.cached else 'done'} "
@@ -321,16 +394,26 @@ def _cmd_fleet(n_cells: int, seed: int, ca_dwell: float,
         mode = "sequential per-cell panels"
     else:
         stats = None
-        for record in api.iter_results(spec, backend=backend):
+        resilience = None
+        for record in api.iter_results(spec, backend=backend,
+                                       retry=retry, on_error=on_error):
             report(record)
-            stats = record.engine
+            n_failed += 1 if record.failed else 0
+            stats = record.engine if record.engine is not None else stats
+            resilience = (getattr(record, "resilience", None)
+                          or resilience)
+        _print_resilience(resilience)
         mode = (f"{backend_name} backend "
                 f"({stats.n_fused_dwells} dwell systems in "
-                f"{stats.n_dwell_groups} group(s))")
+                f"{stats.n_dwell_groups} group(s))" if stats is not None
+                else f"{backend_name} backend")
     elapsed = time.perf_counter() - start
     print(f"mode      : {mode}")
     print(f"wall time : {elapsed:.2f} s")
     print(f"throughput: {n_cells / elapsed:.2f} assays/sec")
+    if n_failed:
+        print(f"degraded  : {n_failed}/{n_cells} job(s) failed "
+              f"(--on-error partial)")
     return 0
 
 
@@ -392,14 +475,16 @@ def _cmd_selectivity(potential_mv: float) -> int:
 
 
 def _cmd_run(spec_path: str, json_out: str | None, backend=None,
-             store: str | None = None, screening: bool = False) -> int:
+             store: str | None = None, screening: bool = False,
+             retry=None, on_error=None) -> int:
     from repro import api
     from repro.core import exploration_report
     from repro.io.export import run_record_to_json
 
     record = api.run(api.load_spec(spec_path), backend=backend,
                      store=api.RunStore(store) if store else None,
-                     screening=True if screening else None)
+                     screening=True if screening else None,
+                     retry=retry, on_error=on_error)
     _print_provenance(record)
     status = 0
     if record.cached:
@@ -411,11 +496,16 @@ def _cmd_run(spec_path: str, json_out: str | None, backend=None,
     if isinstance(record, api.AssayRunRecord):
         _print_panel_record(record)
     elif isinstance(record, api.FleetRunRecord):
-        rows = [[rec.job_name, len(rec.result.readouts),
-                 f"{rec.result.assay_time:.0f}"]
+        rows = [([rec.job_name, "FAIL", f"({rec.attempts} attempts)"]
+                 if rec.failed else
+                 [rec.job_name, len(rec.result.readouts),
+                  f"{rec.result.assay_time:.0f}"])
                 for rec in record.records]
         print(render_table(["Job", "Targets", "Assay s"], rows,
                            title=f"{len(record)}-assay fleet"))
+        if record.n_failed:
+            print(f"degraded: {record.n_failed}/{len(record)} job(s) "
+                  f"failed (--on-error partial)")
     elif isinstance(record, api.CalibrationRunRecord):
         _print_calibration_record(record)
     elif isinstance(record, api.PlatformRunRecord):
@@ -473,6 +563,7 @@ def _cmd_cache_stats(store, as_json: bool) -> int:
     print(f"hits      : {stats.hits}")
     print(f"misses    : {stats.misses}")
     print(f"evictions : {stats.evictions}")
+    print(f"quarantined: {stats.quarantined}")
     print(f"hit rate  : {100.0 * stats.hit_rate:.1f}%")
     return 0
 
@@ -504,9 +595,11 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "panel":
             return _cmd_panel(args.seed, args.sequential)
         if args.command == "fleet":
+            backend, retry, on_error = _build_execution(args)
             return _cmd_fleet(args.cells, args.seed, args.ca_dwell,
-                              args.sequential, backend=_build_backend(args),
-                              store=args.store, screening=args.screening)
+                              args.sequential, backend=backend,
+                              store=args.store, screening=args.screening,
+                              retry=retry, on_error=on_error)
         if args.command == "explore":
             return _cmd_explore(args.spec)
         if args.command == "calibrate":
@@ -514,9 +607,11 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "selectivity":
             return _cmd_selectivity(args.potential)
         if args.command == "run":
+            backend, retry, on_error = _build_execution(args)
             return _cmd_run(args.spec, args.json,
-                            backend=_build_backend(args), store=args.store,
-                            screening=args.screening)
+                            backend=backend, store=args.store,
+                            screening=args.screening,
+                            retry=retry, on_error=on_error)
         if args.command == "cache":
             return _cmd_cache(args)
     except ReproError as exc:

@@ -160,6 +160,25 @@ the engine restructures it in five layers:
    fused paths; it is provenance-flagged and content-addressed apart
    from full-fidelity runs, and never the default.
 
+10. **Fault-tolerant supervision** (:mod:`repro.api.resilience`, above
+    this package).  The execution layer assumes workers can die: a
+    :class:`~repro.api.resilience.RetryPolicy` (attempt budget,
+    per-shard timeout, seeded exponential backoff) arms a supervisor
+    that detects crashed, hung and failing shards and re-dispatches
+    their surviving jobs at finer granularity, while
+    ``on_error="partial"`` degrades exhausted jobs to
+    :class:`~repro.api.records.FailedAssayRecord` entries instead of
+    aborting the fleet.  Nothing in *this* package changes: every
+    retry rebuilds its jobs from canonical assay payloads and re-runs
+    layer 5's fused ``run_iter`` with fresh seeded RNGs, so a
+    supervised (even deliberately faulted) run is bit-identical to a
+    fault-free one — the equivalence guarantee below extends through
+    worker death.  The run store seals records with integrity
+    checksums and quarantines corrupt files as misses, and a seeded
+    :class:`~repro.api.resilience.FaultInjector` (``REPRO_FAULTS``)
+    drives worker crashes, hangs, transient errors and store
+    corruption deterministically in CI.
+
 Equivalence guarantee
 =====================
 

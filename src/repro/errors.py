@@ -11,7 +11,9 @@ subclasses mirror the layers of the system:
 - measurement protocols (:class:`ProtocolError`),
 - metric extraction (:class:`AnalysisError`),
 - platform design-space exploration (:class:`DesignError`,
-  :class:`InfeasibleDesignError`).
+  :class:`InfeasibleDesignError`),
+- run execution and persistence (:class:`ExecutionError`,
+  :class:`StoreError`).
 """
 
 from __future__ import annotations
@@ -33,6 +35,7 @@ __all__ = [
     "DesignError",
     "InfeasibleDesignError",
     "SpecError",
+    "ExecutionError",
     "StoreError",
 ]
 
@@ -121,6 +124,19 @@ class InfeasibleDesignError(DesignError):
 
 class SpecError(DesignError, ValueError):
     """A JSON platform specification was malformed."""
+
+
+class ExecutionError(ReproError):
+    """A run failed at execution time — not a bad spec, a bad *run*.
+
+    Raised by execution backends for runtime failures: a worker process
+    that died or hung, a job whose retry budget is exhausted under
+    ``on_error="raise"``, or executor bookkeeping that lost a job.
+    :class:`~repro.errors.SpecError` stays reserved for malformed user
+    input; the two fail for different reasons and deserve different
+    handling (a spec error will fail forever, an execution error may
+    succeed on retry).
+    """
 
 
 class StoreError(ReproError):

@@ -252,12 +252,22 @@ class TestRunStore:
         assert store.clear() == 4
         assert len(store) == 0
 
-    def test_corrupt_record_is_a_store_error(self, tmp_path):
+    def test_corrupt_record_quarantined_and_rerun(self, tmp_path):
         store = api.RunStore(tmp_path)
         record = api.run(small_fleet(cells=1, seed=94), store=store)
-        store.path_for(record.spec_hash).write_text("{truncated")
-        with pytest.raises(StoreError, match="not valid JSON"):
-            api.run(small_fleet(cells=1, seed=94), store=store)
+        path = store.path_for(record.spec_hash)
+        path.write_text("{truncated")
+        # Corruption degrades to recomputation: the record is moved to
+        # quarantine, the lookup counts as a miss, and the run replays.
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            again = api.run(small_fleet(cells=1, seed=94), store=store)
+        assert again.cached is False
+        assert again.spec_hash == record.spec_hash
+        assert (tmp_path / "quarantine" / path.name).exists()
+        assert store.stats().quarantined == 1
+        # The clean re-write serves the next run from the store again.
+        third = api.run(small_fleet(cells=1, seed=94), store=store)
+        assert third.cached is True
 
     def test_bad_hash_string_rejected(self, tmp_path):
         with pytest.raises(StoreError, match="not a spec hash"):

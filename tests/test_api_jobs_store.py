@@ -390,35 +390,79 @@ class TestEvictionAndStats:
 
 
 class TestStoreRobustness:
-    def test_get_job_corrupt_json_names_path(self, tmp_path):
+    def test_get_job_corrupt_json_quarantines_as_miss(self, tmp_path):
         store = api.RunStore(tmp_path)
         record = api.run(assay(seed=91), store=store)
         path = store.path_for(record.spec_hash)
         path.write_text("{truncated")
-        with pytest.raises(StoreError, match=str(path)):
-            store.get_job(record.spec_hash)
-        with pytest.raises(StoreError, match="not valid JSON"):
-            store.get(record.spec_hash)
+        with pytest.warns(RuntimeWarning, match=path.name):
+            assert store.get_job(record.spec_hash) is None
+        assert (tmp_path / "quarantine" / path.name).exists()
+        assert not path.exists()
+        stats = store.stats()
+        assert stats.quarantined == 1
+        # A second lookup is a plain miss: the corrupt file is gone.
+        assert store.get(record.spec_hash) is None
+        assert store.stats().quarantined == 1
 
-    def test_get_job_malformed_samples_is_store_error(self, tmp_path):
+    def test_get_job_malformed_samples_quarantines(self, tmp_path):
         store = api.RunStore(tmp_path)
         record = api.run(assay(seed=92), store=store)
         path = store.path_for(record.spec_hash)
         payload = json.loads(path.read_text())
         payload["samples"] = {"traces": "nonsense"}
         path.write_text(json.dumps(payload))
-        with pytest.raises(StoreError, match="malformed"):
-            store.get_job(record.spec_hash)
+        # The edit breaks the integrity checksum first; strip the seal
+        # to reach the structural (malformed samples) check too.
+        with pytest.warns(RuntimeWarning, match="checksum"):
+            assert store.get_job(record.spec_hash) is None
+        api.run(assay(seed=92), store=store)  # re-warm
+        payload = json.loads(path.read_text())
+        payload["samples"] = {"traces": "nonsense"}
+        del payload["integrity"]
+        path.write_text(json.dumps(payload))
+        with pytest.warns(RuntimeWarning, match="malformed"):
+            assert store.get_job(record.spec_hash) is None
+        assert store.stats().quarantined == 2
 
-    def test_records_skips_corrupt_with_warning(self, tmp_path):
+    def test_checksum_mismatch_quarantines(self, tmp_path):
+        # A single flipped value in an otherwise well-formed record
+        # fails verify-on-read — this is what distinguishes the sealed
+        # store from a parse-only one.
+        store = api.RunStore(tmp_path)
+        record = api.run(assay(seed=93), store=store)
+        path = store.path_for(record.spec_hash)
+        payload = json.loads(path.read_text())
+        payload["provenance"]["wall_time_s"] = 12345.0
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        with pytest.warns(RuntimeWarning, match="checksum mismatch"):
+            assert store.get_job(record.spec_hash) is None
+        assert store.stats().quarantined == 1
+
+    def test_legacy_record_without_integrity_still_loads(self, tmp_path):
+        store = api.RunStore(tmp_path)
+        record = api.run(assay(seed=94), store=store)
+        path = store.path_for(record.spec_hash)
+        payload = json.loads(path.read_text())
+        del payload["integrity"]  # pre-seal store format
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        warm = store.get_job(record.spec_hash)
+        assert warm is not None and warm.cached
+
+    def test_records_quarantines_corrupt(self, tmp_path):
         store = api.RunStore(tmp_path)
         store.put(_FakeRecord(_digest("good")))
         bad = store.path_for(_digest("bad"))
         bad.parent.mkdir(parents=True, exist_ok=True)
         bad.write_text("{truncated")
-        with pytest.warns(RuntimeWarning, match="skipping unreadable"):
+        with pytest.warns(RuntimeWarning, match="quarantined"):
             listed = list(store.records())
         assert [r.spec_hash for r in listed] == [_digest("good")]
+        # Quarantine is permanent: the next listing is clean, and an
+        # index rebuild never readopts the quarantined file.
+        assert list(store.records())[0].spec_hash == _digest("good")
+        assert list(store.hashes()) == [_digest("good")]
+        assert (tmp_path / "quarantine" / bad.name).exists()
 
     def test_persisted_job_stats_are_deltas_not_fleet_cumulative(
             self, tmp_path):

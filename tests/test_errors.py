@@ -23,6 +23,8 @@ ALL_ERRORS = [
     errors.DesignError,
     errors.InfeasibleDesignError,
     errors.SpecError,
+    errors.ExecutionError,
+    errors.StoreError,
 ]
 
 
@@ -59,3 +61,12 @@ def test_calibration_error_is_analysis_error():
 def test_spec_error_is_design_and_value_error():
     assert issubclass(errors.SpecError, errors.DesignError)
     assert issubclass(errors.SpecError, ValueError)
+
+
+def test_execution_error_is_not_a_spec_error():
+    # A bad *run* (crashed worker, exhausted retries) must be
+    # distinguishable from a bad *spec*: the former may succeed on
+    # retry, the latter never will.
+    assert issubclass(errors.ExecutionError, errors.ReproError)
+    assert not issubclass(errors.ExecutionError, errors.SpecError)
+    assert not issubclass(errors.ExecutionError, errors.StoreError)

@@ -181,7 +181,7 @@ class TestCliValidationAndExitCodes:
         assert main(["panel", "--seed", "7"]) == 0
         out = capsys.readouterr().out
         assert "[assay] spec" in out
-        assert "schema v3" in out
+        assert "schema v4" in out
 
     def test_calibrate_unknown_target_exits_one(self, capsys):
         assert main(["calibrate", "unobtainium"]) == 1
