@@ -56,6 +56,19 @@ injected**, so the measured ratio is pure supervision overhead
 Results must be bit-identical and the overhead bounded (<= 5% where
 timing is fair; a loose catastrophic-regression bar elsewhere).
 
+A sixth **service axis** (PR 8) measures diagnostics-as-a-service: an
+in-process :class:`~repro.service.server.DiagnosticsServer` takes 32
+concurrent small-fleet submissions from threaded
+:class:`~repro.service.client.ServiceClient`\\ s against a warm store —
+sustained requests/sec and p50/p95 submission latency are the service
+overhead (HTTP, queueing, fair scheduling, store replay) since every
+run is a cache hit.  Alongside it, the persistent worker pool is priced
+directly: N consecutive small fleets through one
+``ProcessExecutor(persistent=True)`` (pool spawned once, leased per
+run) versus a fresh spawn-per-run executor each time — the persistent
+pool must be >= 1.5x, with host metadata (cores, start method)
+recorded since the spawn cost being amortised is platform-dependent.
+
 Smoke mode: set ``REPRO_BENCH_QUICK=1`` (tier-1 CI does, through
 ``tests/test_scheduler.py``) to shrink the fleet and dwell so the bench
 doubles as a fast regression gate on the batched path.
@@ -117,6 +130,25 @@ MAX_SUPERVISION_OVERHEAD = (
     1.05 if not QUICK and (os.cpu_count() or 1) >= N_WORKERS
     and multiprocessing.get_start_method(allow_none=False) == "fork"
     else 1.5)
+# Service axis: concurrent submissions against a warm store, and the
+# persistent worker pool against spawn-per-run executors.  The tiny
+# dwell makes per-run engine work small, and the multi-worker pool
+# multiplies the per-run spawn cost — exactly what persistence
+# amortises — so the measured ratio is dominated by the fixed cost and
+# stable against scheduling noise.
+N_SERVICE_SUBMISSIONS = 8 if QUICK else 32
+N_POOL_RUNS = 4 if QUICK else 8
+N_POOL_WORKERS = 2 if QUICK else 4
+SERVICE_CA_DWELL = 1.0
+# The >= 1.5x persistence bar is enforced where the host can actually
+# express it: with >= N_POOL_WORKERS cores the engine work runs in
+# parallel in both legs and the measured ratio is dominated by the
+# per-run pool-spawn fixed cost persistence amortises.  On core-starved
+# hosts the serialized engine work dilutes the ratio, so only a
+# regression floor applies (the full bar stays recorded in the JSON).
+MIN_POOL_SPEEDUP = (
+    1.5 if not QUICK and (os.cpu_count() or 1) >= N_POOL_WORKERS
+    else (1.0 if QUICK else 1.1))
 
 _OXIDASE_TARGETS = ("glucose", "lactate", "glutamate")
 
@@ -404,8 +436,111 @@ def run_store_experiment() -> dict:
                 "store_hit_rate": stats.hit_rate}
 
 
+def run_service_experiment() -> dict:
+    """The service layer under concurrent load, and the persistent
+    worker pool against spawn-per-run executors."""
+    import statistics
+    import tempfile
+    import threading
+    import time
+
+    from repro import api
+    from repro.service import DiagnosticsServer, ServeSpec, ServiceClient
+
+    # The pool axis runs first, before this process has churned through
+    # pools: spawn-per-run cost in a pool-warm process underestimates
+    # what a real spawn-per-run deployment pays, while a persistent
+    # server pool is spawned exactly once either way.  Identical
+    # consecutive small fleets through one persistent executor (pool
+    # spawned once, leased per run) vs a fresh executor each time.
+    specs = [api.FleetSpec.homogeneous(cells=N_POOL_WORKERS,
+                                       seed=820 + 10 * k,
+                                       ca_dwell=SERVICE_CA_DWELL)
+             for k in range(N_POOL_RUNS)]
+
+    persistent = api.ProcessExecutor(workers=N_POOL_WORKERS,
+                                     persistent=True)
+    list(api.iter_results(specs[0], backend=persistent))  # spawn + warm
+    start = time.perf_counter()
+    for fleet_spec in specs:
+        list(api.iter_results(fleet_spec, backend=persistent))
+    persistent_s = time.perf_counter() - start
+    persistent.close()
+
+    list(api.iter_results(  # warm the spawn path identically
+        specs[0], backend=api.ProcessExecutor(workers=N_POOL_WORKERS,
+                                              persistent=False)))
+    start = time.perf_counter()
+    for fleet_spec in specs:
+        list(api.iter_results(
+            fleet_spec,
+            backend=api.ProcessExecutor(workers=N_POOL_WORKERS,
+                                        persistent=False)))
+    spawn_s = time.perf_counter() - start
+
+    spec = api.FleetSpec.homogeneous(cells=1, seed=800,
+                                     ca_dwell=SERVICE_CA_DWELL)
+    latencies: list[float] = []
+    statuses: list[str] = []
+    lock = threading.Lock()
+    with tempfile.TemporaryDirectory() as root:
+        serve = ServeSpec(dispatchers=2, store=f"{root}/store")
+        with DiagnosticsServer(serve) as server:
+            # One cold pass warms the store and the HTTP path; every
+            # measured submission is then a cache replay, so the
+            # latencies are pure service overhead (HTTP, queueing, fair
+            # scheduling, store rehydration).
+            ServiceClient(server.port).submit(spec, wait=True)
+
+            def one_submission(k: int) -> None:
+                client = ServiceClient(server.port,
+                                       api_key=f"client{k % 4}")
+                start = time.perf_counter()
+                status = client.submit(spec, wait=True)
+                elapsed = time.perf_counter() - start
+                with lock:
+                    latencies.append(elapsed)
+                    statuses.append(status["status"])
+
+            threads = [threading.Thread(target=one_submission, args=(k,))
+                       for k in range(N_SERVICE_SUBMISSIONS)]
+            wall = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall = time.perf_counter() - wall
+            stats = server.runtime.stats()
+
+    ordered = sorted(latencies)
+    p50 = statistics.median(ordered)
+    p95 = ordered[min(len(ordered) - 1, int(round(0.95 * len(ordered))))]
+
+    return {"n_submissions": N_SERVICE_SUBMISSIONS,
+            "dispatchers": serve.dispatchers,
+            "ca_dwell_s": SERVICE_CA_DWELL,
+            "statuses": statuses,
+            "sustained_rps": N_SERVICE_SUBMISSIONS / wall,
+            "latency_p50_s": p50,
+            "latency_p95_s": p95,
+            "store_hits": stats["store"]["hits"],
+            "rejected": sum(row["rejected"]
+                            for row in stats["usage"].values()),
+            "pool_runs": N_POOL_RUNS,
+            "pool_workers": N_POOL_WORKERS,
+            "persistent_s": persistent_s,
+            "spawn_s": spawn_s,
+            "pool_speedup": spawn_s / persistent_s,
+            "host_cpus": os.cpu_count() or 1,
+            "start_method": multiprocessing.get_start_method()}
+
+
 def test_panel_throughput(benchmark, report, json_report):
     out = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    # The service axis runs before the other pool-creating axes: its
+    # spawn-per-run leg must pay the pool cost a fresh deployment pays,
+    # not the discounted cost of a process that has churned pools.
+    service = run_service_experiment()
     backends = run_backend_experiment()
     supervision = run_supervision_experiment()
     store_axis = run_store_experiment()
@@ -479,6 +614,25 @@ def test_panel_throughput(benchmark, report, json_report):
             "acceptance": {"warm_solve_steps": 0,
                            "max_deviation": 0.0},
         },
+        "service": {
+            "workload": (f"{service['n_submissions']} concurrent 1-cell "
+                         f"submissions, {service['dispatchers']} "
+                         f"dispatchers, warm store"),
+            "host_cpus": service["host_cpus"],
+            "start_method": service["start_method"],
+            "sustained_rps": service["sustained_rps"],
+            "latency_p50_s": service["latency_p50_s"],
+            "latency_p95_s": service["latency_p95_s"],
+            "store_hits": service["store_hits"],
+            "pool": {
+                "runs": service["pool_runs"],
+                "workers": service["pool_workers"],
+                "persistent_s": service["persistent_s"],
+                "spawn_per_run_s": service["spawn_s"],
+                "persistent_speedup": service["pool_speedup"]},
+            "acceptance": {"min_pool_speedup": 1.5,
+                           "enforced_min_pool_speedup": MIN_POOL_SPEEDUP},
+        },
     })
     report(render_table(
         ["implementation", "assays/sec"],
@@ -542,6 +696,27 @@ def test_panel_throughput(benchmark, report, json_report):
            f"(acceptance: >= {MIN_CV_SPEEDUP:g}x)")
     report(f"CV-fusion max deviation  : {cv_axis['relative_deviation']:.2e}"
            f"  (acceptance: <= 1e-12)")
+    report(render_table(
+        ["metric", "value"],
+        [["sustained submissions/sec", f"{service['sustained_rps']:.1f}"],
+         ["submission latency p50", f"{service['latency_p50_s']*1e3:.0f} ms"],
+         ["submission latency p95", f"{service['latency_p95_s']*1e3:.0f} ms"]],
+        title=(f"P1f | service axis, {service['n_submissions']} concurrent "
+               f"submissions, {service['dispatchers']} dispatchers, "
+               f"warm store")))
+    report(render_table(
+        ["executor", "wall s"],
+        [["ProcessExecutor(persistent=True), pool leased per run",
+          f"{service['persistent_s']:.2f}"],
+         ["spawn-per-run ProcessExecutor",
+          f"{service['spawn_s']:.2f}"]],
+        title=(f"P1g | persistent pool, {service['pool_runs']} consecutive "
+               f"{service['pool_workers']}-cell fleets, "
+               f"{service['pool_workers']} workers, "
+               f"{service['host_cpus']} CPU(s), "
+               f"{service['start_method']} start")))
+    report(f"persistent-pool speedup  : {service['pool_speedup']:.1f}x  "
+           f"(acceptance: >= 1.5x; enforced: >= {MIN_POOL_SPEEDUP:g}x here)")
 
     # The scheduler must reproduce the sequential panels and beat them.
     assert out["relative_deviation"] <= 1.0e-12
@@ -564,3 +739,9 @@ def test_panel_throughput(benchmark, report, json_report):
     # raw solve-step throughput (relative floor; quick mode gates CI).
     assert (out["fleet_steps_per_sec"]
             >= 0.8 * out["sequential_steps_per_sec"])
+    # The service must complete every concurrent submission from the
+    # warm store, and the persistent pool must beat spawn-per-run.
+    assert service["statuses"] == ["done"] * service["n_submissions"]
+    assert service["store_hits"] >= service["n_submissions"]
+    assert service["rejected"] == 0
+    assert service["pool_speedup"] >= MIN_POOL_SPEEDUP

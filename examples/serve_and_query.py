@@ -1,0 +1,102 @@
+"""Diagnostics-as-a-service: start a server, submit a study, stream it.
+
+The paper's "integrated platform" is ultimately an instrument shared by
+many clients — a *service*, not a script.  This example stands the
+whole stack up in one process:
+
+1. start a :class:`~repro.service.server.DiagnosticsServer` on a free
+   port — asyncio HTTP/JSON over the :mod:`repro.api` pipeline, with a
+   fair priority job queue, a shared warm run store, and usage
+   accounting per API key,
+2. submit a dose-response ``SweepSpec`` through the stdlib
+   :class:`~repro.service.client.ServiceClient` and live-follow the
+   run's NDJSON stream, one record per completed grid point,
+3. submit the *same* study as a second client and watch every grid
+   point come back as a store hit — one client's run warms the next
+   client's cache,
+4. read ``/v1/stats``: queue depth, store hit/miss, per-client usage.
+
+Streamed records are bit-identical to inline ``api.run(spec)`` — the
+service adds scheduling and transport, never physics.
+
+Run:  python examples/serve_and_query.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro import api
+from repro.service import DiagnosticsServer, ServeSpec, ServiceClient
+
+GLUCOSE_LEVELS = (0.5, 2.0, 4.0)  # mM, spanning the paper's linear range
+
+
+def dose_response_sweep() -> api.SweepSpec:
+    return api.SweepSpec(
+        name="glucose-dose-response",
+        base=api.AssaySpec(name="dose",
+                           protocol=api.PanelProtocolSpec(ca_dwell=6.0)),
+        grid={"cell.concentrations.glucose": list(GLUCOSE_LEVELS)})
+
+
+def follow(client: ServiceClient, job_id: str) -> int:
+    """Stream a run's records, printing one line per grid point."""
+    n = 0
+    for line in client.stream(job_id, samples=False):
+        if line.get("event") == "end":
+            print(f"  stream ended: {line['status']}, "
+                  f"{line['n_records']} record(s)")
+            break
+        n += 1
+        provenance = line["provenance"]
+        result = line["result"]
+        glucose = line["spec"]["cell"]["concentrations"]["glucose"]
+        mark = "hit " if provenance["cached"] else "done"
+        print(f"  {mark} {result['job_name']}: glucose {glucose:g} mM, "
+              f"signal {result['readouts']['glucose']['signal_a'] * 1e9:.2f} nA")
+    return n
+
+
+def main() -> None:
+    sweep = dose_response_sweep()
+    with tempfile.TemporaryDirectory() as root:
+        spec = ServeSpec(backend="inline", dispatchers=2,
+                         store=f"{root}/store")
+        with DiagnosticsServer(spec) as server:
+            print(f"diagnostics service listening on port {server.port}")
+
+            alice = ServiceClient(server.port, api_key="alice")
+            submitted = alice.submit(sweep)
+            print(f"alice submitted the dose-response sweep: "
+                  f"{submitted['id']} ({submitted['status']})")
+            n_cold = follow(alice, submitted["id"])
+            print(f"cold run streamed {n_cold} grid points")
+
+            # A different client, the same study: every grid point is
+            # already in the shared warm store.
+            bob = ServiceClient(server.port, api_key="bob")
+            again = bob.submit(sweep)
+            print(f"bob submitted the same sweep: {again['id']}")
+            status = bob.status(again["id"])
+            print(f"bob's run status: {status['status']!r} "
+                  f"(queued behind nothing, served from the warm store)")
+            follow(bob, again["id"])
+
+            stats = server_stats = bob.stats()
+            store = server_stats["store"]
+            print(f"store: {store['hits']} hit(s), "
+                  f"{store['misses']} miss(es), "
+                  f"{store['records']} record(s)")
+            for key in ("alice", "bob"):
+                usage = stats["usage"][key]
+                print(f"usage[{key}]: {usage['runs']} run(s), "
+                      f"{usage['jobs']} job(s), "
+                      f"{usage['solve_steps']} solve step(s)")
+            assert store["hits"] >= len(GLUCOSE_LEVELS), \
+                "warm re-run must be served from the store"
+    print("served, streamed, and warmed: ok")
+
+
+if __name__ == "__main__":
+    main()

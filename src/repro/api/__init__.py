@@ -200,6 +200,36 @@ collide with its full-fidelity twin in a run store — and surfaced in
 every record's ``provenance()["screening"]``.  Pre-v3 payloads carry no
 flag and omit the provenance key rather than fabricating one.
 
+Layer 10: the service seam
+==========================
+
+Everything above is a library call; :mod:`repro.service` turns it into
+a *served* platform — the paper's many-clients-one-instrument shape.
+A :class:`~repro.service.server.DiagnosticsServer` (stdlib asyncio, a
+minimal HTTP/1.1 layer) exposes this front door over JSON::
+
+    POST   /v1/runs            submit any spec kind -> job id
+    GET    /v1/runs/<id>       status + provenance
+    GET    /v1/runs/<id>/stream  chunked NDJSON of per-job records
+    DELETE /v1/runs/<id>       cancel (pending engine work stops)
+    GET    /v1/health, /v1/stats
+
+Behind the endpoints: a two-tier fair priority queue (``screening``
+runs deprioritized, round-robin across API keys), per-client
+token-bucket rate limiting with a persisted usage ledger, and N
+dispatcher threads each owning a **persistent**
+:class:`ProcessExecutor` — worker pools are spawned once per dispatcher
+and leased to every run, so the process-spawn cost of a small fleet is
+amortised across the server's lifetime.  Every run still executes
+through :func:`run` / :func:`iter_results` against the shared warm
+:class:`~repro.api.store.RunStore` (now safe under concurrent writers:
+in-process mutex + cross-process ``index.lock``), so served records are
+bit-identical to inline ones — cached, supervised and screening paths
+included.  ``repro serve`` is the CLI entry;
+:class:`~repro.service.client.ServiceClient` is the stdlib client;
+:class:`~repro.service.config.ServeSpec` is the deployment's own
+validated, JSON-round-trippable spec.
+
 Escape hatch
 ============
 

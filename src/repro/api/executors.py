@@ -43,6 +43,7 @@ configuration keeps the plain fast paths below.  With no explicit
 from __future__ import annotations
 
 import os
+import threading
 import time
 from collections.abc import Iterator
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -235,6 +236,15 @@ class ProcessExecutor:
         Worker process count; ``None`` means one per CPU core.
     shard:
         Job partitioning strategy — see :func:`shard_indices`.
+    persistent:
+        ``True`` (default) keeps the worker pool alive across
+        consecutive ``run_fleet`` calls on this instance, so a service
+        dispatching many small fleets pays the process-spawn cost once
+        (today's dominant fixed cost per run) instead of per call.
+        ``False`` restores the one-pool-per-call behaviour — used by
+        :meth:`~repro.api.specs.ExecutionSpec.build`, whose executors
+        are constructed fresh per run and would otherwise leak a live
+        pool each time.
 
     Each worker runs a fused :meth:`~repro.engine.scheduler.
     AssayScheduler.run_iter` over its shard; the parent buffers shard
@@ -249,7 +259,19 @@ class ProcessExecutor:
     workers; a single-job fleet degenerates to one shard, and an
     abandoned stream kills the pool under a bounded wait (queued shards
     cancelled, running workers terminated) so a hung worker can never
-    block ``close()`` or interpreter exit.
+    block ``close()`` or interpreter exit — a persistent executor
+    re-creates its pool on the next run.
+
+    **Pool lease semantics.**  A persistent pool is created on first
+    use, sized by that run's shard count (never more processes than
+    shards, so a small fleet spawns no idle workers), and reused by
+    every later run that fits; a run needing *more* shards than the
+    pool has workers retires the old pool and grows a fresh one.  The
+    pool is released by :meth:`close` (bounded teardown, also the
+    context-manager exit) or garbage collection.  One executor serves
+    one fleet at a time: a second ``run_fleet`` entered while a stream
+    is live runs on its own throwaway pool so an abandoned stream can
+    only ever kill the pool it used.
 
     ``retry`` / ``on_error`` / ``faults`` route the fleet through the
     supervised engine (:func:`~repro.api.resilience.supervise_fleet`):
@@ -266,7 +288,8 @@ class ProcessExecutor:
                  shard: str = "interleave",
                  retry: RetryPolicy | None = None,
                  on_error: str = "raise",
-                 faults: FaultInjector | None = None) -> None:
+                 faults: FaultInjector | None = None,
+                 persistent: bool = True) -> None:
         # One validation authority: the declarative block this executor
         # is the programmatic face of.
         ExecutionSpec(backend="process", workers=workers, shard=shard,
@@ -277,6 +300,10 @@ class ProcessExecutor:
         self.on_error = on_error
         self.faults = faults if faults is not None \
             else FaultInjector.from_env()
+        self.persistent = bool(persistent)
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_size = 0
+        self._busy = threading.Lock()
 
     def _supervised(self) -> bool:
         return (self.retry is not None or self.on_error != "raise"
@@ -287,6 +314,68 @@ class ProcessExecutor:
                  if self._supervised() else "")
         return (f"ProcessExecutor(workers={self.workers!r}, "
                 f"shard={self.shard!r}{extra})")
+
+    # -- the persistent pool lease ---------------------------------------------
+
+    def _lease(self, n_shards: int) -> ProcessPoolExecutor:
+        """The pool this run executes on: reused when it is big enough,
+        grown (old pool retired) when the run needs more workers."""
+        if self._pool is not None and self._pool_size < n_shards:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._pool is None:
+            # One worker per (non-empty) shard: shard_indices never
+            # returns an empty shard, so a fleet with fewer jobs than
+            # workers spawns exactly len(shards) == n_jobs processes,
+            # not idle extras.
+            self._pool = ProcessPoolExecutor(max_workers=n_shards)
+            self._pool_size = n_shards
+        return self._pool
+
+    def _release(self, pool: ProcessPoolExecutor, owned: bool,
+                 drained: bool) -> None:
+        if drained and (owned and self.persistent):
+            # Healthy pool, persistent lease: keep the warm workers for
+            # the next run.
+            return
+        if drained:
+            # Normal completion on a non-persistent (or overlapping)
+            # pool: every worker is idle, a waiting shutdown returns
+            # immediately and reaps cleanly.
+            pool.shutdown(wait=True)
+        else:
+            # Abandoned stream (GeneratorExit) or a failure with shards
+            # mid-flight: cancel everything queued and tear the pool
+            # down under a bounded wait — a hung worker must not be
+            # able to block close() or interpreter exit.
+            kill_pool(pool)
+        if pool is self._pool:
+            self._pool = None
+
+    def close(self) -> None:
+        """Release the persistent worker pool (bounded teardown).
+
+        Safe to call repeatedly; the next ``run_fleet`` simply spawns a
+        fresh pool.  ``with ProcessExecutor(...) as ex:`` closes on
+        exit, and garbage collection closes as a last resort.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            kill_pool(pool)
+
+    def __enter__(self) -> "ProcessExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing varies
+        try:
+            pool, self._pool = self._pool, None
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
 
     def run_fleet(self, spec: FleetSpec) -> Iterator[AssayRunRecord]:
         if self._supervised():
@@ -304,10 +393,12 @@ class ProcessExecutor:
         buffered: dict[int, tuple] = {}
         cum_fused = cum_groups = cum_steps = 0
         start = time.perf_counter()
-        # One worker per (non-empty) shard: shard_indices never returns
-        # an empty shard, so a fleet with fewer jobs than workers spawns
-        # exactly len(shards) == n_jobs processes, not idle extras.
-        pool = ProcessPoolExecutor(max_workers=len(shards))
+        # The persistent lease is exclusive: a second stream entered
+        # while one is live gets its own throwaway pool, so an
+        # abandoned stream can only ever kill the pool it ran on.
+        owned = self._busy.acquire(blocking=False)
+        pool = (self._lease(len(shards)) if owned
+                else ProcessPoolExecutor(max_workers=len(shards)))
         drained = False
         try:
             pending = {pool.submit(_execute_shard, shard)
@@ -336,17 +427,9 @@ class ProcessExecutor:
                               cum_fused, cum_groups, cum_steps, start)
             drained = True
         finally:
-            if drained:
-                # Normal completion: every worker is idle, a waiting
-                # shutdown returns immediately and reaps cleanly.
-                pool.shutdown(wait=True)
-            else:
-                # Abandoned stream (GeneratorExit) or a failure with
-                # shards mid-flight: cancel everything queued and tear
-                # the pool down under a bounded wait — a hung worker
-                # must not be able to block close() or interpreter
-                # exit.
-                kill_pool(pool)
+            self._release(pool, owned, drained)
+            if owned:
+                self._busy.release()
 
 
 def resolve_executor(backend, execution: ExecutionSpec | None = None,

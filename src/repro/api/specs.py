@@ -528,9 +528,12 @@ class ExecutionSpec:
         if self.backend == "inline":
             return InlineExecutor(retry=self.retry,
                                   on_error=self.on_error, faults=faults)
+        # Spec-built executors are constructed fresh per run and thrown
+        # away, so a persistent pool would leak a live pool every call;
+        # callers who want pool reuse hold an explicit ProcessExecutor.
         return ProcessExecutor(workers=self.workers, shard=self.shard,
                                retry=self.retry, on_error=self.on_error,
-                               faults=faults)
+                               faults=faults, persistent=False)
 
     def to_dict(self) -> dict:
         return {"backend": self.backend,

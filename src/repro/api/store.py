@@ -39,7 +39,13 @@ first hash byte so a million records don't share one directory)::
 Records are persisted through :func:`repro.io.export.write_json`, which
 writes atomically (temp file + ``os.replace``) — concurrent workers
 racing on the same spec hash simply last-write-wins a bit-identical
-payload, and a reader can never observe a truncated record.
+payload, and a reader can never observe a truncated record.  The
+``index.json`` read-modify-write is additionally serialised across
+processes by an ``os.O_EXCL`` lockfile (``<root>/index.lock``, bounded
+wait, stale locks broken) with a merge-on-save that unions record
+entries and max-merges the monotone counters, and across threads by a
+per-store reentrant mutex — many service requests can multiplex onto
+one warm store without dropping each other's LRU-clock updates.
 
 Integrity and quarantine
 ========================
@@ -76,6 +82,8 @@ from __future__ import annotations
 
 import json
 import os
+import threading
+import time
 import warnings
 from collections.abc import Iterator
 from contextlib import contextmanager
@@ -103,6 +111,8 @@ __all__ = ["RunStore", "StoreStats"]
 
 _HASH_LENGTH = 64  # hex sha-256
 _INDEX_VERSION = 1
+_LOCK_WAIT_S = 5.0   # bounded wait for index.lock before proceeding
+_LOCK_STALE_S = 30.0  # a lockfile older than this belongs to a dead writer
 
 
 @dataclass(frozen=True)
@@ -164,6 +174,13 @@ class RunStore:
         self._defer = 0          # batched() nesting depth
         self._dirty = False      # index changed while deferred
         self._gc_pending = False  # limits to enforce at batch exit
+        # In-process index guard: every public read/write path holds it,
+        # so threads sharing one RunStore (the service's dispatchers on
+        # one warm store) cannot interleave a read-modify-write of the
+        # in-memory index.  Reentrant because puts call gc which calls
+        # _save_index.  Cross-*process* safety is the lockfile's job —
+        # see _index_lock.
+        self._mutex = threading.RLock()
 
     def __repr__(self) -> str:
         return f"RunStore({str(self.root)!r})"
@@ -257,6 +274,91 @@ class RunStore:
         except (OSError, json.JSONDecodeError, KeyError, TypeError):
             return "?"
 
+    @contextmanager
+    def _index_lock(self, wait_s: float = _LOCK_WAIT_S):
+        """Hold ``<root>/index.lock`` around an ``index.json``
+        read-modify-write.
+
+        The lock is an ``os.O_EXCL`` create — the one primitive that is
+        atomic on every local filesystem — so two processes multiplexed
+        onto one warm store serialise their index saves instead of
+        last-writer-winning each other's LRU-clock updates.  The wait is
+        bounded: after ``wait_s`` the caller proceeds *without* the lock
+        (a RuntimeWarning notes it) because a cache index must degrade
+        to best-effort, never deadlock the pipeline.  A lockfile older
+        than ``_LOCK_STALE_S`` belongs to a writer that died mid-save
+        and is broken on sight.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        lock = self.root / "index.lock"
+        deadline = time.monotonic() + wait_s
+        acquired = False
+        while True:
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                os.close(fd)
+                acquired = True
+                break
+            except FileExistsError:
+                try:
+                    age = time.time() - lock.stat().st_mtime
+                except OSError:
+                    continue  # holder just released; retry immediately
+                if age > _LOCK_STALE_S:
+                    try:
+                        lock.unlink()
+                    except OSError:  # pragma: no cover - racing break
+                        pass
+                    continue
+                if time.monotonic() >= deadline:
+                    warnings.warn(
+                        f"run store: could not acquire {lock} within "
+                        f"{wait_s:.1f}s; saving index without the lock "
+                        f"(concurrent LRU updates may be lost)",
+                        RuntimeWarning, stacklevel=3)
+                    break
+                time.sleep(0.005)
+        try:
+            yield
+        finally:
+            if acquired:
+                try:
+                    lock.unlink()
+                except OSError:  # pragma: no cover - racing cleanup
+                    pass
+
+    def _merge_disk_index(self, index: dict) -> dict:
+        """Fold another writer's ``index.json`` into ours before saving.
+
+        Called under :meth:`_index_lock`.  Lifetime counters and the LRU
+        clock take the elementwise max (monotone, so concurrent
+        increments cannot move them backwards; simultaneous increments
+        may still undercount — they are statistics, not invariants).
+        Record entries are unioned: another writer's keys are adopted
+        only when the record file still exists, so our own evictions
+        and quarantines are not resurrected.
+        """
+        try:
+            disk = json.loads(self.index_path.read_text())
+        except (FileNotFoundError, OSError, json.JSONDecodeError):
+            return index
+        if (not isinstance(disk, dict)
+                or disk.get("version") != _INDEX_VERSION
+                or not isinstance(disk.get("records"), dict)):
+            return index
+        for counter in ("clock", "hits", "misses", "evictions",
+                        "quarantined"):
+            other = disk.get(counter)
+            if isinstance(other, int) and other > index[counter]:
+                index[counter] = other
+        ours = index["records"]
+        for key, entry in disk["records"].items():
+            if key in ours or not isinstance(entry, dict):
+                continue
+            if self.path_for(key).exists():
+                ours[key] = entry
+        return index
+
     def _save_index(self) -> None:
         if self._index is None:  # pragma: no cover - defensive
             return
@@ -265,7 +367,9 @@ class RunStore:
             return
         self._dirty = False
         self.root.mkdir(parents=True, exist_ok=True)
-        write_json(self._index, self.index_path)
+        with self._index_lock():
+            write_json(self._merge_disk_index(self._index),
+                       self.index_path)
 
     @contextmanager
     def batched(self):
@@ -284,11 +388,12 @@ class RunStore:
         finally:
             self._defer -= 1
             if self._defer == 0:
-                if self._gc_pending:
-                    self._gc_pending = False
-                    self.gc()  # syncs and saves the index itself
-                elif self._dirty:
-                    self._save_index()
+                with self._mutex:
+                    if self._gc_pending:
+                        self._gc_pending = False
+                        self.gc()  # syncs and saves the index itself
+                    elif self._dirty:
+                        self._save_index()
 
     def _sync_index(self) -> dict:
         """Reconcile the index against the directory (records written or
@@ -314,6 +419,10 @@ class RunStore:
 
     def _note_lookup(self, key: str | None, hit: bool) -> None:
         """Count a hit/miss; hits also refresh the record's LRU clock."""
+        with self._mutex:
+            self._note_lookup_locked(key, hit)
+
+    def _note_lookup_locked(self, key: str | None, hit: bool) -> None:
         index = self._load_index()
         if hit and key is not None:
             index["hits"] += 1
@@ -354,10 +463,11 @@ class RunStore:
         shard = path.parent
         if shard.is_dir() and not any(shard.iterdir()):
             shard.rmdir()
-        index = self._load_index()
-        index["quarantined"] += 1
-        index["records"].pop(path.stem, None)
-        self._save_index()
+        with self._mutex:
+            index = self._load_index()
+            index["quarantined"] += 1
+            index["records"].pop(path.stem, None)
+            self._save_index()
         warnings.warn(f"run store: quarantined corrupt record "
                       f"{path.name}: {reason}", RuntimeWarning,
                       stacklevel=4)
@@ -526,16 +636,17 @@ class RunStore:
             # record mid-payload, as a crash or full disk would.
             text = path.read_text()
             path.write_text(text[: max(len(text) // 2, 1)])
-        index = self._load_index()
-        index["clock"] += 1
-        index["records"][key] = {"bytes": path.stat().st_size,
-                                 "used": index["clock"], "kind": kind}
-        self._save_index()
-        if self.max_count is not None or self.max_bytes is not None:
-            if self._defer:
-                self._gc_pending = True
-            else:
-                self.gc()
+        with self._mutex:
+            index = self._load_index()
+            index["clock"] += 1
+            index["records"][key] = {"bytes": path.stat().st_size,
+                                     "used": index["clock"], "kind": kind}
+            self._save_index()
+            if self.max_count is not None or self.max_bytes is not None:
+                if self._defer:
+                    self._gc_pending = True
+                else:
+                    self.gc()
         return path
 
     def put(self, record: RunRecord) -> Path:
@@ -587,39 +698,41 @@ class RunStore:
         """
         max_count = self.max_count if max_count is None else max_count
         max_bytes = self.max_bytes if max_bytes is None else max_bytes
-        index = self._sync_index()
-        records = index["records"]
-        count = len(records)
-        total = sum(entry["bytes"] for entry in records.values())
-        evicted = 0
-        freed = 0
-        if max_count is not None or max_bytes is not None:
-            for key, entry in sorted(records.items(),
-                                     key=lambda kv: kv[1]["used"]):
-                over_count = max_count is not None and count > max_count
-                over_bytes = max_bytes is not None and total > max_bytes
-                if not over_count and not over_bytes:
-                    break
-                self._unlink(key)
-                del records[key]
-                count -= 1
-                total -= entry["bytes"]
-                freed += entry["bytes"]
-                evicted += 1
-        index["evictions"] += evicted
-        self._save_index()
+        with self._mutex:
+            index = self._sync_index()
+            records = index["records"]
+            count = len(records)
+            total = sum(entry["bytes"] for entry in records.values())
+            evicted = 0
+            freed = 0
+            if max_count is not None or max_bytes is not None:
+                for key, entry in sorted(records.items(),
+                                         key=lambda kv: kv[1]["used"]):
+                    over_count = max_count is not None and count > max_count
+                    over_bytes = max_bytes is not None and total > max_bytes
+                    if not over_count and not over_bytes:
+                        break
+                    self._unlink(key)
+                    del records[key]
+                    count -= 1
+                    total -= entry["bytes"]
+                    freed += entry["bytes"]
+                    evicted += 1
+            index["evictions"] += evicted
+            self._save_index()
         return evicted, freed
 
     def stats(self) -> StoreStats:
         """Lifetime counters plus the store's current footprint."""
-        index = self._sync_index()
-        self._save_index()
-        records = index["records"]
-        return StoreStats(
-            hits=index["hits"], misses=index["misses"],
-            evictions=index["evictions"], records=len(records),
-            bytes=sum(entry["bytes"] for entry in records.values()),
-            quarantined=index["quarantined"])
+        with self._mutex:
+            index = self._sync_index()
+            self._save_index()
+            records = index["records"]
+            return StoreStats(
+                hits=index["hits"], misses=index["misses"],
+                evictions=index["evictions"], records=len(records),
+                bytes=sum(entry["bytes"] for entry in records.values()),
+                quarantined=index["quarantined"])
 
     def clear(self) -> int:
         """Delete every stored record; returns how many were removed.
@@ -627,12 +740,13 @@ class RunStore:
         Lifetime hit/miss/eviction counters survive a clear (they
         describe the store's history, not its contents).
         """
-        removed = 0
-        for key in list(self.hashes()):
-            self._unlink(key)
-            removed += 1
-        if removed or self.index_path.exists():
-            index = self._load_index()
-            index["records"] = {}
-            self._save_index()
-        return removed
+        with self._mutex:
+            removed = 0
+            for key in list(self.hashes()):
+                self._unlink(key)
+                removed += 1
+            if removed or self.index_path.exists():
+                index = self._load_index()
+                index["records"] = {}
+                self._save_index()
+            return removed

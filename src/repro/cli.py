@@ -11,6 +11,11 @@ headline flows:
   JSON panel spec),
 - ``calibrate <target>`` — measured calibration of one reference sensor,
 - ``run <spec.json>`` — execute any :mod:`repro.api` spec file,
+- ``serve`` — stand up the diagnostics service (:mod:`repro.service`):
+  a persistent asyncio HTTP/JSON server with submit/status/stream/
+  cancel endpoints, a fair priority job queue, per-client rate
+  limiting + usage accounting, and per-dispatcher persistent worker
+  pools over a shared warm store,
 - ``cache <store-dir>`` — inspect a content-addressed run store
   (``--clear`` empties it; the ``stats`` sub-subcommand prints
   hit/miss/eviction counters and footprint, ``gc --max-count N
@@ -127,6 +132,47 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also export the run record "
                               "(provenance + result summary) as JSON")
     _add_execution_arguments(run_cmd)
+
+    serve = sub.add_parser(
+        "serve", help="run the diagnostics service: a persistent async "
+                      "HTTP/JSON server with a priority job queue and "
+                      "per-dispatcher worker pools over the repro.api "
+                      "pipeline")
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument("--port", type=_int_at_least(0), default=0,
+                       help="bind port (0: let the OS pick; the bound "
+                            "port is printed on startup)")
+    serve.add_argument("--backend", choices=("inline", "process"),
+                       default="inline",
+                       help="execution backend for every submitted run "
+                            "(the server's choice is authoritative)")
+    serve.add_argument("--workers", type=_int_at_least(1), default=None,
+                       help="worker processes per dispatcher pool for "
+                            "--backend process (default: one per core)")
+    serve.add_argument("--dispatchers", type=_int_at_least(1), default=2,
+                       help="parallel dispatcher threads, each owning a "
+                            "persistent executor")
+    serve.add_argument("--store", type=str, default=None, metavar="DIR",
+                       help="shared warm run store (usage accounting "
+                            "persists next to it)")
+    serve.add_argument("--rate-capacity", type=_positive_float,
+                       default=None, metavar="N",
+                       help="per-client token bucket: burst submissions "
+                            "(default: unlimited)")
+    serve.add_argument("--rate-refill", type=_positive_float, default=1.0,
+                       metavar="R",
+                       help="per-client sustained submissions/sec "
+                            "(with --rate-capacity)")
+    serve.add_argument("--max-attempts", type=_int_at_least(1),
+                       default=None, metavar="N",
+                       help="supervised execution for every run: retry "
+                            "each job up to N times")
+    serve.add_argument("--timeout-s", type=_positive_float, default=None,
+                       metavar="T",
+                       help="supervised execution: per-shard hang "
+                            "timeout in seconds")
+    serve.add_argument("--on-error", choices=("raise", "partial"),
+                       default="raise")
 
     cache = sub.add_parser(
         "cache", help="inspect, garbage-collect or clear a "
@@ -522,6 +568,43 @@ def _cmd_run(spec_path: str, json_out: str | None, backend=None,
     return status
 
 
+def _cmd_serve(args) -> int:
+    from repro import api
+    from repro.service import DiagnosticsServer, ServeSpec
+
+    retry = None
+    if args.max_attempts is not None or args.timeout_s is not None:
+        retry = api.RetryPolicy(
+            max_attempts=(args.max_attempts
+                          if args.max_attempts is not None else 3),
+            timeout_s=args.timeout_s)
+    spec = ServeSpec(
+        host=args.host, port=args.port, backend=args.backend,
+        workers=args.workers, dispatchers=args.dispatchers,
+        store=args.store,
+        rate_capacity=(args.rate_capacity
+                       if args.rate_capacity is not None else 0.0),
+        rate_refill_per_s=args.rate_refill,
+        retry=retry, on_error=args.on_error)
+    server = DiagnosticsServer(spec)
+    port = server.start()
+    # Machine-parseable announcement (CI greps it for the bound port);
+    # flush so a piped parent sees it before the first request.
+    print(f"repro serve: listening on http://{spec.host}:{port} "
+          f"({spec.backend} backend, {spec.dispatchers} dispatcher(s)"
+          f"{', store ' + spec.store if spec.store else ''})",
+          flush=True)
+    try:
+        import threading
+
+        threading.Event().wait()  # serve until interrupted
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", flush=True)
+    finally:
+        server.stop()
+    return 0
+
+
 def _cmd_cache(args) -> int:
     from repro import api
 
@@ -612,6 +695,8 @@ def main(argv: list[str] | None = None) -> int:
                             backend=backend, store=args.store,
                             screening=args.screening,
                             retry=retry, on_error=on_error)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "cache":
             return _cmd_cache(args)
     except ReproError as exc:

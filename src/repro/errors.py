@@ -13,7 +13,9 @@ subclasses mirror the layers of the system:
 - platform design-space exploration (:class:`DesignError`,
   :class:`InfeasibleDesignError`),
 - run execution and persistence (:class:`ExecutionError`,
-  :class:`StoreError`).
+  :class:`StoreError`),
+- the diagnostics service layer (:class:`ServiceError`,
+  :class:`RateLimitError`).
 """
 
 from __future__ import annotations
@@ -37,6 +39,8 @@ __all__ = [
     "SpecError",
     "ExecutionError",
     "StoreError",
+    "ServiceError",
+    "RateLimitError",
 ]
 
 
@@ -141,3 +145,25 @@ class ExecutionError(ReproError):
 
 class StoreError(ReproError):
     """A run-store record could not be read or written."""
+
+
+class ServiceError(ReproError):
+    """The diagnostics service failed or returned an unexpected response.
+
+    Raised by the server for protocol/transport-level problems (a job id
+    that does not exist, a malformed request line) and by the thin
+    client when the server answers with a status it cannot map back to
+    a more specific error class.
+    """
+
+
+class RateLimitError(ServiceError):
+    """A client exceeded its token-bucket rate allowance (HTTP 429).
+
+    ``retry_after_s`` is the server's suggested backoff — the time until
+    the bucket refills enough to admit one submission.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.0):
+        self.retry_after_s = float(retry_after_s)
+        super().__init__(message)

@@ -1,0 +1,173 @@
+"""A thin stdlib client for the diagnostics service.
+
+``http.client`` only — the client exists so tests, CI and examples can
+drive a server without inventing ad-hoc socket code, and so error
+mapping is symmetric: the HTTP statuses the server emits come back as
+the same :mod:`repro.errors` classes an inline run would have raised
+(400 → :class:`~repro.errors.SpecError`, 429 →
+:class:`~repro.errors.RateLimitError` with the server's suggested
+backoff, 500 → :class:`~repro.errors.ExecutionError` when that is what
+the server recorded, :class:`~repro.errors.ServiceError` otherwise).
+
+One connection per request; :meth:`ServiceClient.stream` holds its
+connection open and yields NDJSON lines as the server emits them
+(``http.client`` decodes the chunked framing transparently).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterator
+from http.client import HTTPConnection
+
+from repro.errors import (
+    ExecutionError,
+    RateLimitError,
+    ServiceError,
+    SpecError,
+)
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Talk to a :class:`~repro.service.server.DiagnosticsServer`."""
+
+    def __init__(self, port: int, host: str = "127.0.0.1",
+                 api_key: str = "anonymous",
+                 timeout_s: float = 120.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.api_key = api_key
+        self.timeout_s = float(timeout_s)
+
+    def _connect(self) -> HTTPConnection:
+        return HTTPConnection(self.host, self.port,
+                              timeout=self.timeout_s)
+
+    def _headers(self) -> dict:
+        return {"X-API-Key": self.api_key,
+                "Content-Type": "application/json"}
+
+    @staticmethod
+    def _raise_for(status: int, headers, payload: dict) -> None:
+        if status < 400:
+            return
+        message = payload.get("error", f"HTTP {status}")
+        error_type = payload.get("error_type", "")
+        if status == 400:
+            raise SpecError(message)
+        if status == 429:
+            retry_after = payload.get("retry_after_s")
+            if retry_after is None:
+                retry_after = float(headers.get("Retry-After", 0) or 0)
+            raise RateLimitError(message, retry_after_s=retry_after)
+        if status == 500 and error_type == "ExecutionError":
+            raise ExecutionError(message)
+        raise ServiceError(f"HTTP {status}: {message}"
+                           + (f" ({error_type})" if error_type else ""))
+
+    def _request(self, method: str, path: str,
+                 body: dict | None = None) -> dict:
+        conn = self._connect()
+        try:
+            conn.request(method, path,
+                         body=(json.dumps(body).encode()
+                               if body is not None else None),
+                         headers=self._headers())
+            resp = conn.getresponse()
+            raw = resp.read()
+            try:
+                payload = json.loads(raw) if raw else {}
+            except json.JSONDecodeError as exc:
+                raise ServiceError(
+                    f"non-JSON response (HTTP {resp.status}): "
+                    f"{raw[:200]!r}") from exc
+            self._raise_for(resp.status, resp.headers, payload)
+            return payload
+        finally:
+            conn.close()
+
+    # -- endpoints -------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/v1/health")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+    def submit(self, spec, screening: bool | None = None,
+               wait: bool = False) -> dict:
+        """Submit a run; returns the server's status payload.
+
+        ``spec`` may be any runnable spec dataclass (``to_dict()`` is
+        taken) or an already-canonical payload dict.  ``wait=True``
+        blocks until the run is terminal — execution failures re-raise
+        here.  The async default returns ``{"id": ..., "status":
+        "queued"}``.
+        """
+        payload = spec.to_dict() if hasattr(spec, "to_dict") else spec
+        body: dict = {"spec": payload}
+        if screening is not None:
+            body["screening"] = bool(screening)
+        return self._request("POST",
+                             "/v1/runs" + ("?wait=1" if wait else ""),
+                             body=body)
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/runs/{job_id}")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("DELETE", f"/v1/runs/{job_id}")
+
+    def stream(self, job_id: str,
+               samples: bool = True) -> Iterator[dict]:
+        """Follow a run's NDJSON stream, yielding one dict per line.
+
+        Record lines come first (``samples=True`` — the default — asks
+        the server for the lossless sample arrays, making streamed
+        records byte-comparable with inline runs); the final yielded
+        line is the ``{"event": "end", ...}`` terminator carrying the
+        run's final status.
+        """
+        conn = self._connect()
+        try:
+            path = f"/v1/runs/{job_id}/stream"
+            if samples:
+                path += "?samples=1"
+            conn.request("GET", path, headers=self._headers())
+            resp = conn.getresponse()
+            if resp.status >= 400:
+                raw = resp.read()
+                try:
+                    payload = json.loads(raw) if raw else {}
+                except json.JSONDecodeError:
+                    payload = {}
+                self._raise_for(resp.status, resp.headers, payload)
+            while True:
+                line = resp.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()
+
+    def records(self, job_id: str, samples: bool = True) -> list[dict]:
+        """The run's record payloads (terminator line filtered out);
+        raises if the run ended ``failed``."""
+        out = []
+        for line in self.stream(job_id, samples=samples):
+            if line.get("event") == "end":
+                if line.get("status") == "failed":
+                    error_type = line.get("error_type", "")
+                    message = line.get("error", "run failed")
+                    if error_type == "ExecutionError":
+                        raise ExecutionError(message)
+                    if error_type == "SpecError":
+                        raise SpecError(message)
+                    raise ServiceError(f"run {job_id} failed: {message}")
+                break
+            out.append(line)
+        return out

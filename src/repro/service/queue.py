@@ -1,0 +1,119 @@
+"""A fair two-tier priority queue feeding the dispatcher threads.
+
+Scheduling policy, in order:
+
+1. **Tier before everything**: full-fidelity submissions (tier 0) always
+   run before ``screening`` submissions (tier 1) — a coarse-grid scout
+   sweep must never delay a clinical-fidelity run.
+2. **Round-robin across clients within a tier**: each pop takes the next
+   job of the next client in rotation, so one client queueing a
+   thousand runs cannot starve a client queueing one (per-client FIFO
+   order is preserved — a client's own jobs run in submission order).
+
+The queue is a plain ``threading.Condition`` structure — dispatchers
+block in :meth:`pop` with a timeout, submissions and :meth:`close` wake
+them — because the producers (asyncio handlers) and consumers
+(dispatcher threads) live on different concurrency substrates and a
+thread-safe handoff is the simplest sound bridge between them.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+
+__all__ = ["PriorityJobQueue"]
+
+_TIER_NORMAL = 0
+_TIER_SCREENING = 1
+
+
+class PriorityJobQueue:
+    """Two priority tiers of per-client FIFO queues, popped fairly."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        # tier -> (client -> deque of jobs); OrderedDict order is the
+        # round-robin rotation: pop takes the first client's next job,
+        # then moves that client to the back of the rotation.
+        self._tiers: tuple[OrderedDict, OrderedDict] = (
+            OrderedDict(), OrderedDict())
+        self._size = 0
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._cond:
+            return self._size
+
+    def push(self, job, client: str, screening: bool = False) -> None:
+        """Enqueue a job for ``client`` (``screening`` deprioritizes)."""
+        tier = self._tiers[_TIER_SCREENING if screening else _TIER_NORMAL]
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("job queue is closed")
+            tier.setdefault(client, deque()).append(job)
+            self._size += 1
+            self._cond.notify()
+
+    def pop(self, timeout: float | None = None):
+        """The next job under the scheduling policy, or ``None`` when
+        the wait times out or the queue is closed."""
+        with self._cond:
+            while True:
+                for tier in self._tiers:
+                    if not tier:
+                        continue
+                    client, jobs = next(iter(tier.items()))
+                    job = jobs.popleft()
+                    # Rotate: exhausted clients leave the ring, clients
+                    # with more work move to the back of it.
+                    del tier[client]
+                    if jobs:
+                        tier[client] = jobs
+                    self._size -= 1
+                    return job
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout=timeout):
+                    return None
+
+    def remove(self, job_id: str) -> bool:
+        """Drop a still-queued job by id (queued-state cancellation).
+
+        Returns ``False`` when the job is not in the queue — already
+        popped by a dispatcher (cancel must then go through the job's
+        cancel event) or never queued.
+        """
+        with self._cond:
+            for tier in self._tiers:
+                for client, jobs in list(tier.items()):
+                    for job in jobs:
+                        if job.id == job_id:
+                            jobs.remove(job)
+                            if not jobs:
+                                del tier[client]
+                            self._size -= 1
+                            return True
+        return False
+
+    def depth(self) -> dict:
+        """Queue depth overall, per tier, and per client."""
+        with self._cond:
+            per_client: dict[str, int] = {}
+            for tier in self._tiers:
+                for client, jobs in tier.items():
+                    per_client[client] = (per_client.get(client, 0)
+                                          + len(jobs))
+            return {"total": self._size,
+                    "normal": sum(len(j) for j in
+                                  self._tiers[_TIER_NORMAL].values()),
+                    "screening": sum(len(j) for j in
+                                     self._tiers[_TIER_SCREENING].values()),
+                    "clients": per_client}
+
+    def close(self) -> None:
+        """Wake every blocked :meth:`pop` with ``None``; further pushes
+        raise.  Jobs already queued stay queued (drainable)."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

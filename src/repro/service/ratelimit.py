@@ -1,0 +1,144 @@
+"""Per-client token-bucket rate limiting and usage accounting.
+
+The bucket is the classic shape: ``capacity`` tokens of burst, refilled
+continuously at ``refill_per_s``.  Every submission costs one token; a
+client that drains its bucket gets HTTP 429 with a ``Retry-After``
+telling it exactly when one token will exist again.  The clock is
+injectable so tests need no sleeps.
+
+The :class:`UsageLedger` is the service's metering: per API key it
+accumulates runs submitted, jobs completed, engine solve steps, wall
+time, and rejected submissions.  It persists atomically (via
+:func:`repro.io.export.write_json`) to a JSON file next to the
+``RunStore`` — the usage record survives server restarts just like the
+cache it meters.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+from repro.io.export import write_json
+
+__all__ = ["TokenBucket", "RateLimiter", "UsageLedger"]
+
+
+class TokenBucket:
+    """One client's allowance: ``capacity`` burst, ``refill_per_s``
+    sustained."""
+
+    def __init__(self, capacity: float, refill_per_s: float,
+                 clock=time.monotonic) -> None:
+        self.capacity = float(capacity)
+        self.refill_per_s = float(refill_per_s)
+        self._clock = clock
+        self._tokens = self.capacity
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.capacity,
+                           self._tokens
+                           + (now - self._stamp) * self.refill_per_s)
+        self._stamp = now
+
+    def try_acquire(self, n: float = 1.0) -> tuple[bool, float]:
+        """``(True, 0.0)`` and spend ``n`` tokens, or ``(False,
+        retry_after_s)`` — the time until ``n`` tokens will exist."""
+        self._refill()
+        if self._tokens >= n:
+            self._tokens -= n
+            return True, 0.0
+        return False, (n - self._tokens) / self.refill_per_s
+
+
+class RateLimiter:
+    """Token buckets keyed by API key; ``capacity=0`` disables limiting."""
+
+    def __init__(self, capacity: float, refill_per_s: float,
+                 clock=time.monotonic) -> None:
+        self.capacity = float(capacity)
+        self.refill_per_s = float(refill_per_s)
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def try_acquire(self, key: str) -> tuple[bool, float]:
+        if not self.enabled:
+            return True, 0.0
+        with self._lock:
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = TokenBucket(self.capacity, self.refill_per_s,
+                                     clock=self._clock)
+                self._buckets[key] = bucket
+            return bucket.try_acquire()
+
+
+_USAGE_FIELDS = ("runs", "jobs", "solve_steps", "wall_time_s", "rejected")
+
+
+class UsageLedger:
+    """Per-API-key usage metering, persisted next to the run store.
+
+    ``path=None`` keeps the ledger in memory only (servers without a
+    store).  Writes are atomic and coalesced per update — the ledger is
+    metering, not billing-grade double-entry, but it never tears.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._lock = threading.Lock()
+        self._usage: dict[str, dict] = {}
+        if self.path is not None and self.path.exists():
+            try:
+                loaded = json.loads(self.path.read_text())
+            except (OSError, json.JSONDecodeError):
+                loaded = None
+            if isinstance(loaded, dict):
+                for key, row in loaded.items():
+                    if isinstance(row, dict):
+                        self._usage[str(key)] = {
+                            f: row.get(f, 0) for f in _USAGE_FIELDS}
+
+    def _row(self, key: str) -> dict:
+        row = self._usage.get(key)
+        if row is None:
+            row = {f: 0 for f in _USAGE_FIELDS}
+            self._usage[key] = row
+        return row
+
+    def _save(self) -> None:
+        if self.path is not None:
+            write_json(self._usage, self.path)
+
+    def note_submitted(self, key: str) -> None:
+        with self._lock:
+            self._row(key)["runs"] += 1
+            self._save()
+
+    def note_rejected(self, key: str) -> None:
+        with self._lock:
+            self._row(key)["rejected"] += 1
+            self._save()
+
+    def note_completed(self, key: str, jobs: int, solve_steps: int,
+                       wall_time_s: float) -> None:
+        with self._lock:
+            row = self._row(key)
+            row["jobs"] += int(jobs)
+            row["solve_steps"] += int(solve_steps)
+            row["wall_time_s"] = float(row["wall_time_s"]) \
+                + float(wall_time_s)
+            self._save()
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {key: dict(row) for key, row in self._usage.items()}

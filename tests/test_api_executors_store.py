@@ -416,3 +416,76 @@ class TestEarlyTermination:
         stream.close()  # must not hang or leak the worker pool
         records = list(api.iter_results(spec))
         assert len(records) == 2
+
+
+class TestPersistentPool:
+    """Explicit executors keep their worker pool warm across runs."""
+
+    def test_explicit_executor_spawns_one_pool_for_n_runs(
+            self, monkeypatch):
+        import repro.api.executors as executors
+
+        spawns = []
+        real = executors.ProcessPoolExecutor
+
+        class Spy(real):
+            def __init__(self, max_workers=None, **kwargs):
+                spawns.append(max_workers)
+                super().__init__(max_workers=max_workers, **kwargs)
+
+        monkeypatch.setattr(executors, "ProcessPoolExecutor", Spy)
+        spec = small_fleet(cells=2, seed=140)
+        with api.ProcessExecutor(workers=2) as backend:
+            for _ in range(3):
+                records = list(api.iter_results(spec, backend=backend))
+                assert [r.job_name for r in records] == ["cell00", "cell01"]
+        assert spawns == [2]
+
+    def test_pool_grows_when_a_run_needs_more_shards(self, monkeypatch):
+        import repro.api.executors as executors
+
+        spawns = []
+        real = executors.ProcessPoolExecutor
+
+        class Spy(real):
+            def __init__(self, max_workers=None, **kwargs):
+                spawns.append(max_workers)
+                super().__init__(max_workers=max_workers, **kwargs)
+
+        monkeypatch.setattr(executors, "ProcessPoolExecutor", Spy)
+        with api.ProcessExecutor(workers=4) as backend:
+            list(api.iter_results(small_fleet(cells=2, seed=150),
+                                  backend=backend))
+            # Bigger fleet: the 2-worker pool is retired and regrown.
+            list(api.iter_results(small_fleet(cells=4, seed=150),
+                                  backend=backend))
+            # Smaller fleet again: the 4-worker pool still fits, reused.
+            list(api.iter_results(small_fleet(cells=2, seed=150),
+                                  backend=backend))
+        assert spawns == [2, 4]
+
+    def test_spec_built_executor_is_not_persistent(self):
+        execution = api.ExecutionSpec(backend="process", workers=2)
+        backend = execution.build()
+        assert backend.persistent is False
+        # And the persistent pool results stay bit-identical to inline.
+        spec = small_fleet(cells=2, seed=160)
+        ref = list(api.iter_results(spec, backend=api.InlineExecutor()))
+        with api.ProcessExecutor(workers=2) as warm:
+            first = list(api.iter_results(spec, backend=warm))
+            second = list(api.iter_results(spec, backend=warm))
+        for a, b, c in zip(ref, first, second):
+            assert_records_identical(a, b)
+            assert_records_identical(a, c)
+
+    def test_abandoned_stream_resets_persistent_pool(self):
+        spec = small_fleet(cells=2, seed=170)
+        with api.ProcessExecutor(workers=2) as backend:
+            stream = api.iter_results(spec, backend=backend)
+            next(stream)
+            stream.close()  # kills the leased pool...
+            assert backend._pool is None
+            # ...and the next run transparently spawns a fresh one.
+            records = list(api.iter_results(spec, backend=backend))
+            assert len(records) == 2
+            assert backend._pool is not None

@@ -64,6 +64,18 @@ def test_implantable_monitor(capsys):
     assert "recalibration" in out
 
 
+def test_serve_and_query(capsys):
+    out = run_example("serve_and_query", capsys)
+    assert "diagnostics service listening on port" in out
+    assert "alice submitted the dose-response sweep" in out
+    assert "cold run streamed 3 grid points" in out
+    # Bob's identical sweep is served entirely from the shared warm
+    # store: every grid point is a hit and his usage shows zero solves.
+    assert out.count("hit ") == 3
+    assert "usage[bob]: 1 run(s), 3 job(s), 0 solve step(s)" in out
+    assert "served, streamed, and warmed: ok" in out
+
+
 def test_parameter_sweep(capsys):
     out = run_example("parameter_sweep", capsys)
     assert "6 grid points" in out
