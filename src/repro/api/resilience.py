@@ -63,7 +63,7 @@ from repro.errors import ExecutionError, SpecError
 
 __all__ = [
     "RetryPolicy", "FaultInjector", "FaultRule",
-    "supervise_fleet", "supervise_inline",
+    "supervise_fleet", "supervise_inline", "kill_pool",
     "ENV_FAULTS", "ENV_FAULTS_SEED",
 ]
 
@@ -585,6 +585,9 @@ def supervise_fleet(spec, *, workers: int | None = None,
                         kill_pool(pool)
                         counters.worker_crashes += 1
                         _register_failure(unit, _Failure.of(exc))
+                    # repro: lint-ignore[REP002] supervision boundary:
+                    # any worker-side failure is classified and fed to
+                    # the retry policy, never propagated raw
                     except Exception as exc:
                         kill_pool(pool)
                         counters.engine_errors += 1
@@ -694,6 +697,8 @@ def supervise_inline(spec, *, policy: RetryPolicy | None = None,
                         "injected transient engine error")
                 job = AssaySpec.from_dict(payload).build_job()
                 item = next(AssayScheduler().run_iter([job]))
+            # repro: lint-ignore[REP002] supervision boundary: inline
+            # retry loop must classify any engine failure for backoff
             except Exception as exc:
                 counters.engine_errors += 1
                 attempt += 1

@@ -178,7 +178,7 @@ class RunStore:
         # so threads sharing one RunStore (the service's dispatchers on
         # one warm store) cannot interleave a read-modify-write of the
         # in-memory index.  Reentrant because puts call gc which calls
-        # _save_index.  Cross-*process* safety is the lockfile's job —
+        # _save_index_locked.  Cross-*process* safety is the lockfile's job —
         # see _index_lock.
         self._mutex = threading.RLock()
 
@@ -232,7 +232,7 @@ class RunStore:
                 "hits": 0, "misses": 0, "evictions": 0,
                 "quarantined": 0, "records": {}}
 
-    def _load_index(self) -> dict:
+    def _load_index_locked(self) -> dict:
         if self._index is not None:
             return self._index
         payload = None
@@ -359,7 +359,7 @@ class RunStore:
                 ours[key] = entry
         return index
 
-    def _save_index(self) -> None:
+    def _save_index_locked(self) -> None:
         if self._index is None:  # pragma: no cover - defensive
             return
         if self._defer:
@@ -393,12 +393,12 @@ class RunStore:
                         self._gc_pending = False
                         self.gc()  # syncs and saves the index itself
                     elif self._dirty:
-                        self._save_index()
+                        self._save_index_locked()
 
-    def _sync_index(self) -> dict:
+    def _sync_index_locked(self) -> dict:
         """Reconcile the index against the directory (records written or
         deleted by other processes), without counting hits/misses."""
-        index = self._load_index()
+        index = self._load_index_locked()
         records = index["records"]
         on_disk = {path.stem: path
                    for path in (self.root.glob("??/*.json")
@@ -423,7 +423,7 @@ class RunStore:
             self._note_lookup_locked(key, hit)
 
     def _note_lookup_locked(self, key: str | None, hit: bool) -> None:
-        index = self._load_index()
+        index = self._load_index_locked()
         if hit and key is not None:
             index["hits"] += 1
             index["clock"] += 1
@@ -441,7 +441,7 @@ class RunStore:
             entry["used"] = index["clock"]
         else:
             index["misses"] += 1
-        self._save_index()
+        self._save_index_locked()
 
     # -- quarantine --------------------------------------------------------------
 
@@ -464,10 +464,10 @@ class RunStore:
         if shard.is_dir() and not any(shard.iterdir()):
             shard.rmdir()
         with self._mutex:
-            index = self._load_index()
+            index = self._load_index_locked()
             index["quarantined"] += 1
             index["records"].pop(path.stem, None)
-            self._save_index()
+            self._save_index_locked()
         warnings.warn(f"run store: quarantined corrupt record "
                       f"{path.name}: {reason}", RuntimeWarning,
                       stacklevel=4)
@@ -637,11 +637,11 @@ class RunStore:
             text = path.read_text()
             path.write_text(text[: max(len(text) // 2, 1)])
         with self._mutex:
-            index = self._load_index()
+            index = self._load_index_locked()
             index["clock"] += 1
             index["records"][key] = {"bytes": path.stat().st_size,
                                      "used": index["clock"], "kind": kind}
-            self._save_index()
+            self._save_index_locked()
             if self.max_count is not None or self.max_bytes is not None:
                 if self._defer:
                     self._gc_pending = True
@@ -699,7 +699,7 @@ class RunStore:
         max_count = self.max_count if max_count is None else max_count
         max_bytes = self.max_bytes if max_bytes is None else max_bytes
         with self._mutex:
-            index = self._sync_index()
+            index = self._sync_index_locked()
             records = index["records"]
             count = len(records)
             total = sum(entry["bytes"] for entry in records.values())
@@ -719,14 +719,14 @@ class RunStore:
                     freed += entry["bytes"]
                     evicted += 1
             index["evictions"] += evicted
-            self._save_index()
+            self._save_index_locked()
         return evicted, freed
 
     def stats(self) -> StoreStats:
         """Lifetime counters plus the store's current footprint."""
         with self._mutex:
-            index = self._sync_index()
-            self._save_index()
+            index = self._sync_index_locked()
+            self._save_index_locked()
             records = index["records"]
             return StoreStats(
                 hits=index["hits"], misses=index["misses"],
@@ -746,7 +746,7 @@ class RunStore:
                 self._unlink(key)
                 removed += 1
             if removed or self.index_path.exists():
-                index = self._load_index()
+                index = self._load_index_locked()
                 index["records"] = {}
-                self._save_index()
+                self._save_index_locked()
             return removed

@@ -20,7 +20,12 @@ headline flows:
   (``--clear`` empties it; the ``stats`` sub-subcommand prints
   hit/miss/eviction counters and footprint, ``gc --max-count N
   --max-bytes B`` evicts least-recently-used records; both take
-  ``--json``).
+  ``--json``),
+- ``lint [paths]`` — statically check the source tree against the
+  platform's invariants (:mod:`repro.devtools`): determinism,
+  error-taxonomy, lock-discipline, spec-schema and provenance rules,
+  with ``--json`` reports, ``--rule`` filtering and a committed
+  baseline.  Exit status: 0 clean, 1 findings, 2 usage error.
 
 Every measurement subcommand builds a declarative :mod:`repro.api` spec
 and executes it through :func:`repro.api.run` /
@@ -47,7 +52,9 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
+from repro import devtools
 from repro.errors import ReproError
 from repro.io.tables import render_table
 from repro.units import si_to_um_conc, v_to_mv
@@ -80,11 +87,20 @@ def _positive_float(text: str) -> float:
     return value
 
 
+def _lint_epilog() -> str:
+    lines = ["'lint' statically enforces the platform invariants:"]
+    lines += [f"  {rule.rule_id}  {rule.summary}"
+              for rule in devtools.default_rules()]
+    return "\n".join(lines)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-diagnostics",
         description=("Reproduction of 'An Integrated Platform for Advanced "
-                     "Diagnostics' (DATE 2011)"))
+                     "Diagnostics' (DATE 2011)"),
+        epilog=_lint_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("tables", help="print the paper's Tables I, II and III")
@@ -195,6 +211,29 @@ def build_parser() -> argparse.ArgumentParser:
                         help="keep at most B stored bytes (>= 0)")
     gc_cmd.add_argument("--json", action="store_true",
                         help="machine-readable output")
+
+    lint = sub.add_parser(
+        "lint", help="statically check sources against the platform "
+                     "invariants (REP001-REP006)",
+        epilog=_lint_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--rule", action="append", metavar="REP00x",
+                      choices=sorted(rule.rule_id for rule in
+                                     devtools.default_rules()),
+                      help="run only this rule (repeatable)")
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable report (the CI artifact)")
+    lint.add_argument("--baseline", type=str, default=None, metavar="FILE",
+                      help="baseline file of grandfathered findings "
+                           "(default: devtools/lint_baseline.json)")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="rewrite the baseline to cover exactly the "
+                           "current findings, then exit 0")
+    lint.add_argument("--write-schema", action="store_true",
+                      help="refresh devtools/schema_snapshot.json from "
+                           "the current spec surface before checking")
     return parser
 
 
@@ -670,6 +709,36 @@ def _cmd_cache_gc(store, max_count: int | None, max_bytes: int | None,
     return 0
 
 
+def _cmd_lint(args) -> int:
+    rules = devtools.default_rules()
+    if args.rule:
+        wanted = set(args.rule)
+        rules = [rule for rule in rules if rule.rule_id in wanted]
+    baseline_path = args.baseline or devtools.DEFAULT_BASELINE
+    engine = devtools.LintEngine(
+        rules, root=Path.cwd(),
+        baseline=devtools.Baseline.load(baseline_path))
+    try:
+        if args.write_schema:
+            sources = devtools.collect_sources(args.paths, Path.cwd())
+            devtools.write_snapshot(devtools.DEFAULT_SNAPSHOT, sources)
+            print(f"wrote {devtools.DEFAULT_SNAPSHOT}", file=sys.stderr)
+        result = engine.run(args.paths)
+    except FileNotFoundError as exc:
+        print(f"usage error: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        devtools.Baseline.write(baseline_path, result.findings)
+        print(f"wrote {baseline_path} with "
+              f"{len(result.findings)} entr"
+              f"{'y' if len(result.findings) == 1 else 'ies'}",
+              file=sys.stderr)
+        return 0
+    print(devtools.render_json(result) if args.json
+          else devtools.render_text(result))
+    return 0 if result.clean else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -699,6 +768,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_serve(args)
         if args.command == "cache":
             return _cmd_cache(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

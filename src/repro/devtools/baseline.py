@@ -1,0 +1,86 @@
+"""Committed baseline of grandfathered findings.
+
+A baseline entry is a finding *fingerprint* — rule, path, message, no
+line numbers — so it keeps matching its finding while unrelated edits
+move the file around it.  Semantics are deliberately one-way:
+
+- A finding matching a baseline entry is *baselined*: reported
+  separately, does not fail the gate.
+- A baseline entry matching no finding is *stale*: reported so the
+  file can only shrink.  Re-running ``--write-baseline`` drops stale
+  entries; it never resurrects them.
+- New findings never enter the baseline implicitly — only an explicit
+  ``--write-baseline`` run (a reviewed diff to a committed file) can.
+
+Policy (see :mod:`repro.devtools`): intentional, permanent exemptions
+belong in a ``lint-ignore`` comment next to the code with a reason;
+the baseline is only for *debt* — real findings scheduled to be fixed.
+This repo's committed baseline is empty and should stay that way.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.devtools.findings import Finding
+
+__all__ = ["Baseline", "BASELINE_FORMAT"]
+
+BASELINE_FORMAT = 1
+
+
+class Baseline:
+    """A set of grandfathered finding fingerprints."""
+
+    def __init__(self, entries: list[dict] | None = None,
+                 path: str | Path | None = None) -> None:
+        self.entries = list(entries or [])
+        self.path = Path(path) if path is not None else None
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Load from ``path``; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls(path=path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        return cls(entries=payload.get("findings", []), path=path)
+
+    def apply(self, findings: list[Finding]
+              ) -> tuple[list[Finding], list[Finding], list[dict]]:
+        """Split ``findings`` into ``(active, baselined, stale)``.
+
+        Each baseline entry absorbs every finding sharing its
+        fingerprint (a grandfathered pattern may occur on several
+        lines of the same file); ``stale`` is the entries that
+        absorbed nothing.
+        """
+        keys = {json.dumps(entry, sort_keys=True): entry
+                for entry in self.entries}
+        active: list[Finding] = []
+        baselined: list[Finding] = []
+        used: set[str] = set()
+        for finding in findings:
+            key = json.dumps(finding.fingerprint(), sort_keys=True)
+            if key in keys:
+                used.add(key)
+                baselined.append(finding)
+            else:
+                active.append(finding)
+        stale = [entry for key, entry in keys.items()
+                 if key not in used]
+        return active, baselined, stale
+
+    @staticmethod
+    def write(path: str | Path, findings: list[Finding]) -> dict:
+        """Write a fresh baseline covering exactly ``findings``."""
+        fingerprints = sorted(
+            {json.dumps(f.fingerprint(), sort_keys=True)
+             for f in findings})
+        payload = {"format": BASELINE_FORMAT,
+                   "findings": [json.loads(fp) for fp in fingerprints]}
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        return payload

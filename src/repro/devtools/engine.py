@@ -1,0 +1,221 @@
+"""The rule engine: source collection, rule dispatch, suppression.
+
+The engine is deliberately dependency-free (stdlib ``ast`` only): it
+must be runnable in CI before any third-party install step and must
+never import the code it is analysing — every check is static.
+
+Pipeline, per :meth:`LintEngine.run` call:
+
+1. **Collect** — the given paths (files or directories) expand to a
+   sorted list of ``*.py`` files; each becomes a :class:`ModuleSource`
+   (text + parsed AST).  A file that does not parse yields a
+   ``REP000`` finding instead of aborting the run.
+2. **Check** — every rule sees every module
+   (:meth:`Rule.check_module`) and, once, the whole source set
+   (:meth:`Rule.check_project` — for cross-file contracts such as the
+   schema snapshot).
+3. **Suppress** — findings covered by an inline ``lint-ignore``
+   annotation (see :mod:`repro.devtools.findings`) move to the
+   ``suppressed`` list; malformed annotations are findings themselves.
+4. **Baseline** — remaining findings matching a committed baseline
+   entry move to ``baselined``; baseline entries matching nothing are
+   reported as ``stale`` so grandfathered debt shrinks monotonically.
+
+The surviving ``findings`` list is the gate: empty means exit 0.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Protocol, runtime_checkable
+
+from repro.devtools.findings import (
+    META_RULE,
+    SEVERITY_ERROR,
+    Finding,
+    Suppression,
+    scan_suppressions,
+)
+
+__all__ = ["ModuleSource", "Rule", "RuleVisitor", "LintEngine",
+           "LintResult", "collect_sources"]
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".pytest_cache",
+                        "node_modules"})
+
+
+@dataclass
+class ModuleSource:
+    """One parsed source file handed to every rule."""
+
+    path: Path
+    relpath: str          # posix, relative to the lint root
+    text: str
+    tree: ast.Module | None   # None when the file does not parse
+
+    @property
+    def segments(self) -> tuple[str, ...]:
+        """Path segments, for package-scoped rules (``engine``, ...)."""
+        return tuple(Path(self.relpath).parts)
+
+
+@runtime_checkable
+class RuleVisitor(Protocol):
+    """Structural protocol every lint rule satisfies.
+
+    ``rule_id`` is the stable ``REP0xx`` identifier, ``severity`` one
+    of ``"error"``/``"warning"`` (advisory ranking — any finding fails
+    the gate), ``summary`` the one-line catalog entry the CLI help
+    prints.  A rule implements either hook; the default base class
+    makes both no-ops.
+    """
+
+    rule_id: str
+    severity: str
+    summary: str
+
+    def check_module(self, module: ModuleSource) -> list[Finding]: ...
+
+    def check_project(self, modules: list[ModuleSource]
+                      ) -> list[Finding]: ...
+
+
+class Rule:
+    """Convenience base: per-module and whole-project hooks, no-ops."""
+
+    rule_id = "REP999"
+    severity = SEVERITY_ERROR
+    summary = ""
+
+    def check_module(self, module: ModuleSource) -> list[Finding]:
+        return []
+
+    def check_project(self, modules: list[ModuleSource]
+                      ) -> list[Finding]:
+        return []
+
+    def finding(self, module: ModuleSource, node: ast.AST,
+                message: str) -> Finding:
+        return Finding(path=module.relpath,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0) + 1,
+                       rule=self.rule_id, severity=self.severity,
+                       message=message)
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced, ready for a reporter."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale_baseline: list[dict] = field(default_factory=list)
+    n_files: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def _iter_files(path: Path):
+    if path.is_file():
+        yield path
+        return
+    for child in sorted(path.rglob("*.py")):
+        if not any(part in _SKIP_DIRS for part in child.parts):
+            yield child
+
+
+def collect_sources(paths, root: Path) -> list[ModuleSource]:
+    """Expand paths to parsed :class:`ModuleSource` records.
+
+    Raises :class:`FileNotFoundError` for a path that does not exist —
+    the CLI maps that to a usage error (exit 2), not a lint finding.
+    """
+    sources: list[ModuleSource] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        for file in _iter_files(path):
+            resolved = file.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            try:
+                relpath = resolved.relative_to(root.resolve()).as_posix()
+            except ValueError:
+                relpath = file.as_posix()
+            text = file.read_text(encoding="utf-8")
+            try:
+                tree = ast.parse(text, filename=str(file))
+            except SyntaxError:
+                tree = None
+            sources.append(ModuleSource(path=file, relpath=relpath,
+                                        text=text, tree=tree))
+    return sources
+
+
+class LintEngine:
+    """Run a rule set over a source tree and post-process the findings.
+
+    ``root`` anchors the relative paths findings (and therefore
+    baseline entries and snapshot keys) are reported under — pass the
+    repository root so reports are stable regardless of invocation
+    directory.  ``baseline`` is a :class:`~repro.devtools.baseline.
+    Baseline` (or ``None`` for none).
+    """
+
+    def __init__(self, rules, root: str | Path | None = None,
+                 baseline=None) -> None:
+        self.rules = list(rules)
+        self.root = Path(root) if root is not None else Path.cwd()
+        self.baseline = baseline
+        ids = [rule.rule_id for rule in self.rules]
+        if len(ids) != len(set(ids)):
+            raise ValueError(f"duplicate rule ids: {sorted(ids)}")
+
+    @property
+    def known_rules(self) -> frozenset[str]:
+        return frozenset({META_RULE,
+                          *(rule.rule_id for rule in self.rules)})
+
+    def run(self, paths) -> LintResult:
+        sources = collect_sources(paths, self.root)
+        result = LintResult(n_files=len(sources))
+        raw: list[Finding] = []
+        suppressions: dict[str, list[Suppression]] = {}
+        for module in sources:
+            ignores, problems = scan_suppressions(
+                module.relpath, module.text, self.known_rules)
+            suppressions[module.relpath] = ignores
+            raw.extend(problems)
+            if module.tree is None:
+                raw.append(Finding(
+                    path=module.relpath, line=1, col=1, rule=META_RULE,
+                    severity=SEVERITY_ERROR,
+                    message="file does not parse as Python"))
+                continue
+            for rule in self.rules:
+                raw.extend(rule.check_module(module))
+        for rule in self.rules:
+            raw.extend(rule.check_project(sources))
+        raw.sort()
+        active: list[Finding] = []
+        for finding in raw:
+            if finding.rule != META_RULE and any(
+                    s.covers(finding)
+                    for s in suppressions.get(finding.path, ())):
+                result.suppressed.append(finding)
+            else:
+                active.append(finding)
+        if self.baseline is not None:
+            active, baselined, stale = self.baseline.apply(active)
+            result.baselined = baselined
+            result.stale_baseline = stale
+        result.findings = active
+        return result

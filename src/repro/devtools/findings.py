@@ -1,0 +1,148 @@
+"""Finding records and suppression parsing for the invariant linter.
+
+A :class:`Finding` is one rule violation at one source location —
+immutable, ordered by location for stable reports, and serialisable
+for the JSON reporter and the baseline file.  The *fingerprint* of a
+finding deliberately excludes line and column numbers: a baseline
+entry must keep matching its grandfathered finding while unrelated
+edits shift the file around it.
+
+Suppressions are in-source annotations::
+
+    risky_call()  # repro: lint-ignore[REP001] seeded upstream by caller
+
+or, for lines too long to carry a trailing comment, in a comment block
+immediately above (the suppression covers the first code line after
+the block, so the reason may continue over several comment lines)::
+
+    # repro: lint-ignore[REP002] supervision boundary must catch all
+    # worker failures to classify them
+    except Exception as exc:
+
+Every suppression names the rule(s) it silences (comma-separated) and
+carries a non-empty reason; an unknown rule id or a missing reason is
+itself a finding (``REP000``), so suppressions cannot rot silently.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Finding",
+    "Suppression",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "scan_suppressions",
+]
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+#: Rule id reserved for the engine itself: malformed suppressions and
+#: files that do not parse.
+META_RULE = "REP000"
+
+_IGNORE_RE = re.compile(
+    r"#\s*repro:\s*lint-ignore\[(?P<rules>[^\]]*)\]\s*(?P<reason>.*)$")
+_RULE_ID_RE = re.compile(r"^REP\d{3}$")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation: ``path:line:col`` plus rule id and message."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: str
+    message: str
+
+    def fingerprint(self) -> dict:
+        """The location-independent identity used by baseline matching."""
+        return {"rule": self.rule, "path": self.path,
+                "message": self.message}
+
+    def to_dict(self) -> dict:
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "rule": self.rule, "severity": self.severity,
+                "message": self.message}
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule} {self.severity}: {self.message}")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``lint-ignore`` annotation.
+
+    ``lines`` holds every source line the suppression covers: the
+    comment's own line and, when the comment stands alone, the line
+    below it.
+    """
+
+    line: int
+    rules: tuple[str, ...]
+    reason: str
+    lines: tuple[int, ...] = field(default=())
+
+    def covers(self, finding: Finding) -> bool:
+        return finding.line in self.lines and finding.rule in self.rules
+
+
+def scan_suppressions(relpath: str, text: str,
+                      known_rules: frozenset[str],
+                      ) -> tuple[list[Suppression], list[Finding]]:
+    """Parse every ``lint-ignore`` annotation in ``text``.
+
+    Returns ``(suppressions, problems)`` where ``problems`` are
+    :data:`META_RULE` findings for annotations naming unknown rules or
+    carrying no reason.  Malformed annotations suppress nothing.
+    """
+    suppressions: list[Suppression] = []
+    problems: list[Finding] = []
+    all_lines = text.splitlines()
+    for lineno, line in enumerate(all_lines, start=1):
+        match = _IGNORE_RE.search(line)
+        if match is None:
+            continue
+        rules = tuple(part.strip() for part in
+                      match.group("rules").split(",") if part.strip())
+        reason = match.group("reason").strip()
+        bad = [rule for rule in rules
+               if not _RULE_ID_RE.match(rule) or rule not in known_rules]
+        if not rules or bad:
+            problems.append(Finding(
+                path=relpath, line=lineno, col=match.start() + 1,
+                rule=META_RULE, severity=SEVERITY_ERROR,
+                message=(f"lint-ignore names unknown rule(s) "
+                         f"{', '.join(bad)}" if bad else
+                         "lint-ignore names no rule "
+                         "(use lint-ignore[REP00x] reason)")))
+            continue
+        if not reason:
+            problems.append(Finding(
+                path=relpath, line=lineno, col=match.start() + 1,
+                rule=META_RULE, severity=SEVERITY_ERROR,
+                message=(f"lint-ignore[{', '.join(rules)}] carries no "
+                         f"reason; every suppression must say why")))
+            continue
+        covered = [lineno]
+        if line.lstrip().startswith("#"):
+            # Comment-above form: cover the rest of the comment block
+            # and the first code line after it.
+            nxt = lineno  # 0-based index of the line below
+            while nxt < len(all_lines) and (
+                    not all_lines[nxt].strip()
+                    or all_lines[nxt].lstrip().startswith("#")):
+                covered.append(nxt + 1)
+                nxt += 1
+            if nxt < len(all_lines):
+                covered.append(nxt + 1)
+        suppressions.append(Suppression(line=lineno, rules=rules,
+                                        reason=reason,
+                                        lines=tuple(covered)))
+    return suppressions, problems

@@ -1,0 +1,59 @@
+"""Reporters: deterministic text and JSON renderings of a lint run.
+
+Both reporters are pure functions of a
+:class:`~repro.devtools.engine.LintResult` and emit byte-stable output
+for a given result (findings arrive pre-sorted from the engine; JSON
+keys are sorted) so CI diffs and golden tests stay meaningful.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.devtools.engine import LintResult
+
+__all__ = ["render_text", "render_json", "REPORT_FORMAT"]
+
+REPORT_FORMAT = 1
+
+
+def _plural(n: int, noun: str) -> str:
+    return f"{n} {noun}{'' if n == 1 else 's'}"
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [finding.render() for finding in result.findings]
+    for entry in result.stale_baseline:
+        lines.append(
+            f"{entry.get('path', '?')}: {entry.get('rule', '?')} "
+            f"stale-baseline: entry no longer matches any finding; "
+            f"remove it (or re-run --write-baseline)")
+    summary = (f"{_plural(len(result.findings), 'finding')} "
+               f"in {_plural(result.n_files, 'file')}")
+    extras = []
+    if result.suppressed:
+        extras.append(f"{len(result.suppressed)} suppressed")
+    if result.baselined:
+        extras.append(f"{len(result.baselined)} baselined")
+    if result.stale_baseline:
+        extras.append(
+            f"{len(result.stale_baseline)} stale baseline entries")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (the CI artifact)."""
+    payload = {
+        "format": REPORT_FORMAT,
+        "clean": result.clean,
+        "n_files": result.n_files,
+        "findings": [f.to_dict() for f in result.findings],
+        "suppressed": [f.to_dict() for f in result.suppressed],
+        "baselined": [f.to_dict() for f in result.baselined],
+        "stale_baseline": list(result.stale_baseline),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

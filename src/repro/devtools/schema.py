@@ -1,0 +1,275 @@
+"""Spec-schema rules: snapshot drift (REP004) and provenance
+round-trip completeness (REP006).
+
+A *spec class* is found structurally: a ``@dataclass`` that defines
+both ``to_dict`` and ``from_dict``.  Its field set — the class-level
+annotated names — IS the wire schema: ``to_dict`` output feeds
+``canonical_payload`` feeds ``spec_hash`` feeds ``JobKey``, so the
+extracted fields are simultaneously the serialisation contract and the
+provenance contract.
+
+REP004 compares the extracted surface against the committed
+``devtools/schema_snapshot.json``.  Any drift — a field or spec class
+added, removed, or renamed — without a ``SCHEMA_VERSION`` bump is an
+error: old stored payloads would deserialise differently (or hash
+differently) with no migration gate.  Bumping ``SCHEMA_VERSION`` above
+the snapshot's recorded value acknowledges the break; the snapshot is
+then refreshed with ``repro lint --write-schema``.
+
+REP006 checks each spec class in isolation: every field name must
+appear as a string literal inside *both* ``to_dict`` and ``from_dict``.
+A field missing from ``to_dict`` never reaches the canonical payload —
+two specs differing only in that field would collide on ``spec_hash``
+and the store would serve one's cached results for the other.  A field
+missing from ``from_dict`` cannot round-trip a saved run back into a
+replayable spec.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+
+from repro.devtools.engine import ModuleSource, Rule
+from repro.devtools.findings import Finding
+
+__all__ = ["SchemaSnapshotRule", "SpecRoundTripRule", "SpecClass",
+           "extract_specs", "load_snapshot", "write_snapshot",
+           "SNAPSHOT_FORMAT"]
+
+#: Version of the snapshot *file format* (not of the spec schema).
+SNAPSHOT_FORMAT = 1
+
+
+class SpecClass:
+    """One extracted spec dataclass: where it lives and its fields."""
+
+    def __init__(self, module: ModuleSource, node: ast.ClassDef,
+                 fields: tuple[str, ...]) -> None:
+        self.module = module
+        self.node = node
+        self.fields = fields
+
+    @property
+    def key(self) -> str:
+        return f"{self.module.relpath}::{self.node.name}"
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = target.attr if isinstance(target, ast.Attribute) else \
+            getattr(target, "id", None)
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _methods(node: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    return {item.name: item for item in node.body
+            if isinstance(item, ast.FunctionDef)}
+
+
+def _class_fields(node: ast.ClassDef) -> tuple[str, ...]:
+    fields = []
+    for item in node.body:
+        if isinstance(item, ast.AnnAssign) and \
+                isinstance(item.target, ast.Name):
+            name = item.target.id
+            annotation = ast.unparse(item.annotation)
+            if not name.startswith("_") and "ClassVar" not in annotation:
+                fields.append(name)
+    return tuple(fields)
+
+
+def _spec_classes(module: ModuleSource) -> list[SpecClass]:
+    if module.tree is None:
+        return []
+    found = []
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ClassDef) and _is_dataclass(node):
+            methods = _methods(node)
+            if "to_dict" in methods and "from_dict" in methods:
+                found.append(SpecClass(module, node,
+                                       _class_fields(node)))
+    return found
+
+
+def _schema_version(module: ModuleSource) -> int | None:
+    """Module-level ``SCHEMA_VERSION = <int>`` constant, if any."""
+    if module.tree is None:
+        return None
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and \
+                        target.id == "SCHEMA_VERSION" and \
+                        isinstance(node.value, ast.Constant) and \
+                        isinstance(node.value.value, int):
+                    return node.value.value
+    return None
+
+
+def extract_specs(modules: list[ModuleSource]
+                  ) -> tuple[dict[str, SpecClass], int | None]:
+    """All spec classes in ``modules`` plus the max ``SCHEMA_VERSION``."""
+    specs: dict[str, SpecClass] = {}
+    version: int | None = None
+    for module in modules:
+        for spec in _spec_classes(module):
+            specs[spec.key] = spec
+        declared = _schema_version(module)
+        if declared is not None:
+            version = declared if version is None else max(version,
+                                                           declared)
+    return specs, version
+
+
+def snapshot_payload(specs: dict[str, SpecClass],
+                     version: int | None) -> dict:
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "schema_version": version,
+        "specs": {key: sorted(spec.fields)
+                  for key, spec in sorted(specs.items())},
+    }
+
+
+def load_snapshot(path: str | Path) -> dict | None:
+    path = Path(path)
+    if not path.exists():
+        return None
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def write_snapshot(path: str | Path, modules: list[ModuleSource]
+                   ) -> dict:
+    specs, version = extract_specs(modules)
+    payload = snapshot_payload(specs, version)
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True)
+                          + "\n", encoding="utf-8")
+    return payload
+
+
+class SchemaSnapshotRule(Rule):
+    """REP004 — spec surface must match the committed snapshot.
+
+    Drift is acceptable exactly when ``SCHEMA_VERSION`` was bumped
+    above the snapshot's recorded value; the snapshot is then
+    refreshed via ``repro lint --write-schema``.
+    """
+
+    rule_id = "REP004"
+    summary = ("spec dataclass fields must match devtools/"
+               "schema_snapshot.json or bump SCHEMA_VERSION")
+
+    def __init__(self, snapshot_path: str | Path) -> None:
+        self.snapshot_path = Path(snapshot_path)
+
+    def check_project(self, modules: list[ModuleSource]
+                      ) -> list[Finding]:
+        specs, version = extract_specs(modules)
+        if not specs:
+            return []
+        snapshot = load_snapshot(self.snapshot_path)
+        anchor = min(specs.values(), key=lambda s: s.key)
+        if snapshot is None:
+            return [Finding(
+                path=anchor.module.relpath, line=1, col=1,
+                rule=self.rule_id, severity=self.severity,
+                message=(f"schema snapshot {self.snapshot_path.name} "
+                         f"is missing; generate it with "
+                         f"'repro lint --write-schema'"))]
+        old_specs: dict = snapshot.get("specs", {})
+        old_version = snapshot.get("schema_version")
+        current = {key: sorted(spec.fields)
+                   for key, spec in specs.items()}
+        if current == old_specs:
+            return []
+        if version is not None and old_version is not None \
+                and version > old_version:
+            # Drift acknowledged by a SCHEMA_VERSION bump: quiet.  The
+            # next --write-schema run re-anchors the snapshot at the
+            # new version and checking resumes from there.
+            return []
+        return self._drift_findings(specs, current, old_specs,
+                                    old_version, anchor)
+
+    def _drift_findings(self, specs, current, old_specs, old_version,
+                        anchor) -> list[Finding]:
+        findings = []
+
+        def drift(spec_or_none, key, detail):
+            if spec_or_none is not None:
+                path = spec_or_none.module.relpath
+                line = spec_or_none.node.lineno
+            else:
+                path, line = anchor.module.relpath, 1
+            findings.append(Finding(
+                path=path, line=line, col=1, rule=self.rule_id,
+                severity=self.severity,
+                message=(f"{key.split('::')[-1]}: {detail} without a "
+                         f"SCHEMA_VERSION bump (snapshot records "
+                         f"schema_version={old_version}); old stored "
+                         f"payloads would not round-trip — bump "
+                         f"SCHEMA_VERSION and re-run with "
+                         f"--write-schema")))
+
+        for key in sorted(set(current) | set(old_specs)):
+            if key not in old_specs:
+                drift(specs[key], key, "spec class added")
+            elif key not in current:
+                drift(None, key, "spec class removed")
+            elif current[key] != old_specs[key]:
+                added = sorted(set(current[key]) - set(old_specs[key]))
+                removed = sorted(set(old_specs[key]) - set(current[key]))
+                parts = []
+                if added:
+                    parts.append(f"field(s) added: {', '.join(added)}")
+                if removed:
+                    parts.append(
+                        f"field(s) removed: {', '.join(removed)}")
+                drift(specs[key], key, "; ".join(parts))
+        return findings
+
+
+class SpecRoundTripRule(Rule):
+    """REP006 — every spec field feeds serialisation and provenance.
+
+    Each annotated field of a spec dataclass must appear as a string
+    literal in both ``to_dict`` (else it never reaches
+    ``canonical_payload``/``spec_hash`` and distinct specs collide in
+    the store) and ``from_dict`` (else saved runs cannot be replayed).
+    """
+
+    rule_id = "REP006"
+    summary = ("every spec field must appear in to_dict AND from_dict "
+               "so it feeds spec_hash/JobKey provenance")
+
+    @staticmethod
+    def _string_literals(func: ast.FunctionDef) -> set[str]:
+        return {node.value for node in ast.walk(func)
+                if isinstance(node, ast.Constant)
+                and isinstance(node.value, str)}
+
+    def check_module(self, module: ModuleSource) -> list[Finding]:
+        findings = []
+        for spec in _spec_classes(module):
+            methods = _methods(spec.node)
+            to_dict = self._string_literals(methods["to_dict"])
+            from_dict = self._string_literals(methods["from_dict"])
+            for name in spec.fields:
+                missing = [label for label, seen in
+                           (("to_dict", to_dict),
+                            ("from_dict", from_dict))
+                           if name not in seen]
+                if missing:
+                    findings.append(self.finding(
+                        module, spec.node,
+                        f"{spec.node.name}.{name} does not appear in "
+                        f"{' or '.join(missing)}; fields absent from "
+                        f"to_dict never reach canonical_payload/"
+                        f"spec_hash (silent cache collisions), fields "
+                        f"absent from from_dict cannot replay"))
+        return findings

@@ -179,6 +179,17 @@ the engine restructures it in five layers:
     drives worker crashes, hangs, transient errors and store
     corruption deterministically in CI.
 
+11. **Correctness tooling** (:mod:`repro.devtools`, above this
+    package).  The invariants the layers above rely on — randomness
+    only from explicitly seeded generators (layer 5's bit-identical
+    replay), the closed :class:`~repro.errors.ReproError` taxonomy,
+    lock-guarded shared state in the store and service registries,
+    and the versioned round-trippable spec surface — are enforced
+    *statically* by a stdlib-``ast`` lint pass (``repro lint``,
+    rules REP001–REP006) that runs over every source file in CI.
+    Runtime tests prove the contracts hold on exercised paths; the
+    linter proves new code cannot quietly opt out of them.
+
 Equivalence guarantee
 =====================
 

@@ -22,6 +22,8 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict, deque
 
+from repro.errors import ServiceError
+
 __all__ = ["PriorityJobQueue"]
 
 _TIER_NORMAL = 0
@@ -47,10 +49,11 @@ class PriorityJobQueue:
 
     def push(self, job, client: str, screening: bool = False) -> None:
         """Enqueue a job for ``client`` (``screening`` deprioritizes)."""
-        tier = self._tiers[_TIER_SCREENING if screening else _TIER_NORMAL]
         with self._cond:
             if self._closed:
-                raise RuntimeError("job queue is closed")
+                raise ServiceError("job queue is closed")
+            tier = self._tiers[
+                _TIER_SCREENING if screening else _TIER_NORMAL]
             tier.setdefault(client, deque()).append(job)
             self._size += 1
             self._cond.notify()

@@ -28,7 +28,11 @@ __all__ = ["TokenBucket", "RateLimiter", "UsageLedger"]
 
 class TokenBucket:
     """One client's allowance: ``capacity`` burst, ``refill_per_s``
-    sustained."""
+    sustained.
+
+    Not thread-safe on its own — buckets own no lock and are always
+    driven under :attr:`RateLimiter._lock` by their owning limiter.
+    """
 
     def __init__(self, capacity: float, refill_per_s: float,
                  clock=time.monotonic) -> None:
@@ -108,36 +112,36 @@ class UsageLedger:
                         self._usage[str(key)] = {
                             f: row.get(f, 0) for f in _USAGE_FIELDS}
 
-    def _row(self, key: str) -> dict:
+    def _row_locked(self, key: str) -> dict:
         row = self._usage.get(key)
         if row is None:
             row = {f: 0 for f in _USAGE_FIELDS}
             self._usage[key] = row
         return row
 
-    def _save(self) -> None:
+    def _save_locked(self) -> None:
         if self.path is not None:
             write_json(self._usage, self.path)
 
     def note_submitted(self, key: str) -> None:
         with self._lock:
-            self._row(key)["runs"] += 1
-            self._save()
+            self._row_locked(key)["runs"] += 1
+            self._save_locked()
 
     def note_rejected(self, key: str) -> None:
         with self._lock:
-            self._row(key)["rejected"] += 1
-            self._save()
+            self._row_locked(key)["rejected"] += 1
+            self._save_locked()
 
     def note_completed(self, key: str, jobs: int, solve_steps: int,
                        wall_time_s: float) -> None:
         with self._lock:
-            row = self._row(key)
+            row = self._row_locked(key)
             row["jobs"] += int(jobs)
             row["solve_steps"] += int(solve_steps)
             row["wall_time_s"] = float(row["wall_time_s"]) \
                 + float(wall_time_s)
-            self._save()
+            self._save_locked()
 
     def snapshot(self) -> dict:
         with self._lock:

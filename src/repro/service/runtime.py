@@ -325,6 +325,9 @@ class ServiceRuntime:
         except ReproError as exc:
             job.finish("failed", {"type": type(exc).__name__,
                                   "message": str(exc)})
+        # repro: lint-ignore[REP002] dispatcher boundary: an
+        # unclassified bug must still land the job in a terminal
+        # failed state instead of killing the dispatcher thread
         except Exception as exc:  # pragma: no cover - defensive
             job.finish("failed", {"type": type(exc).__name__,
                                   "message": str(exc)})

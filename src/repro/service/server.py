@@ -100,6 +100,8 @@ class DiagnosticsServer:
                     asyncio.start_server(self._handle, self.spec.host,
                                          self.spec.port))
                 self.port = self._server.sockets[0].getsockname()[1]
+            # repro: lint-ignore[REP002] thread boundary: any bind
+            # failure must be captured and re-raised as ServiceError
             except BaseException as exc:  # pragma: no cover - bind races
                 failure.append(exc)
                 ready.set()
@@ -143,7 +145,8 @@ class DiagnosticsServer:
         try:
             method, path, query, headers, body = await self._read_request(
                 reader)
-        except (ValueError, asyncio.IncompleteReadError, ConnectionError):
+        except (ServiceError, ValueError, asyncio.IncompleteReadError,
+                ConnectionError):
             writer.close()
             return
         client = headers.get("x-api-key", "anonymous")
@@ -167,12 +170,16 @@ class DiagnosticsServer:
         except ReproError as exc:
             await self._respond(writer, 500, {
                 "error": str(exc), "error_type": type(exc).__name__})
+        # repro: lint-ignore[REP002] last-resort 500: a handler bug
+        # must not kill the accept loop or hang the client
         except Exception as exc:  # pragma: no cover - defensive
             await self._respond(writer, 500, {
                 "error": str(exc), "error_type": type(exc).__name__})
         finally:
             try:
                 writer.close()
+            # repro: lint-ignore[REP002] teardown guard: close on an
+            # already-dead transport raises transport-specific errors
             except Exception:  # pragma: no cover - already closed
                 pass
 
@@ -181,7 +188,8 @@ class DiagnosticsServer:
         request_line = (await reader.readline()).decode("latin-1").strip()
         parts = request_line.split(" ")
         if len(parts) != 3:
-            raise ValueError(f"malformed request line: {request_line!r}")
+            raise ServiceError(
+                f"malformed request line: {request_line!r}")
         method, target, _version = parts
         split = urlsplit(target)
         query = {k: v[-1] for k, v in parse_qs(split.query).items()}
@@ -195,7 +203,7 @@ class DiagnosticsServer:
             headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", 0) or 0)
         if not 0 <= length <= _MAX_BODY:
-            raise ValueError(f"unreasonable content-length: {length}")
+            raise ServiceError(f"unreasonable content-length: {length}")
         body = await reader.readexactly(length) if length else b""
         return method.upper(), split.path, query, headers, body
 

@@ -178,7 +178,7 @@ class TestPriorityJobQueue:
         q = PriorityJobQueue()
         q.push(_StubJob("queued-before-close"), client="alice")
         q.close()
-        with pytest.raises(RuntimeError):
+        with pytest.raises(ServiceError):
             q.push(_StubJob("late"), client="alice")
         assert q.pop(timeout=0).id == "queued-before-close"
         assert q.pop(timeout=10) is None        # returns, doesn't block
