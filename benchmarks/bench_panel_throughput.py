@@ -149,6 +149,17 @@ SERVICE_CA_DWELL = 1.0
 MIN_POOL_SPEEDUP = (
     1.5 if not QUICK and (os.cpu_count() or 1) >= N_POOL_WORKERS
     else (1.0 if QUICK else 1.1))
+# Distributed axis: the same fleet through a shared queue directory
+# served by 1/2/4 detached `repro worker` processes.  Workers are
+# persistent capacity — they are spawned (and have printed their ready
+# line) before the clock starts, so the timed quantity is
+# submit-to-merge.  The >= 1.5x bar (4 workers vs 1) is enforced where
+# the cores exist; the parity bar is unconditional.
+N_CELLS_DIST = 2 if QUICK else 16
+DIST_WORKER_COUNTS = (1,) if QUICK else (1, 2, 4)
+MIN_DIST_SPEEDUP = (
+    1.5 if not QUICK and (os.cpu_count() or 1) >= max(DIST_WORKER_COUNTS)
+    else 0.0)
 
 _OXIDASE_TARGETS = ("glucose", "lactate", "glutamate")
 
@@ -436,6 +447,78 @@ def run_store_experiment() -> dict:
                 "store_hit_rate": stats.hit_rate}
 
 
+def run_distributed_experiment() -> dict:
+    """The same fleet through the queue-backed distributed backend,
+    served by 1/2/4 detached ``repro worker`` processes, then a warm
+    cluster-wide re-run against the shared store."""
+    import subprocess
+    import sys
+    import tempfile
+    import time
+    from pathlib import Path
+
+    from repro import api
+
+    spec = api.FleetSpec.homogeneous(cells=N_CELLS_DIST, seed=910,
+                                     ca_dwell=CA_DWELL)
+    inline_results = [r.result for r in api.InlineExecutor().run_fleet(spec)]
+
+    def spawn_workers(queue: Path, count: int) -> list:
+        procs = []
+        for _ in range(count):
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro.cli", "worker",
+                 "--queue", str(queue), "--idle-exit-s", "30"],
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                text=True)
+            ready = proc.stdout.readline()
+            assert ready.startswith("repro worker: ready "), ready
+            procs.append(proc)
+        return procs
+
+    rates: dict[int, float] = {}
+    deviation = 0.0
+    with tempfile.TemporaryDirectory() as root:
+        for count in DIST_WORKER_COUNTS:
+            # A fresh queue (and store) per worker count keeps every
+            # timed pass cold; only the final queue is re-run warm.
+            queue = Path(root) / f"q{count}"
+            procs = spawn_workers(queue, count)
+            try:
+                executor = api.DistributedExecutor(queue=queue,
+                                                   workers=count)
+                start = time.perf_counter()
+                records = list(executor.run_fleet(spec))
+                elapsed = time.perf_counter() - start
+            finally:
+                for proc in procs:
+                    proc.terminate()
+                    proc.wait()
+            rates[count] = len(records) / elapsed
+            deviation = max(deviation, max_relative_deviation(
+                inline_results, [r.result for r in records]))
+        # Warm cluster-wide re-run: a *different* worker process, the
+        # same shared store — every job short-circuits.
+        procs = spawn_workers(queue, 1)
+        try:
+            warm = api.run(spec, backend=api.DistributedExecutor(
+                queue=queue, workers=DIST_WORKER_COUNTS[-1]))
+        finally:
+            for proc in procs:
+                proc.terminate()
+                proc.wait()
+    low, high = DIST_WORKER_COUNTS[0], DIST_WORKER_COUNTS[-1]
+    return {"n_cells": N_CELLS_DIST,
+            "worker_counts": list(DIST_WORKER_COUNTS),
+            "rates": {str(count): rates[count] for count in rates},
+            "speedup": rates[high] / rates[low],
+            "relative_deviation": deviation,
+            "warm_all_cached": all(r.cached for r in warm.records),
+            "warm_solve_steps": warm.engine.n_solve_steps,
+            "enforced_min_speedup": MIN_DIST_SPEEDUP,
+            "host_cpus": os.cpu_count() or 1}
+
+
 def run_service_experiment() -> dict:
     """The service layer under concurrent load, and the persistent
     worker pool against spawn-per-run executors."""
@@ -541,6 +624,7 @@ def test_panel_throughput(benchmark, report, json_report):
     # spawn-per-run leg must pay the pool cost a fresh deployment pays,
     # not the discounted cost of a process that has churned pools.
     service = run_service_experiment()
+    distributed = run_distributed_experiment()
     backends = run_backend_experiment()
     supervision = run_supervision_experiment()
     store_axis = run_store_experiment()
@@ -633,6 +717,24 @@ def test_panel_throughput(benchmark, report, json_report):
             "acceptance": {"min_pool_speedup": 1.5,
                            "enforced_min_pool_speedup": MIN_POOL_SPEEDUP},
         },
+        "distributed": {
+            "workload": (f"{distributed['n_cells']}-cell paper-panel "
+                         f"fleet, shared queue, "
+                         f"{distributed['worker_counts']} worker "
+                         f"processes"),
+            "host_cpus": distributed["host_cpus"],
+            "assays_per_sec": distributed["rates"],
+            "scaling_speedup": distributed["speedup"],
+            "max_relative_deviation": distributed["relative_deviation"],
+            "warm_all_cached": distributed["warm_all_cached"],
+            "warm_solve_steps": distributed["warm_solve_steps"],
+            "acceptance": {
+                "min_speedup": 1.5,
+                "enforced_min_speedup":
+                    distributed["enforced_min_speedup"],
+                "max_deviation": 1.0e-12,
+                "warm_solve_steps": 0},
+        },
     })
     report(render_table(
         ["implementation", "assays/sec"],
@@ -717,6 +819,23 @@ def test_panel_throughput(benchmark, report, json_report):
                f"{service['start_method']} start")))
     report(f"persistent-pool speedup  : {service['pool_speedup']:.1f}x  "
            f"(acceptance: >= 1.5x; enforced: >= {MIN_POOL_SPEEDUP:g}x here)")
+    report(render_table(
+        ["worker fleet", "assays/sec"],
+        [[f"{count} repro worker process(es)",
+          f"{distributed['rates'][str(count)]:.2f}"]
+         for count in distributed["worker_counts"]],
+        title=(f"P1h | distributed axis, {distributed['n_cells']}-cell "
+               f"fleet through a shared queue, "
+               f"{distributed['host_cpus']} host CPU(s)")))
+    report(f"distributed scaling      : {distributed['speedup']:.1f}x  "
+           f"({distributed['worker_counts'][-1]} vs "
+           f"{distributed['worker_counts'][0]} workers; acceptance: "
+           f">= 1.5x with >= {distributed['worker_counts'][-1]} cores; "
+           f"enforced: >= {distributed['enforced_min_speedup']:g}x here)")
+    report(f"distributed warm re-run  : all_cached="
+           f"{distributed['warm_all_cached']}, "
+           f"{distributed['warm_solve_steps']} engine solve steps "
+           f"(acceptance: 0)")
 
     # The scheduler must reproduce the sequential panels and beat them.
     assert out["relative_deviation"] <= 1.0e-12
@@ -745,3 +864,9 @@ def test_panel_throughput(benchmark, report, json_report):
     assert service["store_hits"] >= service["n_submissions"]
     assert service["rejected"] == 0
     assert service["pool_speedup"] >= MIN_POOL_SPEEDUP
+    # Distributed workers must agree bit for bit, scale when the cores
+    # exist, and short-circuit a warm fleet cluster-wide.
+    assert distributed["relative_deviation"] <= 1.0e-12
+    assert distributed["speedup"] >= distributed["enforced_min_speedup"]
+    assert distributed["warm_all_cached"]
+    assert distributed["warm_solve_steps"] == 0

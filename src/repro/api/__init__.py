@@ -22,7 +22,9 @@ pluggable (:mod:`repro.api.executors`): :class:`InlineExecutor` is one
 fused scheduler pass in this process (the bit-identical reference) and
 :class:`ProcessExecutor` shards the fleet's jobs across worker
 processes, re-merging completions in job order so the stream — and
-every sample of every result — is bit-identical to inline.  Select a
+every sample of every result — is bit-identical to inline.
+:class:`DistributedExecutor` (below) ships the same shards through a
+queue directory to detached ``repro worker`` processes.  Select a
 backend declaratively through the fleet's ``execution`` block::
 
     {"kind": "fleet", ..., "execution":
@@ -141,6 +143,57 @@ verify is quarantined to ``<root>/quarantine/`` (counted in
 treated as a miss — the job silently re-runs and re-persists a clean
 record.  Failed (degraded) records are never persisted.
 
+Distributed execution: the queue and the worker fleet
+=====================================================
+
+:class:`DistributedExecutor` (:mod:`repro.api.distributed`) decouples
+*who submits* from *who computes*.  The submitter publishes each shard
+as a task file under a shared **queue directory** (``tasks/`` tasks,
+``claims/`` claim markers, ``results/`` completions, ``store/`` the
+default shared run store); independent worker processes —
+``repro worker --queue DIR``, started before or after the run, one or
+many, on any host sharing the file system — claim tasks atomically via
+``os.O_EXCL`` claim files, execute them through the same fused
+scheduler pass, and write results back.  The submitter re-merges
+completions in job order, so the stream is bit-identical to inline::
+
+    repro worker --queue /shared/q &          # capacity, once
+    repro run fleet.json --backend distributed --queue /shared/q
+
+or declaratively ``{"execution": {"backend": "distributed", "queue":
+"/shared/q", "workers": 4}}``, or ``repro serve --backend distributed
+--queue DIR`` to put the whole service in front of the worker fleet.
+
+Liveness is judged by progress, not promises: a worker refreshes its
+claim's mtime after every completed job, so a crashed or hung worker's
+claim goes stale and the submitter reclaims and republishes the shard
+— under the same :class:`RetryPolicy` attempt budget, timeout horizon
+and ``on_error`` degradation as supervised process execution, and with
+the same bit-identity guarantee (a reclaimed, re-executed shard
+re-runs from canonical payloads with fresh seeded RNGs).
+
+Workers are **store-aware**: each consults the shared queue store
+before solving, under one batched index read per shard, so any job any
+worker has ever completed is a cluster-wide cache hit — a fully warm
+fleet performs zero engine solves (``EngineStats.n_solve_steps == 0``)
+regardless of which workers serve it, because warm jobs come back as
+:class:`~repro.api.records.CachedAssayRecord` entries that never touch
+the engine.  And because *where a record lives* is now a pluggable
+:class:`~repro.api.store.StorageDriver` behind :class:`RunStore`
+(:class:`~repro.api.store.LocalDirDriver` is the reference —
+content-addressed JSON under a sharded directory tree), the same
+store, executor and worker code runs unchanged over any backing that
+implements the driver's read/write/list/lock surface.
+
+**Speculative sweep prefetch** (opt-in: ``execution: {"prefetch":
+true}`` or ``--prefetch``) puts idle workers ahead of the user: when a
+sweep is submitted, the executor also publishes the sweep's *next*
+grid point along its last axis as low-priority prefetch tasks that
+workers drain only after all primary shards.  Their results go
+straight into the shared store — never into the submitted run's
+stream, which stays exactly the spec's grid — so the widened re-sweep
+a parameter study typically runs next starts warm.
+
 Spec schema
 ===========
 
@@ -169,16 +222,18 @@ live in :mod:`repro.api.specs`:
 Versioning policy
 =================
 
-``SCHEMA_VERSION`` (currently 4) is written into every payload and
+``SCHEMA_VERSION`` (currently 5) is written into every payload and
 checked on load; a reader raises :class:`~repro.errors.SpecError` on
 any version it does not understand, naming the offending file/path.
 Version 2 added the fleet ``execution`` block and the ``sweep`` kind;
 version 3 added the opt-in ``screening`` flag on assay and sweep
 payloads; version 4 added the ``retry`` policy and ``on_error`` mode
-to the execution block.  All are additive, so readers accept every
-version in ``SUPPORTED_SCHEMAS`` (1 through 4) and older files keep
-loading with their original behaviour (inline execution, full
-fidelity, unsupervised).  The
+to the execution block; version 5 added the ``distributed`` backend
+with its ``queue`` directory and the opt-in ``prefetch`` flag.  All
+are additive, so readers accept every version in
+``SUPPORTED_SCHEMAS`` (1 through 5) and older files keep loading with
+their original behaviour (inline execution, full fidelity,
+unsupervised).  The
 version bumps only on payload changes an older reader would misread;
 adding optional keys with defaults is not a bump.  Unknown keys are
 ignored on read — forward-written files degrade gracefully — and
@@ -241,6 +296,7 @@ paths are pinned bit-identical to them in ``tests/test_api_run.py``;
 specs add provenance and a stable file surface, not new physics.
 """
 
+from repro.api.distributed import DistributedExecutor, run_worker
 from repro.api.executors import (
     Executor,
     InlineExecutor,
@@ -282,7 +338,7 @@ from repro.api.specs import (
     spec_from_dict,
     spec_hash,
 )
-from repro.api.store import RunStore, StoreStats
+from repro.api.store import LocalDirDriver, RunStore, StorageDriver, StoreStats
 
 __all__ = [
     "SCHEMA_VERSION", "SUPPORTED_SCHEMAS",
@@ -300,8 +356,9 @@ __all__ = [
     # job-level pipeline
     "JobKey", "JobPlan",
     # execution backends + store
-    "Executor", "InlineExecutor", "ProcessExecutor", "resolve_executor",
-    "RunStore", "StoreStats",
+    "Executor", "InlineExecutor", "ProcessExecutor",
+    "DistributedExecutor", "run_worker", "resolve_executor",
+    "RunStore", "StoreStats", "StorageDriver", "LocalDirDriver",
     # resilience
     "RetryPolicy", "FaultInjector",
     # entry points

@@ -1,0 +1,860 @@
+"""Distributed fleet execution over a shared file-system queue.
+
+:class:`DistributedExecutor` is the third shipped backend (after
+``inline`` and ``process``): instead of spawning its own worker pool it
+*publishes* the fleet's shards as claimable task files in a queue
+directory, and independent worker processes — started with ``repro
+worker --queue <dir>`` on any host that shares the file system — claim
+shards, execute them, and write results back for the submitter to
+re-merge in job order.  The streamed records are pinned bit-identical
+to :class:`~repro.api.executors.InlineExecutor` (wall time and engine
+fusion statistics excepted — they describe the actual execution, and
+per-record statistics stay cumulative in merged job order exactly as on
+the process backend).
+
+**Queue layout.**  A queue root holds three directories plus (by
+default) the shared run store::
+
+    <queue>/tasks/    one JSON file per published shard (atomic write)
+    <queue>/claims/   <task>.claim, created O_EXCL by the winning worker
+    <queue>/results/  <task>.json, the executed shard's entries
+    <queue>/store/    the shared RunStore workers consult (default)
+
+Claim files are the whole coordination protocol: ``os.O_EXCL`` makes
+claiming atomic under any POSIX file system (two racing workers cannot
+both win), and the claim's mtime is the worker's *progress heartbeat* —
+touched as each job in the shard completes, so a claim that stops
+ageing marks a worker that crashed or wedged.  The submitter reclaims
+stale shards (claim older than the retry policy's ``timeout_s``, or a
+conservative default) by deleting the claim and republishing the task
+under the next attempt number; a worker whose claim vanished abandons
+the shard without writing results, so a slow-but-alive worker can never
+race a reclaimed shard's replacement.
+
+**Store-aware workers.**  Each worker opens the shared
+:class:`~repro.api.store.RunStore` next to the queue and, under one
+:meth:`~repro.api.store.RunStore.batched` window per shard, looks every
+claimed job up by :class:`~repro.api.jobs.JobKey` before solving —
+warm jobs short-circuit cluster-wide (shipped back as ``cached``
+entries with the original run's provenance), and fresh results are
+persisted by the worker itself, so *any* worker's work warms *every*
+subsequent run on the cluster.
+
+**Speculative prefetch.**  Sweeps opt in via ``execution:
+{prefetch: true}`` (schema v5): the submitter extrapolates the sweep's
+last grid axis one step forward and publishes the genuinely-new points
+as low-priority single-job tasks (named to sort after every primary
+shard), which idle workers execute straight into the shared store —
+the next wider sweep finds them warm.  Speculative tasks are
+best-effort: the submitting stream never waits on them, and unclaimed
+ones are removed when the stream closes.
+
+Faults (:mod:`repro.api.resilience`) ride inside the task files: the
+submitter serialises its injector's rules, workers re-parse them and
+apply the usual per-job commands — ``crash`` dies with the injected
+exit status, ``hang`` stalls past the heartbeat horizon, ``error``
+ships a failed entry — so the whole reclaim/retry/degradation path is
+testable with local worker subprocesses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+import traceback
+import warnings
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.api.executors import _record, shard_indices
+from repro.api.jobs import JobKey
+from repro.api.records import (
+    AssayRunRecord,
+    CachedAssayRecord,
+    EngineStats,
+    FailedAssayRecord,
+    ResilienceStats,
+)
+from repro.api.resilience import _CRASH_EXIT_STATUS, FaultInjector, RetryPolicy
+from repro.api.specs import (
+    SCHEMA_VERSION,
+    AssaySpec,
+    ExecutionSpec,
+    FleetSpec,
+    SweepSpec,
+)
+from repro.api.store import RunStore
+from repro.errors import ExecutionError, ReproError
+from repro.io.export import (
+    panel_result_from_payload,
+    panel_result_to_payload,
+    write_json,
+)
+
+__all__ = ["DistributedExecutor", "run_worker", "sweep_prefetch_assays",
+           "ensure_queue", "default_store_root"]
+
+#: How often an idle worker re-scans the task directory.
+_WORKER_POLL_S = 0.05
+
+#: How often a waiting submitter re-scans for results and stale claims.
+_SUBMIT_POLL_S = 0.02
+
+#: Claim-staleness horizon when no retry policy pins ``timeout_s``:
+#: generous, because the heartbeat ticks per *job* — a single job
+#: solving longer than this looks dead.  Supervised runs should set
+#: ``retry.timeout_s`` just above their longest job instead.
+_CLAIM_STALE_S = 300.0
+
+#: Warn the submitter once after this long with no worker activity.
+_NO_WORKER_WARN_S = 30.0
+
+#: Upper bound on speculative tasks published per sweep.
+_MAX_PREFETCH = 16
+
+#: Speculative task-name prefix — sorts after every primary task name
+#: (run ids are hex-led), so scanning workers drain real work first.
+_PREFETCH_PREFIX = "zz-prefetch"
+
+#: Idle workers sweep result files this stale: a shard that finished
+#: after its submitting stream closed leaves a result nobody consumes.
+_RESULT_GC_S = 3600.0
+
+
+class _ClaimLost(ExecutionError):
+    """A worker's claim vanished mid-shard: the submitter reclaimed it.
+
+    Internal control flow only — the worker abandons the shard quietly
+    (its replacement is already queued) and keeps scanning.
+    """
+
+
+# -- queue geometry ---------------------------------------------------------
+
+
+def _queue_dirs(queue) -> tuple[Path, Path, Path]:
+    root = Path(queue)
+    return root / "tasks", root / "claims", root / "results"
+
+
+def ensure_queue(queue) -> Path:
+    """Create the queue's coordination directories; returns the root."""
+    root = Path(queue)
+    for sub in _queue_dirs(root):
+        sub.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+def default_store_root(queue) -> Path:
+    """Where the shared store lives when not pointed elsewhere."""
+    return Path(queue) / "store"
+
+
+def _try_claim(claims_dir: Path, name: str) -> Path | None:
+    """Atomically claim a task; ``None`` when another worker won.
+
+    ``os.O_EXCL`` is the arbiter — exactly one opener creates the file.
+    The claim records the worker's pid and host so the submitter can
+    tell a crashed worker (pid gone) from a wedged one when it reclaims.
+    """
+    path = claims_dir / f"{name}.claim"
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return None
+    except OSError:
+        return None  # claims dir raced away; scan again
+    with os.fdopen(fd, "w") as handle:
+        json.dump({"pid": os.getpid(), "host": socket.gethostname()}, handle)
+    return path
+
+
+def _beat(claim: Path) -> None:
+    """Progress heartbeat: refresh the claim's mtime, once per job.
+
+    A missing claim means the submitter decided this worker was dead
+    and republished the shard — abandon immediately rather than racing
+    the replacement's results.
+    """
+    try:
+        os.utime(claim)
+    except OSError:
+        raise _ClaimLost(f"claim {claim.name} was reclaimed") from None
+
+
+def _job_name(index: int, payload: dict) -> str:
+    name = payload.get("name")
+    return name if name else f"job{index}"
+
+
+# -- worker-side shard execution --------------------------------------------
+
+
+def _solve(pairs: list[tuple[int, dict]], claim: Path) -> list[tuple]:
+    """One fused scheduler pass over ``[(index, payload), ...]``.
+
+    Returns ``[(index, payload, result, d_fused, d_groups, d_steps,
+    wall_s, seed), ...]`` — delta statistics and per-job wall time, the
+    shape both the result file and the store write-back need.
+    """
+    from repro.engine.scheduler import AssayScheduler
+
+    specs = [AssaySpec.from_dict(payload) for _, payload in pairs]
+    jobs = [spec.build_job() for spec in specs]
+    out: list[tuple] = []
+    prev_fused = prev_groups = prev_steps = 0
+    tick = time.perf_counter()
+    for (index, payload), spec, item in zip(
+            pairs, specs, AssayScheduler().run_iter(jobs)):
+        _beat(claim)
+        now = time.perf_counter()
+        out.append((index, payload, item.result,
+                    item.n_fused_dwells - prev_fused,
+                    item.n_dwell_groups - prev_groups,
+                    item.n_solve_steps - prev_steps,
+                    now - tick, spec.seed))
+        prev_fused = item.n_fused_dwells
+        prev_groups = item.n_dwell_groups
+        prev_steps = item.n_solve_steps
+        tick = now
+    return out
+
+
+def _solve_isolated(pairs: list[tuple[int, dict]], claim: Path
+                    ) -> tuple[list[tuple], list[tuple]]:
+    """Fused pass with per-job failure isolation.
+
+    The happy path is one fused pass.  If it raises, jobs re-run one at
+    a time so exactly the poisoned jobs fail — the survivors' fusion
+    statistics then describe the isolated passes, which is what
+    actually executed.  Returns ``(solved, failures)`` where failures
+    are ``(index, error_type, message, traceback)``.
+    """
+    if not pairs:
+        return [], []
+    try:
+        return _solve(pairs, claim), []
+    except _ClaimLost:
+        raise
+    except ReproError:
+        solved: list[tuple] = []
+        failures: list[tuple] = []
+        for pair in pairs:
+            try:
+                solved.extend(_solve([pair], claim))
+            except _ClaimLost:
+                raise
+            except ReproError as exc:
+                failures.append((pair[0], type(exc).__name__, str(exc),
+                                 traceback.format_exc()))
+        return solved, failures
+
+
+def _fresh_record(index: int, payload: dict, result, d_fused: int,
+                  d_groups: int, d_steps: int, wall_s: float,
+                  seed: int) -> AssayRunRecord:
+    """The per-job record a worker persists for a fresh solve — same
+    shape :func:`repro.api.runner._per_job_snapshot` stores: delta
+    statistics and the job's own wall time."""
+    return AssayRunRecord(
+        spec=payload, spec_hash=JobKey.for_payload(payload).digest,
+        schema_version=SCHEMA_VERSION, seed=seed, wall_time_s=wall_s,
+        job_name=_job_name(index, payload), result=result,
+        engine=EngineStats(n_fused_dwells=d_fused, n_dwell_groups=d_groups,
+                           n_solve_steps=d_steps))
+
+
+def _shard_entries(pairs: list[tuple[int, dict]], store: RunStore | None,
+                   injector: FaultInjector | None, attempt: int,
+                   hang_s: float, claim: Path) -> list[dict]:
+    """Execute one claimed shard: store lookups, faults, fused solve.
+
+    Warm jobs short-circuit as ``cached`` entries carrying the original
+    run's result, wall time and statistics; fresh results are written
+    back to the shared store (warming the whole cluster) and shipped as
+    delta-statistics entries; injected or real engine errors become
+    ``failed`` entries for the submitter's retry budget.
+    """
+    entries: list[dict] = []
+    pending: list[tuple[int, dict]] = []
+    if store is not None:
+        with store.batched():
+            for index, payload in pairs:
+                hit = store.get_job(JobKey.for_payload(payload))
+                if hit is None:
+                    pending.append((index, payload))
+                    continue
+                engine = hit.engine
+                entries.append({
+                    "index": index, "cached": True,
+                    "samples": panel_result_to_payload(hit.result),
+                    "wall_s": hit.wall_time_s,
+                    "engine": (None if engine is None else
+                               [engine.n_fused_dwells, engine.n_dwell_groups,
+                                engine.n_solve_steps])})
+    else:
+        pending = list(pairs)
+    _beat(claim)
+    if injector is not None and pending:
+        commands = [injector.command([_job_name(i, p)], attempt)
+                    for i, p in pending]
+        if "crash" in commands:
+            os._exit(_CRASH_EXIT_STATUS)
+        if "hang" in commands:
+            # A wedged worker makes no progress: no heartbeat while the
+            # stall lasts, so the submitter's staleness horizon fires.
+            time.sleep(hang_s)
+            _beat(claim)
+        for (index, payload), command in zip(pending, commands):
+            if command == "error":
+                entries.append({"index": index, "failed": True,
+                                "error_type": "ExecutionError",
+                                "error": "injected transient engine error",
+                                "traceback": ""})
+        pending = [pair for pair, command in zip(pending, commands)
+                   if command != "error"]
+    solved, failures = _solve_isolated(pending, claim)
+    fresh = [_fresh_record(*row) for row in solved]
+    for index, payload, result, d_fused, d_groups, d_steps, wall_s, _ in \
+            solved:
+        entries.append({"index": index,
+                        "samples": panel_result_to_payload(result),
+                        "d_fused": d_fused, "d_groups": d_groups,
+                        "d_steps": d_steps, "wall_s": wall_s})
+    for index, error_type, message, tb in failures:
+        entries.append({"index": index, "failed": True,
+                        "error_type": error_type, "error": message,
+                        "traceback": tb})
+    if store is not None and fresh:
+        with store.batched():
+            for record in fresh:
+                store.put_job(record)
+    return entries
+
+
+def _run_prefetch(pairs: list[tuple[int, dict]], store: RunStore | None,
+                  claim: Path) -> int:
+    """Execute a speculative task straight into the shared store.
+
+    No result file and no fault injection — prefetch is best-effort
+    warmup, invisible to the submitting stream.  Failures are dropped
+    (the point would fail identically, and loudly, if a real sweep ever
+    asks for it).  Returns the number of points actually warmed.
+    """
+    if store is None:
+        return 0
+    fresh: list[tuple[int, dict]] = []
+    with store.batched():
+        for index, payload in pairs:
+            if store.get_job(JobKey.for_payload(payload)) is None:
+                fresh.append((index, payload))
+    if not fresh:
+        return 0
+    solved, _failures = _solve_isolated(fresh, claim)
+    records = [_fresh_record(*row) for row in solved]
+    if records:
+        with store.batched():
+            for record in records:
+                store.put_job(record)
+    return len(records)
+
+
+def _run_task(payload: dict, name: str, task_path: Path, claim: Path,
+              results_dir: Path, store: RunStore | None,
+              injector: FaultInjector | None) -> int:
+    """Execute one claimed task file; returns the job count handled."""
+    attempt = int(payload.get("attempt", 0))
+    text = payload.get("faults")
+    if text:
+        injector = FaultInjector.parse(
+            text, seed=int(payload.get("faults_seed", 0)))
+    pairs = [(int(index), dict(job)) for index, job in
+             payload.get("jobs", [])]
+    if payload.get("kind") == "prefetch":
+        warmed = _run_prefetch(pairs, store, claim)
+        task_path.unlink(missing_ok=True)
+        claim.unlink(missing_ok=True)
+        return warmed
+    entries = _shard_entries(pairs, store, injector, attempt,
+                             float(payload.get("hang_s", 3600.0)), claim)
+    # Result first (atomic), then tidy: a crash between these steps
+    # leaves a completed result the submitter still consumes.
+    write_json({"run": payload.get("run"), "attempt": attempt,
+                "pid": os.getpid(), "entries": entries},
+               results_dir / f"{name}.json")
+    task_path.unlink(missing_ok=True)
+    claim.unlink(missing_ok=True)
+    return len(pairs)
+
+
+def run_worker(queue, store=None, max_shards: int | None = None,
+               idle_exit_s: float | None = None,
+               poll_s: float = _WORKER_POLL_S,
+               faults: FaultInjector | None = None) -> dict:
+    """The ``repro worker`` claim-and-execute loop.
+
+    Scans ``<queue>/tasks/`` in sorted order (primary shards before
+    speculative prefetch), claims the first unclaimed task via
+    ``O_EXCL``, executes it against the shared store, and repeats.
+    ``store`` defaults to ``<queue>/store``; pass a path or an open
+    :class:`~repro.api.store.RunStore` to point elsewhere.
+    ``max_shards`` bounds how many *primary* shards this worker
+    executes (prefetch tasks ride free); ``idle_exit_s`` exits after
+    that long with nothing claimable — ``None`` loops forever (the
+    service-deployment shape; tests and CI always bound it).  With no
+    explicit ``faults`` the ``REPRO_FAULTS`` environment injector
+    applies, and rules shipped inside task files override both.
+
+    Returns ``{"shards": n, "jobs": n, "prefetched": n}``.
+    """
+    root = ensure_queue(queue)
+    tasks_dir, claims_dir, results_dir = _queue_dirs(root)
+    if isinstance(store, RunStore):
+        run_store: RunStore | None = store
+    else:
+        run_store = RunStore(default_store_root(root) if store is None
+                             else store)
+    if faults is None:
+        faults = FaultInjector.from_env()
+    done = {"shards": 0, "jobs": 0, "prefetched": 0}
+    last_work = time.monotonic()
+    while True:
+        claimed_any = False
+        for task_path in sorted(tasks_dir.glob("*.json")):
+            name = task_path.stem
+            if (claims_dir / f"{name}.claim").exists():
+                continue
+            claim = _try_claim(claims_dir, name)
+            if claim is None:
+                continue
+            try:
+                payload = json.loads(task_path.read_text())
+            except (OSError, ValueError):
+                # The task raced away (reclaim or stream close) between
+                # scan and read; release the orphan claim and move on.
+                claim.unlink(missing_ok=True)
+                continue
+            claimed_any = True
+            try:
+                handled = _run_task(payload, name, task_path, claim,
+                                    results_dir, run_store, faults)
+            except _ClaimLost:
+                continue
+            if payload.get("kind") == "prefetch":
+                done["prefetched"] += handled
+            else:
+                done["shards"] += 1
+                done["jobs"] += handled
+            last_work = time.monotonic()
+            if max_shards is not None and done["shards"] >= max_shards:
+                return done
+        if not claimed_any:
+            _sweep_orphan_results(results_dir)
+            if (idle_exit_s is not None
+                    and time.monotonic() - last_work >= idle_exit_s):
+                return done
+            time.sleep(poll_s)
+
+
+def _sweep_orphan_results(results_dir: Path,
+                          horizon_s: float = _RESULT_GC_S) -> None:
+    """Drop result files no submitter will ever consume.
+
+    A shard claimed before its stream closed still completes (and warms
+    the store), but its result file is orphaned — submitters only watch
+    task names from their own live run.  Idle workers sweep anything
+    older than the horizon, keeping a long-lived queue bounded.
+    """
+    for path in results_dir.glob("*.json"):
+        try:
+            if time.time() - path.stat().st_mtime > horizon_s:
+                path.unlink(missing_ok=True)
+        except OSError:
+            continue
+
+
+# -- speculative sweep prefetch ---------------------------------------------
+
+
+def sweep_prefetch_assays(sweep: SweepSpec,
+                          limit: int = _MAX_PREFETCH) -> list[AssaySpec]:
+    """The near-miss grid points a sweep's idle workers should warm.
+
+    Only the *last* axis in sorted-key order is extrapolated — one step
+    past its final value, at the grid's own spacing.  That is the one
+    direction that preserves naming: compiled grid points are numbered
+    by ``itertools.product`` over sorted axes, and appending to the
+    last axis keeps every existing point's enumeration index (hence its
+    ``name`` and :class:`~repro.api.jobs.JobKey`) unchanged, so the
+    speculative points are exactly the records a widened re-sweep will
+    look up.  Non-numeric, boolean, single-value and zero-step axes
+    yield nothing, as does any extension the spec layer rejects.
+    """
+    axes = sorted(sweep.grid.items())
+    if not axes:
+        return []
+    dotted, values = axes[-1]
+    values = tuple(values)
+    if len(values) < 2:
+        return []
+    last, prev = values[-1], values[-2]
+    for value in (last, prev):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return []
+    step = last - prev
+    if not step:
+        return []
+    grown = dict(sweep.grid)
+    grown[dotted] = values + (last + step,)
+    try:
+        extended = SweepSpec(name=sweep.name, base=sweep.base, grid=grown,
+                             execution=sweep.execution,
+                             screening=sweep.screening)
+        known = {JobKey.for_payload(assay.to_dict()).digest
+                 for assay in sweep.compile().assays}
+        fresh = [assay for assay in extended.compile().assays
+                 if JobKey.for_payload(assay.to_dict()).digest not in known]
+    except ReproError:
+        return []
+    return fresh[:limit]
+
+
+# -- the submitting executor ------------------------------------------------
+
+
+class DistributedExecutor:
+    """Publish a fleet's shards to a shared queue and re-merge results.
+
+    Parameters
+    ----------
+    queue:
+        The coordination directory workers watch (created on demand).
+    workers:
+        How many shards to publish — match or exceed the worker
+        processes you plan to run; ``None`` publishes one per submitter
+        CPU core.  Unlike the process backend nothing is spawned here:
+        parallelism comes from however many ``repro worker`` processes
+        are attached to the queue.
+    shard:
+        Job partitioning strategy — see
+        :func:`~repro.api.executors.shard_indices`.
+    retry / on_error / faults:
+        Supervision knobs, same meanings as everywhere: the retry
+        policy's ``max_attempts`` bounds republish attempts for both
+        failed jobs and reclaimed shards, its ``timeout_s`` sets the
+        claim-staleness horizon, and ``on_error="partial"`` degrades
+        exhausted jobs to
+        :class:`~repro.api.records.FailedAssayRecord` slots.
+    prefetch:
+        Arm speculative sweep prefetch (see
+        :func:`sweep_prefetch_assays`); only effective when the runner
+        hands the executor the originating sweep via
+        :meth:`publish_prefetch`.
+
+    The stream is bit-identical to the inline backend (results cross
+    the boundary as lossless
+    :func:`~repro.io.export.panel_result_to_payload` payloads); store
+    warm-hits stream as :class:`~repro.api.records.CachedAssayRecord`
+    with their original provenance, exactly like submitter-side
+    memoisation.  Closing the stream early removes this run's remaining
+    queue artefacts; claimed shards finish (and warm the store) on
+    their own.
+    """
+
+    name = "distributed"
+
+    def __init__(self, queue, workers: int | None = None,
+                 shard: str = "interleave",
+                 retry: RetryPolicy | None = None,
+                 on_error: str = "raise",
+                 prefetch: bool = False,
+                 faults: FaultInjector | None = None,
+                 poll_s: float = _SUBMIT_POLL_S) -> None:
+        # One validation authority: the declarative block this executor
+        # is the programmatic face of.
+        ExecutionSpec(backend="distributed", queue=str(queue),
+                      workers=workers, shard=shard, retry=retry,
+                      on_error=on_error, prefetch=bool(prefetch))
+        self.queue = Path(queue)
+        self.workers = workers
+        self.shard = shard
+        self.retry = retry
+        self.on_error = on_error
+        self.prefetch = bool(prefetch)
+        self.faults = faults if faults is not None \
+            else FaultInjector.from_env()
+        self.poll_s = float(poll_s)
+        self._seq = 0
+        self._sweep: SweepSpec | None = None
+
+    def _supervised(self) -> bool:
+        return (self.retry is not None or self.on_error != "raise"
+                or self.faults is not None)
+
+    def __repr__(self) -> str:
+        extra = (f", retry={self.retry!r}, on_error={self.on_error!r}"
+                 if self._supervised() else "")
+        return (f"DistributedExecutor(queue={str(self.queue)!r}, "
+                f"workers={self.workers!r}, shard={self.shard!r}{extra})")
+
+    def close(self) -> None:
+        """Nothing persistent to release: each stream cleans its own
+        queue artefacts, and workers are independent processes."""
+
+    def publish_prefetch(self, sweep: SweepSpec) -> None:
+        """Arm speculative prefetch for the next ``run_fleet`` call.
+
+        The runner calls this (duck-typed — other backends simply lack
+        the method) when a sweep compiles with ``prefetch`` enabled, so
+        the executor still sees the *grid* its fleet came from.
+        """
+        if self.prefetch and isinstance(sweep, SweepSpec):
+            self._sweep = sweep
+
+    # -- publishing -----------------------------------------------------------
+
+    def _publish(self, tasks_dir: Path, live: dict, run_id: str,
+                 label: str, attempt: int, indices: list[int],
+                 payloads: list[dict], hang_s: float,
+                 stale_s: float) -> None:
+        name = f"{run_id}-{label}-a{attempt}"
+        write_json({"kind": "shard", "run": run_id, "attempt": attempt,
+                    "schema_version": SCHEMA_VERSION,
+                    "hang_s": hang_s, "stale_s": stale_s,
+                    "faults": (self.faults.describe()
+                               if self.faults is not None else None),
+                    "faults_seed": (self.faults.seed
+                                    if self.faults is not None else 0),
+                    "jobs": [[index, payloads[index]] for index in indices]},
+                   tasks_dir / f"{name}.json")
+        live[name] = {"indices": list(indices), "attempt": attempt,
+                      "label": label}
+
+    def _publish_prefetch_tasks(self, tasks_dir: Path, run_id: str,
+                                stale_s: float) -> list[str]:
+        sweep, self._sweep = self._sweep, None
+        if sweep is None:
+            return []
+        names = []
+        for k, assay in enumerate(sweep_prefetch_assays(sweep)):
+            name = f"{_PREFETCH_PREFIX}-{run_id}-p{k:03d}"
+            write_json({"kind": "prefetch", "run": run_id, "attempt": 0,
+                        "schema_version": SCHEMA_VERSION,
+                        "stale_s": stale_s,
+                        "jobs": [[k, assay.to_dict()]]},
+                       tasks_dir / f"{name}.json")
+            names.append(name)
+        return names
+
+    # -- the submit / poll / re-merge loop ------------------------------------
+
+    def run_fleet(self, spec: FleetSpec) -> Iterator[AssayRunRecord]:
+        tasks_dir, claims_dir, results_dir = _queue_dirs(self.queue)
+        ensure_queue(self.queue)
+        assays = spec.assays
+        n_jobs = len(assays)
+        payloads = [assay.to_dict() for assay in assays]
+        names = [assay.name if assay.name else f"job{index}"
+                 for index, assay in enumerate(assays)]
+        n_shards = (self.workers if self.workers is not None
+                    else (os.cpu_count() or 1))
+        shards = shard_indices(n_jobs, n_shards, self.shard)
+        self._seq += 1
+        run_id = (f"{JobKey.for_payload({'fleet': payloads}).digest[:12]}"
+                  f"-{os.getpid()}-{self._seq}")
+        policy = self.retry
+        max_attempts = policy.max_attempts if policy is not None else 1
+        stale_s = (policy.timeout_s
+                   if policy is not None and policy.timeout_s is not None
+                   else _CLAIM_STALE_S)
+        # Same stall horizon convention as supervise_fleet: injected
+        # hangs outlast the detection window by a comfortable margin.
+        hang_s = (3600.0 if policy is None or policy.timeout_s is None
+                  else max(4.0 * policy.timeout_s, 1.0))
+        live: dict[str, dict] = {}
+        for k, shard in enumerate(shards):
+            self._publish(tasks_dir, live, run_id, f"s{k:03d}", 0, shard,
+                          payloads, hang_s, stale_s)
+        prefetch_names = self._publish_prefetch_tasks(tasks_dir, run_id,
+                                                      stale_s)
+        counters = {"retries": 0, "worker_crashes": 0, "worker_hangs": 0,
+                    "engine_errors": 0, "failed_jobs": 0}
+        buffered: dict[int, dict] = {}
+        cum = [0, 0, 0]
+        next_index = 0
+        start = time.perf_counter()
+        launched = time.monotonic()
+        seen_activity = False
+        warned_idle = False
+        try:
+            while next_index < n_jobs:
+                progressed = False
+                # Consume finished shards.
+                for name in list(live):
+                    result_path = results_dir / f"{name}.json"
+                    try:
+                        result = json.loads(result_path.read_text())
+                    except (OSError, ValueError):
+                        continue
+                    info = live.pop(name)
+                    self._scrub(name, tasks_dir, claims_dir, results_dir)
+                    progressed = True
+                    seen_activity = True
+                    for entry in result.get("entries", []):
+                        index = int(entry["index"])
+                        if not entry.get("failed"):
+                            buffered[index] = entry
+                            continue
+                        counters["engine_errors"] += 1
+                        used = info["attempt"] + 1
+                        if used < max_attempts:
+                            counters["retries"] += 1
+                            self._publish(tasks_dir, live, run_id,
+                                          f"r{index:04d}", used, [index],
+                                          payloads, hang_s, stale_s)
+                        else:
+                            counters["failed_jobs"] += 1
+                            entry = dict(entry)
+                            entry["attempts"] = used
+                            buffered[index] = entry
+                # Reclaim stale claims — dead or wedged workers.
+                now = time.monotonic()
+                for name in list(live):
+                    if (results_dir / f"{name}.json").exists():
+                        continue
+                    claim_path = claims_dir / f"{name}.claim"
+                    try:
+                        age = time.time() - claim_path.stat().st_mtime
+                    except OSError:
+                        continue  # unclaimed, or completing right now
+                    seen_activity = True
+                    if age <= stale_s:
+                        continue
+                    info = live.pop(name)
+                    kind = self._death_kind(claim_path)
+                    counters[kind] += 1
+                    self._scrub(name, tasks_dir, claims_dir, results_dir)
+                    used = info["attempt"] + 1
+                    if used >= max_attempts:
+                        raise ExecutionError(
+                            f"worker executing {name} stalled or died "
+                            f"(claim went {age:.1f}s without progress) and "
+                            f"the retry budget is exhausted after {used} "
+                            f"attempt(s)")
+                    counters["retries"] += 1
+                    self._publish(tasks_dir, live, run_id, info["label"],
+                                  used, info["indices"], payloads, hang_s,
+                                  stale_s)
+                    progressed = True
+                # Yield everything ready, in fleet job order.
+                while next_index in buffered:
+                    yield self._merged_record(
+                        buffered.pop(next_index), next_index, payloads,
+                        names, assays, cum, start, max_attempts, counters)
+                    next_index += 1
+                if next_index >= n_jobs:
+                    break
+                if not live and next_index not in buffered:
+                    raise ExecutionError(
+                        f"workers completed without producing job "
+                        f"{next_index} — shard bookkeeping bug")
+                if not seen_activity and not warned_idle and \
+                        now - launched > _NO_WORKER_WARN_S:
+                    warned_idle = True
+                    warnings.warn(
+                        f"no worker has claimed any of this fleet's shards "
+                        f"after {_NO_WORKER_WARN_S:.0f}s — is a `repro "
+                        f"worker --queue {self.queue}` process running?",
+                        RuntimeWarning, stacklevel=2)
+                if not progressed:
+                    time.sleep(self.poll_s)
+        finally:
+            for name in list(live):
+                self._scrub(name, tasks_dir, claims_dir, results_dir,
+                            keep_claimed=True)
+            for name in prefetch_names:
+                # Unclaimed speculative tasks die with the stream;
+                # claimed ones finish into the store on their own.
+                if not (claims_dir / f"{name}.claim").exists():
+                    (tasks_dir / f"{name}.json").unlink(missing_ok=True)
+
+    # -- merge helpers --------------------------------------------------------
+
+    def _merged_record(self, entry: dict, index: int, payloads: list[dict],
+                       names: list[str], assays, cum: list[int],
+                       start: float, max_attempts: int,
+                       counters: dict) -> AssayRunRecord:
+        payload = payloads[index]
+        if entry.get("failed"):
+            attempts = int(entry.get("attempts", max_attempts))
+            if self.on_error != "partial":
+                raise ExecutionError(
+                    f"job {names[index]} failed after {attempts} "
+                    f"attempt(s): {entry['error_type']}: {entry['error']}")
+            record: AssayRunRecord = FailedAssayRecord(
+                spec=payload,
+                spec_hash=JobKey.for_payload(payload).digest,
+                schema_version=SCHEMA_VERSION, seed=assays[index].seed,
+                wall_time_s=time.perf_counter() - start,
+                job_name=names[index], error_type=entry["error_type"],
+                error=entry["error"], traceback=entry.get("traceback", ""),
+                attempts=attempts)
+        elif entry.get("cached"):
+            engine = entry.get("engine")
+            record = CachedAssayRecord(
+                spec=payload,
+                spec_hash=JobKey.for_payload(payload).digest,
+                schema_version=SCHEMA_VERSION, seed=assays[index].seed,
+                wall_time_s=float(entry.get("wall_s", 0.0)),
+                job_name=names[index],
+                result=panel_result_from_payload(entry["samples"]),
+                engine=None if engine is None else EngineStats(
+                    n_fused_dwells=int(engine[0]),
+                    n_dwell_groups=int(engine[1]),
+                    n_solve_steps=int(engine[2])))
+        else:
+            cum[0] += int(entry["d_fused"])
+            cum[1] += int(entry["d_groups"])
+            cum[2] += int(entry["d_steps"])
+            record = _record(payload, assays[index].seed, names[index],
+                             panel_result_from_payload(entry["samples"]),
+                             cum[0], cum[1], cum[2], start)
+        if self._supervised():
+            object.__setattr__(record, "resilience",
+                               ResilienceStats(**counters))
+        return record
+
+    def _death_kind(self, claim_path: Path) -> str:
+        """Crash or hang?  Probe the claimant's pid when it is local —
+        a live pid means wedged, a dead one means crashed; cross-host
+        claims (unprobeable) count as crashes."""
+        try:
+            meta = json.loads(claim_path.read_text())
+        except (OSError, ValueError):
+            return "worker_crashes"
+        if meta.get("host") != socket.gethostname():
+            return "worker_crashes"
+        try:
+            os.kill(int(meta.get("pid", -1)), 0)
+        except (OSError, ValueError):
+            return "worker_crashes"
+        return "worker_hangs"
+
+    @staticmethod
+    def _scrub(name: str, tasks_dir: Path, claims_dir: Path,
+               results_dir: Path, keep_claimed: bool = False) -> None:
+        """Best-effort removal of one task's queue artefacts.
+
+        ``keep_claimed`` (stream close) leaves a claimed task's claim
+        alone: the worker holding it deletes it when it finishes, and
+        deleting it out from under a live worker would look like a
+        reclaim.
+        """
+        if keep_claimed and (claims_dir / f"{name}.claim").exists():
+            (tasks_dir / f"{name}.json").unlink(missing_ok=True)
+            return
+        (tasks_dir / f"{name}.json").unlink(missing_ok=True)
+        (claims_dir / f"{name}.claim").unlink(missing_ok=True)
+        (results_dir / f"{name}.json").unlink(missing_ok=True)

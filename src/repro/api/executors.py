@@ -441,8 +441,9 @@ def resolve_executor(backend, execution: ExecutionSpec | None = None,
     """The executor a run should use.
 
     Precedence: an explicit ``backend`` (an :class:`Executor` instance,
-    or the name ``"inline"`` / ``"process"`` — names take ``workers`` /
-    ``shard`` from the spec's ``execution`` block) overrides the block;
+    or the name ``"inline"`` / ``"process"`` / ``"distributed"`` —
+    names take ``workers`` / ``shard`` / ``queue`` / ``prefetch`` from
+    the spec's ``execution`` block) overrides the block;
     ``backend=None`` defers to ``execution`` (default: inline).
 
     ``retry`` / ``on_error`` / ``faults`` are the programmatic
@@ -455,7 +456,8 @@ def resolve_executor(backend, execution: ExecutionSpec | None = None,
         if not isinstance(backend, Executor):
             raise SpecError(f"not an execution backend: "
                             f"{type(backend).__name__} "
-                            f"(need an Executor, 'inline', or 'process')")
+                            f"(need an Executor, 'inline', 'process', "
+                            f"or 'distributed')")
         if retry is not None or on_error is not None or faults is not None:
             raise SpecError(
                 "retry/on_error/faults overrides do not apply to an "
@@ -471,4 +473,5 @@ def resolve_executor(backend, execution: ExecutionSpec | None = None,
                         f"(known: {', '.join(_EXECUTION_BACKENDS)})")
     return ExecutionSpec(backend=name, workers=block.workers,
                          shard=block.shard, retry=retry,
-                         on_error=on_error).build(faults=faults)
+                         on_error=on_error, queue=block.queue,
+                         prefetch=block.prefetch).build(faults=faults)

@@ -218,7 +218,8 @@ def run(spec, backend=None, store=None, screening=None,
         misses=after.misses - before.misses,
         evictions=after.evictions - before.evictions,
         records=after.records, bytes=after.bytes,
-        quarantined=after.quarantined - before.quarantined))
+        quarantined=after.quarantined - before.quarantined,
+        lock_waits=after.lock_waits - before.lock_waits))
     return record
 
 
@@ -291,8 +292,9 @@ def iter_results(spec, backend=None, store=None, screening=None,
     spec = _apply_screening(_coerce(spec), screening)
     if isinstance(spec, AssaySpec):
         spec = FleetSpec(name=spec.name, assays=(spec,))
-    if isinstance(spec, SweepSpec):
-        spec = spec.compile()
+    sweep = spec if isinstance(spec, SweepSpec) else None
+    if sweep is not None:
+        spec = sweep.compile()
     if not isinstance(spec, FleetSpec):
         raise SpecError(f"iter_results needs a fleet, sweep or assay "
                         f"spec, got {type(spec).__name__}")
@@ -300,14 +302,28 @@ def iter_results(spec, backend=None, store=None, screening=None,
     if store is None:
         executor = resolve_executor(backend, spec.execution, retry=retry,
                                     on_error=on_error, faults=faults)
+        _offer_prefetch(executor, sweep)
         yield from executor.run_fleet(spec)
     else:
         yield from _iter_fleet_store(spec, backend, store, retry=retry,
-                                     on_error=on_error, faults=faults)
+                                     on_error=on_error, faults=faults,
+                                     sweep=sweep)
+
+
+def _offer_prefetch(executor, sweep) -> None:
+    """Hand a prefetch-capable backend the sweep its fleet compiled
+    from — the grid is what speculative neighbour extrapolation needs,
+    and it is gone by the time the executor sees the fleet.  Duck-typed
+    so only backends that opted in (the distributed executor) react."""
+    if sweep is None:
+        return
+    publish = getattr(executor, "publish_prefetch", None)
+    if publish is not None:
+        publish(sweep)
 
 
 def _iter_fleet_store(spec: FleetSpec, backend, store, retry=None,
-                      on_error=None, faults=None
+                      on_error=None, faults=None, sweep=None
                       ) -> Iterator[AssayRunRecord]:
     """Merge warm store records and fresh backend records in job order.
 
@@ -322,10 +338,13 @@ def _iter_fleet_store(spec: FleetSpec, backend, store, retry=None,
 
     plan = JobPlan.plan(spec, store)
     miss = plan.miss_fleet()
-    fresh = (iter(()) if miss is None
-             else resolve_executor(backend, spec.execution, retry=retry,
-                                   on_error=on_error,
-                                   faults=faults).run_fleet(miss))
+    if miss is None:
+        fresh = iter(())
+    else:
+        executor = resolve_executor(backend, spec.execution, retry=retry,
+                                    on_error=on_error, faults=faults)
+        _offer_prefetch(executor, sweep)
+        fresh = executor.run_fleet(miss)
     prev_engine = None
     prev_wall = 0.0
     try:
@@ -407,7 +426,7 @@ def _run_assay(spec: AssaySpec) -> AssayRunRecord:
 def _run_fleet(spec: FleetSpec, backend=None,
                payload: dict | None = None,
                store=None, retry=None, on_error=None,
-               faults=None) -> FleetRunRecord:
+               faults=None, sweep=None) -> FleetRunRecord:
     """Collect a fleet stream; ``payload`` lets sweeps stamp their own
     spec (the record's provenance names what the user asked for, not
     the compiled expansion)."""
@@ -418,19 +437,19 @@ def _run_fleet(spec: FleetSpec, backend=None,
     if store is None:
         executor = resolve_executor(backend, spec.execution, retry=retry,
                                     on_error=on_error, faults=faults)
+        _offer_prefetch(executor, sweep)
         records = tuple(executor.run_fleet(spec))
-        # FleetSpec guarantees at least one assay, so records is
-        # non-empty and the last record's cumulative stats are the
-        # fleet totals — unless that record is a degraded
-        # FailedAssayRecord (engine is None), in which case the last
-        # *successful* record carries them.
-        engine = (records[-1].engine if records[-1].engine is not None
-                  else _live_engine_totals(records))
     else:
         records = tuple(_iter_fleet_store(spec, backend, store,
                                           retry=retry, on_error=on_error,
-                                          faults=faults))
-        engine = _live_engine_totals(records)
+                                          faults=faults, sweep=sweep))
+    # FleetSpec guarantees at least one assay, so records is non-empty
+    # and the last *fresh* record's cumulative stats are the fleet's
+    # live totals — degraded FailedAssayRecord slots carry no engine,
+    # and cached records (store warm-hits, whether found by the
+    # submitter or short-circuited inside a distributed worker) carry
+    # their original run's, so both are skipped over.
+    engine = _live_engine_totals(records)
     fleet_record = FleetRunRecord(
         spec=payload, spec_hash=hash_payload(payload),
         schema_version=SCHEMA_VERSION, seed=None,
@@ -467,7 +486,7 @@ def _run_sweep(spec: SweepSpec, backend=None, store=None, retry=None,
                on_error=None, faults=None) -> FleetRunRecord:
     return _run_fleet(spec.compile(), backend, payload=spec.to_dict(),
                       store=store, retry=retry, on_error=on_error,
-                      faults=faults)
+                      faults=faults, sweep=spec)
 
 
 def _run_calibration(spec: CalibrationSpec) -> CalibrationRunRecord:

@@ -51,11 +51,13 @@ from repro.errors import SpecError
 #: Schema written into every api payload.  Version 2 added the fleet
 #: ``execution`` block and the ``sweep`` kind; version 3 added the
 #: opt-in ``screening`` flag on assays and sweeps; version 4 added the
-#: ``retry`` policy and ``on_error`` mode to the execution block.
-#: Older files still load (missing keys take their defaults), so
-#: readers accept all four.
-SCHEMA_VERSION = 4
-SUPPORTED_SCHEMAS = (1, 2, 3, 4)
+#: ``retry`` policy and ``on_error`` mode to the execution block;
+#: version 5 added the ``distributed`` backend with its ``queue``
+#: pointer and the opt-in speculative ``prefetch`` flag.  Older files
+#: still load (missing keys take their defaults), so readers accept
+#: all five.
+SCHEMA_VERSION = 5
+SUPPORTED_SCHEMAS = (1, 2, 3, 4, 5)
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from pathlib import Path
@@ -456,7 +458,7 @@ class AssaySpec:
                                   f"{path}.screening"))
 
 
-_EXECUTION_BACKENDS = ("inline", "process")
+_EXECUTION_BACKENDS = ("inline", "process", "distributed")
 _EXECUTION_SHARDS = ("interleave", "contiguous")
 _EXECUTION_ON_ERROR = ("raise", "partial")
 
@@ -481,6 +483,16 @@ class ExecutionSpec:
     ``"partial"`` (the job streams a :class:`~repro.api.records.
     FailedAssayRecord` in its slot and the fleet survives).
 
+    ``"distributed"`` (schema v5) publishes shards to the task queue
+    directory named by ``queue`` instead of owning a process pool;
+    independent ``repro worker`` processes — on this host or any host
+    sharing the filesystem — claim and execute them (see
+    :mod:`repro.api.distributed`).  ``prefetch`` (opt-in) additionally
+    lets idle workers speculatively warm the shared store with
+    neighbouring sweep grid points.  Like ``workers``, the ``queue``
+    pointer describes how the run is performed and so participates in
+    the fleet-level hash without affecting per-job store identity.
+
     Every field defaults to the schema-1 behaviour, so older fleet
     files load unchanged.  Results are backend-independent bit for bit;
     only the wall time and engine fusion statistics reflect the choice.
@@ -491,6 +503,8 @@ class ExecutionSpec:
     shard: str = "interleave"
     retry: RetryPolicy | None = None
     on_error: str = "raise"
+    queue: str | None = None
+    prefetch: bool = False
 
     def __post_init__(self) -> None:
         if self.backend not in _EXECUTION_BACKENDS:
@@ -514,6 +528,17 @@ class ExecutionSpec:
                 f"execution spec: unknown on_error mode "
                 f"{self.on_error!r} "
                 f"(known: {', '.join(_EXECUTION_ON_ERROR)})")
+        if self.queue is not None and not isinstance(self.queue, str):
+            raise SpecError(f"execution spec: queue must be a directory "
+                            f"path or null, got "
+                            f"{type(self.queue).__name__}")
+        if self.backend == "distributed" and self.queue is None:
+            raise SpecError("execution spec: the distributed backend "
+                            "needs a queue directory (execution.queue "
+                            "/ --queue)")
+        if not isinstance(self.prefetch, bool):
+            raise SpecError(f"execution spec: prefetch must be a "
+                            f"boolean, got {type(self.prefetch).__name__}")
 
     def build(self, faults=None):
         """The configured :class:`~repro.api.executors.Executor`.
@@ -528,6 +553,16 @@ class ExecutionSpec:
         if self.backend == "inline":
             return InlineExecutor(retry=self.retry,
                                   on_error=self.on_error, faults=faults)
+        if self.backend == "distributed":
+            from repro.api.distributed import DistributedExecutor
+
+            return DistributedExecutor(queue=self.queue,
+                                       shard=self.shard,
+                                       workers=self.workers,
+                                       retry=self.retry,
+                                       on_error=self.on_error,
+                                       prefetch=self.prefetch,
+                                       faults=faults)
         # Spec-built executors are constructed fresh per run and thrown
         # away, so a persistent pool would leak a live pool every call;
         # callers who want pool reuse hold an explicit ProcessExecutor.
@@ -542,7 +577,9 @@ class ExecutionSpec:
                 "shard": self.shard,
                 "retry": (self.retry.to_dict()
                           if self.retry is not None else None),
-                "on_error": self.on_error}
+                "on_error": self.on_error,
+                "queue": self.queue,
+                "prefetch": bool(self.prefetch)}
 
     @classmethod
     def from_dict(cls, payload: Mapping | None,
@@ -570,6 +607,10 @@ class ExecutionSpec:
             raise SpecError(f"{path}.on_error: unknown mode "
                             f"{on_error!r} "
                             f"(known: {', '.join(_EXECUTION_ON_ERROR)})")
+        queue = payload.get("queue")
+        if queue is not None and not isinstance(queue, str):
+            raise SpecError(f"{path}.queue: expected a directory path "
+                            f"or null, got {type(queue).__name__}")
         return cls(backend=backend,
                    workers=(None if workers is None
                             else _int_value(workers, f"{path}.workers")),
@@ -577,7 +618,10 @@ class ExecutionSpec:
                    retry=(None if retry_payload is None
                           else RetryPolicy.from_dict(retry_payload,
                                                      f"{path}.retry")),
-                   on_error=on_error)
+                   on_error=on_error,
+                   queue=queue,
+                   prefetch=_bool_value(payload.get("prefetch", False),
+                                        f"{path}.prefetch"))
 
 
 @dataclass(frozen=True)

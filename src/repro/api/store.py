@@ -26,6 +26,20 @@ injection schedules and all — two specs collide only when they would
 execute identically, and a spec edited in any meaningful way misses
 cleanly.
 
+Storage drivers
+===============
+
+The *cache semantics* (integrity seal, quarantine policy, LRU
+accounting, lock policy, statistics) live in :class:`RunStore`; the
+*persistence substrate* lives behind a :class:`StorageDriver` — a small
+read/write/delete/list surface over opaque text blobs plus an index
+blob and an advisory index lock.  :class:`LocalDirDriver` is the
+reference implementation (the sharded local directory below); an
+object-store driver can drop in by implementing the same eleven
+methods, and every semantic above — including cluster-wide warm hits
+for :mod:`repro.api.distributed` workers sharing one root — carries
+over unchanged.
+
 Layout on disk (git-friendly, one JSON file per record, sharded by the
 first hash byte so a million records don't share one directory)::
 
@@ -36,16 +50,18 @@ first hash byte so a million records don't share one directory)::
       c0/
         c04d...91.json
 
-Records are persisted through :func:`repro.io.export.write_json`, which
-writes atomically (temp file + ``os.replace``) — concurrent workers
-racing on the same spec hash simply last-write-wins a bit-identical
-payload, and a reader can never observe a truncated record.  The
-``index.json`` read-modify-write is additionally serialised across
-processes by an ``os.O_EXCL`` lockfile (``<root>/index.lock``, bounded
-wait, stale locks broken) with a merge-on-save that unions record
-entries and max-merges the monotone counters, and across threads by a
-per-store reentrant mutex — many service requests can multiplex onto
-one warm store without dropping each other's LRU-clock updates.
+Records are persisted atomically (temp file + ``os.replace``) —
+concurrent workers racing on the same spec hash simply last-write-wins
+a bit-identical payload, and a reader can never observe a truncated
+record.  The ``index.json`` read-modify-write is additionally
+serialised across processes by an ``os.O_EXCL`` lockfile
+(``<root>/index.lock``, bounded wait, stale locks broken) with a
+merge-on-save that unions record entries and max-merges the monotone
+counters, and across threads by a per-store reentrant mutex — many
+service requests can multiplex onto one warm store without dropping
+each other's LRU-clock updates.  Contended lock acquisitions tick the
+lifetime ``lock_waits`` counter, so index-lock churn under a worker
+fleet is visible in provenance rather than guessed at.
 
 Integrity and quarantine
 ========================
@@ -101,28 +117,30 @@ from repro.api.records import (
 from repro.api.resilience import FaultInjector
 from repro.api.specs import hash_payload, spec_hash
 from repro.errors import ReproError, StoreError
-from repro.io.export import (
-    panel_result_from_payload,
-    panel_result_to_payload,
-    write_json,
-)
 
-__all__ = ["RunStore", "StoreStats"]
+__all__ = ["RunStore", "StoreStats", "StorageDriver", "LocalDirDriver"]
 
 _HASH_LENGTH = 64  # hex sha-256
 _INDEX_VERSION = 1
 _LOCK_WAIT_S = 5.0   # bounded wait for index.lock before proceeding
 _LOCK_STALE_S = 30.0  # a lockfile older than this belongs to a dead writer
 
+#: Lifetime counters persisted in (and max-merged across) ``index.json``.
+_INDEX_COUNTERS = ("clock", "hits", "misses", "evictions",
+                   "quarantined", "lock_waits")
+
 
 @dataclass(frozen=True)
 class StoreStats:
     """One snapshot of a store's counters and footprint.
 
-    ``hits``/``misses``/``evictions``/``quarantined`` are lifetime
-    counters persisted in the index (or, when stamped into a record's
-    provenance by :func:`repro.api.run`, the *deltas* of that one run);
-    ``records`` and ``bytes`` are the store's current footprint.
+    ``hits``/``misses``/``evictions``/``quarantined``/``lock_waits``
+    are lifetime counters persisted in the index (or, when stamped into
+    a record's provenance by :func:`repro.api.run`, the *deltas* of
+    that one run); ``records`` and ``bytes`` are the store's current
+    footprint.  ``lock_waits`` counts contended index-lock
+    acquisitions — how often this store met another writer on the
+    shared index, the observable for index churn under a worker fleet.
     """
 
     hits: int = 0
@@ -131,6 +149,7 @@ class StoreStats:
     records: int = 0
     bytes: int = 0
     quarantined: int = 0
+    lock_waits: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -141,7 +160,202 @@ class StoreStats:
     def to_dict(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
                 "evictions": self.evictions, "records": self.records,
-                "bytes": self.bytes, "quarantined": self.quarantined}
+                "bytes": self.bytes, "quarantined": self.quarantined,
+                "lock_waits": self.lock_waits}
+
+
+class StorageDriver:
+    """The persistence substrate behind a :class:`RunStore`.
+
+    A driver stores opaque *text blobs* under spec-hash keys, one index
+    blob, and an advisory index lock.  Everything semantic — integrity
+    sealing and verification, quarantine policy, LRU accounting, the
+    lock *policy* (bounded wait, stale break), statistics — stays in
+    :class:`RunStore`, so a driver is deliberately dumb: eleven small
+    methods, and an object-store implementation (keys → objects, the
+    lock → a conditional put) drops in without touching any cache
+    semantics.  :class:`LocalDirDriver` is the reference.
+    """
+
+    # -- record blobs ------------------------------------------------------------
+
+    def read(self, key: str) -> str | None:
+        """The record text under ``key`` — ``None`` when absent;
+        :class:`~repro.errors.StoreError` for I/O failures reading an
+        existing record."""
+        raise NotImplementedError
+
+    def write(self, key: str, text: str) -> int:
+        """Store ``text`` under ``key`` atomically (a concurrent
+        :meth:`read` sees the old blob or the new one, never a
+        truncation).  Returns the stored size in bytes."""
+        raise NotImplementedError
+
+    def delete(self, key: str) -> None:
+        """Remove the record under ``key`` (absent keys are a no-op)."""
+        raise NotImplementedError
+
+    def size(self, key: str) -> int | None:
+        """Stored size in bytes, or ``None`` when the key is absent."""
+        raise NotImplementedError
+
+    def list(self) -> list[tuple[str, int]]:
+        """Every stored ``(key, bytes)``, sorted by key (quarantined
+        records excluded)."""
+        raise NotImplementedError
+
+    def quarantine(self, key: str) -> None:
+        """Move the record under ``key`` aside for post-mortem: it must
+        never appear in :meth:`list`/:meth:`read` again, but should be
+        preserved rather than destroyed where the substrate allows."""
+        raise NotImplementedError
+
+    # -- the index blob ----------------------------------------------------------
+
+    def read_index(self) -> str | None:
+        """The index blob, or ``None`` when absent/unreadable (the
+        store rebuilds from :meth:`list`)."""
+        raise NotImplementedError
+
+    def write_index(self, text: str) -> None:
+        """Store the index blob atomically."""
+        raise NotImplementedError
+
+    # -- the advisory index lock -------------------------------------------------
+
+    def try_lock_index(self) -> bool:
+        """One atomic, non-blocking attempt to take the index lock."""
+        raise NotImplementedError
+
+    def unlock_index(self) -> None:
+        """Release (or break) the index lock; absent locks are a no-op."""
+        raise NotImplementedError
+
+    def index_lock_age_s(self) -> float | None:
+        """Age of the current lock holder in seconds — ``None`` when
+        the lock just disappeared (the store retries immediately)."""
+        raise NotImplementedError
+
+
+class LocalDirDriver(StorageDriver):
+    """The reference driver: a sharded local directory.
+
+    One JSON file per record at ``<root>/<key[:2]>/<key>.json``, the
+    index at ``<root>/index.json``, quarantined records preserved under
+    ``<root>/quarantine/`` (invisible to the ``??/`` shard glob), and
+    the index lock as an ``os.O_EXCL``-created ``<root>/index.lock`` —
+    the one creation primitive that is atomic on every local (and NFS)
+    filesystem.  Writes stage to a temp file in the target directory
+    and ``os.replace`` into place, so readers never observe a
+    truncated blob.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def __repr__(self) -> str:
+        return f"LocalDirDriver({str(self.root)!r})"
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    @staticmethod
+    def _replace_text(path: Path, text: str) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+        try:
+            tmp.write_text(text)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    @staticmethod
+    def _prune(shard: Path) -> None:
+        if shard.is_dir() and not any(shard.iterdir()):
+            shard.rmdir()
+
+    def read(self, key: str) -> str | None:
+        path = self._path(key)
+        try:
+            return path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            raise StoreError(f"cannot read stored record {path}: "
+                             f"{exc}") from exc
+
+    def write(self, key: str, text: str) -> int:
+        path = self._path(key)
+        self._replace_text(path, text)
+        return path.stat().st_size
+
+    def delete(self, key: str) -> None:
+        path = self._path(key)
+        try:
+            path.unlink()
+        except FileNotFoundError:  # pragma: no cover - racing delete
+            pass
+        self._prune(path.parent)
+
+    def size(self, key: str) -> int | None:
+        try:
+            return self._path(key).stat().st_size
+        except OSError:
+            return None
+
+    def list(self) -> list[tuple[str, int]]:
+        if not self.root.is_dir():
+            return []
+        out = []
+        for path in sorted(self.root.glob("??/*.json")):
+            if len(path.stem) != _HASH_LENGTH:
+                continue
+            try:
+                out.append((path.stem, path.stat().st_size))
+            except OSError:  # pragma: no cover - racing delete
+                continue
+        return out
+
+    def quarantine(self, key: str) -> None:
+        path = self._path(key)
+        qdir = self.root / "quarantine"
+        qdir.mkdir(parents=True, exist_ok=True)
+        try:
+            os.replace(path, qdir / path.name)
+        except OSError:  # pragma: no cover - racing delete
+            pass
+        self._prune(path.parent)
+
+    def read_index(self) -> str | None:
+        try:
+            return (self.root / "index.json").read_text()
+        except (FileNotFoundError, OSError):
+            return None
+
+    def write_index(self, text: str) -> None:
+        self._replace_text(self.root / "index.json", text)
+
+    def try_lock_index(self) -> bool:
+        self.root.mkdir(parents=True, exist_ok=True)
+        try:
+            fd = os.open(self.root / "index.lock",
+                         os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+    def unlock_index(self) -> None:
+        try:
+            (self.root / "index.lock").unlink()
+        except OSError:  # pragma: no cover - racing cleanup
+            pass
+
+    def index_lock_age_s(self) -> float | None:
+        try:
+            return time.time() - (self.root / "index.lock").stat().st_mtime
+        except OSError:
+            return None
 
 
 class RunStore:
@@ -150,6 +364,11 @@ class RunStore:
     ``max_count`` / ``max_bytes`` (optional) cap the store: after every
     write the least-recently-used records are evicted until both limits
     hold.  Limits may also be applied one-off through :meth:`gc`.
+
+    ``driver`` (optional) swaps the persistence substrate — any
+    :class:`StorageDriver`; the default is a :class:`LocalDirDriver`
+    rooted at ``root``.  All cache semantics (locking, quarantine,
+    LRU, statistics) are driver-independent.
 
     ``faults`` (a :class:`~repro.api.resilience.FaultInjector`, default
     from the ``REPRO_FAULTS`` environment variable) arms deterministic
@@ -160,12 +379,15 @@ class RunStore:
 
     def __init__(self, root: str | Path, max_count: int | None = None,
                  max_bytes: int | None = None,
-                 faults: FaultInjector | None = None) -> None:
+                 faults: FaultInjector | None = None,
+                 driver: StorageDriver | None = None) -> None:
         if max_count is not None and max_count < 0:
             raise StoreError(f"max_count must be >= 0, got {max_count}")
         if max_bytes is not None and max_bytes < 0:
             raise StoreError(f"max_bytes must be >= 0, got {max_bytes}")
         self.root = Path(root)
+        self.driver = driver if driver is not None else \
+            LocalDirDriver(self.root)
         self.max_count = max_count
         self.max_bytes = max_bytes
         self.faults = faults if faults is not None else (
@@ -203,6 +425,8 @@ class RunStore:
         return spec_hash(spec_or_hash)
 
     def path_for(self, spec_or_hash) -> Path:
+        """The record's location under the reference local-dir layout
+        (nominal for drivers that are not directory-backed)."""
         key = self._key(spec_or_hash)
         return self.root / key[:2] / f"{key}.json"
 
@@ -211,18 +435,14 @@ class RunStore:
         return self.root / "index.json"
 
     def __contains__(self, spec_or_hash) -> bool:
-        return self.path_for(spec_or_hash).exists()
+        return self.driver.size(self._key(spec_or_hash)) is not None
 
     def __len__(self) -> int:
         return sum(1 for _ in self.hashes())
 
     def hashes(self) -> Iterator[str]:
         """Every stored spec hash, sorted for stable listings."""
-        if not self.root.is_dir():
-            return iter(())
-        return iter(sorted(
-            path.stem for path in self.root.glob("??/*.json")
-            if len(path.stem) == _HASH_LENGTH))
+        return iter([key for key, _ in self.driver.list()])
 
     # -- the LRU/size index ------------------------------------------------------
 
@@ -230,22 +450,23 @@ class RunStore:
     def _empty_index() -> dict:
         return {"version": _INDEX_VERSION, "clock": 0,
                 "hits": 0, "misses": 0, "evictions": 0,
-                "quarantined": 0, "records": {}}
+                "quarantined": 0, "lock_waits": 0, "records": {}}
 
     def _load_index_locked(self) -> dict:
         if self._index is not None:
             return self._index
         payload = None
-        try:
-            payload = json.loads(self.index_path.read_text())
-        except (FileNotFoundError, OSError, json.JSONDecodeError):
-            payload = None
+        text = self.driver.read_index()
+        if text is not None:
+            try:
+                payload = json.loads(text)
+            except json.JSONDecodeError:
+                payload = None
         if (not isinstance(payload, dict)
                 or payload.get("version") != _INDEX_VERSION
                 or not isinstance(payload.get("records"), dict)):
             payload = self._rebuild_index()
-        for counter in ("clock", "hits", "misses", "evictions",
-                        "quarantined"):
+        for counter in _INDEX_COUNTERS:
             if not isinstance(payload.get(counter), int):
                 payload[counter] = 0
         self._index = payload
@@ -255,99 +476,87 @@ class RunStore:
         """Re-derive the index from the record files (LRU order is lost;
         hash order stands in, which only biases the first evictions)."""
         index = self._empty_index()
-        for key in self.hashes():
-            path = self.path_for(key)
-            try:
-                size = path.stat().st_size
-            except OSError:  # pragma: no cover - racing delete
-                continue
+        for key, size in self.driver.list():
             index["clock"] += 1
             index["records"][key] = {"bytes": size, "used": index["clock"],
-                                     "kind": self._peek_kind(path)}
+                                     "kind": self._peek_kind(key)}
         return index
 
-    @staticmethod
-    def _peek_kind(path: Path) -> str:
+    def _peek_kind(self, key: str) -> str:
         try:
-            payload = json.loads(path.read_text())
+            payload = json.loads(self.driver.read(key) or "null")
             return str(payload["provenance"]["kind"])
-        except (OSError, json.JSONDecodeError, KeyError, TypeError):
+        except (StoreError, json.JSONDecodeError, KeyError, TypeError):
             return "?"
 
     @contextmanager
     def _index_lock(self, wait_s: float = _LOCK_WAIT_S):
-        """Hold ``<root>/index.lock`` around an ``index.json``
-        read-modify-write.
+        """Hold the driver's index lock around an index
+        read-modify-write; yields ``True`` when acquisition was
+        contended (the signal behind the ``lock_waits`` statistic).
 
-        The lock is an ``os.O_EXCL`` create — the one primitive that is
-        atomic on every local filesystem — so two processes multiplexed
+        The lock itself is one atomic driver primitive (``os.O_EXCL``
+        creation for the local driver), so two processes multiplexed
         onto one warm store serialise their index saves instead of
-        last-writer-winning each other's LRU-clock updates.  The wait is
-        bounded: after ``wait_s`` the caller proceeds *without* the lock
-        (a RuntimeWarning notes it) because a cache index must degrade
-        to best-effort, never deadlock the pipeline.  A lockfile older
-        than ``_LOCK_STALE_S`` belongs to a writer that died mid-save
-        and is broken on sight.
+        last-writer-winning each other's LRU-clock updates; the
+        *policy* here is driver-independent.  The wait is bounded:
+        after ``wait_s`` the caller proceeds *without* the lock (a
+        RuntimeWarning notes it) because a cache index must degrade to
+        best-effort, never deadlock the pipeline.  A lock older than
+        ``_LOCK_STALE_S`` belongs to a writer that died mid-save and is
+        broken on sight.
         """
-        self.root.mkdir(parents=True, exist_ok=True)
-        lock = self.root / "index.lock"
         deadline = time.monotonic() + wait_s
         acquired = False
+        waited = False
         while True:
-            try:
-                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-                os.close(fd)
+            if self.driver.try_lock_index():
                 acquired = True
                 break
-            except FileExistsError:
-                try:
-                    age = time.time() - lock.stat().st_mtime
-                except OSError:
-                    continue  # holder just released; retry immediately
-                if age > _LOCK_STALE_S:
-                    try:
-                        lock.unlink()
-                    except OSError:  # pragma: no cover - racing break
-                        pass
-                    continue
-                if time.monotonic() >= deadline:
-                    warnings.warn(
-                        f"run store: could not acquire {lock} within "
-                        f"{wait_s:.1f}s; saving index without the lock "
-                        f"(concurrent LRU updates may be lost)",
-                        RuntimeWarning, stacklevel=3)
-                    break
-                time.sleep(0.005)
+            waited = True
+            age = self.driver.index_lock_age_s()
+            if age is None:
+                continue  # holder just released; retry immediately
+            if age > _LOCK_STALE_S:
+                self.driver.unlock_index()  # break a dead writer's lock
+                continue
+            if time.monotonic() >= deadline:
+                warnings.warn(
+                    f"run store: could not acquire index.lock within "
+                    f"{wait_s:.1f}s; saving index without the lock "
+                    f"(concurrent LRU updates may be lost)",
+                    RuntimeWarning, stacklevel=3)
+                break
+            time.sleep(0.005)
         try:
-            yield
+            yield waited
         finally:
             if acquired:
-                try:
-                    lock.unlink()
-                except OSError:  # pragma: no cover - racing cleanup
-                    pass
+                self.driver.unlock_index()
 
     def _merge_disk_index(self, index: dict) -> dict:
-        """Fold another writer's ``index.json`` into ours before saving.
+        """Fold another writer's saved index into ours before saving.
 
         Called under :meth:`_index_lock`.  Lifetime counters and the LRU
         clock take the elementwise max (monotone, so concurrent
         increments cannot move them backwards; simultaneous increments
         may still undercount — they are statistics, not invariants).
         Record entries are unioned: another writer's keys are adopted
-        only when the record file still exists, so our own evictions
+        only when the record still exists, so our own evictions
         and quarantines are not resurrected.
         """
+        text = self.driver.read_index()
+        if text is None:
+            return index
         try:
-            disk = json.loads(self.index_path.read_text())
-        except (FileNotFoundError, OSError, json.JSONDecodeError):
+            disk = json.loads(text)
+        except json.JSONDecodeError:
             return index
         if (not isinstance(disk, dict)
                 or disk.get("version") != _INDEX_VERSION
                 or not isinstance(disk.get("records"), dict)):
             return index
-        for counter in ("clock", "hits", "misses", "evictions",
-                        "quarantined"):
+        for counter in _INDEX_COUNTERS:
             other = disk.get(counter)
             if isinstance(other, int) and other > index[counter]:
                 index[counter] = other
@@ -355,7 +564,7 @@ class RunStore:
         for key, entry in disk["records"].items():
             if key in ours or not isinstance(entry, dict):
                 continue
-            if self.path_for(key).exists():
+            if self.driver.size(key) is not None:
                 ours[key] = entry
         return index
 
@@ -366,21 +575,25 @@ class RunStore:
             self._dirty = True
             return
         self._dirty = False
-        self.root.mkdir(parents=True, exist_ok=True)
-        with self._index_lock():
-            write_json(self._merge_disk_index(self._index),
-                       self.index_path)
+        with self._index_lock() as waited:
+            if waited:
+                self._index["lock_waits"] += 1
+            merged = self._merge_disk_index(self._index)
+            self.driver.write_index(
+                json.dumps(merged, indent=2, sort_keys=True) + "\n")
 
     @contextmanager
     def batched(self):
         """Coalesce index writes across many lookups/puts.
 
         Inside the context every get/put updates only the in-memory
-        index; one ``index.json`` write (and, when ``max_count`` /
+        index; one index save (and, when ``max_count`` /
         ``max_bytes`` are set, one eviction pass) happens at exit
         instead of one per operation — the difference between O(N) and
         O(N^2) file I/O when a JobPlan keys an N-point sweep.  Nests
-        safely; the runner wraps whole fleet merges in one batch.
+        safely; the runner wraps whole fleet merges in one batch, and
+        distributed workers wrap each claimed shard's lookups and
+        write-backs the same way.
         """
         self._defer += 1
         try:
@@ -396,25 +609,18 @@ class RunStore:
                         self._save_index_locked()
 
     def _sync_index_locked(self) -> dict:
-        """Reconcile the index against the directory (records written or
+        """Reconcile the index against the substrate (records written or
         deleted by other processes), without counting hits/misses."""
         index = self._load_index_locked()
         records = index["records"]
-        on_disk = {path.stem: path
-                   for path in (self.root.glob("??/*.json")
-                                if self.root.is_dir() else ())
-                   if len(path.stem) == _HASH_LENGTH}
-        for key in set(records) - set(on_disk):
+        stored = dict(self.driver.list())
+        for key in set(records) - set(stored):
             del records[key]
-        for key, path in on_disk.items():
+        for key, size in stored.items():
             if key not in records:
-                try:
-                    size = path.stat().st_size
-                except OSError:  # pragma: no cover - racing delete
-                    continue
                 index["clock"] += 1
                 records[key] = {"bytes": size, "used": index["clock"],
-                                "kind": self._peek_kind(path)}
+                                "kind": self._peek_kind(key)}
         return index
 
     def _note_lookup(self, key: str | None, hit: bool) -> None:
@@ -431,12 +637,9 @@ class RunStore:
             if entry is None:
                 # A record the index has not seen (written by another
                 # process, or a pre-index store): adopt it on access.
-                path = self.path_for(key)
-                try:
-                    size = path.stat().st_size
-                except OSError:  # pragma: no cover - racing delete
-                    size = 0
-                entry = {"bytes": size, "kind": self._peek_kind(path)}
+                size = self.driver.size(key)
+                entry = {"bytes": size if size is not None else 0,
+                         "kind": self._peek_kind(key)}
                 index["records"][key] = entry
             entry["used"] = index["clock"]
         else:
@@ -445,52 +648,42 @@ class RunStore:
 
     # -- quarantine --------------------------------------------------------------
 
-    def _quarantine(self, path: Path, reason: str) -> None:
+    def _quarantine(self, key: str, reason: str) -> None:
         """Move a corrupt record aside instead of serving or raising.
 
-        The file lands in ``<root>/quarantine/`` (preserved for
-        post-mortem, invisible to the ``??/`` shard glob so listings
-        and index rebuilds never see it again), its index entry is
-        dropped, the lifetime ``quarantined`` counter ticks, and a
-        :class:`RuntimeWarning` names the file and the reason.
+        The record is preserved by the driver for post-mortem
+        (``<root>/quarantine/`` locally, invisible to listings and
+        index rebuilds), its index entry is dropped, the lifetime
+        ``quarantined`` counter ticks, and a :class:`RuntimeWarning`
+        names the record and the reason.
         """
-        qdir = self.root / "quarantine"
-        qdir.mkdir(parents=True, exist_ok=True)
-        try:
-            os.replace(path, qdir / path.name)
-        except OSError:  # pragma: no cover - racing delete
-            pass
-        shard = path.parent
-        if shard.is_dir() and not any(shard.iterdir()):
-            shard.rmdir()
+        self.driver.quarantine(key)
         with self._mutex:
             index = self._load_index_locked()
             index["quarantined"] += 1
-            index["records"].pop(path.stem, None)
+            index["records"].pop(key, None)
             self._save_index_locked()
         warnings.warn(f"run store: quarantined corrupt record "
-                      f"{path.name}: {reason}", RuntimeWarning,
+                      f"{key}.json: {reason}", RuntimeWarning,
                       stacklevel=4)
 
     # -- reads -------------------------------------------------------------------
 
-    def _read_payload(self, path: Path) -> dict | None:
-        """The verified JSON payload at ``path`` — ``None`` when absent
-        *or* quarantined as corrupt (unparseable, non-object, or failing
-        its ``integrity`` checksum); :class:`~repro.errors.StoreError`
-        only for I/O failures reading an existing file."""
-        try:
-            payload = json.loads(path.read_text())
-        except FileNotFoundError:
+    def _read_payload(self, key: str) -> dict | None:
+        """The verified JSON payload under ``key`` — ``None`` when
+        absent *or* quarantined as corrupt (unparseable, non-object, or
+        failing its ``integrity`` checksum); :class:`~repro.errors.
+        StoreError` only for I/O failures reading an existing record."""
+        text = self.driver.read(key)
+        if text is None:
             return None
-        except OSError as exc:
-            raise StoreError(f"cannot read stored record {path}: "
-                             f"{exc}") from exc
+        try:
+            payload = json.loads(text)
         except json.JSONDecodeError as exc:
-            self._quarantine(path, f"not valid JSON ({exc})")
+            self._quarantine(key, f"not valid JSON ({exc})")
             return None
         if not isinstance(payload, dict):
-            self._quarantine(path, "not a JSON object")
+            self._quarantine(key, "not a JSON object")
             return None
         integrity = payload.get("integrity")
         if integrity is not None:
@@ -498,12 +691,12 @@ class RunStore:
                       if isinstance(integrity, dict) else None)
             body = {k: v for k, v in payload.items() if k != "integrity"}
             if digest != hash_payload(body):
-                self._quarantine(path, "integrity checksum mismatch")
+                self._quarantine(key, "integrity checksum mismatch")
                 return None
         return payload
 
     @staticmethod
-    def _stored_record(payload: dict, path: Path) -> StoredRunRecord:
+    def _stored_record(payload: dict, key: str) -> StoredRunRecord:
         try:
             provenance = payload["provenance"]
             return StoredRunRecord(
@@ -515,7 +708,7 @@ class RunStore:
                 result=payload.get("result", {}),
                 stored_provenance=dict(provenance))
         except (KeyError, TypeError) as exc:
-            raise StoreError(f"stored record {path} is malformed "
+            raise StoreError(f"stored record {key}.json is malformed "
                              f"({exc!r}); delete it or clear the store"
                              ) from exc
 
@@ -528,15 +721,14 @@ class RunStore:
         — the caller simply re-runs the spec.
         """
         key = self._key(spec_or_hash)
-        path = self.path_for(key)
-        payload = self._read_payload(path)
+        payload = self._read_payload(key)
         if payload is None:
             self._note_lookup(None, hit=False)
             return None
         try:
-            record = self._stored_record(payload, path)
+            record = self._stored_record(payload, key)
         except StoreError as exc:
-            self._quarantine(path, str(exc))
+            self._quarantine(key, str(exc))
             self._note_lookup(None, hit=False)
             return None
         self._note_lookup(key, hit=True)
@@ -554,18 +746,19 @@ class RunStore:
         they cannot rejoin a live fleet stream).  Corrupt records are
         quarantined and count as a miss, so the job re-runs.
         """
+        from repro.io.export import panel_result_from_payload
+
         digest = self._key(key)
-        path = self.path_for(digest)
-        payload = self._read_payload(path)
+        payload = self._read_payload(digest)
         if payload is None:
             self._note_lookup(None, hit=False)
             return None
         samples = payload.get("samples")
         if samples is None:
             try:
-                record = self._stored_record(payload, path)
+                record = self._stored_record(payload, digest)
             except StoreError as exc:
-                self._quarantine(path, str(exc))
+                self._quarantine(digest, str(exc))
                 self._note_lookup(None, hit=False)
                 return None
             self._note_lookup(digest, hit=True)
@@ -587,7 +780,7 @@ class RunStore:
                         if engine is not None else None))
         except (KeyError, TypeError, ValueError, AttributeError,
                 ReproError) as exc:
-            self._quarantine(path, f"malformed job record ({exc!r})")
+            self._quarantine(digest, f"malformed job record ({exc!r})")
             self._note_lookup(None, hit=False)
             return None
         self._note_lookup(digest, hit=True)
@@ -597,16 +790,15 @@ class RunStore:
         """Every stored record's summary, in hash order.
 
         Corrupt records are quarantined (with a :class:`RuntimeWarning`
-        naming the file) rather than listed — one bad entry must not
+        naming the record) rather than listed — one bad entry must not
         make the whole store unlistable, and it must not resurface on
         the next listing either.  Records that exist but cannot be
         *read* (I/O errors) are skipped with a warning.  Listing does
         not count hits/misses.
         """
         for key in self.hashes():
-            path = self.path_for(key)
             try:
-                payload = self._read_payload(path)
+                payload = self._read_payload(key)
             except StoreError as exc:
                 warnings.warn(f"run store: skipping unreadable record: "
                               f"{exc}", RuntimeWarning, stacklevel=2)
@@ -614,9 +806,9 @@ class RunStore:
             if payload is None:
                 continue
             try:
-                yield self._stored_record(payload, path)
+                yield self._stored_record(payload, key)
             except StoreError as exc:
-                self._quarantine(path, str(exc))
+                self._quarantine(key, str(exc))
 
     # -- writes ------------------------------------------------------------------
 
@@ -628,18 +820,18 @@ class RunStore:
         payload = dict(body)
         payload["integrity"] = {"algo": "sha256",
                                 "digest": hash_payload(body)}
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        write_json(payload, path)
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        nbytes = self.driver.write(key, text)
         if self.faults is not None and self.faults.corrupts(key):
             # Deterministic fault injection: truncate the just-written
             # record mid-payload, as a crash or full disk would.
-            text = path.read_text()
-            path.write_text(text[: max(len(text) // 2, 1)])
+            stored = self.driver.read(key) or text
+            nbytes = self.driver.write(
+                key, stored[: max(len(stored) // 2, 1)])
         with self._mutex:
             index = self._load_index_locked()
             index["clock"] += 1
-            index["records"][key] = {"bytes": path.stat().st_size,
+            index["records"][key] = {"bytes": nbytes,
                                      "used": index["clock"], "kind": kind}
             self._save_index_locked()
             if self.max_count is not None or self.max_bytes is not None:
@@ -647,7 +839,7 @@ class RunStore:
                     self._gc_pending = True
                 else:
                     self.gc()
-        return path
+        return self.path_for(key)
 
     def put(self, record: RunRecord) -> Path:
         """Persist a live record's summary under its spec hash.
@@ -669,6 +861,8 @@ class RunStore:
         panel_result_to_payload`), so a later :meth:`get_job` hit
         rehydrates the live result bit for bit.
         """
+        from repro.io.export import panel_result_to_payload
+
         if record.cached:
             return self.path_for(record.spec_hash)
         payload = record.to_dict()
@@ -676,16 +870,6 @@ class RunStore:
         return self._write(record.spec_hash, payload, record.kind)
 
     # -- eviction, statistics, clearing ------------------------------------------
-
-    def _unlink(self, key: str) -> None:
-        path = self.path_for(key)
-        try:
-            path.unlink()
-        except FileNotFoundError:  # pragma: no cover - racing delete
-            pass
-        shard = path.parent
-        if shard.is_dir() and not any(shard.iterdir()):
-            shard.rmdir()
 
     def gc(self, max_count: int | None = None,
            max_bytes: int | None = None) -> tuple[int, int]:
@@ -712,7 +896,7 @@ class RunStore:
                     over_bytes = max_bytes is not None and total > max_bytes
                     if not over_count and not over_bytes:
                         break
-                    self._unlink(key)
+                    self.driver.delete(key)
                     del records[key]
                     count -= 1
                     total -= entry["bytes"]
@@ -732,7 +916,8 @@ class RunStore:
                 hits=index["hits"], misses=index["misses"],
                 evictions=index["evictions"], records=len(records),
                 bytes=sum(entry["bytes"] for entry in records.values()),
-                quarantined=index["quarantined"])
+                quarantined=index["quarantined"],
+                lock_waits=index["lock_waits"])
 
     def clear(self) -> int:
         """Delete every stored record; returns how many were removed.
@@ -743,9 +928,9 @@ class RunStore:
         with self._mutex:
             removed = 0
             for key in list(self.hashes()):
-                self._unlink(key)
+                self.driver.delete(key)
                 removed += 1
-            if removed or self.index_path.exists():
+            if removed or self.driver.read_index() is not None:
                 index = self._load_index_locked()
                 index["records"] = {}
                 self._save_index_locked()

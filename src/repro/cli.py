@@ -158,13 +158,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=_int_at_least(0), default=0,
                        help="bind port (0: let the OS pick; the bound "
                             "port is printed on startup)")
-    serve.add_argument("--backend", choices=("inline", "process"),
+    serve.add_argument("--backend",
+                       choices=("inline", "process", "distributed"),
                        default="inline",
                        help="execution backend for every submitted run "
                             "(the server's choice is authoritative)")
     serve.add_argument("--workers", type=_int_at_least(1), default=None,
                        help="worker processes per dispatcher pool for "
-                            "--backend process (default: one per core)")
+                            "--backend process, or shards per run for "
+                            "--backend distributed (default: one per core)")
+    serve.add_argument("--queue", type=str, default=None, metavar="DIR",
+                       help="shared queue directory for --backend "
+                            "distributed (attach `repro worker` processes "
+                            "to execute the service's runs)")
     serve.add_argument("--dispatchers", type=_int_at_least(1), default=2,
                        help="parallel dispatcher threads, each owning a "
                             "persistent executor")
@@ -189,6 +195,27 @@ def build_parser() -> argparse.ArgumentParser:
                             "timeout in seconds")
     serve.add_argument("--on-error", choices=("raise", "partial"),
                        default="raise")
+
+    worker = sub.add_parser(
+        "worker", help="attach a claim-and-execute worker process to a "
+                       "distributed queue: claims published shards "
+                       "atomically, consults the shared run store before "
+                       "solving, and writes results back for the "
+                       "submitter to re-merge")
+    worker.add_argument("--queue", type=str, required=True, metavar="DIR",
+                        help="the queue directory fleets are submitted to "
+                             "(created if missing)")
+    worker.add_argument("--store", type=str, default=None, metavar="DIR",
+                        help="shared run store to consult and warm "
+                             "(default: <queue>/store)")
+    worker.add_argument("--max-shards", type=_int_at_least(1),
+                        default=None, metavar="N",
+                        help="exit after executing N primary shards "
+                             "(default: unbounded)")
+    worker.add_argument("--idle-exit-s", type=_positive_float,
+                        default=None, metavar="T",
+                        help="exit after T seconds with nothing claimable "
+                             "(default: loop forever)")
 
     cache = sub.add_parser(
         "cache", help="inspect, garbage-collect or clear a "
@@ -238,14 +265,24 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _add_execution_arguments(command) -> None:
-    command.add_argument("--backend", choices=("inline", "process"),
+    command.add_argument("--backend",
+                         choices=("inline", "process", "distributed"),
                          default=None,
                          help="execution backend (default: the spec's "
                               "execution block; results are bit-identical "
                               "either way)")
     command.add_argument("--workers", type=_int_at_least(1), default=None,
-                         help="worker processes for --backend process "
+                         help="worker processes for --backend process, or "
+                              "shards to publish for --backend distributed "
                               "(default: one per CPU core)")
+    command.add_argument("--queue", type=str, default=None, metavar="DIR",
+                         help="shared queue directory for --backend "
+                              "distributed; attach workers with "
+                              "`repro worker --queue DIR`")
+    command.add_argument("--prefetch", action="store_true",
+                         help="distributed sweeps only: let idle workers "
+                              "speculatively warm the sweep's neighbouring "
+                              "grid points in the shared store")
     command.add_argument("--store", type=str, default=None, metavar="DIR",
                          help="content-addressed run store: reuse a "
                               "stored record on spec-hash hit, persist "
@@ -302,8 +339,14 @@ def _build_execution(args):
     """
     from repro import api
 
-    if args.workers is not None and args.backend != "process":
-        raise SystemExit("error: --workers needs --backend process")
+    if args.workers is not None and args.backend not in ("process",
+                                                         "distributed"):
+        raise SystemExit("error: --workers needs --backend process "
+                         "or distributed")
+    if args.queue is not None and args.backend != "distributed":
+        raise SystemExit("error: --queue needs --backend distributed")
+    if args.prefetch and args.backend != "distributed":
+        raise SystemExit("error: --prefetch needs --backend distributed")
     if getattr(args, "sequential", False) and args.backend is not None:
         raise SystemExit("error: --sequential is the per-cell reference "
                          "path; it cannot run on --backend")
@@ -315,6 +358,12 @@ def _build_execution(args):
         kwargs["on_error"] = on_error
     if args.backend == "inline":
         return api.InlineExecutor(**kwargs), None, None
+    if args.backend == "distributed":
+        if args.queue is None:
+            raise SystemExit("error: --backend distributed needs --queue")
+        return api.DistributedExecutor(
+            queue=args.queue, workers=args.workers,
+            prefetch=args.prefetch, **kwargs), None, None
     return api.ProcessExecutor(workers=args.workers, **kwargs), None, None
 
 
@@ -620,7 +669,7 @@ def _cmd_serve(args) -> int:
     spec = ServeSpec(
         host=args.host, port=args.port, backend=args.backend,
         workers=args.workers, dispatchers=args.dispatchers,
-        store=args.store,
+        store=args.store, queue=args.queue,
         rate_capacity=(args.rate_capacity
                        if args.rate_capacity is not None else 0.0),
         rate_refill_per_s=args.rate_refill,
@@ -641,6 +690,34 @@ def _cmd_serve(args) -> int:
         print("repro serve: shutting down", flush=True)
     finally:
         server.stop()
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    import os
+
+    from repro.api.distributed import (
+        default_store_root,
+        ensure_queue,
+        run_worker,
+    )
+
+    root = ensure_queue(args.queue)
+    store = args.store if args.store is not None \
+        else str(default_store_root(root))
+    # Machine-parseable announcement (tests and CI grep it); flush so a
+    # piped parent sees it before the first claim.
+    print(f"repro worker: ready queue={root} store={store} "
+          f"pid={os.getpid()}", flush=True)
+    try:
+        done = run_worker(root, store=store, max_shards=args.max_shards,
+                          idle_exit_s=args.idle_exit_s)
+    except KeyboardInterrupt:
+        print("repro worker: shutting down", flush=True)
+        return 0
+    print(f"repro worker: done shards={done['shards']} "
+          f"jobs={done['jobs']} prefetched={done['prefetched']}",
+          flush=True)
     return 0
 
 
@@ -686,6 +763,7 @@ def _cmd_cache_stats(store, as_json: bool) -> int:
     print(f"misses    : {stats.misses}")
     print(f"evictions : {stats.evictions}")
     print(f"quarantined: {stats.quarantined}")
+    print(f"lock waits: {stats.lock_waits}")
     print(f"hit rate  : {100.0 * stats.hit_rate:.1f}%")
     return 0
 
@@ -766,6 +844,8 @@ def main(argv: list[str] | None = None) -> int:
                             retry=retry, on_error=on_error)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "worker":
+            return _cmd_worker(args)
         if args.command == "cache":
             return _cmd_cache(args)
         if args.command == "lint":

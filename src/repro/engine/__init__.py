@@ -190,6 +190,29 @@ the engine restructures it in five layers:
     Runtime tests prove the contracts hold on exercised paths; the
     linter proves new code cannot quietly opt out of them.
 
+12. **Distributed execution over a shared store**
+    (:mod:`repro.api.distributed`, :mod:`repro.api.store` round 2,
+    above this package).  The third executor,
+    :class:`~repro.api.distributed.DistributedExecutor`, decouples
+    submission from capacity: it publishes each shard as a claimable
+    task file in a queue directory, and any number of independent
+    ``repro worker`` processes — started before or after the run, on
+    any host sharing the file system — claim shards atomically
+    (``os.O_EXCL``), run layer 5's fused ``run_iter``, and write
+    results back for the submitter to re-merge in job order,
+    bit-identical to inline.  A claim's mtime is a per-job progress
+    heartbeat, so a crashed or wedged worker is detected by
+    staleness and its shard republished under the layer-10 retry
+    budget.  Workers share one :class:`~repro.api.store.RunStore`
+    (its persistence seam is now a pluggable
+    :class:`~repro.api.store.StorageDriver`), so a job any worker has
+    ever solved is a cluster-wide cache hit — a fully warm fleet
+    performs zero engine solves no matter which workers serve it —
+    and idle workers speculatively prefetch the next grid point of
+    the last sweep axis (opt-in ``execution: {"prefetch": true}``),
+    warming the store for the widened re-sweep a parameter study
+    runs next.
+
 Equivalence guarantee
 =====================
 

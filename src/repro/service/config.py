@@ -46,6 +46,12 @@ class ServeSpec:
         multiplexing — one client's run warms the next client's), or
         ``None`` to serve without caching.  Usage accounting persists
         next to it (``<store>.usage.json``).
+    queue:
+        Shared queue directory for ``backend="distributed"`` — the
+        server publishes every run's shards there and independent
+        ``repro worker`` processes (any host sharing the file system)
+        execute them.  Required for the distributed backend, rejected
+        otherwise.
     rate_capacity, rate_refill_per_s:
         Per-client token bucket: burst size and sustained submissions
         per second.  ``rate_capacity=0`` disables limiting.
@@ -61,6 +67,7 @@ class ServeSpec:
     workers: int | None = None
     dispatchers: int = 2
     store: str | None = None
+    queue: str | None = None
     rate_capacity: float = 0.0
     rate_refill_per_s: float = 1.0
     retry: RetryPolicy | None = None
@@ -79,6 +86,15 @@ class ServeSpec:
         if int(self.dispatchers) < 1:
             raise SpecError(f"serve spec: dispatchers must be >= 1, "
                             f"got {self.dispatchers}")
+        if self.queue is not None and not isinstance(self.queue, str):
+            raise SpecError(f"serve spec: queue must be a directory "
+                            f"path, got {type(self.queue).__name__}")
+        if self.backend == "distributed" and self.queue is None:
+            raise SpecError("serve spec: the distributed backend needs "
+                            "a queue directory (queue / --queue)")
+        if self.queue is not None and self.backend != "distributed":
+            raise SpecError("serve spec: queue only applies to the "
+                            "distributed backend")
         if float(self.rate_capacity) < 0:
             raise SpecError(f"serve spec: rate_capacity must be >= 0, "
                             f"got {self.rate_capacity}")
@@ -96,6 +112,7 @@ class ServeSpec:
                             if self.workers is not None else None),
                 "dispatchers": int(self.dispatchers),
                 "store": self.store,
+                "queue": self.queue,
                 "rate_capacity": float(self.rate_capacity),
                 "rate_refill_per_s": float(self.rate_refill_per_s),
                 "retry": (self.retry.to_dict()
@@ -119,6 +136,7 @@ class ServeSpec:
             workers=int(workers) if workers is not None else None,
             dispatchers=int(payload.get("dispatchers", 2)),
             store=payload.get("store"),
+            queue=payload.get("queue"),
             rate_capacity=float(payload.get("rate_capacity", 0.0)),
             rate_refill_per_s=float(payload.get("rate_refill_per_s", 1.0)),
             retry=(RetryPolicy.from_dict(retry, f"{path}.retry")

@@ -197,8 +197,17 @@ class ServiceRuntime:
             thread.start()
 
     def _build_executor(self):
+        from repro.api.distributed import DistributedExecutor
         from repro.api.executors import InlineExecutor, ProcessExecutor
 
+        if self.spec.backend == "distributed":
+            # Each dispatcher submits to the same shared queue; the
+            # worker fleet attached to it is the deployment's capacity
+            # knob, entirely decoupled from this process.
+            return DistributedExecutor(queue=self.spec.queue,
+                                       workers=self.spec.workers,
+                                       retry=self.spec.retry,
+                                       on_error=self.spec.on_error)
         if self.spec.backend == "process":
             # persistent=True is the point: this executor lives as long
             # as its dispatcher, so its worker pool is spawned once and

@@ -118,7 +118,7 @@ class TestSchemaV4:
             retry=RetryPolicy(max_attempts=4, timeout_s=60.0),
             on_error="partial"))
         payload = json.loads(json.dumps(spec.to_dict()))
-        assert payload["schema"] == 4
+        assert payload["schema"] == api.SCHEMA_VERSION
         assert payload["execution"]["retry"]["max_attempts"] == 4
         assert payload["execution"]["on_error"] == "partial"
         back = api.spec_from_dict(payload)

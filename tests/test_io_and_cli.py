@@ -9,6 +9,7 @@ import numpy as np
 import pytest
 
 from repro.analysis.calibration import CalibrationCurve, CalibrationPoint
+from repro.api.specs import SCHEMA_VERSION
 from repro.cli import main
 from repro.io.export import (
     calibration_to_json,
@@ -181,7 +182,7 @@ class TestCliValidationAndExitCodes:
         assert main(["panel", "--seed", "7"]) == 0
         out = capsys.readouterr().out
         assert "[assay] spec" in out
-        assert "schema v4" in out
+        assert f"schema v{SCHEMA_VERSION}" in out
 
     def test_calibrate_unknown_target_exits_one(self, capsys):
         assert main(["calibrate", "unobtainium"]) == 1
